@@ -1,0 +1,44 @@
+"""E7 — ablation: the value threshold β.
+
+Theorem 3's proof optimises β = 1 + sqrt(k/f(k, δ)) for the *worst case*;
+this sweep measures average-case sensitivity on the paper's workload.  The
+expected shape: performance is flat-ish near the optimum and degrades for
+large β (a huge threshold never grants the processor to urgent valuable
+jobs, reverting to pure EDF behaviour under overload).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import expected_jobs
+from repro.analysis.theory import optimal_beta
+from repro.experiments import run_beta_sweep
+from repro.experiments.runner import default_mc_runs
+
+
+def test_beta_ablation(archive, benchmark):
+    beta_star = optimal_beta(7.0, 35.0)
+    betas = (1.05, round(beta_star, 3), 2.0, 4.0, 16.0, 64.0)
+    sweep = run_beta_sweep(
+        betas=betas,
+        lam=8.0,
+        n_runs=default_mc_runs(30),
+        expected_jobs=min(500.0, expected_jobs()),
+    )
+    text = sweep.render() + f"\n(theory-optimal beta* = {beta_star:.4f})"
+    archive("ablation_beta", text)
+
+    means = [s.mean for s in sweep.percents["V-Dover"]]
+    near_optimum = means[1]
+    # The theory-optimal beta must be competitive with every other setting
+    # (within noise) ...
+    assert near_optimum >= max(means) - 2.0
+    # ... and a wildly conservative threshold must not dominate it.
+    assert means[-1] <= near_optimum + 2.0
+
+    benchmark.pedantic(
+        lambda: run_beta_sweep(betas=(2.0,), n_runs=3, expected_jobs=150.0, workers=1),
+        rounds=1,
+        iterations=1,
+    )

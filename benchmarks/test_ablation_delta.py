@@ -1,0 +1,52 @@
+"""E8 — ablation: capacity variability δ = c̄/c̲.
+
+Sweeps the CTMC's high state with the low state pinned at 1, comparing
+V-Dover against Dover anchored at each end of the band.  Expected shape:
+
+* at small δ every policy converges (there is little variability to
+  exploit or misjudge);
+* as δ grows, Dover(ĉ=c̲) leaves ever more spike capacity unused and
+  Dover(ĉ=c̄) overcommits ever harder during floors, while V-Dover tracks
+  the better of the two or beats both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import expected_jobs
+from repro.experiments import run_delta_sweep
+from repro.experiments.runner import default_mc_runs
+
+
+def test_delta_ablation(archive, benchmark):
+    sweep = run_delta_sweep(
+        highs=(2.0, 5.0, 15.0, 35.0, 100.0),
+        lam=6.0,
+        n_runs=default_mc_runs(30),
+        expected_jobs=min(500.0, expected_jobs()),
+    )
+    archive("ablation_delta", sweep.render())
+
+    n = len(sweep.swept_values)
+    for i in range(n):
+        vd = sweep.percents["V-Dover"][i].mean
+        low_anchor = sweep.percents["Dover(c=low)"][i].mean
+        high_anchor = sweep.percents["Dover(c=high)"][i].mean
+        # V-Dover within noise of (or above) the best fixed anchor.
+        assert vd >= max(low_anchor, high_anchor) - 1.5, (
+            f"delta={sweep.swept_values[i]}: V-Dover fell behind a fixed anchor"
+        )
+
+    # At the smallest delta the three policies should be close.
+    spread_small = (
+        max(s[0].mean for s in sweep.percents.values())
+        - min(s[0].mean for s in sweep.percents.values())
+    )
+    assert spread_small < 10.0
+
+    benchmark.pedantic(
+        lambda: run_delta_sweep(highs=(35.0,), n_runs=3, expected_jobs=150.0, workers=1),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,43 @@
+"""E13 — ablation: robustness to a misestimated importance-ratio bound.
+
+V-Dover needs ``k`` to set its β, but an operator never knows the true
+bid-density spread exactly.  The sweep runs V-Dover believing
+k ∈ {1.5, 3, 7, 14, 49} against a true-k=7 workload.  Expected (and
+asserted) shape: average performance is *flat* — within ~1.5 points across
+a 32× misestimation range, with a slight preference for over-believing
+(larger β is the safer error, consistent with E7/E9's finding that the
+worst-case-optimal β errs low).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import expected_jobs
+from repro.experiments import run_k_misestimation_sweep
+from repro.experiments.runner import default_mc_runs
+
+
+def test_k_misestimation(archive, benchmark):
+    sweep = run_k_misestimation_sweep(
+        believed_ks=(1.5, 3.0, 7.0, 14.0, 49.0),
+        true_k=7.0,
+        lam=8.0,
+        n_runs=default_mc_runs(30),
+        expected_jobs=min(500.0, expected_jobs()),
+    )
+    archive("ablation_k_misestimation", sweep.render())
+
+    means = [s.mean for s in sweep.percents["V-Dover"]]
+    correct = means[2]  # believed k == true k
+    assert max(means) - min(means) < 3.0, "k misestimation should be benign"
+    for m in means:
+        assert m >= correct - 2.0, "correct k should not be badly beaten"
+
+    benchmark.pedantic(
+        lambda: run_k_misestimation_sweep(
+            believed_ks=(7.0,), n_runs=3, expected_jobs=150.0, workers=1
+        ),
+        rounds=1,
+        iterations=1,
+    )

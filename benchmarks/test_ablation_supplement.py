@@ -1,0 +1,47 @@
+"""E6 — ablation: the supplement queue (the paper's delta (ii) vs Dover).
+
+Re-runs the Table-I setup with V-Dover, V-Dover-without-supplements and
+Dover(ĉ=c̲).  The gap between the first two isolates the supplement
+mechanism; the gap between the last two isolates the conservative-estimate
+delta (i).  Expected shape: supplements matter most at moderate-to-heavy
+load, where demoted jobs are plentiful and capacity spikes can still
+rescue them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import expected_jobs
+from repro.experiments import run_supplement_ablation
+from repro.experiments.runner import default_mc_runs
+
+
+def test_supplement_ablation(archive, benchmark):
+    sweep = run_supplement_ablation(
+        lambdas=(4.0, 6.0, 8.0, 12.0),
+        n_runs=default_mc_runs(30),
+        expected_jobs=min(500.0, expected_jobs()),
+    )
+    archive("ablation_supplement", sweep.render())
+
+    for i, lam in enumerate(sweep.swept_values):
+        full = sweep.percents["V-Dover"][i].mean
+        ablated = sweep.percents["V-Dover(no-supp)"][i].mean
+        assert full >= ablated - 0.5, (
+            f"lambda={lam}: removing supplements should not help"
+        )
+    # Somewhere in the sweep the mechanism must contribute measurably.
+    max_gap = max(
+        sweep.percents["V-Dover"][i].mean - sweep.percents["V-Dover(no-supp)"][i].mean
+        for i in range(len(sweep.swept_values))
+    )
+    assert max_gap > 0.5, "supplement queue contributed nothing anywhere"
+
+    benchmark.pedantic(
+        lambda: run_supplement_ablation(
+            lambdas=(6.0,), n_runs=4, expected_jobs=200.0, workers=1
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,67 @@
+"""E11 — the upper-bound adversary (Theorem 1(2)/3(1)), played live.
+
+Runs the bait-and-switch escalation game against the Dover family over a
+range of importance-ratio budgets and prints the measured competitive
+ratio next to the theoretical guarantee ``1/(1+√k)²`` and the trivial
+upper bound 1.  The measured series must decrease in k and sit strictly
+inside (guarantee, 1) — the empirical signature of the adversary argument.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.analysis.theory import dover_beta, dover_competitive_ratio
+from repro.core import DoverScheduler, GreedyDensityScheduler
+from repro.workload.adversary import EscalationAdversary
+
+
+def test_adversary_game(archive, benchmark):
+    ks = (4.0, 7.0, 16.0, 49.0, 100.0)
+    rows = []
+    dover_ratios = []
+    for k in ks:
+        beta = dover_beta(k)
+        dover = EscalationAdversary(
+            lambda: DoverScheduler(k=k, c_hat=1.0), k, escalation=beta * 1.05
+        ).play()
+        greedy = EscalationAdversary(
+            lambda: GreedyDensityScheduler(), k, escalation=1.5
+        ).play()
+        dover_ratios.append(dover.ratio)
+        rows.append(
+            [
+                f"{k:g}",
+                dover.ratio,
+                greedy.ratio,
+                dover_competitive_ratio(k),
+                dover.rounds,
+            ]
+        )
+
+    archive(
+        "adversary_game",
+        render_table(
+            ["k", "Dover ratio", "GreedyDensity ratio", "guarantee 1/(1+√k)²", "rounds"],
+            rows,
+            title=(
+                "Theorem 1(2)/3(1) adversary — measured competitive ratio "
+                "under bait-and-switch escalation (constant capacity)"
+            ),
+        ),
+    )
+
+    assert all(a > b for a, b in zip(dover_ratios, dover_ratios[1:])), (
+        "adversary pressure must grow with k"
+    )
+    for k, ratio in zip(ks, dover_ratios):
+        assert dover_competitive_ratio(k) - 1e-9 <= ratio < 1.0
+
+    k = 7.0
+    beta = dover_beta(k)
+    benchmark(
+        lambda: EscalationAdversary(
+            lambda: DoverScheduler(k=k, c_hat=1.0), k, escalation=beta * 1.05
+        ).play().ratio
+    )

@@ -1,0 +1,103 @@
+"""E9 — end-to-end cloud substrate: primary-driven capacity + spot market.
+
+The paper's abstract ``c(t)`` is replaced by residual capacity from a
+simulated primary VM population (offered primary load > capacity, so the
+residual frequently sits at the guaranteed floor — the regime the paper
+targets), and the secondary jobs by spot-market requests whose bids define
+the value densities.
+
+Reproduction finding (see EXPERIMENTS.md): the *worst-case-optimal*
+threshold β* = 1 + sqrt(k/f(k, δ)) of Theorem 3 is close to 1 and is not
+average-case optimal on this substrate — it grants too many zero-laxity
+preemptions.  V-Dover with the classical β = 1 + √k matches or beats every
+Dover anchor; both V-Dover variants are reported so the sensitivity stays
+visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.analysis.theory import dover_beta
+from repro.cloud import (
+    PrimaryOccupancyModel,
+    SpotMarket,
+    SpotPriceProcess,
+    requests_to_jobs,
+)
+from repro.core import DoverScheduler, EDFScheduler, VDoverScheduler
+from repro.experiments.runner import default_mc_runs
+from repro.sim import simulate
+
+
+def test_cloud_substrate(archive, benchmark):
+    runs = default_mc_runs(15)
+    # Offered primary load (24 VM-equivalents) exceeds the primary cap
+    # (15), so the residual spends most of its time at the floor with
+    # occasional spikes toward the full server — a cloud-shaped analogue
+    # of the paper's two-state process.
+    primary = PrimaryOccupancyModel(
+        total_capacity=16.0,
+        floor=1.0,
+        arrival_rate=6.0,
+        mean_holding=4.0,
+        vm_size=1.0,
+    )
+    price = SpotPriceProcess(floor=0.5, ceiling=3.5)
+    k = price.importance_ratio_bound
+    market = SpotMarket(price, request_rate=8.0, floor_capacity=primary.floor)
+    horizon = 120.0
+
+    policies = {
+        "V-Dover(beta=1+sqrt(k))": lambda: VDoverScheduler(k=k, beta=dover_beta(k)),
+        "V-Dover(beta=beta*)": lambda: VDoverScheduler(k=k),
+        "Dover(c=floor)": lambda: DoverScheduler(k=k, c_hat=primary.floor),
+        "Dover(c=total)": lambda: DoverScheduler(k=k, c_hat=primary.total_capacity),
+        "EDF": lambda: EDFScheduler(),
+    }
+    totals = {name: 0.0 for name in policies}
+    offered = 0.0
+    for seed in range(runs):
+        root = np.random.SeedSequence(seed)
+        req_rng, cap_rng = [np.random.default_rng(s) for s in root.spawn(2)]
+        requests, _, _ = market.generate_requests(horizon, req_rng)
+        jobs = requests_to_jobs(requests)
+        residual = primary.sample_residual(horizon * 2.0, cap_rng)
+        offered += sum(j.value for j in jobs)
+        for name, make in policies.items():
+            totals[name] += simulate(jobs, residual, make()).value
+
+    rows = [
+        [name, value / runs, 100.0 * value / offered]
+        for name, value in sorted(totals.items(), key=lambda kv: -kv[1])
+    ]
+    archive(
+        "cloud_substrate",
+        render_table(
+            ["policy", "mean revenue", "% of offered"],
+            rows,
+            title=(
+                f"Cloud substrate — spot-market revenue on primary-residual "
+                f"capacity (n={runs} runs, k={k:g})"
+            ),
+        ),
+    )
+
+    best_dover = max(totals["Dover(c=floor)"], totals["Dover(c=total)"])
+    best_vdover = max(
+        totals["V-Dover(beta=1+sqrt(k))"], totals["V-Dover(beta=beta*)"]
+    )
+    assert best_vdover >= best_dover - 1e-9
+    # The conservative-estimate family must dominate the optimistic anchor
+    # and EDF in the floor-bound regime.
+    assert best_vdover > totals["Dover(c=total)"]
+    assert best_vdover > totals["EDF"]
+
+    requests, _, _ = market.generate_requests(horizon, np.random.default_rng(0))
+    jobs = requests_to_jobs(requests)
+    residual = primary.sample_residual(horizon * 2.0, np.random.default_rng(1))
+    benchmark(
+        lambda: simulate(jobs, residual, VDoverScheduler(k=k, beta=dover_beta(k))).value
+    )

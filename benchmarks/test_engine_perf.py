@@ -1,0 +1,62 @@
+"""Kernel microbenchmarks: simulation throughput and queue operations.
+
+Not a paper artifact — these watch the substrate's performance so
+experiment-scale regressions are caught where they start (the guides'
+"profile before optimizing" loop needs a baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capacity import TwoStateMarkovCapacity
+from repro.core import EDFScheduler, VDoverScheduler
+from repro.sim import Job, JobQueue, edf_key, simulate
+from repro.workload import PoissonWorkload
+
+
+@pytest.fixture(scope="module")
+def paper_instance():
+    lam, horizon = 6.0, 2000.0 / 6.0
+    jobs = PoissonWorkload(lam=lam, horizon=horizon).generate(7)
+    return jobs, horizon
+
+
+def test_perf_edf_full_scale(paper_instance, benchmark):
+    """EDF over a full paper-scale instance (~2000 jobs)."""
+    jobs, horizon = paper_instance
+
+    def run():
+        capacity = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=horizon / 4, rng=3)
+        return simulate(jobs, capacity, EDFScheduler()).value
+
+    benchmark(run)
+
+
+def test_perf_vdover_full_scale(paper_instance, benchmark):
+    """V-Dover over a full paper-scale instance (~2000 jobs)."""
+    jobs, horizon = paper_instance
+
+    def run():
+        capacity = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=horizon / 4, rng=3)
+        return simulate(jobs, capacity, VDoverScheduler(k=7.0)).value
+
+    benchmark(run)
+
+
+def test_perf_queue_churn(benchmark):
+    """Insert/dequeue/remove churn on the scheduler queue (10k ops)."""
+    jobs = [Job(i, 0.0, 1.0, float(i % 97 + 1), 1.0) for i in range(1000)]
+
+    def churn():
+        q = JobQueue(edf_key)
+        for job in jobs:
+            q.insert(job)
+        for job in jobs[::2]:
+            q.remove(job)
+        drained = 0
+        while q:
+            q.dequeue()
+            drained += 1
+        return drained
+
+    assert benchmark(churn) == 500

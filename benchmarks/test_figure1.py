@@ -1,0 +1,91 @@
+"""E2 — reproduce the paper's Figure 1 (value vs time, λ = 6, 4 panels).
+
+Regenerates the four cumulative-value trajectories (V-Dover vs Dover(ĉ)
+for ĉ ∈ {1, 10.5, 24.5, 35}) on one seeded instance per panel and asserts
+the figure's visual signatures:
+
+* V-Dover ends at or above Dover in every panel;
+* panel ĉ=1: the two trajectories coincide during low-capacity stretches
+  (V-Dover reduces to Dover at the conservative constant) and V-Dover
+  gains during high-capacity stretches;
+* panels with large ĉ: Dover bleeds value during low-capacity stretches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import expected_jobs
+from repro.experiments import Figure1Config, run_figure1
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return run_figure1(
+        Figure1Config(lam=6.0, expected_jobs=expected_jobs(), seed=1106)
+    )
+
+
+def _lead_delta_over(panel, lo, hi):
+    """V-Dover's lead gained between times lo and hi."""
+    leads = panel.lead_series()
+
+    def lead_at(t):
+        val = 0.0
+        for when, lead in leads:
+            if when <= t:
+                val = lead
+            else:
+                break
+        return val
+
+    return lead_at(hi) - lead_at(lo)
+
+
+def test_figure1_reproduction(figure1, archive, benchmark):
+    archive("figure1", figure1.render())
+
+    for panel in figure1.panels:
+        assert panel.vdover_final >= panel.dover_final - 1e-9, (
+            f"panel c_hat={panel.c_hat}: Dover ended above V-Dover"
+        )
+
+    # Panel ĉ = 1: V-Dover's lead must grow (weakly) across high-capacity
+    # stretches — the supplement jobs ride the spike (paper Fig. 1(a)).
+    panel_low = figure1.panels[0]
+    assert panel_low.c_hat == 1.0
+    high_gain = sum(
+        _lead_delta_over(panel_low, start, end)
+        for start, end, rate in panel_low.capacity_path
+        if rate > 1.0
+    )
+    low_gain = sum(
+        _lead_delta_over(panel_low, start, end)
+        for start, end, rate in panel_low.capacity_path
+        if rate == 1.0
+    )
+    assert high_gain >= low_gain - 1e-9, (
+        "with c_hat=1 the V-Dover advantage should come from the "
+        "high-capacity stretches"
+    )
+
+    # Panels with overestimating ĉ: Dover must fall behind during
+    # low-capacity stretches (paper Fig. 1(b)-(d)).
+    for panel in figure1.panels[1:]:
+        low_stretch_gain = sum(
+            _lead_delta_over(panel, start, end)
+            for start, end, rate in panel.capacity_path
+            if rate == 1.0
+        )
+        assert low_stretch_gain >= -1e-9, (
+            f"panel c_hat={panel.c_hat}: V-Dover should not lose ground "
+            "while the capacity sits at the floor"
+        )
+
+    benchmark.pedantic(
+        lambda: run_figure1(
+            Figure1Config(lam=6.0, expected_jobs=min(500.0, expected_jobs()), seed=1)
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,79 @@
+"""E10 — empirical verification of Lemma 1 (the analysis workhorse).
+
+Lemma 1 bounds the capacity available in each *regular interval* by the
+value V-Dover banked in it: ``∫ c <= regval + clval/(β − 1)``.  The lemma
+is the step that converts capacity into value in the competitive-ratio
+proof; here it is checked interval-by-interval over many Monte-Carlo runs
+of the paper's workload, and the tightness of the bound is reported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.capacity import TwoStateMarkovCapacity
+from repro.core import VDoverScheduler
+from repro.experiments.runner import default_mc_runs
+from repro.sim import simulate
+from repro.workload import PoissonWorkload
+
+
+def test_lemma1_empirical(archive, benchmark):
+    runs = default_mc_runs(30)
+    rows = []
+    grand_total = 0
+    for lam in (4.0, 8.0, 12.0):
+        H = 400.0 / lam
+        slacks = []
+        n_intervals = 0
+        for seed in range(runs):
+            jobs = PoissonWorkload(lam=lam, horizon=H).generate(seed)
+            capacity = TwoStateMarkovCapacity(
+                1.0, 35.0, mean_sojourn=H / 4, rng=seed + 7_000
+            )
+            sched = VDoverScheduler(k=7.0)
+            simulate(jobs, capacity, sched)
+            for iv in sched.regular_intervals:
+                work = capacity.integrate(iv.start, iv.end)
+                bound = iv.lemma1_bound(sched.beta)
+                assert work <= bound + 1e-6, (
+                    f"Lemma 1 violated (lam={lam}, seed={seed}): "
+                    f"work={work}, bound={bound}"
+                )
+                if bound > 0:
+                    slacks.append(work / bound)
+                n_intervals += 1
+        grand_total += n_intervals
+        rows.append(
+            [
+                f"{lam:g}",
+                n_intervals,
+                float(np.mean(slacks)),
+                float(np.quantile(slacks, 0.95)),
+                float(np.max(slacks)),
+            ]
+        )
+
+    archive(
+        "lemma1",
+        render_table(
+            ["lambda", "intervals", "mean work/bound", "p95", "max"],
+            rows,
+            title=(
+                f"Lemma 1 — interval workload vs value bound over "
+                f"{grand_total} regular intervals (must stay <= 1)"
+            ),
+        ),
+    )
+
+    jobs = PoissonWorkload(lam=8.0, horizon=50.0).generate(0)
+    capacity = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=12.5, rng=1)
+
+    def run_and_collect():
+        sched = VDoverScheduler(k=7.0)
+        simulate(jobs, capacity, sched)
+        return len(sched.regular_intervals)
+
+    benchmark(run_and_collect)

@@ -1,0 +1,56 @@
+"""E4 — Theorem 3(3): without individual admissibility, no positive ratio.
+
+Runs the adversarial family I_n for growing n and prints the measured
+online/offline ratio; the series must decay toward zero (≈ 2/n for this
+construction).  EDF and Dover are run alongside V-Dover to show the
+impossibility is not an artifact of one policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import (
+    DoverScheduler,
+    EDFScheduler,
+    VDoverScheduler,
+    greedy_admission,
+)
+from repro.sim import simulate
+from repro.workload import inadmissible_trap
+
+
+def test_theorem3_lower_bound(archive, benchmark):
+    sizes = (4, 8, 16, 32, 64)
+    rows = []
+    vdover_ratios = []
+    for n in sizes:
+        jobs, capacity = inadmissible_trap(n)
+        offline, _ = greedy_admission(jobs, capacity)
+        k = float(n * n)
+        vd = simulate(jobs, capacity, VDoverScheduler(k=k)).value / offline
+        dv = simulate(jobs, capacity, DoverScheduler(k=k, c_hat=1.0)).value / offline
+        ed = simulate(jobs, capacity, EDFScheduler()).value / offline
+        vdover_ratios.append(vd)
+        rows.append([n, vd, dv, ed, 2.0 / (n + 1)])
+
+    archive(
+        "theorem3_lower_bound",
+        render_table(
+            ["n", "V-Dover ratio", "Dover ratio", "EDF ratio", "~2/(n+1)"],
+            rows,
+            title=(
+                "Theorem 3(3) — competitive ratio without individual "
+                "admissibility (adversarial family I_n)"
+            ),
+        ),
+    )
+
+    assert all(a > b for a, b in zip(vdover_ratios, vdover_ratios[1:])), (
+        "ratio must decay monotonically in n"
+    )
+    assert vdover_ratios[-1] < 0.05
+
+    jobs, capacity = inadmissible_trap(32)
+    benchmark(lambda: simulate(jobs, capacity, VDoverScheduler(k=1024.0)).value)

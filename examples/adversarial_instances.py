@@ -1,0 +1,91 @@
+"""The negative results, demonstrated on concrete instances.
+
+Two adversarial families:
+
+1. **Locke's overload trap** — EDF starves a big-value job for a stream of
+   near-worthless earlier-deadline shorts; the Dover family triages by
+   value and keeps the prize (why value-aware overload scheduling exists);
+2. **The Theorem 3(3) family** — one individually *inadmissible*
+   high-value job poisons the instance: any algorithm that trusts value
+   commits to it, the capacity never materialises, and the measured
+   competitive ratio decays like 1/n.  Remove the poison job and the same
+   stream is fully harvested.
+
+Run:  python examples/adversarial_instances.py
+"""
+
+from repro.analysis import render_table
+from repro.core import (
+    EDFScheduler,
+    VDoverScheduler,
+    greedy_admission,
+)
+from repro.sim import simulate, total_value
+from repro.workload import inadmissible_trap, locke_trap
+
+
+def locke_demo() -> None:
+    n = 12
+    jobs, capacity = locke_trap(n)
+    offered = total_value(jobs)
+    edf = simulate(jobs, capacity, EDFScheduler(), validate=True)
+    vdover = simulate(jobs, capacity, VDoverScheduler(k=300.0), validate=True)
+    print(
+        f"Locke trap (1 big job worth {jobs[0].value:g} + {n - 1} shorts "
+        f"worth {jobs[1].value:g} each, offered {offered:.2f}):"
+    )
+    print(
+        render_table(
+            ["policy", "value", "completed big job?"],
+            [
+                ["EDF", edf.value, 0 in edf.completed_ids],
+                ["V-Dover", vdover.value, 0 in vdover.completed_ids],
+            ],
+            float_fmt="{:.2f}",
+        )
+    )
+    print(
+        "EDF chases deadlines and loses the prize; V-Dover's zero-laxity "
+        "value test refuses the shorts.\n"
+    )
+
+
+def inadmissibility_demo() -> None:
+    print(
+        "Theorem 3(3): one job with d - r < p/c̲ (completable only if the "
+        "capacity runs high, which it never does) destroys every online "
+        "guarantee:"
+    )
+    rows = []
+    for n in (4, 8, 16, 32, 64):
+        jobs, capacity = inadmissible_trap(n)
+        online = simulate(jobs, capacity, VDoverScheduler(k=float(n * n)))
+        offline, _ = greedy_admission(jobs, capacity)
+        clean = [j for j in jobs if j.is_individually_admissible(capacity.lower)]
+        healed = simulate(clean, capacity, VDoverScheduler(k=7.0))
+        rows.append(
+            [
+                n,
+                online.value,
+                offline,
+                online.value / offline,
+                f"{healed.value:g}/{total_value(clean):g}",
+            ]
+        )
+    print(
+        render_table(
+            ["n", "online", "offline", "ratio", "online w/o poison job"],
+            rows,
+            float_fmt="{:.3f}",
+        )
+    )
+    print(
+        "The ratio decays like 1/n — and removing the single inadmissible "
+        "job restores full harvest.  Individual admissibility is exactly "
+        "the price of a positive competitive ratio."
+    )
+
+
+if __name__ == "__main__":
+    locke_demo()
+    inadmissibility_demo()

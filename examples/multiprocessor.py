@@ -1,0 +1,100 @@
+"""Multiprocessor scheduling: migration vs partitioned value triage.
+
+Four servers, each with its own independently fluctuating residual
+capacity.  Two philosophies compete on one secondary-job stream:
+
+* global scheduling (one pool, free migration) — work chases whichever
+  server is currently fast;
+* partitioned scheduling (route once, V-Dover locally) — no migration,
+  but overload-safe value triage per server.
+
+Sweep the load and watch the crossover: migration wins while capacity is
+the bottleneck you can dodge; triage wins once overload makes *choosing*
+jobs matter more than *placing* them.
+
+Run:  python examples/multiprocessor.py [runs]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.capacity import TwoStateMarkovCapacity
+from repro.cloud import LeastWorkDispatcher
+from repro.core import VDoverScheduler
+from repro.multi import (
+    GlobalDensityScheduler,
+    GlobalEDFScheduler,
+    GlobalVDoverScheduler,
+    PartitionedScheduler,
+    simulate_multi,
+)
+from repro.workload import PoissonWorkload
+
+M = 4
+
+
+def policies():
+    return [
+        ("Global-EDF", lambda: GlobalEDFScheduler()),
+        ("Global-Density", lambda: GlobalDensityScheduler()),
+        ("Global-V-Dover", lambda: GlobalVDoverScheduler(k=7.0)),
+        (
+            "Partitioned V-Dover",
+            lambda: PartitionedScheduler(
+                LeastWorkDispatcher(), lambda: VDoverScheduler(k=7.0)
+            ),
+        ),
+    ]
+
+
+def main(runs: int = 6) -> None:
+    lambdas = (8.0, 16.0, 24.0, 32.0, 40.0)
+    print(
+        f"{M} servers, capacity CTMC over {{1, 10}} per server "
+        f"(independent paths), k = 7, {runs} Monte-Carlo runs per point\n"
+    )
+    rows = []
+    for lam in lambdas:
+        horizon = 1200.0 / lam
+        captured = {name: [] for name, _ in policies()}
+        migrations = []
+        for seed in range(runs):
+            jobs = PoissonWorkload(lam=lam, horizon=horizon).generate(seed)
+            generated = sum(j.value for j in jobs)
+            for name, make in policies():
+                caps = [
+                    TwoStateMarkovCapacity(
+                        1.0, 10.0, mean_sojourn=horizon / 4, rng=seed * 10 + i
+                    )
+                    for i in range(M)
+                ]
+                result = simulate_multi(jobs, caps, make())
+                captured[name].append(100.0 * result.value / generated)
+                if name == "Global-EDF":
+                    migrations.append(result.migrations() / max(1, len(jobs)))
+        row = [f"{lam:g}"]
+        row += [f"{np.mean(captured[name]):6.2f}" for name, _ in policies()]
+        row.append(f"{np.mean(migrations):.2f}")
+        rows.append(row)
+
+    print(
+        render_table(
+            ["lambda"]
+            + [name for name, _ in policies()]
+            + ["G-EDF migrations/job"],
+            rows,
+            title="% of offered value captured",
+        )
+    )
+    print(
+        "\nReading: migration lets global policies ride whichever server is "
+        "currently fast;\nunder heavy overload value-blind Global-EDF "
+        "collapses below partitioned V-Dover —\nGlobal-V-Dover (this library's "
+        "extension) dominates both parents."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 6)

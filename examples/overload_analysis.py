@@ -1,0 +1,56 @@
+"""Overload analysis: how each policy degrades as load grows.
+
+Sweeps the arrival rate over the paper's workload (Section IV setup at
+reduced scale) and prints the fraction of offered value each policy
+captures, alongside the theoretical worst-case guarantees for context.
+This is the extended version of the paper's Table I with the full
+scheduler zoo — it shows *why* the Dover family exists: the classical
+policies fall off a cliff once the system overloads.
+
+Run:  python examples/overload_analysis.py [mc_runs]
+"""
+
+import sys
+
+from repro.analysis import render_table
+from repro.analysis.theory import (
+    varying_capacity_upper_bound,
+    vdover_competitive_ratio,
+)
+from repro.experiments import run_policy_sweep
+
+
+def main(mc_runs: int = 20) -> None:
+    lambdas = (1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0)
+    print(
+        f"Sweeping arrival rate over {lambdas}, {mc_runs} Monte-Carlo runs "
+        "per point (paper setup: k=7, capacity CTMC over {1, 35})...\n"
+    )
+    sweep = run_policy_sweep(
+        lambdas=lambdas, n_runs=mc_runs, expected_jobs=400.0, seed=123
+    )
+
+    names = list(sweep.percents)
+    headers = ["lambda"] + names + ["winner"]
+    rows = []
+    for i, lam in enumerate(sweep.swept_values):
+        row = [f"{lam:g}"]
+        row += [f"{sweep.percents[n][i].mean:6.2f}" for n in names]
+        row.append(sweep.best_at(i))
+        rows.append(row)
+    print(render_table(headers, rows, title="% of offered value captured"))
+
+    k, delta = 7.0, 35.0
+    print(
+        "\nTheory for context (worst case, not averages):"
+        f"\n  no online algorithm can guarantee more than "
+        f"{100 * varying_capacity_upper_bound(k):.2f}%  (Theorem 3(1))"
+        f"\n  V-Dover guarantees at least "
+        f"{100 * vdover_competitive_ratio(k, delta):.3f}%  (Theorem 3(2))"
+        "\nAverage performance sits far above both — competitive ratios "
+        "price in an adversary the Poisson workload never plays."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20)

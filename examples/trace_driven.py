@@ -1,0 +1,96 @@
+"""Trace-driven scheduling: SWF logs in, schedules and Gantt charts out.
+
+Real clusters publish job logs in the Standard Workload Format (Parallel
+Workloads Archive).  This example synthesises a small SWF fragment (no
+network access here — with connectivity you would download e.g. the
+LANL CM-5 log), imports it as a secondary-job instance, runs the scheduler
+zoo on a primary-residual capacity, draws the V-Dover schedule, and saves
+the instance for replay with ``repro-sched simulate``.
+
+Run:  python examples/trace_driven.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.capacity import PiecewiseConstantCapacity
+from repro.cloud import PrimaryOccupancyModel
+from repro.core import DoverScheduler, EDFScheduler, VDoverScheduler
+from repro.sim import render_gantt, simulate
+from repro.workload import save_instance, swf_to_jobs
+
+# A hand-written SWF fragment (fields: id submit wait run procs ...).
+SWF_FRAGMENT = """\
+; Synthetic SWF fragment (format: Parallel Workloads Archive v2.2)
+; UnixStartTime: 0
+ 1    0  0  240  2  0 0 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+ 2   60  0  120  4  0 0 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+ 3  180  0  600  1  0 0 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+ 4  300  0   -1  2  0 0 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+ 5  420  0  300  2  0 0 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+ 6  540  0   90  8  0 0 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+ 7  700  0  180  2  0 0 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+ 8  800  0  240  3  0 0 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+"""
+
+
+def main() -> None:
+    # Import: node-seconds -> capacity units (scaled down to this demo's
+    # toy server), deadlines/values synthesised reproducibly.
+    report = swf_to_jobs(
+        SWF_FRAGMENT,
+        c_lower=1.0,
+        work_scale=1 / 120.0,     # 120 node-seconds = 1 capacity-unit-hour
+        time_scale=1 / 60.0,      # minutes
+        slack_range=(1.2, 2.5),
+        density_range=(1.0, 7.0),
+        rng=7,
+    )
+    jobs = list(report.jobs)
+    print(
+        f"imported {report.n_parsed} jobs from {report.n_lines} SWF records "
+        f"({report.n_skipped} skipped: unknown runtime/procs)"
+    )
+
+    # Residual capacity from a primary-occupancy model.
+    primary = PrimaryOccupancyModel(
+        total_capacity=6.0, floor=1.0, arrival_rate=1.0, mean_holding=3.0
+    )
+    horizon = max(j.deadline for j in jobs) + 1.0
+    capacity = primary.sample_residual(horizon, rng=np.random.default_rng(11))
+
+    rows = []
+    for scheduler in (VDoverScheduler(k=7.0), DoverScheduler(k=7.0, c_hat=1.0), EDFScheduler()):
+        result = simulate(jobs, capacity, scheduler, validate=True)
+        rows.append(
+            [scheduler.name, result.value, result.n_completed, f"{result.wasted_work:.2f}"]
+        )
+    print()
+    print(
+        render_table(
+            ["scheduler", "value", "completed", "wasted work"],
+            rows,
+            title="Trace-driven comparison",
+            float_fmt="{:.2f}",
+        )
+    )
+
+    result = simulate(jobs, capacity, VDoverScheduler(k=7.0), validate=True)
+    print("\nV-Dover schedule:")
+    print(render_gantt(result.trace, jobs, capacity=capacity, width=68))
+
+    # Persist for the CLI: repro-sched simulate <file> --gantt
+    out = Path(tempfile.gettempdir()) / "swf_instance.json"
+    # save_instance wants a concrete piecewise capacity: that is what the
+    # residual already is.
+    assert isinstance(capacity, PiecewiseConstantCapacity)
+    save_instance(out, jobs, capacity)
+    print(f"\ninstance saved to {out} — replay with:")
+    print(f"  repro-sched simulate {out} --scheduler vdover --gantt")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy shim: this offline environment has no `wheel` package, so PEP-660
+editable installs fail; `pip install -e . --no-build-isolation --no-use-pep517`
+goes through this file instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""repro — reproduction of *Secondary Job Scheduling in the Cloud with
+Deadlines* (Chen, He, Wong, Lee, Tong; IPPS 2011).
+
+Public API tour:
+
+* :mod:`repro.sim` — discrete-event kernel: :class:`~repro.sim.Job`,
+  :func:`~repro.sim.simulate`, traces, metrics;
+* :mod:`repro.capacity` — time-varying capacity models (the paper's
+  ``C(c̲, c̄)``), incl. the Section-IV two-state CTMC;
+* :mod:`repro.core` — the schedulers: :class:`~repro.core.VDoverScheduler`
+  (the contribution), :class:`~repro.core.DoverScheduler`, EDF, LLF,
+  greedy baselines; the offline stretch transformation and exact optimum;
+* :mod:`repro.workload` — stochastic generators and the adversarial
+  instance families of the negative results;
+* :mod:`repro.analysis` — competitive-ratio formulas and empirical
+  estimators, Monte-Carlo statistics;
+* :mod:`repro.cloud` — the motivating substrate: primary-job occupancy,
+  spot market, servers, cluster dispatch;
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quickstart::
+
+    from repro import Job, simulate, VDoverScheduler, TwoStateMarkovCapacity
+
+    jobs = [Job(0, release=0.0, workload=2.0, deadline=4.0, value=5.0)]
+    capacity = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=10.0, rng=0)
+    result = simulate(jobs, capacity, VDoverScheduler(k=7.0))
+    print(result.value, result.completed_ids)
+"""
+
+from repro.capacity import (
+    CapacityFunction,
+    ConstantCapacity,
+    MarkovModulatedCapacity,
+    PiecewiseConstantCapacity,
+    SinusoidalCapacity,
+    TraceCapacity,
+    TwoStateMarkovCapacity,
+)
+from repro.core import (
+    DoverScheduler,
+    EDFScheduler,
+    FCFSScheduler,
+    GreedyDensityScheduler,
+    GreedyValueScheduler,
+    LLFScheduler,
+    StretchTransform,
+    VDoverScheduler,
+    is_feasible,
+    is_underloaded,
+    optimal_offline_value,
+)
+from repro.errors import (
+    AnalysisError,
+    CapacityError,
+    InvalidInstanceError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.sim import (
+    Job,
+    JobStatus,
+    Scheduler,
+    SimulationEngine,
+    SimulationResult,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # capacity
+    "CapacityFunction",
+    "ConstantCapacity",
+    "MarkovModulatedCapacity",
+    "PiecewiseConstantCapacity",
+    "SinusoidalCapacity",
+    "TraceCapacity",
+    "TwoStateMarkovCapacity",
+    # core
+    "DoverScheduler",
+    "EDFScheduler",
+    "FCFSScheduler",
+    "GreedyDensityScheduler",
+    "GreedyValueScheduler",
+    "LLFScheduler",
+    "StretchTransform",
+    "VDoverScheduler",
+    "is_feasible",
+    "is_underloaded",
+    "optimal_offline_value",
+    # errors
+    "AnalysisError",
+    "CapacityError",
+    "InvalidInstanceError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    # sim
+    "Job",
+    "JobStatus",
+    "Scheduler",
+    "SimulationEngine",
+    "SimulationResult",
+    "simulate",
+]

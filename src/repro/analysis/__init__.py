@@ -1,0 +1,38 @@
+"""Analysis layer: theoretical formulas, empirical ratios, statistics,
+table rendering."""
+
+from repro.analysis.competitive import RatioEstimate, empirical_ratio, worst_case_ratio
+from repro.analysis.intervals import Lemma1Report, lemma1_report
+from repro.analysis.plots import render_line_chart
+from repro.analysis.stats import Summary, paired_gain_percent, summarize
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.theory import (
+    asymptotic_optimality_gap,
+    dover_beta,
+    dover_competitive_ratio,
+    f_overload,
+    optimal_beta,
+    varying_capacity_upper_bound,
+    vdover_competitive_ratio,
+)
+
+__all__ = [
+    "RatioEstimate",
+    "Lemma1Report",
+    "lemma1_report",
+    "empirical_ratio",
+    "worst_case_ratio",
+    "Summary",
+    "paired_gain_percent",
+    "summarize",
+    "render_series",
+    "render_line_chart",
+    "render_table",
+    "asymptotic_optimality_gap",
+    "dover_beta",
+    "dover_competitive_ratio",
+    "f_overload",
+    "optimal_beta",
+    "varying_capacity_upper_bound",
+    "vdover_competitive_ratio",
+]

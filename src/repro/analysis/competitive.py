@@ -1,0 +1,96 @@
+"""Empirical competitive-ratio estimation.
+
+The competitive ratio compares an online algorithm against the clairvoyant
+optimum over a *set* of instances (Definition 1: the worst case).  Exactly
+computing the offline optimum is NP-hard, so three reference levels are
+supported, in decreasing tightness and cost:
+
+* ``"optimal"`` — exact branch-and-bound (small instances only);
+* ``"greedy"``  — clairvoyant greedy admission (lower-bounds the optimum,
+  so the measured ratio *upper*-bounds the true ratio);
+* ``"generated"`` — total generated value (upper-bounds the optimum, so
+  the measured ratio *lower*-bounds the true ratio; this is the paper's
+  Table-I normalisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.capacity.base import CapacityFunction
+from repro.core.offline import greedy_admission, optimal_offline_value
+from repro.errors import AnalysisError
+from repro.sim.engine import simulate
+from repro.sim.job import Job, total_value
+from repro.sim.scheduler import Scheduler
+
+__all__ = ["RatioEstimate", "empirical_ratio", "worst_case_ratio"]
+
+
+@dataclass(frozen=True)
+class RatioEstimate:
+    """One instance's online-vs-reference comparison."""
+
+    online_value: float
+    reference_value: float
+    reference_kind: str
+
+    @property
+    def ratio(self) -> float:
+        if self.reference_value <= 0.0:
+            # Nothing to gain: by convention the ratio is 1 (the online
+            # algorithm trivially matched the best possible, zero).
+            return 1.0
+        return self.online_value / self.reference_value
+
+
+def _reference_value(
+    jobs: Sequence[Job], capacity: CapacityFunction, kind: str, max_jobs: int
+) -> float:
+    if kind == "optimal":
+        return optimal_offline_value(jobs, capacity, max_jobs=max_jobs)
+    if kind == "greedy":
+        value, _ = greedy_admission(jobs, capacity)
+        return value
+    if kind == "generated":
+        return total_value(jobs)
+    raise AnalysisError(f"unknown reference kind: {kind!r}")
+
+
+def empirical_ratio(
+    jobs: Sequence[Job],
+    capacity: CapacityFunction,
+    scheduler: Scheduler,
+    *,
+    reference: str = "greedy",
+    max_jobs: int = 20,
+) -> RatioEstimate:
+    """Measure one instance: run the scheduler, compare to the reference."""
+    result = simulate(jobs, capacity, scheduler)
+    ref = _reference_value(jobs, capacity, reference, max_jobs)
+    return RatioEstimate(
+        online_value=result.value, reference_value=ref, reference_kind=reference
+    )
+
+
+def worst_case_ratio(
+    instances: Iterable[tuple[Sequence[Job], CapacityFunction]],
+    scheduler: Scheduler,
+    *,
+    reference: str = "greedy",
+    max_jobs: int = 20,
+) -> float:
+    """Minimum empirical ratio over a family of instances — the sample
+    analogue of Definition 1's infimum."""
+    worst = float("inf")
+    seen = False
+    for jobs, capacity in instances:
+        est = empirical_ratio(
+            jobs, capacity, scheduler, reference=reference, max_jobs=max_jobs
+        )
+        worst = min(worst, est.ratio)
+        seen = True
+    if not seen:
+        raise AnalysisError("worst_case_ratio over an empty instance family")
+    return worst

@@ -1,0 +1,92 @@
+"""Regular-interval analysis: empirical Lemma 1 reports.
+
+Lemma 1 is the paper's capacity-to-value conversion: for every regular
+interval ``I_R`` produced by V-Dover,
+
+    ∫_{I_R} c(t) dt  <=  regval(I_R) + clval(I_R) / (β − 1).
+
+:func:`lemma1_report` evaluates the bound interval-by-interval for a
+scheduler that just finished a run, returning violation and tightness
+statistics.  Used by the E10 benchmark and available to users who want to
+sanity-check the machinery on their own workloads (a violation indicates
+either an implementation divergence from the analyzed dynamics or a
+workload whose minimum value density is below 1 — the lemma is stated
+under the paper's density normalisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.capacity.base import CapacityFunction
+from repro.core.dover_family import DoverFamilyScheduler, RegularInterval
+from repro.errors import AnalysisError
+
+__all__ = ["Lemma1Report", "lemma1_report"]
+
+
+@dataclass(frozen=True)
+class Lemma1Report:
+    """Outcome of checking Lemma 1 over one run's regular intervals."""
+
+    n_intervals: int
+    n_violations: int
+    #: work/bound per interval (1.0 = tight; > 1.0 = violated)
+    tightness: tuple[float, ...]
+    violations: tuple[RegularInterval, ...]
+
+    @property
+    def holds(self) -> bool:
+        return self.n_violations == 0
+
+    @property
+    def mean_tightness(self) -> float:
+        return float(np.mean(self.tightness)) if self.tightness else 0.0
+
+    @property
+    def max_tightness(self) -> float:
+        return float(np.max(self.tightness)) if self.tightness else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "holds" if self.holds else f"VIOLATED x{self.n_violations}"
+        return (
+            f"Lemma 1 {status} over {self.n_intervals} intervals "
+            f"(mean tightness {self.mean_tightness:.3f}, "
+            f"max {self.max_tightness:.4f})"
+        )
+
+
+def lemma1_report(
+    scheduler: DoverFamilyScheduler,
+    capacity: CapacityFunction,
+    *,
+    tol: float = 1e-6,
+) -> Lemma1Report:
+    """Check Lemma 1 on the scheduler's last run against ``capacity``.
+
+    The scheduler must have completed a simulation (its
+    ``regular_intervals`` reflect the most recent ``bind``/run) and
+    ``capacity`` must be the same trajectory object the run used.
+    """
+    beta = getattr(scheduler, "_beta", None)
+    if beta is None or beta <= 1.0:
+        raise AnalysisError("scheduler has no valid beta; has it been run?")
+    intervals = scheduler.regular_intervals
+    tightness: List[float] = []
+    violations: List[RegularInterval] = []
+    for iv in intervals:
+        work = capacity.integrate(iv.start, iv.end)
+        bound = iv.lemma1_bound(beta)
+        if bound > 0.0:
+            tightness.append(work / bound)
+        if work > bound + tol:
+            violations.append(iv)
+    return Lemma1Report(
+        n_intervals=len(intervals),
+        n_violations=len(violations),
+        tightness=tuple(tightness),
+        violations=tuple(violations),
+    )

@@ -1,0 +1,109 @@
+"""Terminal line charts — Figure 1 without a plotting stack.
+
+Renders one or more ``(x, y)`` series onto a character grid with per-series
+markers, axis labels and a legend.  Series are treated as step functions
+(the natural reading for cumulative-value curves) and sampled per column.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = ["render_line_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _step_at(series: Sequence[tuple[float, float]], x: float) -> float:
+    """Step-function value of the series at x (last point at or before x)."""
+    val = series[0][1]
+    for px, py in series:
+        if px <= x:
+            val = py
+        else:
+            break
+    return val
+
+
+def render_line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 70,
+    height: int = 18,
+    title: str | None = None,
+    x_label: str = "t",
+    y_label: str = "value",
+) -> str:
+    """Render step-function series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Name -> list of (x, y) points, each non-empty with ascending x.
+    width, height:
+        Plot-area size in characters (axes and legend are extra).
+    """
+    if not series:
+        raise AnalysisError("no series to plot")
+    if width < 10 or height < 4:
+        raise AnalysisError(f"chart too small: {width}x{height}")
+    for name, pts in series.items():
+        if not pts:
+            raise AnalysisError(f"series {name!r} is empty")
+        xs = [x for x, _ in pts]
+        if xs != sorted(xs):
+            raise AnalysisError(f"series {name!r} has non-ascending x")
+
+    x_min = min(pts[0][0] for pts in series.values())
+    x_max = max(pts[-1][0] for pts in series.values())
+    y_min = 0.0
+    y_max = max(max(y for _, y in pts) for pts in series.values())
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for col in range(width):
+            x = x_min + (col + 0.5) * (x_max - x_min) / width
+            y = _step_at(pts, x)
+            frac = (y - y_min) / (y_max - y_min)
+            row = height - 1 - min(height - 1, max(0, int(round(frac * (height - 1)))))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+            elif grid[row][col] != marker:
+                grid[row][col] = "="  # overlap of different series
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_max:.4g}"
+    y_bot = f"{y_min:.4g}"
+    label_w = max(len(y_top), len(y_bot), len(y_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_top
+        elif i == height - 1:
+            label = y_bot
+        elif i == height // 2:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_w}} |{''.join(row)}")
+    lines.append(f"{'':>{label_w}} +{'-' * width}")
+    x_left = f"{x_min:.4g}"
+    x_right = f"{x_max:.4g}"
+    pad = width - len(x_left) - len(x_right) - len(x_label)
+    lines.append(
+        f"{'':>{label_w}}  {x_left}{' ' * (max(1, pad // 2))}{x_label}"
+        f"{' ' * (max(1, pad - pad // 2))}{x_right}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>{label_w}}  legend: {legend}   (= overlap)")
+    return "\n".join(lines)

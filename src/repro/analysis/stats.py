@@ -1,0 +1,72 @@
+"""Monte-Carlo aggregation: means, confidence intervals, paired gains.
+
+The paper's Table I reports percentages averaged over 800 Monte-Carlo runs.
+This module provides the small statistics layer the experiment harness uses
+on top of raw per-run metrics: summary statistics with normal-approximation
+confidence intervals, and *paired* comparisons (the V-Dover-vs-best-Dover
+"Gain" column compares the two algorithms on identical instances, so the
+paired estimator is the right one and much tighter than unpaired).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = ["Summary", "summarize", "paired_gain_percent"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of a Monte-Carlo sample."""
+
+    n: int
+    mean: float
+    std: float
+    ci_half_width: float  # 95% normal-approximation half width
+
+    @property
+    def ci(self) -> tuple[float, float]:
+        return (self.mean - self.ci_half_width, self.mean + self.ci_half_width)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4f} ± {self.ci_half_width:.4f} (n={self.n})"
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Mean, standard deviation and a 95% CI half-width for a sample."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot summarize an empty sample")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    half = 1.96 * std / math.sqrt(arr.size) if arr.size > 1 else 0.0
+    return Summary(n=int(arr.size), mean=mean, std=std, ci_half_width=half)
+
+
+def paired_gain_percent(
+    treatment: Sequence[float], baseline: Sequence[float]
+) -> Summary:
+    """Relative gain of treatment over baseline, in percent, computed on
+    the *mean* levels with a CI from the per-run paired differences.
+
+    Matches the paper's "Gain (%)" column:
+    ``100 · (mean(treatment) − mean(baseline)) / mean(baseline)``.
+    """
+    t = np.asarray(treatment, dtype=float)
+    b = np.asarray(baseline, dtype=float)
+    if t.size != b.size or t.size == 0:
+        raise AnalysisError(
+            f"paired samples must be equal-length and non-empty "
+            f"(got {t.size} and {b.size})"
+        )
+    base_mean = float(b.mean())
+    if base_mean <= 0.0:
+        raise AnalysisError("baseline mean must be positive for a relative gain")
+    diffs = 100.0 * (t - b) / base_mean
+    return summarize(diffs)

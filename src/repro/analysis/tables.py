@@ -1,0 +1,71 @@
+"""Plain-text table rendering for experiment reports.
+
+Benchmarks print the same rows the paper's tables report; this module owns
+the formatting so every harness produces consistent, diff-able output
+without pulling in a tabulation dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Floats go through ``float_fmt``; everything else through ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    series: Sequence[tuple[float, float]],
+    *,
+    name: str = "series",
+    max_points: int = 25,
+    x_label: str = "t",
+    y_label: str = "value",
+) -> str:
+    """Render an ``(x, y)`` series as a compact text listing, downsampled to
+    at most ``max_points`` (keeping the first and last points)."""
+    if not series:
+        return f"{name}: (empty)"
+    n = len(series)
+    if n <= max_points:
+        picks = list(range(n))
+    else:
+        step = (n - 1) / (max_points - 1)
+        picks = sorted({round(i * step) for i in range(max_points)})
+    lines = [f"{name} ({x_label} -> {y_label}):"]
+    for i in picks:
+        x, y = series[i]
+        lines.append(f"  {x:12.3f}  {y:12.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Closed-form theory from the paper: bounds, ``f(k, δ)``, optimal β.
+
+Everything here is pure arithmetic on the paper's stated results, used to
+
+* configure V-Dover's value threshold (``beta = 1 + sqrt(k / f(k, δ))``,
+  from the optimisation in the proof of Theorem 3(2));
+* draw the guarantee lines in the benchmark reports;
+* test the asymptotic-optimality claim (the achievable ratio over the upper
+  bound tends to 1 as ``k → ∞``).
+
+Notation: ``k`` is the importance-ratio bound (max/min value density over
+the input set, Definition 3); ``δ = c̄/c̲ > 1`` is the capacity-variation
+bound (Section II-A).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "f_overload",
+    "optimal_beta",
+    "vdover_competitive_ratio",
+    "varying_capacity_upper_bound",
+    "dover_competitive_ratio",
+    "dover_beta",
+    "asymptotic_optimality_gap",
+]
+
+
+def _check_k(k: float) -> None:
+    if k < 1.0:
+        raise AnalysisError(f"importance ratio bound must be >= 1, got {k!r}")
+
+
+def _check_delta(delta: float) -> None:
+    if delta <= 1.0:
+        raise AnalysisError(
+            f"f(k, δ) requires δ > 1 (got {delta!r}); for constant capacity "
+            "(δ = 1) use the Koren–Shasha results (dover_competitive_ratio)"
+        )
+
+
+def f_overload(k: float, delta: float) -> float:
+    """The paper's ``f(k, δ) = 2δ + 2 + log(δk) / log(δ/(δ−1))``.
+
+    This is the net-gain amplification factor of Lemma 2 (how much value the
+    clairvoyant adversary can extract per unit of V-Dover's regular value in
+    one regular interval).
+    """
+    _check_k(k)
+    _check_delta(delta)
+    return 2.0 * delta + 2.0 + math.log(delta * k) / math.log(delta / (delta - 1.0))
+
+
+def optimal_beta(k: float, delta: float) -> float:
+    """The threshold minimising the Theorem-3(2) bound:
+    ``β* = 1 + sqrt(k / f(k, δ))`` (Section III-G)."""
+    return 1.0 + math.sqrt(k / f_overload(k, delta))
+
+
+def vdover_competitive_ratio(k: float, delta: float) -> float:
+    """Theorem 3(2): the ratio V-Dover achieves under individual
+    admissibility, ``1 / ((√k + √f(k,δ))² + 1)``."""
+    return 1.0 / ((math.sqrt(k) + math.sqrt(f_overload(k, delta))) ** 2 + 1.0)
+
+
+def varying_capacity_upper_bound(k: float) -> float:
+    """Theorem 3(1): no online algorithm beats ``1 / (1 + √k)²`` even with
+    varying capacity (the constant-capacity adversary is a special case of
+    ``C(c̲, c̄)``, and enlarging the input set can only hurt)."""
+    _check_k(k)
+    return 1.0 / (1.0 + math.sqrt(k)) ** 2
+
+
+def dover_competitive_ratio(k: float) -> float:
+    """Theorem 1(2): Dover's (optimal) ratio for constant capacity,
+    ``1 / (1 + √k)²``."""
+    return varying_capacity_upper_bound(k)
+
+
+def dover_beta(k: float) -> float:
+    """Koren–Shasha's value threshold ``1 + √k`` for Dover."""
+    _check_k(k)
+    return 1.0 + math.sqrt(k)
+
+
+def asymptotic_optimality_gap(k: float, delta: float) -> float:
+    """The ratio (achievable Thm 3(2)) / (upper bound Thm 3(1)) — the paper
+    argues this tends to 1 as ``k → ∞`` for fixed δ, i.e. V-Dover is
+    asymptotically optimal."""
+    return vdover_competitive_ratio(k, delta) / varying_capacity_upper_bound(k)

@@ -1,0 +1,35 @@
+"""Time-varying processor-capacity models (the paper's ``C(c̲, c̄)``).
+
+The scheduler sees only the declared bounds and the past of the trajectory;
+the simulation engine is clairvoyant.  See :class:`CapacityFunction` for the
+interface contract.
+"""
+
+from repro.capacity.base import CapacityFunction, Piece
+from repro.capacity.combinators import (
+    ClampedCapacity,
+    ScaledCapacity,
+    ShiftedCapacity,
+    SummedCapacity,
+)
+from repro.capacity.constant import ConstantCapacity
+from repro.capacity.markov import MarkovModulatedCapacity, TwoStateMarkovCapacity
+from repro.capacity.piecewise import PiecewiseConstantCapacity
+from repro.capacity.sinusoidal import SinusoidalCapacity
+from repro.capacity.trace import TraceCapacity, sample_function
+
+__all__ = [
+    "CapacityFunction",
+    "Piece",
+    "ClampedCapacity",
+    "ScaledCapacity",
+    "ShiftedCapacity",
+    "SummedCapacity",
+    "ConstantCapacity",
+    "PiecewiseConstantCapacity",
+    "MarkovModulatedCapacity",
+    "TwoStateMarkovCapacity",
+    "SinusoidalCapacity",
+    "TraceCapacity",
+    "sample_function",
+]

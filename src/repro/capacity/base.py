@@ -1,0 +1,181 @@
+"""Abstract interface for time-varying processor capacity functions.
+
+The paper models the processor available to secondary jobs as an integrable
+function ``c(t)`` bounded between ``c_lower`` (the paper's ``c̲``) and
+``c_upper`` (``c̄``)::
+
+    C(c̲, c̄) = { c(t) | c(t) integrable, c̲ <= c(t) <= c̄ }
+
+The workload that can be finished in ``[t1, t2]`` is ``∫ c(τ) dτ`` over that
+interval.  Everything the simulation engine and the offline algorithms need
+from a capacity model is captured by four queries:
+
+* :meth:`CapacityFunction.value` — the instantaneous rate ``c(t)``;
+* :meth:`CapacityFunction.integrate` — workload processable over an interval;
+* :meth:`CapacityFunction.advance` — the inverse integral: the first instant
+  by which a given amount of work completes (used to predict completions);
+* :meth:`CapacityFunction.pieces` — an iterator of piecewise-constant
+  segments covering an interval (used by the engine and by the time-stretch
+  transformation of Section III-A).
+
+All shipped models are piecewise-constant, which makes ``integrate`` and
+``advance`` exact.  A genuinely continuous model can participate by
+discretising itself in :meth:`pieces` (see :class:`repro.capacity.trace.
+TraceCapacity` which does exactly this for sampled traces).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Iterator, Tuple
+
+from repro.errors import CapacityError
+
+__all__ = ["CapacityFunction", "Piece"]
+
+#: A maximal interval of constant rate: ``(start, end, rate)``.
+Piece = Tuple[float, float, float]
+
+
+class CapacityFunction(abc.ABC):
+    """A processor-capacity trajectory ``c(t)`` defined for all ``t >= 0``.
+
+    Concrete subclasses must implement :meth:`value` and :meth:`pieces`;
+    :meth:`integrate` and :meth:`advance` have exact default implementations
+    built on :meth:`pieces` but may be overridden when a closed form is
+    cheaper (e.g. :class:`repro.capacity.constant.ConstantCapacity`).
+
+    Parameters
+    ----------
+    lower, upper:
+        The declared bounds ``c̲`` and ``c̄`` of the capacity input set
+        ``C(c̲, c̄)``.  Schedulers are only allowed to see these bounds and
+        the past of the trajectory; they must never peek at future pieces.
+    """
+
+    def __init__(self, lower: float, upper: float) -> None:
+        if not (0.0 < lower <= upper):
+            raise CapacityError(
+                f"capacity bounds must satisfy 0 < lower <= upper, "
+                f"got lower={lower!r}, upper={upper!r}"
+            )
+        self._lower = float(lower)
+        self._upper = float(upper)
+
+    # ------------------------------------------------------------------
+    # Declared bounds
+    # ------------------------------------------------------------------
+    @property
+    def lower(self) -> float:
+        """The conservative bound ``c̲`` (guaranteed minimum rate)."""
+        return self._lower
+
+    @property
+    def upper(self) -> float:
+        """The optimistic bound ``c̄`` (guaranteed maximum rate)."""
+        return self._upper
+
+    @property
+    def delta(self) -> float:
+        """The maximum-variation ratio ``δ = c̄ / c̲`` (paper, Section II-A)."""
+        return self._upper / self._lower
+
+    # ------------------------------------------------------------------
+    # Abstract queries
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def value(self, t: float) -> float:
+        """Return the instantaneous capacity ``c(t)``.
+
+        The returned value must lie in ``[lower, upper]`` for all ``t >= 0``.
+        """
+
+    @abc.abstractmethod
+    def pieces(self, t0: float, t1: float) -> Iterator[Piece]:
+        """Yield constant-rate segments ``(start, end, rate)`` covering
+        ``[t0, t1)`` in order, with ``start`` of the first piece equal to
+        ``t0`` and ``end`` of the last equal to ``t1``.
+
+        An empty interval (``t0 >= t1``) yields nothing.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived queries (exact for piecewise-constant models)
+    # ------------------------------------------------------------------
+    def integrate(self, t0: float, t1: float) -> float:
+        """Return ``∫_{t0}^{t1} c(τ) dτ`` — the workload processable in
+        ``[t0, t1]``.  Raises :class:`CapacityError` if ``t1 < t0``."""
+        if t1 < t0:
+            raise CapacityError(f"reversed interval: [{t0}, {t1}]")
+        total = 0.0
+        for start, end, rate in self.pieces(t0, t1):
+            total += (end - start) * rate
+        return total
+
+    def advance(self, t0: float, work: float, horizon: float = math.inf) -> float:
+        """Return the earliest ``t >= t0`` with ``∫_{t0}^{t} c = work``.
+
+        This is the inverse of :meth:`integrate` in its second argument and
+        is what the engine uses to predict job completions exactly.  Returns
+        ``math.inf`` if the work does not complete before ``horizon``.
+
+        Parameters
+        ----------
+        t0:
+            Start of processing.
+        work:
+            Non-negative amount of workload to process.
+        horizon:
+            Give up (return ``inf``) past this time.  Because ``c >= lower
+            > 0`` everywhere, any finite workload completes by
+            ``t0 + work / lower``, so the default search window is finite
+            even for ``horizon=inf``.
+        """
+        if work < 0.0:
+            raise CapacityError(f"negative workload: {work!r}")
+        if work == 0.0:
+            return t0
+        # c(t) >= lower > 0 guarantees completion within this window.
+        limit = t0 + work / self._lower
+        if horizon < limit:
+            limit = horizon
+        remaining = work
+        for start, end, rate in self.pieces(t0, limit):
+            capacity_here = (end - start) * rate
+            if capacity_here >= remaining - 1e-15:
+                if rate <= 0.0:  # pragma: no cover - bounds forbid this
+                    raise CapacityError(f"non-positive rate {rate} at t={start}")
+                # max() guards against one-ulp drift below t0.
+                return max(t0, start + remaining / rate)
+            remaining -= capacity_here
+        if horizon is not math.inf and remaining <= 1e-12 * max(1.0, work):
+            return limit
+        return math.inf
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def mean(self, t0: float, t1: float) -> float:
+        """Average capacity over ``[t0, t1]``."""
+        if t1 <= t0:
+            raise CapacityError(f"empty interval: [{t0}, {t1}]")
+        return self.integrate(t0, t1) / (t1 - t0)
+
+    def next_change(self, t: float, horizon: float) -> float:
+        """Return the first discontinuity strictly after ``t`` (capped by
+        ``horizon``), or ``horizon`` if the rate is constant until then.
+
+        The default implementation scans :meth:`pieces`; subclasses with
+        cheap breakpoint access may override.
+        """
+        for start, end, _rate in self.pieces(t, horizon):
+            if end < horizon:
+                return end
+        return horizon
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(lower={self._lower:g}, "
+            f"upper={self._upper:g})"
+        )

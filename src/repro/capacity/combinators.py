@@ -1,0 +1,139 @@
+"""Capacity combinators: build compound models from simple ones.
+
+Real residual-capacity processes are compositions — a diurnal baseline
+minus a bursty primary load, a fleet viewed as one pooled processor, a
+capped allocation.  These combinators keep everything piecewise-exact:
+they operate piece-by-piece over the union of the operands' breakpoints,
+so all engine queries stay closed-form.
+
+* :class:`ScaledCapacity`  — ``a * c(t)`` (unit changes, partial reservations);
+* :class:`ShiftedCapacity` — ``c(t - t0)`` (phase-aligning traces);
+* :class:`SummedCapacity`  — ``c1(t) + c2(t)`` (pooling servers);
+* :class:`ClampedCapacity` — ``min(max(c(t), lo), hi)`` (rate caps/floors).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Sequence
+
+from repro.capacity.base import CapacityFunction, Piece
+from repro.errors import CapacityError
+
+__all__ = [
+    "ScaledCapacity",
+    "ShiftedCapacity",
+    "SummedCapacity",
+    "ClampedCapacity",
+]
+
+
+class ScaledCapacity(CapacityFunction):
+    """``factor * inner(t)`` with ``factor > 0``."""
+
+    def __init__(self, inner: CapacityFunction, factor: float) -> None:
+        if factor <= 0.0:
+            raise CapacityError(f"scale factor must be positive: {factor!r}")
+        super().__init__(inner.lower * factor, inner.upper * factor)
+        self._inner = inner
+        self._factor = float(factor)
+
+    def value(self, t: float) -> float:
+        return self._factor * self._inner.value(t)
+
+    def pieces(self, t0: float, t1: float) -> Iterator[Piece]:
+        for start, end, rate in self._inner.pieces(t0, t1):
+            yield (start, end, self._factor * rate)
+
+    def integrate(self, t0: float, t1: float) -> float:
+        return self._factor * self._inner.integrate(t0, t1)
+
+
+class ShiftedCapacity(CapacityFunction):
+    """``inner(t - shift)`` for ``t >= shift``; before the shift the rate
+    is pinned at ``inner(0)`` (the trace hasn't started yet)."""
+
+    def __init__(self, inner: CapacityFunction, shift: float) -> None:
+        if shift < 0.0:
+            raise CapacityError(f"shift must be non-negative: {shift!r}")
+        super().__init__(inner.lower, inner.upper)
+        self._inner = inner
+        self._shift = float(shift)
+
+    def value(self, t: float) -> float:
+        if t < self._shift:
+            return self._inner.value(0.0)
+        return self._inner.value(t - self._shift)
+
+    def pieces(self, t0: float, t1: float) -> Iterator[Piece]:
+        if t1 <= t0:
+            return
+        if t0 < self._shift:
+            head_end = min(self._shift, t1)
+            yield (t0, head_end, self._inner.value(0.0))
+            t0 = head_end
+        if t0 >= t1:
+            return
+        for start, end, rate in self._inner.pieces(t0 - self._shift, t1 - self._shift):
+            yield (start + self._shift, end + self._shift, rate)
+
+
+class SummedCapacity(CapacityFunction):
+    """Pointwise sum of several capacities (a pooled fleet seen as one
+    processor — the fluid upper bound for cluster scheduling)."""
+
+    def __init__(self, parts: Sequence[CapacityFunction]) -> None:
+        if not parts:
+            raise CapacityError("SummedCapacity needs at least one part")
+        super().__init__(
+            sum(p.lower for p in parts), sum(p.upper for p in parts)
+        )
+        self._parts = list(parts)
+
+    def value(self, t: float) -> float:
+        return sum(p.value(t) for p in self._parts)
+
+    def pieces(self, t0: float, t1: float) -> Iterator[Piece]:
+        if t1 <= t0:
+            return
+        # Sweep over the union of breakpoints via a merged edge list.
+        edges: set[float] = {t0, t1}
+        for part in self._parts:
+            for start, end, _rate in part.pieces(t0, t1):
+                edges.add(start)
+                edges.add(end)
+        ordered = sorted(edges)
+        for start, end in zip(ordered, ordered[1:]):
+            if end <= start:
+                continue
+            yield (start, end, self.value(start))
+
+
+class ClampedCapacity(CapacityFunction):
+    """``min(max(inner(t), floor), ceiling)`` — a provider-imposed rate cap
+    plus a guaranteed floor.  Note integration is done piece-by-piece on
+    the clamped rates (exact, since clamping preserves piecewise-constancy)."""
+
+    def __init__(
+        self, inner: CapacityFunction, floor: float, ceiling: float
+    ) -> None:
+        if not (0.0 < floor <= ceiling):
+            raise CapacityError(
+                f"need 0 < floor <= ceiling, got {floor!r}, {ceiling!r}"
+            )
+        lo = min(max(inner.lower, floor), ceiling)
+        hi = min(max(inner.upper, floor), ceiling)
+        super().__init__(lo, hi)
+        self._inner = inner
+        self._floor = float(floor)
+        self._ceiling = float(ceiling)
+
+    def _clamp(self, rate: float) -> float:
+        return min(max(rate, self._floor), self._ceiling)
+
+    def value(self, t: float) -> float:
+        return self._clamp(self._inner.value(t))
+
+    def pieces(self, t0: float, t1: float) -> Iterator[Piece]:
+        for start, end, rate in self._inner.pieces(t0, t1):
+            yield (start, end, self._clamp(rate))

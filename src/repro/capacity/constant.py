@@ -1,0 +1,56 @@
+"""Constant-capacity model — the classical setting of Koren & Shasha.
+
+``ConstantCapacity(c)`` is the degenerate member of ``C(c, c)``; it is the
+image of every varying-capacity model under the paper's time-stretch
+transformation (Section III-A) and the substrate on which the Dover baseline
+was originally defined.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.capacity.base import CapacityFunction, Piece
+from repro.errors import CapacityError
+
+__all__ = ["ConstantCapacity"]
+
+
+class ConstantCapacity(CapacityFunction):
+    """A processor running at a fixed rate ``c`` forever."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0.0:
+            raise CapacityError(f"constant capacity must be positive, got {rate!r}")
+        super().__init__(rate, rate)
+        self._rate = float(rate)
+
+    @property
+    def rate(self) -> float:
+        """The constant rate ``c``."""
+        return self._rate
+
+    def value(self, t: float) -> float:
+        return self._rate
+
+    def pieces(self, t0: float, t1: float) -> Iterator[Piece]:
+        if t1 > t0:
+            yield (t0, t1, self._rate)
+
+    def integrate(self, t0: float, t1: float) -> float:
+        if t1 < t0:
+            raise CapacityError(f"reversed interval: [{t0}, {t1}]")
+        return (t1 - t0) * self._rate
+
+    def advance(self, t0: float, work: float, horizon: float = math.inf) -> float:
+        if work < 0.0:
+            raise CapacityError(f"negative workload: {work!r}")
+        t = t0 + work / self._rate
+        return t if t <= horizon else math.inf
+
+    def next_change(self, t: float, horizon: float) -> float:
+        return horizon
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantCapacity({self._rate:g})"

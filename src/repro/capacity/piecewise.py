@@ -1,0 +1,156 @@
+"""Piecewise-constant capacity defined by explicit breakpoints.
+
+This is the workhorse representation: the CTMC model of the paper's
+Section IV, trace-driven models, and the residual capacity left by primary
+cloud jobs all reduce to a sorted list of ``(breakpoint, rate)`` pairs.
+Lookups use binary search (:func:`bisect.bisect_right`), so a query is
+``O(log n)`` in the number of breakpoints and iteration over ``pieces`` is
+``O(k)`` in the number of pieces returned.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterator, Sequence, Tuple
+
+from repro.capacity.base import CapacityFunction, Piece
+from repro.errors import CapacityError
+
+__all__ = ["PiecewiseConstantCapacity"]
+
+
+class PiecewiseConstantCapacity(CapacityFunction):
+    """Capacity that is constant between sorted breakpoints.
+
+    Parameters
+    ----------
+    breakpoints:
+        Strictly increasing times ``b_0 < b_1 < ...`` with ``b_0 == 0.0``.
+        The rate on ``[b_i, b_{i+1})`` is ``rates[i]``; past the last
+        breakpoint the rate is ``rates[-1]`` forever.
+    rates:
+        One rate per breakpoint; all must be positive.
+    lower, upper:
+        Declared bounds of the capacity input set.  Default to the min/max
+        of ``rates``.  The declared bounds may be wider than the realized
+        trajectory (the scheduler only ever learns the declaration) but must
+        contain every rate.
+    """
+
+    def __init__(
+        self,
+        breakpoints: Sequence[float],
+        rates: Sequence[float],
+        *,
+        lower: float | None = None,
+        upper: float | None = None,
+    ) -> None:
+        if len(breakpoints) != len(rates):
+            raise CapacityError(
+                f"{len(breakpoints)} breakpoints but {len(rates)} rates"
+            )
+        if not breakpoints:
+            raise CapacityError("at least one (breakpoint, rate) pair required")
+        if breakpoints[0] != 0.0:
+            raise CapacityError(
+                f"first breakpoint must be 0.0, got {breakpoints[0]!r}"
+            )
+        bp = [float(b) for b in breakpoints]
+        for a, b in zip(bp, bp[1:]):
+            if b <= a:
+                raise CapacityError(f"breakpoints not strictly increasing: {a} -> {b}")
+        rt = [float(r) for r in rates]
+        for r in rt:
+            if r <= 0.0:
+                raise CapacityError(f"non-positive rate: {r!r}")
+        lo = min(rt) if lower is None else float(lower)
+        hi = max(rt) if upper is None else float(upper)
+        if lo > min(rt) or hi < max(rt):
+            raise CapacityError(
+                f"declared bounds [{lo}, {hi}] do not contain realized rates "
+                f"[{min(rt)}, {max(rt)}]"
+            )
+        super().__init__(lo, hi)
+        self._bp = bp
+        self._rates = rt
+        # Prefix integrals: cum[i] = ∫_0^{bp[i]} c.
+        cum = [0.0]
+        for i in range(1, len(bp)):
+            cum.append(cum[-1] + (bp[i] - bp[i - 1]) * rt[i - 1])
+        self._cum = cum
+
+    # ------------------------------------------------------------------
+    @property
+    def breakpoints(self) -> Tuple[float, ...]:
+        return tuple(self._bp)
+
+    @property
+    def rates(self) -> Tuple[float, ...]:
+        return tuple(self._rates)
+
+    def _index(self, t: float) -> int:
+        """Index of the piece containing ``t`` (pieces close on the left)."""
+        return max(0, bisect_right(self._bp, t) - 1)
+
+    # ------------------------------------------------------------------
+    def value(self, t: float) -> float:
+        if t < 0.0:
+            raise CapacityError(f"capacity undefined for t < 0: {t!r}")
+        return self._rates[self._index(t)]
+
+    def pieces(self, t0: float, t1: float) -> Iterator[Piece]:
+        if t1 <= t0:
+            return
+        if t0 < 0.0:
+            raise CapacityError(f"capacity undefined for t < 0: {t0!r}")
+        i = self._index(t0)
+        start = t0
+        n = len(self._bp)
+        while start < t1:
+            end = self._bp[i + 1] if i + 1 < n else math.inf
+            if end > t1:
+                end = t1
+            yield (start, end, self._rates[i])
+            start = end
+            i += 1
+
+    def cumulative(self, t: float) -> float:
+        """Exact prefix integral ``∫_0^t c`` using the precomputed table."""
+        if t < 0.0:
+            raise CapacityError(f"capacity undefined for t < 0: {t!r}")
+        i = self._index(t)
+        return self._cum[i] + (t - self._bp[i]) * self._rates[i]
+
+    def integrate(self, t0: float, t1: float) -> float:
+        if t1 < t0:
+            raise CapacityError(f"reversed interval: [{t0}, {t1}]")
+        return self.cumulative(t1) - self.cumulative(t0)
+
+    def advance(self, t0: float, work: float, horizon: float = math.inf) -> float:
+        if work < 0.0:
+            raise CapacityError(f"negative workload: {work!r}")
+        if work == 0.0:
+            return t0
+        target = self.cumulative(t0) + work
+        # Find the piece in which the cumulative integral reaches `target`.
+        i = self._index(t0)
+        n = len(self._bp)
+        while i + 1 < n and self._cum[i + 1] < target - 1e-15:
+            i += 1
+        # max() guards against t drifting one ulp below t0 when `work` is
+        # tiny relative to the prefix integral (division rounding).
+        t = max(t0, self._bp[i] + (target - self._cum[i]) / self._rates[i])
+        return t if t <= horizon else math.inf
+
+    def next_change(self, t: float, horizon: float) -> float:
+        i = bisect_right(self._bp, t)
+        if i < len(self._bp) and self._bp[i] < horizon:
+            return self._bp[i]
+        return horizon
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PiecewiseConstantCapacity(n_pieces={len(self._bp)}, "
+            f"lower={self.lower:g}, upper={self.upper:g})"
+        )

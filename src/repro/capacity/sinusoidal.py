@@ -1,0 +1,103 @@
+"""Diurnal (sinusoidal) capacity, discretised onto a piecewise grid.
+
+Cloud residual capacity commonly follows a day/night pattern: primary load
+peaks during business hours, leaving little room for secondary jobs, and
+ebbs at night.  :class:`SinusoidalCapacity` models this as
+
+    c(t) = mid - amp * sin(2π (t - phase) / period)
+
+(so capacity is *low* when primary load is high early in the period), then
+samples it onto a uniform piecewise-constant grid so that all engine
+queries stay exact.  The grid resolution trades fidelity for speed; the
+default of 64 steps per period keeps the discretisation error of the
+integral under 0.1% for the experiments shipped here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.capacity.base import CapacityFunction, Piece
+from repro.errors import CapacityError
+
+__all__ = ["SinusoidalCapacity"]
+
+
+class SinusoidalCapacity(CapacityFunction):
+    """Periodic piecewise-constant approximation of a sinusoid.
+
+    Parameters
+    ----------
+    low, high:
+        Extremes of the sinusoid; these are also the declared bounds.
+    period:
+        Period of the oscillation.
+    phase:
+        Time offset of the pattern.
+    steps_per_period:
+        Number of constant pieces used to discretise one period.
+    """
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        period: float,
+        *,
+        phase: float = 0.0,
+        steps_per_period: int = 64,
+    ) -> None:
+        if low <= 0.0 or high <= low:
+            raise CapacityError(f"need 0 < low < high, got low={low!r}, high={high!r}")
+        if period <= 0.0:
+            raise CapacityError(f"period must be positive: {period!r}")
+        if steps_per_period < 2:
+            raise CapacityError("steps_per_period must be at least 2")
+        super().__init__(low, high)
+        self._mid = 0.5 * (low + high)
+        self._amp = 0.5 * (high - low)
+        self._period = float(period)
+        self._phase = float(phase)
+        self._n = int(steps_per_period)
+        self._dt = self._period / self._n
+        # Precompute one period of step values (midpoint rule per step).
+        self._steps = [
+            self._analytic(self._dt * (i + 0.5)) for i in range(self._n)
+        ]
+
+    def _analytic(self, t: float) -> float:
+        return self._mid - self._amp * math.sin(
+            2.0 * math.pi * (t - self._phase) / self._period
+        )
+
+    def _step_index(self, t: float) -> int:
+        return int((t % self._period) / self._dt) % self._n
+
+    # ------------------------------------------------------------------
+    def value(self, t: float) -> float:
+        if t < 0.0:
+            raise CapacityError(f"capacity undefined for t < 0: {t!r}")
+        return self._steps[self._step_index(t)]
+
+    def pieces(self, t0: float, t1: float) -> Iterator[Piece]:
+        if t1 <= t0:
+            return
+        if t0 < 0.0:
+            raise CapacityError(f"capacity undefined for t < 0: {t0!r}")
+        start = t0
+        while start < t1:
+            idx = self._step_index(start)
+            # End of the grid cell containing `start`.
+            cell = math.floor(start / self._dt + 1e-12) + 1
+            end = min(cell * self._dt, t1)
+            if end <= start:  # numeric guard at cell boundaries
+                end = min(start + self._dt, t1)
+            yield (start, end, self._steps[idx])
+            start = end
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SinusoidalCapacity(low={self.lower:g}, high={self.upper:g}, "
+            f"period={self._period:g})"
+        )

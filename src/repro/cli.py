@@ -1,0 +1,250 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Usage::
+
+    repro-sched table1  [--runs N] [--seed S] [--workers W] [--lambdas ...]
+    repro-sched figure1 [--lam L] [--seed S]
+    repro-sched sweep   {policy,supplement,beta,delta,k-misest,slack} [--runs N]
+    repro-sched theory  [--k K] [--delta D]
+    repro-sched adversary [--n N]
+    repro-sched simulate INSTANCE.json [--scheduler ...] [--gantt]
+
+(also ``python -m repro ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.tables import render_table
+from repro.analysis.theory import (
+    asymptotic_optimality_gap,
+    f_overload,
+    optimal_beta,
+    varying_capacity_upper_bound,
+    vdover_competitive_ratio,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description=(
+            "Reproduce 'Secondary Job Scheduling in the Cloud with "
+            "Deadlines' (IPPS 2011): V-Dover vs Dover under time-varying "
+            "capacity."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="reproduce Table I (value %% vs lambda)")
+    p.add_argument("--runs", type=int, default=50, help="Monte-Carlo runs per row")
+    p.add_argument("--seed", type=int, default=2011)
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--lambdas",
+        type=float,
+        nargs="+",
+        default=None,
+        help="override the swept arrival rates",
+    )
+    p.add_argument(
+        "--jobs",
+        type=float,
+        default=2000.0,
+        help="expected jobs per run (the paper uses 2000)",
+    )
+
+    p = sub.add_parser("figure1", help="reproduce Figure 1 (value vs time)")
+    p.add_argument("--lam", type=float, default=6.0)
+    p.add_argument("--seed", type=int, default=1106)
+    p.add_argument("--jobs", type=float, default=2000.0)
+
+    p = sub.add_parser("sweep", help="ablation sweeps")
+    p.add_argument(
+        "kind", choices=["policy", "supplement", "beta", "delta", "k-misest", "slack"]
+    )
+    p.add_argument("--runs", type=int, default=20)
+    p.add_argument("--workers", type=int, default=None)
+
+    p = sub.add_parser("theory", help="print the paper's closed-form bounds")
+    p.add_argument("--k", type=float, default=7.0)
+    p.add_argument("--delta", type=float, default=35.0)
+
+    p = sub.add_parser(
+        "adversary", help="demonstrate Theorem 3(3): ratio -> 0 without admissibility"
+    )
+    p.add_argument("--n", type=int, nargs="+", default=[5, 10, 20, 40])
+
+    p = sub.add_parser(
+        "simulate", help="run a saved instance (see repro.workload.save_instance)"
+    )
+    p.add_argument("instance", help="JSON instance file (jobs + capacity)")
+    p.add_argument(
+        "--scheduler",
+        choices=["vdover", "dover", "edf", "edf-ac", "llf", "greedy", "fcfs"],
+        default="vdover",
+    )
+    p.add_argument("--k", type=float, default=7.0, help="importance-ratio bound")
+    p.add_argument("--c-hat", type=float, default=1.0, help="Dover's estimate")
+    p.add_argument("--gantt", action="store_true", help="draw the schedule")
+
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import Table1Config, run_table1
+
+    kwargs: dict = {
+        "n_runs": args.runs,
+        "seed": args.seed,
+        "workers": args.workers,
+        "expected_jobs": args.jobs,
+    }
+    if args.lambdas is not None:
+        kwargs["lambdas"] = tuple(args.lambdas)
+    print(run_table1(Table1Config(**kwargs)).render())
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.analysis.plots import render_line_chart
+    from repro.experiments.figure1 import Figure1Config, run_figure1
+
+    config = Figure1Config(lam=args.lam, seed=args.seed, expected_jobs=args.jobs)
+    result = run_figure1(config)
+    for panel in result.panels:
+        print(
+            render_line_chart(
+                {
+                    "V-Dover": panel.vdover_series,
+                    f"Dover(c={panel.c_hat:g})": panel.dover_series,
+                },
+                title=(
+                    f"Figure 1 — value vs time, lambda={config.lam:g}, "
+                    f"Dover estimate c={panel.c_hat:g} "
+                    f"(generated {panel.generated_value:.0f})"
+                ),
+                y_label="value",
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import sweeps
+
+    fn = {
+        "policy": sweeps.run_policy_sweep,
+        "supplement": sweeps.run_supplement_ablation,
+        "beta": sweeps.run_beta_sweep,
+        "delta": sweeps.run_delta_sweep,
+        "k-misest": sweeps.run_k_misestimation_sweep,
+        "slack": sweeps.run_slack_sweep,
+    }[args.kind]
+    print(fn(n_runs=args.runs, workers=args.workers).render())
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    k, delta = args.k, args.delta
+    rows = [
+        ["f(k, δ)  (Lemma 2)", f_overload(k, delta)],
+        ["β*  = 1 + √(k/f)  (Thm 3 proof)", optimal_beta(k, delta)],
+        ["achievable ratio (Thm 3(2))", vdover_competitive_ratio(k, delta)],
+        ["upper bound 1/(1+√k)² (Thm 3(1))", varying_capacity_upper_bound(k)],
+        ["achievable / upper (→1 as k→∞)", asymptotic_optimality_gap(k, delta)],
+    ]
+    print(
+        render_table(
+            ["quantity", "value"],
+            rows,
+            title=f"Theory at k={k:g}, δ={delta:g}",
+            float_fmt="{:.6f}",
+        )
+    )
+    return 0
+
+
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    from repro.core.offline import greedy_admission
+    from repro.core.vdover import VDoverScheduler
+    from repro.sim.engine import simulate
+    from repro.workload.instances import inadmissible_trap
+
+    rows = []
+    for n in args.n:
+        jobs, capacity = inadmissible_trap(n)
+        online = simulate(jobs, capacity, VDoverScheduler(k=float(n * n)))
+        offline_value, _ = greedy_admission(jobs, capacity)
+        rows.append(
+            [n, online.value, offline_value, online.value / offline_value]
+        )
+    print(
+        render_table(
+            ["n", "online (V-Dover)", "offline (greedy)", "ratio"],
+            rows,
+            title="Theorem 3(3): ratio decays without individual admissibility",
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core import (
+        AdmissionEDFScheduler,
+        DoverScheduler,
+        EDFScheduler,
+        FCFSScheduler,
+        GreedyDensityScheduler,
+        LLFScheduler,
+        VDoverScheduler,
+    )
+    from repro.sim import render_gantt, simulate
+    from repro.workload import load_instance
+
+    jobs, capacity = load_instance(args.instance)
+    if capacity is None:
+        print("instance file has no capacity section", file=sys.stderr)
+        return 1
+    scheduler = {
+        "vdover": lambda: VDoverScheduler(k=args.k),
+        "dover": lambda: DoverScheduler(k=args.k, c_hat=args.c_hat),
+        "edf": EDFScheduler,
+        "edf-ac": AdmissionEDFScheduler,
+        "llf": LLFScheduler,
+        "greedy": GreedyDensityScheduler,
+        "fcfs": FCFSScheduler,
+    }[args.scheduler]()
+    result = simulate(jobs, capacity, scheduler, validate=True)
+    print(
+        f"{scheduler.name}: value {result.value:g} of {result.generated_value:g} "
+        f"({100 * result.normalized_value:.1f}%), "
+        f"{result.n_completed}/{len(jobs)} jobs completed"
+    )
+    if args.gantt:
+        print()
+        print(render_gantt(result.trace, jobs, capacity=capacity))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "table1": _cmd_table1,
+        "figure1": _cmd_figure1,
+        "sweep": _cmd_sweep,
+        "theory": _cmd_theory,
+        "adversary": _cmd_adversary,
+        "simulate": _cmd_simulate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Cloud substrate: primary-job occupancy, secondary VMs, spot market,
+servers and cluster dispatch — the motivating scenario of the paper."""
+
+from repro.cloud.cluster import (
+    BestFitDispatcher,
+    ClusterResult,
+    Dispatcher,
+    LeastWorkDispatcher,
+    RoundRobinDispatcher,
+    run_cluster,
+)
+from repro.cloud.primary import PrimaryOccupancyModel
+from repro.cloud.server import Server, ServerRun
+from repro.cloud.spotmarket import SpotMarket, SpotPriceProcess
+from repro.cloud.vm import VMRequest, requests_to_jobs
+
+__all__ = [
+    "BestFitDispatcher",
+    "ClusterResult",
+    "Dispatcher",
+    "LeastWorkDispatcher",
+    "RoundRobinDispatcher",
+    "run_cluster",
+    "PrimaryOccupancyModel",
+    "Server",
+    "ServerRun",
+    "SpotMarket",
+    "SpotPriceProcess",
+    "VMRequest",
+    "requests_to_jobs",
+]

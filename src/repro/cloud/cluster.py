@@ -1,0 +1,194 @@
+"""Cluster extension: online dispatch of secondary jobs across servers.
+
+The paper notes its single-server policy "can be applied to the cloud-wise
+scheduling of secondary user demands on unsold cloud instances with
+extensions"; this module is that extension.  A :class:`Dispatcher` routes
+each arriving job to one server (the decision is online — it may use only
+information available at release time), and every server runs its own
+V-Dover (or other) scheduler on its own residual capacity.
+
+Because job streams, once dispatched, never interact across servers, the
+cluster simulation decomposes exactly into per-server single-processor
+simulations — no approximation is involved *given* the dispatch decisions.
+The dispatchers themselves are deliberately simple online heuristics
+(round-robin / least-committed-work / best-fit by conservative laxity);
+smarter dispatch is future work the paper leaves open.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.capacity.base import CapacityFunction
+from repro.errors import InvalidInstanceError
+from repro.sim.engine import simulate
+from repro.sim.job import Job
+from repro.sim.metrics import SimulationResult
+from repro.sim.scheduler import Scheduler
+
+__all__ = [
+    "Dispatcher",
+    "RoundRobinDispatcher",
+    "LeastWorkDispatcher",
+    "BestFitDispatcher",
+    "ClusterResult",
+    "run_cluster",
+]
+
+
+class Dispatcher(abc.ABC):
+    """Online routing policy: sees jobs in release order, one at a time."""
+
+    name = "dispatcher"
+
+    def reset(self, n_servers: int, floors: Sequence[float]) -> None:
+        """Called once per cluster run with the per-server conservative
+        capacity bounds (the only capacity information that is public)."""
+        self._n = n_servers
+        self._floors = list(floors)
+
+    @abc.abstractmethod
+    def route(self, job: Job) -> int:
+        """Return the index of the server this job is sent to."""
+
+
+class RoundRobinDispatcher(Dispatcher):
+    """Cyclic assignment — the zero-information baseline."""
+
+    name = "round-robin"
+
+    def reset(self, n_servers: int, floors: Sequence[float]) -> None:
+        super().reset(n_servers, floors)
+        self._next = 0
+
+    def route(self, job: Job) -> int:
+        idx = self._next
+        self._next = (self._next + 1) % self._n
+        return idx
+
+
+class LeastWorkDispatcher(Dispatcher):
+    """Send to the server with the least *outstanding conservative work*.
+
+    The dispatcher tracks, per server, the total workload it has routed
+    there and drains it at the server's floor rate ``c̲`` — a pessimistic,
+    online-computable backlog proxy (real drain is at least this fast).
+    """
+
+    name = "least-work"
+
+    def reset(self, n_servers: int, floors: Sequence[float]) -> None:
+        super().reset(n_servers, floors)
+        self._backlog = [0.0] * n_servers
+        self._last_t = [0.0] * n_servers
+
+    def route(self, job: Job) -> int:
+        now = job.release
+        for i in range(self._n):
+            drained = (now - self._last_t[i]) * self._floors[i]
+            self._backlog[i] = max(0.0, self._backlog[i] - drained)
+            self._last_t[i] = now
+        idx = min(range(self._n), key=lambda i: (self._backlog[i], i))
+        self._backlog[idx] += job.workload
+        return idx
+
+
+class BestFitDispatcher(Dispatcher):
+    """Send to the server whose conservative backlog leaves the job the
+    most laxity (ties to the least-loaded).  Refuses nothing: if no server
+    leaves positive laxity, the least-backlogged server takes it anyway
+    (the local V-Dover will triage it)."""
+
+    name = "best-fit"
+
+    def reset(self, n_servers: int, floors: Sequence[float]) -> None:
+        super().reset(n_servers, floors)
+        self._backlog = [0.0] * n_servers
+        self._last_t = [0.0] * n_servers
+
+    def route(self, job: Job) -> int:
+        now = job.release
+        laxities = []
+        for i in range(self._n):
+            drained = (now - self._last_t[i]) * self._floors[i]
+            self._backlog[i] = max(0.0, self._backlog[i] - drained)
+            self._last_t[i] = now
+            finish_estimate = now + (self._backlog[i] + job.workload) / self._floors[i]
+            laxities.append(job.deadline - finish_estimate)
+        idx = max(range(self._n), key=lambda i: (laxities[i], -self._backlog[i], -i))
+        self._backlog[idx] += job.workload
+        return idx
+
+
+@dataclass
+class ClusterResult:
+    """Aggregated outcome of a cluster run."""
+
+    per_server: list[SimulationResult]
+    assignment: dict[int, int]  # jid -> server index
+
+    @property
+    def value(self) -> float:
+        return sum(r.value for r in self.per_server)
+
+    @property
+    def generated_value(self) -> float:
+        return sum(r.generated_value for r in self.per_server)
+
+    @property
+    def normalized_value(self) -> float:
+        gen = self.generated_value
+        return self.value / gen if gen > 0.0 else 0.0
+
+    @property
+    def n_completed(self) -> int:
+        return sum(r.n_completed for r in self.per_server)
+
+
+def run_cluster(
+    jobs: Sequence[Job],
+    capacities: Sequence[CapacityFunction],
+    scheduler_factory: Callable[[], Scheduler],
+    dispatcher: Dispatcher,
+    *,
+    validate: bool = False,
+) -> ClusterResult:
+    """Dispatch jobs online across servers and simulate each server.
+
+    Parameters
+    ----------
+    jobs:
+        The cluster-wide secondary job stream.
+    capacities:
+        One residual-capacity trajectory per server.
+    scheduler_factory:
+        Builds a fresh scheduler per server (scheduler instances hold
+        per-run state, so they must not be shared).
+    dispatcher:
+        The online routing policy.
+    """
+    if not capacities:
+        raise InvalidInstanceError("cluster needs at least one server")
+    n = len(capacities)
+    dispatcher.reset(n, [c.lower for c in capacities])
+
+    buckets: list[list[Job]] = [[] for _ in range(n)]
+    assignment: dict[int, int] = {}
+    for job in sorted(jobs, key=lambda j: (j.release, j.jid)):
+        idx = dispatcher.route(job)
+        if not 0 <= idx < n:
+            raise InvalidInstanceError(
+                f"dispatcher routed job {job.jid} to invalid server {idx}"
+            )
+        buckets[idx].append(job)
+        assignment[job.jid] = idx
+
+    per_server = [
+        simulate(bucket, capacities[i], scheduler_factory(), validate=validate)
+        for i, bucket in enumerate(buckets)
+    ]
+    return ClusterResult(per_server=per_server, assignment=assignment)

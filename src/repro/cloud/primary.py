@@ -1,0 +1,145 @@
+"""Primary-job occupancy: where the time-varying capacity comes from.
+
+The paper's ``c(t)`` is "the remaining resource capacity left by the
+execution of the primary jobs".  This module closes that loop: it simulates
+a server's primary (contracted, on-demand) VM population — Poisson arrivals,
+exponential holding times, each instance pinning a fixed slice of the
+server — and emits the *residual* capacity as a
+:class:`~repro.capacity.piecewise.PiecewiseConstantCapacity` that plugs
+straight into the schedulers.
+
+Non-intrusiveness (Section I-A) is modelled in the admission rule: primary
+arrivals are admitted while the occupied share stays within
+``total − floor``; the ``floor`` is the provider's standing reservation
+that defines the conservative bound ``c̲`` the secondary scheduler is
+promised.  (Real providers publish exactly such a bound to make spot
+capacity saleable at all.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.capacity.piecewise import PiecewiseConstantCapacity
+from repro.errors import InvalidInstanceError
+from repro.workload.base import as_generator
+
+__all__ = ["PrimaryOccupancyModel"]
+
+
+@dataclass(frozen=True)
+class PrimaryOccupancyModel:
+    """M/M/c-style primary VM population on one server.
+
+    Parameters
+    ----------
+    total_capacity:
+        The server's full capacity (``c̄`` of the residual process: the
+        residual equals this when no primary runs).
+    floor:
+        Guaranteed residual capacity (``c̲``): primary admission never eats
+        into this reservation.
+    arrival_rate:
+        Poisson rate of primary VM launch requests.
+    mean_holding:
+        Mean exponential lifetime of a primary VM.
+    vm_size:
+        Capacity share each primary VM pins while alive.
+    """
+
+    total_capacity: float
+    floor: float
+    arrival_rate: float
+    mean_holding: float
+    vm_size: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.floor < self.total_capacity):
+            raise InvalidInstanceError(
+                f"need 0 < floor < total_capacity, got floor={self.floor!r}, "
+                f"total={self.total_capacity!r}"
+            )
+        if self.arrival_rate <= 0.0 or self.mean_holding <= 0.0:
+            raise InvalidInstanceError(
+                "arrival_rate and mean_holding must be positive"
+            )
+        if self.vm_size <= 0.0 or self.vm_size > self.total_capacity - self.floor:
+            raise InvalidInstanceError(
+                f"vm_size {self.vm_size!r} must fit within "
+                f"total − floor = {self.total_capacity - self.floor!r}"
+            )
+
+    @property
+    def max_primary_vms(self) -> int:
+        """How many primary VMs fit without violating the floor."""
+        return int((self.total_capacity - self.floor) / self.vm_size + 1e-9)
+
+    def sample_residual(
+        self,
+        horizon: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> PiecewiseConstantCapacity:
+        """Simulate the primary population on ``[0, horizon]`` and return
+        the residual capacity ``c(t) = total − occupied(t)``.
+
+        Arrivals finding the server primary-full are rejected (they run
+        elsewhere in the cloud); departures free one VM slice each.
+        """
+        if horizon <= 0.0:
+            raise InvalidInstanceError(f"horizon must be positive: {horizon!r}")
+        gen = as_generator(rng)
+        cap = self.max_primary_vms
+
+        # Event-driven birth-death process.
+        breakpoints = [0.0]
+        occupancies = [0]
+        active: list[float] = []  # departure times of live VMs (unsorted)
+        t = 0.0
+        n = 0
+        next_arrival = gen.exponential(1.0 / self.arrival_rate)
+        while True:
+            next_departure = min(active) if active else float("inf")
+            t_next = min(next_arrival, next_departure)
+            if t_next >= horizon:
+                break
+            t = t_next
+            if next_arrival <= next_departure:
+                if n < cap:
+                    n += 1
+                    active.append(t + gen.exponential(self.mean_holding))
+                next_arrival = t + gen.exponential(1.0 / self.arrival_rate)
+            else:
+                active.remove(next_departure)
+                n -= 1
+            if n != occupancies[-1]:
+                if t == breakpoints[-1]:
+                    occupancies[-1] = n
+                else:
+                    breakpoints.append(t)
+                    occupancies.append(n)
+
+        rates = [self.total_capacity - k * self.vm_size for k in occupancies]
+        return PiecewiseConstantCapacity(
+            breakpoints,
+            rates,
+            lower=self.floor,
+            upper=self.total_capacity,
+        )
+
+    def expected_occupancy(self) -> float:
+        """Erlang-loss mean occupancy (offered load capped at the VM cap) —
+        a sanity anchor for tests: offered load ``a = λ·mean_holding`` VMs,
+        truncated by the admission cap."""
+        a = self.arrival_rate * self.mean_holding
+        cap = self.max_primary_vms
+        # Erlang-B stationary distribution of M/M/cap/cap.
+        weights = []
+        w = 1.0
+        for k in range(cap + 1):
+            if k > 0:
+                w *= a / k
+            weights.append(w)
+        total = sum(weights)
+        return sum(k * w for k, w in enumerate(weights)) / total

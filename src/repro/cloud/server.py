@@ -1,0 +1,94 @@
+"""A cloud server hosting primary VMs plus a secondary-job scheduler.
+
+Ties the substrate together: the primary occupancy model produces the
+residual capacity; the secondary scheduler (V-Dover by default) runs the
+secondary jobs on it; non-intrusiveness holds by construction (secondary
+work is bounded by the residual integral — re-checked by the trace
+validator when ``validate=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.capacity.piecewise import PiecewiseConstantCapacity
+from repro.cloud.primary import PrimaryOccupancyModel
+from repro.cloud.vm import VMRequest, requests_to_jobs
+from repro.errors import InvalidInstanceError
+from repro.sim.engine import simulate
+from repro.sim.job import Job
+from repro.sim.metrics import SimulationResult
+from repro.sim.scheduler import Scheduler
+from repro.workload.base import as_generator
+
+__all__ = ["Server", "ServerRun"]
+
+
+@dataclass
+class ServerRun:
+    """Outcome of one server simulation."""
+
+    result: SimulationResult
+    residual_capacity: PiecewiseConstantCapacity
+
+    @property
+    def revenue(self) -> float:
+        """Secondary revenue earned (completed-by-deadline value)."""
+        return self.result.value
+
+    @property
+    def revenue_per_offered(self) -> float:
+        return self.result.normalized_value
+
+    @property
+    def mean_residual(self) -> float:
+        return self.residual_capacity.mean(0.0, self.result.horizon)
+
+
+class Server:
+    """One server: primary occupancy + secondary scheduling.
+
+    Parameters
+    ----------
+    primary:
+        Model of the contracted primary load (defines ``c̲`` and ``c̄``).
+    scheduler:
+        Secondary-job policy (any :class:`~repro.sim.scheduler.Scheduler`).
+    """
+
+    def __init__(self, primary: PrimaryOccupancyModel, scheduler: Scheduler) -> None:
+        self.primary = primary
+        self.scheduler = scheduler
+
+    def run_jobs(
+        self,
+        jobs: Sequence[Job],
+        horizon: float,
+        rng: np.random.Generator | int | None = None,
+        *,
+        validate: bool = False,
+    ) -> ServerRun:
+        """Sample a primary occupancy path and schedule the jobs on the
+        residual capacity."""
+        if horizon <= 0.0:
+            raise InvalidInstanceError(f"horizon must be positive: {horizon!r}")
+        gen = as_generator(rng)
+        # Residual capacity must cover the sim horizon incl. late deadlines.
+        max_deadline = max((j.deadline for j in jobs), default=horizon)
+        residual = self.primary.sample_residual(max(horizon, max_deadline) + 1.0, gen)
+        result = simulate(jobs, residual, self.scheduler, validate=validate)
+        return ServerRun(result=result, residual_capacity=residual)
+
+    def run_requests(
+        self,
+        requests: Sequence[VMRequest],
+        horizon: float,
+        rng: np.random.Generator | int | None = None,
+        *,
+        validate: bool = False,
+    ) -> ServerRun:
+        """Convenience: convert VM requests to jobs and schedule them."""
+        return self.run_jobs(requests_to_jobs(requests), horizon, rng, validate=validate)

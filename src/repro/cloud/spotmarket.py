@@ -1,0 +1,165 @@
+"""A synthetic spot market: price process and bid-driven request stream.
+
+Amazon EC2 Spot Instances (the paper's motivating system) price unused
+capacity dynamically; customers bid, and their value density *is* their
+bid.  No real spot-price traces are available offline, so the price follows
+a discretised mean-reverting (Ornstein–Uhlenbeck) process — the standard
+synthetic model for spot prices — and customer bids are drawn as a markup
+over the prevailing price.  The resulting request stream has a natural
+importance-ratio bound: bids are clamped to ``[price_floor,
+price_ceiling]``, so ``k = ceiling / floor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.vm import VMRequest
+from repro.errors import InvalidInstanceError
+from repro.workload.base import as_generator
+
+__all__ = ["SpotPriceProcess", "SpotMarket"]
+
+
+@dataclass(frozen=True)
+class SpotPriceProcess:
+    """Mean-reverting price on a uniform grid:
+    ``p_{i+1} = p_i + θ(μ − p_i)Δ + σ√Δ ε_i``, clamped to the band."""
+
+    mean: float = 1.0
+    reversion: float = 0.5
+    volatility: float = 0.3
+    floor: float = 0.25
+    ceiling: float = 4.0
+    dt: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.floor <= self.mean <= self.ceiling):
+            raise InvalidInstanceError(
+                f"need floor <= mean <= ceiling, got {self.floor!r}, "
+                f"{self.mean!r}, {self.ceiling!r}"
+            )
+        if self.reversion <= 0.0 or self.volatility < 0.0 or self.dt <= 0.0:
+            raise InvalidInstanceError("bad price-process parameters")
+
+    def sample(
+        self, horizon: float, rng: np.random.Generator | int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(grid_times, prices)`` on ``[0, horizon]``."""
+        gen = as_generator(rng)
+        n = max(2, int(np.ceil(horizon / self.dt)) + 1)
+        times = np.arange(n) * self.dt
+        prices = np.empty(n)
+        prices[0] = self.mean
+        noise = gen.standard_normal(n - 1)
+        sqdt = np.sqrt(self.dt)
+        for i in range(n - 1):
+            drift = self.reversion * (self.mean - prices[i]) * self.dt
+            prices[i + 1] = prices[i] + drift + self.volatility * sqdt * noise[i]
+        np.clip(prices, self.floor, self.ceiling, out=prices)
+        return times, prices
+
+    @property
+    def importance_ratio_bound(self) -> float:
+        """``k = ceiling / floor`` for bids clamped to the price band."""
+        return self.ceiling / self.floor
+
+
+class SpotMarket:
+    """Generates secondary VM requests whose bids track the spot price.
+
+    Parameters
+    ----------
+    price:
+        The spot-price process.
+    request_rate:
+        Poisson rate of request submissions.  Demand is *elastic*: the
+        effective rate scales by ``(mean/price)^elasticity`` — cheap spots
+        attract bids (this is what makes the stream bursty in practice).
+    demand_mean:
+        Mean exponential compute demand per request.
+    markup_range:
+        Bids are ``price × U[markup_range]``, clamped to the price band.
+    slack_range:
+        Relative deadline is ``demand / floor_capacity × U[slack_range]``;
+        slacks >= 1 keep requests individually admissible.
+    floor_capacity:
+        The server's guaranteed residual (``c̲``) used to size deadlines.
+    elasticity:
+        Demand-elasticity exponent (0 = inelastic).
+    """
+
+    def __init__(
+        self,
+        price: SpotPriceProcess,
+        *,
+        request_rate: float = 2.0,
+        demand_mean: float = 1.0,
+        markup_range: tuple[float, float] = (1.0, 1.5),
+        slack_range: tuple[float, float] = (1.0, 2.0),
+        floor_capacity: float = 1.0,
+        elasticity: float = 1.0,
+    ) -> None:
+        if request_rate <= 0.0 or demand_mean <= 0.0 or floor_capacity <= 0.0:
+            raise InvalidInstanceError("rates, demand and floor must be positive")
+        lo, hi = markup_range
+        if not (0.0 < lo <= hi):
+            raise InvalidInstanceError(f"bad markup range {markup_range!r}")
+        slo, shi = slack_range
+        if not (0.0 < slo <= shi):
+            raise InvalidInstanceError(f"bad slack range {slack_range!r}")
+        if slo < 1.0:
+            raise InvalidInstanceError(
+                "slack_range below 1 produces individually inadmissible "
+                "requests; Theorem 3(3) says no online guarantee survives that"
+            )
+        self.price = price
+        self.request_rate = float(request_rate)
+        self.demand_mean = float(demand_mean)
+        self.markup_range = (float(lo), float(hi))
+        self.slack_range = (float(slo), float(shi))
+        self.floor_capacity = float(floor_capacity)
+        self.elasticity = float(elasticity)
+
+    def generate_requests(
+        self, horizon: float, rng: np.random.Generator | int | None = None
+    ) -> tuple[list[VMRequest], np.ndarray, np.ndarray]:
+        """Sample the price path and the elastic request stream.
+
+        Returns ``(requests, grid_times, prices)`` so callers can inspect
+        the price trajectory that shaped the stream.
+        """
+        gen = as_generator(rng)
+        times, prices = self.price.sample(horizon, gen)
+        requests: list[VMRequest] = []
+        rid = 0
+        # Thinning over the grid: per-cell Poisson with elastic rate.
+        for i in range(len(times) - 1):
+            t0, t1 = float(times[i]), float(times[i + 1])
+            rate = self.request_rate * (self.price.mean / prices[i]) ** self.elasticity
+            n = int(gen.poisson(rate * (t1 - t0)))
+            for _ in range(n):
+                submit = float(gen.uniform(t0, t1))
+                demand = max(float(gen.exponential(self.demand_mean)), 1e-9)
+                bid = float(
+                    np.clip(
+                        prices[i] * gen.uniform(*self.markup_range),
+                        self.price.floor,
+                        self.price.ceiling,
+                    )
+                )
+                slack = float(gen.uniform(*self.slack_range))
+                latest = submit + slack * demand / self.floor_capacity
+                requests.append(
+                    VMRequest(
+                        request_id=rid,
+                        submit_time=submit,
+                        compute_demand=demand,
+                        latest_finish=latest,
+                        bid=bid,
+                    )
+                )
+                rid += 1
+        return requests, times, prices

@@ -1,0 +1,86 @@
+"""Secondary VM requests: the cloud-facing view of a secondary job.
+
+The paper's secondary jobs "are virtual machines for low-priority
+applications that can be dynamically sized to fit the remaining server
+resource".  :class:`VMRequest` captures the user-facing request (compute
+demand, latest useful finish, bid) and converts it into the scheduler's
+:class:`~repro.sim.job.Job` abstraction; the *dynamic sizing* is exactly
+what the time-varying processor model expresses — a running VM absorbs
+whatever residual rate ``c(t)`` the server has at each instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import InvalidInstanceError
+from repro.sim.job import Job
+
+__all__ = ["VMRequest", "requests_to_jobs"]
+
+
+@dataclass(frozen=True)
+class VMRequest:
+    """A secondary (spot) VM request.
+
+    Parameters
+    ----------
+    request_id:
+        Unique id.
+    submit_time:
+        When the customer submits the request (the job's release).
+    compute_demand:
+        Total work (capacity-units × time) the VM needs to finish its task.
+    latest_finish:
+        Firm completion deadline; results delivered later are worthless to
+        the customer, so the provider earns nothing.
+    bid:
+        Price per unit of compute the customer pays on successful
+        completion — this *is* the value density, so a bid ceiling/floor
+        pair is the importance-ratio bound ``k`` of the theory.
+    """
+
+    request_id: int
+    submit_time: float
+    compute_demand: float
+    latest_finish: float
+    bid: float
+
+    def __post_init__(self) -> None:
+        if self.compute_demand <= 0.0:
+            raise InvalidInstanceError(
+                f"request {self.request_id}: non-positive demand"
+            )
+        if self.bid <= 0.0:
+            raise InvalidInstanceError(f"request {self.request_id}: non-positive bid")
+        if self.latest_finish <= self.submit_time:
+            raise InvalidInstanceError(
+                f"request {self.request_id}: latest_finish before submit_time"
+            )
+
+    @property
+    def revenue(self) -> float:
+        """Provider revenue on success: ``bid × demand``."""
+        return self.bid * self.compute_demand
+
+    def to_job(self, jid: int | None = None) -> Job:
+        """Express the request as a deadline-scheduling job."""
+        return Job(
+            jid=self.request_id if jid is None else jid,
+            release=self.submit_time,
+            workload=self.compute_demand,
+            deadline=self.latest_finish,
+            value=self.revenue,
+        )
+
+    def is_admissible(self, floor_capacity: float) -> bool:
+        """Definition-4 admissibility against the server's floor: can the
+        VM always finish if scheduled alone on the guaranteed residual?"""
+        return self.to_job().is_individually_admissible(floor_capacity)
+
+
+def requests_to_jobs(requests: Sequence[VMRequest]) -> list[Job]:
+    """Convert a batch of requests to jobs, re-keyed by submit order."""
+    ordered = sorted(requests, key=lambda r: (r.submit_time, r.request_id))
+    return [req.to_job(jid=i) for i, req in enumerate(ordered)]

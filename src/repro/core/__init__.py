@@ -1,0 +1,60 @@
+"""Core scheduling algorithms: the paper's contribution and its baselines.
+
+* :class:`VDoverScheduler` — the proposed algorithm (Section III-D);
+* :class:`DoverScheduler` — Koren–Shasha Dover with a capacity estimate ĉ
+  (the paper's comparison baseline);
+* :class:`EDFScheduler`, :class:`LLFScheduler` — classical policies,
+  optimal when underloaded (Theorems 1(1) and 2);
+* greedy strawmen for the extended benchmarks;
+* the offline reduction (:class:`StretchTransform`) and offline
+  feasibility/optimum algorithms;
+* admissibility predicates (Definition 4).
+"""
+
+from repro.core.admission_edf import AdmissionEDFScheduler
+from repro.core.admission import (
+    admissibility_report,
+    all_individually_admissible,
+    filter_admissible,
+    is_individually_admissible,
+)
+from repro.core.dover import DoverScheduler
+from repro.core.dover_family import DoverFamilyScheduler
+from repro.core.edf import EDFScheduler
+from repro.core.greedy import (
+    FCFSScheduler,
+    GreedyDensityScheduler,
+    GreedyValueScheduler,
+)
+from repro.core.llf import LLFScheduler
+from repro.core.offline import (
+    edf_result,
+    greedy_admission,
+    is_feasible,
+    is_underloaded,
+    optimal_offline_value,
+)
+from repro.core.transform import StretchTransform
+from repro.core.vdover import VDoverScheduler
+
+__all__ = [
+    "VDoverScheduler",
+    "DoverScheduler",
+    "DoverFamilyScheduler",
+    "EDFScheduler",
+    "AdmissionEDFScheduler",
+    "LLFScheduler",
+    "FCFSScheduler",
+    "GreedyDensityScheduler",
+    "GreedyValueScheduler",
+    "StretchTransform",
+    "edf_result",
+    "greedy_admission",
+    "is_feasible",
+    "is_underloaded",
+    "optimal_offline_value",
+    "admissibility_report",
+    "all_individually_admissible",
+    "filter_admissible",
+    "is_individually_admissible",
+]

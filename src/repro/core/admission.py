@@ -1,0 +1,67 @@
+"""Individual admissibility (paper, Definition 4) and related predicates.
+
+A job is *individually admissible* iff it could always be completed before
+its deadline regardless of capacity variation, had it been the only job:
+``d_i − r_i >= p_i / c̲``.  Theorem 3 makes this the dividing line for
+overloaded online scheduling: with it, V-Dover's positive competitive
+ratio holds; without it, *no* online algorithm has a positive ratio
+(Theorem 3(3); see :mod:`repro.workload.instances` for the adversarial
+family realising the impossibility).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.sim.job import Job
+
+__all__ = [
+    "is_individually_admissible",
+    "all_individually_admissible",
+    "filter_admissible",
+    "admissibility_report",
+]
+
+
+def is_individually_admissible(job: Job, c_lower: float) -> bool:
+    """Definition 4 for a single job (delegates to :meth:`Job.
+    is_individually_admissible`)."""
+    return job.is_individually_admissible(c_lower)
+
+
+def all_individually_admissible(jobs: Iterable[Job], c_lower: float) -> bool:
+    """True iff every job satisfies Definition 4 — the premise of
+    Theorem 3(2)."""
+    return all(job.is_individually_admissible(c_lower) for job in jobs)
+
+
+def filter_admissible(
+    jobs: Iterable[Job], c_lower: float
+) -> tuple[list[Job], list[Job]]:
+    """Split jobs into (admissible, inadmissible) lists.
+
+    Note the paper's warning: under *varying* capacity, dropping the
+    inadmissible jobs is not value-neutral — such jobs can still complete
+    when capacity runs high, and both online and offline schedulers may
+    profit from them.  This helper exists for instance hygiene and for
+    experiments that enforce the Theorem-3(2) premise, not as a silently
+    applied preprocessing step.
+    """
+    admissible: list[Job] = []
+    inadmissible: list[Job] = []
+    for job in jobs:
+        (admissible if job.is_individually_admissible(c_lower) else inadmissible).append(job)
+    return admissible, inadmissible
+
+
+def admissibility_report(jobs: Sequence[Job], c_lower: float) -> dict:
+    """Summary statistics used by experiment logs and the CLI."""
+    admissible, inadmissible = filter_admissible(jobs, c_lower)
+    return {
+        "n_jobs": len(jobs),
+        "n_admissible": len(admissible),
+        "n_inadmissible": len(inadmissible),
+        "admissible_value": sum(j.value for j in admissible),
+        "inadmissible_value": sum(j.value for j in inadmissible),
+        "all_admissible": not inadmissible,
+    }

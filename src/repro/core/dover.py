@@ -1,0 +1,53 @@
+"""Dover (Koren & Shasha 1995) adapted to varying capacity via a point
+estimate ``ĉ`` — the paper's comparison baseline (Section IV).
+
+Dover is optimal for *constant* capacity (competitive ratio
+``1/(1+√k)²``).  The paper evaluates it under varying capacity by giving it
+an estimate ``ĉ`` of the future rate, against which it computes laxities:
+``ĉ`` too low under-uses capacity spikes (jobs are abandoned that could
+still finish), ``ĉ`` too high over-commits during capacity troughs (running
+jobs blow their deadlines).  V-Dover dominates it by being conservative
+*and* keeping a supplement queue.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.theory import dover_beta
+from repro.core.dover_family import DoverFamilyScheduler
+from repro.errors import SchedulingError
+
+__all__ = ["DoverScheduler"]
+
+
+class DoverScheduler(DoverFamilyScheduler):
+    """Koren–Shasha Dover with a fixed future-capacity estimate.
+
+    Parameters
+    ----------
+    k:
+        Importance-ratio bound; sets the classic threshold ``β = 1 + √k``
+        unless ``beta`` overrides it.
+    c_hat:
+        The capacity estimate used for laxities (the paper sweeps
+        ``ĉ ∈ {1.0, 10.5, 24.5, 35.0}``).
+    beta:
+        Explicit threshold override.
+    """
+
+    def __init__(self, k: float, c_hat: float, *, beta: float | None = None) -> None:
+        if k < 1.0:
+            raise SchedulingError(f"importance ratio bound must be >= 1, got {k!r}")
+        if c_hat <= 0.0:
+            raise SchedulingError(f"capacity estimate must be positive: {c_hat!r}")
+        super().__init__(
+            beta if beta is not None else dover_beta(k),
+            rate_estimate=float(c_hat),
+            supplement=False,
+        )
+        self._c_hat = float(c_hat)
+        self.name = f"Dover(c={c_hat:g})"
+
+    @property
+    def c_hat(self) -> float:
+        """The configured future-capacity estimate ``ĉ``."""
+        return self._c_hat

@@ -1,0 +1,361 @@
+"""Shared machinery of the Dover scheduler family (paper, Section III-D).
+
+The paper presents V-Dover as four procedures:
+
+* **A** — the interrupt loop (implemented by the engine);
+* **B** — the job-release handler;
+* **C** — the job completion-or-failure handler;
+* **D** — the zero-conservative-laxity handler.
+
+Dover (Koren & Shasha) and V-Dover share this structure; Section IV of the
+paper states the exact two deltas: (i) Dover computes laxities against a
+point estimate ``ĉ`` of future capacity, V-Dover against the conservative
+bound ``c̲``; (ii) V-Dover keeps jobs that lose the zero-laxity value
+comparison alive as *supplement* jobs (they may still complete when the
+capacity runs above ``c̲``), while Dover abandons them (under constant
+capacity they are provably dead).  :class:`DoverFamilyScheduler` implements
+the machinery with both deltas as knobs; :mod:`repro.core.vdover` and
+:mod:`repro.core.dover` are thin configurations.
+
+State (paper lines A.1–A.2):
+
+* ``Qedf``   — recently EDF-preempted regular jobs, stored as tuples
+  ``(job, t_insert, cSlack_insert)``, earliest deadline first;
+* ``Qother`` — other regular jobs, earliest deadline first;
+* ``Qsupp``  — supplement jobs, **latest** deadline first;
+* ``cSlack`` — the slack time that can be granted to new jobs without any
+  job of {current} ∪ Qedf missing its deadline under the conservative rate
+  estimate.  While a regular job runs at real rate ``c(t) >= c̲`` its
+  conservative laxity cannot decrease, so ``cSlack`` does not decay during
+  execution; entries parked in ``Qedf`` *do* decay, which is why their
+  stored snapshot is aged by ``now − t_insert`` on restore (lines C.3/C.15).
+
+Pseudocode fidelity notes:
+
+* Lines B.7–B.9 are garbled in the published text; we reconstruct them by
+  symmetry with C.5–C.7 (the same EDF-preemption bookkeeping): on an EDF
+  preemption the new ``cSlack`` is
+  ``min(cSlack − t_c(T_arr), claxity(T_arr))``.
+* The zero-laxity interrupt is armed for every *waiting regular* job at the
+  absolute instant ``d − p_r/est`` (its laxity decreases at unit rate while
+  waiting and ``p_r`` is frozen); the engine drops alarms that fire while a
+  job runs, and re-arming on every enqueue version-invalidates stale ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import SchedulingError
+from repro.sim.job import Job
+from repro.sim.queues import EdfEntry, JobQueue, edf_key, latest_deadline_key
+from repro.sim.scheduler import Scheduler
+
+__all__ = ["DoverFamilyScheduler", "RegularInterval"]
+
+
+@dataclass(frozen=True)
+class RegularInterval:
+    """A *regular interval* (paper, Definition 6): from the first instant a
+    regular job is scheduled while Qedf is empty, to the first subsequent
+    completion of a regular job while Qedf is empty.
+
+    ``regval`` is the value completed inside the interval, ``clval`` the
+    part of it earned by jobs scheduled through the zero-laxity handler —
+    the two quantities Lemma 1 bounds the interval's capacity integral by:
+    ``∫ c <= regval + clval / (β − 1)``.
+    """
+
+    start: float
+    end: float
+    regval: float
+    clval: float
+
+    def lemma1_bound(self, beta: float) -> float:
+        """The right-hand side of Lemma 1 for this interval."""
+        return self.regval + self.clval / (beta - 1.0)
+
+
+class DoverFamilyScheduler(Scheduler):
+    """Configurable implementation of the Dover/V-Dover machinery.
+
+    Parameters
+    ----------
+    beta:
+        The value-comparison threshold of handler D (line D.1).  V-Dover
+        optimizes ``beta = 1 + sqrt(k / f(k, δ))`` (Section III-G); Dover
+        uses Koren–Shasha's ``1 + sqrt(k)``.
+    rate_estimate:
+        The rate used for laxities and conservative processing times:
+        ``None`` selects the conservative bound ``c̲`` from the context
+        (V-Dover); a float selects Dover's point estimate ``ĉ``.
+    supplement:
+        Whether losing jobs at the zero-laxity comparison are retained as
+        supplement jobs (V-Dover) or abandoned (Dover).
+    """
+
+    name = "dover-family"
+
+    def __init__(
+        self,
+        beta: float,
+        *,
+        rate_estimate: float | None = None,
+        supplement: bool = True,
+    ) -> None:
+        super().__init__()
+        if beta <= 1.0:
+            raise SchedulingError(
+                f"beta must exceed 1 (got {beta!r}); the competitive-ratio "
+                "argument and same-instant termination both require it"
+            )
+        self._beta = float(beta)
+        self._rate_cfg = rate_estimate
+        self._supplement_enabled = bool(supplement)
+
+    # ------------------------------------------------------------------
+    # Per-run state
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        if self._rate_cfg is None:
+            self._rate = self.ctx.bounds[0]
+        else:
+            self._rate = float(self._rate_cfg)
+            if self._rate <= 0.0:
+                raise SchedulingError(f"rate estimate must be positive: {self._rate}")
+        self._qedf: JobQueue[EdfEntry] = JobQueue(
+            edf_key, entry_job=lambda e: e[0], name="Qedf"
+        )
+        self._qother: JobQueue[Job] = JobQueue(edf_key, name="Qother")
+        self._qsupp: JobQueue[Job] = JobQueue(latest_deadline_key, name="Qsupp")
+        self._cslack = math.inf
+        self._supp_ids: set[int] = set()
+        self._abandoned_ids: set[int] = set()
+        # Instrumentation for the analysis module (regular intervals etc.).
+        self._stats = {
+            "zero_laxity_interrupts": 0,
+            "zero_laxity_wins": 0,
+            "supplement_labels": 0,
+            "edf_preemptions": 0,
+            "supplement_preemptions": 0,
+        }
+        # Regular-interval tracking (Definition 6 / Lemma 1).
+        self._zero_cl_ids: set[int] = set()
+        self._intervals: list[RegularInterval] = []
+        self._open_start: float | None = None
+        self._acc_regval = 0.0
+        self._acc_clval = 0.0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _claxity(self, job: Job) -> float:
+        """Laxity under the configured rate estimate (Definition 5 when the
+        estimate is ``c̲``)."""
+        return self.ctx.claxity(job, self._rate)
+
+    def _tc(self, job: Job) -> float:
+        """Estimated remaining processing time ``t_c(T, est)``."""
+        return self.ctx.conservative_remaining_time(job, self._rate)
+
+    def _is_supplement(self, job: Job) -> bool:
+        return job.jid in self._supp_ids
+
+    def _dispatch_regular(self, job: Job) -> Job:
+        """Bookkeeping for scheduling a regular job: opens a regular
+        interval when none is open and Qedf is empty (Definition 6)."""
+        if self._open_start is None and not self._qedf:
+            self._open_start = self.ctx.now()
+            self._acc_regval = 0.0
+            self._acc_clval = 0.0
+        return job
+
+    def _note_completion(self, job: Job, was_supplement: bool) -> None:
+        """Fold a completed job into the open interval and close the
+        interval if this was a regular completion with Qedf empty."""
+        if self._open_start is None:
+            return
+        self._acc_regval += job.value
+        if job.jid in self._zero_cl_ids:
+            self._acc_clval += job.value
+        if not was_supplement and not self._qedf:
+            self._intervals.append(
+                RegularInterval(
+                    start=self._open_start,
+                    end=self.ctx.now(),
+                    regval=self._acc_regval,
+                    clval=self._acc_clval,
+                )
+            )
+            self._open_start = None
+
+    @property
+    def regular_intervals(self) -> list[RegularInterval]:
+        """Closed regular intervals of the last (or running) simulation."""
+        return list(self._intervals)
+
+    def _arm_zero_laxity(self, job: Job) -> None:
+        """Arm the zero-laxity interrupt of a waiting regular job at the
+        absolute time its estimated laxity reaches zero."""
+        fire_at = job.deadline - self.ctx.remaining(job) / self._rate
+        self.ctx.set_alarm(job, fire_at, tag="zero-claxity")
+
+    def _enqueue_other(self, job: Job) -> None:
+        self._qother.insert(job)
+        self._arm_zero_laxity(job)
+
+    def _label_supplement(self, job: Job) -> None:
+        """Line D.7 — or, for Dover, abandonment."""
+        if self._supplement_enabled:
+            self._supp_ids.add(job.jid)
+            self._qsupp.insert(job)
+            self._stats["supplement_labels"] += 1
+        else:
+            # Dover: under the (assumed constant) estimate the job can no
+            # longer meet its deadline; drop it.  Its deadline event will
+            # record the failure.
+            self._abandoned_ids.add(job.jid)
+
+    @property
+    def stats(self) -> dict:
+        """Counters for ablation analysis (copies on access)."""
+        return dict(self._stats)
+
+    # ------------------------------------------------------------------
+    # Handler B: job release
+    # ------------------------------------------------------------------
+    def on_release(self, job: Job) -> Optional[Job]:
+        current = self.ctx.current_job()
+
+        if current is None:  # lines B.1–B.4: processor idle
+            self._cslack = self._claxity(job)
+            return self._dispatch_regular(job)
+
+        if self._is_supplement(current):  # lines B.13–B.15
+            # Regular arrivals preempt supplement work immediately.
+            self._qsupp.insert(current)
+            self._stats["supplement_preemptions"] += 1
+            self._cslack = self._claxity(job)
+            return self._dispatch_regular(job)
+
+        # Current is regular: EDF comparison, lines B.6–B.12.
+        if job.deadline < current.deadline and self._cslack >= self._tc(job):
+            # EDF preemption with room in the slack: current becomes a
+            # recently-EDF-scheduled job (tuple remembers the slack state).
+            self._qedf.insert((current, self.ctx.now(), self._cslack))
+            self._arm_zero_laxity(current)
+            self._cslack = min(self._cslack - self._tc(job), self._claxity(job))
+            self._stats["edf_preemptions"] += 1
+            return self._dispatch_regular(job)
+
+        self._enqueue_other(job)  # line B.11
+        return current
+
+    # ------------------------------------------------------------------
+    # Handler C: job completion or failure (of the running job)
+    # ------------------------------------------------------------------
+    def _handler_c(self) -> Optional[Job]:
+        now = self.ctx.now()
+
+        if self._qedf and self._qother:  # lines C.1–C.9
+            head_job, t_prev, cslack_prev = self._qedf.first()
+            self._cslack = cslack_prev - (now - t_prev)
+            other = self._qother.first()
+            if (
+                other.deadline < head_job.deadline
+                and self._cslack >= self._tc(other)
+            ):  # lines C.5–C.7
+                self._qother.remove(other)
+                self._cslack = min(
+                    self._cslack - self._tc(other), self._claxity(other)
+                )
+                return self._dispatch_regular(other)
+            self._qedf.dequeue()  # line C.9
+            return self._dispatch_regular(head_job)
+
+        if self._qother:  # lines C.10–C.12
+            other = self._qother.dequeue()
+            self._cslack = self._claxity(other)
+            return self._dispatch_regular(other)
+
+        if self._qedf:  # lines C.13–C.15
+            head_job, t_prev, cslack_prev = self._qedf.dequeue()
+            self._cslack = cslack_prev - (now - t_prev)
+            return self._dispatch_regular(head_job)
+
+        # Lines C.16–C.22: no regular work left.
+        self._cslack = math.inf
+        if self._qsupp:
+            return self._qsupp.dequeue()
+        return None
+
+    def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
+        current = self.ctx.current_job()
+        if current is not None:
+            # A *waiting* job expired: purge it from wherever it sits and
+            # keep executing.  (Handler C is only for the running job.)
+            self._remove_everywhere(job)
+            return current
+        # The running job completed or failed: full handler C.
+        was_supplement = self._is_supplement(job)
+        self._remove_everywhere(job)  # defensive; it should be in no queue
+        if completed:
+            self._note_completion(job, was_supplement)
+        return self._handler_c()
+
+    def _remove_everywhere(self, job: Job) -> None:
+        self._qedf.remove(job)
+        self._qother.remove(job)
+        self._qsupp.remove(job)
+        self._supp_ids.discard(job.jid)
+
+    # ------------------------------------------------------------------
+    # Handler D: zero (estimated) laxity
+    # ------------------------------------------------------------------
+    def on_alarm(self, job: Job, tag: str) -> Optional[Job]:
+        if tag != "zero-claxity":  # pragma: no cover - future-proofing
+            return self.ctx.current_job()
+        if self._is_supplement(job) or job.jid in self._abandoned_ids:
+            return self.ctx.current_job()  # stale alarm on a demoted job
+        self._stats["zero_laxity_interrupts"] += 1
+        current = self.ctx.current_job()
+
+        if current is None or self._is_supplement(current):
+            # Defensive branch: a waiting regular job while no regular job
+            # runs should not occur (every handler schedules regular work
+            # ahead of supplement/idle), but an urgent regular job must run.
+            self._remove_from_regular_queues(job)
+            if current is not None:
+                self._qsupp.insert(current)
+            self._cslack = 0.0
+            self._stats["zero_laxity_wins"] += 1
+            self._zero_cl_ids.add(job.jid)
+            return self._dispatch_regular(job)
+
+        protected_value = current.value + sum(
+            entry[0].value for entry in self._qedf.entries()
+        )
+        if job.value > self._beta * protected_value:  # lines D.1–D.5
+            self._remove_from_regular_queues(job)
+            self._enqueue_other(current)
+            for entry in self._qedf.drain():  # line D.3
+                self._enqueue_other(entry[0])
+            self._cslack = 0.0  # line D.4
+            self._stats["zero_laxity_wins"] += 1
+            self._zero_cl_ids.add(job.jid)
+            return self._dispatch_regular(job)
+
+        # Line D.7: not valuable enough — demote.
+        self._remove_from_regular_queues(job)
+        self._label_supplement(job)
+        return current
+
+    def _remove_from_regular_queues(self, job: Job) -> None:
+        if self._qedf.remove(job) is None:
+            if self._qother.remove(job) is None:
+                raise SchedulingError(
+                    f"zero-laxity interrupt for job {job.jid} that is in "
+                    "neither Qedf nor Qother"
+                )

@@ -1,0 +1,56 @@
+"""Earliest Deadline First — optimal for underloaded systems (Theorem 2).
+
+EDF always runs the ready job with the earliest deadline, preempting on
+arrival of an earlier-deadline job.  The paper's Theorem 2 shows this
+achieves competitive ratio 1 for underloaded systems *even under
+time-varying capacity* (the classical constant-capacity result of Liu &
+Layland / Dertouzos carries over via the time-stretch transformation).
+
+Under overload EDF can be arbitrarily bad (Locke's observation): it
+happily burns the whole horizon on a long low-value job whose deadline is
+earliest, starving everything else.  The adversarial generators in
+:mod:`repro.workload.instances` exhibit this; Dover/V-Dover exist to fix it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.job import Job
+from repro.sim.queues import JobQueue, edf_key
+from repro.sim.scheduler import Scheduler
+
+__all__ = ["EDFScheduler"]
+
+
+class EDFScheduler(Scheduler):
+    """Preemptive earliest-deadline-first.
+
+    Ties on deadline break by job id, so runs are deterministic.
+    """
+
+    name = "EDF"
+
+    def reset(self) -> None:
+        self._ready: JobQueue[Job] = JobQueue(edf_key, name="edf-ready")
+
+    def on_release(self, job: Job) -> Optional[Job]:
+        current = self.ctx.current_job()
+        if current is None:
+            return job
+        if edf_key(job) < edf_key(current):
+            self._ready.insert(current)
+            return job
+        self._ready.insert(job)
+        return current
+
+    def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
+        current = self.ctx.current_job()
+        if current is not None:
+            # A waiting job expired; just drop it from the ready queue.
+            self._ready.remove(job)
+            return current
+        self._ready.remove(job)  # no-op if `job` was the running one
+        if self._ready:
+            return self._ready.dequeue()
+        return None

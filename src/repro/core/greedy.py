@@ -1,0 +1,126 @@
+"""Simple greedy baselines: value-density, absolute-value, FCFS.
+
+These are not from the paper's evaluation (which compares V-Dover against
+Dover) but are the standard strawmen in the overload-scheduling literature
+and are used by the extended benchmarks and examples to situate the Dover
+family: a value-blind policy (FCFS/EDF) collapses under overload, a
+deadline-blind policy (pure greedy) wastes work on jobs that cannot finish.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.job import Job
+from repro.sim.queues import JobQueue
+from repro.sim.scheduler import Scheduler
+
+__all__ = [
+    "GreedyDensityScheduler",
+    "GreedyValueScheduler",
+    "FCFSScheduler",
+]
+
+
+class _PriorityPreemptiveScheduler(Scheduler):
+    """Run the ready job with the best static priority, preemptively.
+
+    Subclasses provide the priority key (smaller = better).  A newly
+    released job preempts if and only if it strictly beats the running one.
+    """
+
+    def _key(self, job: Job) -> tuple:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        self._ready: JobQueue[Job] = JobQueue(self._key, name=f"{self.name}-ready")
+
+    def on_release(self, job: Job) -> Optional[Job]:
+        current = self.ctx.current_job()
+        if current is None:
+            return job
+        if self._key(job) < self._key(current):
+            self._ready.insert(current)
+            return job
+        self._ready.insert(job)
+        return current
+
+    def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
+        current = self.ctx.current_job()
+        if current is not None:
+            self._ready.remove(job)
+            return current
+        self._ready.remove(job)
+        if self._ready:
+            return self._ready.dequeue()
+        return None
+
+
+class GreedyDensityScheduler(_PriorityPreemptiveScheduler):
+    """Highest value-density first (``v_i / p_i``), preemptive.
+
+    Skips jobs that provably cannot finish even at the *optimistic* bound
+    ``c̄`` (running them is pure waste)."""
+
+    name = "GreedyDensity"
+
+    def _key(self, job: Job) -> tuple:
+        return (-job.density, job.jid)
+
+    def _hopeless(self, job: Job) -> bool:
+        _lo, hi = self.ctx.bounds
+        return self.ctx.remaining(job) / hi > job.deadline - self.ctx.now()
+
+    def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
+        current = self.ctx.current_job()
+        if current is not None:
+            self._ready.remove(job)
+            return current
+        self._ready.remove(job)
+        while self._ready:
+            candidate = self._ready.dequeue()
+            if not self._hopeless(candidate):
+                return candidate
+        return None
+
+
+class GreedyValueScheduler(_PriorityPreemptiveScheduler):
+    """Highest absolute value first, preemptive."""
+
+    name = "GreedyValue"
+
+    def _key(self, job: Job) -> tuple:
+        return (-job.value, job.jid)
+
+
+class FCFSScheduler(Scheduler):
+    """First come, first served; run-to-completion (no preemption).
+
+    The running job is never preempted; waiting jobs queue in release
+    order.  The classic cycle-stealing strawman (Condor-style systems
+    without deadline awareness behave like this).
+    """
+
+    name = "FCFS"
+
+    def reset(self) -> None:
+        self._fifo: JobQueue[Job] = JobQueue(
+            lambda job: (job.release, job.jid), name="fcfs-fifo"
+        )
+
+    def on_release(self, job: Job) -> Optional[Job]:
+        current = self.ctx.current_job()
+        if current is None:
+            return job
+        self._fifo.insert(job)
+        return current
+
+    def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
+        current = self.ctx.current_job()
+        if current is not None:
+            self._fifo.remove(job)
+            return current
+        self._fifo.remove(job)
+        if self._fifo:
+            return self._fifo.dequeue()
+        return None

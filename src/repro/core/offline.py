@@ -1,0 +1,151 @@
+"""Offline (clairvoyant) scheduling: feasibility, exact optimum, heuristics.
+
+The offline value-maximisation problem is NP-hard even for constant
+capacity (Dertouzos & Mok), so this module provides:
+
+* an exact **feasibility** test (:func:`is_feasible`): with free preemption
+  on one processor, EDF completes every job of a set iff *some* schedule
+  does (classical optimality of EDF for feasibility; it transfers to
+  varying capacity through the stretch transformation, and our EDF
+  implementation is capacity-oblivious anyway);
+* an exact **optimal value** via branch-and-bound over job subsets
+  (:func:`optimal_offline_value`) — practical to ``n ≈ 20`` thanks to the
+  monotone pruning rule (supersets of infeasible sets are infeasible) and
+  the residual-value bound;
+* a polynomial **greedy admission** heuristic (:func:`greedy_admission`),
+  which is the classical density-ordered accept-if-still-feasible rule;
+* :func:`is_underloaded` — the paper's underload condition for a concrete
+  instance (every released job can be completed), i.e. the premise of
+  Theorem 2.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Sequence
+
+from repro.capacity.base import CapacityFunction
+from repro.core.edf import EDFScheduler
+from repro.errors import InvalidInstanceError
+from repro.sim.engine import simulate
+from repro.sim.job import Job
+from repro.sim.metrics import SimulationResult
+
+__all__ = [
+    "edf_result",
+    "is_feasible",
+    "is_underloaded",
+    "optimal_offline_value",
+    "greedy_admission",
+]
+
+logger = logging.getLogger(__name__)
+
+
+def edf_result(
+    jobs: Sequence[Job],
+    capacity: CapacityFunction,
+    *,
+    validate: bool = False,
+) -> SimulationResult:
+    """Run (capacity-oblivious) EDF over the instance and return the result."""
+    return simulate(jobs, capacity, EDFScheduler(), validate=validate)
+
+
+def is_feasible(jobs: Sequence[Job], capacity: CapacityFunction) -> bool:
+    """Can *all* jobs meet their deadlines under some preemptive schedule?
+
+    Exact: EDF is optimal for feasibility on a single preemptive processor,
+    a property preserved under the stretch transformation, so simulating
+    EDF decides the question.
+    """
+    if not jobs:
+        return True
+    return edf_result(jobs, capacity).n_completed == len(jobs)
+
+
+def is_underloaded(jobs: Sequence[Job], capacity: CapacityFunction) -> bool:
+    """The paper's underload condition for this instance: there exists an
+    offline schedule finishing every job by its deadline."""
+    return is_feasible(jobs, capacity)
+
+
+def optimal_offline_value(
+    jobs: Sequence[Job],
+    capacity: CapacityFunction,
+    *,
+    max_jobs: int = 20,
+    return_set: bool = False,
+):
+    """Exact clairvoyant optimum by branch-and-bound over job subsets.
+
+    The optimal offline scheduler completes some subset ``S`` of jobs and
+    (w.l.o.g.) runs EDF on ``S``; the optimum is the maximum total value
+    over feasible subsets.  Jobs are branched in descending value order;
+    a branch is cut when (a) including the job makes the chosen set
+    infeasible (monotone: all supersets stay infeasible), or (b) the chosen
+    value plus all remaining value cannot beat the incumbent.
+
+    Parameters
+    ----------
+    max_jobs:
+        Hard cap guarding against accidental exponential blow-ups; raise it
+        explicitly for bigger instances if you have the patience.
+    return_set:
+        When true, return ``(value, frozenset_of_jids)`` instead of the
+        bare value.
+    """
+    if len(jobs) > max_jobs:
+        raise InvalidInstanceError(
+            f"optimal_offline_value is exponential; got {len(jobs)} jobs "
+            f"with max_jobs={max_jobs} (raise max_jobs to force)"
+        )
+    order = sorted(jobs, key=lambda j: (-j.value, j.jid))
+    suffix_value = [0.0] * (len(order) + 1)
+    for i in range(len(order) - 1, -1, -1):
+        suffix_value[i] = suffix_value[i + 1] + order[i].value
+
+    best_value = 0.0
+    best_set: frozenset[int] = frozenset()
+
+    def descend(i: int, chosen: list[Job], value: float) -> None:
+        nonlocal best_value, best_set
+        if value > best_value:
+            best_value = value
+            best_set = frozenset(j.jid for j in chosen)
+        if i == len(order) or value + suffix_value[i] <= best_value:
+            return
+        job = order[i]
+        chosen.append(job)
+        if is_feasible(chosen, capacity):
+            descend(i + 1, chosen, value + job.value)
+        chosen.pop()
+        descend(i + 1, chosen, value)
+
+    descend(0, [], 0.0)
+    if return_set:
+        return best_value, best_set
+    return best_value
+
+
+def greedy_admission(
+    jobs: Sequence[Job],
+    capacity: CapacityFunction,
+    *,
+    key: Callable[[Job], tuple] | None = None,
+) -> tuple[float, list[Job]]:
+    """Polynomial heuristic: scan jobs in priority order (default: value
+    density descending), admit each if the admitted set stays feasible.
+
+    Returns ``(total admitted value, admitted jobs)``.  This is the natural
+    clairvoyant heuristic a practitioner would deploy; the benchmarks use
+    it as a scalable stand-in for the optimum on large instances.
+    """
+    if key is None:
+        key = lambda job: (-job.density, job.jid)  # noqa: E731
+    admitted: list[Job] = []
+    for job in sorted(jobs, key=key):
+        admitted.append(job)
+        if not is_feasible(admitted, capacity):
+            admitted.pop()
+    return sum(j.value for j in admitted), admitted

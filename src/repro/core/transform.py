@@ -1,0 +1,130 @@
+"""The time-stretch transformation (paper, Section III-A).
+
+The offline varying-capacity problem reduces to the classical
+constant-capacity problem through the stretch map
+
+    t' = T(t) = (1/c') ∫₀ᵗ c(τ) dτ
+
+where ``c'`` is the target constant rate.  The map preserves workload
+between any two epochs — ``∫_s^t c = c'·(T(t) − T(s))`` — so a job executes
+the same amount of work in an interval as in its image, and a schedule is
+feasible/valuable on the original instance iff its image is on the
+transformed one.  This module implements the map, its inverse, the induced
+job transformation (``r' = T(r)``, ``d' = T(d)``, ``p' = p``, ``v' = v``)
+and the schedule bijection, so any constant-capacity offline algorithm can
+be applied to varying-capacity instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.capacity.base import CapacityFunction
+from repro.capacity.constant import ConstantCapacity
+from repro.errors import CapacityError
+from repro.sim.job import Job
+from repro.sim.trace import RunSegment
+
+__all__ = ["StretchTransform"]
+
+
+@dataclass(frozen=True)
+class _TransformedInstance:
+    jobs: list[Job]
+    capacity: ConstantCapacity
+
+
+class StretchTransform:
+    """The bijection between a varying-capacity system and its
+    constant-capacity image.
+
+    Parameters
+    ----------
+    capacity:
+        The original time-varying capacity ``c(t)``.
+    rate:
+        The constant rate ``c'`` of the image system.  The paper uses the
+        upper bound ``c̄``; any positive value yields a valid reduction, so
+        it is configurable (rate 1 makes stretched time equal cumulative
+        work, which is occasionally convenient).
+    """
+
+    def __init__(self, capacity: CapacityFunction, rate: float | None = None) -> None:
+        if rate is None:
+            rate = capacity.upper
+        if rate <= 0.0:
+            raise CapacityError(f"target constant rate must be positive: {rate!r}")
+        self._capacity = capacity
+        self._rate = float(rate)
+
+    @property
+    def rate(self) -> float:
+        """The image system's constant rate ``c'``."""
+        return self._rate
+
+    # ------------------------------------------------------------------
+    # The time map
+    # ------------------------------------------------------------------
+    def forward(self, t: float) -> float:
+        """``T(t) = (1/c') ∫₀ᵗ c`` — original time to stretched time."""
+        if t < 0.0:
+            raise CapacityError(f"stretch map undefined for t < 0: {t!r}")
+        return self._capacity.integrate(0.0, t) / self._rate
+
+    def inverse(self, t_stretched: float) -> float:
+        """``T⁻¹`` — stretched time back to original time.
+
+        Because ``c >= c̲ > 0``, ``T`` is strictly increasing and the
+        inverse is the instant by which ``c'·t'`` units of work accumulate.
+        """
+        if t_stretched < 0.0:
+            raise CapacityError(
+                f"inverse stretch undefined for t' < 0: {t_stretched!r}"
+            )
+        return self._capacity.advance(0.0, self._rate * t_stretched)
+
+    # ------------------------------------------------------------------
+    # Instance transformation
+    # ------------------------------------------------------------------
+    def transform_job(self, job: Job) -> Job:
+        """Map ``T_i`` to its stretched image ``T'_i`` (same workload and
+        value, stretched release and deadline)."""
+        return Job(
+            jid=job.jid,
+            release=self.forward(job.release),
+            workload=job.workload,
+            deadline=self.forward(job.deadline),
+            value=job.value,
+        )
+
+    def transform_instance(self, jobs: Sequence[Job]) -> _TransformedInstance:
+        """Map a whole instance; the image runs on ``ConstantCapacity(c')``."""
+        return _TransformedInstance(
+            jobs=[self.transform_job(job) for job in jobs],
+            capacity=ConstantCapacity(self._rate),
+        )
+
+    # ------------------------------------------------------------------
+    # Schedule bijection
+    # ------------------------------------------------------------------
+    def map_segments(self, segments: Sequence[RunSegment]) -> list[RunSegment]:
+        """Map a schedule of the original system to the image system.
+
+        Interval endpoints map through ``T``; the work in each segment is
+        preserved (that is the whole point of the transformation)."""
+        out = []
+        for seg in segments:
+            start = self.forward(seg.start)
+            end = self.forward(seg.end)
+            out.append(RunSegment(start=start, end=end, jid=seg.jid, work=seg.work))
+        return out
+
+    def unmap_segments(self, segments: Sequence[RunSegment]) -> list[RunSegment]:
+        """Map a schedule of the image system back to the original one."""
+        out = []
+        for seg in segments:
+            start = self.inverse(seg.start)
+            end = self.inverse(seg.end)
+            out.append(RunSegment(start=start, end=end, jid=seg.jid, work=seg.work))
+        return out

@@ -1,0 +1,49 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the package with a single ``except`` clause
+while still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the :mod:`repro` package."""
+
+
+class CapacityError(ReproError):
+    """Raised for invalid capacity functions or out-of-domain queries.
+
+    Examples: a capacity model whose lower bound is non-positive, a piecewise
+    model with unsorted breakpoints, or an ``integrate`` query with a
+    reversed interval.
+    """
+
+
+class InvalidInstanceError(ReproError):
+    """Raised when a problem instance (job set and/or capacity) is malformed.
+
+    Examples: a job with negative workload, a deadline earlier than the
+    release time, or a non-positive value.
+    """
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduler is driven outside its contract.
+
+    Examples: scheduling a job that was never released, resuming a completed
+    job, or an interrupt handler returning a job unknown to the engine.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event engine detects an internal
+    inconsistency (events out of order, negative remaining workload beyond
+    tolerance, a trace that fails validation, ...)."""
+
+
+class AnalysisError(ReproError):
+    """Raised for invalid analysis queries (e.g. the competitive-ratio
+    formula of Theorem 3 evaluated at ``delta <= 1``, where ``f(k, delta)``
+    is undefined)."""

@@ -1,0 +1,62 @@
+"""Experiment harnesses: one per paper artifact (see DESIGN.md's index)."""
+
+from repro.experiments.figure1 import (
+    Figure1Config,
+    Figure1Panel,
+    Figure1Result,
+    run_figure1,
+)
+from repro.experiments.runner import (
+    MonteCarloRunner,
+    PaperInstanceFactory,
+    ReplicationOutcome,
+    SchedulerSpec,
+    default_mc_runs,
+)
+from repro.experiments.sweeps import (
+    SweepResult,
+    default_policy_specs,
+    run_beta_sweep,
+    run_delta_sweep,
+    run_k_misestimation_sweep,
+    run_policy_sweep,
+    run_slack_sweep,
+    run_supplement_ablation,
+)
+from repro.experiments.store import (
+    diff_table1,
+    load_sweep,
+    load_table1,
+    save_sweep,
+    save_table1,
+)
+from repro.experiments.table1 import Table1Config, Table1Result, Table1Row, run_table1
+
+__all__ = [
+    "Figure1Config",
+    "Figure1Panel",
+    "Figure1Result",
+    "run_figure1",
+    "MonteCarloRunner",
+    "PaperInstanceFactory",
+    "ReplicationOutcome",
+    "SchedulerSpec",
+    "default_mc_runs",
+    "SweepResult",
+    "default_policy_specs",
+    "run_beta_sweep",
+    "run_delta_sweep",
+    "run_k_misestimation_sweep",
+    "run_slack_sweep",
+    "run_policy_sweep",
+    "run_supplement_ablation",
+    "Table1Config",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+    "diff_table1",
+    "load_sweep",
+    "load_table1",
+    "save_sweep",
+    "save_table1",
+]

@@ -1,0 +1,172 @@
+"""Seeded, optionally parallel Monte-Carlo replication harness.
+
+Design rules (per the HPC guides and for statistical hygiene):
+
+* every replication derives its RNG from ``SeedSequence(seed).spawn(n)``,
+  so results do not depend on worker scheduling or on how many workers run;
+* all schedulers inside one replication run on the *same* instance (same
+  jobs, same realized capacity path), so cross-algorithm comparisons are
+  paired — exactly how the paper compares V-Dover with Dover's four ĉ
+  settings;
+* worker payloads are plain picklable dataclasses (no lambdas), so the
+  harness runs unchanged under ``multiprocessing``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.capacity.base import CapacityFunction
+from repro.capacity.markov import TwoStateMarkovCapacity
+from repro.errors import ReproError
+from repro.sim.engine import simulate
+from repro.sim.job import Job, total_value
+from repro.sim.scheduler import Scheduler
+from repro.workload.base import WorkloadGenerator
+
+__all__ = [
+    "SchedulerSpec",
+    "PaperInstanceFactory",
+    "ReplicationOutcome",
+    "MonteCarloRunner",
+    "default_mc_runs",
+]
+
+
+def default_mc_runs(fallback: int) -> int:
+    """Monte-Carlo run count: ``REPRO_MC_RUNS`` env override, else fallback.
+
+    The paper averages over 800 runs; the shipped benchmarks default to a
+    laptop-friendly count and scale up via the environment variable."""
+    raw = os.environ.get("REPRO_MC_RUNS")
+    if raw is None:
+        return fallback
+    runs = int(raw)
+    if runs < 1:
+        raise ReproError(f"REPRO_MC_RUNS must be >= 1, got {runs}")
+    return runs
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Picklable recipe for a scheduler instance."""
+
+    name: str
+    cls: type
+    kwargs: Mapping = field(default_factory=dict)
+
+    def build(self) -> Scheduler:
+        scheduler = self.cls(**self.kwargs)
+        scheduler.name = self.name  # stable label independent of defaults
+        return scheduler
+
+
+@dataclass(frozen=True)
+class PaperInstanceFactory:
+    """The paper's Section-IV instance distribution.
+
+    Jobs from a workload generator; capacity an independent two-state CTMC
+    (``low``/``high`` with mean sojourn ``sojourn``).  One factory call
+    consumes two child RNGs — one for jobs, one for the capacity path — so
+    the two processes are independent, as in the paper.
+    """
+
+    workload: WorkloadGenerator
+    low: float = 1.0
+    high: float = 35.0
+    sojourn: float = 1.0
+
+    def make(self, rng: np.random.Generator) -> tuple[list[Job], CapacityFunction]:
+        job_seed, cap_seed = rng.spawn(2)
+        jobs = self.workload.generate(job_seed)
+        capacity = TwoStateMarkovCapacity(
+            self.low, self.high, mean_sojourn=self.sojourn, rng=cap_seed
+        )
+        return jobs, capacity
+
+
+@dataclass
+class ReplicationOutcome:
+    """Per-replication metrics for every scheduler (paired by instance)."""
+
+    generated_value: float
+    n_jobs: int
+    #: scheduler name -> accrued value
+    values: dict[str, float]
+    #: scheduler name -> completed-job count
+    completed: dict[str, int]
+
+    def normalized(self, name: str) -> float:
+        return self.values[name] / self.generated_value if self.generated_value else 0.0
+
+
+def _run_one(
+    args: tuple,
+) -> ReplicationOutcome:
+    """Worker: one replication — one instance, all schedulers (paired)."""
+    factory, specs, seed_seq = args
+    rng = np.random.default_rng(seed_seq)
+    jobs, capacity = factory.make(rng)
+    gen_value = total_value(jobs)
+    values: dict[str, float] = {}
+    completed: dict[str, int] = {}
+    for spec in specs:
+        result = simulate(jobs, capacity, spec.build())
+        values[spec.name] = result.value
+        completed[spec.name] = result.n_completed
+    return ReplicationOutcome(
+        generated_value=gen_value,
+        n_jobs=len(jobs),
+        values=values,
+        completed=completed,
+    )
+
+
+class MonteCarloRunner:
+    """Replicate (instance → all schedulers) ``n_runs`` times.
+
+    Parameters
+    ----------
+    factory:
+        Instance factory (e.g. :class:`PaperInstanceFactory`).
+    specs:
+        Scheduler recipes, all evaluated on every instance.
+    """
+
+    def __init__(self, factory, specs: Sequence[SchedulerSpec]) -> None:
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate scheduler names: {names}")
+        self.factory = factory
+        self.specs = list(specs)
+
+    def run(
+        self,
+        n_runs: int,
+        seed: int = 0,
+        *,
+        workers: int | None = None,
+    ) -> list[ReplicationOutcome]:
+        """Execute the replications; ``workers=0``/``1`` forces serial.
+
+        ``workers=None`` auto-sizes to the CPU count (capped at 8) when the
+        job is big enough to amortise process startup.
+        """
+        if n_runs < 1:
+            raise ReproError(f"n_runs must be >= 1, got {n_runs}")
+        seeds = np.random.SeedSequence(seed).spawn(n_runs)
+        payloads = [(self.factory, self.specs, s) for s in seeds]
+
+        if workers is None:
+            workers = min(os.cpu_count() or 1, 8) if n_runs >= 8 else 1
+        if workers <= 1:
+            return [_run_one(p) for p in payloads]
+
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(_run_one, payloads, chunksize=max(1, n_runs // (4 * workers)))

@@ -1,0 +1,152 @@
+"""Persist and compare experiment results.
+
+Reproduction work is iterative: you run Table I today, change the engine
+tomorrow, and need to know what moved.  The store serialises experiment
+results (Table I rows, sweeps) to JSON with their configuration and a
+schema version, reloads them, and diffs two runs with per-cell drift —
+the benchmark suite's `benchmarks/results/*.txt` artifacts are for humans,
+these JSON files are for machines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Mapping
+
+from repro.analysis.stats import Summary
+from repro.errors import AnalysisError
+from repro.experiments.sweeps import SweepResult
+from repro.experiments.table1 import Table1Config, Table1Result, Table1Row
+
+__all__ = [
+    "save_table1",
+    "load_table1",
+    "diff_table1",
+    "save_sweep",
+    "load_sweep",
+]
+
+_SCHEMA = 1
+
+
+def _summary_to_dict(s: Summary) -> dict:
+    return {"n": s.n, "mean": s.mean, "std": s.std, "ci_half_width": s.ci_half_width}
+
+
+def _summary_from_dict(d: Mapping) -> Summary:
+    return Summary(
+        n=int(d["n"]),
+        mean=float(d["mean"]),
+        std=float(d["std"]),
+        ci_half_width=float(d["ci_half_width"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+def save_table1(path: str | Path, result: Table1Result) -> None:
+    doc = {
+        "schema": _SCHEMA,
+        "kind": "table1",
+        "config": asdict(result.config),
+        "rows": [
+            {
+                "lam": row.lam,
+                "dover_percent": {
+                    str(c): _summary_to_dict(s) for c, s in row.dover_percent.items()
+                },
+                "vdover_percent": _summary_to_dict(row.vdover_percent),
+                "best_c_hat": row.best_c_hat,
+                "gain_percent": _summary_to_dict(row.gain_percent),
+            }
+            for row in result.rows
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def load_table1(path: str | Path) -> Table1Result:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("kind") != "table1":
+        raise AnalysisError(f"{path}: not a table1 result file")
+    if doc.get("schema") != _SCHEMA:
+        raise AnalysisError(f"{path}: unsupported schema {doc.get('schema')}")
+    config_dict = dict(doc["config"])
+    config_dict["lambdas"] = tuple(config_dict["lambdas"])
+    config_dict["c_hats"] = tuple(config_dict["c_hats"])
+    result = Table1Result(config=Table1Config(**config_dict))
+    for row in doc["rows"]:
+        result.rows.append(
+            Table1Row(
+                lam=float(row["lam"]),
+                dover_percent={
+                    float(c): _summary_from_dict(s)
+                    for c, s in row["dover_percent"].items()
+                },
+                vdover_percent=_summary_from_dict(row["vdover_percent"]),
+                best_c_hat=float(row["best_c_hat"]),
+                gain_percent=_summary_from_dict(row["gain_percent"]),
+            )
+        )
+    return result
+
+
+def diff_table1(a: Table1Result, b: Table1Result) -> list[dict]:
+    """Per-row drift between two Table-I runs (matched by λ).
+
+    Returns one record per common λ with the V-Dover mean drift, the gain
+    drift, and whether the drift exceeds the combined confidence widths
+    (``significant``) — the machine answer to "did my change move Table I?".
+    """
+    by_lam_a = {row.lam: row for row in a.rows}
+    by_lam_b = {row.lam: row for row in b.rows}
+    out = []
+    for lam in sorted(set(by_lam_a) & set(by_lam_b)):
+        ra, rb = by_lam_a[lam], by_lam_b[lam]
+        vd_drift = rb.vdover_percent.mean - ra.vdover_percent.mean
+        gain_drift = rb.gain_percent.mean - ra.gain_percent.mean
+        width = ra.vdover_percent.ci_half_width + rb.vdover_percent.ci_half_width
+        out.append(
+            {
+                "lam": lam,
+                "vdover_drift": vd_drift,
+                "gain_drift": gain_drift,
+                "significant": abs(vd_drift) > width,
+            }
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+# ----------------------------------------------------------------------
+def save_sweep(path: str | Path, result: SweepResult) -> None:
+    doc = {
+        "schema": _SCHEMA,
+        "kind": "sweep",
+        "sweep_name": result.sweep_name,
+        "swept_values": result.swept_values,
+        "percents": {
+            name: [_summary_to_dict(s) for s in summaries]
+            for name, summaries in result.percents.items()
+        },
+    }
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def load_sweep(path: str | Path) -> SweepResult:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("kind") != "sweep":
+        raise AnalysisError(f"{path}: not a sweep result file")
+    if doc.get("schema") != _SCHEMA:
+        raise AnalysisError(f"{path}: unsupported schema {doc.get('schema')}")
+    result = SweepResult(sweep_name=doc["sweep_name"])
+    result.swept_values = [float(v) for v in doc["swept_values"]]
+    result.percents = {
+        name: [_summary_from_dict(s) for s in summaries]
+        for name, summaries in doc["percents"].items()
+    }
+    return result

@@ -1,0 +1,325 @@
+"""Parameter sweeps and ablations (experiments E3, E6, E7, E8).
+
+The paper motivates three design choices in V-Dover; each gets an ablation
+harness here:
+
+* **supplement queue** (delta (ii) vs Dover) — :func:`run_supplement_ablation`;
+* **value threshold β** (optimised in Theorem 3's proof) — :func:`run_beta_sweep`;
+* **conservatism vs capacity variability δ** — :func:`run_delta_sweep`.
+
+Plus a general policy sweep (:func:`run_policy_sweep`) comparing the whole
+scheduler zoo over the paper's load range, used by the extended benchmarks
+and the overload-analysis example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.tables import render_table
+from repro.core.admission_edf import AdmissionEDFScheduler
+from repro.core.dover import DoverScheduler
+from repro.core.edf import EDFScheduler
+from repro.core.greedy import FCFSScheduler, GreedyDensityScheduler
+from repro.core.llf import LLFScheduler
+from repro.core.vdover import VDoverScheduler
+from repro.experiments.runner import (
+    MonteCarloRunner,
+    PaperInstanceFactory,
+    SchedulerSpec,
+)
+from repro.workload.poisson import PoissonWorkload
+
+__all__ = [
+    "SweepResult",
+    "run_policy_sweep",
+    "run_supplement_ablation",
+    "run_beta_sweep",
+    "run_delta_sweep",
+    "run_k_misestimation_sweep",
+    "run_slack_sweep",
+    "default_policy_specs",
+]
+
+
+@dataclass
+class SweepResult:
+    """Generic sweep output: one row per swept value, one summary per
+    scheduler (mean % of generated value captured)."""
+
+    sweep_name: str
+    swept_values: list[float] = field(default_factory=list)
+    #: scheduler name -> list of Summary, aligned with swept_values
+    percents: dict[str, list[Summary]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        names = list(self.percents)
+        headers = [self.sweep_name] + names
+        rows = []
+        for i, v in enumerate(self.swept_values):
+            rows.append(
+                [f"{v:g}"] + [f"{self.percents[n][i].mean:7.3f}" for n in names]
+            )
+        return render_table(headers, rows, title=f"Sweep over {self.sweep_name}")
+
+    def best_at(self, index: int) -> str:
+        """Name of the best scheduler at swept index ``index``."""
+        return max(self.percents, key=lambda n: self.percents[n][index].mean)
+
+
+def default_policy_specs(k: float = 7.0) -> list[SchedulerSpec]:
+    """The scheduler zoo of the extended comparison."""
+    return [
+        SchedulerSpec("EDF", EDFScheduler, {}),
+        SchedulerSpec("EDF-AC", AdmissionEDFScheduler, {}),
+        SchedulerSpec("LLF", LLFScheduler, {}),
+        SchedulerSpec("FCFS", FCFSScheduler, {}),
+        SchedulerSpec("GreedyDensity", GreedyDensityScheduler, {}),
+        SchedulerSpec("Dover(c=1)", DoverScheduler, {"k": k, "c_hat": 1.0}),
+        SchedulerSpec("Dover(c=35)", DoverScheduler, {"k": k, "c_hat": 35.0}),
+        SchedulerSpec("V-Dover", VDoverScheduler, {"k": k}),
+    ]
+
+
+def _paper_factory(
+    lam: float,
+    *,
+    k: float = 7.0,
+    low: float = 1.0,
+    high: float = 35.0,
+    expected_jobs: float = 500.0,
+    deadline_slack: float = 1.0,
+) -> PaperInstanceFactory:
+    horizon = expected_jobs / lam
+    return PaperInstanceFactory(
+        workload=PoissonWorkload(
+            lam=lam,
+            horizon=horizon,
+            density_range=(1.0, k),
+            c_lower=low,
+            deadline_slack=deadline_slack,
+        ),
+        low=low,
+        high=high,
+        sojourn=horizon / 4.0,
+    )
+
+
+def _sweep(
+    sweep_name: str,
+    values: Sequence[float],
+    factories: Sequence[PaperInstanceFactory],
+    specs_per_value: Sequence[Sequence[SchedulerSpec]],
+    n_runs: int,
+    seed: int,
+    workers: int | None,
+) -> SweepResult:
+    result = SweepResult(sweep_name=sweep_name)
+    for i, (value, factory, specs) in enumerate(
+        zip(values, factories, specs_per_value)
+    ):
+        runner = MonteCarloRunner(factory, list(specs))
+        outcomes = runner.run(n_runs, seed=seed + i, workers=workers)
+        result.swept_values.append(float(value))
+        for spec in specs:
+            pct = summarize(
+                [100.0 * o.normalized(spec.name) for o in outcomes]
+            )
+            result.percents.setdefault(spec.name, []).append(pct)
+    return result
+
+
+def run_policy_sweep(
+    lambdas: Sequence[float] = (2.0, 4.0, 6.0, 8.0, 12.0),
+    *,
+    k: float = 7.0,
+    n_runs: int = 30,
+    seed: int = 7,
+    workers: int | None = None,
+    expected_jobs: float = 500.0,
+) -> SweepResult:
+    """All policies across the load range (E1 extension)."""
+    specs = default_policy_specs(k)
+    factories = [
+        _paper_factory(lam, k=k, expected_jobs=expected_jobs) for lam in lambdas
+    ]
+    return _sweep(
+        "lambda", lambdas, factories, [specs] * len(lambdas), n_runs, seed, workers
+    )
+
+
+def run_supplement_ablation(
+    lambdas: Sequence[float] = (4.0, 6.0, 8.0, 12.0),
+    *,
+    k: float = 7.0,
+    n_runs: int = 30,
+    seed: int = 11,
+    workers: int | None = None,
+    expected_jobs: float = 500.0,
+) -> SweepResult:
+    """E6: V-Dover with and without the supplement queue.
+
+    The no-supplement variant still uses conservative laxities, so the gap
+    between the two isolates exactly the paper's delta (ii)."""
+    specs = [
+        SchedulerSpec("V-Dover", VDoverScheduler, {"k": k}),
+        SchedulerSpec(
+            "V-Dover(no-supp)", VDoverScheduler, {"k": k, "supplement": False}
+        ),
+        SchedulerSpec("Dover(c=1)", DoverScheduler, {"k": k, "c_hat": 1.0}),
+    ]
+    factories = [
+        _paper_factory(lam, k=k, expected_jobs=expected_jobs) for lam in lambdas
+    ]
+    return _sweep(
+        "lambda", lambdas, factories, [specs] * len(lambdas), n_runs, seed, workers
+    )
+
+
+def run_beta_sweep(
+    betas: Sequence[float] = (1.1, 1.5, 2.0, 3.0, 5.0, 9.0),
+    *,
+    lam: float = 6.0,
+    k: float = 7.0,
+    n_runs: int = 30,
+    seed: int = 13,
+    workers: int | None = None,
+    expected_jobs: float = 500.0,
+) -> SweepResult:
+    """E7: sensitivity to the value threshold β at fixed load.
+
+    Theorem 3's worst-case-optimal ``β* = 1 + sqrt(k/f(k,δ))`` is close to
+    1 for the paper's (k=7, δ=35); average-case performance is fairly flat
+    in β because zero-laxity wins are rare under the Poisson workload."""
+    factory = _paper_factory(lam, k=k, expected_jobs=expected_jobs)
+    specs = [
+        SchedulerSpec(f"beta={b:g}", VDoverScheduler, {"k": k, "beta": b})
+        for b in betas
+    ]
+    runner = MonteCarloRunner(factory, specs)
+    outcomes = runner.run(n_runs, seed=seed, workers=workers)
+    result = SweepResult(sweep_name="beta")
+    for b, spec in zip(betas, specs):
+        result.swept_values.append(float(b))
+        result.percents.setdefault("V-Dover", []).append(
+            summarize([100.0 * o.normalized(spec.name) for o in outcomes])
+        )
+    return result
+
+
+def run_delta_sweep(
+    highs: Sequence[float] = (2.0, 5.0, 15.0, 35.0, 100.0),
+    *,
+    lam: float = 6.0,
+    k: float = 7.0,
+    n_runs: int = 30,
+    seed: int = 17,
+    workers: int | None = None,
+    expected_jobs: float = 500.0,
+) -> SweepResult:
+    """E8: capacity variability δ = c̄/c̲ (c̲ = 1 fixed, c̄ swept).
+
+    The more the capacity can spike, the more the supplement queue is worth
+    and the more a wrong ĉ hurts Dover."""
+    factories = []
+    specs_per_value = []
+    for high in highs:
+        factories.append(
+            PaperInstanceFactory(
+                workload=PoissonWorkload(
+                    lam=lam,
+                    horizon=expected_jobs / lam,
+                    density_range=(1.0, k),
+                    c_lower=1.0,
+                ),
+                low=1.0,
+                high=high,
+                sojourn=(expected_jobs / lam) / 4.0,
+            )
+        )
+        specs_per_value.append(
+            [
+                SchedulerSpec("V-Dover", VDoverScheduler, {"k": k}),
+                SchedulerSpec(
+                    "Dover(c=low)", DoverScheduler, {"k": k, "c_hat": 1.0}
+                ),
+                SchedulerSpec(
+                    "Dover(c=high)", DoverScheduler, {"k": k, "c_hat": high}
+                ),
+            ]
+        )
+    return _sweep(
+        "delta", [h / 1.0 for h in highs], factories, specs_per_value, n_runs, seed, workers
+    )
+
+
+def run_k_misestimation_sweep(
+    believed_ks: Sequence[float] = (1.5, 3.0, 7.0, 14.0, 49.0),
+    *,
+    true_k: float = 7.0,
+    lam: float = 8.0,
+    n_runs: int = 30,
+    seed: int = 19,
+    workers: int | None = None,
+    expected_jobs: float = 500.0,
+) -> SweepResult:
+    """E13: robustness to a misestimated importance-ratio bound.
+
+    V-Dover's threshold β is derived from the *believed* k; the workload's
+    true densities span [1, true_k].  Under-believing k makes β too small
+    (urgent jobs seize the processor too eagerly); over-believing makes β
+    too large (valuable urgent jobs are demoted).  The sweep measures how
+    forgiving the average case is to either error — operators rarely know
+    k exactly, so this is the first question a practitioner asks."""
+    factory = _paper_factory(lam, k=true_k, expected_jobs=expected_jobs)
+    specs = [
+        SchedulerSpec(f"believe k={kb:g}", VDoverScheduler, {"k": kb})
+        for kb in believed_ks
+    ]
+    runner = MonteCarloRunner(factory, specs)
+    outcomes = runner.run(n_runs, seed=seed, workers=workers)
+    result = SweepResult(sweep_name="believed k")
+    for kb, spec in zip(believed_ks, specs):
+        result.swept_values.append(float(kb))
+        result.percents.setdefault("V-Dover", []).append(
+            summarize([100.0 * o.normalized(spec.name) for o in outcomes])
+        )
+    return result
+
+
+def run_slack_sweep(
+    slacks: Sequence[float] = (1.0, 1.5, 2.0, 4.0, 8.0),
+    *,
+    lam: float = 8.0,
+    k: float = 7.0,
+    n_runs: int = 30,
+    seed: int = 23,
+    workers: int | None = None,
+    expected_jobs: float = 500.0,
+) -> SweepResult:
+    """E14: deadline tightness (relative deadline = slack × p/c̲).
+
+    The paper's simulation pins slack = 1 (zero conservative laxity at
+    release) — the regime where zero-laxity triage matters most.  This
+    sweep loosens the deadlines: as slack grows, instances become closer
+    to underloaded, EDF approaches optimality (Theorem 2's regime), and
+    V-Dover's edge over it should shrink toward zero while never going
+    (statistically) negative."""
+    specs = [
+        SchedulerSpec("V-Dover", VDoverScheduler, {"k": k}),
+        SchedulerSpec("EDF", EDFScheduler, {}),
+        SchedulerSpec("Dover(c=1)", DoverScheduler, {"k": k, "c_hat": 1.0}),
+    ]
+    factories = [
+        _paper_factory(
+            lam, k=k, expected_jobs=expected_jobs, deadline_slack=slack
+        )
+        for slack in slacks
+    ]
+    return _sweep(
+        "deadline slack", slacks, factories, [specs] * len(slacks), n_runs, seed, workers
+    )

@@ -1,0 +1,28 @@
+"""Multiprocessor extension: global scheduling with free migration, plus a
+partitioned adapter — the 'cloud-wise' extension the paper's conclusion
+points at, in both standard flavours."""
+
+from repro.multi.engine import MultiprocessorEngine, simulate_multi
+from repro.multi.global_vdover import GlobalVDoverScheduler
+from repro.multi.global_policies import (
+    GlobalDensityScheduler,
+    GlobalEDFScheduler,
+    GlobalTopM,
+)
+from repro.multi.metrics import MultiSimulationResult
+from repro.multi.partitioned import PartitionedScheduler
+from repro.multi.scheduler import Assignment, MultiScheduler, MultiSchedulerContext
+
+__all__ = [
+    "MultiprocessorEngine",
+    "simulate_multi",
+    "GlobalDensityScheduler",
+    "GlobalEDFScheduler",
+    "GlobalVDoverScheduler",
+    "GlobalTopM",
+    "MultiSimulationResult",
+    "PartitionedScheduler",
+    "Assignment",
+    "MultiScheduler",
+    "MultiSchedulerContext",
+]

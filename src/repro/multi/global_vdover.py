@@ -1,0 +1,165 @@
+"""Global V-Dover — the extension the E12 crossover asks for.
+
+E12 measures a crossover: migration (Global-EDF) wins while load is
+moderate, value triage (partitioned V-Dover) wins under heavy overload.
+This policy combines the two mechanisms in the spirit of V-Dover, with no
+competitive-ratio claim (the paper's analysis is single-processor; a
+multiprocessor analysis is open):
+
+* **regular jobs** run under global EDF (top-m by deadline, free
+  migration) — the underloaded-optimal core;
+* each waiting regular job carries a **zero-conservative-laxity alarm**,
+  computed against the best guaranteed floor any single processor offers
+  (``c* = max_p c̲_p`` — the strongest promise the cluster can make to one
+  job, the natural multiprocessor reading of Definition 5);
+* an urgent job whose value exceeds ``β ×`` the cheapest running regular
+  job's value **displaces** it (value triage at the margin — the
+  multiprocessor analogue of handler D, comparing against the job it would
+  actually evict rather than a Qedf chain); losers are demoted to
+  **supplements**;
+* supplements fill processors left idle by the regular election, latest
+  deadline first, and are preempted instantly by regular demand — exactly
+  the paper's delta (ii), pooled across the fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SchedulingError
+from repro.sim.job import Job
+from repro.sim.queues import JobQueue, edf_key, latest_deadline_key
+from repro.multi.scheduler import Assignment, MultiScheduler
+
+__all__ = ["GlobalVDoverScheduler"]
+
+
+class GlobalVDoverScheduler(MultiScheduler):
+    """Migration-capable V-Dover-style policy (extension, no guarantee).
+
+    Parameters
+    ----------
+    k:
+        Importance-ratio bound, setting ``β = 1 + √k`` by default (the
+    	classical threshold; see EXPERIMENTS.md E9 for why it is preferred
+        over β* on average-case workloads).
+    beta:
+        Explicit threshold override (> 1).
+    """
+
+    name = "Global-V-Dover"
+
+    def __init__(self, k: float, *, beta: float | None = None) -> None:
+        super().__init__()
+        if k < 1.0:
+            raise SchedulingError(f"k must be >= 1, got {k!r}")
+        self._beta = float(beta) if beta is not None else 1.0 + k**0.5
+        if self._beta <= 1.0:
+            raise SchedulingError(f"beta must exceed 1, got {self._beta!r}")
+
+    @property
+    def beta(self) -> float:
+        return self._beta
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._regular: JobQueue[Job] = JobQueue(edf_key, name="gvd-regular")
+        self._supp: JobQueue[Job] = JobQueue(latest_deadline_key, name="gvd-supp")
+        self._supp_ids: set[int] = set()
+        # The strongest single-job floor promise across the fleet.
+        self._rate = max(
+            self.ctx.bounds(p)[0] for p in range(self.ctx.n_procs)
+        )
+
+    def _arm(self, job: Job) -> None:
+        fire_at = job.deadline - self.ctx.remaining(job) / self._rate
+        self.ctx.set_alarm(job, fire_at, tag="zero-claxity")
+
+    # ------------------------------------------------------------------
+    def _elect(self) -> Assignment:
+        """Global EDF over regulars; supplements fill the idle remainder."""
+        running = list(self.ctx.running())
+        m = len(running)
+        # Re-pool everything currently running.
+        for job in running:
+            if job is None:
+                continue
+            pool = self._supp if job.jid in self._supp_ids else self._regular
+            if job not in pool:
+                pool.insert(job)
+
+        chosen: list[Job] = []
+        for _ in range(min(m, len(self._regular))):
+            chosen.append(self._regular.dequeue())
+        supp_chosen: list[Job] = []
+        for _ in range(min(m - len(chosen), len(self._supp))):
+            supp_chosen.append(self._supp.dequeue())
+
+        chosen_ids = {j.jid for j in chosen} | {j.jid for j in supp_chosen}
+        desired: list[Optional[Job]] = [None] * m
+        placed: set[int] = set()
+        for proc, job in enumerate(running):
+            if job is not None and job.jid in chosen_ids:
+                desired[proc] = job
+                placed.add(job.jid)
+        free = [p for p in range(m) if desired[p] is None]
+        free.sort(key=lambda p: -self.ctx.capacity_now(p))
+        unplaced = [j for j in chosen + supp_chosen if j.jid not in placed]
+        for proc, job in zip(free, unplaced):
+            desired[proc] = job
+
+        # Displaced waiting regulars keep (or regain) their alarms.
+        for proc, job in enumerate(running):
+            if (
+                job is not None
+                and desired[proc] is not job
+                and job not in [d for d in desired]
+                and job.jid not in self._supp_ids
+            ):
+                self._arm(job)
+        return desired
+
+    # ------------------------------------------------------------------
+    def on_release(self, job: Job) -> Assignment:
+        self._regular.insert(job)
+        self._arm(job)
+        return self._elect()
+
+    def on_job_end(self, job: Job, completed: bool) -> Assignment:
+        self._regular.remove(job)
+        self._supp.remove(job)
+        self._supp_ids.discard(job.jid)
+        return self._elect()
+
+    def on_alarm(self, job: Job, tag: str) -> Assignment:
+        if tag != "zero-claxity" or job.jid in self._supp_ids:
+            return self.ctx.running()
+        running = list(self.ctx.running())
+        # An idle or supplement-occupied slot takes the urgent job free.
+        for proc, occupant in enumerate(running):
+            if occupant is None or occupant.jid in self._supp_ids:
+                self._regular.remove(job)
+                if occupant is not None:
+                    self._supp.insert(occupant)
+                desired = list(running)
+                desired[proc] = job
+                return desired
+        # All processors run regulars: challenge the cheapest one.
+        victim_proc = min(
+            range(len(running)),
+            key=lambda p: (running[p].value, running[p].jid),  # type: ignore[union-attr]
+        )
+        victim = running[victim_proc]
+        assert victim is not None
+        if job.value > self._beta * victim.value:
+            self._regular.remove(job)
+            self._regular.insert(victim)
+            self._arm(victim)
+            desired = list(running)
+            desired[victim_proc] = job
+            return desired
+        # Not valuable enough: demote to supplement.
+        self._regular.remove(job)
+        self._supp_ids.add(job.jid)
+        self._supp.insert(job)
+        return running

@@ -1,0 +1,152 @@
+"""Metrics and validation for multiprocessor runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.capacity.base import CapacityFunction
+from repro.errors import SimulationError
+from repro.sim.job import Job, JobStatus, total_value
+from repro.sim.trace import ScheduleTrace
+
+__all__ = ["MultiSimulationResult"]
+
+
+@dataclass
+class MultiSimulationResult:
+    """Outcome of one multiprocessor simulation."""
+
+    scheduler_name: str
+    jobs: Sequence[Job]
+    horizon: float
+    #: one execution trace per processor
+    proc_traces: List[ScheduleTrace]
+    #: combined outcome/value record (no segments)
+    combined: ScheduleTrace
+
+    # ------------------------------------------------------------------
+    @property
+    def n_procs(self) -> int:
+        return len(self.proc_traces)
+
+    @property
+    def value(self) -> float:
+        return self.combined.value_points[-1][1] if self.combined.value_points else 0.0
+
+    @property
+    def generated_value(self) -> float:
+        return total_value(self.jobs)
+
+    @property
+    def normalized_value(self) -> float:
+        gen = self.generated_value
+        return self.value / gen if gen > 0.0 else 0.0
+
+    @property
+    def completed_ids(self) -> List[int]:
+        return sorted(
+            jid
+            for jid, st in self.combined.outcomes.items()
+            if st is JobStatus.COMPLETED
+        )
+
+    @property
+    def failed_ids(self) -> List[int]:
+        return sorted(
+            jid
+            for jid, st in self.combined.outcomes.items()
+            if st in (JobStatus.FAILED, JobStatus.ABANDONED)
+        )
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.completed_ids)
+
+    @property
+    def busy_time(self) -> float:
+        return sum(trace.busy_time() for trace in self.proc_traces)
+
+    @property
+    def executed_work(self) -> float:
+        return sum(trace.total_work() for trace in self.proc_traces)
+
+    def work_by_job(self) -> Dict[int, float]:
+        acc: Dict[int, float] = {}
+        for trace in self.proc_traces:
+            for jid, work in trace.work_by_job().items():
+                acc[jid] = acc.get(jid, 0.0) + work
+        return acc
+
+    def migrations(self) -> int:
+        """Number of processor changes across all jobs (a job's segments
+        interleaved across processors, counted chronologically)."""
+        timeline: list[tuple[float, int, int]] = []
+        for proc, trace in enumerate(self.proc_traces):
+            for seg in trace.segments:
+                timeline.append((seg.start, seg.jid, proc))
+        timeline.sort()
+        last_proc: Dict[int, int] = {}
+        count = 0
+        for _start, jid, proc in timeline:
+            if jid in last_proc and last_proc[jid] != proc:
+                count += 1
+            last_proc[jid] = proc
+        return count
+
+    def value_series(self) -> list[tuple[float, float]]:
+        return self.combined.value_series(self.horizon)
+
+    # ------------------------------------------------------------------
+    def validate(
+        self, capacities: Sequence[CapacityFunction], *, tol: float = 1e-6
+    ) -> None:
+        """Re-check legality: per-processor validity, no intra-job
+        parallelism, and full workload for completed jobs."""
+        if len(capacities) != self.n_procs:
+            raise SimulationError(
+                f"{len(capacities)} capacities for {self.n_procs} traces"
+            )
+        # Per-processor: segments legal against that processor's capacity.
+        for trace, capacity in zip(self.proc_traces, capacities):
+            # outcomes live in `combined`; validate segments only by
+            # passing an outcome-free shallow copy.
+            seg_only = ScheduleTrace(segments=trace.segments)
+            seg_only.validate(self.jobs, capacity, tol=tol)
+
+        # No intra-job parallelism: a job's segments must not overlap
+        # across processors.
+        per_job: Dict[int, list[tuple[float, float]]] = {}
+        for trace in self.proc_traces:
+            for seg in trace.segments:
+                per_job.setdefault(seg.jid, []).append((seg.start, seg.end))
+        for jid, intervals in per_job.items():
+            intervals.sort()
+            for (s0, e0), (s1, _e1) in zip(intervals, intervals[1:]):
+                if s1 < e0 - tol:
+                    raise SimulationError(
+                        f"job {jid} ran on two processors at once "
+                        f"([{s0},{e0}] overlaps [{s1},...])"
+                    )
+
+        # Completed jobs received their full workload (across processors).
+        work = self.work_by_job()
+        by_id = {j.jid: j for j in self.jobs}
+        for jid, status in self.combined.outcomes.items():
+            job = by_id[jid]
+            done = work.get(jid, 0.0)
+            if status is JobStatus.COMPLETED:
+                if abs(done - job.workload) > tol * max(1.0, job.workload):
+                    raise SimulationError(
+                        f"job {jid} completed with work {done} != {job.workload}"
+                    )
+            elif done > job.workload + tol * max(1.0, job.workload):
+                raise SimulationError(
+                    f"job {jid} over-served ({done} > {job.workload}) yet failed"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiSimulationResult({self.scheduler_name!r}, m={self.n_procs}, "
+            f"value={self.value:.4g}, completed={self.n_completed}/{len(self.jobs)})"
+        )

@@ -1,0 +1,123 @@
+"""Partitioned multiprocessor scheduling inside the multi engine.
+
+Each processor runs its own single-processor scheduler (V-Dover by
+default); an online dispatcher (reusing the policies of
+:mod:`repro.cloud.cluster`) pins every arriving job to one processor, and
+jobs never migrate afterwards.
+
+Besides being the practical deployment mode (migration is rarely free in
+real clouds), this adapter is a powerful differential oracle: a
+partitioned run inside :class:`~repro.multi.engine.MultiprocessorEngine`
+must produce exactly the same outcome as running the same dispatcher +
+scheduler through :func:`repro.cloud.cluster.run_cluster` (m independent
+single-processor engines) — the cross-engine equivalence test in the suite
+leans on this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.cloud.cluster import Dispatcher
+from repro.errors import SchedulingError
+from repro.sim.job import Job
+from repro.sim.scheduler import Scheduler, SchedulerContext
+from repro.multi.scheduler import Assignment, MultiScheduler, MultiSchedulerContext
+
+__all__ = ["PartitionedScheduler"]
+
+
+class _ProcView(SchedulerContext):
+    """Single-processor view of the multi context, for sub-schedulers."""
+
+    def __init__(self, ctx: MultiSchedulerContext, proc: int) -> None:
+        self._ctx = ctx
+        self._proc = proc
+
+    def now(self) -> float:
+        return self._ctx.now()
+
+    def remaining(self, job: Job) -> float:
+        return self._ctx.remaining(job)
+
+    def capacity_now(self) -> float:
+        return self._ctx.capacity_now(self._proc)
+
+    @property
+    def bounds(self) -> Tuple[float, float]:
+        return self._ctx.bounds(self._proc)
+
+    def current_job(self) -> Optional[Job]:
+        return self._ctx.running()[self._proc]
+
+    def set_alarm(self, job: Job, time: float, tag: str = "claxity") -> None:
+        self._ctx.set_alarm(job, time, tag)
+
+    def cancel_alarm(self, job: Job) -> None:
+        self._ctx.cancel_alarm(job)
+
+    def set_timer(self, time: float, tag: str) -> None:
+        raise SchedulingError(
+            "partitioned sub-schedulers cannot use global timers"
+        )
+
+
+class PartitionedScheduler(MultiScheduler):
+    """Dispatcher + per-processor single-processor schedulers.
+
+    Parameters
+    ----------
+    dispatcher:
+        Online routing policy (called once per job at its release).
+    scheduler_factory:
+        Builds one fresh single-processor scheduler per processor.
+    """
+
+    name = "Partitioned"
+
+    def __init__(
+        self,
+        dispatcher: Dispatcher,
+        scheduler_factory: Callable[[], Scheduler],
+    ) -> None:
+        super().__init__()
+        self._dispatcher = dispatcher
+        self._factory = scheduler_factory
+
+    def reset(self) -> None:
+        m = self.ctx.n_procs
+        self._dispatcher.reset(m, [self.ctx.bounds(p)[0] for p in range(m)])
+        self._subs: list[Scheduler] = []
+        for proc in range(m):
+            sub = self._factory()
+            sub.bind(_ProcView(self.ctx, proc))
+            self._subs.append(sub)
+        self._proc_of: dict[int, int] = {}
+        self.name = f"Partitioned({self._dispatcher.name}/{self._subs[0].name})"
+
+    # ------------------------------------------------------------------
+    def _assignment_with(self, proc: int, job: Optional[Job]) -> Assignment:
+        desired = list(self.ctx.running())
+        desired[proc] = job
+        return desired
+
+    def on_release(self, job: Job) -> Assignment:
+        proc = self._dispatcher.route(job)
+        if not 0 <= proc < self.ctx.n_procs:
+            raise SchedulingError(f"dispatcher routed to invalid processor {proc}")
+        self._proc_of[job.jid] = proc
+        return self._assignment_with(proc, self._subs[proc].on_release(job))
+
+    def on_job_end(self, job: Job, completed: bool) -> Assignment:
+        proc = self._proc_of.get(job.jid)
+        if proc is None:  # pragma: no cover - defensive
+            return self.ctx.running()
+        return self._assignment_with(
+            proc, self._subs[proc].on_job_end(job, completed)
+        )
+
+    def on_alarm(self, job: Job, tag: str) -> Assignment:
+        proc = self._proc_of.get(job.jid)
+        if proc is None:  # pragma: no cover - defensive
+            return self.ctx.running()
+        return self._assignment_with(proc, self._subs[proc].on_alarm(job, tag))

@@ -1,0 +1,89 @@
+"""Multiprocessor scheduling interface.
+
+The paper's model is a single processor; its closing remark points at
+"cloud-wise scheduling ... with extensions".  :mod:`repro.cloud.cluster`
+covers the *partitioned* extension (route once, schedule locally); this
+package covers the *global* one — m processors, one ready pool, free
+preemption **and migration** (the standard fluid assumptions of global
+real-time scheduling).
+
+A :class:`MultiScheduler` handles the same interrupt types as the
+single-processor :class:`~repro.sim.scheduler.Scheduler`, but each handler
+returns a full **assignment**: a sequence of length ``n_procs`` whose
+``p``-th entry is the job processor ``p`` should run (``None`` = idle).
+A job may appear at most once per assignment (no intra-job parallelism —
+the engine enforces it).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence, Tuple
+
+from repro.sim.job import Job
+
+__all__ = ["MultiSchedulerContext", "MultiScheduler", "Assignment"]
+
+#: One job (or idle) per processor.
+Assignment = Sequence[Optional[Job]]
+
+
+class MultiSchedulerContext(abc.ABC):
+    """Online information available to a global scheduler."""
+
+    @abc.abstractmethod
+    def now(self) -> float: ...
+
+    @property
+    @abc.abstractmethod
+    def n_procs(self) -> int: ...
+
+    @abc.abstractmethod
+    def remaining(self, job: Job) -> float:
+        """Remaining workload of a released, unfinished job."""
+
+    @abc.abstractmethod
+    def running(self) -> Tuple[Optional[Job], ...]:
+        """Current assignment (job per processor, ``None`` = idle)."""
+
+    @abc.abstractmethod
+    def capacity_now(self, proc: int) -> float:
+        """Instantaneous rate of processor ``proc``."""
+
+    @abc.abstractmethod
+    def bounds(self, proc: int) -> Tuple[float, float]:
+        """Declared ``(c̲, c̄)`` of processor ``proc``."""
+
+    @abc.abstractmethod
+    def set_alarm(self, job: Job, time: float, tag: str = "alarm") -> None: ...
+
+    @abc.abstractmethod
+    def cancel_alarm(self, job: Job) -> None: ...
+
+
+class MultiScheduler(abc.ABC):
+    """Base class for global multiprocessor policies."""
+
+    name = "multi-scheduler"
+
+    def __init__(self) -> None:
+        self.ctx: MultiSchedulerContext = None  # type: ignore[assignment]
+
+    def bind(self, ctx: MultiSchedulerContext) -> None:
+        self.ctx = ctx
+        self.reset()
+
+    def reset(self) -> None:
+        """Reinitialise per-run state."""
+
+    @abc.abstractmethod
+    def on_release(self, job: Job) -> Assignment: ...
+
+    @abc.abstractmethod
+    def on_job_end(self, job: Job, completed: bool) -> Assignment: ...
+
+    def on_alarm(self, job: Job, tag: str) -> Assignment:
+        return self.ctx.running()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

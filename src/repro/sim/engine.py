@@ -1,0 +1,359 @@
+"""The discrete-event simulation engine.
+
+The engine owns the ground truth of a run: job remaining workloads, the
+processor assignment, the event heap and the trace.  Schedulers only decide
+*which* job should occupy the processor after each interrupt; the engine
+performs the mechanics:
+
+* **exact completion prediction** — when a job starts (or resumes) at time
+  ``t`` with remaining workload ``w``, its completion instant is
+  ``capacity.advance(t, w)``, computed exactly on the piecewise-constant
+  trajectory.  A preemption invalidates the in-flight completion event via a
+  per-job version token (lazy deletion on the heap);
+* **deadline policing** — firm deadlines fire as events; a completion at
+  exactly the deadline wins the tie (succeeds);
+* **alarm plumbing** — schedulers arm per-job alarms (zero-conservative-
+  laxity interrupts) and global timers through the context; stale alarms are
+  version-dropped;
+* **trace recording** — every maximal run segment is logged with the work
+  performed (the capacity integral over the segment), so the resulting
+  schedule can be re-validated independently.
+
+Determinism: for a fixed instance and scheduler the run is bit-for-bit
+reproducible — ties in the event heap break by (kind priority, insertion
+sequence) and nothing consults a clock or RNG.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.capacity.base import CapacityFunction
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.job import Job, JobStatus, validate_jobs
+from repro.sim.metrics import SimulationResult
+from repro.sim.scheduler import Scheduler, SchedulerContext
+from repro.sim.trace import ScheduleTrace
+
+__all__ = ["SimulationEngine", "simulate"]
+
+logger = logging.getLogger(__name__)
+
+_EPS = 1e-9
+
+
+class _EngineContext(SchedulerContext):
+    """The engine-backed implementation of the online information model."""
+
+    def __init__(self, engine: "SimulationEngine") -> None:
+        self._engine = engine
+
+    def now(self) -> float:
+        return self._engine._now
+
+    def remaining(self, job: Job) -> float:
+        return self._engine._remaining_of(job)
+
+    def capacity_now(self) -> float:
+        return self._engine._capacity.value(self._engine._now)
+
+    @property
+    def bounds(self) -> Tuple[float, float]:
+        cap = self._engine._capacity
+        return (cap.lower, cap.upper)
+
+    def current_job(self) -> Optional[Job]:
+        return self._engine._current
+
+    def set_alarm(self, job: Job, time: float, tag: str = "claxity") -> None:
+        self._engine._set_alarm(job, time, tag)
+
+    def cancel_alarm(self, job: Job) -> None:
+        self._engine._cancel_alarm(job)
+
+    def set_timer(self, time: float, tag: str) -> None:
+        self._engine._set_timer(time, tag)
+
+
+class SimulationEngine:
+    """Run one scheduler over one instance (jobs + capacity trajectory).
+
+    Parameters
+    ----------
+    jobs:
+        The instance's job set (ids must be unique).
+    capacity:
+        The realized capacity trajectory.  The engine may query its future
+        (it is the physics of the world); the scheduler cannot.
+    scheduler:
+        The online policy under test.  ``bind`` is called on it, so a fresh
+        run starts from clean per-run state.
+    horizon:
+        End of simulated time.  Defaults to just past the latest deadline so
+        every job resolves.  Jobs unresolved at the horizon are recorded as
+        failed.
+    validate:
+        When true, the produced trace is re-validated against the capacity
+        (work conservation, no overlap, deadline legality) before returning;
+        a violation raises :class:`SimulationError`.  Cheap enough to leave
+        on in tests; off by default for Monte-Carlo throughput.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[Job],
+        capacity: CapacityFunction,
+        scheduler: Scheduler,
+        *,
+        horizon: float | None = None,
+        validate: bool = False,
+    ) -> None:
+        validate_jobs(jobs)
+        self._jobs = list(jobs)
+        self._capacity = capacity
+        self._scheduler = scheduler
+        if horizon is None:
+            horizon = max((j.deadline for j in jobs), default=0.0) + 1.0
+        if not math.isfinite(horizon) or horizon < 0.0:
+            raise SimulationError(f"invalid horizon: {horizon!r}")
+        self._horizon = float(horizon)
+        self._validate = bool(validate)
+
+        # Ground-truth run state.
+        self._now = 0.0
+        self._remaining: Dict[int, float] = {}
+        self._status: Dict[int, JobStatus] = {}
+        self._current: Optional[Job] = None
+        self._seg_start = 0.0
+        self._seg_remaining0 = 0.0  # remaining workload at seg_start
+
+        # Event bookkeeping.
+        self._events = EventQueue()
+        self._completion_version: Dict[int, int] = {}
+        self._alarm_version: Dict[int, int] = {}
+        self._trace = ScheduleTrace()
+
+    # ------------------------------------------------------------------
+    # State queries used by the context
+    # ------------------------------------------------------------------
+    def _remaining_of(self, job: Job) -> float:
+        status = self._status.get(job.jid)
+        if status is None or status is JobStatus.PENDING:
+            raise SchedulingError(
+                f"remaining() queried for unreleased job {job.jid}"
+            )
+        if job is self._current:
+            done = self._capacity.integrate(self._seg_start, self._now)
+            return max(0.0, self._seg_remaining0 - done)
+        return self._remaining[job.jid]
+
+    # ------------------------------------------------------------------
+    # Alarm / timer plumbing
+    # ------------------------------------------------------------------
+    def _set_alarm(self, job: Job, time: float, tag: str) -> None:
+        if job.jid not in self._status:
+            raise SchedulingError(f"alarm for unknown job {job.jid}")
+        when = max(time, self._now)
+        version = self._alarm_version.get(job.jid, 0) + 1
+        self._alarm_version[job.jid] = version
+        self._events.push(Event(when, EventKind.ALARM, (job, tag), version))
+
+    def _cancel_alarm(self, job: Job) -> None:
+        # Bumping the version orphans any in-flight alarm event.
+        self._alarm_version[job.jid] = self._alarm_version.get(job.jid, 0) + 1
+
+    def _set_timer(self, time: float, tag: str) -> None:
+        self._events.push(Event(max(time, self._now), EventKind.TIMER, tag))
+
+    # ------------------------------------------------------------------
+    # Processor mechanics
+    # ------------------------------------------------------------------
+    def _close_segment(self, t: float) -> None:
+        """Stop the running job at ``t``, folding its progress into the
+        ground truth and the trace.  Leaves the processor empty."""
+        job = self._current
+        if job is None:
+            return
+        work = self._capacity.integrate(self._seg_start, t)
+        new_remaining = self._seg_remaining0 - work
+        if new_remaining < -1e-6 * max(1.0, job.workload):
+            raise SimulationError(
+                f"job {job.jid} over-executed: remaining {new_remaining}"
+            )
+        self._remaining[job.jid] = max(0.0, new_remaining)
+        self._trace.add_segment(self._seg_start, t, job.jid, work)
+        self._status[job.jid] = JobStatus.READY
+        # Orphan the in-flight completion event.
+        self._completion_version[job.jid] = (
+            self._completion_version.get(job.jid, 0) + 1
+        )
+        self._current = None
+
+    def _start_job(self, job: Job, t: float) -> None:
+        status = self._status.get(job.jid)
+        if status is not JobStatus.READY:
+            raise SchedulingError(
+                f"scheduler tried to run job {job.jid} in state {status}"
+            )
+        self._current = job
+        self._status[job.jid] = JobStatus.RUNNING
+        self._seg_start = t
+        self._seg_remaining0 = self._remaining[job.jid]
+        finish = self._capacity.advance(t, self._seg_remaining0)
+        version = self._completion_version.get(job.jid, 0) + 1
+        self._completion_version[job.jid] = version
+        if finish <= self._horizon:
+            self._events.push(Event(finish, EventKind.COMPLETION, job, version))
+
+    def _apply_decision(self, desired: Optional[Job], t: float) -> None:
+        """Switch the processor to ``desired`` (no-op if unchanged)."""
+        if desired is self._current:
+            return
+        self._close_segment(t)
+        if desired is not None:
+            self._start_job(desired, t)
+
+    def _complete_current(self, job: Job, t: float) -> None:
+        """Fold the running job's final segment and record its success."""
+        work = self._capacity.integrate(self._seg_start, t)
+        self._trace.add_segment(self._seg_start, t, job.jid, work)
+        self._remaining[job.jid] = 0.0
+        self._status[job.jid] = JobStatus.COMPLETED
+        self._current = None
+        self._completion_version[job.jid] = (
+            self._completion_version.get(job.jid, 0) + 1
+        )
+        self._trace.record_outcome(job, JobStatus.COMPLETED, t)
+        desired = self._scheduler.on_job_end(job, completed=True)
+        self._apply_decision(desired, t)
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, event: Event) -> None:
+        t = event.time
+        kind = event.kind
+
+        if kind is EventKind.RELEASE:
+            job: Job = event.payload
+            self._status[job.jid] = JobStatus.READY
+            self._remaining[job.jid] = job.workload
+            desired = self._scheduler.on_release(job)
+            self._apply_decision(desired, t)
+            return
+
+        if kind is EventKind.COMPLETION:
+            job = event.payload
+            if self._completion_version.get(job.jid, 0) != event.version:
+                return  # stale: the job was preempted since this was armed
+            if job is not self._current:  # pragma: no cover - defensive
+                return
+            self._complete_current(job, t)
+            return
+
+        if kind is EventKind.DEADLINE:
+            job = event.payload
+            status = self._status.get(job.jid)
+            if status in (
+                JobStatus.COMPLETED,
+                JobStatus.FAILED,
+                JobStatus.ABANDONED,
+            ):
+                return
+            if job is self._current:
+                # Jobs with zero laxity finish *exactly* at their deadline;
+                # the predicted completion instant can land one ulp past it.
+                # A running job whose remaining workload is within float
+                # tolerance has completed, not failed.
+                done = self._capacity.integrate(self._seg_start, t)
+                left = self._seg_remaining0 - done
+                if left <= 1e-9 * max(1.0, job.workload):
+                    self._complete_current(job, t)
+                    return
+                self._close_segment(t)
+            self._status[job.jid] = JobStatus.FAILED
+            self._trace.record_outcome(job, JobStatus.FAILED, t)
+            desired = self._scheduler.on_job_end(job, completed=False)
+            self._apply_decision(desired, t)
+            return
+
+        if kind is EventKind.ALARM:
+            job, tag = event.payload
+            if self._alarm_version.get(job.jid, 0) != event.version:
+                return  # re-armed or cancelled since
+            if self._status.get(job.jid) is not JobStatus.READY:
+                return  # running/finished jobs do not take alarms
+            desired = self._scheduler.on_alarm(job, tag)
+            self._apply_decision(desired, t)
+            return
+
+        if kind is EventKind.TIMER:
+            desired = self._scheduler.on_timer(event.payload)
+            self._apply_decision(desired, t)
+            return
+
+        raise SimulationError(f"unhandled event kind: {kind!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its result."""
+        ctx = _EngineContext(self)
+        self._scheduler.bind(ctx)
+
+        for job in self._jobs:
+            self._status[job.jid] = JobStatus.PENDING
+            if job.release <= self._horizon:
+                self._events.push(Event(job.release, EventKind.RELEASE, job))
+                self._events.push(Event(job.deadline, EventKind.DEADLINE, job))
+        self._events.push(Event(self._horizon, EventKind.END))
+
+        while len(self._events):
+            event = self._events.pop()
+            if event.time < self._now - _EPS:
+                raise SimulationError(
+                    f"time went backwards: {event.time} < {self._now}"
+                )
+            if event.kind is EventKind.END:
+                self._now = event.time
+                break
+            if event.time > self._horizon:
+                self._now = self._horizon
+                break
+            self._now = event.time
+            self._dispatch(event)
+
+        # Wind down: close the running segment and mark unresolved jobs.
+        self._close_segment(self._now)
+        for job in self._jobs:
+            if self._status.get(job.jid) in (JobStatus.READY, JobStatus.RUNNING):
+                self._status[job.jid] = JobStatus.FAILED
+                self._trace.record_outcome(job, JobStatus.FAILED, self._now)
+
+        if self._validate:
+            self._trace.validate(self._jobs, self._capacity)
+
+        return SimulationResult(
+            scheduler_name=self._scheduler.name,
+            jobs=self._jobs,
+            horizon=self._horizon,
+            trace=self._trace,
+        )
+
+
+def simulate(
+    jobs: Sequence[Job],
+    capacity: CapacityFunction,
+    scheduler: Scheduler,
+    *,
+    horizon: float | None = None,
+    validate: bool = False,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`SimulationEngine` and run it."""
+    return SimulationEngine(
+        jobs, capacity, scheduler, horizon=horizon, validate=validate
+    ).run()

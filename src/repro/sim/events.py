@@ -1,0 +1,90 @@
+"""Event types and the event heap for the discrete-event engine.
+
+Events are totally ordered by ``(time, kind priority, sequence)``.  The kind
+priority encodes the tie-breaking rules the paper's semantics require at a
+shared timestamp:
+
+1. ``COMPLETION`` before ``DEADLINE`` — a job finishing exactly at its
+   deadline *succeeds* (deadlines are firm but inclusive);
+2. ``DEADLINE`` before ``RELEASE`` — expired jobs leave the system before
+   new arrivals are considered;
+3. ``RELEASE`` before ``ALARM`` — the paper's workload sets relative
+   deadlines to ``p/c̲`` so every job's zero-conservative-laxity instant
+   coincides with its release; the release handler must run first, then the
+   zero-laxity interrupt fires for the job if it was not scheduled.
+
+Stale events are handled by versioning: each (job, kind) carries a version
+token captured at scheduling time; bumping the token invalidates in-flight
+events without an O(n) heap scan (lazy deletion, as recommended for heapq).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.IntEnum):
+    """Event categories; the integer value is the same-time priority."""
+
+    COMPLETION = 0
+    DEADLINE = 1
+    RELEASE = 2
+    ALARM = 3
+    TIMER = 4
+    END = 5
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled occurrence.
+
+    ``version`` is compared against the engine's current token for the
+    (job, kind) pair at pop time; mismatches are silently dropped.
+    ``payload`` carries the job for job events or an arbitrary tag for
+    timers.
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+    version: int = 0
+
+    def sort_key(self, seq: int) -> tuple:
+        return (self.time, int(self.kind), seq)
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` with deterministic ordering.
+
+    Ties beyond (time, kind) break by insertion sequence, which makes every
+    simulation run bit-for-bit reproducible for a fixed input.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: Event) -> None:
+        if event.time != event.time:  # NaN guard
+            raise SimulationError(f"event with NaN time: {event!r}")
+        seq = next(self._counter)
+        heapq.heappush(self._heap, (event.time, int(event.kind), seq, event))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        return heapq.heappop(self._heap)[3]
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,84 @@
+"""ASCII Gantt rendering of schedule traces.
+
+Turns a :class:`~repro.sim.trace.ScheduleTrace` into a terminal timeline —
+one row per job plus a capacity row — so schedules can be eyeballed in
+tests, examples and bug reports without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.capacity.base import CapacityFunction
+from repro.errors import SimulationError
+from repro.sim.job import Job, JobStatus
+from repro.sim.trace import ScheduleTrace
+
+__all__ = ["render_gantt"]
+
+_STATUS_MARK = {
+    JobStatus.COMPLETED: "+",
+    JobStatus.FAILED: "x",
+    JobStatus.ABANDONED: "x",
+}
+
+
+def render_gantt(
+    trace: ScheduleTrace,
+    jobs: Sequence[Job],
+    *,
+    capacity: CapacityFunction | None = None,
+    width: int = 72,
+    horizon: float | None = None,
+) -> str:
+    """Render a trace as an ASCII Gantt chart.
+
+    Per job row: ``.`` outside the [release, deadline] window, ``-`` inside
+    the window but not executing, ``#`` executing; the row ends with ``+``
+    (completed) or ``x`` (failed).  An optional capacity row shows the
+    rate's relative level on a 1–9 scale.
+    """
+    if width < 10:
+        raise SimulationError(f"gantt width too small: {width}")
+    if horizon is None:
+        horizon = max(
+            [seg.end for seg in trace.segments]
+            + [job.deadline for job in jobs]
+            + [1.0]
+        )
+    if horizon <= 0.0:
+        raise SimulationError(f"non-positive horizon: {horizon}")
+    dt = horizon / width
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int(t / dt)))
+
+    lines = [f"t = 0 .. {horizon:g}   ('#' running, '-' waiting, '.' outside window)"]
+
+    if capacity is not None:
+        lo, hi = capacity.lower, capacity.upper
+        row = []
+        for i in range(width):
+            rate = capacity.value((i + 0.5) * dt)
+            if hi > lo:
+                level = 1 + int(round(8 * (rate - lo) / (hi - lo)))
+            else:
+                level = 9
+            row.append(str(min(9, max(1, level))))
+        lines.append(f"{'c(t)':>8} |{''.join(row)}|")
+
+    label_width = 8
+    for job in sorted(jobs, key=lambda j: (j.release, j.jid)):
+        cells = ["."] * width
+        for i in range(col(job.release), col(job.deadline) + 1):
+            cells[i] = "-"
+        for seg in trace.segments:
+            if seg.jid != job.jid:
+                continue
+            for i in range(col(seg.start), max(col(seg.start), col(seg.end - 1e-12)) + 1):
+                cells[i] = "#"
+        mark = _STATUS_MARK.get(trace.outcomes.get(job.jid), "?")
+        label = f"job {job.jid}"[:label_width]
+        lines.append(f"{label:>{label_width}} |{''.join(cells)}| {mark}")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Simulation outcome metrics.
+
+:class:`SimulationResult` is the value returned by every simulation run; it
+bundles the accrued value (the paper's objective), per-job outcomes, the
+trace, and derived statistics used by the experiment harness (normalized
+value for Table I, the cumulative series for Figure 1, utilisation, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.sim.job import Job, JobStatus, total_value
+from repro.sim.trace import ScheduleTrace
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured in one simulation run."""
+
+    scheduler_name: str
+    jobs: Sequence[Job]
+    horizon: float
+    trace: ScheduleTrace
+
+    # ------------------------------------------------------------------
+    # Primary objective
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> float:
+        """Total value of jobs completed by their deadlines."""
+        return self.trace.value_points[-1][1] if self.trace.value_points else 0.0
+
+    @property
+    def generated_value(self) -> float:
+        """Total value of *all* released jobs (Table I's normalizer)."""
+        return total_value(self.jobs)
+
+    @property
+    def normalized_value(self) -> float:
+        """``value / generated_value`` — the paper's Table I metric.
+
+        Returns 0 for an empty instance (no jobs means nothing to win)."""
+        gen = self.generated_value
+        return self.value / gen if gen > 0.0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Outcome counts
+    # ------------------------------------------------------------------
+    def _ids_with(self, status: JobStatus) -> List[int]:
+        return [jid for jid, st in self.trace.outcomes.items() if st is status]
+
+    @property
+    def completed_ids(self) -> List[int]:
+        return sorted(self._ids_with(JobStatus.COMPLETED))
+
+    @property
+    def failed_ids(self) -> List[int]:
+        return sorted(
+            self._ids_with(JobStatus.FAILED) + self._ids_with(JobStatus.ABANDONED)
+        )
+
+    @property
+    def n_completed(self) -> int:
+        return len(self._ids_with(JobStatus.COMPLETED))
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed_ids)
+
+    @property
+    def completion_ratio(self) -> float:
+        """Fraction of jobs completed (by count, not value)."""
+        n = len(self.jobs)
+        return self.n_completed / n if n else 0.0
+
+    # ------------------------------------------------------------------
+    # Resource usage
+    # ------------------------------------------------------------------
+    @property
+    def busy_time(self) -> float:
+        return self.trace.busy_time()
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the horizon during which the processor was busy."""
+        return self.busy_time / self.horizon if self.horizon > 0.0 else 0.0
+
+    @property
+    def executed_work(self) -> float:
+        """Total workload pushed through the processor, including work
+        spent on jobs that eventually failed (wasted work)."""
+        return self.trace.total_work()
+
+    @property
+    def wasted_work(self) -> float:
+        """Work spent on jobs that did not complete."""
+        work = self.trace.work_by_job()
+        completed = set(self.completed_ids)
+        return sum(w for jid, w in work.items() if jid not in completed)
+
+    # ------------------------------------------------------------------
+    # Series
+    # ------------------------------------------------------------------
+    def value_series(self) -> list[tuple[float, float]]:
+        """Cumulative value step function (Figure 1's y-axis)."""
+        return self.trace.value_series(self.horizon)
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of headline numbers (for tables and logs)."""
+        return {
+            "value": self.value,
+            "generated_value": self.generated_value,
+            "normalized_value": self.normalized_value,
+            "n_jobs": float(len(self.jobs)),
+            "n_completed": float(self.n_completed),
+            "n_failed": float(self.n_failed),
+            "completion_ratio": self.completion_ratio,
+            "utilization": self.utilization,
+            "wasted_work": self.wasted_work,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationResult({self.scheduler_name!r}, value={self.value:.4g}, "
+            f"normalized={self.normalized_value:.4f}, "
+            f"completed={self.n_completed}/{len(self.jobs)})"
+        )

@@ -1,0 +1,148 @@
+"""Job queues used by the schedulers (the paper's Qedf, Qother, Qsupp).
+
+All three queues of the V-Dover algorithm are priority queues over jobs
+(possibly with attached bookkeeping tuples) that additionally support
+*removal by job* — a job can leave a queue because its deadline passed,
+because the zero-laxity handler drained Qedf into Qother, or because it got
+scheduled.  :class:`JobQueue` implements this with a heap plus lazy
+deletion (tombstones), giving O(log n) push/pop/remove amortised.
+
+Orderings (paper, Section III-D):
+
+* ``Qedf``   — earliest deadline first (entries are ``(job, t_insert,
+  cslack_insert)`` tuples);
+* ``Qother`` — earliest deadline first;
+* ``Qsupp``  — **latest** deadline first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generic, Iterator, Optional, Tuple, TypeVar
+
+from repro.errors import SchedulingError
+from repro.sim.job import Job
+
+__all__ = ["JobQueue", "edf_key", "latest_deadline_key", "EdfEntry"]
+
+#: Bookkeeping entry for Qedf: (job, t_insert, cslack_insert).
+EdfEntry = Tuple[Job, float, float]
+
+E = TypeVar("E")
+
+
+def edf_key(job: Job) -> tuple:
+    """Earliest-deadline-first ordering key with deterministic tie-break."""
+    return (job.deadline, job.jid)
+
+
+def latest_deadline_key(job: Job) -> tuple:
+    """Latest-deadline-first ordering key (used by Qsupp)."""
+    return (-job.deadline, job.jid)
+
+
+class JobQueue(Generic[E]):
+    """Heap-ordered queue of entries keyed by their job, with removal.
+
+    Parameters
+    ----------
+    key:
+        Maps a *job* to its ordering key (smallest first).
+    entry_job:
+        Extracts the job from an entry.  Defaults to identity, for queues
+        whose entries are bare jobs; Qedf passes ``lambda e: e[0]``.
+    name:
+        For diagnostics.
+    """
+
+    def __init__(
+        self,
+        key: Callable[[Job], tuple] = edf_key,
+        *,
+        entry_job: Callable[[E], Job] | None = None,
+        name: str = "queue",
+    ) -> None:
+        self._key = key
+        self._entry_job = entry_job or (lambda entry: entry)  # type: ignore[assignment]
+        self._name = name
+        self._heap: list[tuple[tuple, int, E]] = []
+        self._live: dict[int, E] = {}  # jid -> current entry
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    def __contains__(self, job: Job) -> bool:
+        return job.jid in self._live
+
+    def jobs(self) -> Iterator[Job]:
+        """Iterate over live member jobs (heap order not guaranteed)."""
+        for entry in self._live.values():
+            yield self._entry_job(entry)
+
+    def entries(self) -> Iterator[E]:
+        """Iterate over live entries (heap order not guaranteed)."""
+        yield from self._live.values()
+
+    # ------------------------------------------------------------------
+    def insert(self, entry: E) -> None:
+        """Insert an entry; its job must not already be a member."""
+        job = self._entry_job(entry)
+        if job.jid in self._live:
+            raise SchedulingError(
+                f"{self._name}: job {job.jid} inserted twice"
+            )
+        self._live[job.jid] = entry
+        heapq.heappush(self._heap, (self._key(job), next(self._counter), entry))
+
+    def _purge(self) -> None:
+        """Drop tombstoned heap entries from the top."""
+        while self._heap:
+            _, _, entry = self._heap[0]
+            job = self._entry_job(entry)
+            if self._live.get(job.jid) is entry:
+                return
+            heapq.heappop(self._heap)
+
+    def first(self) -> E:
+        """The paper's ``FirstInQueue``: best entry without removal."""
+        self._purge()
+        if not self._heap:
+            raise SchedulingError(f"{self._name}: first() on empty queue")
+        return self._heap[0][2]
+
+    def dequeue(self) -> E:
+        """The paper's ``Dequeue``: pop and return the best entry."""
+        self._purge()
+        if not self._heap:
+            raise SchedulingError(f"{self._name}: dequeue() on empty queue")
+        _, _, entry = heapq.heappop(self._heap)
+        del self._live[self._entry_job(entry).jid]
+        return entry
+
+    def remove(self, job: Job) -> Optional[E]:
+        """Remove ``job``'s entry if present; return it (else ``None``).
+
+        O(1): the heap copy becomes a tombstone purged lazily.
+        """
+        return self._live.pop(job.jid, None)
+
+    def drain(self) -> list[E]:
+        """Remove and return *all* live entries in key order."""
+        out = []
+        while self._live:
+            out.append(self.dequeue())
+        self._heap.clear()
+        return out
+
+    def clear(self) -> None:
+        self._live.clear()
+        self._heap.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JobQueue({self._name}, size={len(self._live)})"

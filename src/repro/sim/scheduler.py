@@ -1,0 +1,146 @@
+"""Scheduler abstraction and the online information interface.
+
+The engine is clairvoyant (it owns the full capacity trajectory so it can
+compute exact completion instants); schedulers are *myopic* and interact
+with the world only through :class:`SchedulerContext`, which exposes exactly
+the information the paper grants an online algorithm:
+
+* the current time;
+* job parameters at release (handlers receive the :class:`Job`);
+* the remaining workload of any released job — legitimate online knowledge,
+  since the scheduler observed when each job ran and the past capacity
+  ``c(τ), τ <= now``;
+* the instantaneous capacity ``c(now)`` and the declared bounds
+  ``(c̲, c̄)`` of the input set.
+
+Nothing about the *future* trajectory is reachable through the context, so
+the online model is enforced at the API level.
+
+Handlers correspond to the paper's three interrupt types (Section III-D):
+job release, job completion-or-failure, and zero-conservative-laxity alarms
+(generalised to arbitrary per-job alarms so Dover's ĉ-laxity and LLF's
+tie-crossing timers reuse the same mechanism).  Each handler returns the
+job that should occupy the processor once the interrupt is handled
+(``None`` for idle); the engine performs the actual switch, completion
+prediction and trace accounting.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+from repro.sim.job import Job
+
+__all__ = ["SchedulerContext", "Scheduler"]
+
+
+class SchedulerContext(abc.ABC):
+    """What an online scheduler is allowed to see and do.
+
+    Implemented by the engine; schedulers receive an instance via
+    :meth:`Scheduler.bind` at the start of every run.
+    """
+
+    # -- observation ----------------------------------------------------
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current simulation time."""
+
+    @abc.abstractmethod
+    def remaining(self, job: Job) -> float:
+        """Remaining workload ``p_r(T)`` of a released, unfinished job."""
+
+    @abc.abstractmethod
+    def capacity_now(self) -> float:
+        """The instantaneous capacity ``c(now)`` (observable per Sec. II-A)."""
+
+    @property
+    @abc.abstractmethod
+    def bounds(self) -> Tuple[float, float]:
+        """The declared capacity bounds ``(c̲, c̄)``."""
+
+    @abc.abstractmethod
+    def current_job(self) -> Optional[Job]:
+        """The job currently on the processor (``None`` when idle)."""
+
+    # -- alarms ----------------------------------------------------------
+    @abc.abstractmethod
+    def set_alarm(self, job: Job, time: float, tag: str = "claxity") -> None:
+        """Arm (or re-arm) the single alarm slot of ``job`` to fire at
+        ``time`` (clamped to ``now`` if in the past).  Firing calls
+        :meth:`Scheduler.on_alarm`; alarms on completed/failed/running jobs
+        are dropped silently."""
+
+    @abc.abstractmethod
+    def cancel_alarm(self, job: Job) -> None:
+        """Disarm ``job``'s alarm if armed."""
+
+    @abc.abstractmethod
+    def set_timer(self, time: float, tag: str) -> None:
+        """Arm a job-independent timer firing :meth:`Scheduler.on_timer`."""
+
+    # -- derived conveniences ---------------------------------------------
+    def conservative_remaining_time(self, job: Job, rate: float | None = None) -> float:
+        """The paper's ``t_c(T, c̲)``: remaining processing time under the
+        conservative (or supplied) rate estimate."""
+        if rate is None:
+            rate = self.bounds[0]
+        return self.remaining(job) / rate
+
+    def claxity(self, job: Job, rate: float | None = None) -> float:
+        """Conservative laxity (Definition 5) of ``job`` right now; pass
+        ``rate=ĉ`` for Dover's estimated laxity instead."""
+        if rate is None:
+            rate = self.bounds[0]
+        return job.deadline - self.now() - self.remaining(job) / rate
+
+
+class Scheduler(abc.ABC):
+    """Base class for online scheduling policies.
+
+    Subclasses implement the interrupt handlers.  A scheduler instance may
+    be reused across runs: :meth:`bind` is called once per run and must
+    reset all per-run state (subclasses override :meth:`reset`).
+    """
+
+    #: Human-readable policy name (used in results and tables).
+    name: str = "scheduler"
+
+    def __init__(self) -> None:
+        self.ctx: SchedulerContext = None  # type: ignore[assignment]
+
+    def bind(self, ctx: SchedulerContext) -> None:
+        """Attach to an engine run and reset per-run state."""
+        self.ctx = ctx
+        self.reset()
+
+    def reset(self) -> None:
+        """Reinitialise per-run state.  Default: nothing."""
+
+    # ------------------------------------------------------------------
+    # Interrupt handlers: each returns the job that should run next
+    # (None = leave the processor idle).
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def on_release(self, job: Job) -> Optional[Job]:
+        """A new job arrived (the paper's job-release interrupt)."""
+
+    @abc.abstractmethod
+    def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
+        """A job left the system: ``completed=True`` for successful
+        termination, ``False`` for a deadline failure.  Called both when the
+        departing job was running and when it expired while waiting (the
+        scheduler must purge it from its queues in the latter case)."""
+
+    def on_alarm(self, job: Job, tag: str) -> Optional[Job]:
+        """A per-job alarm fired (e.g. zero conservative laxity).  Default:
+        keep the current assignment."""
+        return self.ctx.current_job()
+
+    def on_timer(self, tag: str) -> Optional[Job]:
+        """A job-independent timer fired.  Default: keep current."""
+        return self.ctx.current_job()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

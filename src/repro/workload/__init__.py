@@ -1,0 +1,40 @@
+"""Workload substrate: stochastic generators, adversarial families, replay."""
+
+from repro.workload.adversary import AdversaryOutcome, EscalationAdversary
+from repro.workload.base import WorkloadGenerator, as_generator
+from repro.workload.bursty import MMPPWorkload
+from repro.workload.instances import feasible_instance, inadmissible_trap, locke_trap
+from repro.workload.mixture import MixtureWorkload
+from repro.workload.periodic import PeriodicTask, PeriodicWorkload
+from repro.workload.poisson import PoissonWorkload
+from repro.workload.swf import SWFImportReport, parse_swf, swf_to_jobs
+from repro.workload.replay import (
+    ReplayWorkload,
+    jobs_from_records,
+    jobs_to_records,
+    load_instance,
+    save_instance,
+)
+
+__all__ = [
+    "WorkloadGenerator",
+    "AdversaryOutcome",
+    "EscalationAdversary",
+    "as_generator",
+    "PoissonWorkload",
+    "MMPPWorkload",
+    "MixtureWorkload",
+    "PeriodicTask",
+    "PeriodicWorkload",
+    "feasible_instance",
+    "inadmissible_trap",
+    "locke_trap",
+    "ReplayWorkload",
+    "jobs_from_records",
+    "jobs_to_records",
+    "load_instance",
+    "save_instance",
+    "SWFImportReport",
+    "parse_swf",
+    "swf_to_jobs",
+]

@@ -1,0 +1,164 @@
+"""The adaptive adversary behind the competitive-ratio upper bounds.
+
+Theorem 1(2)/3(1)'s upper bound ``1/(1+√k)²`` comes from an *adversary
+argument* (Baruah et al. / Koren–Shasha): whenever the online scheduler is
+about to bank a job's value, the adversary releases a conflicting
+zero-laxity job worth slightly more than the scheduler's abandonment
+threshold, forcing it to either discard accrued work or forfeit the new
+value; the escalation is capped by the importance-ratio bound ``k``.
+
+Our engine takes the job set upfront, but every shipped scheduler is
+*deterministic*, so the adaptive game is realised by **restart-replay**:
+after each probe the simulation is replayed from scratch with the
+instance-so-far, the adversary observes which job the scheduler is about
+to complete, and injects the next bait just before that instant.  This is
+exactly the classical adversary's information model (it reacts to the
+online algorithm's published behaviour, never to the future).
+
+:class:`EscalationAdversary` measures the realized online/offline ratio of
+the resulting game.  It is a *demonstration* adversary — tuned to the
+Dover family's value test, not re-deriving the tight lower-bound
+construction — so the measured ratio is an upper bound certificate for
+the specific scheduler, expected to land between the scheduler's guarantee
+and 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.capacity.constant import ConstantCapacity
+from repro.core.offline import optimal_offline_value
+from repro.errors import InvalidInstanceError
+from repro.sim.engine import simulate
+from repro.sim.job import Job
+from repro.sim.metrics import SimulationResult
+from repro.sim.scheduler import Scheduler
+
+__all__ = ["AdversaryOutcome", "EscalationAdversary"]
+
+
+@dataclass(frozen=True)
+class AdversaryOutcome:
+    """Result of one adversary game."""
+
+    jobs: tuple[Job, ...]
+    online_value: float
+    offline_value: float
+    rounds: int
+
+    @property
+    def ratio(self) -> float:
+        return self.online_value / self.offline_value if self.offline_value else 1.0
+
+
+class EscalationAdversary:
+    """Bait-and-switch escalation against a deterministic scheduler.
+
+    Parameters
+    ----------
+    scheduler_factory:
+        Builds a fresh scheduler instance per replay (schedulers hold
+        per-run state).
+    k:
+        Importance-ratio budget: bait value densities stay within
+        ``[1, k]``.
+    escalation:
+        Multiplicative value step between consecutive baits.  The game is
+        most damaging when each bait *just* clears the victim's abandonment
+        threshold; for the Dover family that is the β threshold, so pass
+        ``beta * 1.05`` or so.  Values <= 1 are rejected.
+    workload:
+        Bait workload (all baits are identical in size; the escalation is
+        purely in value).
+    epsilon:
+        How long before the observed completion the next bait lands.
+        Must be well under ``workload / rate``.
+    rate:
+        Constant processor rate of the game (the classical setting).
+    max_rounds:
+        Hard cap on the escalation length (also keeps the exact offline
+        optimum tractable).
+    """
+
+    def __init__(
+        self,
+        scheduler_factory: Callable[[], Scheduler],
+        k: float,
+        *,
+        escalation: float,
+        workload: float = 1.0,
+        epsilon: float = 0.05,
+        rate: float = 1.0,
+        max_rounds: int = 16,
+    ) -> None:
+        if k < 1.0:
+            raise InvalidInstanceError(f"k must be >= 1, got {k!r}")
+        if escalation <= 1.0:
+            raise InvalidInstanceError(
+                f"escalation must exceed 1, got {escalation!r}"
+            )
+        if not 0.0 < epsilon < workload / rate:
+            raise InvalidInstanceError(
+                f"epsilon must lie in (0, workload/rate), got {epsilon!r}"
+            )
+        if max_rounds < 1 or max_rounds > 18:
+            raise InvalidInstanceError(
+                "max_rounds must be in [1, 18] (exact offline optimum is "
+                "exponential)"
+            )
+        self._factory = scheduler_factory
+        self._k = float(k)
+        self._escalation = float(escalation)
+        self._workload = float(workload)
+        self._epsilon = float(epsilon)
+        self._rate = float(rate)
+        self._max_rounds = int(max_rounds)
+
+    # ------------------------------------------------------------------
+    def _bait(self, jid: int, release: float, value: float) -> Job:
+        return Job(
+            jid=jid,
+            release=release,
+            workload=self._workload,
+            deadline=release + self._workload / self._rate,  # zero laxity
+            value=value,
+        )
+
+    def _replay(self, jobs: Sequence[Job]) -> SimulationResult:
+        return simulate(list(jobs), ConstantCapacity(self._rate), self._factory())
+
+    def play(self) -> AdversaryOutcome:
+        """Run the game and measure the realized competitive ratio."""
+        max_value = self._k * self._workload  # density cap
+        jobs = [self._bait(0, 0.0, self._workload)]  # density 1 opener
+        value = self._workload
+
+        rounds = 1
+        while rounds < self._max_rounds:
+            result = self._replay(jobs)
+            if not result.trace.value_points:
+                break  # the scheduler banks nothing; escalating won't help
+            # The adversary strikes at the scheduler's *first* banked value:
+            # a bait landing just before it forces the abandonment dilemma.
+            first_completion = result.trace.value_points[0][0]
+            release = first_completion - self._epsilon
+            if release <= (jobs[-1].release if jobs else 0.0):
+                break  # cannot strike earlier than the previous bait
+            value = min(value * self._escalation, max_value)
+            jobs.append(self._bait(rounds, release, value))
+            rounds += 1
+            if value >= max_value:
+                break  # budget exhausted; one final replay below
+
+        final = self._replay(jobs)
+        offline = optimal_offline_value(
+            jobs, ConstantCapacity(self._rate), max_jobs=self._max_rounds + 1
+        )
+        return AdversaryOutcome(
+            jobs=tuple(jobs),
+            online_value=final.value,
+            offline_value=offline,
+            rounds=rounds,
+        )

@@ -1,0 +1,61 @@
+"""Workload generator interface.
+
+A generator produces a job list from an explicit RNG; all randomness flows
+through :class:`numpy.random.Generator` so Monte-Carlo replications are
+reproducible and parallelisable via ``SeedSequence.spawn``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+from repro.sim.job import Job
+
+__all__ = ["WorkloadGenerator", "as_generator"]
+
+
+def as_generator(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Coerce a seed-or-generator argument into a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+class WorkloadGenerator(abc.ABC):
+    """Produces problem instances (job lists) on demand."""
+
+    @abc.abstractmethod
+    def generate(self, rng: np.random.Generator | int | None = None) -> list[Job]:
+        """Draw one instance.  Jobs are returned sorted by release time
+        with sequential ids in that order."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _finalize(
+        releases: Sequence[float],
+        workloads: Sequence[float],
+        rel_deadlines: Sequence[float],
+        values: Sequence[float],
+    ) -> list[Job]:
+        """Assemble parallel arrays into sorted, validated jobs."""
+        n = len(releases)
+        if not (len(workloads) == len(rel_deadlines) == len(values) == n):
+            raise InvalidInstanceError("generator produced ragged arrays")
+        order = np.argsort(releases, kind="stable")
+        jobs = []
+        for jid, idx in enumerate(order):
+            r = float(releases[idx])
+            jobs.append(
+                Job(
+                    jid=jid,
+                    release=r,
+                    workload=float(workloads[idx]),
+                    deadline=r + float(rel_deadlines[idx]),
+                    value=float(values[idx]),
+                )
+            )
+        return jobs

@@ -1,0 +1,92 @@
+"""Bursty arrivals: a Markov-modulated Poisson process (MMPP).
+
+The cloud's secondary-job demand is burstier than a homogeneous Poisson
+process (spot-market bids cluster when the spot price dips).  The MMPP
+alternates between a *quiet* and a *burst* phase with exponential sojourns;
+within each phase arrivals are Poisson at the phase's rate.  Everything
+else (workloads, deadlines, values) matches :class:`~repro.workload.
+poisson.PoissonWorkload` so results are directly comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+from repro.sim.job import Job
+from repro.workload.base import WorkloadGenerator, as_generator
+
+__all__ = ["MMPPWorkload"]
+
+
+class MMPPWorkload(WorkloadGenerator):
+    """Two-phase Markov-modulated Poisson arrivals.
+
+    Parameters
+    ----------
+    quiet_rate, burst_rate:
+        Arrival rates of the two phases (burst_rate > quiet_rate).
+    mean_phase:
+        Mean exponential sojourn in each phase.
+    horizon:
+        Arrivals occur in ``[0, horizon)``.
+    workload_mean, density_range, c_lower, deadline_slack:
+        As in :class:`~repro.workload.poisson.PoissonWorkload`.
+    """
+
+    def __init__(
+        self,
+        quiet_rate: float,
+        burst_rate: float,
+        mean_phase: float,
+        horizon: float,
+        *,
+        workload_mean: float = 1.0,
+        density_range: tuple[float, float] = (1.0, 7.0),
+        c_lower: float = 1.0,
+        deadline_slack: float = 1.0,
+    ) -> None:
+        if not (0.0 < quiet_rate < burst_rate):
+            raise InvalidInstanceError(
+                f"need 0 < quiet_rate < burst_rate, got {quiet_rate!r}, {burst_rate!r}"
+            )
+        if mean_phase <= 0.0 or horizon <= 0.0:
+            raise InvalidInstanceError("mean_phase and horizon must be positive")
+        lo, hi = density_range
+        if not (0.0 < lo <= hi):
+            raise InvalidInstanceError(f"bad density range: {density_range!r}")
+        self.quiet_rate = float(quiet_rate)
+        self.burst_rate = float(burst_rate)
+        self.mean_phase = float(mean_phase)
+        self.horizon = float(horizon)
+        self.workload_mean = float(workload_mean)
+        self.density_range = (float(lo), float(hi))
+        self.c_lower = float(c_lower)
+        self.deadline_slack = float(deadline_slack)
+
+    def _sample_arrivals(self, gen: np.random.Generator) -> np.ndarray:
+        """Thinning-free phase-by-phase sampling of the MMPP."""
+        arrivals: list[float] = []
+        t = 0.0
+        burst = bool(gen.integers(0, 2))  # random initial phase
+        while t < self.horizon:
+            phase_end = min(t + gen.exponential(self.mean_phase), self.horizon)
+            rate = self.burst_rate if burst else self.quiet_rate
+            n = int(gen.poisson(rate * (phase_end - t)))
+            if n:
+                arrivals.extend(gen.uniform(t, phase_end, size=n).tolist())
+            t = phase_end
+            burst = not burst
+        return np.asarray(arrivals, dtype=float)
+
+    def generate(self, rng: np.random.Generator | int | None = None) -> list[Job]:
+        gen = as_generator(rng)
+        releases = self._sample_arrivals(gen)
+        n = releases.size
+        if n == 0:
+            return []
+        workloads = np.maximum(gen.exponential(self.workload_mean, size=n), 1e-12)
+        densities = gen.uniform(*self.density_range, size=n)
+        rel_deadlines = self.deadline_slack * workloads / self.c_lower
+        values = densities * workloads
+        return self._finalize(releases, workloads, rel_deadlines, values)

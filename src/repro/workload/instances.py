@@ -1,0 +1,167 @@
+"""Hand-crafted instance families realising the paper's negative results.
+
+* :func:`inadmissible_trap` — the Theorem 3(3) family ``I_n``: one job that
+  is **not** individually admissible with a value so large that any
+  admissibility-trusting online algorithm commits to it, while the realized
+  capacity stays at the floor ``c̲`` and the job can never finish.  The
+  clairvoyant offline scheduler harvests the stream of small jobs instead;
+  the measured online/offline ratio decays like ``1/n`` — empirically
+  realising "no online algorithm has positive competitive ratio without
+  individual admissibility".
+
+* :func:`locke_trap` — Locke's classical observation that EDF collapses
+  under overload: a single long high-value job with the latest deadline is
+  starved by a stream of short, nearly worthless, earlier-deadline jobs.
+  EDF chases the deadlines and loses the big value; the Dover family
+  triages by value and keeps it.
+
+* :func:`feasible_instance` — random *underloaded* instances built by
+  construction (jobs are carved out of an explicit witness schedule), used
+  to exercise Theorem 2 (EDF captures all value whenever that is possible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.capacity.base import CapacityFunction
+from repro.capacity.piecewise import PiecewiseConstantCapacity
+from repro.errors import InvalidInstanceError
+from repro.sim.job import Job
+from repro.workload.base import as_generator
+
+__all__ = ["inadmissible_trap", "locke_trap", "feasible_instance"]
+
+
+def inadmissible_trap(
+    n: int,
+    *,
+    declared_upper: float | None = None,
+) -> tuple[list[Job], PiecewiseConstantCapacity]:
+    """The Theorem 3(3) adversarial family ``I_n``.
+
+    Construction (with ``c̲ = 1``):
+
+    * the trap ``B``: released at 0, workload ``1.5 n``, deadline ``n``,
+      value ``n²``.  Not individually admissible (``p/c̲ = 1.5n > n``), but
+      *declared* capacity allows completion (``c̄`` is high); a scheduler
+      that trusts value will run it;
+    * ``n`` unit jobs: job ``i`` has release ``i``, workload 1, deadline
+      ``i+1``, value 1 — individually admissible with zero laxity;
+    * one rescue job at the tail (release ``n``, unit workload/value) so
+      the online value is positive and the ratio is measurable;
+    * realized capacity: constantly ``c̲ = 1`` (a legal member of
+      ``C(1, c̄)``), so ``B`` can never finish.
+
+    Any algorithm that commits the processor to ``B`` (V-Dover does: ``B``
+    wins every zero-laxity value comparison) scores only the rescue job,
+    while offline scores every unit job: ratio ``≈ 2/n → 0``.
+    """
+    if n < 1:
+        raise InvalidInstanceError(f"n must be >= 1, got {n}")
+    upper = float(declared_upper) if declared_upper is not None else 4.0 * n
+    if upper <= 1.0:
+        raise InvalidInstanceError(f"declared upper bound must exceed 1: {upper!r}")
+    jobs = [
+        Job(jid=0, release=0.0, workload=1.5 * n, deadline=float(n), value=float(n * n))
+    ]
+    for i in range(n):
+        jobs.append(
+            Job(
+                jid=i + 1,
+                release=float(i),
+                workload=1.0,
+                deadline=float(i + 1),
+                value=1.0,
+            )
+        )
+    jobs.append(
+        Job(jid=n + 1, release=float(n), workload=1.0, deadline=float(n + 1), value=1.0)
+    )
+    capacity = PiecewiseConstantCapacity([0.0], [1.0], lower=1.0, upper=upper)
+    return jobs, capacity
+
+
+def locke_trap(
+    n: int,
+    *,
+    short_value: float = 0.05,
+) -> tuple[list[Job], PiecewiseConstantCapacity]:
+    """EDF's overload pathology (Locke 1986; paper Section I-A).
+
+    One long job ``A``: release 0, workload ``n``, deadline ``n`` (zero
+    laxity at unit capacity), value ``n``.  A stream of short jobs with
+    *earlier* deadlines and negligible value: job ``i`` releases at
+    ``i + 0.05`` with workload 0.6 and deadline ``i + 0.95``.  EDF always
+    favours the earlier deadline, so it keeps preempting ``A`` for shorts,
+    ``A`` silently dies, and EDF banks only ``≈ 0.05·n`` of value.  The
+    Dover family refuses the shorts (they fail the zero-laxity value test
+    against ``A``) and keeps the big value.
+    """
+    if n < 2:
+        raise InvalidInstanceError(f"n must be >= 2, got {n}")
+    if short_value <= 0.0:
+        raise InvalidInstanceError(f"short_value must be positive: {short_value!r}")
+    jobs = [Job(jid=0, release=0.0, workload=float(n), deadline=float(n), value=float(n))]
+    for i in range(n - 1):
+        jobs.append(
+            Job(
+                jid=i + 1,
+                release=i + 0.05,
+                workload=0.6,
+                deadline=i + 0.95,
+                value=float(short_value),
+            )
+        )
+    capacity = PiecewiseConstantCapacity([0.0], [1.0], lower=1.0, upper=2.0)
+    return jobs, capacity
+
+
+def feasible_instance(
+    capacity: CapacityFunction,
+    n: int,
+    horizon: float,
+    rng: np.random.Generator | int | None = None,
+    *,
+    max_release_lead: float = 2.0,
+    max_deadline_slack: float = 2.0,
+    density_range: tuple[float, float] = (1.0, 7.0),
+) -> list[Job]:
+    """Random instance that is underloaded *by construction*.
+
+    A witness schedule is drawn first: the horizon is cut at ``n − 1``
+    sorted uniform points into ``n`` execution windows, and job ``i`` is
+    defined to demand exactly the work the capacity provides in window
+    ``i``.  Releases may lead their window by up to ``max_release_lead``
+    and deadlines trail it by up to ``max_deadline_slack``, so the witness
+    schedule completes every job — the instance is underloaded and
+    Theorem 2 applies (EDF must capture all of its value).
+    """
+    if n < 1:
+        raise InvalidInstanceError(f"n must be >= 1, got {n}")
+    if horizon <= 0.0:
+        raise InvalidInstanceError(f"horizon must be positive: {horizon!r}")
+    gen = as_generator(rng)
+    cuts = np.sort(gen.uniform(0.0, horizon, size=n - 1)) if n > 1 else np.array([])
+    edges = np.concatenate(([0.0], cuts, [horizon]))
+    jobs: list[Job] = []
+    for i in range(n):
+        start, end = float(edges[i]), float(edges[i + 1])
+        if end - start < 1e-9:  # degenerate sliver; skip it
+            continue
+        work = capacity.integrate(start, end)
+        if work <= 1e-12:
+            continue
+        release = max(0.0, start - gen.uniform(0.0, max_release_lead))
+        deadline = end + gen.uniform(0.0, max_deadline_slack)
+        density = gen.uniform(*density_range)
+        jobs.append(
+            Job(
+                jid=len(jobs),
+                release=release,
+                workload=work,
+                deadline=deadline,
+                value=density * work,
+            )
+        )
+    return jobs

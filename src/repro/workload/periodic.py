@@ -1,0 +1,104 @@
+"""Periodic task sets (Liu & Layland style), expressed as job streams.
+
+Real-time theory's classical workload: task ``i`` releases one job every
+``period_i`` with workload ``wcet_i`` (here in capacity units) and deadline
+equal to the next release.  Used by the underload experiments: a periodic
+set whose total density is below the conservative capacity bound is
+feasible, so EDF must capture *all* its value (Theorem 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+from repro.sim.job import Job
+from repro.workload.base import WorkloadGenerator, as_generator
+
+__all__ = ["PeriodicTask", "PeriodicWorkload"]
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """One periodic task: a job every ``period``, workload ``demand``."""
+
+    period: float
+    demand: float
+    value_per_job: float
+    offset: float = 0.0
+    #: deadline relative to release; defaults to the period (implicit
+    #: deadline in real-time terminology)
+    relative_deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0 or self.demand <= 0.0 or self.value_per_job < 0.0:
+            raise InvalidInstanceError(f"invalid periodic task: {self!r}")
+        if self.offset < 0.0:
+            raise InvalidInstanceError(f"negative offset: {self.offset!r}")
+        if self.relative_deadline is not None and self.relative_deadline <= 0.0:
+            raise InvalidInstanceError(
+                f"non-positive relative deadline: {self.relative_deadline!r}"
+            )
+
+
+class PeriodicWorkload(WorkloadGenerator):
+    """Unroll a set of periodic tasks into a job stream over a horizon.
+
+    Deterministic (the RNG argument is accepted for interface uniformity
+    but unused unless ``jitter`` is set, in which case each release is
+    perturbed uniformly by ±jitter/2 without letting jobs overtake their
+    deadlines).
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[PeriodicTask],
+        horizon: float,
+        *,
+        jitter: float = 0.0,
+    ) -> None:
+        if horizon <= 0.0:
+            raise InvalidInstanceError(f"horizon must be positive: {horizon!r}")
+        if jitter < 0.0:
+            raise InvalidInstanceError(f"negative jitter: {jitter!r}")
+        if not tasks:
+            raise InvalidInstanceError("at least one periodic task required")
+        self.tasks = list(tasks)
+        self.horizon = float(horizon)
+        self.jitter = float(jitter)
+
+    def utilization(self, rate: float) -> float:
+        """Total demand density relative to a constant rate: the classical
+        ``Σ demand_i / (period_i · rate)``; feasible under EDF iff <= 1 for
+        implicit-deadline tasks on a constant-rate processor."""
+        return sum(t.demand / (t.period * rate) for t in self.tasks)
+
+    def generate(self, rng: np.random.Generator | int | None = None) -> list[Job]:
+        gen = as_generator(rng)
+        releases: list[float] = []
+        workloads: list[float] = []
+        rel_deadlines: list[float] = []
+        values: list[float] = []
+        for task in self.tasks:
+            rel_dl = (
+                task.relative_deadline
+                if task.relative_deadline is not None
+                else task.period
+            )
+            t = task.offset
+            while t < self.horizon:
+                release = t
+                if self.jitter > 0.0:
+                    # Jitter may only delay within the slack so the deadline
+                    # (anchored at the nominal release) stays ahead.
+                    wiggle = min(self.jitter, 0.5 * rel_dl)
+                    release = t + gen.uniform(0.0, wiggle)
+                releases.append(release)
+                workloads.append(task.demand)
+                rel_deadlines.append(rel_dl + (t - release))
+                values.append(task.value_per_job)
+                t += task.period
+        return self._finalize(releases, workloads, rel_deadlines, values)

@@ -1,0 +1,109 @@
+"""The paper's Section-IV workload: Poisson arrivals, exponential workloads,
+zero-conservative-laxity deadlines, uniform value densities.
+
+Defaults reproduce the simulation setup exactly:
+
+* arrivals: Poisson process, rate ``lam`` over ``[0, horizon)``
+  (``horizon = 2000/λ`` in the paper, for 2000 expected jobs);
+* workload: exponential with mean ``1.0``;
+* relative deadline: ``deadline_slack × workload / c_lower`` — the paper
+  uses slack 1, i.e. every job has exactly zero conservative laxity at
+  release, so it is individually admissible with no room to spare (the
+  regime that exercises V-Dover's zero-laxity triage hardest);
+* value: ``density × workload`` with density ~ U[1, 7], so the importance
+  ratio bound is ``k = 7``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+from repro.sim.job import Job
+from repro.workload.base import WorkloadGenerator, as_generator
+
+__all__ = ["PoissonWorkload"]
+
+
+class PoissonWorkload(WorkloadGenerator):
+    """Poisson/exponential workload of the paper's simulation study.
+
+    Parameters
+    ----------
+    lam:
+        Arrival rate λ (jobs per unit time).
+    horizon:
+        Arrivals occur in ``[0, horizon)``.
+    workload_mean:
+        Mean of the exponential workload distribution (paper: 1.0).
+    density_range:
+        ``(low, high)`` of the uniform value-density distribution
+        (paper: (1.0, 7.0), hence k = 7).
+    c_lower:
+        The conservative capacity bound used to size relative deadlines.
+    deadline_slack:
+        Relative deadline multiplier: ``d − r = slack × p / c_lower``.
+        1.0 (paper) means zero conservative laxity at release; values > 1
+        loosen deadlines (used by the underload experiments).
+    """
+
+    def __init__(
+        self,
+        lam: float,
+        horizon: float,
+        *,
+        workload_mean: float = 1.0,
+        density_range: tuple[float, float] = (1.0, 7.0),
+        c_lower: float = 1.0,
+        deadline_slack: float = 1.0,
+    ) -> None:
+        if lam <= 0.0 or horizon <= 0.0:
+            raise InvalidInstanceError(
+                f"need positive rate and horizon, got lam={lam!r}, "
+                f"horizon={horizon!r}"
+            )
+        if workload_mean <= 0.0:
+            raise InvalidInstanceError(f"workload mean must be positive: {workload_mean!r}")
+        lo, hi = density_range
+        if not (0.0 < lo <= hi):
+            raise InvalidInstanceError(f"bad density range: {density_range!r}")
+        if c_lower <= 0.0:
+            raise InvalidInstanceError(f"c_lower must be positive: {c_lower!r}")
+        if deadline_slack <= 0.0:
+            raise InvalidInstanceError(f"deadline_slack must be positive: {deadline_slack!r}")
+        self.lam = float(lam)
+        self.horizon = float(horizon)
+        self.workload_mean = float(workload_mean)
+        self.density_range = (float(lo), float(hi))
+        self.c_lower = float(c_lower)
+        self.deadline_slack = float(deadline_slack)
+
+    @property
+    def importance_ratio_bound(self) -> float:
+        """The ``k`` implied by the density range (paper: 7.0)."""
+        lo, hi = self.density_range
+        return hi / lo
+
+    @property
+    def expected_jobs(self) -> float:
+        return self.lam * self.horizon
+
+    def generate(self, rng: np.random.Generator | int | None = None) -> list[Job]:
+        gen = as_generator(rng)
+        n = int(gen.poisson(self.lam * self.horizon))
+        if n == 0:
+            return []
+        releases = gen.uniform(0.0, self.horizon, size=n)
+        workloads = gen.exponential(self.workload_mean, size=n)
+        # Guard against pathological zero draws (measure-zero but floats).
+        workloads = np.maximum(workloads, 1e-12)
+        densities = gen.uniform(*self.density_range, size=n)
+        rel_deadlines = self.deadline_slack * workloads / self.c_lower
+        values = densities * workloads
+        return self._finalize(releases, workloads, rel_deadlines, values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PoissonWorkload(lam={self.lam:g}, horizon={self.horizon:g}, "
+            f"slack={self.deadline_slack:g})"
+        )

@@ -1,0 +1,66 @@
+"""Unit tests for empirical competitive-ratio estimation."""
+
+import pytest
+
+from repro.analysis import empirical_ratio, worst_case_ratio
+from repro.capacity import ConstantCapacity
+from repro.core import EDFScheduler, VDoverScheduler
+from repro.errors import AnalysisError
+from repro.sim import Job
+
+
+def J(jid, r, p, d, v=1.0):
+    return Job(jid, r, p, d, v)
+
+
+FEASIBLE = [J(0, 0.0, 1.0, 3.0, v=2.0), J(1, 1.0, 1.0, 4.0, v=3.0)]
+
+
+class TestEmpiricalRatio:
+    def test_feasible_instance_ratio_one(self):
+        est = empirical_ratio(
+            FEASIBLE, ConstantCapacity(1.0), EDFScheduler(), reference="optimal"
+        )
+        assert est.ratio == pytest.approx(1.0)
+        assert est.reference_kind == "optimal"
+
+    def test_generated_reference_lower_bounds(self):
+        est_gen = empirical_ratio(
+            FEASIBLE, ConstantCapacity(1.0), EDFScheduler(), reference="generated"
+        )
+        est_opt = empirical_ratio(
+            FEASIBLE, ConstantCapacity(1.0), EDFScheduler(), reference="optimal"
+        )
+        assert est_gen.ratio <= est_opt.ratio + 1e-12
+
+    def test_greedy_reference(self):
+        est = empirical_ratio(
+            FEASIBLE, ConstantCapacity(1.0), VDoverScheduler(k=2.0), reference="greedy"
+        )
+        assert 0.0 <= est.ratio <= 1.0 + 1e-12
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(AnalysisError):
+            empirical_ratio(
+                FEASIBLE, ConstantCapacity(1.0), EDFScheduler(), reference="magic"
+            )
+
+    def test_empty_reference_value_gives_ratio_one(self):
+        est = empirical_ratio([], ConstantCapacity(1.0), EDFScheduler(), reference="generated")
+        assert est.ratio == 1.0
+
+
+class TestWorstCase:
+    def test_min_over_family(self):
+        overloaded = [J(0, 0.0, 2.0, 2.0, v=1.0), J(1, 0.0, 2.0, 2.1, v=5.0)]
+        instances = [
+            (FEASIBLE, ConstantCapacity(1.0)),
+            (overloaded, ConstantCapacity(1.0)),
+        ]
+        worst = worst_case_ratio(instances, EDFScheduler(), reference="optimal")
+        # On the overloaded instance EDF completes the worthless job only.
+        assert worst == pytest.approx(0.2)
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(AnalysisError):
+            worst_case_ratio([], EDFScheduler())

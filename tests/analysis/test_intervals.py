@@ -1,0 +1,45 @@
+"""Tests for the Lemma-1 report helper."""
+
+import pytest
+
+from repro.analysis.intervals import lemma1_report
+from repro.capacity import ConstantCapacity, TwoStateMarkovCapacity
+from repro.core import VDoverScheduler
+from repro.errors import AnalysisError
+from repro.sim import Job, simulate
+from repro.workload import PoissonWorkload
+
+
+class TestReport:
+    def test_holds_on_paper_workload(self):
+        jobs = PoissonWorkload(lam=6.0, horizon=60.0).generate(5)
+        capacity = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=15.0, rng=9)
+        sched = VDoverScheduler(k=7.0)
+        simulate(jobs, capacity, sched)
+        report = lemma1_report(sched, capacity)
+        assert report.holds
+        assert report.n_intervals > 0
+        assert 0.0 < report.mean_tightness <= 1.0
+        assert report.max_tightness <= 1.0 + 1e-9
+
+    def test_tightness_one_for_saturated_interval(self):
+        """A single zero-laxity job saturates its interval: work == regval
+        (density 1), so tightness is exactly 1."""
+        sched = VDoverScheduler(k=7.0)
+        jobs = [Job(0, 0.0, 4.0, 4.0, 4.0)]  # density 1, zero laxity
+        cap = ConstantCapacity(1.0)
+        simulate(jobs, cap, sched)
+        report = lemma1_report(sched, cap)
+        assert report.n_intervals == 1
+        assert report.max_tightness == pytest.approx(1.0)
+
+    def test_unrun_scheduler_rejected(self):
+        sched = VDoverScheduler(k=7.0)
+        with pytest.raises((AnalysisError, AttributeError)):
+            lemma1_report(sched, ConstantCapacity(1.0))
+
+    def test_str_summary(self):
+        sched = VDoverScheduler(k=7.0)
+        cap = ConstantCapacity(1.0)
+        simulate([Job(0, 0.0, 1.0, 3.0, 2.0)], cap, sched)
+        assert "holds" in str(lemma1_report(sched, cap))

@@ -1,0 +1,70 @@
+"""Tests for the terminal line charts."""
+
+import pytest
+
+from repro.analysis.plots import render_line_chart
+from repro.errors import AnalysisError
+
+
+RAMP = [(0.0, 0.0), (5.0, 5.0), (10.0, 10.0)]
+FLAT = [(0.0, 0.0), (10.0, 2.0)]
+
+
+class TestValidation:
+    def test_empty_series_dict(self):
+        with pytest.raises(AnalysisError):
+            render_line_chart({})
+
+    def test_empty_series(self):
+        with pytest.raises(AnalysisError):
+            render_line_chart({"a": []})
+
+    def test_non_ascending(self):
+        with pytest.raises(AnalysisError):
+            render_line_chart({"a": [(1.0, 0.0), (0.5, 1.0)]})
+
+    def test_too_small(self):
+        with pytest.raises(AnalysisError):
+            render_line_chart({"a": RAMP}, width=3, height=2)
+
+
+class TestRendering:
+    def test_contains_markers_and_legend(self):
+        text = render_line_chart({"up": RAMP, "flat": FLAT})
+        assert "*" in text and "o" in text
+        assert "legend: * up   o flat" in text
+
+    def test_monotone_series_descends_left_to_right_visually(self):
+        text = render_line_chart({"up": RAMP}, width=20, height=10)
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        cols = {}
+        for r, row in enumerate(rows):
+            for c, ch in enumerate(row):
+                if ch == "*":
+                    cols[c] = r
+        # Higher x -> higher y -> smaller row index (charts grow upward).
+        ordered = [cols[c] for c in sorted(cols)]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_axis_labels(self):
+        text = render_line_chart(
+            {"a": RAMP}, title="T", x_label="time", y_label="val"
+        )
+        assert text.splitlines()[0] == "T"
+        assert "time" in text
+        assert "val" in text
+        assert "10" in text  # y max
+
+    def test_overlap_marker(self):
+        text = render_line_chart({"a": RAMP, "b": RAMP[:]})
+        # identical series overlap everywhere -> '=' cells appear
+        assert "=" in text
+
+    def test_step_semantics(self):
+        """A single step must render as two levels, not a ramp."""
+        step = [(0.0, 0.0), (5.0, 0.0), (5.0, 10.0), (10.0, 10.0)]
+        text = render_line_chart({"s": step}, width=20, height=10)
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        marks = [(r, c) for r, row in enumerate(rows) for c, ch in enumerate(row) if ch == "*"]
+        used_rows = {r for r, _ in marks}
+        assert used_rows == {0, 9}  # only bottom and top levels

@@ -1,0 +1,68 @@
+"""Unit tests for the Monte-Carlo statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Summary, paired_gain_percent, summarize
+from repro.errors import AnalysisError
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.ci_half_width == pytest.approx(1.96 / np.sqrt(3))
+
+    def test_singleton(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.ci_half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarize([])
+
+    def test_ci_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(200):
+            sample = rng.normal(10.0, 2.0, size=50)
+            lo, hi = summarize(sample).ci
+            hits += lo <= 10.0 <= hi
+        assert hits >= 180  # ~95% coverage with slack
+
+    def test_str(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestPairedGain:
+    def test_known_gain(self):
+        base = [10.0, 10.0, 10.0]
+        treat = [11.0, 11.0, 11.0]
+        g = paired_gain_percent(treat, base)
+        assert g.mean == pytest.approx(10.0)
+
+    def test_zero_gain(self):
+        g = paired_gain_percent([5.0, 6.0], [5.0, 6.0])
+        assert g.mean == pytest.approx(0.0)
+
+    def test_pairing_tightens_ci(self):
+        """Correlated noise cancels in the paired estimator."""
+        rng = np.random.default_rng(1)
+        noise = rng.normal(0.0, 5.0, size=100)
+        base = 50.0 + noise
+        treat = 55.0 + noise  # same per-instance noise
+        g = paired_gain_percent(treat, base)
+        assert g.mean == pytest.approx(10.0, abs=0.5)
+        assert g.ci_half_width < 0.5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            paired_gain_percent([1.0], [1.0, 2.0])
+
+    def test_non_positive_baseline_rejected(self):
+        with pytest.raises(AnalysisError):
+            paired_gain_percent([1.0, 2.0], [0.0, 0.0])

@@ -1,0 +1,44 @@
+"""Unit tests for the text table/series renderers."""
+
+from repro.analysis import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["name", "x"], [["a", 1.5], ["long-name", 20.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "1.5000" in text
+        assert "20.2500" in text
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        text = render_table(["a"], [["b"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_custom_float_format(self):
+        text = render_table(["x"], [[3.14159]], float_fmt="{:.1f}")
+        assert "3.1" in text
+        assert "3.14" not in text
+
+    def test_non_float_cells_pass_through(self):
+        text = render_table(["x"], [[42], ["str"]])
+        assert "42" in text and "str" in text
+
+
+class TestRenderSeries:
+    def test_empty(self):
+        assert "(empty)" in render_series([], name="s")
+
+    def test_short_series_complete(self):
+        text = render_series([(0.0, 0.0), (1.0, 2.0)], name="s")
+        assert text.count("\n") == 2
+
+    def test_downsampling_keeps_endpoints(self):
+        series = [(float(i), float(i * i)) for i in range(1000)]
+        text = render_series(series, name="s", max_points=10)
+        lines = text.splitlines()
+        assert len(lines) <= 12
+        assert "0.000" in lines[1]
+        assert "999.000" in lines[-1]

@@ -1,0 +1,83 @@
+"""Unit tests for the closed-form theory of Theorems 1 and 3."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    asymptotic_optimality_gap,
+    dover_beta,
+    dover_competitive_ratio,
+    f_overload,
+    optimal_beta,
+    varying_capacity_upper_bound,
+    vdover_competitive_ratio,
+)
+from repro.errors import AnalysisError
+
+
+class TestFOverload:
+    def test_formula(self):
+        # f(k, δ) = 2δ + 2 + log(δk)/log(δ/(δ−1))
+        k, d = 7.0, 35.0
+        expected = 2 * d + 2 + math.log(d * k) / math.log(d / (d - 1))
+        assert f_overload(k, d) == pytest.approx(expected)
+
+    def test_increasing_in_delta(self):
+        assert f_overload(7.0, 10.0) < f_overload(7.0, 20.0) < f_overload(7.0, 40.0)
+
+    def test_increasing_in_k(self):
+        assert f_overload(2.0, 10.0) < f_overload(20.0, 10.0)
+
+    def test_rejects_delta_at_most_one(self):
+        with pytest.raises(AnalysisError):
+            f_overload(7.0, 1.0)
+        with pytest.raises(AnalysisError):
+            f_overload(7.0, 0.5)
+
+    def test_rejects_k_below_one(self):
+        with pytest.raises(AnalysisError):
+            f_overload(0.5, 2.0)
+
+
+class TestRatios:
+    def test_vdover_ratio_formula(self):
+        k, d = 7.0, 35.0
+        f = f_overload(k, d)
+        expected = 1.0 / ((math.sqrt(k) + math.sqrt(f)) ** 2 + 1.0)
+        assert vdover_competitive_ratio(k, d) == pytest.approx(expected)
+
+    def test_upper_bound_formula(self):
+        assert varying_capacity_upper_bound(4.0) == pytest.approx(1.0 / 9.0)
+        assert dover_competitive_ratio(4.0) == pytest.approx(1.0 / 9.0)
+
+    def test_achievable_below_upper_bound(self):
+        for k in (1.0, 7.0, 100.0):
+            for d in (1.5, 35.0, 200.0):
+                assert vdover_competitive_ratio(k, d) <= varying_capacity_upper_bound(k)
+
+    def test_asymptotic_optimality(self):
+        """Thm 3's discussion: achievable/upper -> 1 as k -> inf at fixed δ."""
+        d = 35.0
+        gaps = [asymptotic_optimality_gap(k, d) for k in (1e2, 1e4, 1e8, 1e12)]
+        assert gaps == sorted(gaps)  # monotone improvement
+        assert gaps[-1] > 0.9
+
+    def test_ratio_decreases_with_k(self):
+        assert vdover_competitive_ratio(2.0, 10.0) > vdover_competitive_ratio(50.0, 10.0)
+
+
+class TestBetas:
+    def test_dover_beta(self):
+        assert dover_beta(4.0) == pytest.approx(3.0)
+
+    def test_optimal_beta_formula(self):
+        k, d = 7.0, 35.0
+        assert optimal_beta(k, d) == pytest.approx(
+            1.0 + math.sqrt(k / f_overload(k, d))
+        )
+
+    def test_betas_exceed_one(self):
+        for k in (1.0, 7.0, 1000.0):
+            assert dover_beta(k) > 1.0
+            assert optimal_beta(k, 35.0) > 1.0

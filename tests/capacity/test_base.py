@@ -1,0 +1,89 @@
+"""Direct tests of the CapacityFunction base-class contract and defaults."""
+
+import math
+from typing import Iterator
+
+import pytest
+
+from repro.capacity import CapacityFunction
+from repro.capacity.base import Piece
+from repro.errors import CapacityError
+
+
+class TwoPhase(CapacityFunction):
+    """Minimal subclass implementing only the abstract methods, so the
+    default integrate/advance/next_change/mean implementations get
+    exercised directly."""
+
+    def __init__(self):
+        super().__init__(1.0, 3.0)
+
+    def value(self, t: float) -> float:
+        return 1.0 if t < 10.0 else 3.0
+
+    def pieces(self, t0: float, t1: float) -> Iterator[Piece]:
+        if t1 <= t0:
+            return
+        if t0 < 10.0:
+            yield (t0, min(10.0, t1), 1.0)
+        if t1 > 10.0:
+            yield (max(t0, 10.0), t1, 3.0)
+
+
+@pytest.fixture
+def cap():
+    return TwoPhase()
+
+
+class TestBounds:
+    def test_properties(self, cap):
+        assert cap.lower == 1.0
+        assert cap.upper == 3.0
+        assert cap.delta == 3.0
+
+    @pytest.mark.parametrize("lo,hi", [(0.0, 1.0), (-1.0, 1.0), (2.0, 1.0)])
+    def test_invalid_bounds_rejected(self, lo, hi):
+        class Bad(TwoPhase):
+            def __init__(self):
+                CapacityFunction.__init__(self, lo, hi)
+
+        with pytest.raises(CapacityError):
+            Bad()
+
+
+class TestDefaultImplementations:
+    def test_integrate_via_pieces(self, cap):
+        assert cap.integrate(5.0, 15.0) == pytest.approx(5.0 + 15.0)
+
+    def test_integrate_reversed_rejected(self, cap):
+        with pytest.raises(CapacityError):
+            cap.integrate(2.0, 1.0)
+
+    def test_advance_within_first_phase(self, cap):
+        assert cap.advance(0.0, 4.0) == pytest.approx(4.0)
+
+    def test_advance_across_phase(self, cap):
+        # 10 units of work in phase 1 takes until t=10; 6 more at rate 3.
+        assert cap.advance(0.0, 16.0) == pytest.approx(12.0)
+
+    def test_advance_zero_and_negative(self, cap):
+        assert cap.advance(3.0, 0.0) == 3.0
+        with pytest.raises(CapacityError):
+            cap.advance(3.0, -1.0)
+
+    def test_advance_horizon(self, cap):
+        assert cap.advance(0.0, 100.0, horizon=5.0) == math.inf
+
+    def test_advance_inverse_property(self, cap):
+        t = cap.advance(7.0, 20.0)
+        assert cap.integrate(7.0, t) == pytest.approx(20.0)
+
+    def test_mean(self, cap):
+        assert cap.mean(0.0, 20.0) == pytest.approx((10.0 + 30.0) / 20.0)
+        with pytest.raises(CapacityError):
+            cap.mean(5.0, 5.0)
+
+    def test_next_change_default(self, cap):
+        assert cap.next_change(0.0, 50.0) == 10.0
+        assert cap.next_change(10.0, 50.0) == 50.0
+        assert cap.next_change(2.0, 5.0) == 5.0

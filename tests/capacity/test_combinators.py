@@ -1,0 +1,139 @@
+"""Unit tests for the capacity combinators."""
+
+import pytest
+
+from repro.capacity import (
+    ClampedCapacity,
+    ConstantCapacity,
+    PiecewiseConstantCapacity,
+    ScaledCapacity,
+    ShiftedCapacity,
+    SinusoidalCapacity,
+    SummedCapacity,
+)
+from repro.errors import CapacityError
+
+
+@pytest.fixture
+def step():
+    return PiecewiseConstantCapacity([0.0, 5.0], [1.0, 3.0])
+
+
+class TestScaled:
+    def test_values_and_bounds(self, step):
+        cap = ScaledCapacity(step, 2.0)
+        assert cap.value(1.0) == 2.0
+        assert cap.value(6.0) == 6.0
+        assert (cap.lower, cap.upper) == (2.0, 6.0)
+
+    def test_integral_scales(self, step):
+        cap = ScaledCapacity(step, 0.5)
+        assert cap.integrate(0.0, 10.0) == pytest.approx(0.5 * step.integrate(0.0, 10.0))
+
+    def test_advance_consistent(self, step):
+        cap = ScaledCapacity(step, 2.0)
+        t = cap.advance(0.0, 12.0)
+        assert cap.integrate(0.0, t) == pytest.approx(12.0)
+
+    def test_rejects_non_positive_factor(self, step):
+        with pytest.raises(CapacityError):
+            ScaledCapacity(step, 0.0)
+
+
+class TestShifted:
+    def test_shift_moves_breakpoint(self, step):
+        cap = ShiftedCapacity(step, 2.0)
+        assert cap.value(6.9) == 1.0   # inner t=4.9, still in first piece
+        assert cap.value(7.0) == 3.0   # inner t=5.0
+
+    def test_prefix_pinned_at_initial_rate(self, step):
+        cap = ShiftedCapacity(step, 2.0)
+        assert cap.value(0.5) == 1.0
+
+    def test_pieces_tile(self, step):
+        cap = ShiftedCapacity(step, 2.0)
+        pieces = list(cap.pieces(0.0, 12.0))
+        assert pieces[0][0] == 0.0
+        assert pieces[-1][1] == 12.0
+        for (s0, e0, _), (s1, _, _) in zip(pieces, pieces[1:]):
+            assert e0 == pytest.approx(s1)
+
+    def test_integral_matches_pieces(self, step):
+        cap = ShiftedCapacity(step, 2.0)
+        by_pieces = sum((e - s) * r for s, e, r in cap.pieces(1.0, 11.0))
+        assert cap.integrate(1.0, 11.0) == pytest.approx(by_pieces)
+
+    def test_rejects_negative_shift(self, step):
+        with pytest.raises(CapacityError):
+            ShiftedCapacity(step, -1.0)
+
+
+class TestSummed:
+    def test_pointwise_sum(self, step):
+        cap = SummedCapacity([step, ConstantCapacity(2.0)])
+        assert cap.value(1.0) == 3.0
+        assert cap.value(6.0) == 5.0
+        assert (cap.lower, cap.upper) == (3.0, 5.0)
+
+    def test_integral_is_sum_of_integrals(self, step):
+        other = PiecewiseConstantCapacity([0.0, 3.0], [2.0, 4.0])
+        cap = SummedCapacity([step, other])
+        assert cap.integrate(0.0, 10.0) == pytest.approx(
+            step.integrate(0.0, 10.0) + other.integrate(0.0, 10.0)
+        )
+
+    def test_pieces_cover_union_of_breakpoints(self, step):
+        other = PiecewiseConstantCapacity([0.0, 3.0], [2.0, 4.0])
+        cap = SummedCapacity([step, other])
+        edges = [s for s, _, _ in cap.pieces(0.0, 10.0)]
+        assert 3.0 in edges and 5.0 in edges
+
+    def test_empty_rejected(self):
+        with pytest.raises(CapacityError):
+            SummedCapacity([])
+
+    def test_sum_of_sinusoids_is_exact_on_pieces(self):
+        a = SinusoidalCapacity(1.0, 3.0, period=8.0)
+        b = SinusoidalCapacity(2.0, 4.0, period=5.0)
+        cap = SummedCapacity([a, b])
+        by_pieces = sum((e - s) * r for s, e, r in cap.pieces(0.0, 20.0))
+        assert cap.integrate(0.0, 20.0) == pytest.approx(by_pieces)
+
+
+class TestClamped:
+    def test_clamps_both_ends(self, step):
+        cap = ClampedCapacity(step, floor=1.5, ceiling=2.5)
+        assert cap.value(1.0) == 1.5
+        assert cap.value(6.0) == 2.5
+        assert (cap.lower, cap.upper) == (1.5, 2.5)
+
+    def test_noop_when_within_band(self, step):
+        cap = ClampedCapacity(step, floor=0.5, ceiling=10.0)
+        assert cap.integrate(0.0, 10.0) == pytest.approx(step.integrate(0.0, 10.0))
+
+    def test_rejects_bad_band(self, step):
+        with pytest.raises(CapacityError):
+            ClampedCapacity(step, floor=3.0, ceiling=2.0)
+        with pytest.raises(CapacityError):
+            ClampedCapacity(step, floor=0.0, ceiling=2.0)
+
+    def test_advance_consistent(self, step):
+        cap = ClampedCapacity(step, floor=1.5, ceiling=2.5)
+        t = cap.advance(0.0, 10.0)
+        assert cap.integrate(0.0, t) == pytest.approx(10.0)
+
+
+class TestComposition:
+    def test_scheduling_on_composed_capacity(self, step):
+        """Combinators plug into the engine like any other model."""
+        from repro.core import EDFScheduler
+        from repro.sim import Job, simulate
+
+        cap = ClampedCapacity(
+            SummedCapacity([step, ConstantCapacity(1.0)]), floor=1.0, ceiling=3.0
+        )
+        jobs = [Job(0, 0.0, 6.0, 4.0, 1.0)]
+        result = simulate(jobs, cap, EDFScheduler(), validate=True)
+        # rate is clamped to 2 then 3: 2*4 = 8 >= 6 by t=3.
+        assert result.completed_ids == [0]
+        assert result.trace.completion_times[0] == pytest.approx(3.0)

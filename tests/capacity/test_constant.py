@@ -1,0 +1,65 @@
+"""Unit tests for ConstantCapacity."""
+
+import math
+
+import pytest
+
+from repro.capacity import ConstantCapacity
+from repro.errors import CapacityError
+
+
+class TestConstruction:
+    def test_bounds_equal_rate(self):
+        cap = ConstantCapacity(3.5)
+        assert cap.lower == cap.upper == cap.rate == 3.5
+        assert cap.delta == 1.0
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0])
+    def test_rejects_non_positive_rate(self, rate):
+        with pytest.raises(CapacityError):
+            ConstantCapacity(rate)
+
+
+class TestQueries:
+    def test_value_everywhere(self):
+        cap = ConstantCapacity(2.0)
+        assert cap.value(0.0) == 2.0
+        assert cap.value(1e9) == 2.0
+
+    def test_integrate(self):
+        cap = ConstantCapacity(2.0)
+        assert cap.integrate(1.0, 4.0) == pytest.approx(6.0)
+        assert cap.integrate(5.0, 5.0) == 0.0
+
+    def test_integrate_rejects_reversed_interval(self):
+        with pytest.raises(CapacityError):
+            ConstantCapacity(1.0).integrate(2.0, 1.0)
+
+    def test_advance_is_inverse_of_integrate(self):
+        cap = ConstantCapacity(4.0)
+        t = cap.advance(3.0, 10.0)
+        assert cap.integrate(3.0, t) == pytest.approx(10.0)
+
+    def test_advance_zero_work(self):
+        assert ConstantCapacity(1.0).advance(7.0, 0.0) == 7.0
+
+    def test_advance_respects_horizon(self):
+        cap = ConstantCapacity(1.0)
+        assert cap.advance(0.0, 100.0, horizon=10.0) == math.inf
+
+    def test_advance_rejects_negative_work(self):
+        with pytest.raises(CapacityError):
+            ConstantCapacity(1.0).advance(0.0, -1.0)
+
+    def test_pieces_covers_interval(self):
+        pieces = list(ConstantCapacity(2.0).pieces(1.0, 5.0))
+        assert pieces == [(1.0, 5.0, 2.0)]
+
+    def test_pieces_empty_interval(self):
+        assert list(ConstantCapacity(2.0).pieces(5.0, 5.0)) == []
+
+    def test_next_change_is_horizon(self):
+        assert ConstantCapacity(1.0).next_change(0.0, 42.0) == 42.0
+
+    def test_mean(self):
+        assert ConstantCapacity(3.0).mean(0.0, 10.0) == pytest.approx(3.0)

@@ -1,0 +1,126 @@
+"""Unit tests for PiecewiseConstantCapacity."""
+
+import math
+
+import pytest
+
+from repro.capacity import PiecewiseConstantCapacity
+from repro.errors import CapacityError
+
+
+@pytest.fixture
+def cap():
+    # 1 on [0,10), 4 on [10,20), 2 on [20, inf)
+    return PiecewiseConstantCapacity([0.0, 10.0, 20.0], [1.0, 4.0, 2.0])
+
+
+class TestConstruction:
+    def test_realized_bounds(self, cap):
+        assert cap.lower == 1.0
+        assert cap.upper == 4.0
+        assert cap.delta == 4.0
+
+    def test_declared_bounds_may_be_wider(self):
+        cap = PiecewiseConstantCapacity([0.0], [2.0], lower=1.0, upper=8.0)
+        assert (cap.lower, cap.upper) == (1.0, 8.0)
+
+    def test_declared_bounds_must_contain_rates(self):
+        with pytest.raises(CapacityError):
+            PiecewiseConstantCapacity([0.0], [2.0], lower=3.0, upper=8.0)
+        with pytest.raises(CapacityError):
+            PiecewiseConstantCapacity([0.0], [2.0], lower=1.0, upper=1.5)
+
+    def test_first_breakpoint_must_be_zero(self):
+        with pytest.raises(CapacityError):
+            PiecewiseConstantCapacity([1.0], [2.0])
+
+    def test_breakpoints_strictly_increasing(self):
+        with pytest.raises(CapacityError):
+            PiecewiseConstantCapacity([0.0, 5.0, 5.0], [1.0, 2.0, 3.0])
+
+    def test_rates_positive(self):
+        with pytest.raises(CapacityError):
+            PiecewiseConstantCapacity([0.0, 1.0], [1.0, 0.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(CapacityError):
+            PiecewiseConstantCapacity([0.0, 1.0], [1.0])
+
+    def test_empty(self):
+        with pytest.raises(CapacityError):
+            PiecewiseConstantCapacity([], [])
+
+
+class TestValue:
+    def test_values_per_piece(self, cap):
+        assert cap.value(0.0) == 1.0
+        assert cap.value(9.999) == 1.0
+        assert cap.value(10.0) == 4.0  # pieces close on the left
+        assert cap.value(19.0) == 4.0
+        assert cap.value(20.0) == 2.0
+        assert cap.value(1000.0) == 2.0
+
+    def test_negative_time_rejected(self, cap):
+        with pytest.raises(CapacityError):
+            cap.value(-0.1)
+
+
+class TestIntegrate:
+    def test_within_one_piece(self, cap):
+        assert cap.integrate(2.0, 5.0) == pytest.approx(3.0)
+
+    def test_across_pieces(self, cap):
+        # [5,15]: 5*1 + 5*4 = 25
+        assert cap.integrate(5.0, 15.0) == pytest.approx(25.0)
+
+    def test_across_all_pieces(self, cap):
+        # [0,30]: 10*1 + 10*4 + 10*2 = 70
+        assert cap.integrate(0.0, 30.0) == pytest.approx(70.0)
+
+    def test_cumulative_matches_integrate(self, cap):
+        assert cap.cumulative(15.0) == pytest.approx(cap.integrate(0.0, 15.0))
+
+    def test_additivity(self, cap):
+        a = cap.integrate(3.0, 12.0)
+        b = cap.integrate(12.0, 27.0)
+        assert a + b == pytest.approx(cap.integrate(3.0, 27.0))
+
+
+class TestAdvance:
+    def test_within_piece(self, cap):
+        assert cap.advance(0.0, 5.0) == pytest.approx(5.0)
+
+    def test_across_boundary(self, cap):
+        # 10 units take the whole first piece; 12 needs 0.5 of the second.
+        assert cap.advance(0.0, 12.0) == pytest.approx(10.5)
+
+    def test_inverse_property(self, cap):
+        for start, work in [(0.0, 3.0), (5.0, 20.0), (18.0, 30.0)]:
+            t = cap.advance(start, work)
+            assert cap.integrate(start, t) == pytest.approx(work)
+
+    def test_horizon_cuts_off(self, cap):
+        assert cap.advance(0.0, 1000.0, horizon=30.0) == math.inf
+
+    def test_exact_boundary_work(self, cap):
+        # Exactly the first piece's work completes at the boundary.
+        assert cap.advance(0.0, 10.0) == pytest.approx(10.0)
+
+
+class TestPieces:
+    def test_cover_and_order(self, cap):
+        pieces = list(cap.pieces(5.0, 25.0))
+        assert pieces[0] == (5.0, 10.0, 1.0)
+        assert pieces[1] == (10.0, 20.0, 4.0)
+        assert pieces[2] == (20.0, 25.0, 2.0)
+
+    def test_contiguity(self, cap):
+        pieces = list(cap.pieces(0.0, 40.0))
+        for (s0, e0, _), (s1, _, _) in zip(pieces, pieces[1:]):
+            assert e0 == s1
+
+    def test_next_change(self, cap):
+        assert cap.next_change(0.0, 100.0) == 10.0
+        assert cap.next_change(10.0, 100.0) == 20.0
+        assert cap.next_change(20.0, 100.0) == 100.0
+        assert cap.next_change(5.0, 7.0) == 7.0

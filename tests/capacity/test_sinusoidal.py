@@ -1,0 +1,70 @@
+"""Unit tests for the diurnal sinusoidal capacity."""
+
+import numpy as np
+import pytest
+
+from repro.capacity import SinusoidalCapacity
+from repro.errors import CapacityError
+
+
+class TestConstruction:
+    def test_bounds(self):
+        cap = SinusoidalCapacity(1.0, 5.0, period=24.0)
+        assert cap.lower == 1.0
+        assert cap.upper == 5.0
+
+    @pytest.mark.parametrize(
+        "low,high,period",
+        [(0.0, 5.0, 24.0), (5.0, 1.0, 24.0), (1.0, 5.0, 0.0)],
+    )
+    def test_rejects_bad_params(self, low, high, period):
+        with pytest.raises(CapacityError):
+            SinusoidalCapacity(low, high, period=period)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(CapacityError):
+            SinusoidalCapacity(1.0, 5.0, period=24.0, steps_per_period=1)
+
+
+class TestShape:
+    def test_values_within_bounds(self):
+        cap = SinusoidalCapacity(1.0, 5.0, period=10.0)
+        for t in np.linspace(0, 40, 401):
+            v = cap.value(float(t))
+            assert 1.0 - 1e-9 <= v <= 5.0 + 1e-9
+
+    def test_low_in_first_half_high_in_second(self):
+        # c = mid - amp*sin(...): capacity dips in the first half-period
+        # (primary load peak) and rises in the second.
+        cap = SinusoidalCapacity(1.0, 5.0, period=10.0, steps_per_period=100)
+        assert cap.value(2.5) == pytest.approx(1.0, abs=0.05)
+        assert cap.value(7.5) == pytest.approx(5.0, abs=0.05)
+
+    def test_periodicity(self):
+        cap = SinusoidalCapacity(1.0, 5.0, period=10.0)
+        for t in (0.3, 2.7, 6.1):
+            assert cap.value(t) == pytest.approx(cap.value(t + 10.0))
+            assert cap.value(t) == pytest.approx(cap.value(t + 30.0))
+
+    def test_mean_close_to_midpoint(self):
+        cap = SinusoidalCapacity(1.0, 5.0, period=10.0)
+        assert cap.mean(0.0, 10.0) == pytest.approx(3.0, rel=1e-3)
+
+    def test_integral_matches_numeric(self):
+        cap = SinusoidalCapacity(2.0, 6.0, period=7.0, steps_per_period=64)
+        ts = np.linspace(1.0, 15.0, 20001)
+        numeric = np.trapezoid([cap.value(float(t)) for t in ts], ts)
+        assert cap.integrate(1.0, 15.0) == pytest.approx(numeric, rel=1e-3)
+
+    def test_pieces_contiguous(self):
+        cap = SinusoidalCapacity(1.0, 5.0, period=10.0)
+        pieces = list(cap.pieces(0.7, 23.4))
+        assert pieces[0][0] == pytest.approx(0.7)
+        assert pieces[-1][1] == pytest.approx(23.4)
+        for (s0, e0, _), (s1, _, _) in zip(pieces, pieces[1:]):
+            assert e0 == pytest.approx(s1)
+
+    def test_advance_inverse(self):
+        cap = SinusoidalCapacity(1.0, 5.0, period=10.0)
+        t = cap.advance(0.5, 12.0)
+        assert cap.integrate(0.5, t) == pytest.approx(12.0, rel=1e-9)

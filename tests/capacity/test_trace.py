@@ -1,0 +1,68 @@
+"""Unit tests for trace-driven capacity and function sampling."""
+
+import math
+
+import pytest
+
+from repro.capacity import TraceCapacity, sample_function
+from repro.errors import CapacityError
+
+
+class TestTraceCapacity:
+    def test_zero_order_hold(self):
+        cap = TraceCapacity([0.0, 1.0, 3.0], [2.0, 5.0, 1.0])
+        assert cap.value(0.5) == 2.0
+        assert cap.value(1.0) == 5.0
+        assert cap.value(2.9) == 5.0
+        assert cap.value(100.0) == 1.0
+
+    def test_rejects_ragged_input(self):
+        with pytest.raises(CapacityError):
+            TraceCapacity([0.0, 1.0], [2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(CapacityError):
+            TraceCapacity([], [])
+
+    def test_clip_requires_bounds(self):
+        with pytest.raises(CapacityError):
+            TraceCapacity([0.0], [2.0], clip=True)
+
+    def test_clip_clamps_spikes(self):
+        cap = TraceCapacity(
+            [0.0, 1.0, 2.0], [0.5, 10.0, 2.0], lower=1.0, upper=4.0, clip=True
+        )
+        assert cap.value(0.5) == 1.0
+        assert cap.value(1.5) == 4.0
+        assert cap.value(2.5) == 2.0
+
+    def test_unclipped_out_of_bounds_rejected(self):
+        with pytest.raises(CapacityError):
+            TraceCapacity([0.0, 1.0], [0.5, 10.0], lower=1.0, upper=4.0)
+
+
+class TestSampleFunction:
+    def test_constant_function(self):
+        cap = sample_function(lambda t: 3.0, horizon=10.0, dt=0.5)
+        assert cap.integrate(0.0, 10.0) == pytest.approx(30.0)
+
+    def test_linear_function_midpoint_accuracy(self):
+        # Midpoint rule integrates affine functions exactly.
+        cap = sample_function(lambda t: 1.0 + t, horizon=10.0, dt=0.25)
+        assert cap.integrate(0.0, 10.0) == pytest.approx(10.0 + 50.0)
+
+    def test_smooth_function_converges(self):
+        fn = lambda t: 2.0 + math.sin(t)  # noqa: E731
+        coarse = sample_function(fn, horizon=6.28, dt=0.5)
+        fine = sample_function(fn, horizon=6.28, dt=0.01)
+        exact = 2.0 * 6.28 + (1.0 - math.cos(6.28))
+        assert abs(fine.integrate(0.0, 6.28) - exact) < abs(
+            coarse.integrate(0.0, 6.28) - exact
+        ) + 1e-9
+        assert fine.integrate(0.0, 6.28) == pytest.approx(exact, rel=1e-3)
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(CapacityError):
+            sample_function(lambda t: 1.0, horizon=0.0, dt=0.1)
+        with pytest.raises(CapacityError):
+            sample_function(lambda t: 1.0, horizon=1.0, dt=0.0)

@@ -1,0 +1,113 @@
+"""Unit tests for the cluster dispatch extension."""
+
+import pytest
+
+from repro.capacity import ConstantCapacity, TwoStateMarkovCapacity
+from repro.cloud import (
+    BestFitDispatcher,
+    LeastWorkDispatcher,
+    RoundRobinDispatcher,
+    run_cluster,
+)
+from repro.core import VDoverScheduler
+from repro.errors import InvalidInstanceError
+from repro.sim import Job
+
+
+def stream(n, spacing=0.5, p=1.0, slack=2.0):
+    return [
+        Job(i, i * spacing, p, i * spacing + p * slack, 1.0) for i in range(n)
+    ]
+
+
+def scheduler_factory():
+    return VDoverScheduler(k=7.0)
+
+
+class TestRoundRobin:
+    def test_cycles_over_servers(self):
+        caps = [ConstantCapacity(1.0)] * 3
+        result = run_cluster(
+            stream(6), caps, scheduler_factory, RoundRobinDispatcher(), validate=True
+        )
+        servers = [result.assignment[i] for i in range(6)]
+        assert servers == [0, 1, 2, 0, 1, 2]
+
+    def test_aggregates_values(self):
+        caps = [ConstantCapacity(1.0)] * 2
+        result = run_cluster(stream(8), caps, scheduler_factory, RoundRobinDispatcher())
+        assert result.value == sum(r.value for r in result.per_server)
+        assert result.generated_value == pytest.approx(8.0)
+        assert 0.0 <= result.normalized_value <= 1.0
+
+
+class TestLeastWork:
+    def test_prefers_empty_server(self):
+        caps = [ConstantCapacity(1.0)] * 2
+        jobs = [
+            Job(0, 0.0, 10.0, 30.0, 1.0),   # loads server 0
+            Job(1, 0.1, 1.0, 3.0, 1.0),     # must go to server 1
+        ]
+        result = run_cluster(jobs, caps, scheduler_factory, LeastWorkDispatcher())
+        assert result.assignment[0] != result.assignment[1]
+
+    def test_backlog_drains_over_time(self):
+        caps = [ConstantCapacity(1.0)] * 2
+        jobs = [
+            Job(0, 0.0, 4.0, 10.0, 1.0),    # server 0
+            Job(1, 100.0, 1.0, 103.0, 1.0),  # long after: backlog drained,
+        ]                                    # ties to server 0 again
+        result = run_cluster(jobs, caps, scheduler_factory, LeastWorkDispatcher())
+        assert result.assignment[1] == 0
+
+    def test_spreads_load_beats_single_server(self):
+        """Two servers with a dispatcher must beat one server on an
+        overloaded stream (sanity of the whole composition)."""
+        jobs = stream(40, spacing=0.25, p=1.0, slack=1.5)
+        two = run_cluster(
+            jobs,
+            [ConstantCapacity(1.0), ConstantCapacity(1.0)],
+            scheduler_factory,
+            LeastWorkDispatcher(),
+        )
+        one = run_cluster(
+            jobs, [ConstantCapacity(1.0)], scheduler_factory, RoundRobinDispatcher()
+        )
+        assert two.n_completed > one.n_completed
+
+
+class TestBestFit:
+    def test_routes_tight_job_to_light_server(self):
+        caps = [ConstantCapacity(1.0)] * 2
+        jobs = [
+            Job(0, 0.0, 8.0, 20.0, 1.0),
+            Job(1, 0.1, 2.0, 2.5, 1.0),  # tight: needs the empty server
+        ]
+        result = run_cluster(jobs, caps, scheduler_factory, BestFitDispatcher())
+        assert result.assignment[1] != result.assignment[0]
+
+    def test_heterogeneous_floors(self):
+        caps = [
+            TwoStateMarkovCapacity(1.0, 10.0, mean_sojourn=10.0, rng=0),
+            TwoStateMarkovCapacity(2.0, 10.0, mean_sojourn=10.0, rng=1),
+        ]
+        result = run_cluster(
+            stream(20, spacing=0.4), caps, scheduler_factory, BestFitDispatcher()
+        )
+        assert result.n_completed > 0
+
+
+class TestValidation:
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            run_cluster(stream(2), [], scheduler_factory, RoundRobinDispatcher())
+
+    def test_bad_route_rejected(self):
+        class Rogue(RoundRobinDispatcher):
+            def route(self, job):
+                return 99
+
+        with pytest.raises(InvalidInstanceError):
+            run_cluster(
+                stream(1), [ConstantCapacity(1.0)], scheduler_factory, Rogue()
+            )

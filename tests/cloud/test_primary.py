@@ -1,0 +1,80 @@
+"""Unit tests for the primary-occupancy model."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import PrimaryOccupancyModel
+from repro.errors import InvalidInstanceError
+
+
+def model(**overrides):
+    kwargs = dict(
+        total_capacity=10.0,
+        floor=2.0,
+        arrival_rate=1.0,
+        mean_holding=2.0,
+        vm_size=1.0,
+    )
+    kwargs.update(overrides)
+    return PrimaryOccupancyModel(**kwargs)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(floor=0.0),
+            dict(floor=10.0),
+            dict(arrival_rate=0.0),
+            dict(mean_holding=0.0),
+            dict(vm_size=0.0),
+            dict(vm_size=9.0),  # does not fit within total - floor
+        ],
+    )
+    def test_rejects_bad_params(self, overrides):
+        with pytest.raises(InvalidInstanceError):
+            model(**overrides)
+
+    def test_max_primary_vms(self):
+        assert model().max_primary_vms == 8
+        assert model(vm_size=3.0).max_primary_vms == 2
+
+
+class TestResidualSampling:
+    def test_respects_floor_and_ceiling(self):
+        m = model(arrival_rate=5.0)
+        cap = m.sample_residual(200.0, rng=0)
+        assert min(cap.rates) >= m.floor - 1e-9
+        assert max(cap.rates) <= m.total_capacity + 1e-9
+        assert cap.lower == m.floor
+        assert cap.upper == m.total_capacity
+
+    def test_starts_empty(self):
+        cap = model().sample_residual(50.0, rng=1)
+        assert cap.value(0.0) == pytest.approx(10.0)
+
+    def test_deterministic_per_seed(self):
+        m = model()
+        a = m.sample_residual(100.0, rng=7)
+        b = m.sample_residual(100.0, rng=7)
+        assert a.breakpoints == b.breakpoints
+        assert a.rates == b.rates
+
+    def test_occupancy_steps_by_vm_size(self):
+        m = model(vm_size=2.0)
+        cap = m.sample_residual(100.0, rng=3)
+        for rate in cap.rates:
+            k = (m.total_capacity - rate) / m.vm_size
+            assert k == pytest.approx(round(k))
+
+    def test_mean_occupancy_near_erlang(self):
+        """Long-run mean residual matches the Erlang-loss prediction."""
+        m = model(arrival_rate=2.0, mean_holding=2.0)
+        cap = m.sample_residual(5000.0, rng=11)
+        mean_residual = cap.integrate(0.0, 5000.0) / 5000.0
+        predicted = m.total_capacity - m.vm_size * m.expected_occupancy()
+        assert mean_residual == pytest.approx(predicted, rel=0.1)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(InvalidInstanceError):
+            model().sample_residual(0.0)

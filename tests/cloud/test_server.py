@@ -1,0 +1,54 @@
+"""Unit tests for the single-server cloud composition."""
+
+import pytest
+
+from repro.cloud import PrimaryOccupancyModel, Server, SpotMarket, SpotPriceProcess
+from repro.core import VDoverScheduler
+from repro.sim import Job
+
+
+@pytest.fixture
+def primary():
+    return PrimaryOccupancyModel(
+        total_capacity=8.0,
+        floor=1.0,
+        arrival_rate=1.0,
+        mean_holding=3.0,
+        vm_size=1.0,
+    )
+
+
+class TestServer:
+    def test_runs_jobs_on_residual(self, primary):
+        server = Server(primary, VDoverScheduler(k=7.0))
+        jobs = [Job(i, float(i), 1.0, float(i) + 2.0, 1.0) for i in range(10)]
+        run = server.run_jobs(jobs, horizon=20.0, rng=0, validate=True)
+        assert 0 <= run.revenue <= 10.0
+        assert run.result.n_completed + run.result.n_failed == 10
+        assert primary.floor <= run.mean_residual <= primary.total_capacity
+
+    def test_nonintrusiveness_by_validation(self, primary):
+        """The trace validator proves secondary work never exceeded the
+        residual capacity integral (work conservation)."""
+        server = Server(primary, VDoverScheduler(k=7.0))
+        jobs = [Job(i, float(i) * 0.5, 2.0, float(i) * 0.5 + 2.5, 2.0) for i in range(20)]
+        run = server.run_jobs(jobs, horizon=15.0, rng=1, validate=True)
+        assert run.result.executed_work <= run.residual_capacity.integrate(
+            0.0, run.result.horizon
+        ) + 1e-6
+
+    def test_deterministic_given_seed(self, primary):
+        jobs = [Job(i, float(i), 1.0, float(i) + 2.0, 1.0) for i in range(5)]
+        r1 = Server(primary, VDoverScheduler(k=7.0)).run_jobs(jobs, 10.0, rng=5)
+        r2 = Server(primary, VDoverScheduler(k=7.0)).run_jobs(jobs, 10.0, rng=5)
+        assert r1.revenue == r2.revenue
+
+    def test_run_requests_end_to_end(self, primary):
+        market = SpotMarket(
+            SpotPriceProcess(), request_rate=2.0, floor_capacity=primary.floor
+        )
+        requests, _, _ = market.generate_requests(30.0, rng=3)
+        server = Server(primary, VDoverScheduler(k=SpotPriceProcess().importance_ratio_bound))
+        run = server.run_requests(requests, horizon=30.0, rng=4, validate=True)
+        assert run.revenue >= 0.0
+        assert run.revenue_per_offered <= 1.0 + 1e-12

@@ -1,0 +1,92 @@
+"""Unit tests for the synthetic spot market."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import SpotMarket, SpotPriceProcess
+from repro.errors import InvalidInstanceError
+
+
+class TestPriceProcess:
+    def test_stays_in_band(self):
+        proc = SpotPriceProcess(volatility=1.0)
+        _, prices = proc.sample(100.0, rng=0)
+        assert prices.min() >= proc.floor - 1e-12
+        assert prices.max() <= proc.ceiling + 1e-12
+
+    def test_mean_reversion(self):
+        proc = SpotPriceProcess(mean=1.0, reversion=2.0, volatility=0.2)
+        _, prices = proc.sample(500.0, rng=1)
+        assert np.mean(prices) == pytest.approx(1.0, abs=0.2)
+
+    def test_deterministic(self):
+        proc = SpotPriceProcess()
+        _, a = proc.sample(50.0, rng=5)
+        _, b = proc.sample(50.0, rng=5)
+        assert np.array_equal(a, b)
+
+    def test_importance_ratio_bound(self):
+        proc = SpotPriceProcess(floor=0.5, ceiling=4.0, mean=1.0)
+        assert proc.importance_ratio_bound == pytest.approx(8.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(floor=2.0, mean=1.0),
+            dict(ceiling=0.5, mean=1.0),
+            dict(reversion=0.0),
+            dict(dt=0.0),
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(InvalidInstanceError):
+            SpotPriceProcess(**kwargs)
+
+
+class TestMarket:
+    def test_requests_have_valid_fields(self):
+        market = SpotMarket(SpotPriceProcess(), request_rate=3.0)
+        requests, times, prices = market.generate_requests(60.0, rng=2)
+        assert requests
+        for r in requests:
+            assert 0.0 <= r.submit_time < 60.0
+            assert SpotPriceProcess().floor <= r.bid <= SpotPriceProcess().ceiling
+            assert r.latest_finish > r.submit_time
+
+    def test_requests_admissible_by_construction(self):
+        market = SpotMarket(SpotPriceProcess(), floor_capacity=2.0)
+        requests, _, _ = market.generate_requests(60.0, rng=3)
+        for r in requests:
+            assert r.is_admissible(2.0)
+
+    def test_slack_below_one_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            SpotMarket(SpotPriceProcess(), slack_range=(0.5, 2.0))
+
+    def test_elastic_demand_clusters_on_cheap_prices(self):
+        """With high elasticity, more requests arrive when the price dips."""
+        proc = SpotPriceProcess(volatility=0.8, reversion=0.3)
+        market = SpotMarket(proc, request_rate=5.0, elasticity=3.0)
+        requests, times, prices = market.generate_requests(400.0, rng=4)
+        # Split price grid cells at the median price; compare arrival rates.
+        median = np.median(prices[:-1])
+        cheap_time = expensive_time = 0.0
+        cheap_n = expensive_n = 0
+        for i in range(len(times) - 1):
+            dt = times[i + 1] - times[i]
+            in_cell = [
+                r for r in requests if times[i] <= r.submit_time < times[i + 1]
+            ]
+            if prices[i] < median:
+                cheap_time += dt
+                cheap_n += len(in_cell)
+            else:
+                expensive_time += dt
+                expensive_n += len(in_cell)
+        assert cheap_n / cheap_time > expensive_n / expensive_time
+
+    def test_deterministic(self):
+        market = SpotMarket(SpotPriceProcess(), request_rate=2.0)
+        a, _, _ = market.generate_requests(40.0, rng=9)
+        b, _, _ = market.generate_requests(40.0, rng=9)
+        assert a == b

@@ -1,0 +1,61 @@
+"""Unit tests for secondary VM requests."""
+
+import pytest
+
+from repro.cloud import VMRequest, requests_to_jobs
+from repro.errors import InvalidInstanceError
+
+
+def req(**overrides):
+    kwargs = dict(
+        request_id=0,
+        submit_time=1.0,
+        compute_demand=4.0,
+        latest_finish=10.0,
+        bid=2.5,
+    )
+    kwargs.update(overrides)
+    return VMRequest(**kwargs)
+
+
+class TestRequest:
+    def test_revenue_is_bid_times_demand(self):
+        assert req().revenue == pytest.approx(10.0)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(compute_demand=0.0),
+            dict(bid=0.0),
+            dict(latest_finish=1.0),
+            dict(latest_finish=0.5),
+        ],
+    )
+    def test_rejects_bad_fields(self, overrides):
+        with pytest.raises(InvalidInstanceError):
+            req(**overrides)
+
+    def test_to_job_mapping(self):
+        job = req().to_job()
+        assert job.jid == 0
+        assert job.release == 1.0
+        assert job.workload == 4.0
+        assert job.deadline == 10.0
+        assert job.value == pytest.approx(10.0)
+        assert job.density == pytest.approx(2.5)  # density == bid
+
+    def test_admissibility_against_floor(self):
+        # window 9, demand 4: admissible at floor >= 4/9.
+        assert req().is_admissible(1.0)
+        assert not req().is_admissible(0.4)
+
+
+class TestBatchConversion:
+    def test_rekeyed_by_submit_order(self):
+        requests = [
+            req(request_id=5, submit_time=3.0),
+            req(request_id=2, submit_time=1.0),
+        ]
+        jobs = requests_to_jobs(requests)
+        assert [j.jid for j in jobs] == [0, 1]
+        assert jobs[0].release == 1.0

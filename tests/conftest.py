@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capacity import (
+    ConstantCapacity,
+    PiecewiseConstantCapacity,
+    TwoStateMarkovCapacity,
+)
+from repro.sim import Job, simulate
+
+
+@pytest.fixture
+def unit_capacity():
+    """Constant capacity 1 — the classical setting."""
+    return ConstantCapacity(1.0)
+
+
+@pytest.fixture
+def step_capacity():
+    """A simple deterministic varying capacity: 1 on [0,10), 4 on [10,20),
+    2 afterwards.  Declared bounds (1, 4)."""
+    return PiecewiseConstantCapacity([0.0, 10.0, 20.0], [1.0, 4.0, 2.0])
+
+
+@pytest.fixture
+def paper_capacity():
+    """A seeded instance of the paper's two-state CTMC."""
+    return TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=25.0, rng=1234)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+def run_validated(jobs, capacity, scheduler, **kwargs):
+    """Simulate with trace validation turned on (the suite's default)."""
+    return simulate(jobs, capacity, scheduler, validate=True, **kwargs)
+
+
+@pytest.fixture
+def simulate_validated():
+    return run_validated
+
+
+def jobs_from_rows(rows):
+    """(release, workload, deadline, value) rows -> Job list."""
+    return [Job(i, r, p, d, v) for i, (r, p, d, v) in enumerate(rows)]
+
+
+@pytest.fixture
+def make_jobs():
+    return jobs_from_rows

@@ -1,0 +1,65 @@
+"""Unit tests for the individual-admissibility predicates (Definition 4)."""
+
+import pytest
+
+from repro.core import (
+    admissibility_report,
+    all_individually_admissible,
+    filter_admissible,
+    is_individually_admissible,
+)
+from repro.sim import Job
+
+
+def J(jid, r, p, d, v=1.0):
+    return Job(jid, r, p, d, v)
+
+
+class TestPredicate:
+    def test_admissible(self):
+        assert is_individually_admissible(J(0, 0.0, 2.0, 4.0), c_lower=1.0)
+
+    def test_boundary_counts_as_admissible(self):
+        # The paper's workload puts every job exactly at the boundary.
+        assert is_individually_admissible(J(0, 0.0, 4.0, 4.0), c_lower=1.0)
+
+    def test_inadmissible(self):
+        assert not is_individually_admissible(J(0, 0.0, 5.0, 4.0), c_lower=1.0)
+
+    def test_depends_on_floor(self):
+        job = J(0, 0.0, 4.0, 2.0)
+        assert not is_individually_admissible(job, c_lower=1.0)
+        assert is_individually_admissible(job, c_lower=2.0)
+
+
+class TestCollections:
+    def test_all_admissible(self):
+        jobs = [J(0, 0.0, 1.0, 2.0), J(1, 0.0, 2.0, 2.0)]
+        assert all_individually_admissible(jobs, 1.0)
+
+    def test_one_bad_apple(self):
+        jobs = [J(0, 0.0, 1.0, 2.0), J(1, 0.0, 5.0, 2.0)]
+        assert not all_individually_admissible(jobs, 1.0)
+
+    def test_filter_split(self):
+        jobs = [J(0, 0.0, 1.0, 2.0), J(1, 0.0, 5.0, 2.0), J(2, 0.0, 2.0, 3.0)]
+        ok, bad = filter_admissible(jobs, 1.0)
+        assert [j.jid for j in ok] == [0, 2]
+        assert [j.jid for j in bad] == [1]
+
+    def test_report(self):
+        jobs = [
+            J(0, 0.0, 1.0, 2.0, v=3.0),
+            J(1, 0.0, 5.0, 2.0, v=7.0),
+        ]
+        rep = admissibility_report(jobs, 1.0)
+        assert rep["n_jobs"] == 2
+        assert rep["n_admissible"] == 1
+        assert rep["n_inadmissible"] == 1
+        assert rep["admissible_value"] == pytest.approx(3.0)
+        assert rep["inadmissible_value"] == pytest.approx(7.0)
+        assert rep["all_admissible"] is False
+
+    def test_empty_report(self):
+        rep = admissibility_report([], 1.0)
+        assert rep["all_admissible"] is True

@@ -1,0 +1,71 @@
+"""Unit tests for the admission-controlled EDF baseline."""
+
+import pytest
+
+from repro.capacity import ConstantCapacity, PiecewiseConstantCapacity
+from repro.core import AdmissionEDFScheduler, EDFScheduler
+from repro.sim import Job, simulate
+from repro.workload import locke_trap
+
+
+def J(jid, r, p, d, v=1.0):
+    return Job(jid, r, p, d, v)
+
+
+class TestAdmission:
+    def test_admits_feasible_stream(self):
+        jobs = [J(0, 0.0, 1.0, 3.0), J(1, 0.5, 1.0, 4.0), J(2, 1.0, 1.0, 5.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), AdmissionEDFScheduler(), validate=True)
+        assert r.n_completed == 3
+
+    def test_rejects_overloading_job(self):
+        # Job 1 cannot fit alongside job 0; it must be turned away so job 0
+        # is untouched (plain EDF would preempt and kill job 0 too).
+        jobs = [J(0, 0.0, 3.0, 3.0, v=5.0), J(1, 1.0, 1.5, 2.8, v=1.0)]
+        ac = simulate(jobs, ConstantCapacity(1.0), AdmissionEDFScheduler(), validate=True)
+        assert ac.completed_ids == [0]
+        edf = simulate(jobs, ConstantCapacity(1.0), EDFScheduler(), validate=True)
+        assert edf.value < ac.value  # EDF loses both
+
+    def test_no_wasted_work_on_rejects(self):
+        jobs = [J(0, 0.0, 3.0, 3.0), J(1, 1.0, 1.5, 2.8)]
+        r = simulate(jobs, ConstantCapacity(1.0), AdmissionEDFScheduler(), validate=True)
+        assert r.wasted_work == pytest.approx(0.0)
+
+    def test_admitted_jobs_never_fail_at_floor_capacity(self):
+        """The admission test is exact at the floor: every admitted job
+        completes when the capacity sits exactly at c̲."""
+        jobs = [
+            J(i, 0.4 * i, 0.5 + 0.1 * (i % 3), 0.4 * i + 2.0 + (i % 5), 1.0)
+            for i in range(25)
+        ]
+        r = simulate(jobs, ConstantCapacity(1.0), AdmissionEDFScheduler(), validate=True)
+        assert r.wasted_work == pytest.approx(0.0)
+
+    def test_conservative_under_varying_capacity(self):
+        """Admission uses c̲; a capacity spike can only help, so admitted
+        jobs still never fail."""
+        cap = PiecewiseConstantCapacity([0.0, 3.0], [1.0, 4.0])
+        jobs = [J(i, 0.3 * i, 0.8, 0.3 * i + 2.5, 1.0) for i in range(20)]
+        r = simulate(jobs, cap, AdmissionEDFScheduler(), validate=True)
+        assert r.wasted_work == pytest.approx(0.0)
+
+    def test_fixes_edf_wasted_work_but_stays_value_blind(self):
+        """On the Locke trap: admission control keeps the big job (it came
+        first), unlike EDF — but only by arrival luck, not by value."""
+        jobs, cap = locke_trap(10)
+        ac = simulate(jobs, cap, AdmissionEDFScheduler(), validate=True)
+        assert 0 in ac.completed_ids
+        assert ac.value == pytest.approx(10.0)
+
+    def test_rejection_counter(self):
+        sched = AdmissionEDFScheduler()
+        jobs = [J(0, 0.0, 3.0, 3.0), J(1, 1.0, 1.5, 2.8), J(2, 1.2, 1.5, 2.9)]
+        simulate(jobs, ConstantCapacity(1.0), sched, validate=True)
+        assert sched.n_rejected >= 0  # counter decays as rejects expire
+
+    def test_explicit_rate_estimate(self):
+        sched = AdmissionEDFScheduler(rate_estimate=2.0)
+        jobs = [J(0, 0.0, 4.0, 2.5)]
+        r = simulate(jobs, ConstantCapacity(2.0), sched, validate=True)
+        assert r.completed_ids == [0]

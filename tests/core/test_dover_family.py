@@ -1,0 +1,252 @@
+"""Scenario tests for the Dover-family machinery (handlers B, C, D)."""
+
+import pytest
+
+from repro.capacity import ConstantCapacity, PiecewiseConstantCapacity
+from repro.core import DoverScheduler, VDoverScheduler
+from repro.core.dover_family import DoverFamilyScheduler
+from repro.errors import SchedulingError
+from repro.sim import Job, simulate
+
+
+def J(jid, r, p, d, v=1.0):
+    return Job(jid, r, p, d, v)
+
+
+class TestConstruction:
+    def test_beta_must_exceed_one(self):
+        with pytest.raises(SchedulingError):
+            DoverFamilyScheduler(beta=1.0)
+        with pytest.raises(SchedulingError):
+            DoverFamilyScheduler(beta=0.5)
+
+    def test_dover_rejects_bad_params(self):
+        with pytest.raises(SchedulingError):
+            DoverScheduler(k=0.5, c_hat=1.0)
+        with pytest.raises(SchedulingError):
+            DoverScheduler(k=7.0, c_hat=0.0)
+
+    def test_vdover_rejects_bad_k(self):
+        with pytest.raises(SchedulingError):
+            VDoverScheduler(k=0.9)
+
+
+class TestHandlerB:
+    """Job-release handler."""
+
+    def test_idle_release_runs_immediately(self):
+        r = simulate([J(0, 1.0, 2.0, 9.0)], ConstantCapacity(1.0),
+                     VDoverScheduler(k=7.0), validate=True)
+        assert r.trace.segments[0].start == pytest.approx(1.0)
+        assert r.completed_ids == [0]
+
+    def test_edf_preemption_with_slack(self):
+        """B.6–B.9: earlier deadline + enough cSlack -> preempt; the
+        preempted job parks in Qedf and resumes via handler C."""
+        jobs = [J(0, 0.0, 2.0, 20.0, v=1.0), J(1, 1.0, 3.0, 10.0, v=1.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=7.0), validate=True)
+        segs = [(s.jid, s.start, s.end) for s in r.trace.segments]
+        assert segs == [(0, 0.0, 1.0), (1, 1.0, 4.0), (0, 4.0, 5.0)]
+        assert r.n_completed == 2
+
+    def test_edf_preemption_refused_without_slack(self):
+        """B.11: zero cSlack (running job has zero laxity) blocks the EDF
+        preemption even for an earlier deadline."""
+        jobs = [J(0, 0.0, 10.0, 10.0, v=5.0), J(1, 1.0, 2.0, 5.0, v=1.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=7.0), validate=True)
+        # Job 0 runs uninterrupted to completion; job 1 loses the value
+        # comparison at its zero-laxity instant and dies a supplement.
+        assert r.trace.segments[0].jid == 0
+        assert r.trace.segments[0].end == pytest.approx(10.0)
+        assert r.completed_ids == [0]
+
+    def test_later_deadline_goes_to_qother(self):
+        jobs = [J(0, 0.0, 2.0, 5.0), J(1, 1.0, 2.0, 9.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=7.0), validate=True)
+        segs = [(s.jid, s.start, s.end) for s in r.trace.segments]
+        assert segs == [(0, 0.0, 2.0), (1, 2.0, 4.0)]
+
+
+class TestHandlerD:
+    """Zero-conservative-laxity handler."""
+
+    def test_edf_path_absorbs_urgent_job_when_slack_allows(self):
+        """A tight-deadline arrival with enough cSlack never reaches handler
+        D at all: B's EDF rule admits it and both jobs finish."""
+        jobs = [J(0, 0.0, 10.0, 30.0, v=1.0), J(1, 2.0, 5.0, 7.0, v=100.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=100.0), validate=True)
+        segs = [(s.jid, s.start, s.end) for s in r.trace.segments]
+        assert segs == [(0, 0.0, 2.0), (1, 2.0, 7.0), (0, 7.0, 15.0)]
+        assert r.n_completed == 2
+
+    def test_urgent_high_value_job_wins(self):
+        """D.1–D.5: cSlack is too small for the EDF rule, the arrival waits
+        in Qother, and at its zero-laxity instant its value beats
+        beta * protected value, so it seizes the processor."""
+        jobs = [J(0, 0.0, 10.0, 10.5, v=1.0), J(1, 2.0, 5.0, 7.0, v=100.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=100.0), validate=True)
+        segs = [(s.jid, s.start, s.end) for s in r.trace.segments]
+        assert segs[:2] == [(0, 0.0, 2.0), (1, 2.0, 7.0)]
+        assert r.completed_ids == [1]
+        assert r.value == pytest.approx(100.0)
+
+    def test_urgent_low_value_job_demoted(self):
+        """D.7: the urgent job loses the comparison and becomes supplement;
+        with capacity pinned at the floor it can never recover."""
+        jobs = [J(0, 0.0, 10.0, 11.0, v=100.0), J(1, 2.0, 5.0, 7.0, v=1.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=100.0), validate=True)
+        assert r.completed_ids == [0]
+        assert r.trace.segments[0].end == pytest.approx(10.0)
+
+    def test_triage_prefers_value_under_overload(self):
+        """Overloaded pair: V-Dover sacrifices the cheap job for the dear
+        one — the behaviour EDF lacks."""
+        jobs = [J(0, 0.0, 6.0, 6.0, v=1.0), J(1, 0.0, 6.0, 6.5, v=10.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=10.0), validate=True)
+        assert r.completed_ids == [1]
+        assert r.value == pytest.approx(10.0)
+
+
+class TestSupplementMechanism:
+    """The paper's delta (ii): supplement jobs ride capacity spikes."""
+
+    SPIKE = [0.0, 2.0], [1.0, 5.0]  # rate 1 until t=2, then 5
+
+    def test_supplement_completes_on_spike(self):
+        cap = PiecewiseConstantCapacity(*self.SPIKE)
+        jobs = [J(0, 0.0, 12.0, 13.0, v=10.0), J(1, 1.0, 4.0, 5.0, v=1.0)]
+        vd = simulate(jobs, cap, VDoverScheduler(k=10.0), validate=True)
+        # Job 1 is demoted at t=1 (claxity 0, value too small); job 0
+        # finishes at t=4 thanks to the spike; job 1 then completes as a
+        # supplement at 4.8 <= 5.
+        assert vd.n_completed == 2
+        assert vd.trace.completion_times[1] == pytest.approx(4.8)
+
+    def test_dover_abandons_what_vdover_salvages(self):
+        cap = PiecewiseConstantCapacity(*self.SPIKE)
+        jobs = [J(0, 0.0, 12.0, 13.0, v=10.0), J(1, 1.0, 4.0, 5.0, v=1.0)]
+        dv = simulate(jobs, cap, DoverScheduler(k=10.0, c_hat=1.0), validate=True)
+        assert dv.completed_ids == [0]
+
+    def test_no_supplement_ablation_matches_dover_here(self):
+        cap = PiecewiseConstantCapacity(*self.SPIKE)
+        jobs = [J(0, 0.0, 12.0, 13.0, v=10.0), J(1, 1.0, 4.0, 5.0, v=1.0)]
+        ns = simulate(jobs, cap, VDoverScheduler(k=10.0, supplement=False), validate=True)
+        assert ns.completed_ids == [0]
+
+    def test_release_preempts_supplement_immediately(self):
+        """B.13–B.15: regular arrivals always preempt supplement work."""
+        cap = PiecewiseConstantCapacity(*self.SPIKE)
+        jobs = [
+            J(0, 0.0, 12.0, 13.0, v=10.0),
+            J(1, 1.0, 4.0, 5.0, v=1.0),     # demoted, runs as supplement at 4
+            J(2, 4.2, 1.0, 6.0, v=2.0),     # arrives mid-supplement
+        ]
+        r = simulate(jobs, cap, VDoverScheduler(k=10.0), validate=True)
+        segs = [(s.jid, round(s.start, 3), round(s.end, 3)) for s in r.trace.segments]
+        assert (2, 4.2, 4.4) in segs          # regular job preempted in
+        assert r.trace.completion_times[1] == pytest.approx(5.0)  # at deadline
+        assert r.n_completed == 3
+
+    def test_supplement_queue_serves_latest_deadline_first(self):
+        cap = PiecewiseConstantCapacity([0.0, 4.0], [1.0, 10.0])
+        jobs = [
+            J(0, 0.0, 6.0, 6.0, v=100.0),    # keeps the processor
+            J(1, 1.0, 2.0, 3.0, v=1.0),      # supplement, deadline 3 (dies)
+            J(2, 1.5, 40.0, 9.0, v=1.0),     # supplement, deadline 9
+            J(3, 2.0, 4.5, 6.5, v=1.0),      # supplement, deadline 6.5
+        ]
+        r = simulate(jobs, cap, VDoverScheduler(k=100.0), validate=True)
+        # Job 0 finishes at t=4.2 (the spike accelerates it); then the
+        # supplement with the *latest* deadline (job 2) is scheduled first.
+        assert r.trace.completion_times[0] == pytest.approx(4.2)
+        supp_segments = [s.jid for s in r.trace.segments if s.start >= 4.19]
+        assert supp_segments and supp_segments[0] == 2
+
+
+class TestHandlerC:
+    def test_qedf_restored_in_deadline_order(self):
+        """Nested EDF preemptions unwind earliest-deadline-first."""
+        jobs = [
+            J(0, 0.0, 6.0, 40.0),
+            J(1, 1.0, 6.0, 30.0),
+            J(2, 2.0, 2.0, 10.0),
+        ]
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=7.0), validate=True)
+        order = [s.jid for s in r.trace.segments]
+        assert order == [0, 1, 2, 1, 0]
+        assert r.n_completed == 3
+
+    def test_qother_job_with_earlier_deadline_jumps_qedf(self):
+        """C.5–C.7: at a completion, a Qother job with an earlier deadline
+        than the Qedf head is scheduled if cSlack allows."""
+        jobs = [
+            J(0, 0.0, 4.0, 40.0),   # preempted into Qedf by job 1
+            J(1, 1.0, 2.0, 20.0),   # runs; meanwhile job 2 lands in Qother
+            J(2, 2.0, 1.0, 25.0),   # later deadline than job 1 -> Qother
+        ]
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=7.0), validate=True)
+        # After job 1 completes at t=3: Qedf head is job 0 (deadline 40),
+        # Qother head job 2 (deadline 25) is earlier and fits -> job 2 next.
+        order = [s.jid for s in r.trace.segments]
+        assert order == [0, 1, 2, 0]
+        assert r.n_completed == 3
+
+    def test_idle_after_everything_done(self):
+        jobs = [J(0, 0.0, 1.0, 9.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=7.0),
+                     horizon=20.0, validate=True)
+        assert r.busy_time == pytest.approx(1.0)
+
+
+class TestDoverReduction:
+    def test_vdover_equals_dover_at_constant_capacity(self):
+        """Section IV: under constant capacity (and equal beta) V-Dover and
+        Dover(ĉ = c) produce identical schedules — the supplement queue can
+        never help because claxity-negative jobs are truly dead."""
+        jobs = [
+            J(0, 0.0, 3.0, 5.0, v=2.0),
+            J(1, 0.5, 2.0, 4.0, v=6.0),
+            J(2, 1.0, 4.0, 9.0, v=1.0),
+            J(3, 2.0, 1.0, 3.5, v=9.0),
+            J(4, 4.0, 2.0, 11.0, v=3.0),
+        ]
+        cap = ConstantCapacity(1.0)
+        vd = simulate(jobs, cap, VDoverScheduler(k=7.0, beta=2.0), validate=True)
+        dv = simulate(jobs, cap, DoverScheduler(k=7.0, c_hat=1.0, beta=2.0), validate=True)
+        assert vd.value == pytest.approx(dv.value)
+        assert vd.completed_ids == dv.completed_ids
+
+    def test_dover_overestimate_overcommits(self):
+        """With ĉ far above the realized capacity Dover trusts laxities that
+        do not exist and loses value V-Dover secures."""
+        cap = PiecewiseConstantCapacity([0.0], [1.0], lower=1.0, upper=35.0)
+        jobs = [J(0, 0.0, 6.0, 6.0, v=1.0), J(1, 0.0, 6.0, 6.5, v=10.0)]
+        vd = simulate(jobs, cap, VDoverScheduler(k=10.0), validate=True)
+        dv = simulate(jobs, cap, DoverScheduler(k=10.0, c_hat=35.0), validate=True)
+        assert vd.value >= dv.value
+        assert vd.value == pytest.approx(10.0)
+
+
+class TestInstrumentation:
+    def test_stats_counters(self):
+        sched = VDoverScheduler(k=10.0)
+        jobs = [J(0, 0.0, 10.0, 11.0, v=100.0), J(1, 2.0, 5.0, 7.0, v=1.0)]
+        simulate(jobs, ConstantCapacity(1.0), sched, validate=True)
+        stats = sched.stats
+        assert stats["zero_laxity_interrupts"] == 1
+        assert stats["supplement_labels"] == 1
+        assert stats["zero_laxity_wins"] == 0
+
+    def test_beta_resolution_from_bounds(self):
+        sched = VDoverScheduler(k=7.0)
+        cap = PiecewiseConstantCapacity([0.0], [1.0], lower=1.0, upper=35.0)
+        simulate([J(0, 0.0, 1.0, 2.0)], cap, sched)
+        from repro.analysis.theory import optimal_beta
+
+        assert sched.beta == pytest.approx(optimal_beta(7.0, 35.0))
+
+    def test_beta_falls_back_at_constant_capacity(self):
+        sched = VDoverScheduler(k=4.0)
+        simulate([J(0, 0.0, 1.0, 2.0)], ConstantCapacity(1.0), sched)
+        assert sched.beta == pytest.approx(3.0)  # 1 + sqrt(4)

@@ -1,0 +1,79 @@
+"""Unit tests for the EDF scheduler."""
+
+import pytest
+
+from repro.capacity import ConstantCapacity, PiecewiseConstantCapacity
+from repro.core import EDFScheduler
+from repro.sim import Job, simulate
+
+
+def J(jid, r, p, d, v=1.0):
+    return Job(jid, r, p, d, v)
+
+
+class TestEdfOrdering:
+    def test_runs_earliest_deadline(self):
+        jobs = [J(0, 0.0, 5.0, 20.0), J(1, 0.0, 1.0, 2.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), EDFScheduler(), validate=True)
+        # Job 1 (deadline 2) must run first and complete at t=1.
+        assert r.trace.completion_times[1] == pytest.approx(1.0)
+        assert r.trace.completion_times[0] == pytest.approx(6.0)
+
+    def test_preempts_on_earlier_deadline_arrival(self):
+        jobs = [J(0, 0.0, 4.0, 20.0), J(1, 1.0, 1.0, 3.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), EDFScheduler(), validate=True)
+        segs = [(s.jid, s.start, s.end) for s in r.trace.segments]
+        assert segs == [(0, 0.0, 1.0), (1, 1.0, 2.0), (0, 2.0, 5.0)]
+
+    def test_no_preemption_on_later_deadline(self):
+        jobs = [J(0, 0.0, 4.0, 5.0), J(1, 1.0, 1.0, 20.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), EDFScheduler(), validate=True)
+        assert r.trace.segments[0].jid == 0
+        assert r.trace.segments[0].end == pytest.approx(4.0)
+
+    def test_deadline_tie_keeps_running_job(self):
+        jobs = [J(0, 0.0, 4.0, 5.0), J(1, 1.0, 1.0, 5.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), EDFScheduler(), validate=True)
+        assert r.trace.segments[0].jid == 0
+
+
+class TestEdfOptimality:
+    def test_feasible_set_all_complete(self):
+        """On an underloaded instance EDF completes everything (Thm 2's
+        constant-capacity ancestor)."""
+        jobs = [
+            J(0, 0.0, 2.0, 9.0),
+            J(1, 0.0, 2.0, 4.0),
+            J(2, 3.0, 1.0, 6.0),
+            J(3, 5.0, 2.0, 9.0),
+        ]
+        r = simulate(jobs, ConstantCapacity(1.0), EDFScheduler(), validate=True)
+        assert r.n_completed == 4
+
+    def test_feasible_under_varying_capacity(self):
+        """Theorem 2: EDF stays optimal with time-varying capacity."""
+        cap = PiecewiseConstantCapacity([0.0, 2.0, 4.0], [1.0, 3.0, 1.0])
+        # Total work 2+6 = 8 available on [0,4]; demand 7 with deadlines
+        # arranged feasibly.
+        jobs = [J(0, 0.0, 2.0, 2.0), J(1, 0.0, 5.0, 4.0)]
+        r = simulate(jobs, cap, EDFScheduler(), validate=True)
+        assert r.n_completed == 2
+
+    def test_expired_waiting_job_is_purged(self):
+        # Deadline tie: job 0 keeps the processor (id tie-break) and
+        # completes exactly at t=5; job 1 expires *waiting* at the same
+        # instant (completion outranks deadline in the event order).
+        jobs = [J(0, 0.0, 5.0, 5.0), J(1, 1.0, 1.0, 5.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), EDFScheduler(), validate=True)
+        assert r.completed_ids == [0]
+        assert 1 in r.failed_ids
+
+    def test_overload_pathology_exists(self):
+        """EDF is value-blind: it loses a huge-value later-deadline job to a
+        worthless earlier-deadline one under overload."""
+        jobs = [
+            J(0, 0.0, 2.0, 2.0, v=0.1),   # earliest deadline, tiny value
+            J(1, 0.0, 2.0, 2.5, v=100.0),  # cannot fit after job 0
+        ]
+        r = simulate(jobs, ConstantCapacity(1.0), EDFScheduler(), validate=True)
+        assert r.value == pytest.approx(0.1)

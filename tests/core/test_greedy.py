@@ -1,0 +1,74 @@
+"""Unit tests for the greedy baselines."""
+
+import pytest
+
+from repro.capacity import ConstantCapacity, PiecewiseConstantCapacity
+from repro.core import FCFSScheduler, GreedyDensityScheduler, GreedyValueScheduler
+from repro.sim import Job, simulate
+
+
+def J(jid, r, p, d, v=1.0):
+    return Job(jid, r, p, d, v)
+
+
+class TestGreedyDensity:
+    def test_prefers_higher_density(self):
+        jobs = [J(0, 0.0, 2.0, 4.0, v=2.0), J(1, 0.0, 2.0, 4.0, v=6.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), GreedyDensityScheduler(), validate=True)
+        assert r.trace.segments[0].jid == 1
+        assert 1 in r.completed_ids
+
+    def test_preempts_for_higher_density(self):
+        jobs = [J(0, 0.0, 4.0, 10.0, v=4.0), J(1, 1.0, 1.0, 3.0, v=5.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), GreedyDensityScheduler(), validate=True)
+        assert r.n_completed == 2
+
+    def test_skips_hopeless_jobs(self):
+        # Job 1 can never finish (even at the upper bound) once job 0 is
+        # done, so the scheduler must not waste time on it.
+        cap = PiecewiseConstantCapacity([0.0], [1.0], lower=1.0, upper=2.0)
+        jobs = [
+            J(0, 0.0, 2.0, 4.0, v=10.0),
+            J(1, 0.0, 50.0, 4.0, v=5.0),
+            J(2, 0.0, 2.0, 4.5, v=1.0),
+        ]
+        r = simulate(jobs, cap, GreedyDensityScheduler(), validate=True)
+        assert 0 in r.completed_ids
+        assert 2 in r.completed_ids  # picked up because job 1 was skipped
+
+    def test_deadline_blindness_pathology(self):
+        """High density but impossible deadline wastes the processor —
+        the designed weakness of value-greedy policies."""
+        jobs = [
+            J(0, 0.0, 10.0, 10.0, v=100.0),  # density 10, needs everything
+            J(1, 0.0, 10.0, 10.5, v=50.0),   # density 5, loses the processor
+        ]
+        r = simulate(jobs, ConstantCapacity(1.0), GreedyDensityScheduler(), validate=True)
+        assert r.value == pytest.approx(100.0)  # it does finish the dense one
+        assert 1 in r.failed_ids
+
+
+class TestGreedyValue:
+    def test_prefers_higher_value(self):
+        jobs = [J(0, 0.0, 1.0, 2.0, v=2.0), J(1, 0.0, 4.0, 5.0, v=6.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), GreedyValueScheduler(), validate=True)
+        assert r.trace.segments[0].jid == 1
+
+
+class TestFCFS:
+    def test_arrival_order(self):
+        jobs = [J(0, 1.0, 1.0, 9.0), J(1, 0.0, 1.0, 9.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), FCFSScheduler(), validate=True)
+        assert r.trace.segments[0].jid == 1
+
+    def test_never_preempts(self):
+        jobs = [J(0, 0.0, 5.0, 9.0), J(1, 1.0, 1.0, 3.0, v=100.0)]
+        r = simulate(jobs, ConstantCapacity(1.0), FCFSScheduler(), validate=True)
+        assert r.trace.segments[0].jid == 0
+        assert r.trace.segments[0].end == pytest.approx(5.0)
+        assert 1 in r.failed_ids  # died waiting behind the head-of-line job
+
+    def test_drains_queue(self):
+        jobs = [J(i, 0.0, 1.0, 10.0) for i in range(5)]
+        r = simulate(jobs, ConstantCapacity(1.0), FCFSScheduler(), validate=True)
+        assert r.n_completed == 5

@@ -1,0 +1,99 @@
+"""Tests for regular-interval tracking (Definition 6) and the empirical
+Lemma 1 check — the paper's analysis machinery, made observable."""
+
+import pytest
+
+from repro.capacity import ConstantCapacity, TwoStateMarkovCapacity
+from repro.core import VDoverScheduler
+from repro.core.dover_family import RegularInterval
+from repro.sim import Job, simulate
+from repro.workload import PoissonWorkload
+
+
+def J(jid, r, p, d, v=1.0):
+    return Job(jid, r, p, d, v)
+
+
+class TestIntervalStructure:
+    def test_single_job_single_interval(self):
+        sched = VDoverScheduler(k=7.0)
+        simulate([J(0, 1.0, 2.0, 9.0, v=3.0)], ConstantCapacity(1.0), sched)
+        intervals = sched.regular_intervals
+        assert len(intervals) == 1
+        iv = intervals[0]
+        assert iv.start == pytest.approx(1.0)
+        assert iv.end == pytest.approx(3.0)
+        assert iv.regval == pytest.approx(3.0)
+        assert iv.clval == 0.0
+
+    def test_edf_chain_is_one_interval(self):
+        """A nested EDF preemption keeps Qedf busy, so the whole episode is
+        a single regular interval ending at the last unwinding completion."""
+        jobs = [J(0, 0.0, 4.0, 20.0, v=1.0), J(1, 1.0, 1.0, 5.0, v=1.0)]
+        sched = VDoverScheduler(k=7.0)
+        simulate(jobs, ConstantCapacity(1.0), sched)
+        intervals = sched.regular_intervals
+        assert len(intervals) == 1
+        assert intervals[0].start == pytest.approx(0.0)
+        assert intervals[0].end == pytest.approx(5.0)
+        assert intervals[0].regval == pytest.approx(2.0)
+
+    def test_disjoint_episodes_are_disjoint_intervals(self):
+        jobs = [J(0, 0.0, 1.0, 5.0), J(1, 10.0, 1.0, 15.0)]
+        sched = VDoverScheduler(k=7.0)
+        simulate(jobs, ConstantCapacity(1.0), sched)
+        intervals = sched.regular_intervals
+        assert len(intervals) == 2
+        assert intervals[0].end <= intervals[1].start
+
+    def test_intervals_do_not_overlap(self):
+        jobs = PoissonWorkload(lam=4.0, horizon=40.0).generate(3)
+        sched = VDoverScheduler(k=7.0)
+        cap = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=10.0, rng=5)
+        simulate(jobs, cap, sched)
+        intervals = sched.regular_intervals
+        for a, b in zip(intervals, intervals[1:]):
+            assert a.end <= b.start + 1e-9
+            assert a.start < a.end + 1e-9
+
+    def test_zero_cl_value_counted(self):
+        """A job scheduled through handler D contributes to clval."""
+        jobs = [J(0, 0.0, 10.0, 10.5, v=1.0), J(1, 2.0, 5.0, 7.0, v=100.0)]
+        sched = VDoverScheduler(k=100.0)
+        simulate(jobs, ConstantCapacity(1.0), sched)
+        total_clval = sum(iv.clval for iv in sched.regular_intervals)
+        assert total_clval == pytest.approx(100.0)
+
+    def test_lemma1_bound_helper(self):
+        iv = RegularInterval(start=0.0, end=1.0, regval=4.0, clval=2.0)
+        assert iv.lemma1_bound(beta=3.0) == pytest.approx(5.0)
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lemma1_holds_on_paper_workload(self, seed):
+        """Lemma 1: for every regular interval,
+        ``∫ c <= regval + clval / (β − 1)`` (min density normalised to 1,
+        which the paper's U[1,7] densities satisfy)."""
+        lam, H = 6.0, 80.0
+        jobs = PoissonWorkload(lam=lam, horizon=H).generate(seed)
+        capacity = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=H / 4, rng=seed + 31)
+        sched = VDoverScheduler(k=7.0)
+        simulate(jobs, capacity, sched)
+        assert sched.regular_intervals, "workload produced no intervals"
+        for iv in sched.regular_intervals:
+            work = capacity.integrate(iv.start, iv.end)
+            assert work <= iv.lemma1_bound(sched.beta) + 1e-6, (
+                f"Lemma 1 violated on [{iv.start}, {iv.end}]: "
+                f"work={work}, bound={iv.lemma1_bound(sched.beta)}"
+            )
+
+    def test_lemma1_holds_under_heavy_overload(self):
+        lam, H = 14.0, 40.0
+        jobs = PoissonWorkload(lam=lam, horizon=H).generate(99)
+        capacity = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=H / 4, rng=77)
+        sched = VDoverScheduler(k=7.0)
+        simulate(jobs, capacity, sched)
+        for iv in sched.regular_intervals:
+            work = capacity.integrate(iv.start, iv.end)
+            assert work <= iv.lemma1_bound(sched.beta) + 1e-6

@@ -1,0 +1,121 @@
+"""Unit tests for the time-stretch transformation (Section III-A)."""
+
+import pytest
+
+from repro.capacity import ConstantCapacity, PiecewiseConstantCapacity
+from repro.core import EDFScheduler, StretchTransform
+from repro.errors import CapacityError
+from repro.sim import Job, RunSegment, simulate
+
+
+@pytest.fixture
+def cap():
+    return PiecewiseConstantCapacity([0.0, 10.0, 20.0], [1.0, 4.0, 2.0])
+
+
+class TestTimeMap:
+    def test_forward_is_scaled_cumulative_work(self, cap):
+        tr = StretchTransform(cap, rate=2.0)
+        # ∫_0^15 c = 10 + 20 = 30; stretched time = 30/2 = 15.
+        assert tr.forward(15.0) == pytest.approx(15.0)
+        assert tr.forward(0.0) == 0.0
+
+    def test_default_rate_is_upper_bound(self, cap):
+        tr = StretchTransform(cap)
+        assert tr.rate == cap.upper
+
+    def test_inverse_roundtrip(self, cap):
+        tr = StretchTransform(cap, rate=3.0)
+        for t in (0.0, 3.7, 10.0, 15.2, 40.0):
+            assert tr.inverse(tr.forward(t)) == pytest.approx(t)
+
+    def test_forward_is_increasing(self, cap):
+        tr = StretchTransform(cap)
+        ts = [0.0, 1.0, 5.0, 10.0, 12.0, 25.0, 40.0]
+        images = [tr.forward(t) for t in ts]
+        assert images == sorted(images)
+        assert len(set(images)) == len(images)
+
+    def test_workload_preservation(self, cap):
+        """The defining property: ∫_s^t c = rate * (T(t) − T(s))."""
+        tr = StretchTransform(cap, rate=5.0)
+        for s, t in [(0.0, 7.0), (3.0, 18.0), (12.0, 33.0)]:
+            assert cap.integrate(s, t) == pytest.approx(
+                5.0 * (tr.forward(t) - tr.forward(s))
+            )
+
+    def test_rejects_negative_time(self, cap):
+        tr = StretchTransform(cap)
+        with pytest.raises(CapacityError):
+            tr.forward(-1.0)
+        with pytest.raises(CapacityError):
+            tr.inverse(-1.0)
+
+    def test_rejects_bad_rate(self, cap):
+        with pytest.raises(CapacityError):
+            StretchTransform(cap, rate=0.0)
+
+
+class TestInstanceMap:
+    def test_job_parameters(self, cap):
+        tr = StretchTransform(cap, rate=2.0)
+        job = Job(3, release=5.0, workload=7.0, deadline=15.0, value=2.5)
+        image = tr.transform_job(job)
+        assert image.jid == 3
+        assert image.release == pytest.approx(tr.forward(5.0))
+        assert image.deadline == pytest.approx(tr.forward(15.0))
+        assert image.workload == 7.0  # preserved
+        assert image.value == 2.5     # preserved
+
+    def test_transformed_instance_runs_on_constant_capacity(self, cap):
+        tr = StretchTransform(cap)
+        inst = tr.transform_instance([Job(0, 0.0, 4.0, 9.0, 1.0)])
+        assert isinstance(inst.capacity, ConstantCapacity)
+        assert inst.capacity.rate == tr.rate
+
+
+class TestScheduleBijection:
+    def test_feasibility_preserved_both_ways(self, cap):
+        """A job set is EDF-feasible on the original system iff its image
+        is on the constant-capacity system — the paper's reduction."""
+        tr = StretchTransform(cap)
+        jobs = [
+            Job(0, 0.0, 8.0, 9.0, 1.0),
+            Job(1, 2.0, 10.0, 14.0, 1.0),
+            Job(2, 11.0, 20.0, 19.0, 1.0),
+        ]
+        original = simulate(jobs, cap, EDFScheduler())
+        image_inst = tr.transform_instance(jobs)
+        image = simulate(image_inst.jobs, image_inst.capacity, EDFScheduler())
+        assert original.completed_ids == image.completed_ids
+        assert original.value == pytest.approx(image.value)
+
+    def test_segment_mapping_preserves_work(self, cap):
+        tr = StretchTransform(cap, rate=2.0)
+        segs = [RunSegment(0.0, 7.0, 0, cap.integrate(0.0, 7.0)),
+                RunSegment(9.0, 14.0, 1, cap.integrate(9.0, 14.0))]
+        mapped = tr.map_segments(segs)
+        for orig, img in zip(segs, mapped):
+            # Image duration * constant rate must equal the original work.
+            assert 2.0 * (img.end - img.start) == pytest.approx(orig.work)
+            assert img.work == orig.work
+        back = tr.unmap_segments(mapped)
+        for orig, rt in zip(segs, back):
+            assert rt.start == pytest.approx(orig.start)
+            assert rt.end == pytest.approx(orig.end)
+
+    def test_mapped_schedule_validates_on_image_system(self, cap):
+        """Map a legal varying-capacity schedule and re-validate it against
+        the constant-capacity image — end-to-end check of the bijection."""
+        tr = StretchTransform(cap)
+        jobs = [Job(0, 0.0, 8.0, 9.0, 1.0), Job(1, 2.0, 10.0, 14.0, 1.0)]
+        result = simulate(jobs, cap, EDFScheduler(), validate=True)
+        image_inst = tr.transform_instance(jobs)
+        mapped = tr.map_segments(result.trace.segments)
+
+        from repro.sim.trace import ScheduleTrace
+
+        image_trace = ScheduleTrace()
+        for seg in mapped:
+            image_trace.add_segment(seg.start, seg.end, seg.jid, seg.work)
+        image_trace.validate(image_inst.jobs, image_inst.capacity)

@@ -1,0 +1,96 @@
+"""Unit tests for the Monte-Carlo replication harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import DoverScheduler, EDFScheduler, VDoverScheduler
+from repro.errors import ReproError
+from repro.experiments import (
+    MonteCarloRunner,
+    PaperInstanceFactory,
+    SchedulerSpec,
+    default_mc_runs,
+)
+from repro.workload import PoissonWorkload
+
+
+def small_factory(lam=6.0, jobs=60.0):
+    horizon = jobs / lam
+    return PaperInstanceFactory(
+        workload=PoissonWorkload(lam=lam, horizon=horizon),
+        sojourn=horizon / 4.0,
+    )
+
+
+SPECS = [
+    SchedulerSpec("EDF", EDFScheduler, {}),
+    SchedulerSpec("V-Dover", VDoverScheduler, {"k": 7.0}),
+]
+
+
+class TestSchedulerSpec:
+    def test_build_sets_name(self):
+        spec = SchedulerSpec("mine", DoverScheduler, {"k": 7.0, "c_hat": 2.0})
+        sched = spec.build()
+        assert sched.name == "mine"
+        assert sched.c_hat == 2.0
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ReproError):
+            MonteCarloRunner(small_factory(), [SPECS[0], SPECS[0]])
+
+
+class TestFactory:
+    def test_produces_jobs_and_capacity(self):
+        rng = np.random.default_rng(0)
+        jobs, capacity = small_factory().make(rng)
+        assert jobs
+        assert capacity.lower == 1.0 and capacity.upper == 35.0
+
+    def test_same_rng_state_same_instance(self):
+        a = small_factory().make(np.random.default_rng(42))
+        b = small_factory().make(np.random.default_rng(42))
+        assert a[0] == b[0]
+
+
+class TestRunner:
+    def test_outcomes_are_paired(self):
+        runner = MonteCarloRunner(small_factory(), SPECS)
+        outcomes = runner.run(3, seed=0, workers=1)
+        assert len(outcomes) == 3
+        for o in outcomes:
+            assert set(o.values) == {"EDF", "V-Dover"}
+            assert o.generated_value > 0
+            assert 0.0 <= o.normalized("V-Dover") <= 1.0
+
+    def test_seeded_reproducibility(self):
+        runner = MonteCarloRunner(small_factory(), SPECS)
+        a = runner.run(4, seed=5, workers=1)
+        b = runner.run(4, seed=5, workers=1)
+        assert [o.values for o in a] == [o.values for o in b]
+
+    def test_parallel_matches_serial(self):
+        runner = MonteCarloRunner(small_factory(), SPECS)
+        serial = runner.run(8, seed=9, workers=1)
+        parallel = runner.run(8, seed=9, workers=2)
+        assert [o.values for o in serial] == [o.values for o in parallel]
+
+    def test_run_count_validated(self):
+        runner = MonteCarloRunner(small_factory(), SPECS)
+        with pytest.raises(ReproError):
+            runner.run(0)
+
+
+class TestDefaultRuns:
+    def test_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MC_RUNS", raising=False)
+        assert default_mc_runs(12) == 12
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_RUNS", "77")
+        assert default_mc_runs(12) == 77
+
+    def test_env_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_RUNS", "0")
+        with pytest.raises(ReproError):
+            default_mc_runs(12)

@@ -1,0 +1,72 @@
+"""Tests for the experiment result store."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments import Table1Config, run_beta_sweep, run_table1
+from repro.experiments.store import (
+    diff_table1,
+    load_sweep,
+    load_table1,
+    save_sweep,
+    save_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def small_table1():
+    return run_table1(
+        Table1Config(lambdas=(6.0,), n_runs=4, expected_jobs=80.0, workers=1)
+    )
+
+
+class TestTable1Store:
+    def test_roundtrip(self, small_table1, tmp_path):
+        path = tmp_path / "t1.json"
+        save_table1(path, small_table1)
+        loaded = load_table1(path)
+        assert loaded.config == small_table1.config
+        assert len(loaded.rows) == len(small_table1.rows)
+        for a, b in zip(loaded.rows, small_table1.rows):
+            assert a.lam == b.lam
+            assert a.vdover_percent == b.vdover_percent
+            assert a.dover_percent == b.dover_percent
+            assert a.gain_percent == b.gain_percent
+        assert loaded.render() == small_table1.render()
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"kind": "other", "schema": 1}')
+        with pytest.raises(AnalysisError):
+            load_table1(path)
+
+    def test_diff_same_run_is_zero(self, small_table1):
+        records = diff_table1(small_table1, small_table1)
+        assert len(records) == 1
+        assert records[0]["vdover_drift"] == 0.0
+        assert records[0]["significant"] is False
+
+    def test_diff_detects_drift(self, small_table1):
+        other = run_table1(
+            Table1Config(lambdas=(6.0,), n_runs=4, expected_jobs=80.0, seed=99, workers=1)
+        )
+        records = diff_table1(small_table1, other)
+        assert len(records) == 1
+        assert "vdover_drift" in records[0]
+
+
+class TestSweepStore:
+    def test_roundtrip(self, tmp_path):
+        sweep = run_beta_sweep(betas=(2.0, 4.0), n_runs=3, expected_jobs=60.0, workers=1)
+        path = tmp_path / "sweep.json"
+        save_sweep(path, sweep)
+        loaded = load_sweep(path)
+        assert loaded.sweep_name == sweep.sweep_name
+        assert loaded.swept_values == sweep.swept_values
+        assert loaded.render() == sweep.render()
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"kind": "table1", "schema": 1}')
+        with pytest.raises(AnalysisError):
+            load_sweep(path)

@@ -1,0 +1,93 @@
+"""Tests for the ablation sweeps (small-scale)."""
+
+import pytest
+
+from repro.experiments import (
+    run_beta_sweep,
+    run_delta_sweep,
+    run_policy_sweep,
+    run_supplement_ablation,
+)
+
+
+class TestPolicySweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_policy_sweep(
+            lambdas=(4.0, 10.0), n_runs=4, expected_jobs=100.0, workers=1
+        )
+
+    def test_structure(self, sweep):
+        assert sweep.swept_values == [4.0, 10.0]
+        assert "V-Dover" in sweep.percents
+        assert "EDF" in sweep.percents
+        for summaries in sweep.percents.values():
+            assert len(summaries) == 2
+
+    def test_vdover_wins_under_load(self, sweep):
+        assert sweep.best_at(1) == "V-Dover"
+
+    def test_render(self, sweep):
+        assert "lambda" in sweep.render()
+
+
+class TestSupplementAblation:
+    def test_supplement_helps(self):
+        sweep = run_supplement_ablation(
+            lambdas=(8.0,), n_runs=5, expected_jobs=150.0, workers=1
+        )
+        with_supp = sweep.percents["V-Dover"][0].mean
+        without = sweep.percents["V-Dover(no-supp)"][0].mean
+        assert with_supp >= without
+
+
+class TestBetaSweep:
+    def test_structure(self):
+        sweep = run_beta_sweep(
+            betas=(1.2, 3.0), n_runs=3, expected_jobs=80.0, workers=1
+        )
+        assert sweep.swept_values == [1.2, 3.0]
+        assert len(sweep.percents["V-Dover"]) == 2
+
+
+class TestDeltaSweep:
+    def test_structure_and_ranges(self):
+        sweep = run_delta_sweep(
+            highs=(2.0, 35.0), n_runs=3, expected_jobs=80.0, workers=1
+        )
+        assert sweep.swept_values == [2.0, 35.0]
+        for summaries in sweep.percents.values():
+            for s in summaries:
+                assert 0.0 <= s.mean <= 100.0
+
+
+class TestKMisestimationSweep:
+    def test_structure_and_flatness(self):
+        from repro.experiments import run_k_misestimation_sweep
+
+        sweep = run_k_misestimation_sweep(
+            believed_ks=(3.0, 7.0, 21.0),
+            n_runs=5,
+            expected_jobs=120.0,
+            workers=1,
+        )
+        assert sweep.swept_values == [3.0, 7.0, 21.0]
+        means = [s.mean for s in sweep.percents["V-Dover"]]
+        assert all(0.0 <= m <= 100.0 for m in means)
+        # benign misestimation: no cliff between adjacent beliefs
+        assert max(means) - min(means) < 15.0
+
+
+class TestSlackSweep:
+    def test_convergence_with_slack(self):
+        from repro.experiments import run_slack_sweep
+
+        sweep = run_slack_sweep(
+            slacks=(1.0, 6.0), n_runs=5, expected_jobs=120.0, workers=1
+        )
+        assert sweep.swept_values == [1.0, 6.0]
+        # Loose deadlines: all policies land close together.
+        loose = [s[1].mean for s in sweep.percents.values()]
+        assert max(loose) - min(loose) < 10.0
+        # Tight deadlines: Dover(c=1) trails V-Dover.
+        assert sweep.percents["V-Dover"][0].mean >= sweep.percents["Dover(c=1)"][0].mean

@@ -1,0 +1,121 @@
+"""Property-based tests for capacity-model invariants (hypothesis)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capacity import (
+    ConstantCapacity,
+    PiecewiseConstantCapacity,
+    TwoStateMarkovCapacity,
+)
+
+
+@st.composite
+def piecewise_capacities(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+            min_size=n - 1,
+            max_size=n - 1,
+        )
+    )
+    breakpoints = [0.0]
+    for gap in gaps:
+        breakpoints.append(breakpoints[-1] + gap)
+    rates = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return PiecewiseConstantCapacity(breakpoints, rates)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    b = draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    return (a, b) if a <= b else (b, a)
+
+
+class TestPiecewiseInvariants:
+    @given(cap=piecewise_capacities(), iv=intervals())
+    def test_integral_bounded_by_declared_rates(self, cap, iv):
+        t0, t1 = iv
+        work = cap.integrate(t0, t1)
+        assert cap.lower * (t1 - t0) - 1e-9 <= work
+        assert work <= cap.upper * (t1 - t0) + 1e-9
+
+    @given(cap=piecewise_capacities(), iv=intervals(), mid=st.floats(0.0, 1.0))
+    def test_integral_additivity(self, cap, iv, mid):
+        t0, t1 = iv
+        tm = t0 + mid * (t1 - t0)
+        total = cap.integrate(t0, t1)
+        split = cap.integrate(t0, tm) + cap.integrate(tm, t1)
+        assert split == pytest.approx(total, rel=1e-9, abs=1e-9)
+
+    @given(
+        cap=piecewise_capacities(),
+        t0=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        work=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    )
+    def test_advance_inverts_integrate(self, cap, t0, work):
+        t = cap.advance(t0, work)
+        assert t >= t0
+        assert cap.integrate(t0, t) == pytest.approx(work, rel=1e-9, abs=1e-9)
+
+    @given(cap=piecewise_capacities(), iv=intervals())
+    def test_pieces_tile_interval_exactly(self, cap, iv):
+        t0, t1 = iv
+        pieces = list(cap.pieces(t0, t1))
+        if t0 == t1:
+            assert pieces == []
+            return
+        assert pieces[0][0] == t0
+        assert pieces[-1][1] == t1
+        for (s0, e0, _), (s1, _, _) in zip(pieces, pieces[1:]):
+            assert e0 == s1
+        for s, e, rate in pieces:
+            assert s < e
+            assert rate == cap.value(s)
+
+    @given(cap=piecewise_capacities(), iv=intervals())
+    def test_value_within_bounds(self, cap, iv):
+        t0, t1 = iv
+        assert cap.lower <= cap.value(t0) <= cap.upper
+        assert cap.lower <= cap.value(t1) <= cap.upper
+
+
+class TestMarkovInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        iv=intervals(),
+        work=st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+    )
+    def test_markov_same_laws(self, seed, iv, work):
+        cap = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=5.0, rng=seed)
+        t0, t1 = iv
+        total = cap.integrate(t0, t1)
+        assert 1.0 * (t1 - t0) - 1e-9 <= total <= 35.0 * (t1 - t0) + 1e-9
+        t = cap.advance(t0, work)
+        assert cap.integrate(t0, t) == pytest.approx(work, rel=1e-9, abs=1e-9)
+
+
+class TestConstantDegeneracy:
+    @given(
+        rate=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        iv=intervals(),
+    )
+    def test_constant_equals_one_piece(self, rate, iv):
+        t0, t1 = iv
+        const = ConstantCapacity(rate)
+        pw = PiecewiseConstantCapacity([0.0], [rate])
+        assert const.integrate(t0, t1) == pytest.approx(pw.integrate(t0, t1))
+        if t1 > t0:
+            assert const.value(t0) == pw.value(t0)

@@ -1,0 +1,78 @@
+"""Property tests for the cloud substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import PrimaryOccupancyModel, SpotMarket, SpotPriceProcess
+
+
+@st.composite
+def primary_models(draw):
+    total = draw(st.floats(min_value=4.0, max_value=32.0))
+    floor = draw(st.floats(min_value=0.5, max_value=total / 4.0))
+    vm_size = draw(st.floats(min_value=0.5, max_value=(total - floor) / 2.0))
+    return PrimaryOccupancyModel(
+        total_capacity=total,
+        floor=floor,
+        arrival_rate=draw(st.floats(min_value=0.2, max_value=8.0)),
+        mean_holding=draw(st.floats(min_value=0.5, max_value=6.0)),
+        vm_size=vm_size,
+    )
+
+
+class TestPrimaryProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(model=primary_models(), seed=st.integers(0, 10_000))
+    def test_residual_respects_band_and_quantisation(self, model, seed):
+        residual = model.sample_residual(60.0, rng=seed)
+        assert residual.lower == model.floor
+        assert residual.upper == model.total_capacity
+        for rate in residual.rates:
+            assert model.floor - 1e-9 <= rate <= model.total_capacity + 1e-9
+            occupied = (model.total_capacity - rate) / model.vm_size
+            assert abs(occupied - round(occupied)) < 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(model=primary_models(), seed=st.integers(0, 10_000))
+    def test_residual_is_simulatable(self, model, seed):
+        from repro.core import VDoverScheduler
+        from repro.sim import Job, simulate
+
+        residual = model.sample_residual(30.0, rng=seed)
+        jobs = [
+            Job(i, float(i), 1.0, float(i) + 1.0 / model.floor + 1.0, 1.0)
+            for i in range(8)
+        ]
+        result = simulate(jobs, residual, VDoverScheduler(k=7.0), validate=True)
+        assert result.n_completed + result.n_failed == len(jobs)
+
+
+class TestMarketProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        rate=st.floats(min_value=0.5, max_value=6.0),
+        floor=st.floats(min_value=0.3, max_value=0.9),
+    )
+    def test_requests_always_valid_and_admissible(self, seed, rate, floor):
+        price = SpotPriceProcess(floor=floor, ceiling=4.0, mean=1.0)
+        market = SpotMarket(price, request_rate=rate, floor_capacity=1.0)
+        requests, _, prices = market.generate_requests(30.0, rng=seed)
+        assert prices.min() >= floor - 1e-12
+        for req in requests:
+            assert floor - 1e-9 <= req.bid <= 4.0 + 1e-9
+            assert req.is_admissible(1.0)
+            job = req.to_job()
+            assert job.density == pytest.approx(req.bid)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_importance_ratio_bound_holds(self, seed):
+        price = SpotPriceProcess(floor=0.5, ceiling=4.0)
+        market = SpotMarket(price, request_rate=5.0)
+        requests, _, _ = market.generate_requests(40.0, rng=seed)
+        if len(requests) >= 2:
+            densities = [r.bid for r in requests]
+            assert max(densities) / min(densities) <= price.importance_ratio_bound + 1e-9

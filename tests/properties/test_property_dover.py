@@ -1,0 +1,80 @@
+"""Differential property tests for the Dover family.
+
+The strongest cheap oracle we have: Section IV states V-Dover *reduces to
+Dover* under constant capacity (given the same threshold β), because the
+conservative estimate is exact and supplement jobs are provably dead.  We
+drive both through random instances and demand identical outcomes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.intervals import lemma1_report
+from repro.capacity import ConstantCapacity, PiecewiseConstantCapacity
+from repro.core import DoverScheduler, VDoverScheduler
+from repro.sim import Job, simulate
+
+
+@st.composite
+def admissible_instances(draw):
+    """Random instances, individually admissible at c̲ = 1."""
+    n = draw(st.integers(min_value=1, max_value=15))
+    jobs = []
+    for i in range(n):
+        release = draw(st.floats(min_value=0.0, max_value=25.0))
+        workload = draw(st.floats(min_value=0.1, max_value=5.0))
+        slack = draw(st.floats(min_value=1.0, max_value=3.0))
+        density = draw(st.floats(min_value=1.0, max_value=7.0))
+        jobs.append(
+            Job(i, release, workload, release + slack * workload, density * workload)
+        )
+    return jobs
+
+
+@settings(max_examples=60, deadline=None)
+@given(jobs=admissible_instances(), beta=st.floats(min_value=1.1, max_value=6.0))
+def test_vdover_reduces_to_dover_at_constant_capacity(jobs, beta):
+    """Same β, capacity pinned at c = c̲ = ĉ: identical completions and
+    value.  (Schedules may differ by *futile* supplement work: V-Dover
+    keeps demoted jobs running on otherwise-idle time, but at constant
+    conservative capacity a negative-laxity job provably cannot finish, so
+    the outcome is unchanged — that equivalence is exactly Section IV's
+    reduction claim.)"""
+    cap = ConstantCapacity(1.0)
+    vd_sched = VDoverScheduler(k=7.0, beta=beta)
+    vd = simulate(jobs, cap, vd_sched, validate=True)
+    dv = simulate(jobs, cap, DoverScheduler(k=7.0, c_hat=1.0, beta=beta), validate=True)
+    assert vd.completed_ids == dv.completed_ids
+    assert vd.value == pytest.approx(dv.value)
+    if vd_sched.stats["supplement_labels"] == 0:
+        # No demotions at all: then the runs must be literally identical.
+        assert vd.trace.segments == dv.trace.segments
+
+
+@settings(max_examples=40, deadline=None)
+@given(jobs=admissible_instances())
+def test_supplements_never_hurt(jobs):
+    """Structural invariant: the supplement queue only consumes capacity no
+    regular job wants, so disabling it can never *increase* value on the
+    same instance."""
+    cap = PiecewiseConstantCapacity([0.0, 7.0, 14.0], [1.0, 4.0, 1.0])
+    full = simulate(jobs, cap, VDoverScheduler(k=7.0, beta=2.0), validate=True)
+    ablated = simulate(
+        jobs, cap, VDoverScheduler(k=7.0, beta=2.0, supplement=False), validate=True
+    )
+    assert full.value >= ablated.value - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(jobs=admissible_instances(), seed=st.integers(0, 1000))
+def test_lemma1_property(jobs, seed):
+    """Lemma 1 holds on arbitrary admissible instances over arbitrary
+    piecewise capacity (min density >= 1 by construction)."""
+    cap = PiecewiseConstantCapacity(
+        [0.0, 5.0 + (seed % 7), 15.0], [1.0, 1.0 + (seed % 5), 2.0]
+    )
+    sched = VDoverScheduler(k=7.0)
+    simulate(jobs, cap, sched)
+    report = lemma1_report(sched, cap)
+    assert report.holds, str(report)

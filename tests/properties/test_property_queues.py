@@ -1,0 +1,84 @@
+"""Property-based tests: JobQueue behaves as a sorted container with
+removal, under arbitrary interleavings of operations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Job, JobQueue, edf_key, latest_deadline_key
+
+
+@st.composite
+def operations(draw):
+    """A sequence of (op, job-index) against a pool of jobs."""
+    n_jobs = draw(st.integers(min_value=1, max_value=20))
+    jobs = [
+        Job(i, 0.0, 1.0, draw(st.floats(0.5, 100.0)), 1.0) for i in range(n_jobs)
+    ]
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "remove", "dequeue", "first"]),
+                st.integers(0, n_jobs - 1),
+            ),
+            max_size=60,
+        )
+    )
+    return jobs, ops
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=operations())
+def test_queue_matches_reference_model(data):
+    """Differential test against a naive sorted-list model."""
+    jobs, ops = data
+    queue = JobQueue(edf_key)
+    model: dict[int, Job] = {}
+
+    for op, idx in ops:
+        job = jobs[idx]
+        if op == "insert":
+            if job.jid not in model:
+                queue.insert(job)
+                model[job.jid] = job
+        elif op == "remove":
+            got = queue.remove(job)
+            expected = model.pop(job.jid, None)
+            assert got is expected
+        elif op == "dequeue":
+            if model:
+                got = queue.dequeue()
+                best = min(model.values(), key=edf_key)
+                assert got is best
+                del model[got.jid]
+        elif op == "first":
+            if model:
+                got = queue.first()
+                assert got is min(model.values(), key=edf_key)
+
+        assert len(queue) == len(model)
+        assert {j.jid for j in queue.jobs()} == set(model)
+
+
+@settings(max_examples=50, deadline=None)
+@given(deadlines=st.lists(st.floats(0.5, 100.0), min_size=1, max_size=30))
+def test_drain_is_sorted(deadlines):
+    queue = JobQueue(edf_key)
+    for i, d in enumerate(deadlines):
+        queue.insert(Job(i, 0.0, 1.0, d, 1.0))
+    drained = queue.drain()
+    keys = [edf_key(j) for j in drained]
+    assert keys == sorted(keys)
+
+
+@settings(max_examples=50, deadline=None)
+@given(deadlines=st.lists(st.floats(0.5, 100.0), min_size=1, max_size=30))
+def test_latest_deadline_is_reverse_of_edf(deadlines):
+    """Qsupp's order is the exact reverse of Qedf's on the same jobs
+    (modulo the id tie-break direction)."""
+    jobs = [Job(i, 0.0, 1.0, d, 1.0) for i, d in enumerate(deadlines)]
+    supp = JobQueue(latest_deadline_key)
+    for j in jobs:
+        supp.insert(j)
+    drained = supp.drain()
+    ds = [j.deadline for j in drained]
+    assert ds == sorted(ds, reverse=True)

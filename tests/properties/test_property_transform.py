@@ -1,0 +1,90 @@
+"""Property-based tests for the stretch transformation (Section III-A)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capacity import PiecewiseConstantCapacity
+from repro.core import EDFScheduler, StretchTransform, is_feasible
+from repro.sim import Job, simulate
+
+
+@st.composite
+def varying_capacities(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    gaps = draw(
+        st.lists(st.floats(min_value=0.5, max_value=10.0), min_size=n - 1, max_size=n - 1)
+    )
+    breakpoints = [0.0]
+    for g in gaps:
+        breakpoints.append(breakpoints[-1] + g)
+    rates = draw(
+        st.lists(st.floats(min_value=0.5, max_value=8.0), min_size=n, max_size=n)
+    )
+    return PiecewiseConstantCapacity(breakpoints, rates)
+
+
+@st.composite
+def job_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    jobs = []
+    for i in range(n):
+        release = draw(st.floats(min_value=0.0, max_value=20.0))
+        workload = draw(st.floats(min_value=0.1, max_value=6.0))
+        span = draw(st.floats(min_value=0.2, max_value=15.0))
+        jobs.append(
+            Job(i, release, workload, release + span, draw(st.floats(0.1, 9.0)))
+        )
+    return jobs
+
+
+class TestStretchProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(cap=varying_capacities(), rate=st.floats(0.5, 10.0),
+           t=st.floats(0.0, 60.0))
+    def test_roundtrip(self, cap, rate, t):
+        tr = StretchTransform(cap, rate=rate)
+        assert tr.inverse(tr.forward(t)) == pytest.approx(t, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(cap=varying_capacities(), rate=st.floats(0.5, 10.0),
+           s=st.floats(0.0, 40.0), span=st.floats(0.0, 40.0))
+    def test_workload_preservation(self, cap, rate, s, span):
+        """∫_s^t c == rate * (T(t) − T(s)) for all s <= t — the identity the
+        whole reduction rests on."""
+        tr = StretchTransform(cap, rate=rate)
+        t = s + span
+        assert cap.integrate(s, t) == pytest.approx(
+            rate * (tr.forward(t) - tr.forward(s)), rel=1e-9, abs=1e-9
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(cap=varying_capacities(), jobs=job_sets())
+    def test_monotone_and_order_preserving(self, cap, jobs):
+        tr = StretchTransform(cap)
+        times = sorted(
+            [j.release for j in jobs] + [j.deadline for j in jobs]
+        )
+        images = [tr.forward(t) for t in times]
+        assert images == sorted(images)
+
+    @settings(max_examples=30, deadline=None)
+    @given(cap=varying_capacities(), jobs=job_sets())
+    def test_feasibility_invariant_under_transform(self, cap, jobs):
+        """The headline reduction: the instance is feasible iff its
+        stretched image is feasible on the constant-capacity system."""
+        tr = StretchTransform(cap)
+        image = tr.transform_instance(jobs)
+        assert is_feasible(jobs, cap) == is_feasible(image.jobs, image.capacity)
+
+    @settings(max_examples=30, deadline=None)
+    @given(cap=varying_capacities(), jobs=job_sets())
+    def test_edf_value_invariant_under_transform(self, cap, jobs):
+        """EDF (deadline order is preserved by the monotone map) completes
+        exactly the same job set on both sides of the bijection."""
+        tr = StretchTransform(cap)
+        image = tr.transform_instance(jobs)
+        original = simulate(jobs, cap, EDFScheduler())
+        mapped = simulate(image.jobs, image.capacity, EDFScheduler())
+        assert original.completed_ids == mapped.completed_ids
+        assert original.value == pytest.approx(mapped.value)

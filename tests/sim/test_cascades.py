@@ -1,0 +1,74 @@
+"""Same-instant event cascades: the orderings the paper's workload forces.
+
+With relative deadlines of exactly ``p/c̲``, a job's release, its
+zero-laxity alarm and (if it runs in isolation) its completion-at-deadline
+all share timestamps with other events.  These tests pin the cascade
+semantics end to end.
+"""
+
+import pytest
+
+from repro.capacity import ConstantCapacity
+from repro.core import VDoverScheduler
+from repro.sim import Job, simulate
+
+
+def J(jid, r, p, d, v=1.0):
+    return Job(jid, r, p, d, v)
+
+
+class TestSameInstantCascades:
+    def test_release_then_alarm_same_instant(self):
+        """A zero-laxity arrival while another job runs: the release
+        handler queues it, then its (clamped) zero-laxity alarm fires at
+        the same instant and handler D decides."""
+        jobs = [
+            J(0, 0.0, 5.0, 5.0, v=1.0),      # running, zero slack
+            J(1, 1.0, 4.0, 5.0, v=100.0),    # zero laxity at release; wins D
+        ]
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=100.0), validate=True)
+        assert r.completed_ids == [1]
+        # The switch happened exactly at t=1 (release + alarm cascade).
+        assert any(
+            s.jid == 1 and s.start == pytest.approx(1.0) for s in r.trace.segments
+        )
+
+    def test_two_urgent_arrivals_same_instant_no_livelock(self):
+        """Two zero-laxity jobs at the same instant: β > 1 forbids mutual
+        displacement, so the cascade settles deterministically."""
+        jobs = [
+            J(0, 0.0, 5.0, 5.0, v=1.0),
+            J(1, 1.0, 4.0, 5.0, v=50.0),
+            J(2, 1.0, 4.0, 5.0, v=60.0),
+        ]
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=100.0), validate=True)
+        # Exactly one of the urgent pair can be served.
+        assert len(r.completed_ids) == 1
+        assert r.completed_ids[0] in (1, 2)
+        assert len(r.trace.segments) < 20
+
+    def test_completion_release_alarm_stack(self):
+        """A completion, a release and the released job's alarm at one
+        timestamp: completion first (banks the value), then release, then
+        the alarm."""
+        jobs = [
+            J(0, 0.0, 2.0, 2.0, v=5.0),      # completes exactly at t=2
+            J(1, 2.0, 3.0, 5.0, v=1.0),      # released at t=2, zero laxity
+        ]
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=5.0), validate=True)
+        assert r.n_completed == 2
+        assert r.trace.completion_times[0] == pytest.approx(2.0)
+        assert r.trace.completion_times[1] == pytest.approx(5.0)
+
+    def test_back_to_back_zero_laxity_chain(self):
+        """A seamless chain of zero-laxity jobs: every one completes
+        exactly at its deadline, the next starting the same instant."""
+        jobs = []
+        t = 0.0
+        for i in range(10):
+            p = 1.0 + 0.1 * i
+            jobs.append(J(i, t, p, t + p, v=1.0))
+            t += p
+        r = simulate(jobs, ConstantCapacity(1.0), VDoverScheduler(k=7.0), validate=True)
+        assert r.n_completed == 10
+        assert r.busy_time == pytest.approx(t)

@@ -1,0 +1,340 @@
+"""Unit tests for the discrete-event engine mechanics."""
+
+import pytest
+
+from repro.capacity import ConstantCapacity, PiecewiseConstantCapacity
+from repro.core import EDFScheduler
+from repro.errors import SchedulingError
+from repro.sim import Job, JobStatus, Scheduler, SimulationEngine, simulate
+
+
+def J(jid, r, p, d, v=1.0):
+    return Job(jid, r, p, d, v)
+
+
+class RunFirstScheduler(Scheduler):
+    """Minimal policy: run whatever arrives if idle; never preempt; log
+    every handler invocation for assertions."""
+
+    name = "run-first"
+
+    def reset(self):
+        self.log = []
+        self.backlog = []
+
+    def on_release(self, job):
+        self.log.append(("release", job.jid, self.ctx.now()))
+        current = self.ctx.current_job()
+        if current is None:
+            return job
+        self.backlog.append(job)
+        return current
+
+    def on_job_end(self, job, completed):
+        self.log.append(("end", job.jid, completed, self.ctx.now()))
+        if self.ctx.current_job() is not None:
+            if job in self.backlog:
+                self.backlog.remove(job)
+            return self.ctx.current_job()
+        if job in self.backlog:
+            self.backlog.remove(job)
+        return self.backlog.pop(0) if self.backlog else None
+
+
+class TestBasicExecution:
+    def test_single_job_completes(self):
+        result = simulate(
+            [J(0, 0.0, 2.0, 5.0, v=3.0)], ConstantCapacity(1.0), RunFirstScheduler(),
+            validate=True,
+        )
+        assert result.value == 3.0
+        assert result.completed_ids == [0]
+        assert result.trace.completion_times[0] == pytest.approx(2.0)
+
+    def test_completion_exactly_at_deadline_succeeds(self):
+        result = simulate(
+            [J(0, 0.0, 5.0, 5.0, v=2.0)], ConstantCapacity(1.0), RunFirstScheduler(),
+            validate=True,
+        )
+        assert result.completed_ids == [0]
+
+    def test_deadline_failure(self):
+        result = simulate(
+            [J(0, 0.0, 10.0, 5.0, v=2.0)], ConstantCapacity(1.0), RunFirstScheduler(),
+            validate=True,
+        )
+        assert result.value == 0.0
+        assert result.failed_ids == [0]
+        # Work stops at the deadline, not at the horizon.
+        assert result.trace.segments[-1].end == pytest.approx(5.0)
+
+    def test_sequential_jobs(self):
+        jobs = [J(0, 0.0, 2.0, 10.0), J(1, 0.5, 2.0, 10.0)]
+        result = simulate(jobs, ConstantCapacity(1.0), RunFirstScheduler(), validate=True)
+        assert result.n_completed == 2
+        assert result.trace.completion_times[0] == pytest.approx(2.0)
+        assert result.trace.completion_times[1] == pytest.approx(4.0)
+
+    def test_varying_capacity_completion_exact(self):
+        # rate 1 for 10s then 4: 18 units of work completes at 10 + 8/4 = 12.
+        cap = PiecewiseConstantCapacity([0.0, 10.0], [1.0, 4.0])
+        result = simulate([J(0, 0.0, 18.0, 20.0)], cap, RunFirstScheduler(), validate=True)
+        assert result.trace.completion_times[0] == pytest.approx(12.0)
+
+    def test_idle_gap_between_jobs(self):
+        jobs = [J(0, 0.0, 1.0, 5.0), J(1, 3.0, 1.0, 8.0)]
+        result = simulate(jobs, ConstantCapacity(1.0), RunFirstScheduler(), validate=True)
+        assert result.n_completed == 2
+        assert result.busy_time == pytest.approx(2.0)
+
+
+class TestPreemption:
+    def test_edf_preemption_resumes_from_point_of_preemption(self):
+        # Job 0 runs [0,1), preempted by job 1 (earlier deadline), resumes.
+        jobs = [J(0, 0.0, 3.0, 10.0), J(1, 1.0, 1.0, 3.0)]
+        result = simulate(jobs, ConstantCapacity(1.0), EDFScheduler(), validate=True)
+        assert result.n_completed == 2
+        assert result.trace.completion_times[1] == pytest.approx(2.0)
+        assert result.trace.completion_times[0] == pytest.approx(4.0)
+        work = result.trace.work_by_job()
+        assert work[0] == pytest.approx(3.0)
+
+    def test_preempted_job_fails_if_starved(self):
+        jobs = [J(0, 0.0, 3.0, 3.5), J(1, 1.0, 2.0, 3.2)]
+        result = simulate(jobs, ConstantCapacity(1.0), EDFScheduler(), validate=True)
+        # EDF switches to job 1 at t=1 (deadline 3.2 < 3.5); job 1 completes
+        # at t=3; job 0 has 2 units left and only 0.5 until its deadline.
+        assert result.completed_ids == [1]
+        assert 0 in result.failed_ids
+
+
+class TestEngineContracts:
+    def test_scheduler_cannot_run_unreleased_job(self):
+        ghost = J(99, 50.0, 1.0, 60.0)
+
+        class Evil(RunFirstScheduler):
+            def on_release(self, job):
+                return ghost
+
+        with pytest.raises(SchedulingError):
+            simulate([J(0, 0.0, 1.0, 5.0), ghost], ConstantCapacity(1.0), Evil())
+
+    def test_handler_call_sequence(self):
+        sched = RunFirstScheduler()
+        simulate(
+            [J(0, 0.0, 1.0, 5.0), J(1, 0.5, 10.0, 2.0)],
+            ConstantCapacity(1.0),
+            sched,
+        )
+        kinds = [entry[0] for entry in sched.log]
+        assert kinds == ["release", "release", "end", "end"]
+        # Job 0 completes (True); job 1 fails at its deadline (False).
+        assert ("end", 0, True, 1.0) in sched.log
+        assert sched.log[-1][0:3] == ("end", 1, False)
+
+    def test_waiting_job_expiry_notifies_scheduler(self):
+        sched = RunFirstScheduler()
+        result = simulate(
+            [J(0, 0.0, 5.0, 10.0), J(1, 1.0, 1.0, 1.5)],  # job 1 dies waiting
+            ConstantCapacity(1.0),
+            sched,
+            validate=True,
+        )
+        assert ("end", 1, False, 1.5) in sched.log
+        assert result.completed_ids == [0]
+
+    def test_determinism(self):
+        jobs = [J(i, i * 0.3, 1.0, i * 0.3 + 2.0, v=float(i + 1)) for i in range(20)]
+        r1 = simulate(jobs, ConstantCapacity(1.0), EDFScheduler())
+        r2 = simulate(jobs, ConstantCapacity(1.0), EDFScheduler())
+        assert r1.trace.segments == r2.trace.segments
+        assert r1.value == r2.value
+
+    def test_horizon_marks_unresolved_as_failed(self):
+        result = simulate(
+            [J(0, 0.0, 100.0, 200.0)],
+            ConstantCapacity(1.0),
+            RunFirstScheduler(),
+            horizon=10.0,
+        )
+        assert result.value == 0.0
+        assert result.trace.outcomes[0] is JobStatus.FAILED
+        assert result.trace.segments[-1].end == pytest.approx(10.0)
+
+    def test_release_after_horizon_ignored(self):
+        result = simulate(
+            [J(0, 50.0, 1.0, 60.0)],
+            ConstantCapacity(1.0),
+            RunFirstScheduler(),
+            horizon=10.0,
+        )
+        assert result.value == 0.0
+        assert result.trace.segments == []
+
+
+class TestContextInformation:
+    def test_remaining_of_running_job_updates(self):
+        seen = {}
+
+        class Probe(RunFirstScheduler):
+            def on_release(self, job):
+                current = self.ctx.current_job()
+                if current is not None:
+                    seen["remaining"] = self.ctx.remaining(current)
+                    self.backlog.append(job)
+                    return current
+                return job
+
+        simulate(
+            [J(0, 0.0, 5.0, 20.0), J(1, 2.0, 1.0, 20.0)],
+            ConstantCapacity(1.0),
+            Probe(),
+        )
+        assert seen["remaining"] == pytest.approx(3.0)
+
+    def test_remaining_accounts_for_varying_rate(self):
+        seen = {}
+        cap = PiecewiseConstantCapacity([0.0, 1.0], [1.0, 3.0])
+
+        class Probe(RunFirstScheduler):
+            def on_release(self, job):
+                current = self.ctx.current_job()
+                if current is not None:
+                    seen["remaining"] = self.ctx.remaining(current)
+                    self.backlog.append(job)
+                    return current
+                return job
+
+        # By t=2 the running job did 1*1 + 1*3 = 4 of its 10 units.
+        simulate([J(0, 0.0, 10.0, 20.0), J(1, 2.0, 1.0, 20.0)], cap, Probe())
+        assert seen["remaining"] == pytest.approx(6.0)
+
+    def test_bounds_and_capacity_now(self):
+        seen = {}
+        cap = PiecewiseConstantCapacity([0.0, 1.0], [2.0, 5.0])
+
+        class Probe(RunFirstScheduler):
+            def on_release(self, job):
+                seen["bounds"] = self.ctx.bounds
+                seen["cnow"] = self.ctx.capacity_now()
+                return super().on_release(job)
+
+        simulate([J(0, 3.0, 1.0, 9.0)], cap, Probe())
+        assert seen["bounds"] == (2.0, 5.0)
+        assert seen["cnow"] == 5.0
+
+    def test_remaining_of_unreleased_job_rejected(self):
+        late = J(1, 5.0, 1.0, 9.0)
+
+        class Probe(RunFirstScheduler):
+            def on_release(self, job):
+                if job.jid == 0:
+                    with pytest.raises(SchedulingError):
+                        self.ctx.remaining(late)
+                return super().on_release(job)
+
+        simulate([J(0, 0.0, 1.0, 5.0), late], ConstantCapacity(1.0), Probe())
+
+
+class TestAlarms:
+    def test_alarm_fires_for_waiting_job(self):
+        fired = []
+
+        class Alarming(RunFirstScheduler):
+            def on_release(self, job):
+                decision = super().on_release(job)
+                if decision is not job:  # job waits: arm an alarm
+                    self.ctx.set_alarm(job, self.ctx.now() + 1.0, tag="probe")
+                return decision
+
+            def on_alarm(self, job, tag):
+                fired.append((job.jid, tag, self.ctx.now()))
+                return self.ctx.current_job()
+
+        simulate(
+            [J(0, 0.0, 5.0, 20.0), J(1, 1.0, 1.0, 20.0)],
+            ConstantCapacity(1.0),
+            Alarming(),
+        )
+        assert fired == [(1, "probe", 2.0)]
+
+    def test_cancelled_alarm_does_not_fire(self):
+        fired = []
+
+        class Cancelling(RunFirstScheduler):
+            def on_release(self, job):
+                decision = super().on_release(job)
+                if decision is not job:
+                    self.ctx.set_alarm(job, self.ctx.now() + 1.0)
+                    self.ctx.cancel_alarm(job)
+                return decision
+
+            def on_alarm(self, job, tag):
+                fired.append(job.jid)
+                return self.ctx.current_job()
+
+        simulate(
+            [J(0, 0.0, 5.0, 20.0), J(1, 1.0, 1.0, 20.0)],
+            ConstantCapacity(1.0),
+            Cancelling(),
+        )
+        assert fired == []
+
+    def test_alarm_on_running_job_dropped(self):
+        fired = []
+
+        class SelfAlarm(RunFirstScheduler):
+            def on_release(self, job):
+                decision = super().on_release(job)
+                if decision is job:
+                    self.ctx.set_alarm(job, self.ctx.now() + 0.5)
+                return decision
+
+            def on_alarm(self, job, tag):  # pragma: no cover - must not run
+                fired.append(job.jid)
+                return self.ctx.current_job()
+
+        simulate([J(0, 0.0, 2.0, 9.0)], ConstantCapacity(1.0), SelfAlarm())
+        assert fired == []
+
+    def test_past_alarm_clamped_to_now(self):
+        fired = []
+
+        class PastAlarm(RunFirstScheduler):
+            def on_release(self, job):
+                decision = super().on_release(job)
+                if decision is not job:
+                    self.ctx.set_alarm(job, self.ctx.now() - 5.0)
+                return decision
+
+            def on_alarm(self, job, tag):
+                fired.append((job.jid, self.ctx.now()))
+                return self.ctx.current_job()
+
+        simulate(
+            [J(0, 0.0, 5.0, 20.0), J(1, 1.0, 1.0, 20.0)],
+            ConstantCapacity(1.0),
+            PastAlarm(),
+        )
+        assert fired == [(1, 1.0)]
+
+    def test_timer_fires(self):
+        fired = []
+
+        class Timed(RunFirstScheduler):
+            def reset(self):
+                super().reset()
+                self._armed = False
+
+            def on_release(self, job):
+                if not self._armed:
+                    self.ctx.set_timer(4.0, tag="tick")
+                    self._armed = True
+                return super().on_release(job)
+
+            def on_timer(self, tag):
+                fired.append((tag, self.ctx.now()))
+                return self.ctx.current_job()
+
+        simulate([J(0, 0.0, 1.0, 9.0)], ConstantCapacity(1.0), Timed())
+        assert fired == [("tick", 4.0)]

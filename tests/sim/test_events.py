@@ -1,0 +1,71 @@
+"""Unit tests for the event queue ordering semantics."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Event, EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(Event(2.0, EventKind.RELEASE, "b"))
+        q.push(Event(1.0, EventKind.RELEASE, "a"))
+        assert q.pop().payload == "a"
+        assert q.pop().payload == "b"
+
+    def test_kind_priority_at_same_time(self):
+        """COMPLETION < DEADLINE < RELEASE < ALARM < TIMER < END."""
+        q = EventQueue()
+        for kind in (
+            EventKind.END,
+            EventKind.ALARM,
+            EventKind.RELEASE,
+            EventKind.COMPLETION,
+            EventKind.TIMER,
+            EventKind.DEADLINE,
+        ):
+            q.push(Event(5.0, kind))
+        kinds = [q.pop().kind for _ in range(6)]
+        assert kinds == sorted(kinds, key=int)
+        assert kinds[0] is EventKind.COMPLETION
+        assert kinds[-1] is EventKind.END
+
+    def test_fifo_within_same_time_and_kind(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.RELEASE, "first"))
+        q.push(Event(1.0, EventKind.RELEASE, "second"))
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_completion_beats_deadline_tie(self):
+        """A job finishing exactly at its deadline must succeed."""
+        q = EventQueue()
+        q.push(Event(3.0, EventKind.DEADLINE, "dl"))
+        q.push(Event(3.0, EventKind.COMPLETION, "done"))
+        assert q.pop().kind is EventKind.COMPLETION
+
+
+class TestQueueMechanics:
+    def test_len(self):
+        q = EventQueue()
+        assert len(q) == 0
+        q.push(Event(1.0, EventKind.RELEASE))
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(Event(4.0, EventKind.RELEASE))
+        q.push(Event(2.0, EventKind.RELEASE))
+        assert q.peek_time() == 2.0
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(Event(math.nan, EventKind.RELEASE))

@@ -1,0 +1,58 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.capacity import PiecewiseConstantCapacity
+from repro.core import EDFScheduler
+from repro.errors import SimulationError
+from repro.sim import Job, render_gantt, simulate
+
+
+@pytest.fixture
+def run():
+    jobs = [
+        Job(0, 0.0, 3.0, 10.0, 1.0),
+        Job(1, 1.0, 1.0, 3.0, 1.0),
+        Job(2, 0.0, 50.0, 6.0, 1.0),  # doomed
+    ]
+    cap = PiecewiseConstantCapacity([0.0, 5.0], [1.0, 2.0])
+    result = simulate(jobs, cap, EDFScheduler(), validate=True)
+    return jobs, cap, result
+
+
+class TestRendering:
+    def test_one_row_per_job(self, run):
+        jobs, cap, result = run
+        text = render_gantt(result.trace, jobs, capacity=cap)
+        lines = text.splitlines()
+        assert len(lines) == 1 + 1 + len(jobs)  # header + capacity + jobs
+
+    def test_outcome_marks(self, run):
+        jobs, cap, result = run
+        text = render_gantt(result.trace, jobs)
+        job_lines = {l.split("|")[0].strip(): l for l in text.splitlines()[1:]}
+        assert job_lines["job 1"].rstrip().endswith("+")
+        assert job_lines["job 2"].rstrip().endswith("x")
+
+    def test_running_cells_present(self, run):
+        jobs, cap, result = run
+        text = render_gantt(result.trace, jobs)
+        assert "#" in text
+
+    def test_capacity_row_levels(self, run):
+        jobs, cap, result = run
+        text = render_gantt(result.trace, jobs, capacity=cap, width=20)
+        cap_row = [l for l in text.splitlines() if l.strip().startswith("c(t)")][0]
+        cells = cap_row.split("|")[1]
+        assert cells[0] == "1"     # low rate at the start
+        assert cells[-1] == "9"    # high rate at the end
+
+    def test_narrow_width_rejected(self, run):
+        jobs, cap, result = run
+        with pytest.raises(SimulationError):
+            render_gantt(result.trace, jobs, width=5)
+
+    def test_explicit_horizon(self, run):
+        jobs, cap, result = run
+        text = render_gantt(result.trace, jobs, horizon=100.0, width=50)
+        assert "100" in text.splitlines()[0]

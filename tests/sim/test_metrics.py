@@ -1,0 +1,75 @@
+"""Unit tests for SimulationResult metrics."""
+
+import pytest
+
+from repro.capacity import ConstantCapacity
+from repro.core import EDFScheduler
+from repro.sim import Job, simulate
+
+
+def run(jobs, rate=1.0, **kw):
+    return simulate(jobs, ConstantCapacity(rate), EDFScheduler(), **kw)
+
+
+class TestValueMetrics:
+    def test_all_complete(self):
+        jobs = [Job(0, 0.0, 1.0, 5.0, 2.0), Job(1, 1.0, 1.0, 6.0, 3.0)]
+        r = run(jobs)
+        assert r.value == 5.0
+        assert r.generated_value == 5.0
+        assert r.normalized_value == 1.0
+        assert r.completion_ratio == 1.0
+
+    def test_partial_completion(self):
+        jobs = [Job(0, 0.0, 2.0, 2.0, 4.0), Job(1, 0.0, 2.0, 2.0, 1.0)]
+        r = run(jobs)
+        assert r.value == 4.0  # only the earlier-id job (EDF tie-break) fits
+        assert r.normalized_value == pytest.approx(0.8)
+        assert r.n_completed == 1
+        assert r.n_failed == 1
+
+    def test_empty_instance(self):
+        r = run([])
+        assert r.value == 0.0
+        assert r.normalized_value == 0.0
+        assert r.completion_ratio == 0.0
+
+
+class TestResourceMetrics:
+    def test_utilization(self):
+        jobs = [Job(0, 0.0, 2.0, 10.0, 1.0)]
+        r = run(jobs, **{"horizon": 10.0})
+        assert r.busy_time == pytest.approx(2.0)
+        assert r.utilization == pytest.approx(0.2)
+
+    def test_wasted_work(self):
+        # Job 1 gets 1 unit of work before failing at its deadline.
+        jobs = [Job(0, 0.0, 3.0, 3.0, 5.0), Job(1, 3.0, 2.0, 4.0, 1.0)]
+        r = run(jobs)
+        assert r.wasted_work == pytest.approx(1.0)
+        assert r.executed_work == pytest.approx(4.0)
+
+    def test_summary_keys(self):
+        r = run([Job(0, 0.0, 1.0, 5.0, 2.0)])
+        summary = r.summary()
+        for key in (
+            "value",
+            "generated_value",
+            "normalized_value",
+            "n_jobs",
+            "n_completed",
+            "n_failed",
+            "completion_ratio",
+            "utilization",
+            "wasted_work",
+        ):
+            assert key in summary
+
+    def test_value_series_shape(self):
+        jobs = [Job(0, 0.0, 1.0, 5.0, 2.0), Job(1, 1.0, 1.0, 6.0, 3.0)]
+        r = run(jobs)
+        series = r.value_series()
+        assert series[0] == (0.0, 0.0)
+        assert series[-1][1] == 5.0
+        values = [v for _, v in series]
+        assert values == sorted(values)  # cumulative -> non-decreasing

@@ -1,0 +1,129 @@
+"""Unit tests for the scheduler job queues (Qedf/Qother/Qsupp semantics)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim import Job, JobQueue, edf_key, latest_deadline_key
+
+
+def J(jid, deadline):
+    return Job(jid, 0.0, 1.0, deadline, 1.0)
+
+
+class TestEdfOrder:
+    def test_earliest_deadline_first(self):
+        q = JobQueue(edf_key)
+        q.insert(J(0, 5.0))
+        q.insert(J(1, 2.0))
+        q.insert(J(2, 8.0))
+        assert q.dequeue().deadline == 2.0
+        assert q.dequeue().deadline == 5.0
+        assert q.dequeue().deadline == 8.0
+
+    def test_tie_breaks_by_id(self):
+        q = JobQueue(edf_key)
+        q.insert(J(5, 3.0))
+        q.insert(J(1, 3.0))
+        assert q.dequeue().jid == 1
+
+    def test_first_does_not_remove(self):
+        q = JobQueue(edf_key)
+        q.insert(J(0, 5.0))
+        assert q.first().jid == 0
+        assert len(q) == 1
+
+
+class TestLatestDeadlineOrder:
+    def test_latest_first(self):
+        """Qsupp serves the job with the most remaining deadline room."""
+        q = JobQueue(latest_deadline_key)
+        q.insert(J(0, 5.0))
+        q.insert(J(1, 2.0))
+        q.insert(J(2, 8.0))
+        assert q.dequeue().deadline == 8.0
+        assert q.dequeue().deadline == 5.0
+
+
+class TestRemoval:
+    def test_remove_member(self):
+        q = JobQueue(edf_key)
+        a, b = J(0, 5.0), J(1, 2.0)
+        q.insert(a)
+        q.insert(b)
+        assert q.remove(b) is b
+        assert b not in q
+        assert q.dequeue() is a
+
+    def test_remove_absent_returns_none(self):
+        q = JobQueue(edf_key)
+        assert q.remove(J(9, 1.0)) is None
+
+    def test_tombstones_are_purged(self):
+        q = JobQueue(edf_key)
+        jobs = [J(i, float(i + 1)) for i in range(10)]
+        for job in jobs:
+            q.insert(job)
+        for job in jobs[:5]:
+            q.remove(job)
+        assert q.dequeue() is jobs[5]
+
+    def test_reinsert_after_remove(self):
+        q = JobQueue(edf_key)
+        a = J(0, 5.0)
+        q.insert(a)
+        q.remove(a)
+        q.insert(a)  # must not raise
+        assert q.dequeue() is a
+
+    def test_double_insert_raises(self):
+        q = JobQueue(edf_key)
+        a = J(0, 5.0)
+        q.insert(a)
+        with pytest.raises(SchedulingError):
+            q.insert(a)
+
+
+class TestEntryQueues:
+    def test_tuple_entries(self):
+        """Qedf stores (job, t_insert, cslack) tuples keyed by the job."""
+        q = JobQueue(edf_key, entry_job=lambda e: e[0], name="Qedf")
+        a, b = J(0, 5.0), J(1, 2.0)
+        q.insert((a, 1.0, 3.0))
+        q.insert((b, 2.0, 4.0))
+        job, t_ins, cslack = q.dequeue()
+        assert job is b and t_ins == 2.0 and cslack == 4.0
+
+    def test_remove_by_job(self):
+        q = JobQueue(edf_key, entry_job=lambda e: e[0])
+        a = J(0, 5.0)
+        q.insert((a, 1.0, 3.0))
+        assert q.remove(a) == (a, 1.0, 3.0)
+
+
+class TestBulk:
+    def test_drain_in_order(self):
+        q = JobQueue(edf_key)
+        for i, d in enumerate([5.0, 2.0, 8.0, 1.0]):
+            q.insert(J(i, d))
+        drained = q.drain()
+        assert [j.deadline for j in drained] == [1.0, 2.0, 5.0, 8.0]
+        assert len(q) == 0
+
+    def test_empty_operations_raise(self):
+        q = JobQueue(edf_key)
+        with pytest.raises(SchedulingError):
+            q.first()
+        with pytest.raises(SchedulingError):
+            q.dequeue()
+
+    def test_jobs_iteration(self):
+        q = JobQueue(edf_key)
+        q.insert(J(0, 5.0))
+        q.insert(J(1, 2.0))
+        assert {j.jid for j in q.jobs()} == {0, 1}
+
+    def test_clear(self):
+        q = JobQueue(edf_key)
+        q.insert(J(0, 5.0))
+        q.clear()
+        assert not q

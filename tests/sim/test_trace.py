@@ -1,0 +1,135 @@
+"""Unit tests for ScheduleTrace recording and validation."""
+
+import pytest
+
+from repro.capacity import ConstantCapacity, PiecewiseConstantCapacity
+from repro.errors import SimulationError
+from repro.sim import Job, JobStatus, ScheduleTrace
+
+
+def J(jid, r, p, d, v=1.0):
+    return Job(jid, r, p, d, v)
+
+
+class TestRecording:
+    def test_segments_merge_when_contiguous(self):
+        tr = ScheduleTrace()
+        tr.add_segment(0.0, 1.0, 7, 1.0)
+        tr.add_segment(1.0, 2.0, 7, 1.0)
+        assert len(tr.segments) == 1
+        assert tr.segments[0].work == pytest.approx(2.0)
+
+    def test_segments_do_not_merge_across_jobs(self):
+        tr = ScheduleTrace()
+        tr.add_segment(0.0, 1.0, 7, 1.0)
+        tr.add_segment(1.0, 2.0, 8, 1.0)
+        assert len(tr.segments) == 2
+
+    def test_zero_length_segments_dropped(self):
+        tr = ScheduleTrace()
+        tr.add_segment(1.0, 1.0, 7, 0.0)
+        assert tr.segments == []
+
+    def test_reversed_segment_rejected(self):
+        tr = ScheduleTrace()
+        with pytest.raises(SimulationError):
+            tr.add_segment(2.0, 1.0, 7, 1.0)
+
+    def test_value_points_accumulate(self):
+        tr = ScheduleTrace()
+        tr.record_outcome(J(0, 0, 1, 2, v=3.0), JobStatus.COMPLETED, 1.0)
+        tr.record_outcome(J(1, 0, 1, 3, v=2.0), JobStatus.COMPLETED, 2.5)
+        assert tr.value_points == [(1.0, 3.0), (2.5, 5.0)]
+
+    def test_failed_jobs_accrue_nothing(self):
+        tr = ScheduleTrace()
+        tr.record_outcome(J(0, 0, 1, 2, v=3.0), JobStatus.FAILED, 2.0)
+        assert tr.value_points == []
+
+
+class TestQueries:
+    def test_work_by_job_and_busy_time(self):
+        tr = ScheduleTrace()
+        tr.add_segment(0.0, 2.0, 1, 2.0)
+        tr.add_segment(3.0, 4.0, 2, 1.0)
+        assert tr.work_by_job() == {1: 2.0, 2: 1.0}
+        assert tr.busy_time() == pytest.approx(3.0)
+        assert tr.total_work() == pytest.approx(3.0)
+
+    def test_value_series_anchors(self):
+        tr = ScheduleTrace()
+        tr.record_outcome(J(0, 0, 1, 2, v=3.0), JobStatus.COMPLETED, 1.0)
+        series = tr.value_series(horizon=10.0)
+        assert series[0] == (0.0, 0.0)
+        assert series[-1] == (10.0, 3.0)
+
+    def test_value_at(self):
+        tr = ScheduleTrace()
+        tr.record_outcome(J(0, 0, 1, 2, v=3.0), JobStatus.COMPLETED, 1.0)
+        tr.record_outcome(J(1, 0, 1, 9, v=2.0), JobStatus.COMPLETED, 5.0)
+        assert tr.value_at(0.5) == 0.0
+        assert tr.value_at(1.0) == 3.0
+        assert tr.value_at(7.0) == 5.0
+
+
+class TestValidation:
+    def setup_method(self):
+        self.cap = ConstantCapacity(1.0)
+
+    def test_valid_trace_passes(self):
+        job = J(0, 0.0, 2.0, 3.0)
+        tr = ScheduleTrace()
+        tr.add_segment(0.0, 2.0, 0, 2.0)
+        tr.record_outcome(job, JobStatus.COMPLETED, 2.0)
+        tr.validate([job], self.cap)
+
+    def test_overlap_detected(self):
+        a, b = J(0, 0.0, 2.0, 9.0), J(1, 0.0, 2.0, 9.0)
+        tr = ScheduleTrace()
+        tr.add_segment(0.0, 2.0, 0, 2.0)
+        tr.add_segment(1.0, 3.0, 1, 2.0)
+        with pytest.raises(SimulationError, match="overlap"):
+            tr.validate([a, b], self.cap)
+
+    def test_work_conservation_detected(self):
+        job = J(0, 0.0, 2.0, 9.0)
+        tr = ScheduleTrace()
+        tr.add_segment(0.0, 1.0, 0, 2.0)  # claims 2 units in 1 second at rate 1
+        with pytest.raises(SimulationError, match="conservation"):
+            tr.validate([job], self.cap)
+
+    def test_running_before_release_detected(self):
+        job = J(0, 5.0, 1.0, 9.0)
+        tr = ScheduleTrace()
+        tr.add_segment(0.0, 1.0, 0, 1.0)
+        with pytest.raises(SimulationError, match="before release"):
+            tr.validate([job], self.cap)
+
+    def test_running_past_deadline_detected(self):
+        job = J(0, 0.0, 5.0, 2.0)
+        tr = ScheduleTrace()
+        tr.add_segment(0.0, 3.0, 0, 3.0)
+        with pytest.raises(SimulationError, match="past deadline"):
+            tr.validate([job], self.cap)
+
+    def test_completion_without_full_work_detected(self):
+        job = J(0, 0.0, 2.0, 9.0)
+        tr = ScheduleTrace()
+        tr.add_segment(0.0, 1.0, 0, 1.0)
+        tr.record_outcome(job, JobStatus.COMPLETED, 1.0)
+        with pytest.raises(SimulationError, match="completed"):
+            tr.validate([job], self.cap)
+
+    def test_unknown_job_detected(self):
+        tr = ScheduleTrace()
+        tr.add_segment(0.0, 1.0, 42, 1.0)
+        with pytest.raises(SimulationError, match="unknown"):
+            tr.validate([], self.cap)
+
+    def test_varying_capacity_conservation(self):
+        cap = PiecewiseConstantCapacity([0.0, 1.0], [1.0, 3.0])
+        job = J(0, 0.0, 4.0, 9.0)
+        tr = ScheduleTrace()
+        tr.add_segment(0.0, 2.0, 0, 4.0)  # 1*1 + 1*3 = 4: exact
+        tr.record_outcome(job, JobStatus.COMPLETED, 2.0)
+        tr.validate([job], cap)

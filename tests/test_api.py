@@ -1,0 +1,65 @@
+"""Public-API surface tests: imports, exports, error hierarchy."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AnalysisError,
+    CapacityError,
+    InvalidInstanceError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_from_docstring(self):
+        """The module docstring's quickstart must actually run."""
+        from repro import Job, TwoStateMarkovCapacity, VDoverScheduler, simulate
+
+        jobs = [Job(0, release=0.0, workload=2.0, deadline=4.0, value=5.0)]
+        capacity = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=10.0, rng=0)
+        result = simulate(jobs, capacity, VDoverScheduler(k=7.0))
+        assert result.value in (0.0, 5.0)
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis as analysis
+        import repro.capacity as capacity
+        import repro.cloud as cloud
+        import repro.core as core
+        import repro.experiments as experiments
+        import repro.sim as sim
+        import repro.workload as workload
+
+        for module in (analysis, capacity, cloud, core, experiments, sim, workload):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    f"{module.__name__}.{name}"
+                )
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [CapacityError, InvalidInstanceError, SchedulingError, SimulationError, AnalysisError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_library_raises_its_own_errors(self):
+        from repro import ConstantCapacity, Job
+
+        with pytest.raises(ReproError):
+            ConstantCapacity(-1.0)
+        with pytest.raises(ReproError):
+            Job(0, 0.0, -1.0, 1.0, 1.0)

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.runs == 50
+        assert args.lambdas is None
+
+    def test_sweep_kinds(self):
+        for kind in ("policy", "supplement", "beta", "delta"):
+            args = build_parser().parse_args(["sweep", kind])
+            assert args.kind == kind
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "nonsense"])
+
+
+class TestCommands:
+    def test_theory(self, capsys):
+        assert main(["theory", "--k", "7", "--delta", "35"]) == 0
+        out = capsys.readouterr().out
+        assert "f(k, δ)" in out
+        assert "upper bound" in out
+
+    def test_adversary(self, capsys):
+        assert main(["adversary", "--n", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+        lines = [l for l in out.splitlines() if l.strip() and l.lstrip()[0].isdigit()]
+        ratios = [float(l.split("|")[-1]) for l in lines]
+        assert ratios[0] > ratios[1]  # decaying ratio visible from the CLI
+
+    def test_table1_small(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--runs", "2",
+                "--lambdas", "6",
+                "--jobs", "60",
+                "--workers", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "V-Dover" in out
+
+    def test_figure1_small(self, capsys):
+        assert main(["figure1", "--lam", "6", "--jobs", "60", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out  # now rendered as charts
+
+    def test_sweep_beta_small(self, capsys):
+        assert main(["sweep", "beta", "--runs", "2", "--workers", "1"]) == 0
+        assert "beta" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        from repro.capacity import PiecewiseConstantCapacity
+        from repro.sim import Job
+        from repro.workload import save_instance
+
+        path = tmp_path / "inst.json"
+        jobs = [Job(0, 0.0, 3.0, 6.0, 2.0), Job(1, 1.0, 2.0, 4.0, 5.0)]
+        cap = PiecewiseConstantCapacity([0.0, 5.0], [1.0, 2.0])
+        save_instance(path, jobs, cap)
+        return str(path)
+
+    @pytest.mark.parametrize(
+        "scheduler", ["vdover", "dover", "edf", "edf-ac", "llf", "greedy", "fcfs"]
+    )
+    def test_every_scheduler_choice_runs(self, instance_file, scheduler, capsys):
+        assert main(["simulate", instance_file, "--scheduler", scheduler]) == 0
+        out = capsys.readouterr().out
+        assert "value" in out and "completed" in out
+
+    def test_gantt_flag(self, instance_file, capsys):
+        assert main(["simulate", instance_file, "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "c(t)" in out
+
+    def test_instance_without_capacity_errors(self, tmp_path, capsys):
+        from repro.sim import Job
+        from repro.workload import save_instance
+
+        path = tmp_path / "nocap.json"
+        save_instance(path, [Job(0, 0.0, 1.0, 2.0, 1.0)])
+        assert main(["simulate", str(path)]) == 1
+
+    def test_figure1_draws_charts(self, capsys):
+        assert main(["figure1", "--lam", "6", "--jobs", "40", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert "V-Dover" in out

@@ -1,0 +1,90 @@
+"""Tests for the escalation adversary (the upper-bound game)."""
+
+import pytest
+
+from repro.analysis.theory import dover_beta, dover_competitive_ratio
+from repro.core import DoverScheduler, EDFScheduler, VDoverScheduler
+from repro.errors import InvalidInstanceError
+from repro.workload.adversary import EscalationAdversary
+
+
+def dover_factory(k):
+    return lambda: DoverScheduler(k=k, c_hat=1.0)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(k=0.5, escalation=2.0),
+            dict(k=4.0, escalation=1.0),
+            dict(k=4.0, escalation=2.0, epsilon=0.0),
+            dict(k=4.0, escalation=2.0, epsilon=2.0),
+            dict(k=4.0, escalation=2.0, max_rounds=0),
+            dict(k=4.0, escalation=2.0, max_rounds=30),
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(InvalidInstanceError):
+            EscalationAdversary(dover_factory(4.0), **kwargs)
+
+
+class TestGame:
+    def test_all_baits_zero_laxity_and_density_capped(self):
+        k = 7.0
+        adv = EscalationAdversary(
+            dover_factory(k), k, escalation=dover_beta(k) * 1.05
+        )
+        out = adv.play()
+        for job in out.jobs:
+            assert job.relative_deadline == pytest.approx(job.workload)
+            assert 1.0 - 1e-9 <= job.density <= k + 1e-9
+
+    def test_ratio_between_guarantee_and_one(self):
+        """The measured ratio certifies both directions: below 1 (the
+        adversary bites) and at or above the scheduler's guarantee (the
+        guarantee is not falsified)."""
+        for k in (4.0, 16.0):
+            adv = EscalationAdversary(
+                dover_factory(k), k, escalation=dover_beta(k) * 1.05
+            )
+            out = adv.play()
+            assert dover_competitive_ratio(k) - 1e-9 <= out.ratio < 1.0
+
+    def test_ratio_decreases_with_k(self):
+        ratios = []
+        for k in (4.0, 16.0, 49.0):
+            adv = EscalationAdversary(
+                dover_factory(k), k, escalation=dover_beta(k) * 1.05
+            )
+            ratios.append(adv.play().ratio)
+        assert ratios[0] > ratios[1] > ratios[2]
+
+    def test_vdover_matches_dover_at_constant_capacity(self):
+        """Consistency with the Section-IV reduction: the game transcript
+        and ratio coincide for the two algorithms at the same β."""
+        k = 7.0
+        beta = dover_beta(k)
+        a = EscalationAdversary(
+            lambda: DoverScheduler(k=k, c_hat=1.0), k, escalation=beta * 1.05
+        ).play()
+        b = EscalationAdversary(
+            lambda: VDoverScheduler(k=k, beta=beta), k, escalation=beta * 1.05
+        ).play()
+        assert a.ratio == pytest.approx(b.ratio)
+        assert a.jobs == b.jobs
+
+    def test_edf_is_not_baited_by_value(self):
+        """EDF ignores value, so the *value*-escalation game barely hurts
+        it — its killer is the deadline trap (locke_trap).  Documents that
+        Theorem 3(1)'s adversary is per-algorithm."""
+        k = 16.0
+        out = EscalationAdversary(
+            lambda: EDFScheduler(), k, escalation=2.0
+        ).play()
+        assert out.ratio >= 0.5  # plateaus; never driven toward the k-bound
+
+    def test_deterministic(self):
+        k = 7.0
+        adv = EscalationAdversary(dover_factory(k), k, escalation=dover_beta(k) * 1.05)
+        assert adv.play() == adv.play()

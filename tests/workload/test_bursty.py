@@ -1,0 +1,61 @@
+"""Unit tests for the MMPP bursty workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.workload import MMPPWorkload
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(quiet_rate=0.0, burst_rate=5.0, mean_phase=1.0, horizon=10.0),
+            dict(quiet_rate=5.0, burst_rate=5.0, mean_phase=1.0, horizon=10.0),
+            dict(quiet_rate=1.0, burst_rate=5.0, mean_phase=0.0, horizon=10.0),
+            dict(quiet_rate=1.0, burst_rate=5.0, mean_phase=1.0, horizon=0.0),
+            dict(
+                quiet_rate=1.0,
+                burst_rate=5.0,
+                mean_phase=1.0,
+                horizon=10.0,
+                density_range=(3.0, 2.0),
+            ),
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(InvalidInstanceError):
+            MMPPWorkload(**kwargs)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        wl = MMPPWorkload(1.0, 10.0, mean_phase=5.0, horizon=50.0)
+        assert wl.generate(3) == wl.generate(3)
+
+    def test_sorted_and_within_horizon(self):
+        wl = MMPPWorkload(1.0, 10.0, mean_phase=5.0, horizon=50.0)
+        jobs = wl.generate(5)
+        assert all(0.0 <= j.release < 50.0 for j in jobs)
+        releases = [j.release for j in jobs]
+        assert releases == sorted(releases)
+
+    def test_mean_rate_between_phase_rates(self):
+        wl = MMPPWorkload(1.0, 9.0, mean_phase=10.0, horizon=400.0)
+        counts = [len(wl.generate(seed)) for seed in range(10)]
+        mean_rate = np.mean(counts) / 400.0
+        assert 1.0 < mean_rate < 9.0
+        assert mean_rate == pytest.approx(5.0, abs=1.5)  # symmetric phases
+
+    def test_burstier_than_poisson(self):
+        """Index of dispersion of counts must exceed 1 (Poisson's value)."""
+        wl = MMPPWorkload(0.5, 15.0, mean_phase=20.0, horizon=200.0)
+        counts = np.array([len(wl.generate(seed)) for seed in range(40)])
+        dispersion = counts.var() / counts.mean()
+        assert dispersion > 2.0
+
+    def test_zero_laxity_deadlines(self):
+        jobs = MMPPWorkload(1.0, 10.0, mean_phase=5.0, horizon=50.0).generate(7)
+        for job in jobs:
+            assert job.relative_deadline == pytest.approx(job.workload)

@@ -1,0 +1,104 @@
+"""Unit tests for the adversarial/constructed instance families."""
+
+import numpy as np
+import pytest
+
+from repro.capacity import PiecewiseConstantCapacity, TwoStateMarkovCapacity
+from repro.core import (
+    EDFScheduler,
+    VDoverScheduler,
+    all_individually_admissible,
+    greedy_admission,
+    is_feasible,
+)
+from repro.errors import InvalidInstanceError
+from repro.sim import simulate
+from repro.workload import feasible_instance, inadmissible_trap, locke_trap
+
+
+class TestInadmissibleTrap:
+    def test_structure(self):
+        jobs, cap = inadmissible_trap(10)
+        assert len(jobs) == 12  # trap + 10 unit jobs + rescue
+        trap = jobs[0]
+        assert not trap.is_individually_admissible(cap.lower)
+        assert all(
+            j.is_individually_admissible(cap.lower) for j in jobs[1:]
+        )
+
+    def test_ratio_decays(self):
+        """Theorem 3(3) realised: measured ratio shrinks like 1/n."""
+        ratios = []
+        for n in (5, 10, 20):
+            jobs, cap = inadmissible_trap(n)
+            online = simulate(jobs, cap, VDoverScheduler(k=float(n * n)))
+            offline, _ = greedy_admission(jobs, cap)
+            ratios.append(online.value / offline)
+        assert ratios[0] > ratios[1] > ratios[2]
+        assert ratios[-1] < 0.06
+
+    def test_removing_trap_restores_value(self):
+        """Without the inadmissible job the same stream is harvested."""
+        jobs, cap = inadmissible_trap(10)
+        clean = [j for j in jobs if j.is_individually_admissible(cap.lower)]
+        online = simulate(clean, cap, VDoverScheduler(k=7.0))
+        assert online.n_completed == len(clean)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(InvalidInstanceError):
+            inadmissible_trap(0)
+
+    def test_declared_upper_validated(self):
+        with pytest.raises(InvalidInstanceError):
+            inadmissible_trap(5, declared_upper=0.5)
+
+
+class TestLockeTrap:
+    def test_edf_collapses_vdover_does_not(self):
+        jobs, cap = locke_trap(10)
+        edf = simulate(jobs, cap, EDFScheduler(), validate=True)
+        vdover = simulate(jobs, cap, VDoverScheduler(k=300.0), validate=True)
+        assert edf.value < 1.0          # only the worthless shorts
+        assert vdover.value == pytest.approx(10.0)  # the big job
+        assert vdover.value > 10 * edf.value
+
+    def test_all_admissible(self):
+        jobs, cap = locke_trap(8)
+        assert all_individually_admissible(jobs, cap.lower)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(InvalidInstanceError):
+            locke_trap(1)
+        with pytest.raises(InvalidInstanceError):
+            locke_trap(5, short_value=0.0)
+
+
+class TestFeasibleInstance:
+    def test_always_feasible_constant(self):
+        cap = PiecewiseConstantCapacity([0.0], [1.0])
+        for seed in range(5):
+            jobs = feasible_instance(cap, n=8, horizon=40.0, rng=seed)
+            assert is_feasible(jobs, cap)
+
+    def test_always_feasible_varying(self):
+        for seed in range(5):
+            cap = TwoStateMarkovCapacity(1.0, 10.0, mean_sojourn=10.0, rng=seed)
+            jobs = feasible_instance(cap, n=10, horizon=60.0, rng=seed + 100)
+            assert is_feasible(jobs, cap)
+
+    def test_workloads_match_windows(self):
+        cap = PiecewiseConstantCapacity([0.0, 10.0], [1.0, 3.0])
+        jobs = feasible_instance(
+            cap, n=4, horizon=20.0, rng=1, max_release_lead=0.0, max_deadline_slack=0.0
+        )
+        # With zero lead/slack the jobs tile the horizon's work exactly.
+        assert sum(j.workload for j in jobs) == pytest.approx(
+            cap.integrate(0.0, 20.0)
+        )
+
+    def test_rejects_bad_params(self):
+        cap = PiecewiseConstantCapacity([0.0], [1.0])
+        with pytest.raises(InvalidInstanceError):
+            feasible_instance(cap, n=0, horizon=10.0)
+        with pytest.raises(InvalidInstanceError):
+            feasible_instance(cap, n=3, horizon=0.0)

@@ -1,0 +1,59 @@
+"""Unit tests for workload mixtures."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.workload import PeriodicTask, PeriodicWorkload, PoissonWorkload
+from repro.workload.mixture import MixtureWorkload
+
+
+@pytest.fixture
+def mixture():
+    return MixtureWorkload(
+        [
+            PoissonWorkload(lam=2.0, horizon=30.0, deadline_slack=2.0),
+            PeriodicWorkload([PeriodicTask(5.0, 1.0, 3.0)], horizon=30.0),
+        ]
+    )
+
+
+class TestMixture:
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MixtureWorkload([])
+
+    def test_contains_both_components(self, mixture):
+        jobs = mixture.generate(1)
+        # The periodic component alone contributes 6 jobs of value 3.0.
+        assert sum(1 for j in jobs if j.value == 3.0) == 6
+        assert len(jobs) > 6  # plus the Poisson stream
+
+    def test_sorted_with_sequential_ids(self, mixture):
+        jobs = mixture.generate(2)
+        assert [j.jid for j in jobs] == list(range(len(jobs)))
+        releases = [j.release for j in jobs]
+        assert releases == sorted(releases)
+
+    def test_deterministic(self, mixture):
+        assert mixture.generate(3) == mixture.generate(3)
+
+    def test_component_attribution(self, mixture):
+        jobs = mixture.generate(4)
+        periodic_ids = {j.jid for j in jobs if j.value == 3.0}
+        for jid in list(periodic_ids)[:3]:
+            assert mixture.component_of(4, jid) == 1
+        non_periodic = next(j.jid for j in jobs if j.value != 3.0)
+        assert mixture.component_of(4, non_periodic) == 0
+
+    def test_component_of_range_checked(self, mixture):
+        with pytest.raises(InvalidInstanceError):
+            mixture.component_of(4, 10_000)
+
+    def test_schedulable_end_to_end(self, mixture):
+        from repro.capacity import ConstantCapacity
+        from repro.core import VDoverScheduler
+        from repro.sim import simulate
+
+        jobs = mixture.generate(5)
+        result = simulate(jobs, ConstantCapacity(2.0), VDoverScheduler(k=9.0), validate=True)
+        assert result.n_completed > 0

@@ -1,0 +1,83 @@
+"""Unit tests for periodic task sets."""
+
+import pytest
+
+from repro.capacity import ConstantCapacity
+from repro.core import EDFScheduler, is_feasible
+from repro.errors import InvalidInstanceError
+from repro.sim import simulate
+from repro.workload import PeriodicTask, PeriodicWorkload
+
+
+class TestTask:
+    def test_valid(self):
+        t = PeriodicTask(period=5.0, demand=1.0, value_per_job=2.0)
+        assert t.relative_deadline is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(period=0.0, demand=1.0, value_per_job=1.0),
+            dict(period=5.0, demand=0.0, value_per_job=1.0),
+            dict(period=5.0, demand=1.0, value_per_job=-1.0),
+            dict(period=5.0, demand=1.0, value_per_job=1.0, offset=-1.0),
+            dict(period=5.0, demand=1.0, value_per_job=1.0, relative_deadline=0.0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(InvalidInstanceError):
+            PeriodicTask(**kwargs)
+
+
+class TestWorkload:
+    def test_unrolls_expected_count(self):
+        wl = PeriodicWorkload([PeriodicTask(2.0, 1.0, 1.0)], horizon=10.0)
+        jobs = wl.generate()
+        assert len(jobs) == 5  # releases at 0, 2, 4, 6, 8
+
+    def test_implicit_deadlines(self):
+        wl = PeriodicWorkload([PeriodicTask(2.0, 1.0, 1.0)], horizon=6.0)
+        for job in wl.generate():
+            assert job.relative_deadline == pytest.approx(2.0)
+
+    def test_offset(self):
+        wl = PeriodicWorkload([PeriodicTask(2.0, 1.0, 1.0, offset=1.0)], horizon=6.0)
+        assert wl.generate()[0].release == pytest.approx(1.0)
+
+    def test_utilization(self):
+        tasks = [PeriodicTask(4.0, 1.0, 1.0), PeriodicTask(2.0, 1.0, 1.0)]
+        wl = PeriodicWorkload(tasks, horizon=8.0)
+        assert wl.utilization(rate=1.0) == pytest.approx(0.75)
+        assert wl.utilization(rate=2.0) == pytest.approx(0.375)
+
+    def test_feasible_when_utilization_below_one(self):
+        """Liu & Layland: EDF schedules any implicit-deadline set with
+        utilization <= 1 on a unit processor."""
+        tasks = [
+            PeriodicTask(4.0, 1.0, 1.0),
+            PeriodicTask(5.0, 1.5, 1.0),
+            PeriodicTask(10.0, 2.0, 1.0),
+        ]
+        wl = PeriodicWorkload(tasks, horizon=40.0)
+        assert wl.utilization(1.0) <= 1.0
+        jobs = wl.generate()
+        assert is_feasible(jobs, ConstantCapacity(1.0))
+        result = simulate(jobs, ConstantCapacity(1.0), EDFScheduler(), validate=True)
+        assert result.n_completed == len(jobs)
+
+    def test_overutilized_set_infeasible(self):
+        tasks = [PeriodicTask(2.0, 1.5, 1.0), PeriodicTask(4.0, 2.0, 1.0)]
+        wl = PeriodicWorkload(tasks, horizon=16.0)
+        assert wl.utilization(1.0) > 1.0
+        assert not is_feasible(wl.generate(), ConstantCapacity(1.0))
+
+    def test_jitter_keeps_deadlines_anchored(self):
+        task = PeriodicTask(4.0, 1.0, 1.0)
+        wl = PeriodicWorkload([task], horizon=40.0, jitter=1.0)
+        for nominal, job in zip(range(0, 40, 4), wl.generate(42)):
+            assert nominal <= job.release <= nominal + 1.0
+            assert job.deadline == pytest.approx(nominal + 4.0)
+
+    def test_requires_tasks(self):
+        with pytest.raises(InvalidInstanceError):
+            PeriodicWorkload([], horizon=10.0)

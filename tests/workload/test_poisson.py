@@ -1,0 +1,85 @@
+"""Unit tests for the paper's Poisson workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.sim import importance_ratio
+from repro.workload import PoissonWorkload
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(lam=0.0, horizon=10.0),
+            dict(lam=1.0, horizon=0.0),
+            dict(lam=1.0, horizon=10.0, workload_mean=0.0),
+            dict(lam=1.0, horizon=10.0, density_range=(0.0, 7.0)),
+            dict(lam=1.0, horizon=10.0, density_range=(7.0, 1.0)),
+            dict(lam=1.0, horizon=10.0, c_lower=0.0),
+            dict(lam=1.0, horizon=10.0, deadline_slack=0.0),
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(InvalidInstanceError):
+            PoissonWorkload(**kwargs)
+
+    def test_paper_defaults(self):
+        wl = PoissonWorkload(lam=6.0, horizon=2000.0 / 6.0)
+        assert wl.importance_ratio_bound == pytest.approx(7.0)
+        assert wl.expected_jobs == pytest.approx(2000.0)
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        wl = PoissonWorkload(lam=5.0, horizon=50.0)
+        assert wl.generate(123) == wl.generate(123)
+
+    def test_different_seeds_differ(self):
+        wl = PoissonWorkload(lam=5.0, horizon=50.0)
+        assert wl.generate(1) != wl.generate(2)
+
+    def test_sorted_by_release_with_sequential_ids(self):
+        jobs = PoissonWorkload(lam=5.0, horizon=50.0).generate(7)
+        releases = [j.release for j in jobs]
+        assert releases == sorted(releases)
+        assert [j.jid for j in jobs] == list(range(len(jobs)))
+
+    def test_all_jobs_zero_conservative_laxity(self):
+        """The paper's deadline rule: d − r = p / c̲ exactly."""
+        jobs = PoissonWorkload(lam=5.0, horizon=50.0, c_lower=2.0).generate(11)
+        for job in jobs:
+            assert job.relative_deadline == pytest.approx(job.workload / 2.0)
+            assert job.is_individually_admissible(2.0)
+
+    def test_deadline_slack_loosens(self):
+        jobs = PoissonWorkload(
+            lam=5.0, horizon=50.0, deadline_slack=3.0
+        ).generate(13)
+        for job in jobs:
+            assert job.relative_deadline == pytest.approx(3.0 * job.workload)
+
+    def test_density_within_range(self):
+        jobs = PoissonWorkload(lam=20.0, horizon=50.0).generate(17)
+        for job in jobs:
+            assert 1.0 - 1e-9 <= job.density <= 7.0 + 1e-9
+        assert importance_ratio(jobs) <= 7.0 + 1e-9
+
+    def test_job_count_statistics(self):
+        wl = PoissonWorkload(lam=10.0, horizon=100.0)
+        counts = [len(wl.generate(seed)) for seed in range(30)]
+        mean = np.mean(counts)
+        # Poisson(1000): mean 1000, sd ~31.6; 30 samples -> se ~5.8.
+        assert abs(mean - 1000.0) < 30.0
+
+    def test_workload_mean_statistics(self):
+        jobs = PoissonWorkload(lam=40.0, horizon=100.0).generate(19)
+        mean = np.mean([j.workload for j in jobs])
+        assert abs(mean - 1.0) < 0.1
+
+    def test_accepts_generator_instance(self):
+        wl = PoissonWorkload(lam=5.0, horizon=20.0)
+        rng = np.random.default_rng(5)
+        jobs = wl.generate(rng)
+        assert jobs  # consumed from the provided generator

@@ -1,0 +1,66 @@
+"""Unit tests for instance replay and (de)serialisation."""
+
+import pytest
+
+from repro.capacity import PiecewiseConstantCapacity
+from repro.errors import InvalidInstanceError
+from repro.sim import Job
+from repro.workload import (
+    ReplayWorkload,
+    jobs_from_records,
+    jobs_to_records,
+    load_instance,
+    save_instance,
+)
+
+
+JOBS = [
+    Job(1, 2.0, 1.0, 5.0, 3.0),
+    Job(0, 0.0, 2.0, 4.0, 1.5),
+]
+
+
+class TestRecords:
+    def test_roundtrip(self):
+        assert jobs_from_records(jobs_to_records(JOBS)) == JOBS
+
+    def test_missing_field(self):
+        with pytest.raises(InvalidInstanceError):
+            jobs_from_records([{"jid": 0, "release": 0.0}])
+
+    def test_invalid_values_validated(self):
+        records = jobs_to_records(JOBS)
+        records[0]["workload"] = -1.0
+        with pytest.raises(InvalidInstanceError):
+            jobs_from_records(records)
+
+
+class TestReplayWorkload:
+    def test_returns_sorted_copy(self):
+        wl = ReplayWorkload(JOBS)
+        out = wl.generate()
+        assert [j.jid for j in out] == [0, 1]  # sorted by release
+        assert wl.generate() == out  # stable across calls
+
+    def test_ignores_rng(self):
+        wl = ReplayWorkload(JOBS)
+        assert wl.generate(1) == wl.generate(999)
+
+
+class TestFileRoundtrip:
+    def test_jobs_only(self, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(path, JOBS)
+        jobs, capacity = load_instance(path)
+        assert jobs == JOBS
+        assert capacity is None
+
+    def test_with_capacity(self, tmp_path):
+        path = tmp_path / "instance.json"
+        cap = PiecewiseConstantCapacity([0.0, 5.0], [1.0, 3.0], lower=0.5, upper=4.0)
+        save_instance(path, JOBS, cap)
+        jobs, loaded = load_instance(path)
+        assert loaded is not None
+        assert loaded.breakpoints == cap.breakpoints
+        assert loaded.rates == cap.rates
+        assert (loaded.lower, loaded.upper) == (0.5, 4.0)

@@ -1,0 +1,99 @@
+"""Unit tests for the SWF importer."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.workload.swf import parse_swf, swf_to_jobs
+
+# A small, well-formed SWF fragment: job_id submit wait run procs ...
+SWF_TEXT = """\
+; SWF header comment
+; MaxJobs: 5
+1 100 5 60 4 0 0 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+2 160 0 120 2 0 0 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+3 200 9 -1 8 0 0 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+4 220 0 30 -1 0 0 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+5 250 2 10 1 0 0 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+"""
+
+
+class TestParse:
+    def test_parses_all_data_lines(self):
+        records = parse_swf(SWF_TEXT)
+        assert len(records) == 5
+        assert records[0].job_id == 1
+        assert records[0].submit == 100.0
+        assert records[0].run_time == 60.0
+        assert records[0].processors == 4
+
+    def test_comments_and_blanks_ignored(self):
+        assert parse_swf("; nothing\n\n;x\n") == []
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(InvalidInstanceError, match="line 1"):
+            parse_swf("1 2 3\n")
+        with pytest.raises(InvalidInstanceError):
+            parse_swf("a b c d e\n")
+
+
+class TestConvert:
+    def test_unknown_fields_skipped_and_reported(self):
+        report = swf_to_jobs(SWF_TEXT, rng=0)
+        assert report.n_lines == 5
+        assert report.n_parsed == 3  # jobs 3 and 4 have -1 fields
+        assert report.n_skipped == 2
+
+    def test_workload_is_node_seconds(self):
+        report = swf_to_jobs(SWF_TEXT, rng=0)
+        first = report.jobs[0]
+        assert first.workload == pytest.approx(60.0 * 4)
+
+    def test_release_normalised_to_zero(self):
+        report = swf_to_jobs(SWF_TEXT, rng=0)
+        assert report.jobs[0].release == 0.0
+        assert report.jobs[1].release == pytest.approx(60.0)
+
+    def test_time_scale(self):
+        report = swf_to_jobs(SWF_TEXT, rng=0, time_scale=0.5)
+        assert report.jobs[1].release == pytest.approx(30.0)
+
+    def test_jobs_individually_admissible(self):
+        report = swf_to_jobs(SWF_TEXT, rng=0, c_lower=2.0)
+        for job in report.jobs:
+            assert job.is_individually_admissible(2.0)
+
+    def test_density_range_respected(self):
+        report = swf_to_jobs(SWF_TEXT, rng=1, density_range=(2.0, 3.0))
+        for job in report.jobs:
+            assert 2.0 - 1e-9 <= job.density <= 3.0 + 1e-9
+
+    def test_reproducible(self):
+        a = swf_to_jobs(SWF_TEXT, rng=42)
+        b = swf_to_jobs(SWF_TEXT, rng=42)
+        assert a.jobs == b.jobs
+
+    def test_file_source(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text(SWF_TEXT)
+        report = swf_to_jobs(str(path), rng=0)
+        assert report.n_parsed == 3
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            swf_to_jobs(SWF_TEXT, slack_range=(0.5, 2.0))
+        with pytest.raises(InvalidInstanceError):
+            swf_to_jobs(SWF_TEXT, density_range=(0.0, 1.0))
+        with pytest.raises(InvalidInstanceError):
+            swf_to_jobs(SWF_TEXT, c_lower=0.0)
+
+    def test_end_to_end_schedulable(self):
+        from repro.capacity import ConstantCapacity
+        from repro.core import VDoverScheduler
+        from repro.sim import simulate
+
+        report = swf_to_jobs(SWF_TEXT, rng=3, work_scale=0.01)
+        result = simulate(
+            list(report.jobs), ConstantCapacity(2.0), VDoverScheduler(k=7.0),
+            validate=True,
+        )
+        assert result.n_completed + result.n_failed == len(report.jobs)
