@@ -2,10 +2,12 @@
 
 The scheduler sees only the declared bounds and the past of the trajectory;
 the simulation engine is clairvoyant.  See :class:`CapacityFunction` for the
-interface contract.
+interface contract, :mod:`repro.capacity.prefix` for the shared O(log n)
+prefix-sum capacity index, and docs/PERFORMANCE.md for the invariants
+consumers rely on.
 """
 
-from repro.capacity.base import CapacityFunction, Piece
+from repro.capacity.base import CapacityFunction, Piece, ensure_band, within_band
 from repro.capacity.combinators import (
     ClampedCapacity,
     ScaledCapacity,
@@ -15,18 +17,30 @@ from repro.capacity.combinators import (
 from repro.capacity.constant import ConstantCapacity
 from repro.capacity.markov import MarkovModulatedCapacity, TwoStateMarkovCapacity
 from repro.capacity.piecewise import PiecewiseConstantCapacity
+from repro.capacity.prefix import (
+    PrefixIndexedCapacity,
+    crosscheck_index,
+    naive_advance,
+    naive_integrate,
+)
 from repro.capacity.sinusoidal import SinusoidalCapacity
 from repro.capacity.trace import TraceCapacity, sample_function
 
 __all__ = [
     "CapacityFunction",
     "Piece",
+    "ensure_band",
+    "within_band",
     "ClampedCapacity",
     "ScaledCapacity",
     "ShiftedCapacity",
     "SummedCapacity",
     "ConstantCapacity",
     "PiecewiseConstantCapacity",
+    "PrefixIndexedCapacity",
+    "crosscheck_index",
+    "naive_advance",
+    "naive_integrate",
     "MarkovModulatedCapacity",
     "TwoStateMarkovCapacity",
     "SinusoidalCapacity",

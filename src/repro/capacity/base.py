@@ -22,6 +22,21 @@ All shipped models are piecewise-constant, which makes ``integrate`` and
 ``advance`` exact.  A genuinely continuous model can participate by
 discretising itself in :meth:`pieces` (see :class:`repro.capacity.trace.
 TraceCapacity` which does exactly this for sampled traces).
+
+The default :meth:`CapacityFunction.integrate` / :meth:`CapacityFunction.
+advance` implementations scan :meth:`pieces` linearly — they are the
+*naive reference semantics* against which the O(log n) prefix-sum index in
+:mod:`repro.capacity.prefix` is cross-checked.  Piecewise-backed models
+override them with the indexed versions; see ``docs/PERFORMANCE.md``.
+
+Bound-tolerance semantics
+-------------------------
+Declared bounds are routinely *derived* floats (``total − k·vm_size``,
+``factor · upper``, …) and can drift from the realized rates by ~1 ulp.
+All band-membership validation therefore goes through :func:`ensure_band` /
+:func:`within_band`, which accept violations within a relative tolerance of
+``1e-12`` (and absolute ``1e-12`` near zero).  Genuine violations still
+raise :class:`~repro.errors.CapacityError`.
 """
 
 from __future__ import annotations
@@ -32,10 +47,69 @@ from typing import Iterator, Tuple
 
 from repro.errors import CapacityError
 
-__all__ = ["CapacityFunction", "Piece"]
+__all__ = [
+    "CapacityFunction",
+    "Piece",
+    "within_band",
+    "ensure_band",
+    "BAND_REL_TOL",
+    "BAND_ABS_TOL",
+]
 
 #: A maximal interval of constant rate: ``(start, end, rate)``.
 Piece = Tuple[float, float, float]
+
+#: Relative tolerance for band-membership checks on derived floats.  One
+#: ulp of a double is ~2.2e-16 relative; 1e-12 forgives accumulated
+#: arithmetic drift (a few thousand ulps) while still catching real
+#: violations, which in practice are off by whole rate quanta.
+BAND_REL_TOL = 1e-12
+
+#: Absolute tolerance companion for values near zero.
+BAND_ABS_TOL = 1e-12
+
+
+def within_band(
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    rel_tol: float = BAND_REL_TOL,
+    abs_tol: float = BAND_ABS_TOL,
+) -> bool:
+    """Tolerance-aware band membership: ``value ∈ [lo, hi]`` up to ulp drift.
+
+    Exact containment passes; otherwise the value must be within
+    ``math.isclose(…, rel_tol, abs_tol)`` of the violated edge.  This is the
+    shared check for every constructor that compares *derived* floats
+    against declared bounds (see module docstring).
+    """
+    if lo <= value <= hi:
+        return True
+    edge = lo if value < lo else hi
+    return math.isclose(value, edge, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def ensure_band(
+    lo: float,
+    hi: float,
+    realized_min: float,
+    realized_max: float,
+    *,
+    what: str = "realized rates",
+    rel_tol: float = BAND_REL_TOL,
+    abs_tol: float = BAND_ABS_TOL,
+) -> None:
+    """Raise :class:`CapacityError` unless ``[realized_min, realized_max]``
+    is contained in the declared band ``[lo, hi]`` up to tolerance."""
+    if not (
+        within_band(realized_min, lo, hi, rel_tol=rel_tol, abs_tol=abs_tol)
+        and within_band(realized_max, lo, hi, rel_tol=rel_tol, abs_tol=abs_tol)
+    ):
+        raise CapacityError(
+            f"declared bounds [{lo}, {hi}] do not contain {what} "
+            f"[{realized_min}, {realized_max}]"
+        )
 
 
 class CapacityFunction(abc.ABC):
@@ -54,14 +128,30 @@ class CapacityFunction(abc.ABC):
         the past of the trajectory; they must never peek at future pieces.
     """
 
+    #: True for models whose ``integrate``/``advance`` are backed by the
+    #: prefix-sum index of :mod:`repro.capacity.prefix` (and hence expose a
+    #: ``cumulative`` method with ``integrate(a, b) == cumulative(b) −
+    #: cumulative(a)`` bit-for-bit).  Consumers such as the simulation
+    #: engine and :class:`repro.core.transform.StretchTransform` use this
+    #: to take the indexed fast path.
+    supports_prefix_index: bool = False
+
     def __init__(self, lower: float, upper: float) -> None:
+        lower = float(lower)
+        upper = float(upper)
+        # Derived bounds (sums, products of declared bounds) can land one
+        # ulp out of order; snap instead of rejecting (see module docstring).
+        if lower > upper and math.isclose(
+            lower, upper, rel_tol=BAND_REL_TOL, abs_tol=BAND_ABS_TOL
+        ):
+            lower = upper
         if not (0.0 < lower <= upper):
             raise CapacityError(
                 f"capacity bounds must satisfy 0 < lower <= upper, "
                 f"got lower={lower!r}, upper={upper!r}"
             )
-        self._lower = float(lower)
-        self._upper = float(upper)
+        self._lower = lower
+        self._upper = upper
 
     # ------------------------------------------------------------------
     # Declared bounds
@@ -105,7 +195,14 @@ class CapacityFunction(abc.ABC):
     # ------------------------------------------------------------------
     def integrate(self, t0: float, t1: float) -> float:
         """Return ``∫_{t0}^{t1} c(τ) dτ`` — the workload processable in
-        ``[t0, t1]``.  Raises :class:`CapacityError` if ``t1 < t0``."""
+        ``[t0, t1]``.  Raises :class:`CapacityError` if ``t1 < t0``.
+
+        This default is a linear front-to-back scan of :meth:`pieces` —
+        the *naive reference* implementation.  Piecewise-backed models
+        override it with the O(log n) prefix-sum index (see
+        :mod:`repro.capacity.prefix`, which also re-exports this scan as
+        :func:`~repro.capacity.prefix.naive_integrate` for cross-checks).
+        """
         if t1 < t0:
             raise CapacityError(f"reversed interval: [{t0}, {t1}]")
         total = 0.0

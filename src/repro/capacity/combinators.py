@@ -10,11 +10,27 @@ so all engine queries stay closed-form.
 * :class:`ShiftedCapacity` — ``c(t - t0)`` (phase-aligning traces);
 * :class:`SummedCapacity`  — ``c1(t) + c2(t)`` (pooling servers);
 * :class:`ClampedCapacity` — ``min(max(c(t), lo), hi)`` (rate caps/floors).
+
+Index composition
+-----------------
+Where the algebra permits, a combinator *composes* its inner model's
+prefix-sum index (:mod:`repro.capacity.prefix`) instead of rescanning
+pieces linearly:
+
+* ``ScaledCapacity``: ``∫ a·c = a·∫ c`` and ``advance(t, w)`` on ``a·c``
+  equals ``advance(t, w/a)`` on ``c`` — pure delegation, O(log n);
+* ``ShiftedCapacity``: the head ``[0, shift)`` is one constant piece; the
+  tail delegates to the inner index with a time offset;
+* ``SummedCapacity`` / ``ClampedCapacity``: the sum/clamp of indexed
+  trajectories has no composable closed form (clamping is non-linear;
+  summation needs the union grid), so they keep the *safe fallback* — the
+  naive piece-scan of :class:`~repro.capacity.base.CapacityFunction` —
+  but still get O(log n) ``next_change`` by delegating to their parts.
 """
 
 from __future__ import annotations
 
-import heapq
+import math
 from typing import Iterator, Sequence
 
 from repro.capacity.base import CapacityFunction, Piece
@@ -29,7 +45,11 @@ __all__ = [
 
 
 class ScaledCapacity(CapacityFunction):
-    """``factor * inner(t)`` with ``factor > 0``."""
+    """``factor * inner(t)`` with ``factor > 0``.
+
+    All queries delegate to the inner model (index composition): if the
+    inner model is prefix-indexed, every query here is O(log n) too.
+    """
 
     def __init__(self, inner: CapacityFunction, factor: float) -> None:
         if factor <= 0.0:
@@ -48,10 +68,25 @@ class ScaledCapacity(CapacityFunction):
     def integrate(self, t0: float, t1: float) -> float:
         return self._factor * self._inner.integrate(t0, t1)
 
+    def advance(self, t0: float, work: float, horizon: float = math.inf) -> float:
+        if work < 0.0:
+            raise CapacityError(f"negative workload: {work!r}")
+        # ∫ factor·c = work  ⇔  ∫ c = work / factor: delegate to the
+        # inner model's (possibly indexed) inverse integral.
+        return self._inner.advance(t0, work / self._factor, horizon)
+
+    def next_change(self, t: float, horizon: float) -> float:
+        return self._inner.next_change(t, horizon)
+
 
 class ShiftedCapacity(CapacityFunction):
     """``inner(t - shift)`` for ``t >= shift``; before the shift the rate
-    is pinned at ``inner(0)`` (the trace hasn't started yet)."""
+    is pinned at ``inner(0)`` (the trace hasn't started yet).
+
+    ``integrate``/``advance`` split at the shift: the head is a single
+    constant piece (closed form), the tail delegates to the inner model's
+    (possibly indexed) queries with a time offset.
+    """
 
     def __init__(self, inner: CapacityFunction, shift: float) -> None:
         if shift < 0.0:
@@ -77,10 +112,58 @@ class ShiftedCapacity(CapacityFunction):
         for start, end, rate in self._inner.pieces(t0 - self._shift, t1 - self._shift):
             yield (start + self._shift, end + self._shift, rate)
 
+    def integrate(self, t0: float, t1: float) -> float:
+        if t1 < t0:
+            raise CapacityError(f"reversed interval: [{t0}, {t1}]")
+        s = self._shift
+        head = 0.0
+        if t0 < s:
+            head_end = min(s, t1)
+            head = (head_end - t0) * self._inner.value(0.0)
+            t0 = head_end
+        if t0 >= t1:
+            return head
+        return head + self._inner.integrate(t0 - s, t1 - s)
+
+    def advance(self, t0: float, work: float, horizon: float = math.inf) -> float:
+        if work < 0.0:
+            raise CapacityError(f"negative workload: {work!r}")
+        if work == 0.0:
+            return t0
+        s = self._shift
+        if t0 < s:
+            v0 = self._inner.value(0.0)
+            head_cap = (s - t0) * v0
+            if head_cap >= work - 1e-15:
+                t = max(t0, t0 + work / v0)
+                return t if t <= horizon else math.inf
+            work -= head_cap
+            t0 = s
+        inner_horizon = horizon - s if math.isfinite(horizon) else math.inf
+        t = self._inner.advance(t0 - s, work, inner_horizon)
+        if not math.isfinite(t):
+            return math.inf
+        t += s
+        return t if t <= horizon else math.inf
+
+    def next_change(self, t: float, horizon: float) -> float:
+        if t < self._shift:
+            # First discontinuity at/after the shift comes from the inner
+            # model's own grid starting at inner-time 0.
+            return min(self._shift, horizon) if self._shift > t else horizon
+        nc = self._inner.next_change(t - self._shift, horizon - self._shift)
+        return min(nc + self._shift, horizon)
+
 
 class SummedCapacity(CapacityFunction):
     """Pointwise sum of several capacities (a pooled fleet seen as one
-    processor — the fluid upper bound for cluster scheduling)."""
+    processor — the fluid upper bound for cluster scheduling).
+
+    ``integrate`` distributes over the sum, so each part's (possibly
+    indexed) integral is queried directly.  ``advance`` has no composable
+    closed form over the union grid and keeps the safe piece-scan
+    fallback of the base class.
+    """
 
     def __init__(self, parts: Sequence[CapacityFunction]) -> None:
         if not parts:
@@ -108,11 +191,25 @@ class SummedCapacity(CapacityFunction):
                 continue
             yield (start, end, self.value(start))
 
+    def integrate(self, t0: float, t1: float) -> float:
+        if t1 < t0:
+            raise CapacityError(f"reversed interval: [{t0}, {t1}]")
+        return sum(p.integrate(t0, t1) for p in self._parts)
+
+    def next_change(self, t: float, horizon: float) -> float:
+        return min(p.next_change(t, horizon) for p in self._parts)
+
 
 class ClampedCapacity(CapacityFunction):
     """``min(max(inner(t), floor), ceiling)`` — a provider-imposed rate cap
     plus a guaranteed floor.  Note integration is done piece-by-piece on
-    the clamped rates (exact, since clamping preserves piecewise-constancy)."""
+    the clamped rates (exact, since clamping preserves piecewise-constancy).
+
+    Clamping is non-linear, so the inner model's prefix-sum index cannot
+    be composed; ``integrate``/``advance`` keep the safe piece-scan
+    fallback, while ``next_change`` delegates (clamping preserves the
+    inner breakpoint grid).
+    """
 
     def __init__(
         self, inner: CapacityFunction, floor: float, ceiling: float
@@ -137,3 +234,6 @@ class ClampedCapacity(CapacityFunction):
     def pieces(self, t0: float, t1: float) -> Iterator[Piece]:
         for start, end, rate in self._inner.pieces(t0, t1):
             yield (start, end, self._clamp(rate))
+
+    def next_change(self, t: float, horizon: float) -> float:
+        return self._inner.next_change(t, horizon)

@@ -10,7 +10,11 @@ Trajectories are sampled lazily and memoized: the realized path is extended
 (with the owned :class:`numpy.random.Generator`) only as far as queries
 require, so repeated queries are consistent within a run and two runs with
 the same seed see the same path regardless of query order along increasing
-time.
+time.  The path doubles as the shared prefix-sum capacity index
+(:class:`repro.capacity.prefix.PrefixIndexedCapacity`): the cumulative-work
+array ``W`` grows append-only with the breakpoints, so ``integrate`` and
+``advance`` stay ``O(log n)`` however long the realized path gets — this is
+the incremental-extension side of the index contract (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -21,13 +25,14 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.capacity.base import CapacityFunction, Piece
+from repro.capacity.base import Piece, ensure_band
+from repro.capacity.prefix import PrefixIndexedCapacity
 from repro.errors import CapacityError
 
 __all__ = ["MarkovModulatedCapacity", "TwoStateMarkovCapacity"]
 
 
-class MarkovModulatedCapacity(CapacityFunction):
+class MarkovModulatedCapacity(PrefixIndexedCapacity):
     """Capacity following a continuous-time Markov chain over finite rates.
 
     Parameters
@@ -45,6 +50,11 @@ class MarkovModulatedCapacity(CapacityFunction):
         Index of the state occupied at ``t = 0``.
     rng:
         Seed or :class:`numpy.random.Generator` driving the sample path.
+    lower, upper:
+        Optional declared bounds of the capacity input set (default: the
+        min/max state rate).  May be wider than the state rates; must
+        contain them up to the shared 1e-12 relative tolerance for
+        derived-float drift (see :mod:`repro.capacity.base`).
     """
 
     def __init__(
@@ -55,6 +65,8 @@ class MarkovModulatedCapacity(CapacityFunction):
         transitions: Sequence[Sequence[float]] | None = None,
         initial_state: int = 0,
         rng: np.random.Generator | int | None = None,
+        lower: float | None = None,
+        upper: float | None = None,
     ) -> None:
         if len(rates) < 2:
             raise CapacityError("a Markov capacity needs at least two states")
@@ -87,13 +99,18 @@ class MarkovModulatedCapacity(CapacityFunction):
         if not 0 <= initial_state < n:
             raise CapacityError(f"initial_state {initial_state} out of range")
 
-        super().__init__(min(state_rates), max(state_rates))
+        lo = min(state_rates) if lower is None else float(lower)
+        hi = max(state_rates) if upper is None else float(upper)
+        ensure_band(lo, hi, min(state_rates), max(state_rates),
+                    what="state rates")
+        super().__init__(lo, hi)
         self._state_rates = state_rates
         self._sojourns = sojourns
         self._kernel = kernel
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
-        # Materialized sample path (grown lazily, append-only).
+        # Materialized sample path == prefix-sum index (grown lazily,
+        # append-only; see PrefixIndexedCapacity's extension contract).
         self._bp: list[float] = [0.0]
         self._states: list[int] = [initial_state]
         self._cum: list[float] = [0.0]
@@ -111,7 +128,7 @@ class MarkovModulatedCapacity(CapacityFunction):
         self._frontier = self._bp[-1] + self._rng.exponential(self._sojourns[state])
 
     def _ensure(self, t: float) -> None:
-        """Materialize the path at least up to time ``t`` (inclusive)."""
+        """Materialize the path (and its index) at least up to ``t``."""
         while self._frontier <= t:
             state = self._states[-1]
             start = self._bp[-1]
@@ -122,9 +139,15 @@ class MarkovModulatedCapacity(CapacityFunction):
             self._states.append(nxt)
             self._sample_next_sojourn()
 
-    def _index(self, t: float) -> int:
+    # Index hooks -------------------------------------------------------
+    def _materialize(self, t: float) -> None:
         self._ensure(t)
-        return max(0, bisect_right(self._bp, t) - 1)
+
+    def _rate_at(self, i: int) -> float:
+        return self._state_rates[self._states[i]]
+
+    def _index(self, t: float) -> int:
+        return self.segment_index(t)
 
     # ------------------------------------------------------------------
     # CapacityFunction interface
@@ -152,48 +175,17 @@ class MarkovModulatedCapacity(CapacityFunction):
             start = end
             i += 1
 
-    def cumulative(self, t: float) -> float:
-        """Prefix integral ``∫_0^t c`` over the realized path."""
-        if t < 0.0:
-            raise CapacityError(f"capacity undefined for t < 0: {t!r}")
-        i = self._index(t)
-        return self._cum[i] + (t - self._bp[i]) * self._state_rates[self._states[i]]
+    # integrate / advance / cumulative / next_change: O(log n) via the
+    # shared prefix-sum index (PrefixIndexedCapacity); materialization is
+    # driven through the _materialize hook above.
 
-    def integrate(self, t0: float, t1: float) -> float:
-        if t1 < t0:
-            raise CapacityError(f"reversed interval: [{t0}, {t1}]")
-        return self.cumulative(t1) - self.cumulative(t0)
+    @property
+    def breakpoints_materialized(self) -> tuple[float, ...]:
+        """Breakpoints of the realized path materialized so far.
 
-    def advance(self, t0: float, work: float, horizon: float = math.inf) -> float:
-        if work < 0.0:
-            raise CapacityError(f"negative workload: {work!r}")
-        if work == 0.0:
-            return t0
-        # c >= lower > 0 bounds the completion time, so materialize that far.
-        limit = t0 + work / self.lower
-        if horizon < limit:
-            limit = horizon
-        self._ensure(limit)
-        target = self.cumulative(t0) + work
-        i = max(0, bisect_right(self._bp, t0) - 1)
-        while i + 1 < len(self._bp) and self._cum[i + 1] < target - 1e-15:
-            i += 1
-        # max() guards against one-ulp drift below t0 (see piecewise model).
-        t = max(
-            t0,
-            self._bp[i] + (target - self._cum[i]) / self._state_rates[self._states[i]],
-        )
-        return t if t <= horizon else math.inf
-
-    def next_change(self, t: float, horizon: float) -> float:
-        if math.isfinite(horizon):
-            self._ensure(horizon)
-        else:
-            self._ensure(t)
-        i = bisect_right(self._bp, t)
-        if i < len(self._bp) and self._bp[i] < horizon:
-            return self._bp[i]
-        return horizon
+        Append-only: indices of previously observed entries never change
+        (the prefix-sum index's incremental-extension contract)."""
+        return tuple(self._bp)
 
     # ------------------------------------------------------------------
     def realized_path(self, horizon: float) -> list[Piece]:

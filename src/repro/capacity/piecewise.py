@@ -3,9 +3,15 @@
 This is the workhorse representation: the CTMC model of the paper's
 Section IV, trace-driven models, and the residual capacity left by primary
 cloud jobs all reduce to a sorted list of ``(breakpoint, rate)`` pairs.
-Lookups use binary search (:func:`bisect.bisect_right`), so a query is
-``O(log n)`` in the number of breakpoints and iteration over ``pieces`` is
-``O(k)`` in the number of pieces returned.
+All queries go through the shared prefix-sum index
+(:class:`repro.capacity.prefix.PrefixIndexedCapacity`): ``integrate`` and
+``advance`` are ``O(log n)`` bisections on the cumulative-work array and
+iteration over ``pieces`` is ``O(k)`` in the number of pieces returned.
+
+Bound validation is tolerance-aware (relative ε ≈ 1e-12, via
+:func:`repro.capacity.base.ensure_band`): declared bounds are routinely
+*derived* floats that can drift ~1 ulp from the realized rates, and such
+drift must not reject a legitimate instance.
 """
 
 from __future__ import annotations
@@ -14,13 +20,14 @@ import math
 from bisect import bisect_right
 from typing import Iterator, Sequence, Tuple
 
-from repro.capacity.base import CapacityFunction, Piece
+from repro.capacity.base import Piece, ensure_band
+from repro.capacity.prefix import PrefixIndexedCapacity, build_prefix
 from repro.errors import CapacityError
 
 __all__ = ["PiecewiseConstantCapacity"]
 
 
-class PiecewiseConstantCapacity(CapacityFunction):
+class PiecewiseConstantCapacity(PrefixIndexedCapacity):
     """Capacity that is constant between sorted breakpoints.
 
     Parameters
@@ -35,7 +42,8 @@ class PiecewiseConstantCapacity(CapacityFunction):
         Declared bounds of the capacity input set.  Default to the min/max
         of ``rates``.  The declared bounds may be wider than the realized
         trajectory (the scheduler only ever learns the declaration) but must
-        contain every rate.
+        contain every rate — up to the shared 1e-12 relative tolerance for
+        derived-float drift (see :mod:`repro.capacity.base`).
     """
 
     def __init__(
@@ -66,19 +74,12 @@ class PiecewiseConstantCapacity(CapacityFunction):
                 raise CapacityError(f"non-positive rate: {r!r}")
         lo = min(rt) if lower is None else float(lower)
         hi = max(rt) if upper is None else float(upper)
-        if lo > min(rt) or hi < max(rt):
-            raise CapacityError(
-                f"declared bounds [{lo}, {hi}] do not contain realized rates "
-                f"[{min(rt)}, {max(rt)}]"
-            )
+        ensure_band(lo, hi, min(rt), max(rt))
         super().__init__(lo, hi)
         self._bp = bp
         self._rates = rt
-        # Prefix integrals: cum[i] = ∫_0^{bp[i]} c.
-        cum = [0.0]
-        for i in range(1, len(bp)):
-            cum.append(cum[-1] + (bp[i] - bp[i - 1]) * rt[i - 1])
-        self._cum = cum
+        # Prefix-sum index: cum[i] = ∫_0^{bp[i]} c (see capacity/prefix.py).
+        self._cum = build_prefix(bp, rt)
 
     # ------------------------------------------------------------------
     @property
@@ -88,6 +89,9 @@ class PiecewiseConstantCapacity(CapacityFunction):
     @property
     def rates(self) -> Tuple[float, ...]:
         return tuple(self._rates)
+
+    def _rate_at(self, i: int) -> float:
+        return self._rates[i]
 
     def _index(self, t: float) -> int:
         """Index of the piece containing ``t`` (pieces close on the left)."""
@@ -115,39 +119,8 @@ class PiecewiseConstantCapacity(CapacityFunction):
             start = end
             i += 1
 
-    def cumulative(self, t: float) -> float:
-        """Exact prefix integral ``∫_0^t c`` using the precomputed table."""
-        if t < 0.0:
-            raise CapacityError(f"capacity undefined for t < 0: {t!r}")
-        i = self._index(t)
-        return self._cum[i] + (t - self._bp[i]) * self._rates[i]
-
-    def integrate(self, t0: float, t1: float) -> float:
-        if t1 < t0:
-            raise CapacityError(f"reversed interval: [{t0}, {t1}]")
-        return self.cumulative(t1) - self.cumulative(t0)
-
-    def advance(self, t0: float, work: float, horizon: float = math.inf) -> float:
-        if work < 0.0:
-            raise CapacityError(f"negative workload: {work!r}")
-        if work == 0.0:
-            return t0
-        target = self.cumulative(t0) + work
-        # Find the piece in which the cumulative integral reaches `target`.
-        i = self._index(t0)
-        n = len(self._bp)
-        while i + 1 < n and self._cum[i + 1] < target - 1e-15:
-            i += 1
-        # max() guards against t drifting one ulp below t0 when `work` is
-        # tiny relative to the prefix integral (division rounding).
-        t = max(t0, self._bp[i] + (target - self._cum[i]) / self._rates[i])
-        return t if t <= horizon else math.inf
-
-    def next_change(self, t: float, horizon: float) -> float:
-        i = bisect_right(self._bp, t)
-        if i < len(self._bp) and self._bp[i] < horizon:
-            return self._bp[i]
-        return horizon
+    # integrate / advance / cumulative / next_change: O(log n) via the
+    # shared prefix-sum index (PrefixIndexedCapacity).
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

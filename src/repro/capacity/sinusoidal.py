@@ -11,11 +11,20 @@ samples it onto a uniform piecewise-constant grid so that all engine
 queries stay exact.  The grid resolution trades fidelity for speed; the
 default of 64 steps per period keeps the discretisation error of the
 integral under 0.1% for the experiments shipped here.
+
+Because the quantised approximation is periodic, its prefix-sum capacity
+index (see :mod:`repro.capacity.prefix`) collapses to a *segment cache*
+over a single period: a cumulative-work array ``pref[i] = ∫₀^{i·dt} c``
+plus the total work per period.  ``cumulative`` is then O(1) (whole
+periods in closed form, the remainder via the cache) and ``advance`` is
+one :func:`bisect.bisect_right` inside the cached period — no linear
+rescan of grid cells, no matter how far out the query lands.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from typing import Iterator
 
 from repro.capacity.base import CapacityFunction, Piece
@@ -31,6 +40,9 @@ class SinusoidalCapacity(CapacityFunction):
     ----------
     low, high:
         Extremes of the sinusoid; these are also the declared bounds.
+        Step values are clamped into ``[low, high]`` so that 1-ulp
+        arithmetic drift in ``mid ± amp·sin(…)`` can never violate the
+        declared band.
     period:
         Period of the oscillation.
     phase:
@@ -38,6 +50,8 @@ class SinusoidalCapacity(CapacityFunction):
     steps_per_period:
         Number of constant pieces used to discretise one period.
     """
+
+    supports_prefix_index = True
 
     def __init__(
         self,
@@ -61,18 +75,52 @@ class SinusoidalCapacity(CapacityFunction):
         self._phase = float(phase)
         self._n = int(steps_per_period)
         self._dt = self._period / self._n
-        # Precompute one period of step values (midpoint rule per step).
+        # Precompute one period of step values (midpoint rule per step),
+        # clamped into the declared band (audit: derived floats may drift
+        # one ulp past [low, high]).
         self._steps = [
-            self._analytic(self._dt * (i + 0.5)) for i in range(self._n)
+            min(max(self._analytic(self._dt * (i + 0.5)), low), high)
+            for i in range(self._n)
         ]
+        # Segment cache: prefix sums over one period's grid cells.
+        # pref[i] = ∫_0^{i·dt} c;  pref[n] = work per full period.
+        pref = [0.0]
+        for v in self._steps:
+            pref.append(pref[-1] + self._dt * v)
+        self._pref = pref
+        self._period_work = pref[-1]
 
     def _analytic(self, t: float) -> float:
         return self._mid - self._amp * math.sin(
             2.0 * math.pi * (t - self._phase) / self._period
         )
 
+    def _cell(self, rem: float) -> int:
+        """Grid-cell index of a period remainder, in ``[0, n]``.
+
+        Cell boundaries are the floats ``fl(i·dt)``, which can land an ulp
+        *below* the real product; re-dividing such a boundary by ``dt``
+        then yields a quotient a few ulps under ``i`` and a truncating
+        ``int`` would misfile the whole next cell under the previous step.
+        The snap is therefore *relative* (one part in 10⁹ of a cell), so
+        every routine that needs "which cell is ``rem`` in" — ``value``,
+        ``pieces``, ``cumulative``, ``next_change`` — agrees at boundary
+        slivers.  A return of ``n`` means "the period boundary itself"
+        (callers wrap it into period ``k + 1``, cell 0).
+        """
+        i = int(rem / self._dt)
+        if (i + 1) * self._dt - rem <= 1e-9 * self._dt:
+            i += 1
+        return min(i, self._n)
+
     def _step_index(self, t: float) -> int:
-        return int((t % self._period) / self._dt) % self._n
+        return self._cell(t % self._period) % self._n
+
+    def _split(self, t: float) -> tuple[int, float]:
+        """Decompose ``t`` into (whole periods, remainder ∈ [0, period))."""
+        rem = t % self._period  # exact (fmod) for t >= 0
+        k = int(round((t - rem) / self._period))
+        return k, rem
 
     # ------------------------------------------------------------------
     def value(self, t: float) -> float:
@@ -85,16 +133,81 @@ class SinusoidalCapacity(CapacityFunction):
             return
         if t0 < 0.0:
             raise CapacityError(f"capacity undefined for t < 0: {t0!r}")
+        # Walk (period, cell) pairs explicitly instead of re-deriving the
+        # cell from each float start: boundary arithmetic then agrees with
+        # `cumulative`'s cell decomposition by construction.
+        k, rem = self._split(t0)
+        i = self._cell(rem)
+        if i >= self._n:
+            k, i = k + 1, 0
         start = t0
         while start < t1:
-            idx = self._step_index(start)
-            # End of the grid cell containing `start`.
-            cell = math.floor(start / self._dt + 1e-12) + 1
-            end = min(cell * self._dt, t1)
-            if end <= start:  # numeric guard at cell boundaries
-                end = min(start + self._dt, t1)
-            yield (start, end, self._steps[idx])
-            start = end
+            if i + 1 >= self._n:
+                end = (k + 1) * self._period
+            else:
+                end = k * self._period + (i + 1) * self._dt
+            if end > t1:
+                end = t1
+            if end > start:
+                yield (start, end, self._steps[i])
+                start = end
+            i += 1
+            if i >= self._n:
+                k, i = k + 1, 0
+
+    # ------------------------------------------------------------------
+    # Indexed queries via the periodic segment cache
+    # ------------------------------------------------------------------
+    def cumulative(self, t: float) -> float:
+        """Prefix integral ``∫₀^t c`` of the quantised approximation, O(1):
+        whole periods in closed form plus one cache lookup."""
+        if t < 0.0:
+            raise CapacityError(f"capacity undefined for t < 0: {t!r}")
+        k, rem = self._split(t)
+        i = self._cell(rem)
+        if i >= self._n:  # boundary sliver: a whole number of periods
+            return (k + 1) * self._period_work
+        frac = rem - i * self._dt
+        if frac < 0.0:  # numeric guard at cell boundaries
+            frac = 0.0
+        return k * self._period_work + self._pref[i] + frac * self._steps[i]
+
+    def integrate(self, t0: float, t1: float) -> float:
+        if t1 < t0:
+            raise CapacityError(f"reversed interval: [{t0}, {t1}]")
+        return self.cumulative(t1) - self.cumulative(t0)
+
+    def advance(self, t0: float, work: float, horizon: float = math.inf) -> float:
+        if work < 0.0:
+            raise CapacityError(f"negative workload: {work!r}")
+        if work == 0.0:
+            return t0
+        target = self.cumulative(t0) + work
+        k = math.floor(target / self._period_work)
+        rem_w = target - k * self._period_work
+        if rem_w < 0.0:  # numeric guards at period boundaries
+            k -= 1
+            rem_w += self._period_work
+        elif rem_w >= self._period_work:
+            k += 1
+            rem_w -= self._period_work
+        i = min(self._n - 1, max(0, bisect_right(self._pref, rem_w) - 1))
+        t = k * self._period + i * self._dt + (rem_w - self._pref[i]) / self._steps[i]
+        t = max(t0, t)
+        return t if t <= horizon else math.inf
+
+    def next_change(self, t: float, horizon: float) -> float:
+        k, rem = self._split(t)
+        i = self._cell(rem)
+        if i >= self._n:
+            k, i = k + 1, 0
+        if i + 1 >= self._n:
+            nc = (k + 1) * self._period
+        else:
+            nc = k * self._period + (i + 1) * self._dt
+        if nc <= t:  # numeric guard at cell boundaries
+            nc = t + self._dt
+        return nc if nc < horizon else horizon
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -10,6 +10,15 @@ zero-order hold (the conventional semantics for sampled utilisation data).
 
 This class is also the adapter for *continuous* analytic models: sample the
 model on a grid and replay it.
+
+Being a :class:`~repro.capacity.piecewise.PiecewiseConstantCapacity`,
+a trace inherits the shared prefix-sum capacity index
+(:mod:`repro.capacity.prefix`): ``integrate``/``advance`` over a
+million-sample trace are O(log n) bisections, not linear replays.  Bound
+validation is tolerance-aware (1e-12 relative — see
+:mod:`repro.capacity.base`), so a measured sample sitting one ulp outside
+an explicitly declared band no longer rejects the trace; use ``clip=True``
+for genuinely dirty data whose spikes exceed that tolerance.
 """
 
 from __future__ import annotations

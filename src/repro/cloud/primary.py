@@ -120,7 +120,25 @@ class PrimaryOccupancyModel:
                     breakpoints.append(t)
                     occupancies.append(n)
 
-        rates = [self.total_capacity - k * self.vm_size for k in occupancies]
+        # Residual rates are *derived* floats (`total − k·vm_size`), and
+        # when the top occupancy exactly exhausts `total − floor` the
+        # re-derived minimum can drift below the floor — by one ulp from
+        # division rounding, or by up to ~1e-9·vm_size from the deliberate
+        # rounding nudge in `max_primary_vms`.  Snap such drift onto the
+        # *exact* band edges so the realized min/max rates equal the
+        # declared `floor`/`total_capacity` (no re-derived arithmetic),
+        # instead of tripping the capacity-band validation on a legitimate
+        # instance.  Genuine violations (off by a whole VM quantum) still
+        # fall outside the snap window and raise in the constructor.
+        snap = 1e-8 * max(1.0, self.vm_size)
+        rates = []
+        for k in occupancies:
+            r = self.total_capacity - k * self.vm_size
+            if self.floor - snap <= r < self.floor:
+                r = self.floor
+            elif r > self.total_capacity:  # pragma: no cover - k >= 0
+                r = self.total_capacity
+            rates.append(r)
         return PiecewiseConstantCapacity(
             breakpoints,
             rates,

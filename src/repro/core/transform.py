@@ -57,6 +57,12 @@ class StretchTransform:
             raise CapacityError(f"target constant rate must be positive: {rate!r}")
         self._capacity = capacity
         self._rate = float(rate)
+        # Prefix-sum index fast path (repro.capacity.prefix): T(t) is by
+        # definition the cumulative-work array evaluated at t, and T⁻¹ a
+        # searchsorted on it, so both directions are O(log n) instead of a
+        # linear rescan from t=0 on every call.  Values are bit-identical:
+        # indexed models define integrate(0, t) as cumulative(t) − 0.0.
+        self._indexed = bool(getattr(capacity, "supports_prefix_index", False))
 
     @property
     def rate(self) -> float:
@@ -70,6 +76,8 @@ class StretchTransform:
         """``T(t) = (1/c') ∫₀ᵗ c`` — original time to stretched time."""
         if t < 0.0:
             raise CapacityError(f"stretch map undefined for t < 0: {t!r}")
+        if self._indexed:
+            return self._capacity.cumulative(t) / self._rate
         return self._capacity.integrate(0.0, t) / self._rate
 
     def inverse(self, t_stretched: float) -> float:

@@ -8,8 +8,13 @@ performs the mechanics:
 * **exact completion prediction** — when a job starts (or resumes) at time
   ``t`` with remaining workload ``w``, its completion instant is
   ``capacity.advance(t, w)``, computed exactly on the piecewise-constant
-  trajectory.  A preemption invalidates the in-flight completion event via a
-  per-job version token (lazy deletion on the heap);
+  trajectory.  For prefix-indexed capacities (``supports_prefix_index``,
+  see :mod:`repro.capacity.prefix`) this is an O(log n) searchsorted on the
+  cumulative-work array, and the engine additionally anchors each running
+  segment at ``W(seg_start)`` so progress queries cost one index lookup —
+  with values bit-identical to the naive linear scan.  A preemption
+  invalidates the in-flight completion event via a per-job version token
+  (lazy deletion on the heap);
 * **deadline policing** — firm deadlines fire as events; a completion at
   exactly the deadline wins the tie (succeeds);
 * **alarm plumbing** — schedulers arm per-job alarms (zero-conservative-
@@ -129,6 +134,13 @@ class SimulationEngine:
         self._current: Optional[Job] = None
         self._seg_start = 0.0
         self._seg_remaining0 = 0.0  # remaining workload at seg_start
+        # Prefix-sum index fast path (repro.capacity.prefix): anchor the
+        # running segment at its cumulative work W(seg_start) so progress
+        # queries are one O(log n) lookup, W(now) − anchor — bit-identical
+        # to integrate(seg_start, now), which indexed models define as
+        # exactly that difference.
+        self._indexed = bool(getattr(capacity, "supports_prefix_index", False))
+        self._seg_cum0 = 0.0  # W(seg_start) anchor (indexed models only)
 
         # Event bookkeeping.
         self._events = EventQueue()
@@ -139,6 +151,14 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     # State queries used by the context
     # ------------------------------------------------------------------
+    def _seg_work(self, t: float) -> float:
+        """Work performed by the running segment up to ``t`` — via the
+        capacity's prefix-sum index when available, else the naive
+        integral (identical values either way; see class docstring)."""
+        if self._indexed:
+            return self._capacity.cumulative(t) - self._seg_cum0
+        return self._capacity.integrate(self._seg_start, t)
+
     def _remaining_of(self, job: Job) -> float:
         status = self._status.get(job.jid)
         if status is None or status is JobStatus.PENDING:
@@ -146,7 +166,7 @@ class SimulationEngine:
                 f"remaining() queried for unreleased job {job.jid}"
             )
         if job is self._current:
-            done = self._capacity.integrate(self._seg_start, self._now)
+            done = self._seg_work(self._now)
             return max(0.0, self._seg_remaining0 - done)
         return self._remaining[job.jid]
 
@@ -177,7 +197,7 @@ class SimulationEngine:
         job = self._current
         if job is None:
             return
-        work = self._capacity.integrate(self._seg_start, t)
+        work = self._seg_work(t)
         new_remaining = self._seg_remaining0 - work
         if new_remaining < -1e-6 * max(1.0, job.workload):
             raise SimulationError(
@@ -202,6 +222,8 @@ class SimulationEngine:
         self._status[job.jid] = JobStatus.RUNNING
         self._seg_start = t
         self._seg_remaining0 = self._remaining[job.jid]
+        if self._indexed:
+            self._seg_cum0 = self._capacity.cumulative(t)
         finish = self._capacity.advance(t, self._seg_remaining0)
         version = self._completion_version.get(job.jid, 0) + 1
         self._completion_version[job.jid] = version
@@ -218,7 +240,7 @@ class SimulationEngine:
 
     def _complete_current(self, job: Job, t: float) -> None:
         """Fold the running job's final segment and record its success."""
-        work = self._capacity.integrate(self._seg_start, t)
+        work = self._seg_work(t)
         self._trace.add_segment(self._seg_start, t, job.jid, work)
         self._remaining[job.jid] = 0.0
         self._status[job.jid] = JobStatus.COMPLETED
@@ -268,7 +290,7 @@ class SimulationEngine:
                 # the predicted completion instant can land one ulp past it.
                 # A running job whose remaining workload is within float
                 # tolerance has completed, not failed.
-                done = self._capacity.integrate(self._seg_start, t)
+                done = self._seg_work(t)
                 left = self._seg_remaining0 - done
                 if left <= 1e-9 * max(1.0, job.workload):
                     self._complete_current(job, t)

@@ -1,0 +1,213 @@
+"""Regression tests for tolerance-aware capacity-band validation.
+
+Declared capacity bounds are routinely *derived* floats (``total −
+k·vm_size``, ``factor · upper``, sums of bounds, …) and can drift from the
+realized rates by ~1 ulp.  The seed suite's one real bug was exactly this:
+``PrimaryOccupancyModel.sample_residual`` re-derived its minimum residual
+rate with arithmetic that landed one ulp below the declared floor, and
+``PiecewiseConstantCapacity``'s then-strict bound check raised
+``CapacityError`` on a legitimate instance.
+
+These tests pin the tolerant semantics (relative ε ≈ 1e-12 via
+``math.isclose``; see ``repro.capacity.base.ensure_band``) with
+adversarial 1-ulp inputs across every constructor that validates derived
+floats — and check genuine violations still raise.
+"""
+
+import math
+
+import pytest
+
+from repro.capacity import (
+    CapacityFunction,
+    MarkovModulatedCapacity,
+    PiecewiseConstantCapacity,
+    ScaledCapacity,
+    SinusoidalCapacity,
+    SummedCapacity,
+    TraceCapacity,
+    ensure_band,
+    within_band,
+)
+from repro.cloud import PrimaryOccupancyModel
+from repro.errors import CapacityError
+
+
+def ulp_below(x: float) -> float:
+    return math.nextafter(x, -math.inf)
+
+
+def ulp_above(x: float) -> float:
+    return math.nextafter(x, math.inf)
+
+
+class TestBandHelpers:
+    def test_exact_containment(self):
+        assert within_band(1.0, 1.0, 2.0)
+        assert within_band(2.0, 1.0, 2.0)
+        assert within_band(1.5, 1.0, 2.0)
+
+    def test_one_ulp_outside_tolerated(self):
+        assert within_band(ulp_below(1.0), 1.0, 2.0)
+        assert within_band(ulp_above(2.0), 1.0, 2.0)
+
+    def test_genuine_violation_rejected(self):
+        assert not within_band(0.999, 1.0, 2.0)
+        assert not within_band(2.001, 1.0, 2.0)
+
+    def test_ensure_band_raises_on_real_violation(self):
+        with pytest.raises(CapacityError):
+            ensure_band(1.0, 2.0, 0.5, 1.5)
+        # ulp drift on both edges passes silently
+        ensure_band(1.0, 2.0, ulp_below(1.0), ulp_above(2.0))
+
+
+class TestPiecewiseTolerantBounds:
+    def test_rate_one_ulp_below_declared_lower_accepted(self):
+        lower = 1.7950974968010913  # the seed repro's floor
+        cap = PiecewiseConstantCapacity(
+            [0.0, 1.0], [3.0, ulp_below(lower)], lower=lower, upper=5.0
+        )
+        assert cap.lower == lower  # declaration wins
+
+    def test_rate_one_ulp_above_declared_upper_accepted(self):
+        upper = 18.578747174810477
+        cap = PiecewiseConstantCapacity(
+            [0.0, 1.0], [1.0, ulp_above(upper)], lower=0.5, upper=upper
+        )
+        assert cap.upper == upper
+
+    def test_genuinely_out_of_band_still_raises(self):
+        with pytest.raises(CapacityError):
+            PiecewiseConstantCapacity([0.0], [2.0], lower=3.0, upper=8.0)
+        with pytest.raises(CapacityError):
+            PiecewiseConstantCapacity([0.0], [2.0], lower=1.0, upper=1.5)
+
+
+class TestBaseBoundsSnap:
+    def test_lower_one_ulp_above_upper_snaps(self):
+        class Degenerate(CapacityFunction):
+            def __init__(self):
+                super().__init__(ulp_above(2.0), 2.0)
+
+            def value(self, t):
+                return 2.0
+
+            def pieces(self, t0, t1):
+                if t1 > t0:
+                    yield (t0, t1, 2.0)
+
+        cap = Degenerate()
+        assert cap.lower == cap.upper == 2.0
+
+    def test_truly_inverted_bounds_still_raise(self):
+        class Bad(CapacityFunction):
+            def __init__(self):
+                super().__init__(2.0, 1.0)
+
+            def value(self, t):  # pragma: no cover
+                return 1.0
+
+            def pieces(self, t0, t1):  # pragma: no cover
+                return iter(())
+
+        with pytest.raises(CapacityError):
+            Bad()
+
+
+class TestMarkovDeclaredBounds:
+    def test_declared_bounds_may_be_wider(self):
+        cap = MarkovModulatedCapacity(
+            [2.0, 5.0], [1.0, 1.0], rng=0, lower=1.0, upper=9.0
+        )
+        assert (cap.lower, cap.upper) == (1.0, 9.0)
+
+    def test_one_ulp_tight_declaration_accepted(self):
+        cap = MarkovModulatedCapacity(
+            [2.0, 5.0], [1.0, 1.0], rng=0,
+            lower=ulp_above(2.0), upper=ulp_below(5.0),
+        )
+        assert cap.value(0.0) == 2.0
+
+    def test_declaration_excluding_a_state_raises(self):
+        with pytest.raises(CapacityError):
+            MarkovModulatedCapacity([2.0, 5.0], [1.0, 1.0], rng=0, lower=3.0)
+
+
+class TestCombinatorDerivedBounds:
+    def test_scaled_one_ulp_product_drift(self):
+        # factor · rates and factor · bounds round independently; the
+        # resulting band check must not reject the composition.
+        inner = PiecewiseConstantCapacity([0.0], [3.3333333333333335])
+        cap = ScaledCapacity(inner, 0.1)
+        assert cap.lower == pytest.approx(cap.value(0.0))
+
+    def test_summed_bounds_are_sums(self):
+        a = PiecewiseConstantCapacity([0.0], [ulp_below(1.0)])
+        b = PiecewiseConstantCapacity([0.0], [ulp_above(2.0)])
+        cap = SummedCapacity([a, b])
+        assert cap.lower == pytest.approx(3.0)
+
+
+class TestSinusoidalStepsClamped:
+    def test_steps_never_exceed_declared_band(self):
+        # mid ± amp·sin(…) can drift one ulp past [low, high]; steps are
+        # clamped so value() honours the declared-band contract exactly.
+        for phase in (0.0, 0.25, 1.7):
+            cap = SinusoidalCapacity(1.0, 5.0, period=4.0, phase=phase,
+                                     steps_per_period=128)
+            assert all(1.0 <= s <= 5.0 for s in cap._steps)
+
+
+class TestTraceDeclaredBounds:
+    def test_sample_one_ulp_outside_declared_band_accepted(self):
+        cap = TraceCapacity(
+            [0.0, 1.0], [2.0, ulp_below(1.0)], lower=1.0, upper=3.0
+        )
+        assert cap.lower == 1.0
+
+    def test_real_spikes_still_need_clip(self):
+        with pytest.raises(CapacityError):
+            TraceCapacity([0.0, 1.0], [2.0, 5.0], lower=1.0, upper=3.0)
+        cap = TraceCapacity(
+            [0.0, 1.0], [2.0, 5.0], lower=1.0, upper=3.0, clip=True
+        )
+        assert cap.value(1.5) == 3.0
+
+
+class TestPrimaryResidualRepro:
+    """The exact Hypothesis-shrunk instance from the seed failure
+    (seed 0, ``vm_size=8.391824839004693``): two primary VMs exhaust
+    ``total − floor`` exactly and the re-derived minimum residual lands
+    one ulp below the floor."""
+
+    MODEL = dict(
+        total_capacity=18.578747174810477,
+        floor=1.7950974968010913,
+        arrival_rate=1.0,
+        mean_holding=1.0,
+        vm_size=8.391824839004693,
+    )
+
+    def test_derived_min_rate_drifts_one_ulp(self):
+        m = PrimaryOccupancyModel(**self.MODEL)
+        drifted = m.total_capacity - m.max_primary_vms * m.vm_size
+        assert drifted < m.floor  # the raw arithmetic really does drift
+        assert m.floor - drifted == pytest.approx(math.ulp(m.floor))
+
+    def test_sample_residual_snaps_to_exact_band(self):
+        m = PrimaryOccupancyModel(**self.MODEL)
+        residual = m.sample_residual(60.0, rng=0)
+        assert residual.lower == m.floor
+        assert residual.upper == m.total_capacity
+        # Realized extremes are the *exact* declared edges, not re-derived
+        # floats one ulp off them.
+        assert min(residual.rates) >= m.floor
+        assert max(residual.rates) <= m.total_capacity
+
+    def test_residual_quantisation_survives_snapping(self):
+        m = PrimaryOccupancyModel(**self.MODEL)
+        residual = m.sample_residual(60.0, rng=0)
+        for rate in residual.rates:
+            occupied = (m.total_capacity - rate) / m.vm_size
+            assert abs(occupied - round(occupied)) < 1e-6

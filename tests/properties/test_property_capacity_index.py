@@ -1,0 +1,209 @@
+"""Property tests for the prefix-sum capacity index (repro.capacity.prefix).
+
+Two contracts are pinned here:
+
+* **indexed ≡ naive** — the O(log n) indexed ``integrate``/``advance``
+  agree with the naive linear piece-scan reference
+  (``naive_integrate``/``naive_advance``): to 0 ulp on rational
+  (dyadic-exact) grids, and to ≤ 1e-9 on random floats;
+* **round-trip** — ``advance(t, integrate(t, t2))`` lands back on ``t2``
+  (the inverse-integral property the engine's completion prediction
+  relies on),
+
+including degenerate single-segment paths and very long (10⁴-segment)
+paths, for the static piecewise model, the lazily-extended Markov model,
+and the sinusoidal segment cache.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capacity import (
+    MarkovModulatedCapacity,
+    PiecewiseConstantCapacity,
+    SinusoidalCapacity,
+    TwoStateMarkovCapacity,
+    crosscheck_index,
+    naive_advance,
+    naive_integrate,
+)
+
+
+@st.composite
+def piecewise_caps(draw):
+    """Random breakpoint grids with float gaps and float rates."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=50.0),
+            min_size=n - 1, max_size=n - 1,
+        )
+    )
+    bp = [0.0]
+    for g in gaps:
+        bp.append(bp[-1] + g)
+    rates = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=40.0),
+            min_size=n, max_size=n,
+        )
+    )
+    return PiecewiseConstantCapacity(bp, rates)
+
+
+@st.composite
+def rational_piecewise_caps(draw):
+    """Dyadic grids (integer/4 breakpoints, power-of-two rates): every
+    prefix sum, and every division by a rate, is exactly representable,
+    so indexed and naive must agree to 0 ulp."""
+    n = draw(st.integers(min_value=1, max_value=20))
+    gaps = draw(
+        st.lists(st.integers(min_value=1, max_value=64),
+                 min_size=n - 1, max_size=n - 1)
+    )
+    bp = [0.0]
+    for g in gaps:
+        bp.append(bp[-1] + g / 4.0)
+    rates = [
+        2.0 ** k
+        for k in draw(
+            st.lists(st.integers(min_value=-3, max_value=4),
+                     min_size=n, max_size=n)
+        )
+    ]
+    return PiecewiseConstantCapacity(bp, rates)
+
+
+def rel_close(a, b, tol=1e-9):
+    return math.isclose(a, b, rel_tol=tol, abs_tol=tol)
+
+
+class TestIndexedVsNaive:
+    @settings(max_examples=60, deadline=None)
+    @given(cap=piecewise_caps(), a=st.floats(0.0, 500.0), span=st.floats(0.0, 500.0))
+    def test_integrate_agrees_on_random_grids(self, cap, a, span):
+        b = a + span
+        assert rel_close(cap.integrate(a, b), naive_integrate(cap, a, b))
+
+    @settings(max_examples=60, deadline=None)
+    @given(cap=rational_piecewise_caps(), a=st.integers(0, 400), b=st.integers(0, 400))
+    def test_integrate_exact_on_rationals(self, cap, a, b):
+        lo, hi = (a / 4.0, b / 4.0) if a <= b else (b / 4.0, a / 4.0)
+        # 0-ulp agreement: both paths perform the same left-to-right
+        # prefix-sum arithmetic on exactly representable dyadics.
+        assert cap.integrate(lo, hi) == naive_integrate(cap, lo, hi)
+
+    @settings(max_examples=60, deadline=None)
+    @given(cap=piecewise_caps(), t0=st.floats(0.0, 300.0), work=st.floats(0.0, 1e4))
+    def test_advance_agrees_with_naive(self, cap, t0, work):
+        # Large-but-finite horizon: the naive scan's horizon-edge tolerance
+        # then applies on both sides when work exhausts capacity exactly.
+        fast = cap.advance(t0, work, horizon=1e15)
+        slow = naive_advance(cap, t0, work, horizon=1e15)
+        assert rel_close(fast, slow)
+
+    @settings(max_examples=40, deadline=None)
+    @given(cap=rational_piecewise_caps(), t0=st.integers(0, 200), work=st.integers(0, 2000))
+    def test_advance_exact_on_rationals(self, cap, t0, work):
+        assert cap.advance(t0 / 4.0, work / 8.0) == naive_advance(
+            cap, t0 / 4.0, work / 8.0
+        )
+
+    def test_degenerate_single_segment(self):
+        cap = PiecewiseConstantCapacity([0.0], [2.5])
+        assert crosscheck_index(cap, 0.0, 100.0, n_queries=32) == 32
+        assert cap.integrate(3.0, 7.0) == naive_integrate(cap, 3.0, 7.0)
+        assert cap.advance(1.0, 10.0) == naive_advance(cap, 1.0, 10.0)
+
+    def test_very_long_path_10k_segments(self):
+        n = 10_000
+        bp = [float(i) for i in range(n)]
+        rates = [1.0 + (i % 7) * 0.5 for i in range(n)]
+        cap = PiecewiseConstantCapacity(bp, rates)
+        cap.check_index_invariants()
+        assert crosscheck_index(cap, 0.0, float(n), n_queries=64) == 64
+        # Deep advance from t=0 across the whole path: searchsorted must
+        # land on the same piece as the front-to-back scan.
+        total = cap.integrate(0.0, float(n))
+        for frac in (0.1, 0.5, 0.999):
+            w = total * frac
+            assert rel_close(cap.advance(0.0, w), naive_advance(cap, 0.0, w))
+
+    def test_markov_lazy_path_agrees(self):
+        cap = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=0.25, rng=7)
+        # Force a long materialized path, then cross-check across it.
+        cap.integrate(0.0, 2000.0)
+        assert len(cap.breakpoints_materialized) >= 1000
+        cap.check_index_invariants()
+        assert crosscheck_index(cap, 0.0, 1500.0, n_queries=64) == 64
+
+    def test_sinusoidal_segment_cache_agrees(self):
+        cap = SinusoidalCapacity(1.0, 5.0, period=7.3, phase=0.4,
+                                 steps_per_period=64)
+        assert crosscheck_index(cap, 0.0, 120.0, n_queries=96) == 96
+
+    def test_query_order_does_not_change_lazy_path(self):
+        a = MarkovModulatedCapacity([1.0, 4.0, 9.0], [0.5, 0.7, 0.3], rng=11)
+        b = MarkovModulatedCapacity([1.0, 4.0, 9.0], [0.5, 0.7, 0.3], rng=11)
+        # a: one deep query; b: many increasing shallow queries.
+        deep = a.integrate(0.0, 300.0)
+        parts = sum(b.integrate(i * 10.0, (i + 1) * 10.0) for i in range(30))
+        assert deep == pytest.approx(parts, rel=1e-12)
+        assert a.integrate(0.0, 300.0) == b.integrate(0.0, 300.0)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        cap=piecewise_caps(),
+        t=st.floats(0.0, 200.0),
+        span=st.floats(1e-6, 200.0),
+    )
+    def test_advance_inverts_integrate(self, cap, t, span):
+        t2 = t + span
+        w = cap.integrate(t, t2)
+        back = cap.advance(t, w)
+        # Relative tolerance on the *time* axis, scaled by span (rates are
+        # bounded in [0.1, 40], so the inverse amplifies error ≤ 10x).
+        assert back == pytest.approx(t2, rel=1e-9, abs=1e-7 * max(1.0, t2))
+
+    @settings(max_examples=30, deadline=None)
+    @given(t=st.floats(0.0, 400.0), span=st.floats(1e-3, 200.0), seed=st.integers(0, 50))
+    def test_markov_round_trip(self, t, span, seed):
+        cap = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=1.0, rng=seed)
+        t2 = t + span
+        w = cap.integrate(t, t2)
+        assert cap.advance(t, w) == pytest.approx(t2, rel=1e-9, abs=1e-7 * max(1.0, t2))
+
+    @settings(max_examples=30, deadline=None)
+    @given(t=st.floats(0.0, 50.0), span=st.floats(1e-3, 50.0))
+    def test_sinusoidal_round_trip(self, t, span):
+        cap = SinusoidalCapacity(1.0, 5.0, period=9.7, steps_per_period=64)
+        t2 = t + span
+        w = cap.integrate(t, t2)
+        assert cap.advance(t, w) == pytest.approx(t2, rel=1e-9, abs=1e-7 * max(1.0, t2))
+
+    def test_zero_work_is_identity(self):
+        cap = PiecewiseConstantCapacity([0.0, 1.0], [1.0, 2.0])
+        for t in (0.0, 0.5, 1.0, 17.3):
+            assert cap.advance(t, 0.0) == t
+
+
+class TestIndexInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(cap=piecewise_caps())
+    def test_invariants_hold_for_random_grids(self, cap):
+        cap.check_index_invariants()
+
+    def test_markov_invariants_after_extension(self):
+        cap = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=0.5, rng=3)
+        cap.check_index_invariants()
+        cap.integrate(0.0, 500.0)   # extend lazily
+        cap.check_index_invariants()
+        n1 = len(cap.breakpoints_materialized)
+        cap.advance(0.0, 200.0)     # extend further via advance
+        cap.check_index_invariants()
+        assert len(cap.breakpoints_materialized) >= n1  # append-only
