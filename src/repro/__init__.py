@@ -16,7 +16,10 @@ Public API tour:
   estimators, Monte-Carlo statistics;
 * :mod:`repro.cloud` — the motivating substrate: primary-job occupancy,
   spot market, servers, cluster dispatch;
-* :mod:`repro.experiments` — one harness per paper table/figure.
+* :mod:`repro.faults` — capacity-sensing fault injection (noise,
+  staleness, dropout, mis-declared bounds) with true physics;
+* :mod:`repro.experiments` — one harness per paper table/figure, plus the
+  crash-isolated, checkpoint/resume Monte-Carlo harness.
 
 Quickstart::
 
@@ -53,10 +56,26 @@ from repro.core import (
 from repro.errors import (
     AnalysisError,
     CapacityError,
+    CapacityReadError,
+    CheckpointError,
+    EstimateError,
+    ExperimentError,
+    FaultConfigError,
+    FaultInjectionError,
     InvalidInstanceError,
+    ReplicationTimeout,
     ReproError,
     SchedulingError,
     SimulationError,
+)
+from repro.faults import (
+    BiasedBoundsCapacity,
+    CapacitySensorFault,
+    DropoutCapacity,
+    FaultSpec,
+    NoisyCapacity,
+    StaleCapacity,
+    unwrap_faults,
 )
 from repro.sim import (
     Job,
@@ -94,10 +113,25 @@ __all__ = [
     # errors
     "AnalysisError",
     "CapacityError",
+    "CapacityReadError",
+    "CheckpointError",
+    "EstimateError",
+    "ExperimentError",
+    "FaultConfigError",
+    "FaultInjectionError",
     "InvalidInstanceError",
+    "ReplicationTimeout",
     "ReproError",
     "SchedulingError",
     "SimulationError",
+    # faults
+    "BiasedBoundsCapacity",
+    "CapacitySensorFault",
+    "DropoutCapacity",
+    "FaultSpec",
+    "NoisyCapacity",
+    "StaleCapacity",
+    "unwrap_faults",
     # sim
     "Job",
     "JobStatus",

@@ -3,8 +3,10 @@
 Usage::
 
     repro-sched table1  [--runs N] [--seed S] [--workers W] [--lambdas ...]
+                        [--checkpoint DIR] [--timeout T] [--retries R]
     repro-sched figure1 [--lam L] [--seed S]
     repro-sched sweep   {policy,supplement,beta,delta,k-misest,slack} [--runs N]
+    repro-sched faults  {noise,staleness,dropout,bias} [--severities ...]
     repro-sched theory  [--k K] [--delta D]
     repro-sched adversary [--n N]
     repro-sched simulate INSTANCE.json [--scheduler ...] [--gantt]
@@ -58,6 +60,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=2000.0,
         help="expected jobs per run (the paper uses 2000)",
     )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help=(
+            "checkpoint each finished replication under DIR; rerunning with "
+            "the same arguments resumes from where it stopped"
+        ),
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-replication wall-clock budget in seconds",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a replication this many times on transient failure",
+    )
 
     p = sub.add_parser("figure1", help="reproduce Figure 1 (value vs time)")
     p.add_argument("--lam", type=float, default=6.0)
@@ -70,6 +93,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--runs", type=int, default=20)
     p.add_argument("--workers", type=int, default=None)
+
+    p = sub.add_parser(
+        "faults",
+        help="Table-I comparison under capacity-sensor faults (E15)",
+    )
+    p.add_argument("kind", choices=["noise", "staleness", "dropout", "bias"])
+    p.add_argument(
+        "--severities",
+        type=float,
+        nargs="+",
+        default=None,
+        help="override the swept severity grid (0 = fault-free)",
+    )
+    p.add_argument("--lam", type=float, default=6.0)
+    p.add_argument("--runs", type=int, default=20)
+    p.add_argument("--seed", type=int, default=29)
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--jobs", type=float, default=500.0, help="expected jobs per run"
+    )
 
     p = sub.add_parser("theory", help="print the paper's closed-form bounds")
     p.add_argument("--k", type=float, default=7.0)
@@ -107,7 +150,13 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     }
     if args.lambdas is not None:
         kwargs["lambdas"] = tuple(args.lambdas)
-    print(run_table1(Table1Config(**kwargs)).render())
+    result = run_table1(
+        Table1Config(**kwargs),
+        checkpoint_dir=args.checkpoint,
+        timeout=args.timeout,
+        max_retries=args.retries,
+    )
+    print(result.render())
     return 0
 
 
@@ -148,6 +197,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "slack": sweeps.run_slack_sweep,
     }[args.kind]
     print(fn(n_runs=args.runs, workers=args.workers).render())
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments.faults_sweep import run_faults_sweep
+
+    result = run_faults_sweep(
+        args.kind,
+        tuple(args.severities) if args.severities is not None else None,
+        lam=args.lam,
+        n_runs=args.runs,
+        seed=args.seed,
+        workers=args.workers,
+        expected_jobs=args.jobs,
+    )
+    print(result.render())
+    if result.failures:
+        print(
+            f"[!] {len(result.failures)} replication(s) failed and were "
+            f"excluded from the averages"
+        )
     return 0
 
 
@@ -239,6 +309,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "table1": _cmd_table1,
         "figure1": _cmd_figure1,
         "sweep": _cmd_sweep,
+        "faults": _cmd_faults,
         "theory": _cmd_theory,
         "adversary": _cmd_adversary,
         "simulate": _cmd_simulate,

@@ -29,25 +29,38 @@ class DoverScheduler(DoverFamilyScheduler):
         unless ``beta`` overrides it.
     c_hat:
         The capacity estimate used for laxities (the paper sweeps
-        ``ĉ ∈ {1.0, 10.5, 24.5, 35.0}``).
+        ``ĉ ∈ {1.0, 10.5, 24.5, 35.0}``), or the string ``"sensed"`` for a
+        capacity-tracking Dover whose ĉ follows the instantaneous sensor —
+        refreshed at every interrupt through the graceful-degradation
+        ladder of docs/ROBUSTNESS.md.  The sensed variant is the fault
+        sweep's sensor-consuming baseline: noise, staleness and dropout on
+        the sensing channel move its decisions, while V-Dover (which only
+        trusts ``c̲``) is immune by construction.
     beta:
         Explicit threshold override.
     """
 
-    def __init__(self, k: float, c_hat: float, *, beta: float | None = None) -> None:
+    def __init__(
+        self, k: float, c_hat: float | str, *, beta: float | None = None
+    ) -> None:
         if k < 1.0:
             raise SchedulingError(f"importance ratio bound must be >= 1, got {k!r}")
-        if c_hat <= 0.0:
+        if isinstance(c_hat, str):
+            if c_hat != "sensed":
+                raise SchedulingError(
+                    f"c_hat must be a positive float or 'sensed', got {c_hat!r}"
+                )
+        elif c_hat <= 0.0:
             raise SchedulingError(f"capacity estimate must be positive: {c_hat!r}")
         super().__init__(
             beta if beta is not None else dover_beta(k),
-            rate_estimate=float(c_hat),
+            rate_estimate="sensed" if c_hat == "sensed" else float(c_hat),
             supplement=False,
         )
-        self._c_hat = float(c_hat)
-        self.name = f"Dover(c={c_hat:g})"
+        self._c_hat = c_hat if c_hat == "sensed" else float(c_hat)
+        self.name = "Dover(sensed)" if c_hat == "sensed" else f"Dover(c={c_hat:g})"
 
     @property
-    def c_hat(self) -> float:
-        """The configured future-capacity estimate ``ĉ``."""
+    def c_hat(self) -> float | str:
+        """The configured future-capacity estimate ``ĉ`` (or ``"sensed"``)."""
         return self._c_hat

@@ -48,7 +48,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-from repro.errors import SchedulingError
+from repro.errors import EstimateError, SchedulingError
 from repro.sim.job import Job
 from repro.sim.queues import EdfEntry, JobQueue, edf_key, latest_deadline_key
 from repro.sim.scheduler import Scheduler
@@ -90,7 +90,13 @@ class DoverFamilyScheduler(Scheduler):
     rate_estimate:
         The rate used for laxities and conservative processing times:
         ``None`` selects the conservative bound ``c̲`` from the context
-        (V-Dover); a float selects Dover's point estimate ``ĉ``.
+        (V-Dover); a float selects Dover's point estimate ``ĉ``; the string
+        ``"sensed"`` tracks the instantaneous capacity sensor, refreshed at
+        every interrupt through :meth:`~repro.sim.scheduler.Scheduler.
+        sense_capacity` — i.e. with the clamp / last-known-good / c̲
+        degradation ladder of docs/ROBUSTNESS.md, so a noisy, stale or
+        dropped-out sensor degrades the estimate but never crashes the
+        scheduler.
     supplement:
         Whether losing jobs at the zero-laxity comparison are retained as
         supplement jobs (V-Dover) or abandoned (Dover).
@@ -102,7 +108,7 @@ class DoverFamilyScheduler(Scheduler):
         self,
         beta: float,
         *,
-        rate_estimate: float | None = None,
+        rate_estimate: float | str | None = None,
         supplement: bool = True,
     ) -> None:
         super().__init__()
@@ -111,6 +117,11 @@ class DoverFamilyScheduler(Scheduler):
                 f"beta must exceed 1 (got {beta!r}); the competitive-ratio "
                 "argument and same-instant termination both require it"
             )
+        if isinstance(rate_estimate, str) and rate_estimate != "sensed":
+            raise SchedulingError(
+                f"rate_estimate must be a float, None or 'sensed', "
+                f"got {rate_estimate!r}"
+            )
         self._beta = float(beta)
         self._rate_cfg = rate_estimate
         self._supplement_enabled = bool(supplement)
@@ -118,9 +129,31 @@ class DoverFamilyScheduler(Scheduler):
     # ------------------------------------------------------------------
     # Per-run state
     # ------------------------------------------------------------------
+    def _check_band(self) -> tuple[float, float]:
+        """The declared band, validated once per run: a scheduler whose
+        whole contract is built on ``0 < c̲ <= c̄ < ∞`` must fail loudly
+        (structured :class:`EstimateError`) on a garbage declaration rather
+        than mis-schedule every job."""
+        lo, hi = self.ctx.bounds
+        if not (math.isfinite(lo) and math.isfinite(hi) and 0.0 < lo <= hi):
+            raise EstimateError(
+                f"declared capacity band ({lo!r}, {hi!r}) is unusable for "
+                f"{self.name}"
+            )
+        return lo, hi
+
+    def _refresh_rate(self) -> None:
+        """In ``"sensed"`` mode, re-read the (possibly faulty) sensor with
+        graceful degradation before handling an interrupt."""
+        if self._rate_cfg == "sensed":
+            self._rate = self.sense_capacity()
+
     def reset(self) -> None:
         if self._rate_cfg is None:
-            self._rate = self.ctx.bounds[0]
+            self._rate = self._check_band()[0]
+        elif self._rate_cfg == "sensed":
+            self._check_band()
+            self._rate = self.sense_capacity()
         else:
             self._rate = float(self._rate_cfg)
             if self._rate <= 0.0:
@@ -227,6 +260,7 @@ class DoverFamilyScheduler(Scheduler):
     # Handler B: job release
     # ------------------------------------------------------------------
     def on_release(self, job: Job) -> Optional[Job]:
+        self._refresh_rate()
         current = self.ctx.current_job()
 
         if current is None:  # lines B.1–B.4: processor idle
@@ -292,6 +326,7 @@ class DoverFamilyScheduler(Scheduler):
         return None
 
     def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
+        self._refresh_rate()
         current = self.ctx.current_job()
         if current is not None:
             # A *waiting* job expired: purge it from wherever it sits and
@@ -317,6 +352,7 @@ class DoverFamilyScheduler(Scheduler):
     def on_alarm(self, job: Job, tag: str) -> Optional[Job]:
         if tag != "zero-claxity":  # pragma: no cover - future-proofing
             return self.ctx.current_job()
+        self._refresh_rate()
         if self._is_supplement(job) or job.jid in self._abandoned_ids:
             return self.ctx.current_job()  # stale alarm on a demoted job
         self._stats["zero_laxity_interrupts"] += 1

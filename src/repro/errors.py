@@ -37,6 +37,42 @@ class SchedulingError(ReproError):
     """
 
 
+class EstimateError(SchedulingError):
+    """Raised when a scheduler's capacity estimate is unusable and no
+    graceful fallback exists.
+
+    The degradation ladder (docs/ROBUSTNESS.md) is: clamp out-of-band
+    readings into the declared band, fall back to the last-known-good
+    reading on dropout, fall back to the conservative bound ``c̲`` when
+    there is no last-known-good value.  Only when even the declared bounds
+    are garbage (non-finite, non-positive) does the scheduler raise this
+    instead of silently mis-scheduling.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """Base class for the capacity-sensing fault-injection layer
+    (:mod:`repro.faults`)."""
+
+
+class FaultConfigError(FaultInjectionError):
+    """Raised for an invalid fault-model configuration (negative noise
+    width, non-positive dropout durations, a bias factor that would
+    produce a non-positive declared bound, ...)."""
+
+
+class CapacityReadError(FaultInjectionError):
+    """Raised by a faulty capacity *sensor* when the reading is unavailable
+    (a dropout interval).  Carries the query time and, when known, the
+    instant at which the sensor recovers so callers can re-arm."""
+
+    def __init__(self, t: float, resumes_at: float | None = None) -> None:
+        self.t = float(t)
+        self.resumes_at = None if resumes_at is None else float(resumes_at)
+        suffix = "" if resumes_at is None else f" (sensor recovers at {resumes_at:g})"
+        super().__init__(f"capacity reading unavailable at t={t:g}{suffix}")
+
+
 class SimulationError(ReproError):
     """Raised when the discrete-event engine detects an internal
     inconsistency (events out of order, negative remaining workload beyond
@@ -47,3 +83,24 @@ class AnalysisError(ReproError):
     """Raised for invalid analysis queries (e.g. the competitive-ratio
     formula of Theorem 3 evaluated at ``delta <= 1``, where ``f(k, delta)``
     is undefined)."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness layer (Monte-Carlo runner, sweeps)
+    for harness-level failures: invalid run configuration, or — via
+    :meth:`repro.experiments.runner.MonteCarloReport.raise_on_failure` —
+    replications that failed after exhausting their retry budget."""
+
+
+class ReplicationTimeout(ExperimentError):
+    """A single Monte-Carlo replication exceeded its wall-clock budget.
+
+    Classified as *transient* by the runner: the replication is retried
+    (with backoff) up to the configured retry budget before being recorded
+    as a :class:`~repro.experiments.runner.FailedReplication`."""
+
+
+class CheckpointError(ExperimentError):
+    """Raised for unusable Monte-Carlo checkpoints: a fingerprint that does
+    not match the requested run (different seed, run count, schedulers or
+    instance distribution), an unsupported schema, or a corrupt header."""

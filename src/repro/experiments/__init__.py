@@ -6,7 +6,16 @@ from repro.experiments.figure1 import (
     Figure1Result,
     run_figure1,
 )
+from repro.experiments.checkpoint import CheckpointStore, run_fingerprint
+from repro.experiments.faults_sweep import (
+    FaultyInstanceFactory,
+    default_fault_severities,
+    run_faults_grid,
+    run_faults_sweep,
+)
 from repro.experiments.runner import (
+    FailedReplication,
+    MonteCarloReport,
     MonteCarloRunner,
     PaperInstanceFactory,
     ReplicationOutcome,
@@ -37,6 +46,14 @@ __all__ = [
     "Figure1Panel",
     "Figure1Result",
     "run_figure1",
+    "CheckpointStore",
+    "run_fingerprint",
+    "FaultyInstanceFactory",
+    "default_fault_severities",
+    "run_faults_grid",
+    "run_faults_sweep",
+    "FailedReplication",
+    "MonteCarloReport",
     "MonteCarloRunner",
     "PaperInstanceFactory",
     "ReplicationOutcome",

@@ -1,0 +1,217 @@
+"""Incremental Monte-Carlo checkpoints (experiments store, schema v2).
+
+Long sweeps (the paper's Table I is 7 λ-rows × 800 replications) used to be
+all-or-nothing: a crash at replication 799 lost hours.  The checkpoint
+store makes a run *resumable*: every finished replication is appended to a
+JSON-lines file the moment it completes, and a restarted run replays the
+file, re-executes only what is missing, and — because every replication's
+RNG derives from ``SeedSequence(seed).spawn(n_runs)[index]`` independently
+of execution order — produces **bit-identical** results to an uninterrupted
+run.
+
+File layout (one JSON document per line)::
+
+    {"schema": 2, "kind": "mc_checkpoint", "seed": ..., "n_runs": ...,
+     "fingerprint": "..."}                      # header
+    {"index": 3, "outcome": {...}}              # completed replication
+    {"index": 5, "failed": {...}}               # failure metadata
+    ...
+
+* The **fingerprint** hashes the run configuration (seed, run count,
+  scheduler recipes, instance factory); resuming with a different
+  configuration raises :class:`~repro.errors.CheckpointError` instead of
+  silently mixing incompatible replications.
+* **Failures are metadata, not results**: a replication recorded as failed
+  is re-attempted on resume (its failure may have been transient), and the
+  latest record per index wins.
+* Loading tolerates a truncated final line (the signature of a crash
+  mid-append); anything after the first undecodable line is ignored and
+  simply re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import IO, Mapping
+
+from repro.errors import CheckpointError
+from repro.experiments.runner import FailedReplication, ReplicationOutcome
+
+__all__ = ["CheckpointStore", "run_fingerprint"]
+
+CHECKPOINT_SCHEMA = 2
+_KIND = "mc_checkpoint"
+
+
+def run_fingerprint(factory, specs, seed: int, n_runs: int) -> str:
+    """A stable digest of everything that determines the replication
+    stream: the instance factory, the scheduler recipes, the master seed
+    and the run count."""
+    doc = {
+        "factory": repr(factory),
+        "specs": [
+            [
+                spec.name,
+                f"{spec.cls.__module__}.{spec.cls.__qualname__}",
+                sorted((str(k), repr(v)) for k, v in dict(spec.kwargs).items()),
+            ]
+            for spec in specs
+        ],
+        "seed": int(seed),
+        "n_runs": int(n_runs),
+    }
+    blob = json.dumps(doc, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _outcome_to_dict(outcome: ReplicationOutcome) -> dict:
+    return {
+        "generated_value": outcome.generated_value,
+        "n_jobs": outcome.n_jobs,
+        "values": dict(outcome.values),
+        "completed": dict(outcome.completed),
+    }
+
+
+def _outcome_from_dict(doc: Mapping) -> ReplicationOutcome:
+    return ReplicationOutcome(
+        generated_value=float(doc["generated_value"]),
+        n_jobs=int(doc["n_jobs"]),
+        values={str(k): float(v) for k, v in doc["values"].items()},
+        completed={str(k): int(v) for k, v in doc["completed"].items()},
+    )
+
+
+def _failure_to_dict(failure: FailedReplication) -> dict:
+    return {
+        "index": failure.index,
+        "error_type": failure.error_type,
+        "message": failure.message,
+        "attempts": failure.attempts,
+        "traceback": failure.traceback,
+    }
+
+
+def _failure_from_dict(doc: Mapping) -> FailedReplication:
+    return FailedReplication(
+        index=int(doc["index"]),
+        error_type=str(doc["error_type"]),
+        message=str(doc["message"]),
+        attempts=int(doc["attempts"]),
+        traceback=str(doc.get("traceback", "")),
+    )
+
+
+class CheckpointStore:
+    """Append-only per-replication checkpoint bound to one run fingerprint.
+
+    Open with the header metadata of the run about to execute; if the file
+    already exists its header is validated against that metadata and the
+    recorded replications become available via :attr:`completed` /
+    :attr:`failures`.
+    """
+
+    def __init__(
+        self, path: str | Path, *, seed: int, n_runs: int, fingerprint: str
+    ) -> None:
+        self.path = Path(path)
+        self.seed = int(seed)
+        self.n_runs = int(n_runs)
+        self.fingerprint = str(fingerprint)
+        self.completed: dict[int, ReplicationOutcome] = {}
+        self.failures: dict[int, FailedReplication] = {}
+        self._fh: IO[str] | None = None
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._load_existing()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            header = {
+                "schema": CHECKPOINT_SCHEMA,
+                "kind": _KIND,
+                "seed": self.seed,
+                "n_runs": self.n_runs,
+                "fingerprint": self.fingerprint,
+            }
+            with self.path.open("w") as fh:
+                fh.write(json.dumps(header) + "\n")
+
+    # ------------------------------------------------------------------
+    def _load_existing(self) -> None:
+        lines = self.path.read_text().splitlines()
+        try:
+            header = json.loads(lines[0])
+        except (json.JSONDecodeError, IndexError) as exc:
+            raise CheckpointError(f"{self.path}: corrupt checkpoint header") from exc
+        if header.get("kind") != _KIND:
+            raise CheckpointError(f"{self.path}: not a Monte-Carlo checkpoint")
+        if header.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"{self.path}: unsupported checkpoint schema "
+                f"{header.get('schema')!r} (expected {CHECKPOINT_SCHEMA})"
+            )
+        for key, want in (
+            ("seed", self.seed),
+            ("n_runs", self.n_runs),
+            ("fingerprint", self.fingerprint),
+        ):
+            if header.get(key) != want:
+                raise CheckpointError(
+                    f"{self.path}: checkpoint belongs to a different run "
+                    f"({key}: recorded {header.get(key)!r}, requested {want!r}); "
+                    "delete the file or point the run elsewhere"
+                )
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # truncated tail from a mid-append crash: re-run the rest
+            index = int(record["index"])
+            if not 0 <= index < self.n_runs:
+                raise CheckpointError(
+                    f"{self.path}: replication index {index} out of range "
+                    f"for n_runs={self.n_runs}"
+                )
+            if "outcome" in record:
+                self.completed[index] = _outcome_from_dict(record["outcome"])
+                self.failures.pop(index, None)
+            elif "failed" in record:
+                self.failures[index] = _failure_from_dict(record["failed"])
+            # Unknown record kinds are ignored for forward compatibility.
+
+    # ------------------------------------------------------------------
+    def _append(self, doc: dict) -> None:
+        if self._fh is None:
+            self._fh = self.path.open("a")
+        self._fh.write(json.dumps(doc) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(self, index: int, result: ReplicationOutcome | FailedReplication) -> None:
+        """Persist one finished replication (or its failure metadata)."""
+        if isinstance(result, FailedReplication):
+            self.failures[index] = result
+            self._append({"index": index, "failed": _failure_to_dict(result)})
+        else:
+            self.completed[index] = result
+            self.failures.pop(index, None)
+            self._append({"index": index, "outcome": _outcome_to_dict(result)})
+
+    def pending(self) -> list[int]:
+        """Replication indices still to run (missing or previously failed)."""
+        return [i for i in range(self.n_runs) if i not in self.completed]
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

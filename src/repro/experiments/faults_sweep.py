@@ -1,0 +1,207 @@
+"""Experiment E15: Table-I-style comparison under capacity-sensor faults.
+
+The paper assumes the scheduler learns the *current* capacity exactly the
+moment it changes.  Real cloud telemetry is noisy, stale, and occasionally
+absent.  This experiment replays the paper's Figure-1 configuration
+(λ = 6, c ∈ {1, 35}, k = 7) while the capacity *sensing channel* is
+corrupted by one of the fault models in :mod:`repro.faults`:
+
+* ``noise`` — multiplicative Gaussian noise of relative σ = severity;
+* ``staleness`` — readings delayed by Δ = severity time units;
+* ``dropout`` — readings unavailable a fraction = severity of the time;
+* ``bias`` — the declared lower bound c̲ mis-reported upward by
+  severity × (c̄ − c̲).
+
+The physics channel (what the engine actually executes against) stays
+truthful throughout — only what schedulers *observe* is corrupted, which is
+exactly the separation :class:`repro.faults.CapacitySensorFault` enforces.
+
+Compared schedulers:
+
+* **V-Dover** — trusts only the declared c̲, so by construction it is
+  *immune* to noise/staleness/dropout and only the ``bias`` fault can move
+  it.  A flat curve here is the experiment's headline robustness result.
+* **Dover(sensed)** — Dover whose rate estimate tracks the sensed
+  capacity; the sensor-consuming baseline that the faults actually hurt.
+* **Dover(c=1)** — the conservative clairvoyant-free anchor; immune like
+  V-Dover, but weaker in absolute value.
+
+Crash-isolation: replications run through
+:meth:`~repro.experiments.runner.MonteCarloRunner.run_report`, so a fault
+configuration harsh enough to break a scheduler yields structured
+:class:`~repro.experiments.runner.FailedReplication` records in
+``SweepResult.failures`` instead of aborting the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import summarize
+from repro.core.dover import DoverScheduler
+from repro.core.vdover import VDoverScheduler
+from repro.errors import ExperimentError
+from repro.faults import FAULT_KINDS, FaultSpec
+from repro.experiments.runner import (
+    MonteCarloRunner,
+    PaperInstanceFactory,
+    SchedulerSpec,
+)
+from repro.experiments.sweeps import SweepResult
+from repro.workload.poisson import PoissonWorkload
+
+__all__ = [
+    "FaultyInstanceFactory",
+    "default_fault_severities",
+    "run_faults_sweep",
+    "run_faults_grid",
+]
+
+#: Severity grids per fault kind (0 = fault-free anchor point).
+_DEFAULT_SEVERITIES: Mapping[str, tuple[float, ...]] = {
+    "noise": (0.0, 0.1, 0.3, 0.6, 1.0),  # relative σ
+    "staleness": (0.0, 0.5, 2.0, 8.0),  # delay Δ (time units)
+    "dropout": (0.0, 0.1, 0.3, 0.6),  # unavailable fraction
+    "bias": (0.0, 0.1, 0.3, 0.6),  # c̲ inflation fraction of (c̄ − c̲)
+}
+
+
+def default_fault_severities(kind: str) -> tuple[float, ...]:
+    """The default severity grid swept for ``kind``."""
+    try:
+        return _DEFAULT_SEVERITIES[kind]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class FaultyInstanceFactory:
+    """Wrap an instance factory so every capacity path gets a sensor fault.
+
+    Picklable (frozen dataclass of picklable fields), so it travels to pool
+    workers like any other factory.  The inner factory draws the instance
+    *first* and the fault seed afterwards, so for a fixed replication seed
+    the (jobs, true-capacity) pair is identical across severities — sweeps
+    over severity are paired comparisons, not independent redraws.
+    """
+
+    inner: PaperInstanceFactory
+    spec: FaultSpec
+
+    def make(self, rng: np.random.Generator):
+        jobs, capacity = self.inner.make(rng)
+        fault_seed = int(rng.integers(0, 2**31 - 1))
+        return jobs, self.spec.apply(capacity, seed=fault_seed)
+
+
+def _figure1_factory(
+    lam: float, k: float, expected_jobs: float
+) -> PaperInstanceFactory:
+    horizon = expected_jobs / lam
+    return PaperInstanceFactory(
+        workload=PoissonWorkload(
+            lam=lam,
+            horizon=horizon,
+            density_range=(1.0, k),
+            c_lower=1.0,
+        ),
+        low=1.0,
+        high=35.0,
+        sojourn=horizon / 4.0,
+    )
+
+
+def _fault_specs(k: float) -> list[SchedulerSpec]:
+    return [
+        SchedulerSpec("V-Dover", VDoverScheduler, {"k": k}),
+        SchedulerSpec("Dover(sensed)", DoverScheduler, {"k": k, "c_hat": "sensed"}),
+        SchedulerSpec("Dover(c=1)", DoverScheduler, {"k": k, "c_hat": 1.0}),
+    ]
+
+
+def run_faults_sweep(
+    kind: str,
+    severities: Sequence[float] | None = None,
+    *,
+    lam: float = 6.0,
+    k: float = 7.0,
+    n_runs: int = 30,
+    seed: int = 29,
+    workers: int | None = None,
+    expected_jobs: float = 500.0,
+    timeout: float | None = None,
+    max_retries: int = 0,
+    backoff: float = 0.0,
+) -> SweepResult:
+    """Sweep one fault ``kind`` over a severity grid on the Figure-1 setup.
+
+    Returns a :class:`~repro.experiments.sweeps.SweepResult` whose
+    ``failures`` list carries structured records for any replication lost
+    to a crash or timeout (the sweep itself never aborts on one bad cell
+    unless *every* replication of that cell failed).
+    """
+    if severities is None:
+        severities = default_fault_severities(kind)
+    base = _figure1_factory(lam, k, expected_jobs)
+    specs = _fault_specs(k)
+    result = SweepResult(sweep_name=f"{kind} severity")
+    for severity in severities:
+        factory = FaultyInstanceFactory(
+            inner=base, spec=FaultSpec(kind=kind, severity=float(severity))
+        )
+        runner = MonteCarloRunner(factory, specs)
+        # Same seed at every severity: the fault seed is drawn *after* the
+        # instance, so each replication sees the identical (jobs, capacity)
+        # pair across the grid — the sweep is a paired comparison.
+        report = runner.run_report(
+            n_runs,
+            seed=seed,
+            workers=workers,
+            timeout=timeout,
+            max_retries=max_retries,
+            backoff=backoff,
+        )
+        for failure in report.failure_records():
+            result.failures.append((float(severity), failure))
+        outcomes = report.survivors
+        if not outcomes:
+            raise ExperimentError(
+                f"fault sweep {kind!r} severity={severity:g}: every "
+                f"replication failed ({report.failure_records()[0]})"
+            )
+        result.swept_values.append(float(severity))
+        for spec in specs:
+            result.percents.setdefault(spec.name, []).append(
+                summarize([100.0 * o.normalized(spec.name) for o in outcomes])
+            )
+    return result
+
+
+def run_faults_grid(
+    kinds: Sequence[str] = FAULT_KINDS,
+    *,
+    lam: float = 6.0,
+    k: float = 7.0,
+    n_runs: int = 30,
+    seed: int = 29,
+    workers: int | None = None,
+    expected_jobs: float = 500.0,
+) -> dict[str, SweepResult]:
+    """One :func:`run_faults_sweep` per fault kind (default severity grids)."""
+    return {
+        kind: run_faults_sweep(
+            kind,
+            lam=lam,
+            k=k,
+            n_runs=n_runs,
+            seed=seed,
+            workers=workers,
+            expected_jobs=expected_jobs,
+        )
+        for kind in kinds
+    }

@@ -1,29 +1,46 @@
-"""Seeded, optionally parallel Monte-Carlo replication harness.
+"""Seeded, optionally parallel, crash-isolated Monte-Carlo harness.
 
 Design rules (per the HPC guides and for statistical hygiene):
 
 * every replication derives its RNG from ``SeedSequence(seed).spawn(n)``,
-  so results do not depend on worker scheduling or on how many workers run;
+  so results do not depend on worker scheduling, on how many workers run,
+  on retries, or on whether the run was resumed from a checkpoint;
 * all schedulers inside one replication run on the *same* instance (same
   jobs, same realized capacity path), so cross-algorithm comparisons are
   paired — exactly how the paper compares V-Dover with Dover's four ĉ
   settings;
 * worker payloads are plain picklable dataclasses (no lambdas), so the
-  harness runs unchanged under ``multiprocessing``.
+  harness runs unchanged under ``multiprocessing`` with either the
+  ``fork`` or ``spawn`` start method.
+
+Resilience (docs/ROBUSTNESS.md): a replication that raises is returned to
+the parent as a structured :class:`FailedReplication` instead of killing
+the whole pool; each replication gets an optional wall-clock budget
+enforced *inside* the worker (``SIGALRM``, where available) so a hung
+replication cannot stall the sweep; transient failures (timeouts, OS
+errors) are retried with linear backoff; and long sweeps checkpoint every
+finished replication incrementally (:mod:`repro.experiments.checkpoint`)
+so an interrupted run resumes from completed seeds with bit-identical
+results.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
+import time
+import traceback as traceback_module
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.capacity.base import CapacityFunction
 from repro.capacity.markov import TwoStateMarkovCapacity
-from repro.errors import ReproError
+from repro.errors import ExperimentError, ReplicationTimeout, ReproError
 from repro.sim.engine import simulate
 from repro.sim.job import Job, total_value
 from repro.sim.scheduler import Scheduler
@@ -33,9 +50,19 @@ __all__ = [
     "SchedulerSpec",
     "PaperInstanceFactory",
     "ReplicationOutcome",
+    "FailedReplication",
+    "MonteCarloReport",
     "MonteCarloRunner",
     "default_mc_runs",
+    "TRANSIENT_EXCEPTIONS",
 ]
+
+#: Exception families the runner treats as *transient* (worth retrying):
+#: per-replication wall-clock timeouts and operating-system hiccups.
+#: Deterministic model errors (a scheduler driven outside its contract,
+#: an invalid instance) would fail identically on every retry and are
+#: recorded as failures immediately.
+TRANSIENT_EXCEPTIONS = (ReplicationTimeout, OSError)
 
 
 def default_mc_runs(fallback: int) -> int:
@@ -46,7 +73,13 @@ def default_mc_runs(fallback: int) -> int:
     raw = os.environ.get("REPRO_MC_RUNS")
     if raw is None:
         return fallback
-    runs = int(raw)
+    try:
+        runs = int(raw)
+    except ValueError as exc:
+        raise ReproError(
+            f"REPRO_MC_RUNS must be an integer (e.g. REPRO_MC_RUNS=800), "
+            f"got {raw!r}"
+        ) from exc
     if runs < 1:
         raise ReproError(f"REPRO_MC_RUNS must be >= 1, got {runs}")
     return runs
@@ -105,12 +138,126 @@ class ReplicationOutcome:
         return self.values[name] / self.generated_value if self.generated_value else 0.0
 
 
-def _run_one(
-    args: tuple,
-) -> ReplicationOutcome:
+@dataclass(frozen=True)
+class FailedReplication:
+    """Structured record of a replication that raised or timed out.
+
+    Returned by workers instead of the exception itself, so one bad
+    replication cannot kill ``pool.map`` and lose every sibling's work.
+    """
+
+    index: int
+    error_type: str  #: qualified exception class name
+    message: str
+    attempts: int  #: total attempts, including retries
+    traceback: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"replication #{self.index} failed after {self.attempts} "
+            f"attempt(s): {self.error_type}: {self.message}"
+        )
+
+
+@dataclass
+class MonteCarloReport:
+    """Everything a resilient run produced: survivors, failures, resume
+    accounting.
+
+    ``outcomes`` is keyed by replication index, so paired analyses can
+    align survivors across independent runs even when different subsets
+    failed."""
+
+    n_runs: int
+    outcomes: dict[int, ReplicationOutcome] = field(default_factory=dict)
+    failures: dict[int, FailedReplication] = field(default_factory=dict)
+    #: replications loaded from a checkpoint instead of being executed
+    resumed: int = 0
+
+    @property
+    def survivors(self) -> list[ReplicationOutcome]:
+        """Completed outcomes in replication-index order."""
+        return [self.outcomes[i] for i in sorted(self.outcomes)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def failure_records(self) -> list[FailedReplication]:
+        return [self.failures[i] for i in sorted(self.failures)]
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`ExperimentError` summarizing failures, if any."""
+        if self.ok:
+            return
+        records = self.failure_records()
+        head = records[0]
+        detail = f"\nfirst failure traceback:\n{head.traceback}" if head.traceback else ""
+        raise ExperimentError(
+            f"{len(records)} of {self.n_runs} Monte-Carlo replications "
+            f"failed (first: {head}){detail}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _RetryPolicy:
+    """Picklable per-replication resilience knobs."""
+
+    timeout: float | None = None  #: wall-clock budget per attempt (seconds)
+    max_retries: int = 0  #: extra attempts for transient failures
+    backoff: float = 0.0  #: sleep ``backoff * attempt`` between attempts
+
+
+@contextmanager
+def _replication_deadline(seconds: float | None) -> Iterator[None]:
+    """Enforce a wall-clock budget via ``SIGALRM`` (best effort).
+
+    Enforced only where POSIX interval timers exist and we are on the main
+    thread of the process — which is exactly where pool workers and the
+    serial path run.  Elsewhere the budget is silently unenforced rather
+    than unsupported."""
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):  # pragma: no cover - exercised via raise
+        raise ReplicationTimeout(
+            f"replication exceeded its {seconds:g}s wall-clock budget"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _fresh_seed(seed_seq: np.random.SeedSequence) -> np.random.SeedSequence:
+    """A pristine copy of ``seed_seq`` (zero children spawned).
+
+    ``Generator.spawn`` advances the *shared* SeedSequence spawn counter,
+    so re-running a replication with the original object would silently
+    derive different child streams.  Rebuilding from ``entropy`` +
+    ``spawn_key`` makes every attempt — first run, retry, or resume —
+    bit-identical."""
+    return np.random.SeedSequence(
+        entropy=seed_seq.entropy, spawn_key=seed_seq.spawn_key
+    )
+
+
+def _run_one(args: tuple) -> ReplicationOutcome:
     """Worker: one replication — one instance, all schedulers (paired)."""
     factory, specs, seed_seq = args
-    rng = np.random.default_rng(seed_seq)
+    rng = np.random.default_rng(_fresh_seed(seed_seq))
     jobs, capacity = factory.make(rng)
     gen_value = total_value(jobs)
     values: dict[str, float] = {}
@@ -125,6 +272,51 @@ def _run_one(
         values=values,
         completed=completed,
     )
+
+
+def _run_one_safe(
+    payload: tuple,
+) -> tuple[int, ReplicationOutcome | FailedReplication]:
+    """Crash-isolated worker: never raises (except ``KeyboardInterrupt``).
+
+    Applies the per-attempt deadline, retries transient failures with
+    linear backoff, and downgrades terminal exceptions to a structured
+    :class:`FailedReplication` so the pool — and every sibling
+    replication — survives."""
+    index, factory, specs, seed_seq, policy = payload
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            with _replication_deadline(policy.timeout):
+                return index, _run_one((factory, specs, seed_seq))
+        except KeyboardInterrupt:  # pragma: no cover - user interrupt
+            raise
+        except Exception as exc:
+            transient = isinstance(exc, TRANSIENT_EXCEPTIONS)
+            if transient and attempts <= policy.max_retries:
+                if policy.backoff > 0.0:
+                    time.sleep(policy.backoff * attempts)
+                continue
+            return index, FailedReplication(
+                index=index,
+                error_type=type(exc).__qualname__,
+                message=str(exc),
+                attempts=attempts,
+                traceback=traceback_module.format_exc(),
+            )
+
+
+def _mp_context(start_method: str | None = None):
+    """The multiprocessing context: an explicit method if requested, else
+    ``fork`` where available with a ``spawn`` fallback (macOS/Windows —
+    ``fork`` either does not exist or is unsafe there)."""
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context("spawn")
 
 
 class MonteCarloRunner:
@@ -145,28 +337,144 @@ class MonteCarloRunner:
         self.factory = factory
         self.specs = list(specs)
 
+    # ------------------------------------------------------------------
     def run(
         self,
         n_runs: int,
         seed: int = 0,
         *,
         workers: int | None = None,
+        timeout: float | None = None,
+        max_retries: int = 0,
+        backoff: float = 0.0,
+        checkpoint: "str | os.PathLike | None" = None,
+        mp_start_method: str | None = None,
     ) -> list[ReplicationOutcome]:
-        """Execute the replications; ``workers=0``/``1`` forces serial.
+        """Execute the replications and return the outcomes in order.
 
-        ``workers=None`` auto-sizes to the CPU count (capped at 8) when the
-        job is big enough to amortise process startup.
+        Strict wrapper over :meth:`run_report`: any replication failure
+        (after retries) raises :class:`~repro.errors.ExperimentError`.
+        ``workers=0``/``1`` forces serial; ``workers=None`` auto-sizes to
+        the CPU count (capped at 8) when the job is big enough to amortise
+        process startup.
+        """
+        report = self.run_report(
+            n_runs,
+            seed,
+            workers=workers,
+            timeout=timeout,
+            max_retries=max_retries,
+            backoff=backoff,
+            checkpoint=checkpoint,
+            mp_start_method=mp_start_method,
+        )
+        report.raise_on_failure()
+        return report.survivors
+
+    def run_report(
+        self,
+        n_runs: int,
+        seed: int = 0,
+        *,
+        workers: int | None = None,
+        timeout: float | None = None,
+        max_retries: int = 0,
+        backoff: float = 0.0,
+        checkpoint: "str | os.PathLike | None" = None,
+        mp_start_method: str | None = None,
+    ) -> MonteCarloReport:
+        """Crash-isolated execution with full failure accounting.
+
+        Parameters
+        ----------
+        workers:
+            Parallelism (see :meth:`run`).
+        timeout:
+            Per-replication wall-clock budget in seconds, enforced inside
+            the worker via ``SIGALRM`` where available (POSIX main thread);
+            elsewhere the budget is best-effort.  Timeouts are transient:
+            they consume the retry budget before being recorded as
+            failures.
+        max_retries, backoff:
+            Bounded retry for transient failures (:data:`
+            TRANSIENT_EXCEPTIONS`): up to ``max_retries`` extra attempts,
+            sleeping ``backoff * attempt`` seconds in between.  Retries
+            re-derive the replication's RNG from scratch, so a retried
+            replication is bit-identical to one that succeeded first try.
+        checkpoint:
+            Path of an incremental JSON-lines checkpoint (schema v2, see
+            :mod:`repro.experiments.checkpoint`).  Completed replications
+            found there are loaded instead of re-executed; newly finished
+            replications (and failure metadata) are appended as they
+            complete, so an interrupted sweep resumes where it stopped.
+        mp_start_method:
+            Explicit multiprocessing start method (``"fork"``/``"spawn"``/
+            ``"forkserver"``); default picks ``fork`` where available and
+            falls back to ``spawn``.
         """
         if n_runs < 1:
             raise ReproError(f"n_runs must be >= 1, got {n_runs}")
+        if max_retries < 0:
+            raise ReproError(f"max_retries must be >= 0, got {max_retries}")
+        if timeout is not None and timeout <= 0.0:
+            raise ReproError(f"timeout must be positive, got {timeout}")
+        policy = _RetryPolicy(
+            timeout=timeout, max_retries=int(max_retries), backoff=float(backoff)
+        )
         seeds = np.random.SeedSequence(seed).spawn(n_runs)
-        payloads = [(self.factory, self.specs, s) for s in seeds]
+        report = MonteCarloReport(n_runs=n_runs)
 
-        if workers is None:
-            workers = min(os.cpu_count() or 1, 8) if n_runs >= 8 else 1
-        if workers <= 1:
-            return [_run_one(p) for p in payloads]
+        store = None
+        pending = list(range(n_runs))
+        if checkpoint is not None:
+            from repro.experiments.checkpoint import CheckpointStore, run_fingerprint
 
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=workers) as pool:
-            return pool.map(_run_one, payloads, chunksize=max(1, n_runs // (4 * workers)))
+            store = CheckpointStore(
+                checkpoint,
+                seed=seed,
+                n_runs=n_runs,
+                fingerprint=run_fingerprint(self.factory, self.specs, seed, n_runs),
+            )
+            report.outcomes.update(store.completed)
+            report.resumed = len(store.completed)
+            pending = store.pending()
+
+        payloads = [
+            (i, self.factory, self.specs, seeds[i], policy) for i in pending
+        ]
+
+        def _absorb(index: int, result) -> None:
+            if store is not None:
+                store.record(index, result)
+            if isinstance(result, FailedReplication):
+                report.failures[index] = result
+            else:
+                report.outcomes[index] = result
+
+        try:
+            if not payloads:
+                return report
+            n_pending = len(payloads)
+            if workers is None:
+                workers = min(os.cpu_count() or 1, 8) if n_pending >= 8 else 1
+            if workers <= 1:
+                for payload in payloads:
+                    index, result = _run_one_safe(payload)
+                    _absorb(index, result)
+                return report
+
+            ctx = _mp_context(mp_start_method)
+            # Stream with chunksize 1 when checkpointing so every finished
+            # replication hits disk promptly; otherwise amortise IPC.
+            chunksize = (
+                1 if store is not None else max(1, n_pending // (4 * workers))
+            )
+            with ctx.Pool(processes=workers) as pool:
+                for index, result in pool.imap_unordered(
+                    _run_one_safe, payloads, chunksize=chunksize
+                ):
+                    _absorb(index, result)
+            return report
+        finally:
+            if store is not None:
+                store.close()

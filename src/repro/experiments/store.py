@@ -6,6 +6,19 @@ results (Table I rows, sweeps) to JSON with their configuration and a
 schema version, reloads them, and diffs two runs with per-cell drift —
 the benchmark suite's `benchmarks/results/*.txt` artifacts are for humans,
 these JSON files are for machines.
+
+Schema history
+--------------
+* **v1** — rows/percents + config.
+* **v2** — adds *failure metadata*: results carry the structured
+  :class:`~repro.experiments.runner.FailedReplication` records of every
+  replication that was lost to a crash or timeout, so a stored table is
+  honest about which cells averaged fewer than ``n_runs`` samples.  The
+  companion per-replication *checkpoint records* live in
+  :mod:`repro.experiments.checkpoint` (same schema number).
+
+Both loaders accept v1 files unchanged (they simply carry no failure
+metadata) — stored baselines keep working across the bump.
 """
 
 from __future__ import annotations
@@ -17,6 +30,7 @@ from typing import Mapping
 
 from repro.analysis.stats import Summary
 from repro.errors import AnalysisError
+from repro.experiments.runner import FailedReplication
 from repro.experiments.sweeps import SweepResult
 from repro.experiments.table1 import Table1Config, Table1Result, Table1Row
 
@@ -28,7 +42,9 @@ __all__ = [
     "load_sweep",
 ]
 
-_SCHEMA = 1
+_SCHEMA = 2
+#: Schemas the loaders accept; v1 files predate failure metadata.
+_SUPPORTED_SCHEMAS = (1, 2)
 
 
 def _summary_to_dict(s: Summary) -> dict:
@@ -42,6 +58,31 @@ def _summary_from_dict(d: Mapping) -> Summary:
         std=float(d["std"]),
         ci_half_width=float(d["ci_half_width"]),
     )
+
+
+def _failure_to_dict(f: FailedReplication) -> dict:
+    return {
+        "index": f.index,
+        "error_type": f.error_type,
+        "message": f.message,
+        "attempts": f.attempts,
+        "traceback": f.traceback,
+    }
+
+
+def _failure_from_dict(d: Mapping) -> FailedReplication:
+    return FailedReplication(
+        index=int(d["index"]),
+        error_type=str(d["error_type"]),
+        message=str(d["message"]),
+        attempts=int(d["attempts"]),
+        traceback=str(d.get("traceback", "")),
+    )
+
+
+def _check_schema(doc: Mapping, path) -> None:
+    if doc.get("schema") not in _SUPPORTED_SCHEMAS:
+        raise AnalysisError(f"{path}: unsupported schema {doc.get('schema')}")
 
 
 # ----------------------------------------------------------------------
@@ -64,6 +105,11 @@ def save_table1(path: str | Path, result: Table1Result) -> None:
             }
             for row in result.rows
         ],
+        # v2: failure metadata, keyed by the row's λ.
+        "failures": {
+            str(lam): [_failure_to_dict(f) for f in failures]
+            for lam, failures in result.failures.items()
+        },
     }
     Path(path).write_text(json.dumps(doc, indent=2))
 
@@ -72,8 +118,7 @@ def load_table1(path: str | Path) -> Table1Result:
     doc = json.loads(Path(path).read_text())
     if doc.get("kind") != "table1":
         raise AnalysisError(f"{path}: not a table1 result file")
-    if doc.get("schema") != _SCHEMA:
-        raise AnalysisError(f"{path}: unsupported schema {doc.get('schema')}")
+    _check_schema(doc, path)
     config_dict = dict(doc["config"])
     config_dict["lambdas"] = tuple(config_dict["lambdas"])
     config_dict["c_hats"] = tuple(config_dict["c_hats"])
@@ -91,6 +136,9 @@ def load_table1(path: str | Path) -> Table1Result:
                 gain_percent=_summary_from_dict(row["gain_percent"]),
             )
         )
+    # v1 files carry no failure metadata; v2 files may carry an empty map.
+    for lam, failures in doc.get("failures", {}).items():
+        result.failures[float(lam)] = [_failure_from_dict(f) for f in failures]
     return result
 
 
@@ -133,6 +181,10 @@ def save_sweep(path: str | Path, result: SweepResult) -> None:
             name: [_summary_to_dict(s) for s in summaries]
             for name, summaries in result.percents.items()
         },
+        # v2: failure metadata (``swept_value`` identifies the cell).
+        "failures": [
+            {"swept_value": v, **_failure_to_dict(f)} for v, f in result.failures
+        ],
     }
     Path(path).write_text(json.dumps(doc, indent=2))
 
@@ -141,12 +193,15 @@ def load_sweep(path: str | Path) -> SweepResult:
     doc = json.loads(Path(path).read_text())
     if doc.get("kind") != "sweep":
         raise AnalysisError(f"{path}: not a sweep result file")
-    if doc.get("schema") != _SCHEMA:
-        raise AnalysisError(f"{path}: unsupported schema {doc.get('schema')}")
+    _check_schema(doc, path)
     result = SweepResult(sweep_name=doc["sweep_name"])
     result.swept_values = [float(v) for v in doc["swept_values"]]
     result.percents = {
         name: [_summary_from_dict(s) for s in summaries]
         for name, summaries in doc["percents"].items()
     }
+    for record in doc.get("failures", []):
+        record = dict(record)
+        swept_value = float(record.pop("swept_value"))
+        result.failures.append((swept_value, _failure_from_dict(record)))
     return result

@@ -28,6 +28,7 @@ from repro.core.greedy import FCFSScheduler, GreedyDensityScheduler
 from repro.core.llf import LLFScheduler
 from repro.core.vdover import VDoverScheduler
 from repro.experiments.runner import (
+    FailedReplication,
     MonteCarloRunner,
     PaperInstanceFactory,
     SchedulerSpec,
@@ -55,6 +56,9 @@ class SweepResult:
     swept_values: list[float] = field(default_factory=list)
     #: scheduler name -> list of Summary, aligned with swept_values
     percents: dict[str, list[Summary]] = field(default_factory=dict)
+    #: failure metadata (schema v2): ``(swept_value, FailedReplication)``
+    #: for every replication lost to a crash/timeout at that sweep point
+    failures: list[tuple[float, FailedReplication]] = field(default_factory=list)
 
     def render(self) -> str:
         names = list(self.percents)

@@ -15,15 +15,18 @@ best Dover per row and reports the gain against it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from repro.analysis.stats import Summary, paired_gain_percent, summarize
+from repro.errors import ExperimentError
 from repro.analysis.tables import render_table
 from repro.core.dover import DoverScheduler
 from repro.core.vdover import VDoverScheduler
 from repro.experiments.runner import (
+    FailedReplication,
     MonteCarloRunner,
     PaperInstanceFactory,
     SchedulerSpec,
@@ -86,6 +89,12 @@ class Table1Row:
 class Table1Result:
     config: Table1Config
     rows: list[Table1Row] = field(default_factory=list)
+    #: failure metadata (schema v2): λ -> replications lost to crash/timeout
+    failures: dict[float, list[FailedReplication]] = field(default_factory=dict)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(len(f) for f in self.failures.values())
 
     def render(self) -> str:
         headers = (
@@ -103,7 +112,7 @@ class Table1Result:
             cells.append(f"{row.best_c_hat:g}")
             cells.append(f"{row.gain_percent.mean:+.2f}")
             body.append(cells)
-        return render_table(
+        rendered = render_table(
             headers,
             body,
             title=(
@@ -111,10 +120,33 @@ class Table1Result:
                 f"(n={self.config.n_runs} MC runs; * = best Dover)"
             ),
         )
+        if self.n_failed:
+            rendered += (
+                f"\n[!] {self.n_failed} replication(s) failed and were "
+                f"excluded; see result.failures for structured records"
+            )
+        return rendered
 
 
-def run_table1(config: Table1Config | None = None) -> Table1Result:
-    """Reproduce Table I under ``config`` (paper defaults)."""
+def run_table1(
+    config: Table1Config | None = None,
+    *,
+    checkpoint_dir: "str | None" = None,
+    timeout: float | None = None,
+    max_retries: int = 0,
+    backoff: float = 0.0,
+) -> Table1Result:
+    """Reproduce Table I under ``config`` (paper defaults).
+
+    Resilience knobs (docs/ROBUSTNESS.md): with ``checkpoint_dir`` every
+    λ-row checkpoints each finished replication to
+    ``<dir>/table1_lam<λ>.ckpt.jsonl`` and an interrupted run resumes from
+    completed seeds with bit-identical summaries; ``timeout`` /
+    ``max_retries`` / ``backoff`` bound each replication's wall clock and
+    retry transient failures.  Replications that still fail are *excluded*
+    from the averages and reported as structured records in
+    ``result.failures`` instead of aborting the whole table.
+    """
     config = config or Table1Config()
     out = Table1Result(config=config)
     specs = config.specs()
@@ -133,9 +165,26 @@ def run_table1(config: Table1Config | None = None) -> Table1Result:
             sojourn=horizon / 4.0,
         )
         runner = MonteCarloRunner(factory, specs)
-        outcomes = runner.run(
-            config.n_runs, seed=config.seed + i, workers=config.workers
+        checkpoint = None
+        if checkpoint_dir is not None:
+            checkpoint = Path(checkpoint_dir) / f"table1_lam{lam:g}.ckpt.jsonl"
+        report = runner.run_report(
+            config.n_runs,
+            seed=config.seed + i,
+            workers=config.workers,
+            timeout=timeout,
+            max_retries=max_retries,
+            backoff=backoff,
+            checkpoint=checkpoint,
         )
+        if report.failures:
+            out.failures[lam] = report.failure_records()
+        outcomes = report.survivors
+        if not outcomes:
+            raise ExperimentError(
+                f"Table I row λ={lam:g}: every replication failed "
+                f"({report.failure_records()[0]})"
+            )
 
         normalized = {
             spec.name: np.array([o.normalized(spec.name) for o in outcomes])

@@ -1,0 +1,27 @@
+"""Capacity-sensing fault injection (docs/ROBUSTNESS.md).
+
+Composable wrappers that corrupt the *sensing* channel of a capacity model
+(instantaneous readings and declared bounds) while keeping the simulated
+physics honest, plus the picklable :class:`FaultSpec` recipes the
+fault-sweep experiment ships to Monte-Carlo workers.
+"""
+
+from repro.faults.base import CapacitySensorFault, unwrap_faults
+from repro.faults.models import (
+    BiasedBoundsCapacity,
+    DropoutCapacity,
+    NoisyCapacity,
+    StaleCapacity,
+)
+from repro.faults.spec import FAULT_KINDS, FaultSpec
+
+__all__ = [
+    "CapacitySensorFault",
+    "unwrap_faults",
+    "NoisyCapacity",
+    "StaleCapacity",
+    "DropoutCapacity",
+    "BiasedBoundsCapacity",
+    "FaultSpec",
+    "FAULT_KINDS",
+]

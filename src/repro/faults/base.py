@@ -1,0 +1,141 @@
+"""Base machinery of the capacity-sensing fault-injection layer.
+
+The simulation engine consumes a :class:`~repro.capacity.base.
+CapacityFunction` through two distinct channels:
+
+* the **physics** channel — :meth:`pieces`, :meth:`integrate`,
+  :meth:`advance`, :meth:`cumulative` — the ground truth the engine uses to
+  move work and predict completions; and
+* the **sensing** channel — :meth:`value` (surfaced to schedulers as
+  ``ctx.capacity_now()``) and the declared bounds ``(lower, upper)``
+  (surfaced as ``ctx.bounds``) — the only capacity information an online
+  scheduler is allowed to consult.
+
+:class:`CapacitySensorFault` is a wrapper that corrupts the *sensing*
+channel while delegating the *physics* channel verbatim to the wrapped
+function.  Simulating with a faulted capacity therefore keeps the world
+honest — jobs complete exactly when the true trajectory says they do —
+while the scheduler's view of that world degrades.  Wrappers compose:
+``NoisyCapacity(StaleCapacity(markov, delay=1.0), sigma=0.2)`` is a sensor
+that is both one second stale and 20 % noisy, and :func:`unwrap_faults`
+recovers the pristine innermost model for analysis.
+
+See docs/ROBUSTNESS.md for the full fault taxonomy and the degradation
+semantics schedulers apply on the consuming side.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.capacity.base import CapacityFunction, Piece
+from repro.errors import CapacityError, FaultConfigError
+
+__all__ = ["CapacitySensorFault", "unwrap_faults"]
+
+
+class CapacitySensorFault(CapacityFunction):
+    """A capacity whose dynamics are true but whose *sensor* lies.
+
+    Subclasses implement :meth:`sense` (the corrupted instantaneous
+    reading) and may override the declared ``lower``/``upper`` via the
+    constructor (bias faults).  Everything the engine uses for physics
+    delegates to the wrapped function, including the O(log n) prefix-sum
+    fast path when the wrapped model supports it.
+
+    Parameters
+    ----------
+    inner:
+        The capacity being wrapped — possibly itself a fault wrapper.
+    lower, upper:
+        Mis-declared bounds to expose through the sensing channel.
+        Default: the wrapped function's declared bounds (no bias).
+    """
+
+    def __init__(
+        self,
+        inner: CapacityFunction,
+        *,
+        lower: float | None = None,
+        upper: float | None = None,
+    ) -> None:
+        if not isinstance(inner, CapacityFunction):
+            raise FaultConfigError(
+                f"fault wrappers wrap CapacityFunction instances, got {inner!r}"
+            )
+        lo = inner.lower if lower is None else float(lower)
+        hi = inner.upper if upper is None else float(upper)
+        if not (math.isfinite(lo) and math.isfinite(hi)):
+            raise FaultConfigError(
+                f"declared bounds must be finite, got [{lo!r}, {hi!r}]"
+            )
+        try:
+            super().__init__(lo, hi)
+        except CapacityError as exc:
+            raise FaultConfigError(f"mis-declared band is unusable: {exc}") from exc
+        self._inner = inner
+
+    # ------------------------------------------------------------------
+    # Sensing channel (corrupted)
+    # ------------------------------------------------------------------
+    def sense(self, t: float) -> float:
+        """The corrupted instantaneous reading at ``t``.  Default: pass the
+        wrapped sensor's reading through unchanged (pure bound-bias faults
+        corrupt only the declared band)."""
+        return self._inner.value(t)
+
+    def value(self, t: float) -> float:
+        """The sensing channel: what ``ctx.capacity_now()`` reports.
+
+        Unlike a well-behaved capacity model this may fall outside the
+        declared band, may be stale, and may raise
+        :class:`~repro.errors.CapacityReadError` during a dropout — that is
+        the point of the exercise.
+        """
+        return self.sense(t)
+
+    # ------------------------------------------------------------------
+    # Physics channel (delegated verbatim)
+    # ------------------------------------------------------------------
+    @property
+    def inner(self) -> CapacityFunction:
+        """The wrapped capacity (possibly itself a fault wrapper)."""
+        return self._inner
+
+    def true_value(self, t: float) -> float:
+        """The ground-truth rate ``c(t)`` of the innermost model."""
+        return unwrap_faults(self._inner).value(t)
+
+    def pieces(self, t0: float, t1: float) -> Iterator[Piece]:
+        return self._inner.pieces(t0, t1)
+
+    def integrate(self, t0: float, t1: float) -> float:
+        return self._inner.integrate(t0, t1)
+
+    def advance(self, t0: float, work: float, horizon: float = math.inf) -> float:
+        return self._inner.advance(t0, work, horizon)
+
+    def next_change(self, t: float, horizon: float) -> float:
+        return self._inner.next_change(t, horizon)
+
+    def mean(self, t0: float, t1: float) -> float:
+        return self._inner.mean(t0, t1)
+
+    @property
+    def supports_prefix_index(self) -> bool:  # type: ignore[override]
+        return bool(getattr(self._inner, "supports_prefix_index", False))
+
+    def cumulative(self, t: float) -> float:
+        """Prefix-sum fast path, available iff the wrapped model has it."""
+        return self._inner.cumulative(t)  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self._inner!r})"
+
+
+def unwrap_faults(capacity: CapacityFunction) -> CapacityFunction:
+    """Strip every fault wrapper and return the pristine innermost model."""
+    while isinstance(capacity, CapacitySensorFault):
+        capacity = capacity.inner
+    return capacity

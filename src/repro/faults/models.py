@@ -1,0 +1,257 @@
+"""Concrete capacity-sensor fault models.
+
+Four composable corruptions of the sensing channel (see
+:mod:`repro.faults.base` for the physics/sensing split and
+docs/ROBUSTNESS.md for the taxonomy):
+
+* :class:`NoisyCapacity` — Gaussian (multiplicative or additive) noise on
+  every reading;
+* :class:`StaleCapacity` — readings delayed by a fixed Δ (the sensor
+  reports ``c(t − Δ)``);
+* :class:`DropoutCapacity` — the sensor is unavailable on outage windows
+  (explicit, or sampled as an alternating-renewal process) and raises
+  :class:`~repro.errors.CapacityReadError` inside them;
+* :class:`BiasedBoundsCapacity` — the *declared* band ``(c̲, c̄)`` is
+  mis-reported while readings stay honest, modelling an operator who
+  promised more conservative capacity than the substrate delivers.
+
+Determinism: noise and stochastic dropout derive every random draw from
+``(seed, query)`` so a reading at time ``t`` is the same however often and
+in whatever order it is queried — replications stay reproducible and
+picklable across worker processes.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from bisect import bisect_right
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.capacity.base import CapacityFunction
+from repro.errors import CapacityReadError, FaultConfigError
+from repro.faults.base import CapacitySensorFault
+
+__all__ = [
+    "NoisyCapacity",
+    "StaleCapacity",
+    "DropoutCapacity",
+    "BiasedBoundsCapacity",
+]
+
+
+def _hash_normal(seed: int, t: float) -> float:
+    """A standard-normal draw that is a pure function of ``(seed, t)``.
+
+    Uses the bit pattern of ``t`` as extra SeedSequence entropy, so repeated
+    queries at the same instant return the same reading (sensor consistency)
+    while distinct instants decorrelate.
+    """
+    bits = struct.unpack("<Q", struct.pack("<d", float(t)))[0]
+    rng = np.random.default_rng(np.random.SeedSequence(entropy=(seed, bits)))
+    return float(rng.standard_normal())
+
+
+class NoisyCapacity(CapacitySensorFault):
+    """Gaussian noise on the reported rate.
+
+    Parameters
+    ----------
+    inner:
+        The capacity (or fault stack) being wrapped.
+    sigma:
+        Noise width.  Relative mode reports ``c(t)·(1 + σ·g)``, absolute
+        mode ``c(t) + σ·g`` with ``g ~ N(0, 1)``.  Readings are floored at
+        zero (a rate sensor cannot report a negative rate) but are *not*
+        clamped into the declared band — that is the consumer's job.
+    relative:
+        Multiplicative (default) vs additive noise.
+    seed:
+        Seed of the deterministic noise stream.
+    """
+
+    def __init__(
+        self,
+        inner: CapacityFunction,
+        sigma: float,
+        *,
+        relative: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if not (math.isfinite(sigma) and sigma >= 0.0):
+            raise FaultConfigError(f"noise width must be >= 0, got {sigma!r}")
+        super().__init__(inner)
+        self._sigma = float(sigma)
+        self._relative = bool(relative)
+        self._seed = int(seed)
+
+    def sense(self, t: float) -> float:
+        reading = self._inner.value(t)
+        if self._sigma == 0.0:
+            return reading
+        g = _hash_normal(self._seed, t)
+        if self._relative:
+            reading *= 1.0 + self._sigma * g
+        else:
+            reading += self._sigma * g
+        return max(0.0, reading)
+
+
+class StaleCapacity(CapacitySensorFault):
+    """A sensor whose readings lag reality by ``delay`` time units:
+    ``sense(t) = c(max(0, t − delay))``."""
+
+    def __init__(self, inner: CapacityFunction, delay: float) -> None:
+        if not (math.isfinite(delay) and delay >= 0.0):
+            raise FaultConfigError(f"staleness delay must be >= 0, got {delay!r}")
+        super().__init__(inner)
+        self._delay = float(delay)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+    def sense(self, t: float) -> float:
+        return self._inner.value(max(0.0, t - self._delay))
+
+
+class DropoutCapacity(CapacitySensorFault):
+    """A sensor that goes dark on outage windows.
+
+    Inside an outage, :meth:`sense` raises :class:`~repro.errors.
+    CapacityReadError` carrying the recovery instant; outside, readings pass
+    through.  Windows come either from an explicit list or from an
+    alternating-renewal process (exponential up-times of mean ``mean_up``,
+    exponential outages of mean ``mean_down``) materialized lazily — the
+    same append-only idiom as the Markov capacity, so query order does not
+    change the realization.
+
+    Parameters
+    ----------
+    windows:
+        Explicit, sorted, disjoint ``(start, end)`` outage intervals.
+        Mutually exclusive with the stochastic parameters.
+    mean_up, mean_down:
+        Means of the exponential availability / outage durations.
+    seed:
+        Seed of the renewal process (stochastic mode only).
+    """
+
+    def __init__(
+        self,
+        inner: CapacityFunction,
+        *,
+        windows: Iterable[Tuple[float, float]] | None = None,
+        mean_up: float | None = None,
+        mean_down: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(inner)
+        if windows is not None:
+            if mean_up is not None or mean_down is not None:
+                raise FaultConfigError(
+                    "give either explicit windows or (mean_up, mean_down), not both"
+                )
+            wins = [(float(a), float(b)) for a, b in windows]
+            prev_end = -math.inf
+            for a, b in wins:
+                if not (a < b):
+                    raise FaultConfigError(f"empty outage window: ({a!r}, {b!r})")
+                if a < prev_end:
+                    raise FaultConfigError("outage windows must be sorted and disjoint")
+                prev_end = b
+            self._explicit: list[Tuple[float, float]] | None = wins
+            self._rng = None
+        else:
+            if mean_up is None or mean_down is None:
+                raise FaultConfigError(
+                    "stochastic dropout needs both mean_up and mean_down"
+                )
+            if not (mean_up > 0.0 and mean_down > 0.0):
+                raise FaultConfigError(
+                    f"mean_up/mean_down must be positive, got "
+                    f"{mean_up!r}/{mean_down!r}"
+                )
+            self._explicit = None
+            self._mean_up = float(mean_up)
+            self._mean_down = float(mean_down)
+            self._rng = np.random.default_rng(seed)
+            self._sampled: list[Tuple[float, float]] = []
+            # Availability is decided on [0, _frontier); starts available.
+            self._frontier = float(self._rng.exponential(self._mean_up))
+
+    # -- window materialization ----------------------------------------
+    def _ensure(self, t: float) -> None:
+        while self._frontier <= t:
+            start = self._frontier
+            end = start + float(self._rng.exponential(self._mean_down))
+            self._sampled.append((start, end))
+            self._frontier = end + float(self._rng.exponential(self._mean_up))
+
+    def _outage_at(self, t: float) -> Tuple[float, float] | None:
+        if self._explicit is not None:
+            wins = self._explicit
+        else:
+            self._ensure(t)
+            wins = self._sampled
+        i = bisect_right(wins, (t, math.inf)) - 1
+        if i >= 0 and wins[i][0] <= t < wins[i][1]:
+            return wins[i]
+        return None
+
+    def outage_windows(self, horizon: float) -> list[Tuple[float, float]]:
+        """The outage windows intersecting ``[0, horizon)`` (materializing
+        the renewal process as needed)."""
+        if self._explicit is None:
+            self._ensure(horizon)
+            wins = self._sampled
+        else:
+            wins = self._explicit
+        return [w for w in wins if w[0] < horizon]
+
+    def sense(self, t: float) -> float:
+        window = self._outage_at(t)
+        if window is not None:
+            raise CapacityReadError(t, resumes_at=window[1])
+        return self._inner.value(t)
+
+
+class BiasedBoundsCapacity(CapacitySensorFault):
+    """Mis-declared capacity bounds with honest instantaneous readings.
+
+    The scheduler-facing band becomes ``(lower', upper')`` — given directly
+    or as multiples of the true declared bounds — while the trajectory (and
+    the sensor) keep reporting the truth.  An inflated ``lower'`` models the
+    dangerous direction: V-Dover trusts a conservative bound the substrate
+    does not actually guarantee.
+    """
+
+    def __init__(
+        self,
+        inner: CapacityFunction,
+        *,
+        lower_factor: float = 1.0,
+        upper_factor: float = 1.0,
+        lower: float | None = None,
+        upper: float | None = None,
+    ) -> None:
+        if lower_factor <= 0.0 or upper_factor <= 0.0:
+            raise FaultConfigError(
+                f"bias factors must be positive, got "
+                f"{lower_factor!r}/{upper_factor!r}"
+            )
+        lo = inner.lower * lower_factor if lower is None else float(lower)
+        hi = inner.upper * upper_factor if upper is None else float(upper)
+        if not (math.isfinite(lo) and math.isfinite(hi)):
+            raise FaultConfigError(
+                f"mis-declared bounds must be finite, got [{lo!r}, {hi!r}]"
+            )
+        # A heavily inflated lower bound may cross the (unchanged) upper
+        # bound; a sensor that mis-declares c̲ above c̄ is still a band of
+        # one point in practice — snap rather than reject, the consumer's
+        # degradation logic handles the rest.
+        if lo > hi:
+            lo = hi
+        super().__init__(inner, lower=lo, upper=hi)

@@ -1,0 +1,106 @@
+"""Picklable fault *descriptions* for the experiment harness.
+
+Monte-Carlo worker payloads must be plain picklable data, so the fault
+sweep ships a :class:`FaultSpec` (kind + severity + options) to workers and
+materializes the actual wrapper per replication via :meth:`FaultSpec.apply`
+with a replication-local seed — the same recipe-vs-instance split as
+:class:`~repro.experiments.runner.SchedulerSpec`.
+
+Severity conventions (``severity = 0`` is always the identity):
+
+* ``noise`` — relative Gaussian noise width σ (0.2 → ±20 % readings);
+* ``staleness`` — sensor lag Δ in time units;
+* ``dropout`` — long-run sensor *unavailability fraction* in [0, 1), with
+  mean outage length ``mean_down`` (option, default 1.0);
+* ``bias`` — optimistic inflation of the declared conservative bound:
+  ``c̲' = c̲ + severity · (c̄ − c̲)`` (severity 1 declares c̲ = c̄).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.capacity.base import CapacityFunction
+from repro.errors import FaultConfigError
+from repro.faults.models import (
+    BiasedBoundsCapacity,
+    DropoutCapacity,
+    NoisyCapacity,
+    StaleCapacity,
+)
+
+__all__ = ["FaultSpec", "FAULT_KINDS"]
+
+#: The supported fault families, in presentation order.
+FAULT_KINDS = ("noise", "staleness", "dropout", "bias")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A serializable recipe for one sensing fault.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS` (or ``"none"`` for the explicit
+        identity).
+    severity:
+        Fault strength on the per-kind scale documented in the module
+        docstring.  ``0`` always means "no fault".
+    options:
+        Kind-specific extras (e.g. ``mean_down`` for ``dropout``,
+        ``relative`` for ``noise``).
+    """
+
+    kind: str
+    severity: float = 0.0
+    options: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS and self.kind != "none":
+            raise FaultConfigError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{('none',) + FAULT_KINDS}"
+            )
+        if not self.severity >= 0.0:
+            raise FaultConfigError(f"severity must be >= 0, got {self.severity!r}")
+        if self.kind == "dropout" and not self.severity < 1.0:
+            raise FaultConfigError(
+                f"dropout severity is an unavailability fraction and must be "
+                f"< 1, got {self.severity!r}"
+            )
+
+    @property
+    def label(self) -> str:
+        if self.kind == "none" or self.severity == 0.0:
+            return "no-fault"
+        return f"{self.kind}={self.severity:g}"
+
+    def apply(self, capacity: CapacityFunction, seed: int = 0) -> CapacityFunction:
+        """Wrap ``capacity`` according to this spec (identity at severity 0)."""
+        if self.kind == "none" or self.severity == 0.0:
+            return capacity
+        if self.kind == "noise":
+            return NoisyCapacity(
+                capacity,
+                sigma=self.severity,
+                relative=bool(self.options.get("relative", True)),
+                seed=seed,
+            )
+        if self.kind == "staleness":
+            return StaleCapacity(capacity, delay=self.severity)
+        if self.kind == "dropout":
+            p = self.severity
+            mean_down = float(self.options.get("mean_down", 1.0))
+            # Unavailability fraction p = mean_down / (mean_up + mean_down).
+            mean_up = mean_down * (1.0 - p) / p
+            return DropoutCapacity(
+                capacity, mean_up=mean_up, mean_down=mean_down, seed=seed
+            )
+        if self.kind == "bias":
+            span = capacity.upper - capacity.lower
+            return BiasedBoundsCapacity(
+                capacity, lower=capacity.lower + self.severity * span
+            )
+        raise FaultConfigError(f"unknown fault kind {self.kind!r}")  # pragma: no cover

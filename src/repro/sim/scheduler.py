@@ -28,8 +28,10 @@ prediction and trace accounting.
 from __future__ import annotations
 
 import abc
+import math
 from typing import Optional, Tuple
 
+from repro.errors import CapacityReadError, EstimateError
 from repro.sim.job import Job
 
 __all__ = ["SchedulerContext", "Scheduler"]
@@ -109,14 +111,70 @@ class Scheduler(abc.ABC):
 
     def __init__(self) -> None:
         self.ctx: SchedulerContext = None  # type: ignore[assignment]
+        self._sensor_last_good: float | None = None
+        self._sensor_health = {"reads": 0, "dropouts": 0, "clamped": 0}
 
     def bind(self, ctx: SchedulerContext) -> None:
         """Attach to an engine run and reset per-run state."""
         self.ctx = ctx
+        self._sensor_last_good = None
+        self._sensor_health = {"reads": 0, "dropouts": 0, "clamped": 0}
         self.reset()
 
     def reset(self) -> None:
         """Reinitialise per-run state.  Default: nothing."""
+
+    # ------------------------------------------------------------------
+    # Robust capacity sensing (docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+    @property
+    def sensor_health(self) -> dict:
+        """Counters of the degradation ladder taken by
+        :meth:`sense_capacity` during the current run (copy on access):
+        total ``reads``, ``dropouts`` (reading unavailable or garbage) and
+        ``clamped`` (out-of-band readings snapped into the declared
+        band)."""
+        return dict(self._sensor_health)
+
+    def sense_capacity(self) -> float:
+        """Read ``ctx.capacity_now()`` with graceful degradation.
+
+        Under fault injection (:mod:`repro.faults`) the sensor may report
+        rates outside the declared band, return garbage, or raise
+        :class:`~repro.errors.CapacityReadError` during a dropout.  Rather
+        than silently mis-scheduling on a corrupt estimate, this helper
+        applies the degradation ladder:
+
+        1. out-of-band readings are **clamped** into the declared
+           ``[c̲, c̄]`` (the band is the only contract the scheduler has);
+        2. unavailable or non-finite/non-positive readings fall back to the
+           **last-known-good** (clamped) reading;
+        3. with no last-known-good value yet, fall back to the conservative
+           bound ``c̲``;
+        4. if even the declared band is unusable (non-finite or
+           non-positive), raise :class:`~repro.errors.EstimateError`.
+        """
+        lo, hi = self.ctx.bounds
+        if not (math.isfinite(lo) and math.isfinite(hi) and 0.0 < lo <= hi):
+            raise EstimateError(
+                f"declared capacity band ({lo!r}, {hi!r}) is unusable; "
+                "no graceful fallback exists"
+            )
+        self._sensor_health["reads"] += 1
+        try:
+            reading = self.ctx.capacity_now()
+        except CapacityReadError:
+            reading = None
+        if reading is None or not math.isfinite(reading) or reading <= 0.0:
+            self._sensor_health["dropouts"] += 1
+            if self._sensor_last_good is not None:
+                return self._sensor_last_good
+            return lo
+        if reading < lo or reading > hi:
+            self._sensor_health["clamped"] += 1
+            reading = min(max(reading, lo), hi)
+        self._sensor_last_good = reading
+        return reading
 
     # ------------------------------------------------------------------
     # Interrupt handlers: each returns the job that should run next

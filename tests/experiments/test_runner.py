@@ -94,3 +94,10 @@ class TestDefaultRuns:
         monkeypatch.setenv("REPRO_MC_RUNS", "0")
         with pytest.raises(ReproError):
             default_mc_runs(12)
+
+    def test_non_numeric_env_wrapped(self, monkeypatch):
+        """Satellite: a typo'd REPRO_MC_RUNS surfaces as the project's own
+        error type (with a hint), not a bare ValueError."""
+        monkeypatch.setenv("REPRO_MC_RUNS", "lots")
+        with pytest.raises(ReproError, match="REPRO_MC_RUNS must be an integer"):
+            default_mc_runs(12)

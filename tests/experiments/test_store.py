@@ -1,9 +1,12 @@
 """Tests for the experiment result store."""
 
+import json
+
 import pytest
 
 from repro.errors import AnalysisError
 from repro.experiments import Table1Config, run_beta_sweep, run_table1
+from repro.experiments.runner import FailedReplication
 from repro.experiments.store import (
     diff_table1,
     load_sweep,
@@ -70,3 +73,75 @@ class TestSweepStore:
         path.write_text('{"kind": "table1", "schema": 1}')
         with pytest.raises(AnalysisError):
             load_sweep(path)
+
+
+FAILURE = FailedReplication(
+    index=3,
+    error_type="ReplicationTimeout",
+    message="replication exceeded its 5s wall-clock budget",
+    attempts=2,
+    traceback="Traceback (most recent call last): ...",
+)
+
+
+class TestSchemaV2:
+    """Schema v2 carries failure metadata; v1 files stay loadable."""
+
+    def test_saved_files_declare_schema_2(self, small_table1, tmp_path):
+        path = tmp_path / "t1.json"
+        save_table1(path, small_table1)
+        assert json.loads(path.read_text())["schema"] == 2
+
+    def test_table1_failures_roundtrip(self, small_table1, tmp_path):
+        small_table1.failures[6.0] = [FAILURE]
+        try:
+            path = tmp_path / "t1.json"
+            save_table1(path, small_table1)
+            loaded = load_table1(path)
+            assert loaded.failures == {6.0: [FAILURE]}
+            assert loaded.n_failed == 1
+            assert "1 replication(s) failed" in loaded.render()
+        finally:
+            small_table1.failures.clear()  # module-scoped fixture
+
+    def test_sweep_failures_roundtrip(self, tmp_path):
+        sweep = run_beta_sweep(betas=(2.0,), n_runs=2, expected_jobs=60.0, workers=1)
+        sweep.failures.append((2.0, FAILURE))
+        path = tmp_path / "sweep.json"
+        save_sweep(path, sweep)
+        loaded = load_sweep(path)
+        assert loaded.failures == [(2.0, FAILURE)]
+
+    def test_v1_table1_still_loads(self, small_table1, tmp_path):
+        """Satellite: stored baselines predate failure metadata and must
+        keep loading unchanged."""
+        path = tmp_path / "t1.json"
+        save_table1(path, small_table1)
+        doc = json.loads(path.read_text())
+        doc["schema"] = 1
+        del doc["failures"]  # a v1 writer never emitted the key
+        path.write_text(json.dumps(doc))
+        loaded = load_table1(path)
+        assert loaded.failures == {}
+        assert loaded.render() == small_table1.render()
+
+    def test_v1_sweep_still_loads(self, tmp_path):
+        sweep = run_beta_sweep(betas=(2.0,), n_runs=2, expected_jobs=60.0, workers=1)
+        path = tmp_path / "sweep.json"
+        save_sweep(path, sweep)
+        doc = json.loads(path.read_text())
+        doc["schema"] = 1
+        del doc["failures"]
+        path.write_text(json.dumps(doc))
+        loaded = load_sweep(path)
+        assert loaded.failures == []
+        assert loaded.render() == sweep.render()
+
+    def test_unknown_schema_rejected(self, small_table1, tmp_path):
+        path = tmp_path / "t1.json"
+        save_table1(path, small_table1)
+        doc = json.loads(path.read_text())
+        doc["schema"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(AnalysisError, match="unsupported schema"):
+            load_table1(path)

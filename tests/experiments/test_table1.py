@@ -51,6 +51,24 @@ class TestPaperShape:
             assert row.gain_percent.mean - row.gain_percent.ci_half_width > 0.0
 
 
+class TestResilience:
+    CONFIG = dict(lambdas=(6.0,), n_runs=4, expected_jobs=60.0, seed=5, workers=1)
+
+    def test_checkpointed_run_matches_plain(self, tmp_path):
+        plain = run_table1(Table1Config(**self.CONFIG))
+        ckpt = run_table1(Table1Config(**self.CONFIG), checkpoint_dir=tmp_path)
+        assert ckpt.render() == plain.render()
+        assert (tmp_path / "table1_lam6.ckpt.jsonl").exists()
+        # resuming an already-complete run re-executes nothing and agrees
+        resumed = run_table1(Table1Config(**self.CONFIG), checkpoint_dir=tmp_path)
+        assert resumed.render() == plain.render()
+
+    def test_no_failures_on_clean_run(self, small_result):
+        assert small_result.failures == {}
+        assert small_result.n_failed == 0
+        assert "failed" not in small_result.render()
+
+
 class TestRendering:
     def test_render_contains_rows_and_marker(self, small_result):
         text = small_result.render()

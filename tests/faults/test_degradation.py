@@ -1,0 +1,188 @@
+"""Graceful degradation of schedulers consuming a faulty capacity sensor.
+
+The invariants under test (docs/ROBUSTNESS.md):
+
+* no fault model makes a scheduler *crash* — degraded estimates, never
+  unhandled exceptions;
+* V-Dover and Dover with a fixed ĉ never read the sensor, so
+  noise/staleness/dropout leave their schedules bit-identical;
+* ``Dover(sensed)`` reads through :meth:`Scheduler.sense_capacity`, whose
+  ladder clamps out-of-band readings, falls back to last-known-good during
+  dropouts, and raises :class:`~repro.errors.EstimateError` only when the
+  declared band itself is unusable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capacity import PiecewiseConstantCapacity, TwoStateMarkovCapacity
+from repro.core import DoverScheduler, VDoverScheduler
+from repro.errors import EstimateError, ReproError
+from repro.faults import (
+    BiasedBoundsCapacity,
+    DropoutCapacity,
+    NoisyCapacity,
+    StaleCapacity,
+)
+from repro.sim import simulate
+from repro.workload import PoissonWorkload
+
+
+def make_instance(seed=0, lam=6.0, jobs=120.0):
+    rng = np.random.default_rng(seed)
+    horizon = jobs / lam
+    workload = PoissonWorkload(lam=lam, horizon=horizon, density_range=(1.0, 7.0))
+    job_rng, cap_rng = rng.spawn(2)
+    job_list = workload.generate(job_rng)
+    capacity = TwoStateMarkovCapacity(
+        1.0, 35.0, mean_sojourn=horizon / 4.0, rng=cap_rng
+    )
+    return job_list, capacity
+
+
+FAULTS = {
+    "noise": lambda cap: NoisyCapacity(cap, sigma=0.5, seed=1),
+    "stale": lambda cap: StaleCapacity(cap, delay=2.0),
+    "dropout": lambda cap: DropoutCapacity(cap, mean_up=2.0, mean_down=1.0, seed=1),
+}
+
+
+class TestImmuneSchedulers:
+    """Schedulers that never consult the sensor are bit-identical under
+    sensing faults (the experiment's headline robustness property)."""
+
+    @pytest.mark.parametrize("fault", sorted(FAULTS))
+    @pytest.mark.parametrize(
+        "make_sched",
+        [lambda: VDoverScheduler(k=7.0), lambda: DoverScheduler(k=7.0, c_hat=1.0)],
+        ids=["vdover", "dover-fixed"],
+    )
+    def test_value_identical_under_sensing_faults(self, fault, make_sched):
+        jobs, capacity = make_instance(seed=3)
+        clean = simulate(jobs, capacity, make_sched())
+        jobs, capacity = make_instance(seed=3)
+        faulty = simulate(jobs, FAULTS[fault](capacity), make_sched())
+        assert faulty.value == clean.value
+        assert faulty.n_completed == clean.n_completed
+
+    def test_bias_moves_vdover(self):
+        jobs, capacity = make_instance(seed=3)
+        clean = simulate(jobs, capacity, VDoverScheduler(k=7.0))
+        jobs, capacity = make_instance(seed=3)
+        biased = simulate(
+            jobs, BiasedBoundsCapacity(capacity, lower=18.0), VDoverScheduler(k=7.0)
+        )
+        # The declared band is V-Dover's one capacity input; lifting c̲
+        # changes its conservative laxities, hence its schedule.
+        assert biased.value != clean.value
+
+
+class TestSensedDover:
+    def test_no_fault_model_crashes_it(self):
+        for name, wrap in FAULTS.items():
+            jobs, capacity = make_instance(seed=5)
+            result = simulate(jobs, wrap(capacity), DoverScheduler(k=7.0, c_hat="sensed"))
+            assert result.value >= 0.0, name
+
+    def test_sensor_health_counters(self):
+        jobs, capacity = make_instance(seed=5)
+        sched = DoverScheduler(k=7.0, c_hat="sensed")
+        simulate(
+            jobs,
+            NoisyCapacity(
+                DropoutCapacity(capacity, mean_up=2.0, mean_down=1.0, seed=2),
+                sigma=1.0,
+                seed=2,
+            ),
+            sched,
+        )
+        health = sched.sensor_health
+        assert health["reads"] > 0
+        assert health["dropouts"] > 0  # the renewal process did go dark
+        assert health["clamped"] > 0  # σ=1 noise leaves the band often
+        assert health["dropouts"] + health["clamped"] <= health["reads"]
+
+    def test_health_reset_between_runs(self):
+        jobs, capacity = make_instance(seed=5)
+        sched = DoverScheduler(k=7.0, c_hat="sensed")
+        simulate(jobs, NoisyCapacity(capacity, sigma=1.0, seed=2), sched)
+        jobs, capacity = make_instance(seed=5)
+        simulate(jobs, capacity, sched)
+        assert sched.sensor_health["clamped"] == 0
+
+    def test_sensed_tracks_clean_sensor(self):
+        # With an honest sensor, Dover(sensed) follows the true trajectory;
+        # it must match Dover pinned at the constant true rate.
+        jobs, _ = make_instance(seed=7)
+        flat = PiecewiseConstantCapacity([0.0], [4.0], lower=1.0, upper=35.0)
+        sensed = simulate(jobs, flat, DoverScheduler(k=7.0, c_hat="sensed"))
+        pinned = simulate(jobs, flat, DoverScheduler(k=7.0, c_hat=4.0))
+        assert sensed.value == pinned.value
+
+    def test_rejects_unknown_rate_mode(self):
+        with pytest.raises(ReproError):
+            DoverScheduler(k=7.0, c_hat="psychic")
+
+
+class _StubCtx:
+    """Minimal SchedulerContext stand-in for exercising the sensing ladder."""
+
+    def __init__(self, bounds, readings):
+        self.bounds = bounds
+        self._readings = list(readings)
+
+    def capacity_now(self):
+        reading = self._readings.pop(0)
+        if isinstance(reading, Exception):
+            raise reading
+        return reading
+
+
+class TestDegradationLadder:
+    def test_unusable_band_raises_estimate_error(self):
+        # A band this broken cannot come from a CapacityFunction (the base
+        # class validates its own bounds); the ladder still refuses to
+        # invent an estimate if a context ever hands one over.
+        sched = DoverScheduler(k=7.0, c_hat=1.0)
+        sched.ctx = _StubCtx((0.0, 35.0), [4.0])
+        with pytest.raises(EstimateError):
+            sched.sense_capacity()
+        sched.ctx = _StubCtx((float("nan"), 35.0), [4.0])
+        with pytest.raises(EstimateError):
+            sched.sense_capacity()
+
+    def test_ladder_order_clamp_then_last_good_then_lower(self):
+        from repro.errors import CapacityReadError
+
+        sched = DoverScheduler(k=7.0, c_hat=1.0)
+        sched.ctx = _StubCtx(
+            (1.0, 35.0),
+            [
+                50.0,  # out of band -> clamped to 35
+                CapacityReadError(1.0),  # dropout -> last good (35)
+                float("nan"),  # garbage -> last good (35)
+                2.0,  # honest in-band reading
+            ],
+        )
+        assert sched.sense_capacity() == 35.0
+        assert sched.sense_capacity() == 35.0
+        assert sched.sense_capacity() == 35.0
+        assert sched.sense_capacity() == 2.0
+        assert sched.sensor_health == {"reads": 4, "dropouts": 2, "clamped": 1}
+
+    def test_no_last_good_falls_back_to_lower(self):
+        from repro.errors import CapacityReadError
+
+        sched = DoverScheduler(k=7.0, c_hat=1.0)
+        sched.ctx = _StubCtx((3.0, 35.0), [CapacityReadError(0.0)])
+        assert sched.sense_capacity() == 3.0
+
+    def test_dropout_from_start_falls_back_to_lower_bound(self):
+        # Sensor dark for the whole run: every read degrades to c̲ = 1, so
+        # Dover(sensed) must behave exactly like Dover(c=1).
+        jobs, capacity = make_instance(seed=11)
+        dark = DropoutCapacity(capacity, windows=[(0.0, 1e9)])
+        sensed = simulate(jobs, dark, DoverScheduler(k=7.0, c_hat="sensed"))
+        jobs, capacity = make_instance(seed=11)
+        fixed = simulate(jobs, capacity, DoverScheduler(k=7.0, c_hat=1.0))
+        assert sensed.value == fixed.value

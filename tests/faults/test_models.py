@@ -1,0 +1,263 @@
+"""Unit tests for the capacity-sensor fault wrappers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.capacity import (
+    ConstantCapacity,
+    PiecewiseConstantCapacity,
+    TwoStateMarkovCapacity,
+)
+from repro.errors import CapacityReadError, FaultConfigError
+from repro.faults import (
+    BiasedBoundsCapacity,
+    CapacitySensorFault,
+    DropoutCapacity,
+    FaultSpec,
+    NoisyCapacity,
+    StaleCapacity,
+    unwrap_faults,
+)
+
+
+def steps():
+    return PiecewiseConstantCapacity(
+        [0.0, 2.0, 5.0], [1.0, 35.0, 4.0], lower=1.0, upper=35.0
+    )
+
+
+class TestPhysicsDelegation:
+    """The physics channel must be verbatim whatever the sensor does."""
+
+    def test_integrate_advance_pieces_unchanged(self):
+        true = steps()
+        faulty = NoisyCapacity(StaleCapacity(true, delay=1.0), sigma=0.5, seed=3)
+        assert faulty.integrate(0.0, 7.0) == true.integrate(0.0, 7.0)
+        assert faulty.advance(0.0, 10.0) == true.advance(0.0, 10.0)
+        assert list(faulty.pieces(0.0, 7.0)) == list(true.pieces(0.0, 7.0))
+        assert faulty.next_change(0.0, 10.0) == true.next_change(0.0, 10.0)
+        assert faulty.mean(0.0, 7.0) == true.mean(0.0, 7.0)
+
+    def test_prefix_fast_path_passes_through(self):
+        true = steps()
+        faulty = StaleCapacity(true, delay=2.0)
+        assert faulty.supports_prefix_index == true.supports_prefix_index
+        if true.supports_prefix_index:
+            assert faulty.cumulative(6.0) == true.cumulative(6.0)
+
+    def test_dropout_physics_never_raises(self):
+        faulty = DropoutCapacity(steps(), windows=[(0.0, 100.0)])
+        # The sensor is dark for the whole horizon, the world keeps moving.
+        assert faulty.integrate(0.0, 7.0) == steps().integrate(0.0, 7.0)
+
+    def test_unwrap_and_true_value(self):
+        true = steps()
+        faulty = NoisyCapacity(
+            DropoutCapacity(true, windows=[(1.0, 2.0)]), sigma=1.0, seed=0
+        )
+        assert unwrap_faults(faulty) is true
+        assert unwrap_faults(true) is true
+        assert faulty.true_value(3.0) == true.value(3.0)
+
+    def test_wraps_only_capacity_functions(self):
+        with pytest.raises(FaultConfigError):
+            NoisyCapacity("not a capacity", sigma=0.1)
+
+
+class TestNoisy:
+    def test_zero_sigma_is_identity(self):
+        true = steps()
+        faulty = NoisyCapacity(true, sigma=0.0)
+        for t in (0.0, 1.0, 3.0, 6.0):
+            assert faulty.value(t) == true.value(t)
+
+    def test_deterministic_per_query(self):
+        a = NoisyCapacity(steps(), sigma=0.3, seed=7)
+        b = NoisyCapacity(steps(), sigma=0.3, seed=7)
+        for t in (0.5, 2.5, 6.0):
+            assert a.value(t) == b.value(t)
+            # repeated queries at the same instant agree (sensor consistency)
+            assert a.value(t) == a.value(t)
+
+    def test_seed_decorrelates(self):
+        a = NoisyCapacity(steps(), sigma=0.3, seed=1)
+        b = NoisyCapacity(steps(), sigma=0.3, seed=2)
+        assert any(a.value(t) != b.value(t) for t in (0.5, 2.5, 6.0))
+
+    def test_reading_floored_at_zero(self):
+        faulty = NoisyCapacity(ConstantCapacity(1.0), sigma=100.0, seed=0)
+        assert all(faulty.value(t / 10) >= 0.0 for t in range(50))
+
+    def test_readings_can_leave_band(self):
+        faulty = NoisyCapacity(ConstantCapacity(10.0), sigma=5.0, relative=False, seed=0)
+        vals = [faulty.value(t / 10) for t in range(100)]
+        assert any(v > faulty.upper or v < faulty.lower for v in vals)
+
+    def test_additive_mode(self):
+        faulty = NoisyCapacity(ConstantCapacity(10.0), sigma=1.0, relative=False, seed=4)
+        t = 0.25
+        g = faulty.value(t) - 10.0
+        # multiplicative at the same (seed, t) scales the same draw by c
+        rel = NoisyCapacity(ConstantCapacity(10.0), sigma=1.0, relative=True, seed=4)
+        assert rel.value(t) == pytest.approx(10.0 * (1.0 + g))
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(FaultConfigError):
+            NoisyCapacity(steps(), sigma=-0.1)
+        with pytest.raises(FaultConfigError):
+            NoisyCapacity(steps(), sigma=math.nan)
+
+
+class TestStale:
+    def test_reports_past_value(self):
+        true = steps()
+        faulty = StaleCapacity(true, delay=2.0)
+        assert faulty.value(3.0) == true.value(1.0)
+        assert faulty.value(6.0) == true.value(4.0)
+
+    def test_clamped_at_zero(self):
+        faulty = StaleCapacity(steps(), delay=5.0)
+        assert faulty.value(1.0) == steps().value(0.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(FaultConfigError):
+            StaleCapacity(steps(), delay=-1.0)
+
+
+class TestDropout:
+    def test_explicit_windows(self):
+        faulty = DropoutCapacity(steps(), windows=[(1.0, 2.0), (4.0, 6.0)])
+        assert faulty.value(0.5) == steps().value(0.5)
+        with pytest.raises(CapacityReadError) as exc:
+            faulty.value(1.5)
+        assert exc.value.t == 1.5
+        assert exc.value.resumes_at == 2.0
+        assert faulty.value(2.0) == steps().value(2.0)  # boundary: recovered
+        with pytest.raises(CapacityReadError):
+            faulty.value(5.0)
+
+    def test_window_validation(self):
+        with pytest.raises(FaultConfigError):
+            DropoutCapacity(steps(), windows=[(2.0, 1.0)])
+        with pytest.raises(FaultConfigError):
+            DropoutCapacity(steps(), windows=[(0.0, 3.0), (2.0, 4.0)])
+        with pytest.raises(FaultConfigError):
+            DropoutCapacity(steps(), windows=[(0.0, 1.0)], mean_up=1.0, mean_down=1.0)
+        with pytest.raises(FaultConfigError):
+            DropoutCapacity(steps(), mean_up=1.0)  # missing mean_down
+        with pytest.raises(FaultConfigError):
+            DropoutCapacity(steps(), mean_up=-1.0, mean_down=1.0)
+
+    def test_stochastic_windows_deterministic_and_order_free(self):
+        a = DropoutCapacity(steps(), mean_up=2.0, mean_down=1.0, seed=11)
+        b = DropoutCapacity(steps(), mean_up=2.0, mean_down=1.0, seed=11)
+        # query b at scattered times first: materialization order must not
+        # change the realization (append-only renewal sampling)
+        for t in (9.0, 0.3, 5.5, 2.2):
+            try:
+                b.value(t)
+            except CapacityReadError:
+                pass
+        assert a.outage_windows(10.0) == b.outage_windows(10.0)
+
+    def test_stochastic_fraction_roughly_matches(self):
+        faulty = DropoutCapacity(steps(), mean_up=3.0, mean_down=1.0, seed=5)
+        horizon = 5000.0
+        down = sum(
+            min(end, horizon) - start
+            for start, end in faulty.outage_windows(horizon)
+            if start < horizon
+        )
+        assert down / horizon == pytest.approx(0.25, abs=0.05)
+
+
+class TestBiasedBounds:
+    def test_bounds_lifted_readings_honest(self):
+        true = steps()
+        faulty = BiasedBoundsCapacity(true, lower=10.0)
+        assert faulty.lower == 10.0
+        assert faulty.upper == true.upper
+        assert faulty.value(0.5) == true.value(0.5)  # honest sensor
+
+    def test_factor_form(self):
+        faulty = BiasedBoundsCapacity(steps(), lower_factor=3.0, upper_factor=0.5)
+        assert faulty.lower == 3.0
+        assert faulty.upper == 17.5
+
+    def test_crossed_band_snaps(self):
+        faulty = BiasedBoundsCapacity(steps(), lower=100.0)
+        assert faulty.lower == faulty.upper == 35.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(FaultConfigError):
+            BiasedBoundsCapacity(steps(), lower_factor=0.0)
+        with pytest.raises(FaultConfigError):
+            BiasedBoundsCapacity(steps(), lower=math.inf)
+
+
+class TestComposition:
+    def test_stacked_faults(self):
+        true = steps()
+        faulty = NoisyCapacity(StaleCapacity(true, delay=2.0), sigma=0.0)
+        # zero noise over a stale sensor == the stale reading
+        assert faulty.value(3.0) == true.value(1.0)
+        assert unwrap_faults(faulty) is true
+
+    def test_dropout_propagates_through_noise(self):
+        faulty = NoisyCapacity(
+            DropoutCapacity(steps(), windows=[(1.0, 2.0)]), sigma=0.3, seed=0
+        )
+        with pytest.raises(CapacityReadError):
+            faulty.value(1.5)
+
+
+class TestFaultSpec:
+    def test_zero_severity_is_identity(self):
+        cap = steps()
+        assert FaultSpec("noise", 0.0).apply(cap) is cap
+        assert FaultSpec("none").apply(cap) is cap
+
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            ("noise", NoisyCapacity),
+            ("staleness", StaleCapacity),
+            ("dropout", DropoutCapacity),
+            ("bias", BiasedBoundsCapacity),
+        ],
+    )
+    def test_apply_builds_right_wrapper(self, kind, cls):
+        wrapped = FaultSpec(kind, 0.3).apply(steps(), seed=1)
+        assert isinstance(wrapped, cls)
+        assert unwrap_faults(wrapped).lower == 1.0
+
+    def test_bias_severity_interpolates_band(self):
+        wrapped = FaultSpec("bias", 0.5).apply(steps())
+        assert wrapped.lower == pytest.approx(1.0 + 0.5 * 34.0)
+        assert wrapped.upper == 35.0
+
+    def test_dropout_fraction_parameterization(self):
+        wrapped = FaultSpec("dropout", 0.25, {"mean_down": 2.0}).apply(steps(), seed=0)
+        assert wrapped._mean_down == 2.0
+        assert wrapped._mean_up == pytest.approx(6.0)  # p = down/(up+down) = 1/4
+
+    def test_validation(self):
+        with pytest.raises(FaultConfigError):
+            FaultSpec("gamma-rays", 0.1)
+        with pytest.raises(FaultConfigError):
+            FaultSpec("noise", -1.0)
+        with pytest.raises(FaultConfigError):
+            FaultSpec("dropout", 1.0)
+
+    def test_label(self):
+        assert FaultSpec("noise", 0.0).label == "no-fault"
+        assert FaultSpec("staleness", 2.0).label == "staleness=2"
+
+    def test_applies_to_markov_paths(self):
+        rng = np.random.default_rng(0)
+        cap = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=5.0, rng=rng)
+        wrapped = FaultSpec("noise", 0.2).apply(cap, seed=9)
+        assert isinstance(wrapped, CapacitySensorFault)
+        assert wrapped.integrate(0.0, 10.0) == cap.integrate(0.0, 10.0)

@@ -22,6 +22,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "nonsense"])
 
+    def test_faults_kinds(self):
+        for kind in ("noise", "staleness", "dropout", "bias"):
+            args = build_parser().parse_args(["faults", kind])
+            assert args.kind == kind
+            assert args.severities is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "gamma-rays"])
+
+    def test_table1_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["table1", "--checkpoint", "/tmp/ck", "--timeout", "30", "--retries", "2"]
+        )
+        assert args.checkpoint == "/tmp/ck"
+        assert args.timeout == 30.0
+        assert args.retries == 2
+        defaults = build_parser().parse_args(["table1"])
+        assert defaults.checkpoint is None and defaults.retries == 0
+
 
 class TestCommands:
     def test_theory(self, capsys):
@@ -61,6 +79,36 @@ class TestCommands:
     def test_sweep_beta_small(self, capsys):
         assert main(["sweep", "beta", "--runs", "2", "--workers", "1"]) == 0
         assert "beta" in capsys.readouterr().out
+
+    def test_faults_small(self, capsys):
+        code = main(
+            [
+                "faults", "noise",
+                "--severities", "0", "0.5",
+                "--runs", "2",
+                "--jobs", "60",
+                "--workers", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "noise severity" in out
+        assert "Dover(sensed)" in out
+
+    def test_table1_checkpoint_resumes(self, tmp_path, capsys):
+        argv = [
+            "table1",
+            "--runs", "2",
+            "--lambdas", "6",
+            "--jobs", "60",
+            "--workers", "1",
+            "--checkpoint", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "table1_lam6.ckpt.jsonl").exists()
+        assert main(argv) == 0  # resumes from the checkpoint
+        assert capsys.readouterr().out == first
 
 
 class TestSimulateCommand:
