@@ -101,7 +101,29 @@ class AdmissionEDFScheduler(Scheduler):
             return self._ready.dequeue()
         return None
 
+    def on_eviction(self, job: Job) -> Optional[Job]:
+        # The job was already admitted; eviction does not re-run the
+        # admission test (admission is never revoked).
+        self._ready.insert(job)
+        return self._ready.dequeue()
+
     @property
     def n_rejected(self) -> int:
         """Jobs turned away by the admission test (so far this run)."""
         return len(self._rejected)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _policy_state(self) -> dict:
+        return {
+            "rate": self._rate,
+            "ready": sorted(j.jid for j in self._ready.jobs()),
+            "rejected": sorted(self._rejected),
+        }
+
+    def _restore_policy_state(self, state: dict, jobs_by_id) -> None:
+        self._rate = state["rate"]
+        for jid in state["ready"]:
+            self._ready.insert(jobs_by_id[jid])
+        self._rejected = set(state["rejected"])

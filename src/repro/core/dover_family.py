@@ -395,3 +395,70 @@ class DoverFamilyScheduler(Scheduler):
                     f"zero-laxity interrupt for job {job.jid} that is in "
                     "neither Qedf nor Qother"
                 )
+
+    # ------------------------------------------------------------------
+    # Eviction (execution faults: VM revocation, mid-run job kill)
+    # ------------------------------------------------------------------
+    def on_eviction(self, job: Job) -> Optional[Job]:
+        """The running job was forcibly evicted (and may have lost
+        progress).  Requeue it — supplement jobs back to Qsupp, regular
+        jobs to Qother with a fresh zero-laxity alarm — then run handler C
+        to elect a successor, exactly as if the processor had just freed
+        up."""
+        self._refresh_rate()
+        if self._is_supplement(job):
+            self._qsupp.insert(job)
+        elif job.jid not in self._abandoned_ids:
+            self._enqueue_other(job)
+        return self._handler_c()
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _policy_state(self) -> dict:
+        return {
+            "rate": self._rate,
+            "cslack": self._cslack,
+            # Qedf entries carry bookkeeping; all queues serialise by jid
+            # (insertion order is irrelevant: every ordering key includes
+            # the jid tie-break, so keys are unique).
+            "qedf": sorted(
+                (e[0].jid, e[1], e[2]) for e in self._qedf.entries()
+            ),
+            "qother": sorted(j.jid for j in self._qother.jobs()),
+            "qsupp": sorted(j.jid for j in self._qsupp.jobs()),
+            "supp_ids": sorted(self._supp_ids),
+            "abandoned_ids": sorted(self._abandoned_ids),
+            "zero_cl_ids": sorted(self._zero_cl_ids),
+            "stats": dict(self._stats),
+            "intervals": [
+                (iv.start, iv.end, iv.regval, iv.clval) for iv in self._intervals
+            ],
+            "open_start": self._open_start,
+            "acc_regval": self._acc_regval,
+            "acc_clval": self._acc_clval,
+        }
+
+    def _restore_policy_state(self, state: dict, jobs_by_id) -> None:
+        self._rate = state["rate"]
+        self._cslack = state["cslack"]
+        for jid, t_insert, cslack_insert in state["qedf"]:
+            self._qedf.insert((jobs_by_id[jid], t_insert, cslack_insert))
+        for jid in state["qother"]:
+            # Plain insert: the armed zero-laxity alarms live in the
+            # engine's event-queue snapshot; re-arming here would bump
+            # version tokens and orphan them.
+            self._qother.insert(jobs_by_id[jid])
+        for jid in state["qsupp"]:
+            self._qsupp.insert(jobs_by_id[jid])
+        self._supp_ids = set(state["supp_ids"])
+        self._abandoned_ids = set(state["abandoned_ids"])
+        self._zero_cl_ids = set(state["zero_cl_ids"])
+        self._stats = dict(state["stats"])
+        self._intervals = [
+            RegularInterval(start=s, end=e, regval=rv, clval=cv)
+            for s, e, rv, cv in state["intervals"]
+        ]
+        self._open_start = state["open_start"]
+        self._acc_regval = state["acc_regval"]
+        self._acc_clval = state["acc_clval"]

@@ -54,3 +54,17 @@ class EDFScheduler(Scheduler):
         if self._ready:
             return self._ready.dequeue()
         return None
+
+    def on_eviction(self, job: Job) -> Optional[Job]:
+        # Unlike a release, an eviction can leave the processor idle while
+        # the ready queue is non-empty; re-elect over the full queue.
+        self._ready.insert(job)
+        return self._ready.dequeue()
+
+    # -- snapshot / restore --------------------------------------------
+    def _policy_state(self) -> dict:
+        return {"ready": sorted(j.jid for j in self._ready.jobs())}
+
+    def _restore_policy_state(self, state: dict, jobs_by_id) -> None:
+        for jid in state["ready"]:
+            self._ready.insert(jobs_by_id[jid])

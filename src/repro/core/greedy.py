@@ -55,6 +55,18 @@ class _PriorityPreemptiveScheduler(Scheduler):
             return self._ready.dequeue()
         return None
 
+    def on_eviction(self, job: Job) -> Optional[Job]:
+        self._ready.insert(job)
+        return self._ready.dequeue()
+
+    # -- snapshot / restore --------------------------------------------
+    def _policy_state(self) -> dict:
+        return {"ready": sorted(j.jid for j in self._ready.jobs())}
+
+    def _restore_policy_state(self, state: dict, jobs_by_id) -> None:
+        for jid in state["ready"]:
+            self._ready.insert(jobs_by_id[jid])
+
 
 class GreedyDensityScheduler(_PriorityPreemptiveScheduler):
     """Highest value-density first (``v_i / p_i``), preemptive.
@@ -124,3 +136,17 @@ class FCFSScheduler(Scheduler):
         if self._fifo:
             return self._fifo.dequeue()
         return None
+
+    def on_eviction(self, job: Job) -> Optional[Job]:
+        # The evicted job re-queues at its release-order slot (it keeps any
+        # retained progress; FCFS has no other preference to express).
+        self._fifo.insert(job)
+        return self._fifo.dequeue()
+
+    # -- snapshot / restore --------------------------------------------
+    def _policy_state(self) -> dict:
+        return {"fifo": sorted(j.jid for j in self._fifo.jobs())}
+
+    def _restore_policy_state(self, state: dict, jobs_by_id) -> None:
+        for jid in state["fifo"]:
+            self._fifo.insert(jobs_by_id[jid])

@@ -117,3 +117,23 @@ class LLFScheduler(Scheduler):
 
     def on_alarm(self, job: Job, tag: str) -> Optional[Job]:
         return self._elect()
+
+    def on_eviction(self, job: Job) -> Optional[Job]:
+        self._ready.insert(job)
+        return self._elect()
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _policy_state(self) -> dict:
+        return {
+            "rate": self._rate,
+            "ready": sorted(j.jid for j in self._ready.jobs()),
+        }
+
+    def _restore_policy_state(self, state: dict, jobs_by_id) -> None:
+        self._rate = state["rate"]
+        # Intercept keys recompute identically: a waiting job's remaining
+        # workload is frozen and the engine restores it before set_state.
+        for jid in state["ready"]:
+            self._ready.insert(jobs_by_id[jid])

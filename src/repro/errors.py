@@ -79,6 +79,50 @@ class SimulationError(ReproError):
     tolerance, a trace that fails validation, ...)."""
 
 
+class RecoveryError(SimulationError):
+    """Raised when engine snapshot/restore or journal replay cannot
+    proceed: restoring a snapshot onto a mismatched scheduler or job set, a
+    journal whose replayed events diverge from the live run, or a scheduler
+    that does not implement state capture."""
+
+
+class InvariantViolationError(SimulationError):
+    """Raised by the invariant watchdog in *paranoid* mode when a runtime
+    monitor detects a violation of one of the paper's correctness
+    conditions (:mod:`repro.sim.invariants`).  In the default counting mode
+    violations are recorded, not raised."""
+
+
+class SimulatedCrash(FaultInjectionError):
+    """Raised by :class:`repro.faults.EngineCrashPlan` when its scheduled
+    crash point is reached.  Deliberately *not* a :class:`SimulationError`:
+    it models the simulation *process* dying, and carries the engine's last
+    snapshot so the run can be resumed.
+
+    Attributes:
+        time: simulation time at which the crash fired.
+        at_event: dispatch index at which the crash fired (event-indexed
+            plans), else ``None``.
+        fault_index: index of the crash plan within the engine's fault list.
+        snapshot: the :class:`repro.sim.journal.EngineSnapshot` taken at the
+            instant of the crash (``None`` if snapshotting was disabled).
+    """
+
+    def __init__(
+        self,
+        time: float,
+        at_event: "int | None" = None,
+        fault_index: int = 0,
+        snapshot: object = None,
+    ) -> None:
+        self.time = float(time)
+        self.at_event = at_event
+        self.fault_index = int(fault_index)
+        self.snapshot = snapshot
+        where = f"t={time:g}" if at_event is None else f"event #{at_event}"
+        super().__init__(f"simulated engine crash at {where}")
+
+
 class AnalysisError(ReproError):
     """Raised for invalid analysis queries (e.g. the competitive-ratio
     formula of Theorem 3 evaluated at ``delta <= 1``, where ``f(k, delta)``

@@ -13,6 +13,12 @@ from repro.experiments.faults_sweep import (
     run_faults_grid,
     run_faults_sweep,
 )
+from repro.experiments.recovery_sweep import (
+    RecoveryInstanceFactory,
+    crash_resume_equivalence,
+    default_recovery_rates,
+    run_recovery_sweep,
+)
 from repro.experiments.runner import (
     FailedReplication,
     MonteCarloReport,
@@ -52,6 +58,10 @@ __all__ = [
     "default_fault_severities",
     "run_faults_grid",
     "run_faults_sweep",
+    "RecoveryInstanceFactory",
+    "crash_resume_equivalence",
+    "default_recovery_rates",
+    "run_recovery_sweep",
     "FailedReplication",
     "MonteCarloReport",
     "MonteCarloRunner",

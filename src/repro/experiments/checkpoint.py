@@ -73,6 +73,7 @@ def _outcome_to_dict(outcome: ReplicationOutcome) -> dict:
         "n_jobs": outcome.n_jobs,
         "values": dict(outcome.values),
         "completed": dict(outcome.completed),
+        "recovered": outcome.recovered,
     }
 
 
@@ -82,6 +83,8 @@ def _outcome_from_dict(doc: Mapping) -> ReplicationOutcome:
         n_jobs=int(doc["n_jobs"]),
         values={str(k): float(v) for k, v in doc["values"].items()},
         completed={str(k): int(v) for k, v in doc["completed"].items()},
+        # Absent in checkpoints written before crash recovery existed.
+        recovered=int(doc.get("recovered", 0)),
     )
 
 
@@ -163,13 +166,23 @@ class CheckpointStore:
                     f"({key}: recorded {header.get(key)!r}, requested {want!r}); "
                     "delete the file or point the run elsewhere"
                 )
-        for line in lines[1:]:
+        for lineno, line in enumerate(lines[1:], start=2):
             if not line.strip():
                 continue
             try:
                 record = json.loads(line)
-            except json.JSONDecodeError:
-                break  # truncated tail from a mid-append crash: re-run the rest
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    # A truncated *final* line is the signature of a crash
+                    # mid-append: tolerate it and re-run that replication.
+                    break
+                # An undecodable line *followed by* valid data is not a
+                # torn append — the file is corrupt; resuming from it
+                # could silently misattribute replications.
+                raise CheckpointError(
+                    f"{self.path}: corrupt checkpoint record at line "
+                    f"{lineno} (not a truncated tail; refusing to resume)"
+                ) from exc
             index = int(record["index"])
             if not 0 <= index < self.n_runs:
                 raise CheckpointError(

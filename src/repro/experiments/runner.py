@@ -40,8 +40,13 @@ import numpy as np
 
 from repro.capacity.base import CapacityFunction
 from repro.capacity.markov import TwoStateMarkovCapacity
-from repro.errors import ExperimentError, ReplicationTimeout, ReproError
-from repro.sim.engine import simulate
+from repro.errors import (
+    ExperimentError,
+    ReplicationTimeout,
+    ReproError,
+    SimulatedCrash,
+)
+from repro.sim.engine import SimulationEngine, simulate
 from repro.sim.job import Job, total_value
 from repro.sim.scheduler import Scheduler
 from repro.workload.base import WorkloadGenerator
@@ -63,6 +68,10 @@ __all__ = [
 #: an invalid instance) would fail identically on every retry and are
 #: recorded as failures immediately.
 TRANSIENT_EXCEPTIONS = (ReplicationTimeout, OSError)
+
+#: Upper bound on snapshot resumes per replication (a crash plan that
+#: somehow re-fires forever must not wedge the worker).
+_MAX_CRASH_RESUMES = 16
 
 
 def default_mc_runs(fallback: int) -> int:
@@ -133,6 +142,9 @@ class ReplicationOutcome:
     values: dict[str, float]
     #: scheduler name -> completed-job count
     completed: dict[str, int]
+    #: simulated engine crashes survived via snapshot resume while
+    #: producing this outcome (0 for fault-free runs)
+    recovered: int = 0
 
     def normalized(self, name: str) -> float:
         return self.values[name] / self.generated_value if self.generated_value else 0.0
@@ -151,6 +163,9 @@ class FailedReplication:
     message: str
     attempts: int  #: total attempts, including retries
     traceback: str = ""
+    #: last engine snapshot when the failure was an unrecoverable
+    #: simulated crash (in-memory only; never serialized to checkpoints)
+    snapshot: object = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -254,16 +269,85 @@ def _fresh_seed(seed_seq: np.random.SeedSequence) -> np.random.SeedSequence:
     )
 
 
-def _run_one(args: tuple) -> ReplicationOutcome:
-    """Worker: one replication — one instance, all schedulers (paired)."""
+class _ReplicationCrash(Exception):
+    """Internal: a :class:`~repro.errors.SimulatedCrash` escaped one
+    scheduler's run inside a replication.
+
+    Carries everything :func:`_run_one` needs to *resume* — which
+    scheduler crashed, the paired values already banked for earlier
+    schedulers, and the crash (whose snapshot the resumed engine
+    restores) — so the crash-isolation loop continues the replication
+    from the last snapshot instead of re-running it from scratch."""
+
+    def __init__(
+        self,
+        spec_index: int,
+        values: dict,
+        completed: dict,
+        recovered: int,
+        crash: SimulatedCrash,
+    ) -> None:
+        super().__init__(str(crash))
+        self.spec_index = spec_index
+        self.values = values
+        self.completed = completed
+        self.recovered = recovered
+        self.crash = crash
+
+
+def _run_one(args: tuple, resume: "_ReplicationCrash | None" = None) -> ReplicationOutcome:
+    """Worker: one replication — one instance, all schedulers (paired).
+
+    Instance factories may expose ``make_with_faults(rng) -> (jobs,
+    capacity, faults)`` to arm execution faults (:mod:`repro.faults.
+    execution`) on every scheduler's run; plain factories keep the
+    fault-free ``make(rng)`` contract.  A :class:`~repro.errors.
+    SimulatedCrash` escaping a run is wrapped in :class:`_ReplicationCrash`
+    with the partial paired results; when ``resume`` carries such a crash,
+    the affected scheduler restores the crash's snapshot and the earlier
+    schedulers' banked values are kept (jobs and capacity re-derive
+    bit-identically from the replication seed)."""
     factory, specs, seed_seq = args
     rng = np.random.default_rng(_fresh_seed(seed_seq))
-    jobs, capacity = factory.make(rng)
+    make_with_faults = getattr(factory, "make_with_faults", None)
+    if make_with_faults is not None:
+        jobs, capacity, faults = make_with_faults(rng)
+    else:
+        jobs, capacity = factory.make(rng)
+        faults = ()
     gen_value = total_value(jobs)
+
+    start_index = 0
     values: dict[str, float] = {}
     completed: dict[str, int] = {}
-    for spec in specs:
-        result = simulate(jobs, capacity, spec.build())
+    recovered = 0
+    pending_snapshot = None
+    if resume is not None:
+        start_index = resume.spec_index
+        values = dict(resume.values)
+        completed = dict(resume.completed)
+        recovered = resume.recovered + 1  # the crash now being survived
+        pending_snapshot = resume.crash.snapshot
+
+    for i, spec in enumerate(specs):
+        if i < start_index:
+            continue
+        try:
+            if i == start_index and pending_snapshot is not None:
+                engine = SimulationEngine(
+                    jobs, capacity, spec.build(), faults=faults
+                )
+                engine.restore(pending_snapshot)
+                result = engine.run()
+            else:
+                # Crash plans keep a ``fired`` latch; clear it so every
+                # scheduler in the paired comparison sees the same fault.
+                for fault in faults:
+                    if getattr(fault, "is_crash_plan", False):
+                        fault.fired = False
+                result = simulate(jobs, capacity, spec.build(), faults=faults)
+        except SimulatedCrash as crash:
+            raise _ReplicationCrash(i, values, completed, recovered, crash)
         values[spec.name] = result.value
         completed[spec.name] = result.n_completed
     return ReplicationOutcome(
@@ -271,6 +355,7 @@ def _run_one(args: tuple) -> ReplicationOutcome:
         n_jobs=len(jobs),
         values=values,
         completed=completed,
+        recovered=recovered,
     )
 
 
@@ -285,18 +370,43 @@ def _run_one_safe(
     replication — survives."""
     index, factory, specs, seed_seq, policy = payload
     attempts = 0
+    resume: _ReplicationCrash | None = None
+    crash_resumes = 0
     while True:
         attempts += 1
         try:
             with _replication_deadline(policy.timeout):
-                return index, _run_one((factory, specs, seed_seq))
+                return index, _run_one((factory, specs, seed_seq), resume=resume)
         except KeyboardInterrupt:  # pragma: no cover - user interrupt
             raise
+        except _ReplicationCrash as crashed:
+            # A simulated engine crash: resume from its snapshot rather
+            # than re-running the whole replication.  Resumes do not
+            # consume the transient-retry budget (they make progress).
+            crash_resumes += 1
+            if crashed.crash.snapshot is not None and crash_resumes <= _MAX_CRASH_RESUMES:
+                resume = crashed
+                attempts -= 1
+                continue
+            reason = (
+                "crash carries no snapshot (snapshotting disabled?)"
+                if crashed.crash.snapshot is None
+                else f"gave up after {_MAX_CRASH_RESUMES} snapshot resumes"
+            )
+            return index, FailedReplication(
+                index=index,
+                error_type=type(crashed.crash).__qualname__,
+                message=f"{crashed.crash} — {reason}",
+                attempts=attempts,
+                traceback=traceback_module.format_exc(),
+                snapshot=crashed.crash.snapshot,
+            )
         except Exception as exc:
             transient = isinstance(exc, TRANSIENT_EXCEPTIONS)
             if transient and attempts <= policy.max_retries:
                 if policy.backoff > 0.0:
                     time.sleep(policy.backoff * attempts)
+                resume = None  # retries restart the replication from scratch
                 continue
             return index, FailedReplication(
                 index=index,

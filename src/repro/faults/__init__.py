@@ -1,12 +1,29 @@
-"""Capacity-sensing fault injection (docs/ROBUSTNESS.md).
+"""Fault injection (docs/ROBUSTNESS.md).
 
-Composable wrappers that corrupt the *sensing* channel of a capacity model
-(instantaneous readings and declared bounds) while keeping the simulated
-physics honest, plus the picklable :class:`FaultSpec` recipes the
-fault-sweep experiment ships to Monte-Carlo workers.
+Two channels of injected failure, plus simulated process crashes:
+
+* **sensing** faults — composable wrappers that corrupt what a scheduler
+  *observes* of the capacity model (instantaneous readings and declared
+  bounds) while keeping the simulated physics honest;
+* **execution** faults — event-level failures that change the physics
+  itself: jobs killed mid-run, revocation bursts that pin capacity to its
+  floor and evict the running job;
+* **process** faults — :class:`EngineCrashPlan` crashes of the simulator
+  process itself, exercising the snapshot/journal recovery machinery.
+
+Each family ships a picklable spec (:class:`FaultSpec`,
+:class:`ExecutionFaultSpec`) for the Monte-Carlo harness.
 """
 
 from repro.faults.base import CapacitySensorFault, unwrap_faults
+from repro.faults.execution import (
+    EXECUTION_FAULT_KINDS,
+    EngineCrashPlan,
+    ExecutionFault,
+    ExecutionFaultSpec,
+    JobKillFault,
+    RevocationBurst,
+)
 from repro.faults.models import (
     BiasedBoundsCapacity,
     DropoutCapacity,
@@ -24,4 +41,10 @@ __all__ = [
     "BiasedBoundsCapacity",
     "FaultSpec",
     "FAULT_KINDS",
+    "ExecutionFault",
+    "JobKillFault",
+    "RevocationBurst",
+    "EngineCrashPlan",
+    "ExecutionFaultSpec",
+    "EXECUTION_FAULT_KINDS",
 ]

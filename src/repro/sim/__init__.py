@@ -8,6 +8,18 @@ piecewise-constant capacity, firm-deadline policing — need a custom kernel.
 from repro.sim.engine import SimulationEngine, simulate
 from repro.sim.gantt import render_gantt
 from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.invariants import (
+    InvariantMonitor,
+    InvariantViolation,
+    InvariantWatchdog,
+    default_monitors,
+)
+from repro.sim.journal import (
+    EngineSnapshot,
+    EventJournal,
+    JournalRecord,
+    results_bit_identical,
+)
 from repro.sim.job import (
     Job,
     JobStatus,
@@ -43,4 +55,12 @@ __all__ = [
     "SchedulerContext",
     "RunSegment",
     "ScheduleTrace",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "InvariantWatchdog",
+    "default_monitors",
+    "EngineSnapshot",
+    "EventJournal",
+    "JournalRecord",
+    "results_bit_identical",
 ]

@@ -27,27 +27,60 @@ performs the mechanics:
 Determinism: for a fixed instance and scheduler the run is bit-for-bit
 reproducible — ties in the event heap break by (kind priority, insertion
 sequence) and nothing consults a clock or RNG.
+
+Crash recovery (docs/ROBUSTNESS.md): the engine can image its complete
+mid-run state into an :class:`~repro.sim.journal.EngineSnapshot`
+(:meth:`SimulationEngine.snapshot`) and a fresh engine can resume from one
+(:meth:`SimulationEngine.restore`).  With a write-ahead
+:class:`~repro.sim.journal.EventJournal` attached, every dispatched event
+is logged *before* its effects apply; a resumed run re-verifies its
+dispatches against the journal (any divergence raises
+:class:`~repro.errors.RecoveryError`), so "last snapshot + journal replay"
+reproduces the uncrashed run bit-identically.  Execution faults
+(:mod:`repro.faults.execution`) inject ``FAULT`` events — mid-run job
+kills, VM revocations and scheduled process crashes
+(:class:`~repro.errors.SimulatedCrash`) — and an optional invariant
+watchdog (:mod:`repro.sim.invariants`) observes every dispatch.
 """
 
 from __future__ import annotations
 
 import logging
 import math
-from typing import Dict, Optional, Sequence, Tuple
+import pickle
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.capacity.base import CapacityFunction
-from repro.errors import SchedulingError, SimulationError
+from repro.errors import (
+    RecoveryError,
+    SchedulingError,
+    SimulatedCrash,
+    SimulationError,
+)
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.job import Job, JobStatus, validate_jobs
+from repro.sim.journal import (
+    EngineSnapshot,
+    EventJournal,
+    JournalRecord,
+    describe_payload,
+)
 from repro.sim.metrics import SimulationResult
 from repro.sim.scheduler import Scheduler, SchedulerContext
-from repro.sim.trace import ScheduleTrace
+from repro.sim.trace import RunSegment, ScheduleTrace
 
 __all__ = ["SimulationEngine", "simulate"]
 
 logger = logging.getLogger(__name__)
 
 _EPS = 1e-9
+
+#: Statuses from which a job never returns (their queued events are dead).
+_TERMINAL = (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.ABANDONED)
+
+#: Default snapshot cadence (events) when crash plans are present but the
+#: caller did not pick one.
+_DEFAULT_SNAPSHOT_EVERY = 64
 
 
 class _EngineContext(SchedulerContext):
@@ -105,6 +138,19 @@ class SimulationEngine:
         (work conservation, no overlap, deadline legality) before returning;
         a violation raises :class:`SimulationError`.  Cheap enough to leave
         on in tests; off by default for Monte-Carlo throughput.
+    faults:
+        Execution faults (:mod:`repro.faults.execution`) to arm on this
+        run: job kills, revocation evictions, scheduled crashes.
+    watchdog:
+        Optional :class:`~repro.sim.invariants.InvariantWatchdog`; observes
+        every dispatched event (strictly read-only).
+    journal:
+        Optional :class:`~repro.sim.journal.EventJournal` written ahead of
+        every dispatch (and verified against during post-restore replay).
+    snapshot_every:
+        Take an :class:`~repro.sim.journal.EngineSnapshot` every N
+        dispatched events (kept as ``last_snapshot``).  Defaults to 64
+        when a crash plan is armed, else off.
     """
 
     def __init__(
@@ -115,9 +161,14 @@ class SimulationEngine:
         *,
         horizon: float | None = None,
         validate: bool = False,
+        faults: Sequence[object] = (),
+        watchdog: "object | None" = None,
+        journal: "EventJournal | None" = None,
+        snapshot_every: int | None = None,
     ) -> None:
         validate_jobs(jobs)
         self._jobs = list(jobs)
+        self._by_id: Dict[int, Job] = {j.jid: j for j in jobs}
         self._capacity = capacity
         self._scheduler = scheduler
         if horizon is None:
@@ -143,10 +194,107 @@ class SimulationEngine:
         self._seg_cum0 = 0.0  # W(seg_start) anchor (indexed models only)
 
         # Event bookkeeping.
-        self._events = EventQueue()
+        self._events = EventQueue(stale=self._event_is_stale)
         self._completion_version: Dict[int, int] = {}
         self._alarm_version: Dict[int, int] = {}
         self._trace = ScheduleTrace()
+
+        # Fault / recovery / monitoring plumbing.
+        self._faults = list(faults)
+        self._watchdog = watchdog
+        self._journal = journal
+        if snapshot_every is None and any(
+            getattr(f, "is_crash_plan", False) for f in self._faults
+        ):
+            snapshot_every = _DEFAULT_SNAPSHOT_EVERY
+        if snapshot_every is not None and snapshot_every < 1:
+            raise SimulationError(
+                f"snapshot_every must be >= 1, got {snapshot_every!r}"
+            )
+        self._snapshot_every = snapshot_every
+        self._event_crashes: List[Tuple[int, int]] = []  # (at_event, fault idx)
+        self._dispatch_count = 0
+        self._verify_until = 0
+        self._last_snapshot: Optional[EngineSnapshot] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Read-only accessors (used by the invariant watchdog and recovery)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def horizon(self) -> float:
+        return self._horizon
+
+    @property
+    def capacity(self) -> CapacityFunction:
+        return self._capacity
+
+    @property
+    def trace(self) -> ScheduleTrace:
+        return self._trace
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._scheduler
+
+    @property
+    def jobs_by_id(self) -> Dict[int, Job]:
+        return dict(self._by_id)
+
+    @property
+    def dispatch_count(self) -> int:
+        """Events dispatched so far (journal index of the next dispatch)."""
+        return self._dispatch_count
+
+    @property
+    def last_snapshot(self) -> Optional[EngineSnapshot]:
+        return self._last_snapshot
+
+    @property
+    def event_queue_size(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    # Lazy-deletion hygiene: which queued events are provably dead
+    # ------------------------------------------------------------------
+    def _event_is_stale(self, event: Event) -> bool:
+        """True iff dispatching ``event`` would be a guaranteed no-op.
+
+        Conservative: alarms/completions with bumped version tokens, and
+        job events for jobs in a terminal state.  Alarms of RUNNING jobs
+        are *not* stale (the job may return to READY before they fire)."""
+        kind = event.kind
+        if kind is EventKind.ALARM:
+            job = event.payload[0]
+            if self._alarm_version.get(job.jid, 0) != event.version:
+                return True
+            return self._status.get(job.jid) in _TERMINAL
+        if kind is EventKind.COMPLETION:
+            job = event.payload
+            if self._completion_version.get(job.jid, 0) != event.version:
+                return True
+            return self._status.get(job.jid) in _TERMINAL
+        if kind is EventKind.DEADLINE:
+            return self._status.get(event.payload.jid) in _TERMINAL
+        return False
+
+    # ------------------------------------------------------------------
+    # Execution-fault plumbing (used by repro.faults.execution at arm time)
+    # ------------------------------------------------------------------
+    def push_fault_event(self, time: float, payload: tuple) -> None:
+        """Queue a FAULT event (payload: ``("kill", i, retain)``,
+        ``("evict", i)`` or ``("crash", i)``)."""
+        if 0.0 <= time <= self._horizon:
+            self._events.push(Event(time, EventKind.FAULT, tuple(payload)))
+
+    def register_event_crash(self, fault_index: int, at_event: int) -> None:
+        """Arrange for crash plan ``fault_index`` to fire just before the
+        ``at_event``-th event dispatch."""
+        self._event_crashes.append((int(at_event), int(fault_index)))
 
     # ------------------------------------------------------------------
     # State queries used by the context
@@ -179,11 +327,15 @@ class SimulationEngine:
         when = max(time, self._now)
         version = self._alarm_version.get(job.jid, 0) + 1
         self._alarm_version[job.jid] = version
+        if version > 1:
+            # A previous alarm for this job may still sit in the heap.
+            self._events.note_stale()
         self._events.push(Event(when, EventKind.ALARM, (job, tag), version))
 
     def _cancel_alarm(self, job: Job) -> None:
         # Bumping the version orphans any in-flight alarm event.
         self._alarm_version[job.jid] = self._alarm_version.get(job.jid, 0) + 1
+        self._events.note_stale()
 
     def _set_timer(self, time: float, tag: str) -> None:
         self._events.push(Event(max(time, self._now), EventKind.TIMER, tag))
@@ -210,6 +362,7 @@ class SimulationEngine:
         self._completion_version[job.jid] = (
             self._completion_version.get(job.jid, 0) + 1
         )
+        self._events.note_stale()
         self._current = None
 
     def _start_job(self, job: Job, t: float) -> None:
@@ -248,6 +401,7 @@ class SimulationEngine:
         self._completion_version[job.jid] = (
             self._completion_version.get(job.jid, 0) + 1
         )
+        self._events.note_stale()
         self._trace.record_outcome(job, JobStatus.COMPLETED, t)
         desired = self._scheduler.on_job_end(job, completed=True)
         self._apply_decision(desired, t)
@@ -317,13 +471,75 @@ class SimulationEngine:
             self._apply_decision(desired, t)
             return
 
+        if kind is EventKind.FAULT:
+            self._dispatch_fault(event.payload, t)
+            return
+
         raise SimulationError(f"unhandled event kind: {kind!r}")  # pragma: no cover
+
+    def _dispatch_fault(self, payload: tuple, t: float) -> None:
+        """Apply an execution fault (see :mod:`repro.faults.execution`)."""
+        op = payload[0]
+
+        if op == "crash":
+            idx = int(payload[1])
+            fault = self._faults[idx]
+            if getattr(fault, "fired", False):
+                return  # already crashed once (journal replay after resume)
+            fault.fired = True
+            self._raise_crash(t, at_event=None, fault_index=idx)
+
+        elif op in ("kill", "evict"):
+            job = self._current
+            if job is None:
+                return  # the fault hit an idle processor: nothing to lose
+            # Fold the progress made so far, return the job to READY.
+            self._close_segment(t)
+            if op == "kill":
+                retain = float(payload[2])
+                old_remaining = self._remaining[job.jid]
+                progress = job.workload - old_remaining
+                if progress > 0.0 and retain < 1.0:
+                    # The kill destroys (1 − retain) of the progress; the
+                    # destroyed work *was* executed, so the trace budgets
+                    # for it (validator: workload + lost_work).
+                    new_remaining = job.workload - retain * progress
+                    self._trace.record_lost_work(
+                        job.jid, new_remaining - old_remaining
+                    )
+                    self._remaining[job.jid] = new_remaining
+            desired = self._scheduler.on_eviction(job)
+            self._apply_decision(desired, t)
+
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown fault payload: {payload!r}")
+
+    def _raise_crash(self, t: float, at_event: int | None, fault_index: int) -> None:
+        """Die like a crashed process: attach the *last periodic* snapshot
+        (not a fresh one — resuming must genuinely replay the journal) and
+        mark the plan fired in it so the resumed run does not re-crash."""
+        snapshot = self._last_snapshot
+        if snapshot is not None:
+            fired = set(snapshot.fired_faults)
+            fired.update(
+                i
+                for i, f in enumerate(self._faults)
+                if getattr(f, "fired", False)
+            )
+            snapshot.fired_faults = tuple(sorted(fired))
+        raise SimulatedCrash(
+            time=t,
+            at_event=at_event,
+            fault_index=fault_index,
+            snapshot=snapshot,
+        )
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self) -> SimulationResult:
-        """Execute the simulation and return its result."""
+    def _bootstrap(self) -> None:
+        """First-run initialisation: bind the scheduler, seed the event
+        queue, arm faults, take snapshot zero."""
         ctx = _EngineContext(self)
         self._scheduler.bind(ctx)
 
@@ -334,7 +550,34 @@ class SimulationEngine:
                 self._events.push(Event(job.deadline, EventKind.DEADLINE, job))
         self._events.push(Event(self._horizon, EventKind.END))
 
+        for i, fault in enumerate(self._faults):
+            fault.arm(self, i)
+        if self._watchdog is not None:
+            self._watchdog.start(self)
+        self._started = True
+        if self._snapshot_every is not None:
+            self._last_snapshot = self.snapshot()
+
+    def _maybe_crash_at_event(self) -> None:
+        """Fire any event-indexed crash plan scheduled for the *next*
+        dispatch (checked before the event is popped, so the snapshot keeps
+        it pending)."""
+        for at_event, idx in self._event_crashes:
+            if at_event == self._dispatch_count:
+                fault = self._faults[idx]
+                if getattr(fault, "fired", False):
+                    continue
+                fault.fired = True
+                self._raise_crash(self._now, at_event=at_event, fault_index=idx)
+
+    def run(self) -> SimulationResult:
+        """Execute (or, after :meth:`restore`, resume) the simulation."""
+        if not self._started:
+            self._bootstrap()
+
         while len(self._events):
+            if self._event_crashes:
+                self._maybe_crash_at_event()
             event = self._events.pop()
             if event.time < self._now - _EPS:
                 raise SimulationError(
@@ -347,7 +590,35 @@ class SimulationEngine:
                 self._now = self._horizon
                 break
             self._now = event.time
+
+            if self._journal is not None:
+                record = JournalRecord(
+                    index=self._dispatch_count,
+                    time=event.time,
+                    kind=int(event.kind),
+                    key=describe_payload(int(event.kind), event.payload),
+                    version=event.version,
+                )
+                if self._dispatch_count < self._verify_until:
+                    expected = self._journal.get(self._dispatch_count)
+                    if record != expected:
+                        raise RecoveryError(
+                            f"journal replay diverged at dispatch "
+                            f"#{self._dispatch_count}: live {record} != "
+                            f"journaled {expected}"
+                        )
+                else:
+                    self._journal.append(record)
+
+            self._dispatch_count += 1
             self._dispatch(event)
+            if self._watchdog is not None:
+                self._watchdog.after_event(self, event)
+            if (
+                self._snapshot_every is not None
+                and self._dispatch_count % self._snapshot_every == 0
+            ):
+                self._last_snapshot = self.snapshot()
 
         # Wind down: close the running segment and mark unresolved jobs.
         self._close_segment(self._now)
@@ -359,12 +630,176 @@ class SimulationEngine:
         if self._validate:
             self._trace.validate(self._jobs, self._capacity)
 
-        return SimulationResult(
+        result = SimulationResult(
             scheduler_name=self._scheduler.name,
             jobs=self._jobs,
             horizon=self._horizon,
             trace=self._trace,
         )
+        if self._watchdog is not None:
+            self._watchdog.after_run(self, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (crash recovery)
+    # ------------------------------------------------------------------
+    def _encode_payload(self, kind: EventKind, payload) -> tuple:
+        if kind in (EventKind.RELEASE, EventKind.COMPLETION, EventKind.DEADLINE):
+            return ("job", payload.jid)
+        if kind is EventKind.ALARM:
+            return ("alarm", payload[0].jid, payload[1])
+        if kind is EventKind.TIMER:
+            return ("timer", payload)
+        if kind is EventKind.END:
+            return ("end",)
+        if kind is EventKind.FAULT:
+            return ("fault",) + tuple(payload)
+        raise SimulationError(f"cannot snapshot event kind {kind!r}")  # pragma: no cover
+
+    def _decode_payload(self, kind: EventKind, desc: tuple):
+        tag = desc[0]
+        try:
+            if tag == "job":
+                return self._by_id[desc[1]]
+            if tag == "alarm":
+                return (self._by_id[desc[1]], desc[2])
+        except KeyError:
+            raise RecoveryError(
+                f"snapshot references unknown job {desc[1]}"
+            ) from None
+        if tag == "timer":
+            return desc[1]
+        if tag == "end":
+            return None
+        if tag == "fault":
+            return tuple(desc[1:])
+        raise RecoveryError(f"cannot decode event payload {desc!r}")
+
+    def snapshot(self) -> EngineSnapshot:
+        """Image the complete mid-run state (picklable; jid-based)."""
+        events = [
+            (time, kind, seq, self._encode_payload(ev.kind, ev.payload), ev.version)
+            for time, kind, seq, ev in self._events.dump()
+        ]
+        return EngineSnapshot(
+            scheduler_name=self._scheduler.name,
+            now=self._now,
+            horizon=self._horizon,
+            current_jid=None if self._current is None else self._current.jid,
+            seg_start=self._seg_start,
+            seg_remaining0=self._seg_remaining0,
+            seg_cum0=self._seg_cum0,
+            remaining=dict(self._remaining),
+            status={jid: st.name for jid, st in self._status.items()},
+            completion_version=dict(self._completion_version),
+            alarm_version=dict(self._alarm_version),
+            events=events,
+            next_seq=self._events.next_seq,
+            stale_hint=self._events.stale_hint,
+            dispatch_count=self._dispatch_count,
+            trace_segments=[
+                (s.start, s.end, s.jid, s.work) for s in self._trace.segments
+            ],
+            trace_outcomes={
+                jid: st.name for jid, st in self._trace.outcomes.items()
+            },
+            trace_completion_times=dict(self._trace.completion_times),
+            trace_value_points=list(self._trace.value_points),
+            trace_lost_work=dict(self._trace.lost_work),
+            scheduler_state=self._scheduler.get_state(),
+            capacity_blob=pickle.dumps(self._capacity),
+            fired_faults=tuple(
+                i
+                for i, f in enumerate(self._faults)
+                if getattr(f, "fired", False)
+            ),
+        )
+
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        """Load a snapshot into this (fresh, never-run) engine.
+
+        After restoring, :meth:`run` resumes from the snapshot instant; if
+        the engine also holds a journal extending past the snapshot, the
+        resumed dispatches are verified against it (deterministic replay).
+        """
+        if self._started:
+            raise RecoveryError("restore() requires a fresh engine")
+        if snapshot.scheduler_name != self._scheduler.name:
+            raise RecoveryError(
+                f"snapshot is for scheduler {snapshot.scheduler_name!r}, "
+                f"engine runs {self._scheduler.name!r}"
+            )
+        for jid in snapshot.remaining:
+            if jid not in self._by_id:
+                raise RecoveryError(f"snapshot references unknown job {jid}")
+
+        # World physics first (the scheduler's bind() reads its bounds).
+        self._capacity = pickle.loads(snapshot.capacity_blob)
+        self._indexed = bool(
+            getattr(self._capacity, "supports_prefix_index", False)
+        )
+        self._horizon = snapshot.horizon
+        self._now = snapshot.now
+
+        # Ground truth.
+        self._remaining = dict(snapshot.remaining)
+        self._status = {
+            jid: JobStatus[name] for jid, name in snapshot.status.items()
+        }
+        self._current = (
+            None
+            if snapshot.current_jid is None
+            else self._by_id[snapshot.current_jid]
+        )
+        self._seg_start = snapshot.seg_start
+        self._seg_remaining0 = snapshot.seg_remaining0
+        self._seg_cum0 = snapshot.seg_cum0
+        self._completion_version = dict(snapshot.completion_version)
+        self._alarm_version = dict(snapshot.alarm_version)
+
+        # Event queue (sequence counter included: post-restore pushes must
+        # get the same tie-breaking numbers the original run would have).
+        entries = []
+        for time, kind, seq, desc, version in snapshot.events:
+            k = EventKind(kind)
+            entries.append(
+                (time, kind, seq, Event(time, k, self._decode_payload(k, desc), version))
+            )
+        self._events.load(entries, snapshot.next_seq, snapshot.stale_hint)
+        self._dispatch_count = snapshot.dispatch_count
+
+        # Trace accumulators.
+        trace = ScheduleTrace()
+        trace.segments = [RunSegment(*seg) for seg in snapshot.trace_segments]
+        trace.outcomes = {
+            jid: JobStatus[name] for jid, name in snapshot.trace_outcomes.items()
+        }
+        trace.completion_times = dict(snapshot.trace_completion_times)
+        trace.value_points = [tuple(p) for p in snapshot.trace_value_points]
+        trace.lost_work = dict(snapshot.trace_lost_work)
+        self._trace = trace
+
+        # Scheduler: fresh bind (reset), then install the captured state.
+        ctx = _EngineContext(self)
+        self._scheduler.bind(ctx)
+        self._scheduler.set_state(snapshot.scheduler_state, self._by_id)
+
+        # Faults: re-mark already-fired plans, re-register event-indexed
+        # crash checks (queued FAULT events travelled with the heap).
+        for i in snapshot.fired_faults:
+            if 0 <= i < len(self._faults):
+                self._faults[i].fired = True
+        for i, fault in enumerate(self._faults):
+            rearm = getattr(fault, "rearm", None)
+            if rearm is not None:
+                rearm(self, i)
+
+        if self._journal is not None and len(self._journal) > snapshot.dispatch_count:
+            self._verify_until = len(self._journal)
+        if self._watchdog is not None:
+            self._watchdog.start(self)
+        self._last_snapshot = snapshot
+        self._started = True
 
 
 def simulate(
@@ -374,8 +809,59 @@ def simulate(
     *,
     horizon: float | None = None,
     validate: bool = False,
+    faults: Sequence[object] = (),
+    watchdog: "object | None" = None,
+    journal: "EventJournal | None" = None,
+    snapshot_every: int | None = None,
+    recover: bool = False,
+    max_recoveries: int = 8,
 ) -> SimulationResult:
-    """Convenience wrapper: build a :class:`SimulationEngine` and run it."""
-    return SimulationEngine(
-        jobs, capacity, scheduler, horizon=horizon, validate=validate
-    ).run()
+    """Convenience wrapper: build a :class:`SimulationEngine` and run it.
+
+    With ``recover=True`` a :class:`~repro.errors.SimulatedCrash` raised by
+    an armed :class:`~repro.faults.EngineCrashPlan` is survived: a fresh
+    engine restores the crash's snapshot, replays the journal (when one is
+    attached) and continues to the horizon.  The returned result's
+    ``recoveries`` attribute counts the crashes survived.
+    """
+
+    def _build() -> SimulationEngine:
+        return SimulationEngine(
+            jobs,
+            capacity,
+            scheduler,
+            horizon=horizon,
+            validate=validate,
+            faults=faults,
+            watchdog=watchdog,
+            journal=journal,
+            snapshot_every=snapshot_every,
+        )
+
+    engine = _build()
+    recoveries = 0
+    while True:
+        try:
+            result = engine.run()
+            result.recoveries = recoveries
+            return result
+        except SimulatedCrash as crash:
+            if not recover:
+                raise
+            if crash.snapshot is None:
+                raise RecoveryError(
+                    "cannot recover: the crash carries no snapshot "
+                    "(snapshotting disabled?)"
+                ) from crash
+            recoveries += 1
+            if recoveries > max_recoveries:
+                raise RecoveryError(
+                    f"gave up after {max_recoveries} crash recoveries"
+                ) from crash
+            logger.info(
+                "recovering from simulated crash at t=%g (recovery #%d)",
+                crash.time,
+                recoveries,
+            )
+            engine = _build()
+            engine.restore(crash.snapshot)

@@ -16,6 +16,13 @@ shared timestamp:
 Stale events are handled by versioning: each (job, kind) carries a version
 token captured at scheduling time; bumping the token invalidates in-flight
 events without an O(n) heap scan (lazy deletion, as recommended for heapq).
+Lazy deletion alone lets dead entries accumulate — schedulers that churn
+alarms (LLF crossing timers, Dover's zero-laxity interrupts) can grow the
+heap without bound — so the queue also supports *compaction*: when the
+caller has hinted that more than half the heap is dead
+(:meth:`EventQueue.note_stale`), the heap is filtered through the caller's
+staleness predicate and re-heapified.  Compaction preserves pop order
+exactly because every entry's ``(time, kind, seq)`` key is unique.
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
 
@@ -40,6 +47,10 @@ class EventKind(enum.IntEnum):
     ALARM = 3
     TIMER = 4
     END = 5
+    #: Injected execution fault (job kill, VM revocation, scheduled crash).
+    #: Lowest priority at a shared timestamp: the world transition the fault
+    #: interrupts must have fully taken effect first.
+    FAULT = 6
 
 
 @dataclass(frozen=True)
@@ -66,11 +77,17 @@ class EventQueue:
 
     Ties beyond (time, kind) break by insertion sequence, which makes every
     simulation run bit-for-bit reproducible for a fixed input.
+
+    ``stale`` is an optional predicate identifying entries that are
+    *provably* dead (their version token was bumped, or their job reached a
+    terminal state); it is only consulted during :meth:`compact`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, stale: Callable[[Event], bool] | None = None) -> None:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
+        self._stale = stale
+        self._stale_hint = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -84,7 +101,85 @@ class EventQueue:
     def pop(self) -> Event:
         if not self._heap:
             raise SimulationError("pop from empty event queue")
-        return heapq.heappop(self._heap)[3]
+        time, kind, seq, event = heapq.heappop(self._heap)
+        if self._stale_hint:
+            # The popped entry may itself have been one of the hinted-dead
+            # ones; keep the hint an upper bound rather than letting it
+            # exceed the heap size.
+            self._stale_hint = min(self._stale_hint, len(self._heap))
+        return event
 
     def peek_time(self) -> Optional[float]:
         return self._heap[0][0] if self._heap else None
+
+    # -- compaction (lazy-deletion hygiene) ---------------------------------
+
+    def note_stale(self, n: int = 1) -> int:
+        """Record that ``n`` in-flight entries just became dead.
+
+        Called by the engine whenever it bumps a version token (cancelling
+        an alarm or a completion).  When the hinted dead count exceeds half
+        the heap, :meth:`compact` runs automatically.  Returns the number of
+        entries removed (0 when no compaction was triggered).
+        """
+        self._stale_hint += int(n)
+        if self._stale is not None and self._stale_hint * 2 > len(self._heap):
+            return self.compact()
+        return 0
+
+    def compact(self) -> int:
+        """Drop all entries the staleness predicate marks dead; re-heapify.
+
+        Safe at any point: pop order is fully determined by the unique
+        ``(time, kind, seq)`` keys, so removing dead entries and rebuilding
+        the heap never changes which live event comes out next.
+        """
+        if self._stale is None:
+            self._stale_hint = 0
+            return 0
+        before = len(self._heap)
+        self._heap = [entry for entry in self._heap if not self._stale(entry[3])]
+        heapq.heapify(self._heap)
+        self._stale_hint = 0
+        return before - len(self._heap)
+
+    # -- snapshot support ---------------------------------------------------
+
+    def dump(self) -> list[tuple[float, int, int, Event]]:
+        """All entries in sorted (pop) order, plus no internal state.
+
+        Used by engine snapshots; pair with :meth:`load` and
+        :attr:`next_seq` / :attr:`stale_hint` to rebuild an identical queue.
+        """
+        return sorted(self._heap)
+
+    def load(
+        self,
+        entries: Iterable[tuple[float, int, int, Event]],
+        next_seq: int,
+        stale_hint: int = 0,
+    ) -> None:
+        """Replace the queue contents (snapshot restore).
+
+        ``next_seq`` must be the original queue's :attr:`next_seq` so that
+        sequence numbers assigned after the restore match the original run
+        exactly (bit-identical replay depends on it).
+        """
+        self._heap = list(entries)
+        heapq.heapify(self._heap)
+        self._counter = itertools.count(int(next_seq))
+        self._stale_hint = int(stale_hint)
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next :meth:`push` will consume."""
+        # itertools.count has no peek; clone-by-arithmetic is not possible,
+        # so burn-and-restore: take the value and rebuild the counter.
+        value = next(self._counter)
+        self._counter = itertools.count(value)
+        return value
+
+    @property
+    def stale_hint(self) -> int:
+        """Current hinted count of dead entries (snapshot bookkeeping)."""
+        return self._stale_hint

@@ -1,0 +1,406 @@
+"""Runtime invariant watchdog: independent monitors over the live engine.
+
+The trace validator (:meth:`~repro.sim.trace.ScheduleTrace.validate`)
+re-checks a *finished* schedule; the watchdog checks the run *while it
+happens*, one observation after every dispatched event.  That catches
+violations the post-hoc validator can mask (e.g. a transiently negative
+remaining workload that later self-corrects) and localizes a failure to
+the first event that broke the property.
+
+Monitors are strictly **observation-only**: they read the engine through
+its public read-only accessors and never mutate schedulers, jobs, the
+event queue or the trace.  Capacity queries are safe too — the stochastic
+models materialize their path lazily but order-independently, so a
+watchdog peeking at ``capacity.value(t)`` cannot perturb the run (the
+determinism-audit test pins this down byte-for-byte).
+
+Shipped monitors
+----------------
+================================  ==============================================
+:class:`MonotoneTimeMonitor`      event timestamps never decrease
+:class:`DeadlineMonitor`          no run segment extends past its job's deadline
+:class:`WorkConservationMonitor`  per-segment work equals the true capacity
+                                  integral (no job runs faster than ``c(t)``)
+:class:`ValueAccountingMonitor`   accrued value is exactly the sum of completed
+                                  jobs' values, and only grows
+:class:`CapacityBandMonitor`      the *true* capacity stays inside its declared
+                                  band ``[c̲, c̄]`` at every event instant
+:class:`AdmissibilityMonitor`     every released job is individually admissible
+                                  (V-Dover's Definition 4 precondition) —
+                                  **opt-in**, because adversary instances are
+                                  inadmissible on purpose
+================================  ==============================================
+
+In default mode violations are *counted* (``watchdog.violations``,
+``watchdog.counts``) and the run proceeds; in ``paranoid`` mode the first
+violation raises :class:`~repro.errors.InvariantViolationError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import InvariantViolationError
+from repro.faults.base import unwrap_faults
+from repro.sim.events import Event, EventKind
+
+__all__ = [
+    "InvariantViolation",
+    "InvariantMonitor",
+    "MonotoneTimeMonitor",
+    "DeadlineMonitor",
+    "WorkConservationMonitor",
+    "ValueAccountingMonitor",
+    "CapacityBandMonitor",
+    "AdmissibilityMonitor",
+    "InvariantWatchdog",
+    "default_monitors",
+]
+
+_REL_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed breach of a runtime invariant."""
+
+    monitor: str
+    time: float
+    message: str
+    jid: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f" (job {self.jid})" if self.jid is not None else ""
+        return f"[{self.monitor}] t={self.time:g}{where}: {self.message}"
+
+
+class InvariantMonitor:
+    """Base class: three observation hooks, all optional.
+
+    ``start(engine)`` fires once per (re)start — including after a
+    snapshot restore; ``after_event(engine, event)`` fires after every
+    dispatched event's effects are applied; ``after_run(engine, result)``
+    fires once when the run reaches its horizon.  Each hook returns a list
+    of violations (empty when the invariant holds).
+    """
+
+    #: short name used in violation records and the watchdog's counters
+    name: str = "monitor"
+
+    def start(self, engine) -> List[InvariantViolation]:
+        return []
+
+    def after_event(self, engine, event: Event) -> List[InvariantViolation]:
+        return []
+
+    def after_run(self, engine, result) -> List[InvariantViolation]:
+        return []
+
+
+class MonotoneTimeMonitor(InvariantMonitor):
+    """Dispatched event timestamps must never decrease."""
+
+    name = "monotone-time"
+
+    def start(self, engine) -> List[InvariantViolation]:
+        self._last = engine.now
+        return []
+
+    def after_event(self, engine, event: Event) -> List[InvariantViolation]:
+        if event.time < self._last - 1e-9:
+            bad = [
+                InvariantViolation(
+                    self.name,
+                    event.time,
+                    f"event at t={event.time:g} after t={self._last:g}",
+                )
+            ]
+        else:
+            bad = []
+        self._last = max(self._last, event.time)
+        return bad
+
+
+class DeadlineMonitor(InvariantMonitor):
+    """No recorded run segment may extend past its job's deadline.
+
+    Re-checks from one segment before the last seen index because the
+    trace *merges* contiguous same-job segments in place — the most recent
+    entry can still grow.
+    """
+
+    name = "deadline"
+
+    def start(self, engine) -> List[InvariantViolation]:
+        self._seen = 0
+        return []
+
+    def _check(self, engine) -> List[InvariantViolation]:
+        bad: List[InvariantViolation] = []
+        segments = engine.trace.segments
+        jobs = engine.jobs_by_id
+        for i in range(max(0, self._seen - 1), len(segments)):
+            seg = segments[i]
+            job = jobs.get(seg.jid)
+            if job is None:
+                bad.append(
+                    InvariantViolation(
+                        self.name, seg.end, "segment for unknown job", seg.jid
+                    )
+                )
+                continue
+            if seg.end > job.deadline + _REL_TOL * max(1.0, abs(job.deadline)):
+                bad.append(
+                    InvariantViolation(
+                        self.name,
+                        seg.end,
+                        f"ran until {seg.end:g} past deadline {job.deadline:g}",
+                        seg.jid,
+                    )
+                )
+            if seg.start < job.release - _REL_TOL * max(1.0, abs(job.release)):
+                bad.append(
+                    InvariantViolation(
+                        self.name,
+                        seg.start,
+                        f"ran at {seg.start:g} before release {job.release:g}",
+                        seg.jid,
+                    )
+                )
+        self._seen = len(segments)
+        return bad
+
+    def after_event(self, engine, event: Event) -> List[InvariantViolation]:
+        return self._check(engine)
+
+    def after_run(self, engine, result) -> List[InvariantViolation]:
+        self._seen = 0  # wind-down closed the final segment: re-check all
+        return self._check(engine)
+
+
+class WorkConservationMonitor(InvariantMonitor):
+    """Per-segment work must equal the *true* capacity integral.
+
+    Uses :func:`~repro.faults.base.unwrap_faults` so sensing faults do not
+    fool the monitor — physics is judged against the pristine model.
+    """
+
+    name = "work-conservation"
+
+    def start(self, engine) -> List[InvariantViolation]:
+        self._seen = 0
+        return []
+
+    def _check(self, engine) -> List[InvariantViolation]:
+        bad: List[InvariantViolation] = []
+        segments = engine.trace.segments
+        capacity = unwrap_faults(engine.capacity)
+        for i in range(max(0, self._seen - 1), len(segments)):
+            seg = segments[i]
+            expected = capacity.integrate(seg.start, seg.end)
+            if abs(expected - seg.work) > _REL_TOL * max(1.0, abs(expected)):
+                bad.append(
+                    InvariantViolation(
+                        self.name,
+                        seg.end,
+                        f"segment [{seg.start:g}, {seg.end:g}] recorded "
+                        f"{seg.work:g} work, capacity integral {expected:g}",
+                        seg.jid,
+                    )
+                )
+        self._seen = len(segments)
+        return bad
+
+    def after_event(self, engine, event: Event) -> List[InvariantViolation]:
+        return self._check(engine)
+
+    def after_run(self, engine, result) -> List[InvariantViolation]:
+        self._seen = 0
+        return self._check(engine)
+
+
+class ValueAccountingMonitor(InvariantMonitor):
+    """Accrued value must equal the sum of completed jobs' values and be
+    non-decreasing over time."""
+
+    name = "value-accounting"
+
+    def _check(self, engine) -> List[InvariantViolation]:
+        bad: List[InvariantViolation] = []
+        trace = engine.trace
+        jobs = engine.jobs_by_id
+        expected = sum(
+            jobs[jid].value
+            for jid, st in trace.outcomes.items()
+            if st.name == "COMPLETED" and jid in jobs
+        )
+        accrued = trace.value_points[-1][1] if trace.value_points else 0.0
+        if abs(accrued - expected) > 1e-9 * max(1.0, abs(expected)):
+            bad.append(
+                InvariantViolation(
+                    self.name,
+                    engine.now,
+                    f"accrued value {accrued:g} != sum of completed values "
+                    f"{expected:g}",
+                )
+            )
+        prev = 0.0
+        for t, cum in trace.value_points:
+            if cum < prev - 1e-12:
+                bad.append(
+                    InvariantViolation(
+                        self.name, t, f"value decreased: {cum:g} < {prev:g}"
+                    )
+                )
+            prev = cum
+        return bad
+
+    def after_event(self, engine, event: Event) -> List[InvariantViolation]:
+        if event.kind in (EventKind.COMPLETION, EventKind.DEADLINE):
+            return self._check(engine)
+        return []
+
+    def after_run(self, engine, result) -> List[InvariantViolation]:
+        return self._check(engine)
+
+
+class CapacityBandMonitor(InvariantMonitor):
+    """The *true* capacity must stay inside its declared band.
+
+    Sensing faults may mis-declare the band on purpose; the monitor
+    unwraps them and holds the pristine model to its own contract
+    ``c̲ ≤ c(t) ≤ c̄``, sampled at every event instant.
+    """
+
+    name = "capacity-band"
+
+    def _check_at(self, engine, t: float) -> List[InvariantViolation]:
+        capacity = unwrap_faults(engine.capacity)
+        value = capacity.value(t)
+        lo, hi = capacity.lower, capacity.upper
+        tol = _REL_TOL * max(1.0, abs(hi))
+        if not math.isfinite(value) or value < lo - tol or value > hi + tol:
+            return [
+                InvariantViolation(
+                    self.name,
+                    t,
+                    f"capacity {value!r} outside declared band [{lo:g}, {hi:g}]",
+                )
+            ]
+        return []
+
+    def start(self, engine) -> List[InvariantViolation]:
+        return self._check_at(engine, engine.now)
+
+    def after_event(self, engine, event: Event) -> List[InvariantViolation]:
+        return self._check_at(engine, event.time)
+
+
+class AdmissibilityMonitor(InvariantMonitor):
+    """Every released job must be individually admissible (Definition 4):
+    ``workload ≤ c̲ · (deadline − release)``.
+
+    V-Dover's competitive guarantee is *conditioned* on this property; the
+    monitor flags instances that void the guarantee.  It is excluded from
+    :func:`default_monitors` because the adversary experiments violate it
+    deliberately (that is the whole point of Theorem 3(3)).
+    """
+
+    name = "admissibility"
+
+    def after_event(self, engine, event: Event) -> List[InvariantViolation]:
+        if event.kind is not EventKind.RELEASE:
+            return []
+        job = event.payload
+        lower = unwrap_faults(engine.capacity).lower
+        if not job.is_individually_admissible(lower):
+            return [
+                InvariantViolation(
+                    self.name,
+                    event.time,
+                    f"job not individually admissible: workload "
+                    f"{job.workload:g} > {lower:g} * "
+                    f"({job.deadline:g} - {job.release:g})",
+                    job.jid,
+                )
+            ]
+        return []
+
+
+def default_monitors(*, admissibility: bool = False) -> List[InvariantMonitor]:
+    """The standard battery.  ``admissibility=True`` adds the (opt-in)
+    Definition-4 precondition check."""
+    monitors: List[InvariantMonitor] = [
+        MonotoneTimeMonitor(),
+        DeadlineMonitor(),
+        WorkConservationMonitor(),
+        ValueAccountingMonitor(),
+        CapacityBandMonitor(),
+    ]
+    if admissibility:
+        monitors.append(AdmissibilityMonitor())
+    return monitors
+
+
+class InvariantWatchdog:
+    """Drives a battery of monitors from the engine's observation hooks.
+
+    Parameters
+    ----------
+    monitors:
+        The monitors to run; defaults to :func:`default_monitors`.
+    paranoid:
+        When true, the first violation raises
+        :class:`~repro.errors.InvariantViolationError`; otherwise
+        violations accumulate in :attr:`violations` / :attr:`counts` and
+        the run continues.
+    """
+
+    def __init__(
+        self,
+        monitors: Optional[Sequence[InvariantMonitor]] = None,
+        *,
+        paranoid: bool = False,
+    ) -> None:
+        self._monitors = (
+            list(monitors) if monitors is not None else default_monitors()
+        )
+        self._paranoid = bool(paranoid)
+        self.violations: List[InvariantViolation] = []
+        self.counts: Dict[str, int] = {}
+
+    @property
+    def monitors(self) -> List[InvariantMonitor]:
+        return list(self._monitors)
+
+    @property
+    def total_violations(self) -> int:
+        return len(self.violations)
+
+    def _report(self, found: List[InvariantViolation]) -> None:
+        for violation in found:
+            self.violations.append(violation)
+            self.counts[violation.monitor] = (
+                self.counts.get(violation.monitor, 0) + 1
+            )
+            if self._paranoid:
+                raise InvariantViolationError(str(violation))
+
+    # -- engine hooks --------------------------------------------------
+    def start(self, engine) -> None:
+        for monitor in self._monitors:
+            self._report(monitor.start(engine))
+
+    def after_event(self, engine, event: Event) -> None:
+        for monitor in self._monitors:
+            self._report(monitor.after_event(engine, event))
+
+    def after_run(self, engine, result) -> None:
+        for monitor in self._monitors:
+            self._report(monitor.after_run(engine, result))
+
+    def summary(self) -> Dict[str, int]:
+        """Violation counts by monitor (empty dict == clean run)."""
+        return dict(self.counts)

@@ -1,0 +1,262 @@
+"""Write-ahead event journal and engine snapshots (crash recovery).
+
+The recovery story (docs/ROBUSTNESS.md) has two cooperating artifacts:
+
+* :class:`EngineSnapshot` — a complete, picklable image of a
+  :class:`~repro.sim.engine.SimulationEngine` mid-run: simulation clock,
+  per-job remaining workload and status, the running segment's anchors, the
+  event heap (with its insertion-sequence counter, so post-restore pushes
+  get the same tie-breaking sequence numbers), the trace accumulators, the
+  scheduler's policy state, and the capacity object itself (pickled
+  wholesale, which captures any lazily-materialised stochastic path *and*
+  its RNG state).  Restoring a snapshot into a fresh engine and running to
+  the horizon yields a :class:`~repro.sim.metrics.SimulationResult`
+  bit-identical to the uncrashed run.
+
+* :class:`EventJournal` — a write-ahead log of dispatched events.  The
+  engine appends a :class:`JournalRecord` *before* dispatching each event,
+  so after a crash the journal extends past the last snapshot; on restore
+  the engine replays forward and *verifies* each re-dispatched event
+  against the journaled record, raising
+  :class:`~repro.errors.RecoveryError` on any divergence (which would
+  indicate non-determinism or a corrupted snapshot).  The journal can
+  optionally mirror to a JSONL file whose torn final line (the crash
+  signature) is tolerated on load.
+
+Determinism is what makes this work: the engine consults no wall clock and
+no RNG of its own, and capacity paths are materialised lazily in
+time-increasing order, so "snapshot + replay the same events" is exact, not
+approximate.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import RecoveryError
+
+__all__ = [
+    "JournalRecord",
+    "EventJournal",
+    "EngineSnapshot",
+    "describe_payload",
+    "results_bit_identical",
+]
+
+_JOURNAL_SCHEMA = 1
+
+
+def describe_payload(kind: int, payload: Any) -> str:
+    """Canonical string key for an event's payload (journal comparisons).
+
+    Job-carrying events reduce to the jid; alarms add their tag; faults
+    stringify their descriptor tuple.  Two dispatches are "the same event"
+    iff time, kind and this key all agree.
+    """
+    from repro.sim.events import EventKind
+
+    k = EventKind(kind)
+    if k in (EventKind.RELEASE, EventKind.COMPLETION, EventKind.DEADLINE):
+        return f"jid:{payload.jid}"
+    if k is EventKind.ALARM:
+        job, tag = payload
+        return f"alarm:{job.jid}:{tag}"
+    if k is EventKind.TIMER:
+        return f"timer:{payload}"
+    if k is EventKind.END:
+        return "end"
+    if k is EventKind.FAULT:
+        return "fault:" + ":".join(str(x) for x in payload)
+    return repr(payload)  # pragma: no cover - future kinds
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One dispatched event, as logged write-ahead."""
+
+    index: int  #: dispatch index (0-based, monotone)
+    time: float
+    kind: int  #: ``int(EventKind)``
+    key: str  #: :func:`describe_payload` of the event's payload
+    version: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "time": self.time,
+            "kind": self.kind,
+            "key": self.key,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JournalRecord":
+        return cls(
+            index=int(d["index"]),
+            time=float(d["time"]),
+            kind=int(d["kind"]),
+            key=str(d["key"]),
+            version=int(d.get("version", 0)),
+        )
+
+
+class EventJournal:
+    """Append-only write-ahead log of dispatched events.
+
+    In-memory always; mirrored to a JSONL file when ``path`` is given
+    (header line first, one record per line, flushed per append so a crash
+    loses at most the torn final line).
+    """
+
+    def __init__(self, path: "str | Path | None" = None) -> None:
+        self._records: List[JournalRecord] = []
+        self._path = None if path is None else Path(path)
+        self._fh = None
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self._path.open("w", encoding="utf-8")
+            self._fh.write(
+                json.dumps({"kind": "event_journal", "schema": _JOURNAL_SCHEMA})
+                + "\n"
+            )
+            self._fh.flush()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Tuple[JournalRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self._path
+
+    def append(self, record: JournalRecord) -> None:
+        if record.index != len(self._records):
+            raise RecoveryError(
+                f"journal append out of order: got index {record.index}, "
+                f"expected {len(self._records)}"
+            )
+        self._records.append(record)
+        if self._fh is not None:
+            self._fh.write(json.dumps(record.to_dict()) + "\n")
+            self._fh.flush()
+
+    def get(self, index: int) -> JournalRecord:
+        return self._records[index]
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "EventJournal":
+        """Rebuild an in-memory journal from a JSONL file.
+
+        A torn (undecodable) *final* line is the expected crash signature
+        and is dropped; a bad line anywhere else raises
+        :class:`~repro.errors.RecoveryError`.
+        """
+        path = Path(path)
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            raise RecoveryError(f"cannot read journal {path}: {exc}") from exc
+        if not lines:
+            raise RecoveryError(f"journal {path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise RecoveryError(f"journal {path}: corrupt header") from exc
+        if header.get("kind") != "event_journal":
+            raise RecoveryError(f"journal {path}: not an event journal")
+        if header.get("schema") != _JOURNAL_SCHEMA:
+            raise RecoveryError(
+                f"journal {path}: unsupported schema {header.get('schema')!r}"
+            )
+        journal = cls()
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = JournalRecord.from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                if lineno == len(lines):
+                    break  # torn final line: the crash signature
+                raise RecoveryError(
+                    f"journal {path}: corrupt record at line {lineno}"
+                ) from exc
+            journal.append(record)
+        return journal
+
+
+@dataclass
+class EngineSnapshot:
+    """A complete, picklable image of a mid-run simulation engine.
+
+    Jobs are referenced by jid (the restoring engine re-binds them to its
+    own :class:`~repro.sim.job.Job` objects, preserving ``is``-identity in
+    scheduler queues); the capacity function travels as a pickle blob so
+    its materialised stochastic path and RNG state survive exactly.
+    """
+
+    schema: int = 1
+    scheduler_name: str = ""
+    #: simulation clock
+    now: float = 0.0
+    horizon: float = 0.0
+    #: jid of the running job (None = idle)
+    current_jid: Optional[int] = None
+    seg_start: float = 0.0
+    seg_remaining0: float = 0.0
+    seg_cum0: float = 0.0
+    remaining: Dict[int, float] = field(default_factory=dict)
+    #: jid -> JobStatus name
+    status: Dict[int, str] = field(default_factory=dict)
+    completion_version: Dict[int, int] = field(default_factory=dict)
+    alarm_version: Dict[int, int] = field(default_factory=dict)
+    #: encoded heap entries ``(time, kind, seq, payload_desc, version)``
+    events: List[tuple] = field(default_factory=list)
+    next_seq: int = 0
+    stale_hint: int = 0
+    #: events dispatched so far (aligns with the journal index)
+    dispatch_count: int = 0
+    #: trace accumulators
+    trace_segments: List[Tuple[float, float, int, float]] = field(
+        default_factory=list
+    )
+    trace_outcomes: Dict[int, str] = field(default_factory=dict)
+    trace_completion_times: Dict[int, float] = field(default_factory=dict)
+    trace_value_points: List[Tuple[float, float]] = field(default_factory=list)
+    trace_lost_work: Dict[int, float] = field(default_factory=dict)
+    #: :meth:`repro.sim.scheduler.Scheduler.get_state`
+    scheduler_state: Dict[str, Any] = field(default_factory=dict)
+    #: ``pickle.dumps(capacity)``
+    capacity_blob: bytes = b""
+    #: indices (into the engine's fault list) of faults already fired
+    fired_faults: Tuple[int, ...] = ()
+
+    def roundtrip(self) -> "EngineSnapshot":
+        """Pickle round-trip (what crossing a process boundary does)."""
+        return pickle.loads(pickle.dumps(self))
+
+
+def results_bit_identical(a, b) -> bool:
+    """True iff two :class:`~repro.sim.metrics.SimulationResult`\\ s are
+    bit-identical: same scheduler, horizon, segments (``==`` on floats, no
+    tolerance), outcomes, completion times and value points."""
+    return (
+        a.scheduler_name == b.scheduler_name
+        and a.horizon == b.horizon
+        and a.trace.segments == b.trace.segments
+        and a.trace.outcomes == b.trace.outcomes
+        and a.trace.completion_times == b.trace.completion_times
+        and a.trace.value_points == b.trace.value_points
+        and getattr(a.trace, "lost_work", {}) == getattr(b.trace, "lost_work", {})
+    )

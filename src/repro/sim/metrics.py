@@ -25,6 +25,9 @@ class SimulationResult:
     jobs: Sequence[Job]
     horizon: float
     trace: ScheduleTrace
+    #: simulated-process crashes survived to produce this result (0 for a
+    #: run without :class:`~repro.faults.EngineCrashPlan` recovery)
+    recoveries: int = 0
 
     # ------------------------------------------------------------------
     # Primary objective

@@ -31,7 +31,7 @@ import abc
 import math
 from typing import Optional, Tuple
 
-from repro.errors import CapacityReadError, EstimateError
+from repro.errors import CapacityReadError, EstimateError, RecoveryError
 from repro.sim.job import Job
 
 __all__ = ["SchedulerContext", "Scheduler"]
@@ -199,6 +199,64 @@ class Scheduler(abc.ABC):
     def on_timer(self, tag: str) -> Optional[Job]:
         """A job-independent timer fired.  Default: keep current."""
         return self.ctx.current_job()
+
+    def on_eviction(self, job: Job) -> Optional[Job]:
+        """``job`` was forcibly evicted from the processor by an execution
+        fault (VM revocation, job kill with retained progress).  The engine
+        has already closed the running segment and returned the job to
+        READY; the scheduler must requeue it and pick a successor.
+
+        Default: treat the evicted job like a fresh arrival — correct for
+        stateless ready-queue policies whose release handler just inserts
+        and re-evaluates.  Policies with admission side effects override
+        this."""
+        return self.on_release(job)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (crash recovery — docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Capture the scheduler's per-run state for an engine snapshot.
+
+        Returns a picklable dict: sensing counters from the base class plus
+        the subclass's :meth:`_policy_state`.  Job references are always
+        stored as jids so the restoring side can re-bind them to its own
+        :class:`Job` objects."""
+        return {
+            "scheduler": type(self).__name__,
+            "sensor_last_good": self._sensor_last_good,
+            "sensor_health": dict(self._sensor_health),
+            "policy": self._policy_state(),
+        }
+
+    def set_state(self, state: dict, jobs_by_id: "dict[int, Job]") -> None:
+        """Restore per-run state captured by :meth:`get_state`.
+
+        Must be called after :meth:`bind` (so queues exist, freshly reset).
+        ``jobs_by_id`` maps jid to the restoring engine's job objects."""
+        if state.get("scheduler") != type(self).__name__:
+            raise RecoveryError(
+                f"snapshot was taken from {state.get('scheduler')!r}, "
+                f"cannot restore into {type(self).__name__}"
+            )
+        self._sensor_last_good = state["sensor_last_good"]
+        self._sensor_health = dict(state["sensor_health"])
+        self._restore_policy_state(state["policy"], jobs_by_id)
+
+    def _policy_state(self) -> dict:
+        """Subclass hook: capture policy-specific per-run state (queues,
+        rate estimates, accumulators) as a picklable, jid-keyed dict."""
+        raise RecoveryError(
+            f"{type(self).__name__} does not support snapshot/restore"
+        )
+
+    def _restore_policy_state(
+        self, state: dict, jobs_by_id: "dict[int, Job]"
+    ) -> None:
+        """Subclass hook: inverse of :meth:`_policy_state`."""
+        raise RecoveryError(
+            f"{type(self).__name__} does not support snapshot/restore"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

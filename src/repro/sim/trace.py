@@ -57,6 +57,10 @@ class ScheduleTrace:
     completion_times: Dict[int, float] = field(default_factory=dict)
     #: (time, value) points: cumulative value after each completion
     value_points: List[tuple[float, float]] = field(default_factory=list)
+    #: job id -> workload progress destroyed by execution faults (a killed
+    #: job may have to redo work it already received; that work *was*
+    #: legally executed, so the validator budgets for it)
+    lost_work: Dict[int, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Recording API (used by the engine)
@@ -76,6 +80,13 @@ class ScheduleTrace:
                 )
                 return
         self.segments.append(RunSegment(start, end, jid, work))
+
+    def record_lost_work(self, jid: int, amount: float) -> None:
+        """Record that an execution fault destroyed ``amount`` units of
+        ``jid``'s already-performed progress (kill with partial retention)."""
+        if amount <= 0.0:
+            return
+        self.lost_work[jid] = self.lost_work.get(jid, 0.0) + amount
 
     def record_outcome(self, job: Job, status: JobStatus, t: float) -> None:
         self.outcomes[job.jid] = status
@@ -172,11 +183,15 @@ class ScheduleTrace:
             if job is None:
                 raise SimulationError(f"outcome for unknown job {jid}")
             done = work.get(jid, 0.0)
+            # Execution faults (job kills) can destroy progress a job
+            # already legally received; that work was really executed, so
+            # the per-job budget is workload + lost.
+            budget = job.workload + self.lost_work.get(jid, 0.0)
             if status is JobStatus.COMPLETED:
-                if abs(done - job.workload) > tol * max(1.0, job.workload):
+                if abs(done - budget) > tol * max(1.0, budget):
                     raise SimulationError(
                         f"job {jid} marked completed with work {done} != "
-                        f"workload {job.workload}"
+                        f"workload-plus-lost {budget}"
                     )
                 tdone = self.completion_times[jid]
                 if tdone > job.deadline + tol:
@@ -185,8 +200,8 @@ class ScheduleTrace:
                         f"{job.deadline}"
                     )
             else:
-                if done > job.workload + tol * max(1.0, job.workload):
+                if done > budget + tol * max(1.0, budget):
                     raise SimulationError(
                         f"job {jid} executed {done} exceeding workload "
-                        f"{job.workload} yet not completed"
+                        f"{budget} yet not completed"
                     )

@@ -1,0 +1,166 @@
+"""Checkpoint corruption paths: what a resumed sweep must and must not eat.
+
+Satellite contract (docs/ROBUSTNESS.md): a truncated *final* line is the
+signature of a crash mid-append and is silently tolerated (that replication
+re-runs); a corrupt line anywhere else, a foreign header, or a fingerprint
+mismatch refuses to resume with a clear :class:`CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.experiments.checkpoint import CheckpointStore
+from repro.experiments.runner import FailedReplication, ReplicationOutcome
+
+
+def _outcome(v: float = 5.0) -> ReplicationOutcome:
+    return ReplicationOutcome(
+        generated_value=10.0,
+        n_jobs=3,
+        values={"EDF": v},
+        completed={"EDF": 2},
+        recovered=1,
+    )
+
+
+def _store(path, **kw) -> CheckpointStore:
+    args = dict(seed=1, n_runs=4, fingerprint="abc123")
+    args.update(kw)
+    return CheckpointStore(path, **args)
+
+
+def _fresh(tmp_path, n_records: int = 3):
+    path = tmp_path / "run.ckpt"
+    store = _store(path)
+    for i in range(n_records):
+        store.record(i, _outcome(float(i)))
+    store.close()
+    return path
+
+
+class TestCleanResume:
+    def test_roundtrip(self, tmp_path):
+        path = _fresh(tmp_path)
+        resumed = _store(path)
+        assert sorted(resumed.completed) == [0, 1, 2]
+        assert resumed.completed[1].values == {"EDF": 1.0}
+        assert resumed.completed[1].recovered == 1
+        assert resumed.pending() == [3]
+
+    def test_failures_are_retried(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = _store(path)
+        store.record(0, _outcome())
+        store.record(
+            1,
+            FailedReplication(
+                index=1, error_type="ValueError", message="boom", attempts=2
+            ),
+        )
+        store.close()
+        resumed = _store(path)
+        assert resumed.pending() == [1, 2, 3]  # the failure re-runs
+        assert resumed.failures[1].message == "boom"
+
+    def test_latest_record_wins(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = _store(path)
+        store.record(
+            0,
+            FailedReplication(
+                index=0, error_type="OSError", message="flaky", attempts=1
+            ),
+        )
+        store.record(0, _outcome(9.0))  # the retry succeeded
+        store.close()
+        resumed = _store(path)
+        assert resumed.completed[0].values == {"EDF": 9.0}
+        assert 0 not in resumed.failures
+
+
+class TestCorruption:
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = _fresh(tmp_path)
+        text = path.read_text()
+        path.write_text(text[: text.rindex('{"index": 2') + 14])
+        resumed = _store(path)
+        assert sorted(resumed.completed) == [0, 1]
+        assert resumed.pending() == [2, 3]  # the torn replication re-runs
+
+    def test_corrupt_middle_line_refuses_resume(self, tmp_path):
+        path = _fresh(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[2] = '{"index": 1, "outcome": BROKEN'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(
+            CheckpointError, match=r"corrupt checkpoint record at line 3"
+        ):
+            _store(path)
+
+    def test_corrupt_header_refuses_resume(self, tmp_path):
+        path = _fresh(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[0] = "{broken header"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt checkpoint header"):
+            _store(path)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text(json.dumps({"kind": "event_journal", "schema": 1}) + "\n")
+        with pytest.raises(CheckpointError, match="not a Monte-Carlo checkpoint"):
+            _store(path)
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": "mc_checkpoint",
+                    "schema": 99,
+                    "seed": 1,
+                    "n_runs": 4,
+                    "fingerprint": "abc123",
+                }
+            )
+            + "\n"
+        )
+        with pytest.raises(CheckpointError, match="unsupported checkpoint schema"):
+            _store(path)
+
+    def test_out_of_range_index_rejected(self, tmp_path):
+        path = _fresh(tmp_path, n_records=1)
+        with path.open("a") as fh:
+            fh.write(
+                json.dumps(
+                    {"index": 99, "outcome": json.loads(json.dumps({
+                        "generated_value": 1.0,
+                        "n_jobs": 1,
+                        "values": {"EDF": 1.0},
+                        "completed": {"EDF": 1},
+                    }))}
+                )
+                + "\n"
+            )
+        with pytest.raises(CheckpointError, match="out of range"):
+            _store(path)
+
+
+class TestFingerprint:
+    @pytest.mark.parametrize(
+        "kw, what",
+        [
+            ({"fingerprint": "zzz999"}, "fingerprint"),
+            ({"seed": 2}, "seed"),
+            ({"n_runs": 8}, "n_runs"),
+        ],
+    )
+    def test_mismatch_refuses_resume(self, tmp_path, kw, what):
+        path = _fresh(tmp_path)
+        with pytest.raises(CheckpointError, match="different run") as excinfo:
+            _store(path, **kw)
+        assert what in str(excinfo.value)

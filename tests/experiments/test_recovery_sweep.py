@@ -1,0 +1,176 @@
+"""E16 recovery sweep + Monte-Carlo crash-resume integration tests.
+
+The ``recovery_smoke`` marker tags the tiny end-to-end crash → snapshot →
+journal-replay → bit-identical check that CI runs as its own step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EDFScheduler
+from repro.errors import ExperimentError
+from repro.experiments.checkpoint import _outcome_from_dict, _outcome_to_dict
+from repro.experiments.recovery_sweep import (
+    RecoveryInstanceFactory,
+    crash_resume_equivalence,
+    default_recovery_rates,
+    run_recovery_sweep,
+)
+from repro.experiments.runner import (
+    MonteCarloRunner,
+    PaperInstanceFactory,
+    ReplicationOutcome,
+    SchedulerSpec,
+)
+from repro.faults import ExecutionFaultSpec, JobKillFault, RevocationBurst
+from repro.workload.poisson import PoissonWorkload
+
+
+def _tiny_factory(expected_jobs: float = 24.0) -> PaperInstanceFactory:
+    lam = 6.0
+    horizon = expected_jobs / lam
+    return PaperInstanceFactory(
+        workload=PoissonWorkload(
+            lam=lam, horizon=horizon, density_range=(1.0, 7.0), c_lower=1.0
+        ),
+        low=1.0,
+        high=35.0,
+        sojourn=horizon / 4.0,
+    )
+
+
+class TestDefaults:
+    def test_rate_grids(self):
+        assert default_recovery_rates("kill")[0] == 0.0
+        assert default_recovery_rates("revocation")[0] == 0.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ExperimentError, match="unknown execution-fault"):
+            default_recovery_rates("meteor")
+
+
+class TestRecoveryInstanceFactory:
+    def test_pairing_across_rates(self):
+        """Fixed replication seed ⇒ identical (jobs, capacity draw) for
+        every fault rate — the sweep is a paired comparison."""
+        base = _tiny_factory()
+        lo = RecoveryInstanceFactory(
+            base, ExecutionFaultSpec(kind="kill", severity=0.05)
+        )
+        hi = RecoveryInstanceFactory(
+            base, ExecutionFaultSpec(kind="kill", severity=0.5)
+        )
+        jobs_lo, _, faults_lo = lo.make_with_faults(np.random.default_rng(7))
+        jobs_hi, _, faults_hi = hi.make_with_faults(np.random.default_rng(7))
+        assert jobs_lo == jobs_hi
+        (f_lo,), (f_hi,) = faults_lo, faults_hi
+        assert isinstance(f_lo, JobKillFault) and isinstance(f_hi, JobKillFault)
+        assert f_lo.seed == f_hi.seed  # same post-instance fault seed
+        assert f_lo.rate == 0.05 and f_hi.rate == 0.5
+
+    def test_zero_severity_yields_no_faults(self):
+        factory = RecoveryInstanceFactory(
+            _tiny_factory(), ExecutionFaultSpec(kind="kill", severity=0.0)
+        )
+        _jobs, _capacity, faults = factory.make_with_faults(
+            np.random.default_rng(1)
+        )
+        assert faults == ()
+
+    def test_revocation_transforms_capacity(self):
+        factory = RecoveryInstanceFactory(
+            _tiny_factory(),
+            ExecutionFaultSpec(
+                kind="revocation", severity=2.0, options={"mean_down": 1.0}
+            ),
+        )
+        jobs, capacity, faults = factory.make_with_faults(
+            np.random.default_rng(3)
+        )
+        (fault,) = faults
+        assert isinstance(fault, RevocationBurst)
+        horizon = max(j.deadline for j in jobs) + 1.0
+        for start, end in fault.windows(horizon):
+            mid = 0.5 * (start + min(end, horizon))
+            assert capacity.value(mid) == capacity.lower
+
+
+class TestSweep:
+    def test_kill_sweep_tiny(self):
+        result = run_recovery_sweep(
+            "kill",
+            rates=(0.0, 0.5),
+            n_runs=3,
+            seed=2,
+            workers=1,
+            expected_jobs=24.0,
+        )
+        assert result.swept_values == [0.0, 0.5]
+        assert set(result.percents) == {"EDF", "Dover(c=1)", "V-Dover"}
+        for summaries in result.percents.values():
+            assert len(summaries) == 2
+            assert all(0.0 <= s.mean <= 100.0 for s in summaries)
+        assert result.failures == []
+
+    def test_unknown_kind_rejected_even_with_rates(self):
+        with pytest.raises(ExperimentError):
+            run_recovery_sweep("meteor", rates=(0.0,), n_runs=1)
+
+
+class TestRunnerCrashResume:
+    def test_outcome_survives_engine_crash(self):
+        """A crash plan armed on every run: the worker resumes from the
+        snapshot in-process and reports how many crashes it survived."""
+        factory = RecoveryInstanceFactory(
+            _tiny_factory(),
+            ExecutionFaultSpec(kind="crash", options={"at_event": 12}),
+        )
+        runner = MonteCarloRunner(
+            factory, [SchedulerSpec("EDF", EDFScheduler, {})]
+        )
+        outcomes = runner.run(2, seed=5, workers=1)
+        assert len(outcomes) == 2
+        assert all(o.recovered >= 1 for o in outcomes)
+
+    def test_crash_resume_matches_fault_free(self):
+        """Crashing and resuming must not change the measured values."""
+        base = _tiny_factory()
+        crashing = RecoveryInstanceFactory(
+            base, ExecutionFaultSpec(kind="crash", options={"at_event": 9})
+        )
+        specs = [SchedulerSpec("EDF", EDFScheduler, {})]
+        clean = MonteCarloRunner(base, specs).run(2, seed=8, workers=1)
+        crashed = MonteCarloRunner(crashing, specs).run(2, seed=8, workers=1)
+        for a, b in zip(clean, crashed):
+            assert a.values == b.values
+            assert a.completed == b.completed
+            assert b.recovered >= 1
+
+    def test_checkpoint_roundtrips_recovered(self):
+        outcome = ReplicationOutcome(
+            generated_value=10.0,
+            n_jobs=4,
+            values={"EDF": 6.0},
+            completed={"EDF": 3},
+            recovered=2,
+        )
+        assert _outcome_from_dict(_outcome_to_dict(outcome)) == outcome
+        # Pre-PR checkpoints have no "recovered" field: default to 0.
+        d = _outcome_to_dict(outcome)
+        del d["recovered"]
+        assert _outcome_from_dict(d).recovered == 0
+
+
+@pytest.mark.recovery_smoke
+def test_crash_resume_equivalence_smoke():
+    """The CI smoke: one crash per scheduler, resumed run bit-identical."""
+    report = crash_resume_equivalence(
+        expected_jobs=60.0, crash_at_event=20, snapshot_every=8
+    )
+    assert set(report) == {"EDF", "Dover(c=1)", "V-Dover"}
+    for name, row in report.items():
+        assert row["identical"], f"{name} diverged after crash resume"
+        assert row["recoveries"] == 1
+        assert row["events_journaled"] > 20

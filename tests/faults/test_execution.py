@@ -1,0 +1,244 @@
+"""Execution-fault model unit tests: kills, revocations, crash plans, specs.
+
+Kill semantics are checked against hand-computable single-job runs on a
+constant-rate processor: a kill at time ``t`` with ``retain=r`` rewrites
+the remaining workload to ``w - r * t`` and books the destroyed progress
+as ``lost_work`` (so the trace validator's budget still balances).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.capacity import ConstantCapacity, PiecewiseConstantCapacity
+from repro.core import EDFScheduler
+from repro.errors import FaultConfigError
+from repro.faults import (
+    EXECUTION_FAULT_KINDS,
+    EngineCrashPlan,
+    ExecutionFault,
+    ExecutionFaultSpec,
+    JobKillFault,
+    RevocationBurst,
+)
+from repro.sim import Job, simulate
+
+
+class _TimedKill(ExecutionFault):
+    """Test fault: kill the running job at explicit, fixed times."""
+
+    def __init__(self, times, retain=0.0):
+        self.times = tuple(times)
+        self.retain = float(retain)
+
+    def arm(self, engine, index):
+        for t in self.times:
+            engine.push_fault_event(t, ("kill", index, self.retain))
+
+
+def _single_job_run(retain: float, kill_at: float = 4.0):
+    job = Job(0, 0.0, 10.0, 30.0, 1.0)
+    return simulate(
+        [job],
+        ConstantCapacity(1.0),
+        EDFScheduler(),
+        faults=[_TimedKill([kill_at], retain=retain)],
+    )
+
+
+# ----------------------------------------------------------------------
+# JobKillFault
+# ----------------------------------------------------------------------
+class TestJobKillFault:
+    def test_validation(self):
+        with pytest.raises(FaultConfigError):
+            JobKillFault(-1.0)
+        with pytest.raises(FaultConfigError):
+            JobKillFault(1.0, retain=1.5)
+        with pytest.raises(FaultConfigError):
+            JobKillFault(1.0, retain=-0.1)
+
+    def test_kill_times_deterministic(self):
+        a = JobKillFault(2.0, seed=5).kill_times(50.0)
+        b = JobKillFault(2.0, seed=5).kill_times(50.0)
+        assert a == b
+        assert a != JobKillFault(2.0, seed=6).kill_times(50.0)
+        assert all(0.0 < t < 50.0 for t in a)
+        assert a == sorted(a)
+
+    def test_zero_rate_or_horizon_empty(self):
+        assert JobKillFault(0.0).kill_times(10.0) == []
+        assert JobKillFault(3.0).kill_times(0.0) == []
+
+    def test_full_restart_semantics(self):
+        """retain=0: 4 units of progress destroyed, completion at 14."""
+        result = _single_job_run(retain=0.0)
+        assert result.trace.completion_times[0] == pytest.approx(14.0)
+        assert result.trace.lost_work[0] == pytest.approx(4.0)
+        result.trace.validate(result.jobs, ConstantCapacity(1.0))
+
+    def test_partial_retain_semantics(self):
+        """retain=0.5: only 2 of the 4 units are destroyed → done at 12."""
+        result = _single_job_run(retain=0.5)
+        assert result.trace.completion_times[0] == pytest.approx(12.0)
+        assert result.trace.lost_work[0] == pytest.approx(2.0)
+
+    def test_pure_eviction_loses_nothing(self):
+        """retain=1: a preemption-and-resume, no work destroyed."""
+        result = _single_job_run(retain=1.0)
+        assert result.trace.completion_times[0] == pytest.approx(10.0)
+        assert result.trace.lost_work.get(0, 0.0) == 0.0
+
+    def test_kill_on_idle_processor_is_a_miss(self):
+        job = Job(0, 5.0, 1.0, 30.0, 1.0)
+        result = simulate(
+            [job],
+            ConstantCapacity(1.0),
+            EDFScheduler(),
+            faults=[_TimedKill([2.0])],  # nothing running at t=2
+        )
+        assert result.trace.completion_times[0] == pytest.approx(6.0)
+        assert result.trace.lost_work == {}
+
+
+# ----------------------------------------------------------------------
+# RevocationBurst
+# ----------------------------------------------------------------------
+class TestRevocationBurst:
+    def test_validation(self):
+        with pytest.raises(FaultConfigError):
+            RevocationBurst(-0.5)
+        with pytest.raises(FaultConfigError):
+            RevocationBurst(1.0, mean_down=0.0)
+        with pytest.raises(FaultConfigError):
+            RevocationBurst(windows=[(3.0, 2.0)])  # end <= start
+        with pytest.raises(FaultConfigError, match="overlap"):
+            RevocationBurst(windows=[(0.0, 2.0), (1.0, 3.0)])
+
+    def test_sampled_windows_deterministic_and_disjoint(self):
+        w = RevocationBurst(0.5, mean_down=1.0, seed=3).windows(40.0)
+        assert w == RevocationBurst(0.5, mean_down=1.0, seed=3).windows(40.0)
+        assert len(w) >= 1
+        for (s0, e0), (s1, e1) in zip(w, w[1:]):
+            assert e0 <= s1
+        assert all(0.0 <= s < e <= 40.0 for s, e in w)
+
+    def test_explicit_windows_clipped_to_horizon(self):
+        burst = RevocationBurst(windows=[(1.0, 2.0), (5.0, 9.0), (12.0, 13.0)])
+        assert burst.windows(8.0) == ((1.0, 2.0), (5.0, 8.0))
+
+    def test_transform_pins_to_floor(self):
+        base = ConstantCapacity(4.0)
+        burst = RevocationBurst(windows=[(2.0, 3.0)])
+        out = burst.transform(base, 10.0)
+        assert isinstance(out, PiecewiseConstantCapacity)
+        assert out.value(2.5) == base.lower
+        assert out.value(1.0) == 4.0
+        assert out.value(3.5) == 4.0
+        assert (out.lower, out.upper) == (base.lower, base.upper)
+
+    def test_transform_without_windows_is_identity(self):
+        base = ConstantCapacity(4.0)
+        assert RevocationBurst(0.0).transform(base, 10.0) is base
+
+    def test_from_price_spikes(self):
+        times = np.arange(0.0, 6.0)  # 0..5
+        prices = np.array([1.0, 5.0, 5.0, 1.0, 5.0, 1.0])
+        burst = RevocationBurst.from_price_spikes(times, prices, threshold=2.0)
+        assert burst.windows(10.0) == ((1.0, 3.0), (4.0, 5.0))
+
+    def test_from_price_spikes_open_tail(self):
+        burst = RevocationBurst.from_price_spikes(
+            [0.0, 1.0, 2.0], [0.0, 9.0, 9.0], threshold=2.0
+        )
+        assert burst.windows(10.0) == ((1.0, 3.0),)  # one grid step wide
+
+    def test_from_price_spikes_shape_mismatch(self):
+        with pytest.raises(FaultConfigError):
+            RevocationBurst.from_price_spikes([0.0, 1.0], [1.0], 0.5)
+
+    def test_eviction_delays_completion(self):
+        """Revoked window [2, 5): rate 1 outside, floor 1... use a base with
+        a higher rate so the pin actually bites."""
+        job = Job(0, 0.0, 8.0, 30.0, 1.0)
+        base = PiecewiseConstantCapacity([0.0], [4.0], lower=1.0, upper=4.0)
+        burst = RevocationBurst(windows=[(1.0, 3.0)])
+        capacity = burst.transform(base, 31.0)
+        result = simulate([job], capacity, EDFScheduler(), faults=[burst])
+        # 4/s for 1s (work 4), floor 1/s for 2s (work 2), 4/s for 0.5s.
+        assert result.trace.completion_times[0] == pytest.approx(3.5)
+        reference = simulate([job], base, EDFScheduler())
+        assert reference.trace.completion_times[0] == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# EngineCrashPlan / ExecutionFaultSpec
+# ----------------------------------------------------------------------
+class TestEngineCrashPlan:
+    def test_exactly_one_trigger(self):
+        with pytest.raises(FaultConfigError):
+            EngineCrashPlan()
+        with pytest.raises(FaultConfigError):
+            EngineCrashPlan(at_time=1.0, at_event=5)
+        with pytest.raises(FaultConfigError):
+            EngineCrashPlan(at_time=-1.0)
+        with pytest.raises(FaultConfigError):
+            EngineCrashPlan(at_event=-2)
+
+    def test_is_crash_plan_marker(self):
+        assert EngineCrashPlan(at_event=3).is_crash_plan
+        assert not getattr(JobKillFault(1.0), "is_crash_plan", False)
+
+    def test_picklable(self):
+        plan = EngineCrashPlan(at_event=7)
+        plan.fired = True
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.at_event == 7 and clone.fired
+
+
+class TestExecutionFaultSpec:
+    def test_kinds(self):
+        assert EXECUTION_FAULT_KINDS == ("kill", "revocation", "crash")
+        with pytest.raises(FaultConfigError):
+            ExecutionFaultSpec(kind="meteor")
+
+    def test_crash_requires_location(self):
+        with pytest.raises(FaultConfigError):
+            ExecutionFaultSpec(kind="crash")
+        spec = ExecutionFaultSpec(kind="crash", options={"at_event": 9})
+        fault = spec.build(seed=1)
+        assert isinstance(fault, EngineCrashPlan) and fault.at_event == 9
+
+    def test_zero_severity_builds_none(self):
+        assert ExecutionFaultSpec(kind="none").build() is None
+        assert ExecutionFaultSpec(kind="kill", severity=0.0).build() is None
+        assert ExecutionFaultSpec(kind="revocation", severity=0.0).build() is None
+
+    def test_build_kill_and_revocation(self):
+        kill = ExecutionFaultSpec(
+            kind="kill", severity=0.3, options={"retain": 0.5}
+        ).build(seed=11)
+        assert isinstance(kill, JobKillFault)
+        assert (kill.rate, kill.retain, kill.seed) == (0.3, 0.5, 11)
+
+        rev = ExecutionFaultSpec(
+            kind="revocation", severity=0.1, options={"mean_down": 2.0}
+        ).build(seed=12)
+        assert isinstance(rev, RevocationBurst)
+        assert (rev.rate, rev.mean_down, rev.seed) == (0.1, 2.0, 12)
+
+    def test_labels(self):
+        assert ExecutionFaultSpec(kind="none").label == "no-fault"
+        assert ExecutionFaultSpec(kind="kill", severity=0.0).label == "no-fault"
+        assert ExecutionFaultSpec(kind="kill", severity=0.25).label == "kill=0.25"
+        assert (
+            ExecutionFaultSpec(kind="crash", options={"at_time": 2.0}).label
+            == "crash"
+        )
+
+    def test_spec_picklable(self):
+        spec = ExecutionFaultSpec(kind="kill", severity=0.2, options={"retain": 0.1})
+        assert pickle.loads(pickle.dumps(spec)) == spec

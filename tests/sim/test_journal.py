@@ -1,0 +1,118 @@
+"""EventJournal / JournalRecord / describe_payload unit tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.sim import EventJournal, Job, JournalRecord
+from repro.sim.events import EventKind
+from repro.sim.journal import describe_payload
+
+
+def _record(i: int, **kw) -> JournalRecord:
+    base = dict(index=i, time=float(i), kind=2, key=f"jid:{i}", version=0)
+    base.update(kw)
+    return JournalRecord(**base)
+
+
+class TestDescribePayload:
+    def test_job_events(self):
+        job = Job(7, 0.0, 1.0, 5.0, 1.0)
+        for kind in (EventKind.RELEASE, EventKind.COMPLETION, EventKind.DEADLINE):
+            assert describe_payload(int(kind), job) == "jid:7"
+
+    def test_alarm(self):
+        job = Job(3, 0.0, 1.0, 5.0, 1.0)
+        assert describe_payload(int(EventKind.ALARM), (job, "claxity")) == (
+            "alarm:3:claxity"
+        )
+
+    def test_timer_end_fault(self):
+        assert describe_payload(int(EventKind.TIMER), "tick") == "timer:tick"
+        assert describe_payload(int(EventKind.END), None) == "end"
+        assert describe_payload(int(EventKind.FAULT), ("kill", 0, 0.5)) == (
+            "fault:kill:0:0.5"
+        )
+
+
+class TestJournalRecord:
+    def test_dict_roundtrip(self):
+        rec = _record(4, key="alarm:1:claxity", version=3)
+        assert JournalRecord.from_dict(rec.to_dict()) == rec
+
+    def test_version_defaults(self):
+        d = _record(0).to_dict()
+        del d["version"]
+        assert JournalRecord.from_dict(d).version == 0
+
+
+class TestEventJournal:
+    def test_append_and_get(self):
+        journal = EventJournal()
+        for i in range(5):
+            journal.append(_record(i))
+        assert len(journal) == 5
+        assert journal.get(3) == _record(3)
+        assert journal.records == tuple(_record(i) for i in range(5))
+
+    def test_out_of_order_append_rejected(self):
+        journal = EventJournal()
+        journal.append(_record(0))
+        with pytest.raises(RecoveryError, match="out of order"):
+            journal.append(_record(2))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "run.journal"
+        journal = EventJournal(path)
+        for i in range(4):
+            journal.append(_record(i))
+        journal.close()
+        loaded = EventJournal.load(path)
+        assert loaded.records == journal.records
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.journal"
+        journal = EventJournal(path)
+        for i in range(4):
+            journal.append(_record(i))
+        journal.close()
+        # Simulate a crash mid-append: truncate the last line.
+        text = path.read_text()
+        path.write_text(text[: text.rindex('{"index": 3') + 10])
+        loaded = EventJournal.load(path)
+        assert len(loaded) == 3
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "run.journal"
+        journal = EventJournal(path)
+        for i in range(4):
+            journal.append(_record(i))
+        journal.close()
+        lines = path.read_text().splitlines()
+        lines[2] = '{"index": 1, "time": BROKEN'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(RecoveryError, match="corrupt record at line 3"):
+            EventJournal.load(path)
+
+    def test_load_rejects_non_journal(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something_else"}) + "\n")
+        with pytest.raises(RecoveryError, match="not an event journal"):
+            EventJournal.load(path)
+
+    def test_load_rejects_bad_schema(self, tmp_path):
+        path = tmp_path / "future.journal"
+        path.write_text(
+            json.dumps({"kind": "event_journal", "schema": 999}) + "\n"
+        )
+        with pytest.raises(RecoveryError, match="unsupported schema"):
+            EventJournal.load(path)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.journal"
+        path.write_text("")
+        with pytest.raises(RecoveryError, match="empty"):
+            EventJournal.load(path)

@@ -30,6 +30,39 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["faults", "gamma-rays"])
 
+    def test_recovery_kinds(self):
+        for kind in ("kill", "revocation", "crash-demo"):
+            args = build_parser().parse_args(["recovery", kind])
+            assert args.kind == kind
+            assert args.rates is None
+            assert not args.allow_failures
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recovery", "gamma-rays"])
+
+    def test_recovery_flags(self):
+        args = build_parser().parse_args(
+            [
+                "recovery", "kill",
+                "--rates", "0", "0.5",
+                "--retain", "0.25",
+                "--checkpoint", "/tmp/base",
+                "--out", "/tmp/sweep.json",
+                "--allow-failures",
+            ]
+        )
+        assert args.rates == [0.0, 0.5]
+        assert args.retain == 0.25
+        assert args.checkpoint == "/tmp/base"
+        assert args.out == "/tmp/sweep.json"
+        assert args.allow_failures
+
+    def test_allow_failures_on_mc_commands(self):
+        for cmd in (["table1"], ["faults", "noise"], ["recovery", "kill"]):
+            assert not build_parser().parse_args(cmd).allow_failures
+            assert build_parser().parse_args(
+                cmd + ["--allow-failures"]
+            ).allow_failures
+
     def test_table1_resilience_flags(self):
         args = build_parser().parse_args(
             ["table1", "--checkpoint", "/tmp/ck", "--timeout", "30", "--retries", "2"]
@@ -109,6 +142,92 @@ class TestCommands:
         assert (tmp_path / "table1_lam6.ckpt.jsonl").exists()
         assert main(argv) == 0  # resumes from the checkpoint
         assert capsys.readouterr().out == first
+
+
+class TestRecoveryCommand:
+    def test_crash_demo(self, capsys):
+        assert main(["recovery", "crash-demo", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Crash-resume equivalence" in out
+        assert "bit-identical" in out
+        assert "NO" not in out  # every scheduler resumed exactly
+
+    def test_kill_sweep_small(self, capsys, tmp_path):
+        out_file = tmp_path / "recovery.json"
+        code = main(
+            [
+                "recovery", "kill",
+                "--rates", "0", "0.5",
+                "--runs", "2",
+                "--jobs", "40",
+                "--workers", "1",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kill rate" in out
+        assert "V-Dover" in out
+        assert out_file.exists()
+        from repro.experiments.store import load_sweep
+
+        loaded = load_sweep(out_file)
+        assert loaded.swept_values == [0.0, 0.5]
+
+    def test_recovery_checkpoint_resumes(self, tmp_path, capsys):
+        argv = [
+            "recovery", "kill",
+            "--rates", "0", "0.2",
+            "--runs", "2",
+            "--jobs", "40",
+            "--workers", "1",
+            "--checkpoint", str(tmp_path / "rec"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "rec.cell0").exists()
+        assert (tmp_path / "rec.cell1").exists()
+        assert main(argv) == 0  # resumes from the per-cell checkpoints
+        assert capsys.readouterr().out == first
+
+
+class TestFailureExitCodes:
+    """Satellite: Monte-Carlo commands exit non-zero when replications
+    failed, unless --allow-failures."""
+
+    class _StubResult:
+        def __init__(self, failures):
+            self.failures = failures
+
+        def render(self):
+            return "stub table"
+
+    def _patch_faults(self, monkeypatch, failures):
+        import repro.experiments.faults_sweep as mod
+
+        monkeypatch.setattr(
+            mod,
+            "run_faults_sweep",
+            lambda *a, **kw: self._StubResult(failures),
+        )
+
+    def test_failures_exit_nonzero(self, monkeypatch, capsys):
+        self._patch_faults(monkeypatch, [(0.5, "replication #3 failed: boom")])
+        assert main(["faults", "noise", "--runs", "2"]) == 1
+        err = capsys.readouterr().err
+        assert "1 replication(s) failed" in err
+        assert "--allow-failures" in err
+
+    def test_allow_failures_exits_zero(self, monkeypatch, capsys):
+        self._patch_faults(monkeypatch, [(0.5, "replication #3 failed: boom")])
+        assert main(["faults", "noise", "--runs", "2", "--allow-failures"]) == 0
+        err = capsys.readouterr().err
+        assert "excluded" in err  # still loudly reported
+
+    def test_no_failures_exit_zero(self, monkeypatch, capsys):
+        self._patch_faults(monkeypatch, [])
+        assert main(["faults", "noise", "--runs", "2"]) == 0
+        assert capsys.readouterr().err == ""
 
 
 class TestSimulateCommand:
