@@ -246,7 +246,15 @@ class CapacityFunction(abc.ABC):
                 # max() guards against one-ulp drift below t0.
                 return max(t0, start + remaining / rate)
             remaining -= capacity_here
-        if horizon is not math.inf and remaining <= 1e-12 * max(1.0, work):
+        if remaining <= 1e-12 * max(1.0, work):
+            # Float shortfall at the search limit, not infeasibility: when
+            # c(t) sits exactly at ``lower`` across the whole window the
+            # piece sum can land one ulp short of ``work``.  Any finite
+            # workload completes by ``t0 + work / lower``, so with
+            # ``horizon=inf`` returning ``inf`` here would drop a
+            # completion that is mathematically guaranteed (the engine
+            # would then never arm the completion event and the job would
+            # over-execute).  Snap to the limit in both horizon regimes.
             return limit
         return math.inf
 

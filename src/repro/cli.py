@@ -8,6 +8,7 @@ Usage::
     repro-sched sweep   {policy,supplement,beta,delta,k-misest,slack} [--runs N]
     repro-sched faults  {noise,staleness,dropout,bias} [--severities ...]
     repro-sched recovery {kill,revocation,crash-demo} [--rates ...]
+    repro-sched multi   {run,crash-demo} [--m M] [--lam L] [--runs N]
     repro-sched theory  [--k K] [--delta D]
     repro-sched adversary [--n N]
     repro-sched simulate INSTANCE.json [--scheduler ...] [--gantt]
@@ -187,6 +188,30 @@ def build_parser() -> argparse.ArgumentParser:
             "exit 0 even when some replications failed (default: failed "
             "replications make the command exit non-zero)"
         ),
+    )
+
+    p = sub.add_parser(
+        "multi",
+        help=(
+            "multiprocessor fleet: paired policy comparison on m "
+            "heterogeneous servers, and the multi crash-resume "
+            "bit-identity demo"
+        ),
+    )
+    p.add_argument("kind", choices=["run", "crash-demo"])
+    p.add_argument("--m", type=int, default=4, help="number of servers")
+    p.add_argument(
+        "--lam",
+        type=float,
+        default=None,
+        help="cluster-wide arrival rate (default: 20 for run, 6 for crash-demo)",
+    )
+    p.add_argument("--k", type=float, default=7.0, help="importance-ratio bound")
+    p.add_argument("--runs", type=int, default=5, help="Monte-Carlo runs (run only)")
+    p.add_argument("--seed", type=int, default=2011)
+    p.add_argument("--workers", type=int, default=0)
+    p.add_argument(
+        "--jobs", type=float, default=240.0, help="expected jobs per run"
     )
 
     p = sub.add_parser("theory", help="print the paper's closed-form bounds")
@@ -373,6 +398,67 @@ def _cmd_recovery(args: argparse.Namespace) -> int:
     return _failure_exit(len(result.failures), first, args.allow_failures)
 
 
+def _cmd_multi(args: argparse.Namespace) -> int:
+    from repro.experiments.multi_demo import (
+        multi_crash_resume_equivalence,
+        run_multi_demo,
+    )
+
+    if args.kind == "crash-demo":
+        report = multi_crash_resume_equivalence(
+            m=args.m,
+            lam=args.lam if args.lam is not None else 6.0,
+            k=args.k,
+            seed=args.seed,
+            expected_jobs=args.jobs,
+        )
+        rows = [
+            [
+                name,
+                "yes" if r["identical"] else "NO",
+                r["recoveries"],
+                r["events_journaled"],
+                f"{r['value']:g}",
+            ]
+            for name, r in report.items()
+        ]
+        print(
+            render_table(
+                ["policy", "bit-identical", "recoveries", "events", "value"],
+                rows,
+                title=(
+                    f"Multiprocessor crash-resume equivalence "
+                    f"(m={args.m}, snapshot + journal replay)"
+                ),
+            )
+        )
+        if not all(r["identical"] for r in report.values()):
+            print("[!] recovered run diverged from the reference", file=sys.stderr)
+            return 1
+        return 0
+
+    rows = run_multi_demo(
+        m=args.m,
+        lam=args.lam if args.lam is not None else 20.0,
+        k=args.k,
+        n_runs=args.runs,
+        seed=args.seed,
+        expected_jobs=args.jobs,
+        workers=args.workers,
+    )
+    print(
+        render_table(
+            ["policy", "value %", "completed"],
+            [[name, f"{share:.2f}", f"{done:.1f}"] for name, share, done in rows],
+            title=(
+                f"Multiprocessor policies on m={args.m} heterogeneous "
+                f"servers (paired, {args.runs} runs)"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_theory(args: argparse.Namespace) -> int:
     k, delta = args.k, args.delta
     rows = [
@@ -463,6 +549,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
         "recovery": _cmd_recovery,
+        "multi": _cmd_multi,
         "theory": _cmd_theory,
         "adversary": _cmd_adversary,
         "simulate": _cmd_simulate,

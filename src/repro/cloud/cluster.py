@@ -24,7 +24,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.capacity.base import CapacityFunction
-from repro.errors import InvalidInstanceError
+from repro.errors import InvalidInstanceError, RecoveryError
 from repro.sim.engine import simulate
 from repro.sim.job import Job
 from repro.sim.metrics import SimulationResult
@@ -55,6 +55,30 @@ class Dispatcher(abc.ABC):
     def route(self, job: Job) -> int:
         """Return the index of the server this job is sent to."""
 
+    # ------------------------------------------------------------------
+    # Snapshot protocol (crash recovery inside the multi engine)
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Capture routing state for an engine snapshot (picklable)."""
+        return {"dispatcher": type(self).__name__, **self._routing_state()}
+
+    def set_state(self, state: dict) -> None:
+        """Restore routing state captured by :meth:`get_state`; must be
+        called after :meth:`reset`."""
+        if state.get("dispatcher") != type(self).__name__:
+            raise RecoveryError(
+                f"dispatcher snapshot from {state.get('dispatcher')!r} "
+                f"cannot restore into {type(self).__name__}"
+            )
+        self._restore_routing_state(state)
+
+    def _routing_state(self) -> dict:
+        """Subclass hook: stateless dispatchers keep the default."""
+        return {}
+
+    def _restore_routing_state(self, state: dict) -> None:
+        """Subclass hook: inverse of :meth:`_routing_state`."""
+
 
 class RoundRobinDispatcher(Dispatcher):
     """Cyclic assignment — the zero-information baseline."""
@@ -69,6 +93,12 @@ class RoundRobinDispatcher(Dispatcher):
         idx = self._next
         self._next = (self._next + 1) % self._n
         return idx
+
+    def _routing_state(self) -> dict:
+        return {"next": self._next}
+
+    def _restore_routing_state(self, state: dict) -> None:
+        self._next = int(state["next"])
 
 
 class LeastWorkDispatcher(Dispatcher):
@@ -96,6 +126,13 @@ class LeastWorkDispatcher(Dispatcher):
         self._backlog[idx] += job.workload
         return idx
 
+    def _routing_state(self) -> dict:
+        return {"backlog": list(self._backlog), "last_t": list(self._last_t)}
+
+    def _restore_routing_state(self, state: dict) -> None:
+        self._backlog = [float(x) for x in state["backlog"]]
+        self._last_t = [float(x) for x in state["last_t"]]
+
 
 class BestFitDispatcher(Dispatcher):
     """Send to the server whose conservative backlog leaves the job the
@@ -122,6 +159,13 @@ class BestFitDispatcher(Dispatcher):
         idx = max(range(self._n), key=lambda i: (laxities[i], -self._backlog[i], -i))
         self._backlog[idx] += job.workload
         return idx
+
+    def _routing_state(self) -> dict:
+        return {"backlog": list(self._backlog), "last_t": list(self._last_t)}
+
+    def _restore_routing_state(self, state: dict) -> None:
+        self._backlog = [float(x) for x in state["backlog"]]
+        self._last_t = [float(x) for x in state["last_t"]]
 
 
 @dataclass

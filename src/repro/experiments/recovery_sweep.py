@@ -101,7 +101,16 @@ class RecoveryInstanceFactory:
         if fault is None:
             return jobs, capacity, ()
         horizon = max((j.deadline for j in jobs), default=0.0) + 1.0
-        capacity = fault.transform(capacity, horizon)
+        if isinstance(capacity, (list, tuple)):
+            # Multiprocessor inner factory: transform only the fault's
+            # target trajectory (repro.faults.apply_fault_transforms).
+            from repro.faults import apply_fault_transforms
+
+            capacity = apply_fault_transforms(
+                list(capacity), (fault,), horizon
+            )
+        else:
+            capacity = fault.transform(capacity, horizon)
         return jobs, capacity, (fault,)
 
     def make(self, rng: np.random.Generator):

@@ -46,6 +46,7 @@ from repro.errors import (
     ReproError,
     SimulatedCrash,
 )
+from repro.multi.engine import MultiprocessorEngine, simulate_multi
 from repro.sim.engine import SimulationEngine, simulate
 from repro.sim.job import Job, total_value
 from repro.sim.scheduler import Scheduler
@@ -54,6 +55,7 @@ from repro.workload.base import WorkloadGenerator
 __all__ = [
     "SchedulerSpec",
     "PaperInstanceFactory",
+    "MultiInstanceFactory",
     "ReplicationOutcome",
     "FailedReplication",
     "MonteCarloReport",
@@ -130,6 +132,51 @@ class PaperInstanceFactory:
             self.low, self.high, mean_sojourn=self.sojourn, rng=cap_seed
         )
         return jobs, capacity
+
+
+@dataclass(frozen=True)
+class MultiInstanceFactory:
+    """Multiprocessor instance distribution: one cluster-wide job stream,
+    ``n_procs`` independent two-state CTMC capacity paths.
+
+    When :func:`_run_one` receives a *list* of capacities from a factory,
+    it runs every scheduler spec through the multiprocessor engine — crash
+    resume, fault arming and paired comparisons all work identically.
+    Per-processor bands may be heterogeneous via ``lows`` / ``highs``
+    (sequences of length ``n_procs``, overriding the scalar defaults).
+    """
+
+    workload: WorkloadGenerator
+    n_procs: int = 2
+    low: float = 1.0
+    high: float = 35.0
+    sojourn: float = 1.0
+    lows: Sequence[float] | None = None
+    highs: Sequence[float] | None = None
+
+    def make(
+        self, rng: np.random.Generator
+    ) -> tuple[list[Job], list[CapacityFunction]]:
+        if self.n_procs < 1:
+            raise ExperimentError(f"n_procs must be >= 1, got {self.n_procs}")
+        for name, seq in (("lows", self.lows), ("highs", self.highs)):
+            if seq is not None and len(seq) != self.n_procs:
+                raise ExperimentError(
+                    f"{name} must have one entry per processor "
+                    f"({self.n_procs}), got {len(seq)}"
+                )
+        seeds = rng.spawn(1 + self.n_procs)
+        jobs = self.workload.generate(seeds[0])
+        capacities: list[CapacityFunction] = []
+        for p in range(self.n_procs):
+            lo = self.lows[p] if self.lows is not None else self.low
+            hi = self.highs[p] if self.highs is not None else self.high
+            capacities.append(
+                TwoStateMarkovCapacity(
+                    lo, hi, mean_sojourn=self.sojourn, rng=seeds[1 + p]
+                )
+            )
+        return jobs, capacities
 
 
 @dataclass
@@ -332,11 +379,19 @@ def _run_one(args: tuple, resume: "_ReplicationCrash | None" = None) -> Replicat
     for i, spec in enumerate(specs):
         if i < start_index:
             continue
+        # A factory returning a *list* of capacities selects the
+        # multiprocessor engine; schedulers are then MultiScheduler specs.
+        is_multi = isinstance(capacity, (list, tuple))
         try:
             if i == start_index and pending_snapshot is not None:
-                engine = SimulationEngine(
-                    jobs, capacity, spec.build(), faults=faults
-                )
+                if is_multi:
+                    engine = MultiprocessorEngine(
+                        jobs, list(capacity), spec.build(), faults=faults
+                    )
+                else:
+                    engine = SimulationEngine(
+                        jobs, capacity, spec.build(), faults=faults
+                    )
                 engine.restore(pending_snapshot)
                 result = engine.run()
             else:
@@ -345,7 +400,12 @@ def _run_one(args: tuple, resume: "_ReplicationCrash | None" = None) -> Replicat
                 for fault in faults:
                     if getattr(fault, "is_crash_plan", False):
                         fault.fired = False
-                result = simulate(jobs, capacity, spec.build(), faults=faults)
+                if is_multi:
+                    result = simulate_multi(
+                        jobs, list(capacity), spec.build(), faults=faults
+                    )
+                else:
+                    result = simulate(jobs, capacity, spec.build(), faults=faults)
         except SimulatedCrash as crash:
             raise _ReplicationCrash(i, values, completed, recovered, crash)
         values[spec.name] = result.value

@@ -23,6 +23,7 @@ from repro.faults.execution import (
     ExecutionFaultSpec,
     JobKillFault,
     RevocationBurst,
+    apply_fault_transforms,
 )
 from repro.faults.models import (
     BiasedBoundsCapacity,
@@ -47,4 +48,5 @@ __all__ = [
     "EngineCrashPlan",
     "ExecutionFaultSpec",
     "EXECUTION_FAULT_KINDS",
+    "apply_fault_transforms",
 ]

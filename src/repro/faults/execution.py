@@ -49,6 +49,7 @@ __all__ = [
     "EngineCrashPlan",
     "ExecutionFaultSpec",
     "EXECUTION_FAULT_KINDS",
+    "apply_fault_transforms",
 ]
 
 #: The supported execution-fault families, in presentation order.
@@ -63,7 +64,17 @@ class ExecutionFault:
     the engine right before the run (pushes FAULT events).  A restored
     engine calls :meth:`rearm` instead — queued FAULT events travel inside
     the snapshot, so ``rearm`` must only re-register out-of-band hooks.
+
+    Per-processor targeting: faults carry a ``proc`` attribute (default 0,
+    the whole world on a single-processor engine).  On a multiprocessor
+    engine a fault strikes only its target machine — the modelled reality
+    of a heterogeneous fleet, where one VM is revoked while its siblings
+    keep running.  Use :func:`apply_fault_transforms` to apply physics
+    transforms to the right trajectory of a capacity list.
     """
+
+    #: target processor (0 on single-processor engines)
+    proc: int = 0
 
     def transform(
         self, capacity: CapacityFunction, horizon: float
@@ -79,6 +90,38 @@ class ExecutionFault:
     def rearm(self, engine, index: int) -> None:
         """Re-register out-of-band hooks on a snapshot-restored engine.
         Default: nothing (event-queue faults travel in the snapshot)."""
+
+    def _check_proc(self, engine) -> None:
+        """Refuse to arm on an engine with fewer processors than targeted."""
+        n = int(getattr(engine, "n_procs", 1))
+        if not 0 <= self.proc < n:
+            raise FaultConfigError(
+                f"{type(self).__name__} targets processor {self.proc}, "
+                f"engine has {n}"
+            )
+
+
+def apply_fault_transforms(
+    capacities: Sequence[CapacityFunction],
+    faults: Sequence[ExecutionFault],
+    horizon: float,
+) -> List[CapacityFunction]:
+    """Apply each fault's physics transform to its *target* processor.
+
+    The single-processor call sites apply ``fault.transform`` to the one
+    capacity directly; this is the multiprocessor equivalent — fault ``f``
+    reshapes ``capacities[f.proc]`` only, the rest pass through untouched.
+    """
+    out = list(capacities)
+    for fault in faults:
+        proc = int(getattr(fault, "proc", 0))
+        if not 0 <= proc < len(out):
+            raise FaultConfigError(
+                f"{type(fault).__name__} targets processor {proc}, "
+                f"cluster has {len(out)}"
+            )
+        out[proc] = fault.transform(out[proc], horizon)
+    return out
 
 
 class JobKillFault(ExecutionFault):
@@ -96,16 +139,29 @@ class JobKillFault(ExecutionFault):
     seed:
         Seed of the kill-time sampler (kill times are drawn once, at arm
         time, so a run's kill schedule is deterministic data).
+    proc:
+        Target processor (default 0).  On a multiprocessor engine the
+        kills strike only this machine's running job.
     """
 
-    def __init__(self, rate: float, *, retain: float = 0.0, seed: int = 0) -> None:
+    def __init__(
+        self,
+        rate: float,
+        *,
+        retain: float = 0.0,
+        seed: int = 0,
+        proc: int = 0,
+    ) -> None:
         if not rate >= 0.0:
             raise FaultConfigError(f"kill rate must be >= 0, got {rate!r}")
         if not 0.0 <= retain <= 1.0:
             raise FaultConfigError(f"retain must be in [0, 1], got {retain!r}")
+        if proc < 0:
+            raise FaultConfigError(f"proc must be >= 0, got {proc!r}")
         self.rate = float(rate)
         self.retain = float(retain)
         self.seed = int(seed)
+        self.proc = int(proc)
 
     def kill_times(self, horizon: float) -> List[float]:
         """The deterministic kill schedule over ``[0, horizon]``."""
@@ -121,13 +177,18 @@ class JobKillFault(ExecutionFault):
             times.append(t)
 
     def arm(self, engine, index: int) -> None:
+        self._check_proc(engine)
+        # proc 0 keeps the historical 3-tuple payload so single-processor
+        # journals (and their keys) stay bit-identical across versions.
+        suffix = () if self.proc == 0 else (self.proc,)
         for t in self.kill_times(engine.horizon):
-            engine.push_fault_event(t, ("kill", index, self.retain))
+            engine.push_fault_event(t, ("kill", index, self.retain) + suffix)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = f", proc={self.proc}" if self.proc else ""
         return (
             f"JobKillFault(rate={self.rate:g}, retain={self.retain:g}, "
-            f"seed={self.seed})"
+            f"seed={self.seed}{where})"
         )
 
 
@@ -152,6 +213,11 @@ class RevocationBurst(ExecutionFault):
     windows:
         Explicit ``(start, end)`` revocation windows, overriding sampling —
         e.g. from :meth:`from_price_spikes`.
+    proc:
+        Target processor (default 0).  On a multiprocessor engine only
+        this machine's capacity is pinned to its floor and only its
+        running job is evicted — one VM of the fleet is revoked, the
+        siblings keep running.
     """
 
     def __init__(
@@ -161,14 +227,18 @@ class RevocationBurst(ExecutionFault):
         mean_down: float = 1.0,
         seed: int = 0,
         windows: "Sequence[Tuple[float, float]] | None" = None,
+        proc: int = 0,
     ) -> None:
         if not rate >= 0.0:
             raise FaultConfigError(f"revocation rate must be >= 0, got {rate!r}")
         if not mean_down > 0.0:
             raise FaultConfigError(f"mean_down must be > 0, got {mean_down!r}")
+        if proc < 0:
+            raise FaultConfigError(f"proc must be >= 0, got {proc!r}")
         self.rate = float(rate)
         self.mean_down = float(mean_down)
         self.seed = int(seed)
+        self.proc = int(proc)
         self._explicit_windows = None
         if windows is not None:
             cleaned = []
@@ -291,15 +361,20 @@ class RevocationBurst(ExecutionFault):
         )
 
     def arm(self, engine, index: int) -> None:
+        self._check_proc(engine)
+        # proc 0 keeps the historical 2-tuple payload so single-processor
+        # journals (and their keys) stay bit-identical across versions.
+        suffix = () if self.proc == 0 else (self.proc,)
         for start, _end in self.windows(engine.horizon):
-            engine.push_fault_event(start, ("evict", index))
+            engine.push_fault_event(start, ("evict", index) + suffix)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = f", proc={self.proc}" if self.proc else ""
         if self._explicit_windows is not None:
-            return f"RevocationBurst(windows={len(self._explicit_windows)})"
+            return f"RevocationBurst(windows={len(self._explicit_windows)}{where})"
         return (
             f"RevocationBurst(rate={self.rate:g}, mean_down={self.mean_down:g}, "
-            f"seed={self.seed})"
+            f"seed={self.seed}{where})"
         )
 
 
@@ -367,6 +442,9 @@ class ExecutionFaultSpec:
       1.0) is the mean window length;
     * ``crash`` — severity ignored; options ``at_time`` *or* ``at_event``
       place the crash.
+
+    Kill and revocation specs accept a ``proc`` option (default 0) to
+    target one machine of a multiprocessor engine.
     """
 
     kind: str
@@ -409,6 +487,7 @@ class ExecutionFaultSpec:
                 self.severity,
                 retain=float(self.options.get("retain", 0.0)),
                 seed=seed,
+                proc=int(self.options.get("proc", 0)),
             )
         if self.kind == "revocation":
             if self.severity == 0.0:
@@ -417,6 +496,7 @@ class ExecutionFaultSpec:
                 self.severity,
                 mean_down=float(self.options.get("mean_down", 1.0)),
                 seed=seed,
+                proc=int(self.options.get("proc", 0)),
             )
         if self.kind == "crash":
             return EngineCrashPlan(

@@ -1,0 +1,870 @@
+"""The scheduling kernel: one event loop for all engines.
+
+Everything the single-processor engine learned in PRs 1–3 — the prefix-sum
+capacity fast path, execution-fault dispatch, snapshot/restore with the
+write-ahead journal, the invariant watchdog, and event-heap compaction —
+lives here once, parameterised over a *processor set*:
+
+* ``m`` capacity trajectories (one per processor), each with its own
+  running segment anchored at ``W(seg_start)`` when the trajectory carries
+  a prefix-sum index (``supports_prefix_index``), so progress queries and
+  completion re-prediction are O(log n) on every processor;
+* a single global event heap ordered by ``(time, kind priority, seq)``
+  with per-job version tokens for lazy deletion and automatic compaction
+  (:meth:`~repro.sim.events.EventQueue.note_stale`);
+* one *decision protocol* flag: ``single=True`` means scheduler handlers
+  return ``Optional[Job]`` (the paper's single-processor interface) and
+  the kernel applies it to processor 0; ``single=False`` means handlers
+  return a full :class:`~repro.multi.scheduler.Assignment` which the
+  kernel diffs against the current one (free preemption and migration,
+  no intra-job parallelism).
+
+The façades (:class:`~repro.sim.engine.SimulationEngine`,
+:class:`~repro.multi.engine.MultiprocessorEngine`) construct a kernel,
+point ``kernel.owner`` at themselves (faults and watchdog monitors observe
+the façade, which re-exports the kernel's read-only accessors), and build
+their result objects from ``kernel.traces`` / ``kernel.outcomes``.
+
+Determinism contract: for a fixed instance and scheduler the run is
+bit-for-bit reproducible — ties break by insertion sequence, nothing
+consults a wall clock or an RNG — and with ``m = 1`` the kernel replays
+the historical single-processor engine *exactly* (same events, same
+sequence numbers, same float operations; the parity suite in
+``tests/multi/test_kernel_parity.py`` pins this down).
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.capacity.base import CapacityFunction
+from repro.errors import (
+    RecoveryError,
+    SchedulingError,
+    SimulatedCrash,
+    SimulationError,
+)
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.job import Job, JobStatus, validate_jobs
+from repro.sim.journal import (
+    EngineSnapshot,
+    EventJournal,
+    JournalRecord,
+    describe_payload,
+)
+from repro.sim.trace import RunSegment, ScheduleTrace
+
+__all__ = ["SchedulingKernel"]
+
+_EPS = 1e-9
+
+#: Statuses from which a job never returns (their queued events are dead).
+_TERMINAL = (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.ABANDONED)
+
+#: Default snapshot cadence (events) when crash plans are present but the
+#: caller did not pick one.
+_DEFAULT_SNAPSHOT_EVERY = 64
+
+
+class SchedulingKernel:
+    """The shared event loop (see module docstring).
+
+    Parameters
+    ----------
+    jobs:
+        The instance's job set (ids must be unique).
+    capacities:
+        One realized capacity trajectory per processor (``len >= 1``).
+    scheduler:
+        The online policy.  ``single=True`` expects the single-processor
+        :class:`~repro.sim.scheduler.Scheduler` handler contract
+        (``Optional[Job]`` decisions); ``single=False`` expects
+        :class:`~repro.multi.scheduler.MultiScheduler` (full assignments).
+    make_context:
+        Builds the scheduler-facing context from this kernel; called at
+        bootstrap and again at restore (fresh bind).
+    horizon, faults, watchdog, journal, snapshot_every:
+        As on the façades (see :class:`~repro.sim.engine.SimulationEngine`).
+    single:
+        Selects the decision protocol (see above).  In single mode the
+        kernel's combined ``outcomes`` trace *is* ``traces[0]`` (one
+        object), preserving the historical single-processor trace layout.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[Job],
+        capacities: Sequence[CapacityFunction],
+        scheduler,
+        *,
+        make_context: Callable[["SchedulingKernel"], object],
+        horizon: float | None = None,
+        faults: Sequence[object] = (),
+        watchdog: "object | None" = None,
+        journal: "EventJournal | None" = None,
+        snapshot_every: int | None = None,
+        single: bool = False,
+    ) -> None:
+        validate_jobs(jobs)
+        if not capacities:
+            raise SimulationError("at least one processor required")
+        self._jobs = list(jobs)
+        self._by_id: Dict[int, Job] = {j.jid: j for j in jobs}
+        self._caps: List[CapacityFunction] = list(capacities)
+        self._scheduler = scheduler
+        self._make_context = make_context
+        self._single = bool(single)
+        if self._single and len(self._caps) != 1:
+            raise SimulationError(
+                "single-decision protocol requires exactly one processor"
+            )
+        if horizon is None:
+            horizon = max((j.deadline for j in jobs), default=0.0) + 1.0
+        if not math.isfinite(horizon) or horizon < 0.0:
+            raise SimulationError(f"invalid horizon: {horizon!r}")
+        self._horizon = float(horizon)
+
+        m = len(self._caps)
+        # Ground-truth run state (per processor where it is per processor).
+        self._now = 0.0
+        self._remaining: Dict[int, float] = {}
+        self._status: Dict[int, JobStatus] = {}
+        self._current: List[Optional[Job]] = [None] * m
+        self._seg_start: List[float] = [0.0] * m
+        self._seg_remaining0: List[float] = [0.0] * m
+        # Prefix-sum index fast path (repro.capacity.prefix): anchor each
+        # running segment at its cumulative work W(seg_start) so progress
+        # queries are one O(log n) lookup, W(now) − anchor — bit-identical
+        # to integrate(seg_start, now), which indexed models define as
+        # exactly that difference.
+        self._indexed: List[bool] = [
+            bool(getattr(c, "supports_prefix_index", False)) for c in self._caps
+        ]
+        self._seg_cum0: List[float] = [0.0] * m
+        self._proc_of: Dict[int, int] = {}  # jid -> processor while running
+
+        # Event bookkeeping.
+        self._events = EventQueue(stale=self._event_is_stale)
+        self._completion_version: Dict[int, int] = {}
+        self._alarm_version: Dict[int, int] = {}
+        self._traces: List[ScheduleTrace] = [ScheduleTrace() for _ in range(m)]
+        # Combined outcome/value record.  Single mode: the same object as
+        # traces[0], so segments and outcomes share one trace (the
+        # historical single-processor layout).
+        self._outcomes: ScheduleTrace = (
+            self._traces[0] if self._single else ScheduleTrace()
+        )
+        self._apply = self._apply_single if self._single else self._apply_multi
+
+        # Fault / recovery / monitoring plumbing.
+        self._faults = list(faults)
+        self._watchdog = watchdog
+        self._journal = journal
+        if snapshot_every is None and any(
+            getattr(f, "is_crash_plan", False) for f in self._faults
+        ):
+            snapshot_every = _DEFAULT_SNAPSHOT_EVERY
+        if snapshot_every is not None and snapshot_every < 1:
+            raise SimulationError(
+                f"snapshot_every must be >= 1, got {snapshot_every!r}"
+            )
+        self._snapshot_every = snapshot_every
+        self._event_crashes: List[Tuple[int, int]] = []  # (at_event, fault idx)
+        self._dispatch_count = 0
+        self._verify_until = 0
+        self._last_snapshot: Optional[EngineSnapshot] = None
+        self._started = False
+        #: The object faults and watchdog monitors observe (the façade);
+        #: defaults to the kernel itself, façades point it at themselves.
+        self.owner = self
+
+    # ------------------------------------------------------------------
+    # Read-only accessors (used by façades, the watchdog and recovery)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def horizon(self) -> float:
+        return self._horizon
+
+    @property
+    def n_procs(self) -> int:
+        return len(self._caps)
+
+    @property
+    def capacity(self) -> CapacityFunction:
+        """Processor 0's trajectory (the whole world in single mode)."""
+        return self._caps[0]
+
+    @property
+    def capacities(self) -> List[CapacityFunction]:
+        return list(self._caps)
+
+    @property
+    def trace(self) -> ScheduleTrace:
+        """The combined outcome trace (``traces[0]`` in single mode)."""
+        return self._outcomes
+
+    @property
+    def traces(self) -> List[ScheduleTrace]:
+        return list(self._traces)
+
+    @property
+    def outcomes(self) -> ScheduleTrace:
+        return self._outcomes
+
+    @property
+    def scheduler(self):
+        return self._scheduler
+
+    @property
+    def jobs(self) -> List[Job]:
+        return list(self._jobs)
+
+    @property
+    def jobs_by_id(self) -> Dict[int, Job]:
+        return dict(self._by_id)
+
+    @property
+    def dispatch_count(self) -> int:
+        """Events dispatched so far (journal index of the next dispatch)."""
+        return self._dispatch_count
+
+    @property
+    def last_snapshot(self) -> Optional[EngineSnapshot]:
+        return self._last_snapshot
+
+    @property
+    def event_queue_size(self) -> int:
+        return len(self._events)
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def running(self) -> Tuple[Optional[Job], ...]:
+        return tuple(self._current)
+
+    # ------------------------------------------------------------------
+    # Lazy-deletion hygiene: which queued events are provably dead
+    # ------------------------------------------------------------------
+    def _event_is_stale(self, event: Event) -> bool:
+        """True iff dispatching ``event`` would be a guaranteed no-op.
+
+        Conservative: alarms/completions with bumped version tokens, and
+        job events for jobs in a terminal state.  Alarms of RUNNING jobs
+        are *not* stale (the job may return to READY before they fire)."""
+        kind = event.kind
+        if kind is EventKind.ALARM:
+            job = event.payload[0]
+            if self._alarm_version.get(job.jid, 0) != event.version:
+                return True
+            return self._status.get(job.jid) in _TERMINAL
+        if kind is EventKind.COMPLETION:
+            payload = event.payload
+            job = payload[1] if isinstance(payload, tuple) else payload
+            if self._completion_version.get(job.jid, 0) != event.version:
+                return True
+            return self._status.get(job.jid) in _TERMINAL
+        if kind is EventKind.DEADLINE:
+            return self._status.get(event.payload.jid) in _TERMINAL
+        return False
+
+    # ------------------------------------------------------------------
+    # Execution-fault plumbing (used by repro.faults.execution at arm time)
+    # ------------------------------------------------------------------
+    def push_fault_event(self, time: float, payload: tuple) -> None:
+        """Queue a FAULT event (payload: ``("kill", i, retain[, proc])``,
+        ``("evict", i[, proc])`` or ``("crash", i)``)."""
+        if 0.0 <= time <= self._horizon:
+            self._events.push(Event(time, EventKind.FAULT, tuple(payload)))
+
+    def register_event_crash(self, fault_index: int, at_event: int) -> None:
+        """Arrange for crash plan ``fault_index`` to fire just before the
+        ``at_event``-th event dispatch."""
+        self._event_crashes.append((int(at_event), int(fault_index)))
+
+    # ------------------------------------------------------------------
+    # State queries used by the contexts
+    # ------------------------------------------------------------------
+    def _seg_work(self, proc: int, t: float) -> float:
+        """Work performed by processor ``proc``'s running segment up to
+        ``t`` — via the capacity's prefix-sum index when available, else
+        the naive integral (identical values either way)."""
+        if self._indexed[proc]:
+            return self._caps[proc].cumulative(t) - self._seg_cum0[proc]
+        return self._caps[proc].integrate(self._seg_start[proc], t)
+
+    def remaining_of(self, job: Job) -> float:
+        status = self._status.get(job.jid)
+        if status is None or status is JobStatus.PENDING:
+            raise SchedulingError(
+                f"remaining() queried for unreleased job {job.jid}"
+            )
+        proc = self._proc_of.get(job.jid)
+        if proc is not None and self._current[proc] is job:
+            done = self._seg_work(proc, self._now)
+            return max(0.0, self._seg_remaining0[proc] - done)
+        return self._remaining[job.jid]
+
+    # ------------------------------------------------------------------
+    # Alarm / timer plumbing
+    # ------------------------------------------------------------------
+    def set_alarm(self, job: Job, time: float, tag: str) -> None:
+        if job.jid not in self._status:
+            raise SchedulingError(f"alarm for unknown job {job.jid}")
+        when = max(time, self._now)
+        version = self._alarm_version.get(job.jid, 0) + 1
+        self._alarm_version[job.jid] = version
+        if version > 1:
+            # A previous alarm for this job may still sit in the heap.
+            self._events.note_stale()
+        self._events.push(Event(when, EventKind.ALARM, (job, tag), version))
+
+    def cancel_alarm(self, job: Job) -> None:
+        # Bumping the version orphans any in-flight alarm event.
+        self._alarm_version[job.jid] = self._alarm_version.get(job.jid, 0) + 1
+        self._events.note_stale()
+
+    def set_timer(self, time: float, tag: str) -> None:
+        self._events.push(Event(max(time, self._now), EventKind.TIMER, tag))
+
+    # ------------------------------------------------------------------
+    # Processor mechanics
+    # ------------------------------------------------------------------
+    def _close_segment(self, proc: int, t: float) -> None:
+        """Stop the job running on ``proc`` at ``t``, folding its progress
+        into the ground truth and the trace.  Leaves the processor empty."""
+        job = self._current[proc]
+        if job is None:
+            return
+        work = self._seg_work(proc, t)
+        new_remaining = self._seg_remaining0[proc] - work
+        if new_remaining < -1e-6 * max(1.0, job.workload):
+            raise SimulationError(
+                f"job {job.jid} over-executed: remaining {new_remaining}"
+            )
+        self._remaining[job.jid] = max(0.0, new_remaining)
+        self._traces[proc].add_segment(self._seg_start[proc], t, job.jid, work)
+        self._status[job.jid] = JobStatus.READY
+        # Orphan the in-flight completion event.
+        self._completion_version[job.jid] = (
+            self._completion_version.get(job.jid, 0) + 1
+        )
+        self._events.note_stale()
+        self._current[proc] = None
+        self._proc_of.pop(job.jid, None)
+
+    def _start_job(self, proc: int, job: Job, t: float) -> None:
+        status = self._status.get(job.jid)
+        if status is not JobStatus.READY:
+            raise SchedulingError(
+                f"scheduler tried to run job {job.jid} in state {status}"
+            )
+        self._current[proc] = job
+        self._proc_of[job.jid] = proc
+        self._status[job.jid] = JobStatus.RUNNING
+        self._seg_start[proc] = t
+        self._seg_remaining0[proc] = self._remaining[job.jid]
+        if self._indexed[proc]:
+            self._seg_cum0[proc] = self._caps[proc].cumulative(t)
+        finish = self._caps[proc].advance(t, self._seg_remaining0[proc])
+        version = self._completion_version.get(job.jid, 0) + 1
+        self._completion_version[job.jid] = version
+        if finish <= self._horizon:
+            payload = job if self._single else (proc, job)
+            self._events.push(Event(finish, EventKind.COMPLETION, payload, version))
+
+    def _apply_single(self, desired: Optional[Job], t: float) -> None:
+        """Switch processor 0 to ``desired`` (no-op if unchanged)."""
+        if desired is self._current[0]:
+            return
+        self._close_segment(0, t)
+        if desired is not None:
+            self._start_job(0, desired, t)
+
+    def _apply_multi(self, desired, t: float) -> None:
+        """Diff a full assignment against the current one."""
+        desired = list(desired)
+        if len(desired) != len(self._caps):
+            raise SchedulingError(
+                f"assignment length {len(desired)} != "
+                f"{len(self._caps)} processors"
+            )
+        seen: set[int] = set()
+        for job in desired:
+            if job is None:
+                continue
+            if job.jid in seen:
+                raise SchedulingError(
+                    f"job {job.jid} assigned to two processors at once"
+                )
+            seen.add(job.jid)
+        # Close every processor whose job changes (incl. migrations away).
+        for proc, job in enumerate(desired):
+            if self._current[proc] is not job:
+                self._close_segment(proc, t)
+        # Start the new assignments (migrations now find the job READY).
+        for proc, job in enumerate(desired):
+            if job is not None and self._current[proc] is not job:
+                self._start_job(proc, job, t)
+
+    def _complete(self, proc: int, job: Job, t: float) -> None:
+        """Fold the running job's final segment and record its success."""
+        work = self._seg_work(proc, t)
+        self._traces[proc].add_segment(self._seg_start[proc], t, job.jid, work)
+        self._remaining[job.jid] = 0.0
+        self._status[job.jid] = JobStatus.COMPLETED
+        self._current[proc] = None
+        self._proc_of.pop(job.jid, None)
+        self._completion_version[job.jid] = (
+            self._completion_version.get(job.jid, 0) + 1
+        )
+        self._events.note_stale()
+        self._outcomes.record_outcome(job, JobStatus.COMPLETED, t)
+        desired = self._scheduler.on_job_end(job, completed=True)
+        self._apply(desired, t)
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, event: Event) -> None:
+        t = event.time
+        kind = event.kind
+
+        if kind is EventKind.RELEASE:
+            job: Job = event.payload
+            self._status[job.jid] = JobStatus.READY
+            self._remaining[job.jid] = job.workload
+            desired = self._scheduler.on_release(job)
+            self._apply(desired, t)
+            return
+
+        if kind is EventKind.COMPLETION:
+            payload = event.payload
+            if self._single:
+                proc, job = 0, payload
+            else:
+                proc, job = payload
+            if self._completion_version.get(job.jid, 0) != event.version:
+                return  # stale: the job was preempted since this was armed
+            if self._current[proc] is not job:  # pragma: no cover - defensive
+                return
+            self._complete(proc, job, t)
+            return
+
+        if kind is EventKind.DEADLINE:
+            job = event.payload
+            status = self._status.get(job.jid)
+            if status in _TERMINAL:
+                return
+            proc = self._proc_of.get(job.jid)
+            if proc is not None and self._current[proc] is job:
+                # Jobs with zero laxity finish *exactly* at their deadline;
+                # the predicted completion instant can land one ulp past it.
+                # A running job whose remaining workload is within float
+                # tolerance has completed, not failed.
+                done = self._seg_work(proc, t)
+                left = self._seg_remaining0[proc] - done
+                if left <= 1e-9 * max(1.0, job.workload):
+                    self._complete(proc, job, t)
+                    return
+                self._close_segment(proc, t)
+            self._status[job.jid] = JobStatus.FAILED
+            self._outcomes.record_outcome(job, JobStatus.FAILED, t)
+            desired = self._scheduler.on_job_end(job, completed=False)
+            self._apply(desired, t)
+            return
+
+        if kind is EventKind.ALARM:
+            job, tag = event.payload
+            if self._alarm_version.get(job.jid, 0) != event.version:
+                return  # re-armed or cancelled since
+            if self._status.get(job.jid) is not JobStatus.READY:
+                return  # running/finished jobs do not take alarms
+            desired = self._scheduler.on_alarm(job, tag)
+            self._apply(desired, t)
+            return
+
+        if kind is EventKind.TIMER:
+            desired = self._scheduler.on_timer(event.payload)
+            self._apply(desired, t)
+            return
+
+        if kind is EventKind.FAULT:
+            self._dispatch_fault(event.payload, t)
+            return
+
+        raise SimulationError(f"unhandled event kind: {kind!r}")  # pragma: no cover
+
+    def _dispatch_fault(self, payload: tuple, t: float) -> None:
+        """Apply an execution fault (see :mod:`repro.faults.execution`).
+
+        Kill/evict payloads may carry a trailing processor index (default
+        0 — and the only legal value in single mode), so per-machine
+        targeting works on heterogeneous fleets."""
+        op = payload[0]
+
+        if op == "crash":
+            idx = int(payload[1])
+            fault = self._faults[idx]
+            if getattr(fault, "fired", False):
+                return  # already crashed once (journal replay after resume)
+            fault.fired = True
+            self._raise_crash(t, at_event=None, fault_index=idx)
+
+        elif op in ("kill", "evict"):
+            if op == "kill":
+                retain = float(payload[2])
+                proc = int(payload[3]) if len(payload) > 3 else 0
+            else:
+                proc = int(payload[2]) if len(payload) > 2 else 0
+            if not 0 <= proc < len(self._caps):
+                raise SimulationError(
+                    f"fault targets processor {proc} of {len(self._caps)}"
+                )
+            job = self._current[proc]
+            if job is None:
+                return  # the fault hit an idle processor: nothing to lose
+            # Fold the progress made so far, return the job to READY.
+            self._close_segment(proc, t)
+            if op == "kill":
+                old_remaining = self._remaining[job.jid]
+                progress = job.workload - old_remaining
+                if progress > 0.0 and retain < 1.0:
+                    # The kill destroys (1 − retain) of the progress; the
+                    # destroyed work *was* executed, so the trace budgets
+                    # for it (validator: workload + lost_work).
+                    new_remaining = job.workload - retain * progress
+                    self._outcomes.record_lost_work(
+                        job.jid, new_remaining - old_remaining
+                    )
+                    self._remaining[job.jid] = new_remaining
+            desired = self._scheduler.on_eviction(job)
+            self._apply(desired, t)
+
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown fault payload: {payload!r}")
+
+    def _raise_crash(self, t: float, at_event: int | None, fault_index: int) -> None:
+        """Die like a crashed process: attach the *last periodic* snapshot
+        (not a fresh one — resuming must genuinely replay the journal) and
+        mark the plan fired in it so the resumed run does not re-crash."""
+        snapshot = self._last_snapshot
+        if snapshot is not None:
+            fired = set(snapshot.fired_faults)
+            fired.update(
+                i
+                for i, f in enumerate(self._faults)
+                if getattr(f, "fired", False)
+            )
+            snapshot.fired_faults = tuple(sorted(fired))
+        raise SimulatedCrash(
+            time=t,
+            at_event=at_event,
+            fault_index=fault_index,
+            snapshot=snapshot,
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        """First-run initialisation: bind the scheduler, seed the event
+        queue, arm faults, take snapshot zero."""
+        self._scheduler.bind(self._make_context(self))
+
+        for job in self._jobs:
+            self._status[job.jid] = JobStatus.PENDING
+            if job.release <= self._horizon:
+                self._events.push(Event(job.release, EventKind.RELEASE, job))
+                self._events.push(Event(job.deadline, EventKind.DEADLINE, job))
+        self._events.push(Event(self._horizon, EventKind.END))
+
+        for i, fault in enumerate(self._faults):
+            fault.arm(self.owner, i)
+        if self._watchdog is not None:
+            self._watchdog.start(self.owner)
+        self._started = True
+        if self._snapshot_every is not None:
+            self._last_snapshot = self.snapshot()
+
+    def _maybe_crash_at_event(self) -> None:
+        """Fire any event-indexed crash plan scheduled for the *next*
+        dispatch (checked before the event is popped, so the snapshot keeps
+        it pending)."""
+        for at_event, idx in self._event_crashes:
+            if at_event == self._dispatch_count:
+                fault = self._faults[idx]
+                if getattr(fault, "fired", False):
+                    continue
+                fault.fired = True
+                self._raise_crash(self._now, at_event=at_event, fault_index=idx)
+
+    def run_loop(self) -> None:
+        """Execute (or, after :meth:`restore`, resume) to the horizon and
+        wind down.  The façade builds the result object afterwards."""
+        if not self._started:
+            self._bootstrap()
+
+        # Loop-invariant lookups hoisted out of the per-event path.  All of
+        # these are fixed for the lifetime of one run_loop call: faults are
+        # armed in _bootstrap/restore (both before this point), and the
+        # journal/watchdog/snapshot wiring never changes mid-run.
+        events = self._events
+        dispatch = self._dispatch
+        journal = self._journal
+        watchdog = self._watchdog
+        snapshot_every = self._snapshot_every
+        has_event_crashes = bool(self._event_crashes)
+        horizon = self._horizon
+        end_kind = EventKind.END
+        owner = self.owner
+
+        while len(events):
+            if has_event_crashes:
+                self._maybe_crash_at_event()
+            event = events.pop()
+            if event.time < self._now - _EPS:
+                raise SimulationError(
+                    f"time went backwards: {event.time} < {self._now}"
+                )
+            if event.kind is end_kind:
+                self._now = event.time
+                break
+            if event.time > horizon:
+                self._now = horizon
+                break
+            self._now = event.time
+
+            if journal is not None:
+                record = JournalRecord(
+                    index=self._dispatch_count,
+                    time=event.time,
+                    kind=int(event.kind),
+                    key=describe_payload(int(event.kind), event.payload),
+                    version=event.version,
+                )
+                if self._dispatch_count < self._verify_until:
+                    expected = journal.get(self._dispatch_count)
+                    if record != expected:
+                        raise RecoveryError(
+                            f"journal replay diverged at dispatch "
+                            f"#{self._dispatch_count}: live {record} != "
+                            f"journaled {expected}"
+                        )
+                else:
+                    journal.append(record)
+
+            self._dispatch_count += 1
+            dispatch(event)
+            if watchdog is not None:
+                watchdog.after_event(owner, event)
+            if (
+                snapshot_every is not None
+                and self._dispatch_count % snapshot_every == 0
+            ):
+                self._last_snapshot = self.snapshot()
+
+        # Wind down: close running segments and mark unresolved jobs.
+        for proc in range(len(self._caps)):
+            self._close_segment(proc, self._now)
+        for job in self._jobs:
+            if self._status.get(job.jid) in (JobStatus.READY, JobStatus.RUNNING):
+                self._status[job.jid] = JobStatus.FAILED
+                self._outcomes.record_outcome(job, JobStatus.FAILED, self._now)
+
+    def after_run(self, result) -> None:
+        """Watchdog wind-down hook (called by the façade with its result)."""
+        if self._watchdog is not None:
+            self._watchdog.after_run(self.owner, result)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (crash recovery)
+    # ------------------------------------------------------------------
+    def _encode_payload(self, kind: EventKind, payload) -> tuple:
+        if kind is EventKind.COMPLETION and isinstance(payload, tuple):
+            return ("pjob", payload[0], payload[1].jid)
+        if kind in (EventKind.RELEASE, EventKind.COMPLETION, EventKind.DEADLINE):
+            return ("job", payload.jid)
+        if kind is EventKind.ALARM:
+            return ("alarm", payload[0].jid, payload[1])
+        if kind is EventKind.TIMER:
+            return ("timer", payload)
+        if kind is EventKind.END:
+            return ("end",)
+        if kind is EventKind.FAULT:
+            return ("fault",) + tuple(payload)
+        raise SimulationError(f"cannot snapshot event kind {kind!r}")  # pragma: no cover
+
+    def _decode_payload(self, kind: EventKind, desc: tuple):
+        tag = desc[0]
+        try:
+            if tag == "job":
+                return self._by_id[desc[1]]
+            if tag == "pjob":
+                return (desc[1], self._by_id[desc[2]])
+            if tag == "alarm":
+                return (self._by_id[desc[1]], desc[2])
+        except KeyError:
+            raise RecoveryError(
+                f"snapshot references unknown job {desc[-1]}"
+            ) from None
+        if tag == "timer":
+            return desc[1]
+        if tag == "end":
+            return None
+        if tag == "fault":
+            return tuple(desc[1:])
+        raise RecoveryError(f"cannot decode event payload {desc!r}")
+
+    def snapshot(self) -> EngineSnapshot:
+        """Image the complete mid-run state (picklable; jid-based)."""
+        events = [
+            (time, kind, seq, self._encode_payload(ev.kind, ev.payload), ev.version)
+            for time, kind, seq, ev in self._events.dump()
+        ]
+        return EngineSnapshot(
+            scheduler_name=self._scheduler.name,
+            now=self._now,
+            horizon=self._horizon,
+            n_procs=len(self._caps),
+            current_jids=[
+                None if job is None else job.jid for job in self._current
+            ],
+            seg_start=list(self._seg_start),
+            seg_remaining0=list(self._seg_remaining0),
+            seg_cum0=list(self._seg_cum0),
+            remaining=dict(self._remaining),
+            status={jid: st.name for jid, st in self._status.items()},
+            completion_version=dict(self._completion_version),
+            alarm_version=dict(self._alarm_version),
+            events=events,
+            next_seq=self._events.next_seq,
+            stale_hint=self._events.stale_hint,
+            dispatch_count=self._dispatch_count,
+            trace_segments=[
+                [(s.start, s.end, s.jid, s.work) for s in trace.segments]
+                for trace in self._traces
+            ],
+            trace_outcomes={
+                jid: st.name for jid, st in self._outcomes.outcomes.items()
+            },
+            trace_completion_times=dict(self._outcomes.completion_times),
+            trace_value_points=list(self._outcomes.value_points),
+            trace_lost_work=dict(self._outcomes.lost_work),
+            scheduler_state=self._scheduler.get_state(),
+            capacity_blob=pickle.dumps(list(self._caps)),
+            fired_faults=tuple(
+                i
+                for i, f in enumerate(self._faults)
+                if getattr(f, "fired", False)
+            ),
+        )
+
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        """Load a snapshot into this (fresh, never-run) kernel.
+
+        After restoring, :meth:`run_loop` resumes from the snapshot
+        instant; if the kernel also holds a journal extending past the
+        snapshot, the resumed dispatches are verified against it
+        (deterministic replay)."""
+        if self._started:
+            raise RecoveryError("restore() requires a fresh engine")
+        if snapshot.n_procs != len(self._caps):
+            raise RecoveryError(
+                f"snapshot is for {snapshot.n_procs} processor(s), "
+                f"engine has {len(self._caps)}"
+            )
+        for jid in snapshot.remaining:
+            if jid not in self._by_id:
+                raise RecoveryError(f"snapshot references unknown job {jid}")
+
+        # World physics first (the scheduler's bind() reads its bounds).
+        caps = pickle.loads(snapshot.capacity_blob)
+        self._caps = list(caps)
+        self._indexed = [
+            bool(getattr(c, "supports_prefix_index", False)) for c in self._caps
+        ]
+        self._horizon = snapshot.horizon
+        self._now = snapshot.now
+
+        # Ground truth.
+        self._remaining = dict(snapshot.remaining)
+        self._status = {
+            jid: JobStatus[name] for jid, name in snapshot.status.items()
+        }
+        self._current = [
+            None if jid is None else self._by_id[jid]
+            for jid in snapshot.current_jids
+        ]
+        self._proc_of = {
+            job.jid: proc
+            for proc, job in enumerate(self._current)
+            if job is not None
+        }
+        self._seg_start = list(snapshot.seg_start)
+        self._seg_remaining0 = list(snapshot.seg_remaining0)
+        self._seg_cum0 = list(snapshot.seg_cum0)
+        self._completion_version = dict(snapshot.completion_version)
+        self._alarm_version = dict(snapshot.alarm_version)
+
+        # Event queue (sequence counter included: post-restore pushes must
+        # get the same tie-breaking numbers the original run would have).
+        entries = []
+        for time, kind, seq, desc, version in snapshot.events:
+            k = EventKind(kind)
+            entries.append(
+                (time, kind, seq, Event(time, k, self._decode_payload(k, desc), version))
+            )
+        self._events.load(entries, snapshot.next_seq, snapshot.stale_hint)
+        self._dispatch_count = snapshot.dispatch_count
+
+        # Trace accumulators.  Single mode: one trace carries both the
+        # segments and the combined outcome record (same object).
+        traces = []
+        for per_proc in snapshot.trace_segments:
+            trace = ScheduleTrace()
+            trace.segments = [RunSegment(*seg) for seg in per_proc]
+            traces.append(trace)
+        outcomes = traces[0] if self._single else ScheduleTrace()
+        outcomes.outcomes = {
+            jid: JobStatus[name] for jid, name in snapshot.trace_outcomes.items()
+        }
+        outcomes.completion_times = dict(snapshot.trace_completion_times)
+        outcomes.value_points = [tuple(p) for p in snapshot.trace_value_points]
+        outcomes.lost_work = dict(snapshot.trace_lost_work)
+        self._traces = traces
+        self._outcomes = outcomes
+
+        # Scheduler: fresh bind (reset), then install the captured state.
+        # The name check runs *after* bind because some schedulers derive
+        # their display name during reset (e.g. the partitioned adapter).
+        self._scheduler.bind(self._make_context(self))
+        if snapshot.scheduler_name != self._scheduler.name:
+            raise RecoveryError(
+                f"snapshot is for scheduler {snapshot.scheduler_name!r}, "
+                f"engine runs {self._scheduler.name!r}"
+            )
+        self._scheduler.set_state(snapshot.scheduler_state, self._by_id)
+
+        # Faults: re-mark already-fired plans, re-register event-indexed
+        # crash checks (queued FAULT events travelled with the heap).
+        for i in snapshot.fired_faults:
+            if 0 <= i < len(self._faults):
+                self._faults[i].fired = True
+        for i, fault in enumerate(self._faults):
+            rearm = getattr(fault, "rearm", None)
+            if rearm is not None:
+                rearm(self.owner, i)
+
+        if self._journal is not None and len(self._journal) > snapshot.dispatch_count:
+            self._verify_until = len(self._journal)
+        if self._watchdog is not None:
+            self._watchdog.start(self.owner)
+        self._last_snapshot = snapshot
+        self._started = True

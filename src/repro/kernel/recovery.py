@@ -1,0 +1,72 @@
+"""Generic crash→restore→resume loop shared by both engine façades.
+
+The resilience contract (docs/ROBUSTNESS.md §7) is the same for the
+single-processor and multiprocessor engines: a :class:`SimulatedCrash`
+raised mid-run carries the last *periodic* snapshot; recovery rebuilds a
+fresh engine, restores that snapshot (which re-verifies the write-ahead
+journal tail), and re-enters the event loop.  Previously this loop lived
+inline in :func:`repro.sim.engine.simulate`; it is now a kernel-level
+helper so :func:`repro.multi.engine.simulate_multi` gets bit-identical
+crash-resume for free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import RecoveryError, SimulatedCrash
+
+__all__ = ["run_with_recovery"]
+
+
+def run_with_recovery(
+    build: Callable[[], "object"],
+    *,
+    recover: bool = False,
+    max_recoveries: int = 8,
+):
+    """Run ``build()``'s engine to completion, restarting after crashes.
+
+    ``build`` must return a fresh, un-started engine exposing ``run()``
+    and ``restore(snapshot)``.  When ``recover`` is false a
+    :class:`SimulatedCrash` propagates to the caller unchanged (the
+    caller owns the snapshot).  When true, each crash rebuilds the
+    engine via ``build()`` and restores the snapshot the crash carried;
+    after ``max_recoveries`` unsuccessful rounds a
+    :class:`~repro.errors.RecoveryError` is raised so a crash loop
+    cannot spin forever.
+
+    Returns ``(result, recoveries)`` — the completed run's result object
+    and the number of crash→restore cycles it took to get there.
+    """
+    if max_recoveries < 0:
+        raise ValueError(f"max_recoveries must be >= 0, got {max_recoveries}")
+
+    engine = build()
+    recoveries = 0
+    while True:
+        try:
+            result = engine.run()
+            return result, recoveries
+        except SimulatedCrash as crash:
+            if not recover:
+                raise
+            snapshot = crash.snapshot
+            if snapshot is None:
+                raise RecoveryError(
+                    "engine crashed before the first snapshot; nothing to "
+                    "restore from (snapshot_every too large?)"
+                ) from crash
+            recoveries += 1
+            if recoveries > max_recoveries:
+                raise RecoveryError(
+                    f"engine crashed {recoveries} times; giving up after "
+                    f"max_recoveries={max_recoveries}"
+                ) from crash
+            engine = build()
+            engine.restore(snapshot)
+
+
+def recoveries_or_zero(recoveries: Optional[int]) -> int:
+    """Small helper for result plumbing: ``None``-safe recovery count."""
+    return int(recoveries or 0)

@@ -9,9 +9,14 @@ from repro.multi.global_policies import (
     GlobalEDFScheduler,
     GlobalTopM,
 )
-from repro.multi.metrics import MultiSimulationResult
+from repro.multi.metrics import MultiSimulationResult, multi_results_bit_identical
 from repro.multi.partitioned import PartitionedScheduler
-from repro.multi.scheduler import Assignment, MultiScheduler, MultiSchedulerContext
+from repro.multi.scheduler import (
+    Assignment,
+    MultiScheduler,
+    MultiSchedulerContext,
+    SingleProcessorAdapter,
+)
 
 __all__ = [
     "MultiprocessorEngine",
@@ -21,8 +26,10 @@ __all__ = [
     "GlobalVDoverScheduler",
     "GlobalTopM",
     "MultiSimulationResult",
+    "multi_results_bit_identical",
     "PartitionedScheduler",
     "Assignment",
     "MultiScheduler",
     "MultiSchedulerContext",
+    "SingleProcessorAdapter",
 ]

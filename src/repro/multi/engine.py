@@ -1,16 +1,31 @@
-"""Multiprocessor discrete-event engine (global scheduling, free migration).
+"""Multiprocessor discrete-event engine (m ≥ 1 façade over the kernel).
 
-A direct generalisation of :class:`repro.sim.engine.SimulationEngine`:
-``m`` processors, each with its own (possibly heterogeneous) capacity
-trajectory, one global ready pool.  The scheduler returns a full
-assignment after every interrupt; the engine diffs it against the current
-one, closes segments for displaced jobs, and re-predicts completions with
-each processor's exact inverse integral.
+The event loop is :class:`repro.kernel.SchedulingKernel` — the same one
+the single-processor :class:`~repro.sim.engine.SimulationEngine` runs —
+instantiated with ``m`` (possibly heterogeneous) capacity trajectories and
+the assignment decision protocol: the scheduler returns a full assignment
+after every interrupt; the kernel diffs it against the current one, closes
+segments for displaced jobs, and re-predicts completions with each
+processor's exact inverse integral (O(log n) via the per-capacity
+prefix-sum index when available).
 
 Migration semantics: preemption and migration are free; a preempted job
 resumes from its exact remaining workload on any processor (workload is
 capacity-units × time, so a job's progress is processor-independent — the
 same modelling choice the paper makes for its dynamically-sized VMs).
+
+Because the loop is shared, everything the single-processor engine can do
+works here too, for free:
+
+* **execution-fault injection** (:mod:`repro.faults.execution`) — job
+  kills, per-machine revocation bursts and scheduled crashes, with
+  per-processor targeting (``JobKillFault(..., proc=2)``);
+* **crash recovery** — :meth:`MultiprocessorEngine.snapshot` /
+  :meth:`MultiprocessorEngine.restore` with the write-ahead
+  :class:`~repro.sim.journal.EventJournal`, and
+  ``simulate_multi(..., recover=True)`` resuming bit-identically;
+* **invariant monitoring** — the watchdog's monitors read the engine's
+  per-processor traces and capacities.
 
 The validator enforces, on top of the per-processor legality checks, that
 no job ever runs on two processors at once (no intra-job parallelism).
@@ -18,58 +33,70 @@ no job ever runs on two processors at once (no intra-job parallelism).
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.capacity.base import CapacityFunction
-from repro.errors import SchedulingError, SimulationError
-from repro.sim.events import Event, EventKind, EventQueue
-from repro.sim.job import Job, JobStatus, validate_jobs
-from repro.sim.trace import ScheduleTrace
+from repro.kernel.core import SchedulingKernel
+from repro.kernel.recovery import run_with_recovery
 from repro.multi.metrics import MultiSimulationResult
-from repro.multi.scheduler import Assignment, MultiScheduler, MultiSchedulerContext
+from repro.multi.scheduler import MultiScheduler, MultiSchedulerContext
+from repro.sim.job import Job
+from repro.sim.journal import EngineSnapshot, EventJournal
+from repro.sim.trace import ScheduleTrace
 
 __all__ = ["MultiprocessorEngine", "simulate_multi"]
 
-_EPS = 1e-9
-
 
 class _MultiContext(MultiSchedulerContext):
-    def __init__(self, engine: "MultiprocessorEngine") -> None:
-        self._engine = engine
+    """The kernel-backed implementation of the online information model.
+
+    Hot path: fires on every scheduler decision, so it reads the kernel's
+    internals (``_now``, ``_current``) directly and caches the immutable
+    capacity list at bind time — same discipline as the single-processor
+    ``_EngineContext``.
+    """
+
+    def __init__(self, kernel: SchedulingKernel) -> None:
+        self._kernel = kernel
+        self._caps = list(kernel.capacities)
 
     def now(self) -> float:
-        return self._engine._now
+        return self._kernel._now
 
     @property
     def n_procs(self) -> int:
-        return len(self._engine._capacities)
+        return len(self._caps)
 
     def remaining(self, job: Job) -> float:
-        return self._engine._remaining_of(job)
+        return self._kernel.remaining_of(job)
 
     def running(self) -> Tuple[Optional[Job], ...]:
-        return tuple(self._engine._current)
+        return tuple(self._kernel._current)
 
     def capacity_now(self, proc: int) -> float:
-        return self._engine._capacities[proc].value(self._engine._now)
+        return self._caps[proc].value(self._kernel._now)
 
     def bounds(self, proc: int) -> Tuple[float, float]:
-        cap = self._engine._capacities[proc]
+        cap = self._caps[proc]
         return (cap.lower, cap.upper)
 
     def set_alarm(self, job: Job, time: float, tag: str = "alarm") -> None:
-        self._engine._set_alarm(job, time, tag)
+        self._kernel.set_alarm(job, time, tag)
 
     def cancel_alarm(self, job: Job) -> None:
-        self._engine._cancel_alarm(job)
+        self._kernel.cancel_alarm(job)
+
+    def set_timer(self, time: float, tag: str) -> None:
+        self._kernel.set_timer(time, tag)
 
 
 class MultiprocessorEngine:
     """Run one global scheduler over m processors.
 
     Parameters mirror the single-processor engine; ``capacities`` carries
-    one trajectory per processor.
+    one trajectory per processor, and ``faults`` / ``watchdog`` /
+    ``journal`` / ``snapshot_every`` behave exactly as on
+    :class:`~repro.sim.engine.SimulationEngine` (same kernel).
     """
 
     def __init__(
@@ -80,224 +107,131 @@ class MultiprocessorEngine:
         *,
         horizon: float | None = None,
         validate: bool = False,
+        faults: Sequence[object] = (),
+        watchdog: "object | None" = None,
+        journal: "EventJournal | None" = None,
+        snapshot_every: int | None = None,
     ) -> None:
-        validate_jobs(jobs)
-        if not capacities:
-            raise SimulationError("at least one processor required")
-        self._jobs = list(jobs)
-        self._capacities = list(capacities)
-        self._scheduler = scheduler
-        if horizon is None:
-            horizon = max((j.deadline for j in jobs), default=0.0) + 1.0
-        if not math.isfinite(horizon) or horizon < 0.0:
-            raise SimulationError(f"invalid horizon: {horizon!r}")
-        self._horizon = float(horizon)
         self._validate = bool(validate)
-
-        m = len(capacities)
-        self._now = 0.0
-        self._remaining: Dict[int, float] = {}
-        self._status: Dict[int, JobStatus] = {}
-        self._current: List[Optional[Job]] = [None] * m
-        self._seg_start: List[float] = [0.0] * m
-        self._seg_remaining0: List[float] = [0.0] * m
-        self._proc_of: Dict[int, int] = {}  # jid -> processor while running
-
-        self._events = EventQueue()
-        self._completion_version: Dict[int, int] = {}
-        self._alarm_version: Dict[int, int] = {}
-        self._traces = [ScheduleTrace() for _ in range(m)]
-        self._outcomes = ScheduleTrace()  # combined value series & outcomes
-
-    # ------------------------------------------------------------------
-    def _remaining_of(self, job: Job) -> float:
-        status = self._status.get(job.jid)
-        if status is None or status is JobStatus.PENDING:
-            raise SchedulingError(f"remaining() for unreleased job {job.jid}")
-        proc = self._proc_of.get(job.jid)
-        if proc is not None and self._current[proc] is job:
-            done = self._capacities[proc].integrate(self._seg_start[proc], self._now)
-            return max(0.0, self._seg_remaining0[proc] - done)
-        return self._remaining[job.jid]
-
-    def _set_alarm(self, job: Job, time: float, tag: str) -> None:
-        if job.jid not in self._status:
-            raise SchedulingError(f"alarm for unknown job {job.jid}")
-        version = self._alarm_version.get(job.jid, 0) + 1
-        self._alarm_version[job.jid] = version
-        self._events.push(Event(max(time, self._now), EventKind.ALARM, (job, tag), version))
-
-    def _cancel_alarm(self, job: Job) -> None:
-        self._alarm_version[job.jid] = self._alarm_version.get(job.jid, 0) + 1
-
-    # ------------------------------------------------------------------
-    # Processor mechanics
-    # ------------------------------------------------------------------
-    def _close_segment(self, proc: int, t: float) -> None:
-        job = self._current[proc]
-        if job is None:
-            return
-        work = self._capacities[proc].integrate(self._seg_start[proc], t)
-        new_remaining = self._seg_remaining0[proc] - work
-        if new_remaining < -1e-6 * max(1.0, job.workload):
-            raise SimulationError(f"job {job.jid} over-executed on proc {proc}")
-        self._remaining[job.jid] = max(0.0, new_remaining)
-        self._traces[proc].add_segment(self._seg_start[proc], t, job.jid, work)
-        self._status[job.jid] = JobStatus.READY
-        self._completion_version[job.jid] = (
-            self._completion_version.get(job.jid, 0) + 1
+        self._kernel = SchedulingKernel(
+            jobs,
+            list(capacities),
+            scheduler,
+            make_context=_MultiContext,
+            horizon=horizon,
+            faults=faults,
+            watchdog=watchdog,
+            journal=journal,
+            snapshot_every=snapshot_every,
+            single=False,
         )
-        self._current[proc] = None
-        del self._proc_of[job.jid]
-
-    def _start_job(self, proc: int, job: Job, t: float) -> None:
-        status = self._status.get(job.jid)
-        if status is not JobStatus.READY:
-            raise SchedulingError(
-                f"scheduler assigned job {job.jid} in state {status} to proc {proc}"
-            )
-        self._current[proc] = job
-        self._proc_of[job.jid] = proc
-        self._status[job.jid] = JobStatus.RUNNING
-        self._seg_start[proc] = t
-        self._seg_remaining0[proc] = self._remaining[job.jid]
-        finish = self._capacities[proc].advance(t, self._seg_remaining0[proc])
-        version = self._completion_version.get(job.jid, 0) + 1
-        self._completion_version[job.jid] = version
-        if finish <= self._horizon:
-            self._events.push(Event(finish, EventKind.COMPLETION, (proc, job), version))
-
-    def _apply_assignment(self, desired: Assignment, t: float) -> None:
-        desired = list(desired)
-        if len(desired) != len(self._capacities):
-            raise SchedulingError(
-                f"assignment length {len(desired)} != {len(self._capacities)} processors"
-            )
-        seen: set[int] = set()
-        for job in desired:
-            if job is None:
-                continue
-            if job.jid in seen:
-                raise SchedulingError(
-                    f"job {job.jid} assigned to two processors at once"
-                )
-            seen.add(job.jid)
-        # Close every processor whose job changes (incl. migrations away).
-        for proc, job in enumerate(desired):
-            if self._current[proc] is not job:
-                self._close_segment(proc, t)
-        # Start the new assignments (migrations now find the job READY).
-        for proc, job in enumerate(desired):
-            if job is not None and self._current[proc] is not job:
-                self._start_job(proc, job, t)
+        # Faults and watchdog monitors observe *this* object (the public
+        # engine), which re-exports every kernel accessor they use.
+        self._kernel.owner = self
 
     # ------------------------------------------------------------------
-    def _complete(self, proc: int, job: Job, t: float) -> None:
-        work = self._capacities[proc].integrate(self._seg_start[proc], t)
-        self._traces[proc].add_segment(self._seg_start[proc], t, job.jid, work)
-        self._remaining[job.jid] = 0.0
-        self._status[job.jid] = JobStatus.COMPLETED
-        self._current[proc] = None
-        del self._proc_of[job.jid]
-        self._completion_version[job.jid] = (
-            self._completion_version.get(job.jid, 0) + 1
-        )
-        self._outcomes.record_outcome(job, JobStatus.COMPLETED, t)
-        desired = self._scheduler.on_job_end(job, completed=True)
-        self._apply_assignment(desired, t)
+    # Read-only accessors (used by the invariant watchdog and recovery)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._kernel.now
 
-    def _dispatch(self, event: Event) -> None:
-        t = event.time
-        kind = event.kind
+    @property
+    def horizon(self) -> float:
+        return self._kernel.horizon
 
-        if kind is EventKind.RELEASE:
-            job: Job = event.payload
-            self._status[job.jid] = JobStatus.READY
-            self._remaining[job.jid] = job.workload
-            self._apply_assignment(self._scheduler.on_release(job), t)
-            return
+    @property
+    def n_procs(self) -> int:
+        return self._kernel.n_procs
 
-        if kind is EventKind.COMPLETION:
-            proc, job = event.payload
-            if self._completion_version.get(job.jid, 0) != event.version:
-                return
-            if self._current[proc] is not job:  # pragma: no cover - defensive
-                return
-            self._complete(proc, job, t)
-            return
+    @property
+    def capacity(self) -> CapacityFunction:
+        """Processor 0's trajectory (monitor fallback for m = 1 reads)."""
+        return self._kernel.capacity
 
-        if kind is EventKind.DEADLINE:
-            job = event.payload
-            status = self._status.get(job.jid)
-            if status in (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.ABANDONED):
-                return
-            proc = self._proc_of.get(job.jid)
-            if proc is not None:
-                # Exact-deadline completion tolerance (see the single-proc
-                # engine): a running job with ~zero remaining completes.
-                done = self._capacities[proc].integrate(self._seg_start[proc], t)
-                left = self._seg_remaining0[proc] - done
-                if left <= 1e-9 * max(1.0, job.workload):
-                    self._complete(proc, job, t)
-                    return
-                self._close_segment(proc, t)
-            self._status[job.jid] = JobStatus.FAILED
-            self._outcomes.record_outcome(job, JobStatus.FAILED, t)
-            self._apply_assignment(
-                self._scheduler.on_job_end(job, completed=False), t
-            )
-            return
+    @property
+    def capacities(self) -> List[CapacityFunction]:
+        return self._kernel.capacities
 
-        if kind is EventKind.ALARM:
-            job, tag = event.payload
-            if self._alarm_version.get(job.jid, 0) != event.version:
-                return
-            if self._status.get(job.jid) is not JobStatus.READY:
-                return
-            self._apply_assignment(self._scheduler.on_alarm(job, tag), t)
-            return
+    @property
+    def trace(self) -> ScheduleTrace:
+        """The combined outcome/value record (no segments for m > 1)."""
+        return self._kernel.trace
 
-        raise SimulationError(f"unhandled event kind: {kind!r}")  # pragma: no cover
+    @property
+    def proc_traces(self) -> List[ScheduleTrace]:
+        return self._kernel.traces
 
+    @property
+    def scheduler(self) -> MultiScheduler:
+        return self._kernel.scheduler
+
+    @property
+    def jobs_by_id(self) -> Dict[int, Job]:
+        return self._kernel.jobs_by_id
+
+    @property
+    def dispatch_count(self) -> int:
+        """Events dispatched so far (journal index of the next dispatch)."""
+        return self._kernel.dispatch_count
+
+    @property
+    def last_snapshot(self) -> Optional[EngineSnapshot]:
+        return self._kernel.last_snapshot
+
+    @property
+    def event_queue_size(self) -> int:
+        return self._kernel.event_queue_size
+
+    @property
+    def kernel(self) -> SchedulingKernel:
+        """The shared scheduling kernel this engine instantiates at m≥1."""
+        return self._kernel
+
+    # ------------------------------------------------------------------
+    # Execution-fault plumbing (used by repro.faults.execution at arm time)
+    # ------------------------------------------------------------------
+    def push_fault_event(self, time: float, payload: tuple) -> None:
+        """Queue a FAULT event (payload: ``("kill", i, retain[, proc])``,
+        ``("evict", i[, proc])`` or ``("crash", i)``)."""
+        self._kernel.push_fault_event(time, payload)
+
+    def register_event_crash(self, fault_index: int, at_event: int) -> None:
+        """Arrange for crash plan ``fault_index`` to fire just before the
+        ``at_event``-th event dispatch."""
+        self._kernel.register_event_crash(fault_index, at_event)
+
+    # ------------------------------------------------------------------
+    # Run / snapshot / restore
     # ------------------------------------------------------------------
     def run(self) -> MultiSimulationResult:
-        self._scheduler.bind(_MultiContext(self))
-        for job in self._jobs:
-            self._status[job.jid] = JobStatus.PENDING
-            if job.release <= self._horizon:
-                self._events.push(Event(job.release, EventKind.RELEASE, job))
-                self._events.push(Event(job.deadline, EventKind.DEADLINE, job))
-        self._events.push(Event(self._horizon, EventKind.END))
-
-        while len(self._events):
-            event = self._events.pop()
-            if event.time < self._now - _EPS:
-                raise SimulationError(
-                    f"time went backwards: {event.time} < {self._now}"
-                )
-            if event.kind is EventKind.END or event.time > self._horizon:
-                self._now = min(event.time, self._horizon)
-                break
-            self._now = event.time
-            self._dispatch(event)
-
-        for proc in range(len(self._capacities)):
-            self._close_segment(proc, self._now)
-        for job in self._jobs:
-            if self._status.get(job.jid) in (JobStatus.READY, JobStatus.RUNNING):
-                self._status[job.jid] = JobStatus.FAILED
-                self._outcomes.record_outcome(job, JobStatus.FAILED, self._now)
+        """Execute (or, after :meth:`restore`, resume) the simulation."""
+        self._kernel.run_loop()
 
         result = MultiSimulationResult(
-            scheduler_name=self._scheduler.name,
-            jobs=self._jobs,
-            horizon=self._horizon,
-            proc_traces=self._traces,
-            combined=self._outcomes,
+            scheduler_name=self._kernel.scheduler.name,
+            jobs=self._kernel.jobs,
+            horizon=self._kernel.horizon,
+            proc_traces=self._kernel.traces,
+            combined=self._kernel.outcomes,
         )
         if self._validate:
-            result.validate(self._capacities)
+            result.validate(self._kernel.capacities)
+        self._kernel.after_run(result)
         return result
+
+    def snapshot(self) -> EngineSnapshot:
+        """Image the complete mid-run state (picklable; jid-based)."""
+        return self._kernel.snapshot()
+
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        """Load a snapshot into this (fresh, never-run) engine.
+
+        After restoring, :meth:`run` resumes from the snapshot instant; if
+        the engine also holds a journal extending past the snapshot, the
+        resumed dispatches are verified against it (deterministic replay).
+        """
+        self._kernel.restore(snapshot)
 
 
 def simulate_multi(
@@ -307,8 +241,37 @@ def simulate_multi(
     *,
     horizon: float | None = None,
     validate: bool = False,
+    faults: Sequence[object] = (),
+    watchdog: "object | None" = None,
+    journal: "EventJournal | None" = None,
+    snapshot_every: int | None = None,
+    recover: bool = False,
+    max_recoveries: int = 8,
 ) -> MultiSimulationResult:
-    """Convenience wrapper mirroring :func:`repro.sim.simulate`."""
-    return MultiprocessorEngine(
-        jobs, capacities, scheduler, horizon=horizon, validate=validate
-    ).run()
+    """Convenience wrapper mirroring :func:`repro.sim.simulate`.
+
+    With ``recover=True`` a :class:`~repro.errors.SimulatedCrash` raised by
+    an armed :class:`~repro.faults.EngineCrashPlan` is survived: a fresh
+    engine restores the crash's snapshot, replays the journal (when one is
+    attached) and continues to the horizon.  The returned result's
+    ``recoveries`` attribute counts the crashes survived.
+    """
+
+    def _build() -> MultiprocessorEngine:
+        return MultiprocessorEngine(
+            jobs,
+            capacities,
+            scheduler,
+            horizon=horizon,
+            validate=validate,
+            faults=faults,
+            watchdog=watchdog,
+            journal=journal,
+            snapshot_every=snapshot_every,
+        )
+
+    result, recoveries = run_with_recovery(
+        _build, recover=recover, max_recoveries=max_recoveries
+    )
+    result.recoveries = recoveries
+    return result

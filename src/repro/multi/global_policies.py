@@ -75,6 +75,18 @@ class GlobalTopM(MultiScheduler):
         self._ready.remove(job)
         return self._elect()
 
+    # ------------------------------------------------------------------
+    # Snapshot protocol (crash recovery)
+    # ------------------------------------------------------------------
+    def _policy_state(self) -> dict:
+        # Sorted-jid serialisation: the queue's ordering keys tie-break on
+        # jid, so insertion order is irrelevant on restore.
+        return {"ready": sorted(job.jid for job in self._ready.jobs())}
+
+    def _restore_policy_state(self, state: dict, jobs_by_id) -> None:
+        for jid in state["ready"]:
+            self._ready.insert(jobs_by_id[jid])
+
 
 class GlobalEDFScheduler(GlobalTopM):
     """Global earliest-deadline-first with free migration."""

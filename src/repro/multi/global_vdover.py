@@ -163,3 +163,35 @@ class GlobalVDoverScheduler(MultiScheduler):
         self._supp_ids.add(job.jid)
         self._supp.insert(job)
         return running
+
+    def on_eviction(self, job: Job) -> Assignment:
+        """An execution fault evicted ``job``: requeue it into the pool it
+        belongs to (the default would misfile demoted supplements back
+        into the regular queue and double-arm their alarms)."""
+        if job.jid in self._supp_ids:
+            self._supp.insert(job)
+            return self._elect()
+        return self.on_release(job)
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (crash recovery)
+    # ------------------------------------------------------------------
+    def _policy_state(self) -> dict:
+        # Sorted-jid serialisation: both queues tie-break on jid, so
+        # insertion order is irrelevant on restore.  Armed alarms live in
+        # the engine's event-queue snapshot; re-arming would bump version
+        # tokens and orphan them.
+        return {
+            "regular": sorted(job.jid for job in self._regular.jobs()),
+            "supp": sorted(job.jid for job in self._supp.jobs()),
+            "supp_ids": sorted(self._supp_ids),
+            "rate": self._rate,
+        }
+
+    def _restore_policy_state(self, state: dict, jobs_by_id) -> None:
+        for jid in state["regular"]:
+            self._regular.insert(jobs_by_id[jid])
+        for jid in state["supp"]:
+            self._supp.insert(jobs_by_id[jid])
+        self._supp_ids = set(state["supp_ids"])
+        self._rate = float(state["rate"])

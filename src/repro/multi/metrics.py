@@ -10,7 +10,7 @@ from repro.errors import SimulationError
 from repro.sim.job import Job, JobStatus, total_value
 from repro.sim.trace import ScheduleTrace
 
-__all__ = ["MultiSimulationResult"]
+__all__ = ["MultiSimulationResult", "multi_results_bit_identical"]
 
 
 @dataclass
@@ -24,6 +24,8 @@ class MultiSimulationResult:
     proc_traces: List[ScheduleTrace]
     #: combined outcome/value record (no segments)
     combined: ScheduleTrace
+    #: crash→restore cycles survived (``simulate_multi(..., recover=True)``)
+    recoveries: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -130,19 +132,24 @@ class MultiSimulationResult:
                     )
 
         # Completed jobs received their full workload (across processors).
+        # Execution faults (job kills) can destroy progress a job already
+        # legally received; that work was really executed, so the per-job
+        # budget is workload + lost (mirroring ScheduleTrace.validate).
         work = self.work_by_job()
         by_id = {j.jid: j for j in self.jobs}
         for jid, status in self.combined.outcomes.items():
             job = by_id[jid]
             done = work.get(jid, 0.0)
+            budget = job.workload + self.combined.lost_work.get(jid, 0.0)
             if status is JobStatus.COMPLETED:
-                if abs(done - job.workload) > tol * max(1.0, job.workload):
+                if abs(done - budget) > tol * max(1.0, budget):
                     raise SimulationError(
-                        f"job {jid} completed with work {done} != {job.workload}"
+                        f"job {jid} completed with work {done} != "
+                        f"workload-plus-lost {budget}"
                     )
-            elif done > job.workload + tol * max(1.0, job.workload):
+            elif done > budget + tol * max(1.0, budget):
                 raise SimulationError(
-                    f"job {jid} over-served ({done} > {job.workload}) yet failed"
+                    f"job {jid} over-served ({done} > {budget}) yet failed"
                 )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -150,3 +157,24 @@ class MultiSimulationResult:
             f"MultiSimulationResult({self.scheduler_name!r}, m={self.n_procs}, "
             f"value={self.value:.4g}, completed={self.n_completed}/{len(self.jobs)})"
         )
+
+
+def multi_results_bit_identical(a: "MultiSimulationResult", b: "MultiSimulationResult") -> bool:
+    """True iff two multiprocessor results are bit-identical: same
+    scheduler, horizon, per-processor segments (``==`` on floats, no
+    tolerance), outcomes, completion times, value points and lost work —
+    the multiprocessor analogue of
+    :func:`repro.sim.journal.results_bit_identical`."""
+    return (
+        a.scheduler_name == b.scheduler_name
+        and a.horizon == b.horizon
+        and a.n_procs == b.n_procs
+        and all(
+            ta.segments == tb.segments
+            for ta, tb in zip(a.proc_traces, b.proc_traces)
+        )
+        and a.combined.outcomes == b.combined.outcomes
+        and a.combined.completion_times == b.combined.completion_times
+        and a.combined.value_points == b.combined.value_points
+        and a.combined.lost_work == b.combined.lost_work
+    )

@@ -121,3 +121,33 @@ class PartitionedScheduler(MultiScheduler):
         if proc is None:  # pragma: no cover - defensive
             return self.ctx.running()
         return self._assignment_with(proc, self._subs[proc].on_alarm(job, tag))
+
+    def on_eviction(self, job: Job) -> Assignment:
+        """An execution fault evicted ``job``: the partition is sticky, so
+        the job's own processor's sub-scheduler handles the re-admission
+        (no re-dispatch — jobs never migrate in partitioned mode)."""
+        proc = self._proc_of.get(job.jid)
+        if proc is None:  # pragma: no cover - defensive
+            return self.ctx.running()
+        return self._assignment_with(proc, self._subs[proc].on_eviction(job))
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (crash recovery)
+    # ------------------------------------------------------------------
+    def _policy_state(self) -> dict:
+        return {
+            "dispatcher": self._dispatcher.get_state(),
+            "subs": [sub.get_state() for sub in self._subs],
+            "proc_of": dict(self._proc_of),
+        }
+
+    def _restore_policy_state(self, state: dict, jobs_by_id) -> None:
+        if len(state["subs"]) != len(self._subs):
+            raise SchedulingError(
+                f"snapshot has {len(state['subs'])} partitions, "
+                f"engine has {len(self._subs)}"
+            )
+        self._dispatcher.set_state(state["dispatcher"])
+        for sub, sub_state in zip(self._subs, state["subs"]):
+            sub.set_state(sub_state, jobs_by_id)
+        self._proc_of = {int(jid): int(p) for jid, p in state["proc_of"].items()}

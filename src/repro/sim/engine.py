@@ -1,32 +1,35 @@
-"""The discrete-event simulation engine.
+"""The single-processor simulation engine (m = 1 façade over the kernel).
 
-The engine owns the ground truth of a run: job remaining workloads, the
-processor assignment, the event heap and the trace.  Schedulers only decide
-*which* job should occupy the processor after each interrupt; the engine
-performs the mechanics:
+The event loop itself — exact completion prediction on the prefix-indexed
+capacity, deadline policing, alarm/timer plumbing with lazy deletion,
+trace recording, fault dispatch, snapshot/restore with the write-ahead
+journal, and the invariant-watchdog hooks — lives in
+:class:`repro.kernel.SchedulingKernel`, shared with the multiprocessor
+engine.  This module instantiates the kernel at ``m = 1`` with the
+paper's single-processor decision protocol (scheduler handlers return
+``Optional[Job]``) and preserves the historical public API byte for byte:
 
 * **exact completion prediction** — when a job starts (or resumes) at time
   ``t`` with remaining workload ``w``, its completion instant is
   ``capacity.advance(t, w)``, computed exactly on the piecewise-constant
   trajectory.  For prefix-indexed capacities (``supports_prefix_index``,
   see :mod:`repro.capacity.prefix`) this is an O(log n) searchsorted on the
-  cumulative-work array, and the engine additionally anchors each running
+  cumulative-work array, and the kernel additionally anchors each running
   segment at ``W(seg_start)`` so progress queries cost one index lookup —
-  with values bit-identical to the naive linear scan.  A preemption
-  invalidates the in-flight completion event via a per-job version token
-  (lazy deletion on the heap);
+  with values bit-identical to the naive linear scan;
 * **deadline policing** — firm deadlines fire as events; a completion at
   exactly the deadline wins the tie (succeeds);
 * **alarm plumbing** — schedulers arm per-job alarms (zero-conservative-
   laxity interrupts) and global timers through the context; stale alarms are
-  version-dropped;
+  version-dropped and the heap self-compacts;
 * **trace recording** — every maximal run segment is logged with the work
-  performed (the capacity integral over the segment), so the resulting
-  schedule can be re-validated independently.
+  performed, so the schedule can be re-validated independently.
 
 Determinism: for a fixed instance and scheduler the run is bit-for-bit
 reproducible — ties in the event heap break by (kind priority, insertion
-sequence) and nothing consults a clock or RNG.
+sequence) and nothing consults a clock or RNG.  The kernel-parity suite
+(``tests/multi/test_kernel_parity.py``) pins the m = 1 kernel to the
+historical engine's exact outputs.
 
 Crash recovery (docs/ROBUSTNESS.md): the engine can image its complete
 mid-run state into an :class:`~repro.sim.journal.EngineSnapshot`
@@ -45,75 +48,59 @@ watchdog (:mod:`repro.sim.invariants`) observes every dispatch.
 
 from __future__ import annotations
 
-import logging
-import math
-import pickle
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.capacity.base import CapacityFunction
-from repro.errors import (
-    RecoveryError,
-    SchedulingError,
-    SimulatedCrash,
-    SimulationError,
-)
-from repro.sim.events import Event, EventKind, EventQueue
-from repro.sim.job import Job, JobStatus, validate_jobs
-from repro.sim.journal import (
-    EngineSnapshot,
-    EventJournal,
-    JournalRecord,
-    describe_payload,
-)
+from repro.kernel.core import SchedulingKernel
+from repro.kernel.recovery import run_with_recovery
+from repro.sim.job import Job
+from repro.sim.journal import EngineSnapshot, EventJournal
 from repro.sim.metrics import SimulationResult
 from repro.sim.scheduler import Scheduler, SchedulerContext
-from repro.sim.trace import RunSegment, ScheduleTrace
+from repro.sim.trace import ScheduleTrace
 
 __all__ = ["SimulationEngine", "simulate"]
 
-logger = logging.getLogger(__name__)
-
-_EPS = 1e-9
-
-#: Statuses from which a job never returns (their queued events are dead).
-_TERMINAL = (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.ABANDONED)
-
-#: Default snapshot cadence (events) when crash plans are present but the
-#: caller did not pick one.
-_DEFAULT_SNAPSHOT_EVERY = 64
-
 
 class _EngineContext(SchedulerContext):
-    """The engine-backed implementation of the online information model."""
+    """The kernel-backed implementation of the online information model.
 
-    def __init__(self, engine: "SimulationEngine") -> None:
-        self._engine = engine
+    Hot path: these methods fire on every scheduler decision, so they read
+    the kernel's internals directly (``_now``, ``_current``) instead of
+    going through its property accessors — each avoided descriptor call is
+    one fewer Python frame per event.  The capacity object is immutable for
+    the kernel's lifetime, so it is cached at bind time.
+    """
+
+    def __init__(self, kernel: SchedulingKernel) -> None:
+        self._kernel = kernel
+        self._cap = kernel.capacity  # processor 0 == the whole world
 
     def now(self) -> float:
-        return self._engine._now
+        return self._kernel._now
 
     def remaining(self, job: Job) -> float:
-        return self._engine._remaining_of(job)
+        return self._kernel.remaining_of(job)
 
     def capacity_now(self) -> float:
-        return self._engine._capacity.value(self._engine._now)
+        return self._cap.value(self._kernel._now)
 
     @property
     def bounds(self) -> Tuple[float, float]:
-        cap = self._engine._capacity
+        cap = self._cap
         return (cap.lower, cap.upper)
 
     def current_job(self) -> Optional[Job]:
-        return self._engine._current
+        return self._kernel._current[0]
 
     def set_alarm(self, job: Job, time: float, tag: str = "claxity") -> None:
-        self._engine._set_alarm(job, time, tag)
+        self._kernel.set_alarm(job, time, tag)
 
     def cancel_alarm(self, job: Job) -> None:
-        self._engine._cancel_alarm(job)
+        self._kernel.cancel_alarm(job)
 
     def set_timer(self, time: float, tag: str) -> None:
-        self._engine._set_timer(time, tag)
+        self._kernel.set_timer(time, tag)
 
 
 class SimulationEngine:
@@ -136,8 +123,9 @@ class SimulationEngine:
     validate:
         When true, the produced trace is re-validated against the capacity
         (work conservation, no overlap, deadline legality) before returning;
-        a violation raises :class:`SimulationError`.  Cheap enough to leave
-        on in tests; off by default for Monte-Carlo throughput.
+        a violation raises :class:`~repro.errors.SimulationError`.  Cheap
+        enough to leave on in tests; off by default for Monte-Carlo
+        throughput.
     faults:
         Execution faults (:mod:`repro.faults.execution`) to arm on this
         run: job kills, revocation evictions, scheduled crashes.
@@ -166,121 +154,67 @@ class SimulationEngine:
         journal: "EventJournal | None" = None,
         snapshot_every: int | None = None,
     ) -> None:
-        validate_jobs(jobs)
-        self._jobs = list(jobs)
-        self._by_id: Dict[int, Job] = {j.jid: j for j in jobs}
-        self._capacity = capacity
-        self._scheduler = scheduler
-        if horizon is None:
-            horizon = max((j.deadline for j in jobs), default=0.0) + 1.0
-        if not math.isfinite(horizon) or horizon < 0.0:
-            raise SimulationError(f"invalid horizon: {horizon!r}")
-        self._horizon = float(horizon)
         self._validate = bool(validate)
-
-        # Ground-truth run state.
-        self._now = 0.0
-        self._remaining: Dict[int, float] = {}
-        self._status: Dict[int, JobStatus] = {}
-        self._current: Optional[Job] = None
-        self._seg_start = 0.0
-        self._seg_remaining0 = 0.0  # remaining workload at seg_start
-        # Prefix-sum index fast path (repro.capacity.prefix): anchor the
-        # running segment at its cumulative work W(seg_start) so progress
-        # queries are one O(log n) lookup, W(now) − anchor — bit-identical
-        # to integrate(seg_start, now), which indexed models define as
-        # exactly that difference.
-        self._indexed = bool(getattr(capacity, "supports_prefix_index", False))
-        self._seg_cum0 = 0.0  # W(seg_start) anchor (indexed models only)
-
-        # Event bookkeeping.
-        self._events = EventQueue(stale=self._event_is_stale)
-        self._completion_version: Dict[int, int] = {}
-        self._alarm_version: Dict[int, int] = {}
-        self._trace = ScheduleTrace()
-
-        # Fault / recovery / monitoring plumbing.
-        self._faults = list(faults)
-        self._watchdog = watchdog
-        self._journal = journal
-        if snapshot_every is None and any(
-            getattr(f, "is_crash_plan", False) for f in self._faults
-        ):
-            snapshot_every = _DEFAULT_SNAPSHOT_EVERY
-        if snapshot_every is not None and snapshot_every < 1:
-            raise SimulationError(
-                f"snapshot_every must be >= 1, got {snapshot_every!r}"
-            )
-        self._snapshot_every = snapshot_every
-        self._event_crashes: List[Tuple[int, int]] = []  # (at_event, fault idx)
-        self._dispatch_count = 0
-        self._verify_until = 0
-        self._last_snapshot: Optional[EngineSnapshot] = None
-        self._started = False
+        self._kernel = SchedulingKernel(
+            jobs,
+            [capacity],
+            scheduler,
+            make_context=_EngineContext,
+            horizon=horizon,
+            faults=faults,
+            watchdog=watchdog,
+            journal=journal,
+            snapshot_every=snapshot_every,
+            single=True,
+        )
+        # Faults and watchdog monitors observe *this* object (the public
+        # engine), which re-exports every kernel accessor they use.
+        self._kernel.owner = self
 
     # ------------------------------------------------------------------
     # Read-only accessors (used by the invariant watchdog and recovery)
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
-        return self._now
+        return self._kernel.now
 
     @property
     def horizon(self) -> float:
-        return self._horizon
+        return self._kernel.horizon
 
     @property
     def capacity(self) -> CapacityFunction:
-        return self._capacity
+        return self._kernel.capacity
 
     @property
     def trace(self) -> ScheduleTrace:
-        return self._trace
+        return self._kernel.trace
 
     @property
     def scheduler(self) -> Scheduler:
-        return self._scheduler
+        return self._kernel.scheduler
 
     @property
     def jobs_by_id(self) -> Dict[int, Job]:
-        return dict(self._by_id)
+        return self._kernel.jobs_by_id
 
     @property
     def dispatch_count(self) -> int:
         """Events dispatched so far (journal index of the next dispatch)."""
-        return self._dispatch_count
+        return self._kernel.dispatch_count
 
     @property
     def last_snapshot(self) -> Optional[EngineSnapshot]:
-        return self._last_snapshot
+        return self._kernel.last_snapshot
 
     @property
     def event_queue_size(self) -> int:
-        return len(self._events)
+        return self._kernel.event_queue_size
 
-    # ------------------------------------------------------------------
-    # Lazy-deletion hygiene: which queued events are provably dead
-    # ------------------------------------------------------------------
-    def _event_is_stale(self, event: Event) -> bool:
-        """True iff dispatching ``event`` would be a guaranteed no-op.
-
-        Conservative: alarms/completions with bumped version tokens, and
-        job events for jobs in a terminal state.  Alarms of RUNNING jobs
-        are *not* stale (the job may return to READY before they fire)."""
-        kind = event.kind
-        if kind is EventKind.ALARM:
-            job = event.payload[0]
-            if self._alarm_version.get(job.jid, 0) != event.version:
-                return True
-            return self._status.get(job.jid) in _TERMINAL
-        if kind is EventKind.COMPLETION:
-            job = event.payload
-            if self._completion_version.get(job.jid, 0) != event.version:
-                return True
-            return self._status.get(job.jid) in _TERMINAL
-        if kind is EventKind.DEADLINE:
-            return self._status.get(event.payload.jid) in _TERMINAL
-        return False
+    @property
+    def kernel(self) -> SchedulingKernel:
+        """The shared scheduling kernel this engine instantiates at m=1."""
+        return self._kernel
 
     # ------------------------------------------------------------------
     # Execution-fault plumbing (used by repro.faults.execution at arm time)
@@ -288,432 +222,37 @@ class SimulationEngine:
     def push_fault_event(self, time: float, payload: tuple) -> None:
         """Queue a FAULT event (payload: ``("kill", i, retain)``,
         ``("evict", i)`` or ``("crash", i)``)."""
-        if 0.0 <= time <= self._horizon:
-            self._events.push(Event(time, EventKind.FAULT, tuple(payload)))
+        self._kernel.push_fault_event(time, payload)
 
     def register_event_crash(self, fault_index: int, at_event: int) -> None:
         """Arrange for crash plan ``fault_index`` to fire just before the
         ``at_event``-th event dispatch."""
-        self._event_crashes.append((int(at_event), int(fault_index)))
+        self._kernel.register_event_crash(fault_index, at_event)
 
     # ------------------------------------------------------------------
-    # State queries used by the context
+    # Run / snapshot / restore
     # ------------------------------------------------------------------
-    def _seg_work(self, t: float) -> float:
-        """Work performed by the running segment up to ``t`` — via the
-        capacity's prefix-sum index when available, else the naive
-        integral (identical values either way; see class docstring)."""
-        if self._indexed:
-            return self._capacity.cumulative(t) - self._seg_cum0
-        return self._capacity.integrate(self._seg_start, t)
-
-    def _remaining_of(self, job: Job) -> float:
-        status = self._status.get(job.jid)
-        if status is None or status is JobStatus.PENDING:
-            raise SchedulingError(
-                f"remaining() queried for unreleased job {job.jid}"
-            )
-        if job is self._current:
-            done = self._seg_work(self._now)
-            return max(0.0, self._seg_remaining0 - done)
-        return self._remaining[job.jid]
-
-    # ------------------------------------------------------------------
-    # Alarm / timer plumbing
-    # ------------------------------------------------------------------
-    def _set_alarm(self, job: Job, time: float, tag: str) -> None:
-        if job.jid not in self._status:
-            raise SchedulingError(f"alarm for unknown job {job.jid}")
-        when = max(time, self._now)
-        version = self._alarm_version.get(job.jid, 0) + 1
-        self._alarm_version[job.jid] = version
-        if version > 1:
-            # A previous alarm for this job may still sit in the heap.
-            self._events.note_stale()
-        self._events.push(Event(when, EventKind.ALARM, (job, tag), version))
-
-    def _cancel_alarm(self, job: Job) -> None:
-        # Bumping the version orphans any in-flight alarm event.
-        self._alarm_version[job.jid] = self._alarm_version.get(job.jid, 0) + 1
-        self._events.note_stale()
-
-    def _set_timer(self, time: float, tag: str) -> None:
-        self._events.push(Event(max(time, self._now), EventKind.TIMER, tag))
-
-    # ------------------------------------------------------------------
-    # Processor mechanics
-    # ------------------------------------------------------------------
-    def _close_segment(self, t: float) -> None:
-        """Stop the running job at ``t``, folding its progress into the
-        ground truth and the trace.  Leaves the processor empty."""
-        job = self._current
-        if job is None:
-            return
-        work = self._seg_work(t)
-        new_remaining = self._seg_remaining0 - work
-        if new_remaining < -1e-6 * max(1.0, job.workload):
-            raise SimulationError(
-                f"job {job.jid} over-executed: remaining {new_remaining}"
-            )
-        self._remaining[job.jid] = max(0.0, new_remaining)
-        self._trace.add_segment(self._seg_start, t, job.jid, work)
-        self._status[job.jid] = JobStatus.READY
-        # Orphan the in-flight completion event.
-        self._completion_version[job.jid] = (
-            self._completion_version.get(job.jid, 0) + 1
-        )
-        self._events.note_stale()
-        self._current = None
-
-    def _start_job(self, job: Job, t: float) -> None:
-        status = self._status.get(job.jid)
-        if status is not JobStatus.READY:
-            raise SchedulingError(
-                f"scheduler tried to run job {job.jid} in state {status}"
-            )
-        self._current = job
-        self._status[job.jid] = JobStatus.RUNNING
-        self._seg_start = t
-        self._seg_remaining0 = self._remaining[job.jid]
-        if self._indexed:
-            self._seg_cum0 = self._capacity.cumulative(t)
-        finish = self._capacity.advance(t, self._seg_remaining0)
-        version = self._completion_version.get(job.jid, 0) + 1
-        self._completion_version[job.jid] = version
-        if finish <= self._horizon:
-            self._events.push(Event(finish, EventKind.COMPLETION, job, version))
-
-    def _apply_decision(self, desired: Optional[Job], t: float) -> None:
-        """Switch the processor to ``desired`` (no-op if unchanged)."""
-        if desired is self._current:
-            return
-        self._close_segment(t)
-        if desired is not None:
-            self._start_job(desired, t)
-
-    def _complete_current(self, job: Job, t: float) -> None:
-        """Fold the running job's final segment and record its success."""
-        work = self._seg_work(t)
-        self._trace.add_segment(self._seg_start, t, job.jid, work)
-        self._remaining[job.jid] = 0.0
-        self._status[job.jid] = JobStatus.COMPLETED
-        self._current = None
-        self._completion_version[job.jid] = (
-            self._completion_version.get(job.jid, 0) + 1
-        )
-        self._events.note_stale()
-        self._trace.record_outcome(job, JobStatus.COMPLETED, t)
-        desired = self._scheduler.on_job_end(job, completed=True)
-        self._apply_decision(desired, t)
-
-    # ------------------------------------------------------------------
-    # Event dispatch
-    # ------------------------------------------------------------------
-    def _dispatch(self, event: Event) -> None:
-        t = event.time
-        kind = event.kind
-
-        if kind is EventKind.RELEASE:
-            job: Job = event.payload
-            self._status[job.jid] = JobStatus.READY
-            self._remaining[job.jid] = job.workload
-            desired = self._scheduler.on_release(job)
-            self._apply_decision(desired, t)
-            return
-
-        if kind is EventKind.COMPLETION:
-            job = event.payload
-            if self._completion_version.get(job.jid, 0) != event.version:
-                return  # stale: the job was preempted since this was armed
-            if job is not self._current:  # pragma: no cover - defensive
-                return
-            self._complete_current(job, t)
-            return
-
-        if kind is EventKind.DEADLINE:
-            job = event.payload
-            status = self._status.get(job.jid)
-            if status in (
-                JobStatus.COMPLETED,
-                JobStatus.FAILED,
-                JobStatus.ABANDONED,
-            ):
-                return
-            if job is self._current:
-                # Jobs with zero laxity finish *exactly* at their deadline;
-                # the predicted completion instant can land one ulp past it.
-                # A running job whose remaining workload is within float
-                # tolerance has completed, not failed.
-                done = self._seg_work(t)
-                left = self._seg_remaining0 - done
-                if left <= 1e-9 * max(1.0, job.workload):
-                    self._complete_current(job, t)
-                    return
-                self._close_segment(t)
-            self._status[job.jid] = JobStatus.FAILED
-            self._trace.record_outcome(job, JobStatus.FAILED, t)
-            desired = self._scheduler.on_job_end(job, completed=False)
-            self._apply_decision(desired, t)
-            return
-
-        if kind is EventKind.ALARM:
-            job, tag = event.payload
-            if self._alarm_version.get(job.jid, 0) != event.version:
-                return  # re-armed or cancelled since
-            if self._status.get(job.jid) is not JobStatus.READY:
-                return  # running/finished jobs do not take alarms
-            desired = self._scheduler.on_alarm(job, tag)
-            self._apply_decision(desired, t)
-            return
-
-        if kind is EventKind.TIMER:
-            desired = self._scheduler.on_timer(event.payload)
-            self._apply_decision(desired, t)
-            return
-
-        if kind is EventKind.FAULT:
-            self._dispatch_fault(event.payload, t)
-            return
-
-        raise SimulationError(f"unhandled event kind: {kind!r}")  # pragma: no cover
-
-    def _dispatch_fault(self, payload: tuple, t: float) -> None:
-        """Apply an execution fault (see :mod:`repro.faults.execution`)."""
-        op = payload[0]
-
-        if op == "crash":
-            idx = int(payload[1])
-            fault = self._faults[idx]
-            if getattr(fault, "fired", False):
-                return  # already crashed once (journal replay after resume)
-            fault.fired = True
-            self._raise_crash(t, at_event=None, fault_index=idx)
-
-        elif op in ("kill", "evict"):
-            job = self._current
-            if job is None:
-                return  # the fault hit an idle processor: nothing to lose
-            # Fold the progress made so far, return the job to READY.
-            self._close_segment(t)
-            if op == "kill":
-                retain = float(payload[2])
-                old_remaining = self._remaining[job.jid]
-                progress = job.workload - old_remaining
-                if progress > 0.0 and retain < 1.0:
-                    # The kill destroys (1 − retain) of the progress; the
-                    # destroyed work *was* executed, so the trace budgets
-                    # for it (validator: workload + lost_work).
-                    new_remaining = job.workload - retain * progress
-                    self._trace.record_lost_work(
-                        job.jid, new_remaining - old_remaining
-                    )
-                    self._remaining[job.jid] = new_remaining
-            desired = self._scheduler.on_eviction(job)
-            self._apply_decision(desired, t)
-
-        else:  # pragma: no cover - defensive
-            raise SimulationError(f"unknown fault payload: {payload!r}")
-
-    def _raise_crash(self, t: float, at_event: int | None, fault_index: int) -> None:
-        """Die like a crashed process: attach the *last periodic* snapshot
-        (not a fresh one — resuming must genuinely replay the journal) and
-        mark the plan fired in it so the resumed run does not re-crash."""
-        snapshot = self._last_snapshot
-        if snapshot is not None:
-            fired = set(snapshot.fired_faults)
-            fired.update(
-                i
-                for i, f in enumerate(self._faults)
-                if getattr(f, "fired", False)
-            )
-            snapshot.fired_faults = tuple(sorted(fired))
-        raise SimulatedCrash(
-            time=t,
-            at_event=at_event,
-            fault_index=fault_index,
-            snapshot=snapshot,
-        )
-
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
-    def _bootstrap(self) -> None:
-        """First-run initialisation: bind the scheduler, seed the event
-        queue, arm faults, take snapshot zero."""
-        ctx = _EngineContext(self)
-        self._scheduler.bind(ctx)
-
-        for job in self._jobs:
-            self._status[job.jid] = JobStatus.PENDING
-            if job.release <= self._horizon:
-                self._events.push(Event(job.release, EventKind.RELEASE, job))
-                self._events.push(Event(job.deadline, EventKind.DEADLINE, job))
-        self._events.push(Event(self._horizon, EventKind.END))
-
-        for i, fault in enumerate(self._faults):
-            fault.arm(self, i)
-        if self._watchdog is not None:
-            self._watchdog.start(self)
-        self._started = True
-        if self._snapshot_every is not None:
-            self._last_snapshot = self.snapshot()
-
-    def _maybe_crash_at_event(self) -> None:
-        """Fire any event-indexed crash plan scheduled for the *next*
-        dispatch (checked before the event is popped, so the snapshot keeps
-        it pending)."""
-        for at_event, idx in self._event_crashes:
-            if at_event == self._dispatch_count:
-                fault = self._faults[idx]
-                if getattr(fault, "fired", False):
-                    continue
-                fault.fired = True
-                self._raise_crash(self._now, at_event=at_event, fault_index=idx)
-
     def run(self) -> SimulationResult:
         """Execute (or, after :meth:`restore`, resume) the simulation."""
-        if not self._started:
-            self._bootstrap()
-
-        while len(self._events):
-            if self._event_crashes:
-                self._maybe_crash_at_event()
-            event = self._events.pop()
-            if event.time < self._now - _EPS:
-                raise SimulationError(
-                    f"time went backwards: {event.time} < {self._now}"
-                )
-            if event.kind is EventKind.END:
-                self._now = event.time
-                break
-            if event.time > self._horizon:
-                self._now = self._horizon
-                break
-            self._now = event.time
-
-            if self._journal is not None:
-                record = JournalRecord(
-                    index=self._dispatch_count,
-                    time=event.time,
-                    kind=int(event.kind),
-                    key=describe_payload(int(event.kind), event.payload),
-                    version=event.version,
-                )
-                if self._dispatch_count < self._verify_until:
-                    expected = self._journal.get(self._dispatch_count)
-                    if record != expected:
-                        raise RecoveryError(
-                            f"journal replay diverged at dispatch "
-                            f"#{self._dispatch_count}: live {record} != "
-                            f"journaled {expected}"
-                        )
-                else:
-                    self._journal.append(record)
-
-            self._dispatch_count += 1
-            self._dispatch(event)
-            if self._watchdog is not None:
-                self._watchdog.after_event(self, event)
-            if (
-                self._snapshot_every is not None
-                and self._dispatch_count % self._snapshot_every == 0
-            ):
-                self._last_snapshot = self.snapshot()
-
-        # Wind down: close the running segment and mark unresolved jobs.
-        self._close_segment(self._now)
-        for job in self._jobs:
-            if self._status.get(job.jid) in (JobStatus.READY, JobStatus.RUNNING):
-                self._status[job.jid] = JobStatus.FAILED
-                self._trace.record_outcome(job, JobStatus.FAILED, self._now)
+        self._kernel.run_loop()
 
         if self._validate:
-            self._trace.validate(self._jobs, self._capacity)
+            self._kernel.trace.validate(
+                self._kernel.jobs, self._kernel.capacity
+            )
 
         result = SimulationResult(
-            scheduler_name=self._scheduler.name,
-            jobs=self._jobs,
-            horizon=self._horizon,
-            trace=self._trace,
+            scheduler_name=self._kernel.scheduler.name,
+            jobs=self._kernel.jobs,
+            horizon=self._kernel.horizon,
+            trace=self._kernel.trace,
         )
-        if self._watchdog is not None:
-            self._watchdog.after_run(self, result)
+        self._kernel.after_run(result)
         return result
-
-    # ------------------------------------------------------------------
-    # Snapshot / restore (crash recovery)
-    # ------------------------------------------------------------------
-    def _encode_payload(self, kind: EventKind, payload) -> tuple:
-        if kind in (EventKind.RELEASE, EventKind.COMPLETION, EventKind.DEADLINE):
-            return ("job", payload.jid)
-        if kind is EventKind.ALARM:
-            return ("alarm", payload[0].jid, payload[1])
-        if kind is EventKind.TIMER:
-            return ("timer", payload)
-        if kind is EventKind.END:
-            return ("end",)
-        if kind is EventKind.FAULT:
-            return ("fault",) + tuple(payload)
-        raise SimulationError(f"cannot snapshot event kind {kind!r}")  # pragma: no cover
-
-    def _decode_payload(self, kind: EventKind, desc: tuple):
-        tag = desc[0]
-        try:
-            if tag == "job":
-                return self._by_id[desc[1]]
-            if tag == "alarm":
-                return (self._by_id[desc[1]], desc[2])
-        except KeyError:
-            raise RecoveryError(
-                f"snapshot references unknown job {desc[1]}"
-            ) from None
-        if tag == "timer":
-            return desc[1]
-        if tag == "end":
-            return None
-        if tag == "fault":
-            return tuple(desc[1:])
-        raise RecoveryError(f"cannot decode event payload {desc!r}")
 
     def snapshot(self) -> EngineSnapshot:
         """Image the complete mid-run state (picklable; jid-based)."""
-        events = [
-            (time, kind, seq, self._encode_payload(ev.kind, ev.payload), ev.version)
-            for time, kind, seq, ev in self._events.dump()
-        ]
-        return EngineSnapshot(
-            scheduler_name=self._scheduler.name,
-            now=self._now,
-            horizon=self._horizon,
-            current_jid=None if self._current is None else self._current.jid,
-            seg_start=self._seg_start,
-            seg_remaining0=self._seg_remaining0,
-            seg_cum0=self._seg_cum0,
-            remaining=dict(self._remaining),
-            status={jid: st.name for jid, st in self._status.items()},
-            completion_version=dict(self._completion_version),
-            alarm_version=dict(self._alarm_version),
-            events=events,
-            next_seq=self._events.next_seq,
-            stale_hint=self._events.stale_hint,
-            dispatch_count=self._dispatch_count,
-            trace_segments=[
-                (s.start, s.end, s.jid, s.work) for s in self._trace.segments
-            ],
-            trace_outcomes={
-                jid: st.name for jid, st in self._trace.outcomes.items()
-            },
-            trace_completion_times=dict(self._trace.completion_times),
-            trace_value_points=list(self._trace.value_points),
-            trace_lost_work=dict(self._trace.lost_work),
-            scheduler_state=self._scheduler.get_state(),
-            capacity_blob=pickle.dumps(self._capacity),
-            fired_faults=tuple(
-                i
-                for i, f in enumerate(self._faults)
-                if getattr(f, "fired", False)
-            ),
-        )
+        return self._kernel.snapshot()
 
     def restore(self, snapshot: EngineSnapshot) -> None:
         """Load a snapshot into this (fresh, never-run) engine.
@@ -722,84 +261,7 @@ class SimulationEngine:
         the engine also holds a journal extending past the snapshot, the
         resumed dispatches are verified against it (deterministic replay).
         """
-        if self._started:
-            raise RecoveryError("restore() requires a fresh engine")
-        if snapshot.scheduler_name != self._scheduler.name:
-            raise RecoveryError(
-                f"snapshot is for scheduler {snapshot.scheduler_name!r}, "
-                f"engine runs {self._scheduler.name!r}"
-            )
-        for jid in snapshot.remaining:
-            if jid not in self._by_id:
-                raise RecoveryError(f"snapshot references unknown job {jid}")
-
-        # World physics first (the scheduler's bind() reads its bounds).
-        self._capacity = pickle.loads(snapshot.capacity_blob)
-        self._indexed = bool(
-            getattr(self._capacity, "supports_prefix_index", False)
-        )
-        self._horizon = snapshot.horizon
-        self._now = snapshot.now
-
-        # Ground truth.
-        self._remaining = dict(snapshot.remaining)
-        self._status = {
-            jid: JobStatus[name] for jid, name in snapshot.status.items()
-        }
-        self._current = (
-            None
-            if snapshot.current_jid is None
-            else self._by_id[snapshot.current_jid]
-        )
-        self._seg_start = snapshot.seg_start
-        self._seg_remaining0 = snapshot.seg_remaining0
-        self._seg_cum0 = snapshot.seg_cum0
-        self._completion_version = dict(snapshot.completion_version)
-        self._alarm_version = dict(snapshot.alarm_version)
-
-        # Event queue (sequence counter included: post-restore pushes must
-        # get the same tie-breaking numbers the original run would have).
-        entries = []
-        for time, kind, seq, desc, version in snapshot.events:
-            k = EventKind(kind)
-            entries.append(
-                (time, kind, seq, Event(time, k, self._decode_payload(k, desc), version))
-            )
-        self._events.load(entries, snapshot.next_seq, snapshot.stale_hint)
-        self._dispatch_count = snapshot.dispatch_count
-
-        # Trace accumulators.
-        trace = ScheduleTrace()
-        trace.segments = [RunSegment(*seg) for seg in snapshot.trace_segments]
-        trace.outcomes = {
-            jid: JobStatus[name] for jid, name in snapshot.trace_outcomes.items()
-        }
-        trace.completion_times = dict(snapshot.trace_completion_times)
-        trace.value_points = [tuple(p) for p in snapshot.trace_value_points]
-        trace.lost_work = dict(snapshot.trace_lost_work)
-        self._trace = trace
-
-        # Scheduler: fresh bind (reset), then install the captured state.
-        ctx = _EngineContext(self)
-        self._scheduler.bind(ctx)
-        self._scheduler.set_state(snapshot.scheduler_state, self._by_id)
-
-        # Faults: re-mark already-fired plans, re-register event-indexed
-        # crash checks (queued FAULT events travelled with the heap).
-        for i in snapshot.fired_faults:
-            if 0 <= i < len(self._faults):
-                self._faults[i].fired = True
-        for i, fault in enumerate(self._faults):
-            rearm = getattr(fault, "rearm", None)
-            if rearm is not None:
-                rearm(self, i)
-
-        if self._journal is not None and len(self._journal) > snapshot.dispatch_count:
-            self._verify_until = len(self._journal)
-        if self._watchdog is not None:
-            self._watchdog.start(self)
-        self._last_snapshot = snapshot
-        self._started = True
+        self._kernel.restore(snapshot)
 
 
 def simulate(
@@ -838,30 +300,8 @@ def simulate(
             snapshot_every=snapshot_every,
         )
 
-    engine = _build()
-    recoveries = 0
-    while True:
-        try:
-            result = engine.run()
-            result.recoveries = recoveries
-            return result
-        except SimulatedCrash as crash:
-            if not recover:
-                raise
-            if crash.snapshot is None:
-                raise RecoveryError(
-                    "cannot recover: the crash carries no snapshot "
-                    "(snapshotting disabled?)"
-                ) from crash
-            recoveries += 1
-            if recoveries > max_recoveries:
-                raise RecoveryError(
-                    f"gave up after {max_recoveries} crash recoveries"
-                ) from crash
-            logger.info(
-                "recovering from simulated crash at t=%g (recovery #%d)",
-                crash.time,
-                recoveries,
-            )
-            engine = _build()
-            engine.restore(crash.snapshot)
+    result, recoveries = run_with_recovery(
+        _build, recover=recover, max_recoveries=max_recoveries
+    )
+    result.recoveries = recoveries
+    return result

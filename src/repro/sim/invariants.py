@@ -34,6 +34,12 @@ Shipped monitors
 In default mode violations are *counted* (``watchdog.violations``,
 ``watchdog.counts``) and the run proceeds; in ``paranoid`` mode the first
 violation raises :class:`~repro.errors.InvariantViolationError`.
+
+Monitors work on both engines: on the multiprocessor engine they read the
+per-processor trace/capacity lists (``engine.proc_traces`` /
+``engine.capacities``); on the single-processor engine (or any test
+double exposing only ``trace`` / ``capacity``) they fall back to the
+one-processor view.
 """
 
 from __future__ import annotations
@@ -60,6 +66,19 @@ __all__ = [
 ]
 
 _REL_TOL = 1e-6
+
+
+def _engine_traces(engine) -> list:
+    """Per-processor traces: ``proc_traces`` when present, else ``[trace]``."""
+    traces = getattr(engine, "proc_traces", None)
+    return [engine.trace] if traces is None else list(traces)
+
+
+def _engine_capacities(engine) -> list:
+    """Per-processor capacities: ``capacities`` when present, else
+    ``[capacity]``."""
+    caps = getattr(engine, "capacities", None)
+    return [engine.capacity] if caps is None else list(caps)
 
 
 @dataclass(frozen=True)
@@ -134,49 +153,57 @@ class DeadlineMonitor(InvariantMonitor):
     name = "deadline"
 
     def start(self, engine) -> List[InvariantViolation]:
-        self._seen = 0
+        self._seen: Dict[int, int] = {}
         return []
 
     def _check(self, engine) -> List[InvariantViolation]:
         bad: List[InvariantViolation] = []
-        segments = engine.trace.segments
         jobs = engine.jobs_by_id
-        for i in range(max(0, self._seen - 1), len(segments)):
-            seg = segments[i]
-            job = jobs.get(seg.jid)
-            if job is None:
-                bad.append(
-                    InvariantViolation(
-                        self.name, seg.end, "segment for unknown job", seg.jid
+        for proc, trace in enumerate(_engine_traces(engine)):
+            segments = trace.segments
+            seen = self._seen.get(proc, 0)
+            for i in range(max(0, seen - 1), len(segments)):
+                seg = segments[i]
+                job = jobs.get(seg.jid)
+                if job is None:
+                    bad.append(
+                        InvariantViolation(
+                            self.name, seg.end, "segment for unknown job", seg.jid
+                        )
                     )
-                )
-                continue
-            if seg.end > job.deadline + _REL_TOL * max(1.0, abs(job.deadline)):
-                bad.append(
-                    InvariantViolation(
-                        self.name,
-                        seg.end,
-                        f"ran until {seg.end:g} past deadline {job.deadline:g}",
-                        seg.jid,
+                    continue
+                if seg.end > job.deadline + _REL_TOL * max(
+                    1.0, abs(job.deadline)
+                ):
+                    bad.append(
+                        InvariantViolation(
+                            self.name,
+                            seg.end,
+                            f"ran until {seg.end:g} past deadline "
+                            f"{job.deadline:g}",
+                            seg.jid,
+                        )
                     )
-                )
-            if seg.start < job.release - _REL_TOL * max(1.0, abs(job.release)):
-                bad.append(
-                    InvariantViolation(
-                        self.name,
-                        seg.start,
-                        f"ran at {seg.start:g} before release {job.release:g}",
-                        seg.jid,
+                if seg.start < job.release - _REL_TOL * max(
+                    1.0, abs(job.release)
+                ):
+                    bad.append(
+                        InvariantViolation(
+                            self.name,
+                            seg.start,
+                            f"ran at {seg.start:g} before release "
+                            f"{job.release:g}",
+                            seg.jid,
+                        )
                     )
-                )
-        self._seen = len(segments)
+            self._seen[proc] = len(segments)
         return bad
 
     def after_event(self, engine, event: Event) -> List[InvariantViolation]:
         return self._check(engine)
 
     def after_run(self, engine, result) -> List[InvariantViolation]:
-        self._seen = 0  # wind-down closed the final segment: re-check all
+        self._seen = {}  # wind-down closed the final segment: re-check all
         return self._check(engine)
 
 
@@ -190,34 +217,40 @@ class WorkConservationMonitor(InvariantMonitor):
     name = "work-conservation"
 
     def start(self, engine) -> List[InvariantViolation]:
-        self._seen = 0
+        self._seen: Dict[int, int] = {}
         return []
 
     def _check(self, engine) -> List[InvariantViolation]:
         bad: List[InvariantViolation] = []
-        segments = engine.trace.segments
-        capacity = unwrap_faults(engine.capacity)
-        for i in range(max(0, self._seen - 1), len(segments)):
-            seg = segments[i]
-            expected = capacity.integrate(seg.start, seg.end)
-            if abs(expected - seg.work) > _REL_TOL * max(1.0, abs(expected)):
-                bad.append(
-                    InvariantViolation(
-                        self.name,
-                        seg.end,
-                        f"segment [{seg.start:g}, {seg.end:g}] recorded "
-                        f"{seg.work:g} work, capacity integral {expected:g}",
-                        seg.jid,
+        capacities = _engine_capacities(engine)
+        for proc, trace in enumerate(_engine_traces(engine)):
+            segments = trace.segments
+            capacity = unwrap_faults(capacities[proc])
+            seen = self._seen.get(proc, 0)
+            for i in range(max(0, seen - 1), len(segments)):
+                seg = segments[i]
+                expected = capacity.integrate(seg.start, seg.end)
+                if abs(expected - seg.work) > _REL_TOL * max(
+                    1.0, abs(expected)
+                ):
+                    bad.append(
+                        InvariantViolation(
+                            self.name,
+                            seg.end,
+                            f"segment [{seg.start:g}, {seg.end:g}] recorded "
+                            f"{seg.work:g} work, capacity integral "
+                            f"{expected:g}",
+                            seg.jid,
+                        )
                     )
-                )
-        self._seen = len(segments)
+            self._seen[proc] = len(segments)
         return bad
 
     def after_event(self, engine, event: Event) -> List[InvariantViolation]:
         return self._check(engine)
 
     def after_run(self, engine, result) -> List[InvariantViolation]:
-        self._seen = 0
+        self._seen = {}
         return self._check(engine)
 
 
@@ -277,19 +310,22 @@ class CapacityBandMonitor(InvariantMonitor):
     name = "capacity-band"
 
     def _check_at(self, engine, t: float) -> List[InvariantViolation]:
-        capacity = unwrap_faults(engine.capacity)
-        value = capacity.value(t)
-        lo, hi = capacity.lower, capacity.upper
-        tol = _REL_TOL * max(1.0, abs(hi))
-        if not math.isfinite(value) or value < lo - tol or value > hi + tol:
-            return [
-                InvariantViolation(
-                    self.name,
-                    t,
-                    f"capacity {value!r} outside declared band [{lo:g}, {hi:g}]",
+        bad: List[InvariantViolation] = []
+        for proc, wrapped in enumerate(_engine_capacities(engine)):
+            capacity = unwrap_faults(wrapped)
+            value = capacity.value(t)
+            lo, hi = capacity.lower, capacity.upper
+            tol = _REL_TOL * max(1.0, abs(hi))
+            if not math.isfinite(value) or value < lo - tol or value > hi + tol:
+                bad.append(
+                    InvariantViolation(
+                        self.name,
+                        t,
+                        f"capacity {value!r} on processor {proc} outside "
+                        f"declared band [{lo:g}, {hi:g}]",
+                    )
                 )
-            ]
-        return []
+        return bad
 
     def start(self, engine) -> List[InvariantViolation]:
         return self._check_at(engine, engine.now)
@@ -314,7 +350,12 @@ class AdmissibilityMonitor(InvariantMonitor):
         if event.kind is not EventKind.RELEASE:
             return []
         job = event.payload
-        lower = unwrap_faults(engine.capacity).lower
+        # Multiprocessor reading of Definition 4: a job is admissible when
+        # *some* processor can guarantee it alone, i.e. against the best
+        # single-machine floor c* = max_p c̲_p (matches Global-V-Dover).
+        lower = max(
+            unwrap_faults(c).lower for c in _engine_capacities(engine)
+        )
         if not job.is_individually_admissible(lower):
             return [
                 InvariantViolation(

@@ -60,6 +60,12 @@ def describe_payload(kind: int, payload: Any) -> str:
     from repro.sim.events import EventKind
 
     k = EventKind(kind)
+    if k is EventKind.COMPLETION and isinstance(payload, tuple):
+        # Multiprocessor completion: payload is ``(proc, job)``.  The
+        # single-processor engine keeps the bare-Job form so existing
+        # journals (and their keys) stay bit-identical.
+        proc, job = payload
+        return f"jid:{job.jid}@p{proc}"
     if k in (EventKind.RELEASE, EventKind.COMPLETION, EventKind.DEADLINE):
         return f"jid:{payload.jid}"
     if k is EventKind.ALARM:
@@ -202,20 +208,28 @@ class EngineSnapshot:
 
     Jobs are referenced by jid (the restoring engine re-binds them to its
     own :class:`~repro.sim.job.Job` objects, preserving ``is``-identity in
-    scheduler queues); the capacity function travels as a pickle blob so
-    its materialised stochastic path and RNG state survive exactly.
+    scheduler queues); the capacity functions travel as a pickle blob so
+    any materialised stochastic path and RNG state survive exactly.
+
+    Schema 2 generalises the image to ``m`` processors: the running-job
+    slot and segment anchors are per-processor lists, traces are a list
+    of per-processor segment lists, and ``capacity_blob`` pickles the
+    *list* of capacity models.  The single-processor engine is simply the
+    ``n_procs == 1`` case (element 0 everywhere).
     """
 
-    schema: int = 1
+    schema: int = 2
     scheduler_name: str = ""
     #: simulation clock
     now: float = 0.0
     horizon: float = 0.0
-    #: jid of the running job (None = idle)
-    current_jid: Optional[int] = None
-    seg_start: float = 0.0
-    seg_remaining0: float = 0.0
-    seg_cum0: float = 0.0
+    #: number of processors the image describes (1 for the single engine)
+    n_procs: int = 1
+    #: per-processor jid of the running job (None = idle)
+    current_jids: List[Optional[int]] = field(default_factory=lambda: [None])
+    seg_start: List[float] = field(default_factory=lambda: [0.0])
+    seg_remaining0: List[float] = field(default_factory=lambda: [0.0])
+    seg_cum0: List[float] = field(default_factory=lambda: [0.0])
     remaining: Dict[int, float] = field(default_factory=dict)
     #: jid -> JobStatus name
     status: Dict[int, str] = field(default_factory=dict)
@@ -227,9 +241,9 @@ class EngineSnapshot:
     stale_hint: int = 0
     #: events dispatched so far (aligns with the journal index)
     dispatch_count: int = 0
-    #: trace accumulators
-    trace_segments: List[Tuple[float, float, int, float]] = field(
-        default_factory=list
+    #: per-processor trace accumulators (one segment list per processor)
+    trace_segments: List[List[Tuple[float, float, int, float]]] = field(
+        default_factory=lambda: [[]]
     )
     trace_outcomes: Dict[int, str] = field(default_factory=dict)
     trace_completion_times: Dict[int, float] = field(default_factory=dict)
@@ -237,7 +251,7 @@ class EngineSnapshot:
     trace_lost_work: Dict[int, float] = field(default_factory=dict)
     #: :meth:`repro.sim.scheduler.Scheduler.get_state`
     scheduler_state: Dict[str, Any] = field(default_factory=dict)
-    #: ``pickle.dumps(capacity)``
+    #: ``pickle.dumps(list_of_capacities)``
     capacity_blob: bytes = b""
     #: indices (into the engine's fault list) of faults already fired
     fired_faults: Tuple[int, ...] = ()

@@ -74,6 +74,30 @@ class TestDefaultImplementations:
     def test_advance_horizon(self, cap):
         assert cap.advance(0.0, 100.0, horizon=5.0) == math.inf
 
+    def test_advance_at_floor_never_spuriously_inf(self):
+        """Regression: with c(t) == lower across the whole search window
+        the piece sum can land one ulp short of ``work``; since any finite
+        workload completes by ``t0 + work / lower``, advance must snap to
+        that limit rather than report ``inf`` (which would make the engine
+        skip a guaranteed completion event and over-execute the job)."""
+
+        class Floor(CapacityFunction):
+            def __init__(self):
+                super().__init__(4.0 / 3.0, 20.0)
+
+            def value(self, t: float) -> float:
+                return 4.0 / 3.0
+
+            def pieces(self, t0: float, t1: float) -> Iterator[Piece]:
+                if t1 > t0:
+                    yield (t0, t1, 4.0 / 3.0)
+
+        cap = Floor()
+        t0, work = 9.958980469194795, 0.3457169679285823
+        finish = cap.advance(t0, work)
+        assert finish == t0 + work / cap.lower  # not inf
+        assert cap.integrate(t0, finish) == pytest.approx(work, rel=1e-12)
+
     def test_advance_inverse_property(self, cap):
         t = cap.advance(7.0, 20.0)
         assert cap.integrate(7.0, t) == pytest.approx(20.0)

@@ -136,3 +136,43 @@ def test_engine_heap_bounded_under_alarm_churn():
     assert probe.high_water <= 8 * len(jobs) + 32, (
         f"event heap grew to {probe.high_water} for {len(jobs)} jobs"
     )
+
+
+@pytest.mark.parametrize("policy", ["global-vdover", "partitioned"])
+def test_multi_engine_heap_bounded_under_alarm_churn(policy):
+    """The multiprocessor engine runs the same kernel loop, so it gets the
+    same lazy-deletion hygiene: cancelled/re-armed alarms call
+    ``note_stale`` and the heap auto-compacts.  (The pre-kernel multi
+    engine never compacted — this is the regression guard.)"""
+    from repro.cloud.cluster import LeastWorkDispatcher
+    from repro.multi import (
+        GlobalVDoverScheduler,
+        PartitionedScheduler,
+        simulate_multi,
+    )
+
+    horizon = 40.0
+    workload = PoissonWorkload(
+        lam=12.0, horizon=horizon, density_range=(1.0, 7.0), c_lower=1.0
+    )
+    jobs = workload.generate(np.random.default_rng(12))
+    capacities = [
+        TwoStateMarkovCapacity(
+            1.0, 35.0, mean_sojourn=2.0, rng=np.random.default_rng(13 + p)
+        )
+        for p in range(3)
+    ]
+    make = {
+        "global-vdover": lambda: GlobalVDoverScheduler(k=7.0),
+        "partitioned": lambda: PartitionedScheduler(
+            LeastWorkDispatcher(), lambda: VDoverScheduler(k=7.0)
+        ),
+    }[policy]
+    probe = _QueueSizeProbe()
+    simulate_multi(
+        jobs, capacities, make(), watchdog=InvariantWatchdog([probe])
+    )
+    assert probe.high_water > 0
+    assert probe.high_water <= 8 * len(jobs) + 32, (
+        f"multi event heap grew to {probe.high_water} for {len(jobs)} jobs"
+    )

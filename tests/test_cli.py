@@ -269,3 +269,48 @@ class TestSimulateCommand:
         out = capsys.readouterr().out
         assert "legend" in out
         assert "V-Dover" in out
+
+
+class TestMultiCommand:
+    def test_multi_kinds(self):
+        for kind in ("run", "crash-demo"):
+            args = build_parser().parse_args(["multi", kind])
+            assert args.kind == kind
+            assert args.m == 4
+            assert args.lam is None  # per-kind default resolved in handler
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["multi", "gamma-rays"])
+
+    def test_multi_flags(self):
+        args = build_parser().parse_args(
+            [
+                "multi", "run",
+                "--m", "3",
+                "--lam", "12",
+                "--runs", "2",
+                "--seed", "7",
+                "--jobs", "80",
+                "--workers", "1",
+            ]
+        )
+        assert args.m == 3
+        assert args.lam == 12.0
+        assert args.runs == 2
+        assert args.jobs == 80.0
+
+    def test_multi_run_small(self, capsys):
+        code = main(
+            ["multi", "run", "--m", "3", "--runs", "2", "--jobs", "60"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "m=3 heterogeneous" in out
+        assert "Global-V-Dover" in out
+        assert "Part(LW/V-Dover)" in out
+
+    def test_multi_crash_demo(self, capsys):
+        assert main(["multi", "crash-demo", "--m", "3", "--jobs", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Multiprocessor crash-resume equivalence" in out
+        assert "bit-identical" in out
+        assert "NO" not in out  # every policy resumed exactly
