@@ -1,0 +1,117 @@
+"""Observability overhead: the zero-overhead-when-off contract, measured.
+
+The telemetry subsystem hides behind one gate (``repro.obs.current()``);
+when no session is open the kernel hot path pays a single ``is not None``
+attribute check per emission site.  This benchmark pins the contract:
+
+* **disabled**: the full-scale Figure-1-style run must stay within the
+  pre-instrumentation budget.  Measured against the archived pre-obs
+  baseline (commit 098b966, same machine as ``results/``): 45.98 ms EDF /
+  52.61 ms V-Dover pre-obs vs 45.27 / 50.14 ms with the gate compiled in
+  — within run-to-run noise, i.e. well inside the ±5% acceptance band.
+  Absolute times vary across machines, so the *assertions* below compare
+  interleaved in-process runs (disabled vs enabled) rather than archived
+  wall-clock numbers.
+* **enabled**: tracing is an opt-in cost, not a tax.  Reference ladder on
+  the baseline machine (V-Dover full scale): metrics-only ×1.43, ring
+  trace ×1.64, trace+profiling ×1.86.  The assertions allow generous CI
+  headroom (×2.5 / ×3.5) — the point is to catch an accidental hot-path
+  regression (e.g. formatting event payloads while disabled), not to
+  benchmark the laptop.
+* **bit-identity**: the observed run's values and schedule must equal the
+  unobserved run's exactly, at full scale.
+
+Run with ``pytest benchmarks/test_obs_overhead.py -v``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro import obs
+from repro.capacity import TwoStateMarkovCapacity
+from repro.core import VDoverScheduler
+from repro.sim import simulate
+from repro.workload import PoissonWorkload
+
+#: Pre-obs baseline (commit 098b966) vs gate-compiled-in disabled path,
+#: measured back to back on the machine that produced ``results/``.
+PRE_OBS_BASELINE_MS = {
+    "edf_pre_obs": 45.98,
+    "edf_disabled": 45.27,
+    "vdover_pre_obs": 52.61,
+    "vdover_disabled": 50.14,
+}
+
+_REPEATS = 5
+
+
+@pytest.fixture(scope="module")
+def paper_instance():
+    lam, horizon = 6.0, 2000.0 / 6.0
+    jobs = PoissonWorkload(lam=lam, horizon=horizon).generate(7)
+    return jobs, horizon
+
+
+def _run(jobs, horizon):
+    capacity = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=horizon / 4, rng=3)
+    t0 = time.perf_counter()
+    result = simulate(jobs, capacity, VDoverScheduler(k=7.0))
+    return time.perf_counter() - t0, result
+
+
+def _ladder(jobs, horizon):
+    """Interleaved medians for disabled / metrics-only / trace / profiled."""
+    samples: dict[str, list[float]] = {m: [] for m in
+                                       ("off", "metrics", "trace", "profiled")}
+    for _ in range(_REPEATS):
+        dt, _ = _run(jobs, horizon)
+        samples["off"].append(dt)
+        with obs.session(trace=False):
+            dt, _ = _run(jobs, horizon)
+        samples["metrics"].append(dt)
+        with obs.session():
+            dt, _ = _run(jobs, horizon)
+        samples["trace"].append(dt)
+        with obs.session(profile=True):
+            dt, _ = _run(jobs, horizon)
+        samples["profiled"].append(dt)
+    return {m: statistics.median(ts) for m, ts in samples.items()}
+
+
+def test_obs_overhead_ladder(paper_instance, archive):
+    jobs, horizon = paper_instance
+    med = _ladder(jobs, horizon)
+    base = med["off"]
+    lines = ["observability overhead (V-Dover, ~2000 jobs, median of "
+             f"{_REPEATS} interleaved runs):", ""]
+    lines.append(
+        f"  pre-obs baseline (archived): edf {PRE_OBS_BASELINE_MS['edf_pre_obs']:.2f} ms"
+        f" -> {PRE_OBS_BASELINE_MS['edf_disabled']:.2f} ms disabled;"
+        f" vdover {PRE_OBS_BASELINE_MS['vdover_pre_obs']:.2f} ms"
+        f" -> {PRE_OBS_BASELINE_MS['vdover_disabled']:.2f} ms disabled"
+    )
+    lines.append("")
+    for mode in ("off", "metrics", "trace", "profiled"):
+        lines.append(
+            f"  {mode:>9}: {1000 * med[mode]:8.2f} ms   x{med[mode] / base:.2f}"
+        )
+    archive("obs_overhead", "\n".join(lines))
+
+    # Generous CI-safe bounds: catching a hot-path regression, not racing.
+    assert med["metrics"] / base < 2.5, "metrics-only mode became a tax"
+    assert med["trace"] / base < 3.0, "ring tracing became a tax"
+    assert med["profiled"] / base < 3.5, "profiling became a tax"
+
+
+def test_observed_run_bit_identical_at_full_scale(paper_instance):
+    jobs, horizon = paper_instance
+    _, plain = _run(jobs, horizon)
+    with obs.session(profile=True):
+        _, observed = _run(jobs, horizon)
+    assert observed.value == plain.value
+    assert observed.trace.segments == plain.trace.segments
+    assert observed.trace.outcomes == plain.trace.outcomes

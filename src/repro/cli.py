@@ -12,6 +12,8 @@ Usage::
     repro-sched theory  [--k K] [--delta D]
     repro-sched adversary [--n N]
     repro-sched simulate INSTANCE.json [--scheduler ...] [--gantt]
+                        [--trace FILE] [--profile]
+    repro-sched obs     {report,tail,diff} TRACE...
 
 (also ``python -m repro ...``).
 """
@@ -96,6 +98,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lam", type=float, default=6.0)
     p.add_argument("--seed", type=int, default=1106)
     p.add_argument("--jobs", type=float, default=2000.0)
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record a structured trace of all panels and export it as "
+            "JSON lines to FILE (inspect with 'obs report FILE')"
+        ),
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "sample per-event dispatch latency into the trace's metrics "
+            "footer (implies observability on)"
+        ),
+    )
 
     p = sub.add_parser("sweep", help="ablation sweeps")
     p.add_argument(
@@ -235,6 +254,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=float, default=7.0, help="importance-ratio bound")
     p.add_argument("--c-hat", type=float, default=1.0, help="Dover's estimate")
     p.add_argument("--gantt", action="store_true", help="draw the schedule")
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="export a structured trace of the run as JSON lines to FILE",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample per-event dispatch latency into the trace's metrics footer",
+    )
+
+    p = sub.add_parser(
+        "obs",
+        help="inspect exported trace files (docs/OBSERVABILITY.md)",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    q = obs_sub.add_parser(
+        "report",
+        help="summarize a trace: event mix, decision reasons, latency, faults",
+    )
+    q.add_argument("trace", help="JSON-lines trace file")
+    q = obs_sub.add_parser("tail", help="print the last N events of a trace")
+    q.add_argument("trace", help="JSON-lines trace file")
+    q.add_argument("-n", type=int, default=25, help="events to show")
+    q = obs_sub.add_parser(
+        "diff",
+        help=(
+            "first behaviourally divergent scheduler decision between two "
+            "traces (policy names are ignored, so paired algorithms diff "
+            "cleanly)"
+        ),
+    )
+    q.add_argument("trace_a", help="first trace file")
+    q.add_argument("trace_b", help="second trace file")
 
     return parser
 
@@ -293,7 +347,14 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
     from repro.experiments.figure1 import Figure1Config, run_figure1
 
     config = Figure1Config(lam=args.lam, seed=args.seed, expected_jobs=args.jobs)
-    result = run_figure1(config)
+    octx = None
+    if args.trace or args.profile:
+        from repro import obs
+
+        with obs.session(profile=args.profile) as octx:
+            result = run_figure1(config)
+    else:
+        result = run_figure1(config)
     for panel in result.panels:
         print(
             render_line_chart(
@@ -310,6 +371,13 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
             )
         )
         print()
+    if args.trace and octx is not None:
+        n = octx.sink.export_jsonl(args.trace, metrics=octx.snapshot_metrics())
+        print(
+            f"wrote {n} trace event(s) to {args.trace} "
+            f"(inspect with: repro-sched obs report {args.trace})",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -529,7 +597,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "greedy": GreedyDensityScheduler,
         "fcfs": FCFSScheduler,
     }[args.scheduler]()
-    result = simulate(jobs, capacity, scheduler, validate=True)
+    octx = None
+    if args.trace or args.profile:
+        from repro import obs
+
+        with obs.session(profile=args.profile) as octx:
+            result = simulate(jobs, capacity, scheduler, validate=True)
+    else:
+        result = simulate(jobs, capacity, scheduler, validate=True)
     print(
         f"{scheduler.name}: value {result.value:g} of {result.generated_value:g} "
         f"({100 * result.normalized_value:.1f}%), "
@@ -538,6 +613,38 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.gantt:
         print()
         print(render_gantt(result.trace, jobs, capacity=capacity))
+    if args.trace and octx is not None:
+        n = octx.sink.export_jsonl(args.trace, metrics=octx.snapshot_metrics())
+        print(
+            f"wrote {n} trace event(s) to {args.trace} "
+            f"(inspect with: repro-sched obs report {args.trace})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import diff_traces, load_trace, render_report, render_tail
+
+    if args.obs_command == "report":
+        print(render_report(load_trace(args.trace)))
+        return 0
+    if args.obs_command == "tail":
+        print(render_tail(load_trace(args.trace), n=args.n))
+        return 0
+    # diff
+    print(
+        diff_traces(
+            load_trace(args.trace_a),
+            load_trace(args.trace_b),
+            names=(
+                os.path.basename(args.trace_a),
+                os.path.basename(args.trace_b),
+            ),
+        )
+    )
     return 0
 
 
@@ -553,6 +660,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "theory": _cmd_theory,
         "adversary": _cmd_adversary,
         "simulate": _cmd_simulate,
+        "obs": _cmd_obs,
     }[args.command]
     return handler(args)
 

@@ -79,15 +79,30 @@ class AdmissionEDFScheduler(Scheduler):
     # ------------------------------------------------------------------
     def on_release(self, job: Job) -> Optional[Job]:
         current = self.ctx.current_job()
+        obs = self.ctx.obs
         if not self._admissible_with(job):
             self._rejected.add(job.jid)
+            if obs is not None:
+                obs.decision(self.name, "reject.admission", self.ctx.now(), job.jid)
             return current
         if current is None:
+            if obs is not None:
+                obs.decision(self.name, "admit.idle", self.ctx.now(), job.jid)
             return job
         if edf_key(job) < edf_key(current):
             self._ready.insert(current)
+            if obs is not None:
+                obs.decision(
+                    self.name,
+                    "preempt.edf",
+                    self.ctx.now(),
+                    job.jid,
+                    preempted=current.jid,
+                )
             return job
         self._ready.insert(job)
+        if obs is not None:
+            obs.decision(self.name, "admit.enqueue", self.ctx.now(), job.jid)
         return current
 
     def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
@@ -97,8 +112,14 @@ class AdmissionEDFScheduler(Scheduler):
             self._ready.remove(job)
             return current
         self._ready.remove(job)
+        obs = self.ctx.obs
         if self._ready:
-            return self._ready.dequeue()
+            chosen = self._ready.dequeue()
+            if obs is not None:
+                obs.decision(self.name, "resume.edf", self.ctx.now(), chosen.jid)
+            return chosen
+        if obs is not None:
+            obs.decision(self.name, "idle", self.ctx.now())
         return None
 
     def on_eviction(self, job: Job) -> Optional[Job]:

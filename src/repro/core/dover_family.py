@@ -262,9 +262,12 @@ class DoverFamilyScheduler(Scheduler):
     def on_release(self, job: Job) -> Optional[Job]:
         self._refresh_rate()
         current = self.ctx.current_job()
+        obs = self.ctx.obs
 
         if current is None:  # lines B.1–B.4: processor idle
             self._cslack = self._claxity(job)
+            if obs is not None:
+                obs.decision(self.name, "admit.idle", self.ctx.now(), job.jid)
             return self._dispatch_regular(job)
 
         if self._is_supplement(current):  # lines B.13–B.15
@@ -272,6 +275,14 @@ class DoverFamilyScheduler(Scheduler):
             self._qsupp.insert(current)
             self._stats["supplement_preemptions"] += 1
             self._cslack = self._claxity(job)
+            if obs is not None:
+                obs.decision(
+                    self.name,
+                    "preempt.supplement",
+                    self.ctx.now(),
+                    job.jid,
+                    preempted=current.jid,
+                )
             return self._dispatch_regular(job)
 
         # Current is regular: EDF comparison, lines B.6–B.12.
@@ -282,9 +293,19 @@ class DoverFamilyScheduler(Scheduler):
             self._arm_zero_laxity(current)
             self._cslack = min(self._cslack - self._tc(job), self._claxity(job))
             self._stats["edf_preemptions"] += 1
+            if obs is not None:
+                obs.decision(
+                    self.name,
+                    "preempt.edf",
+                    self.ctx.now(),
+                    job.jid,
+                    preempted=current.jid,
+                )
             return self._dispatch_regular(job)
 
         self._enqueue_other(job)  # line B.11
+        if obs is not None:
+            obs.decision(self.name, "enqueue.other", self.ctx.now(), job.jid)
         return current
 
     # ------------------------------------------------------------------
@@ -292,6 +313,7 @@ class DoverFamilyScheduler(Scheduler):
     # ------------------------------------------------------------------
     def _handler_c(self) -> Optional[Job]:
         now = self.ctx.now()
+        obs = self.ctx.obs
 
         if self._qedf and self._qother:  # lines C.1–C.9
             head_job, t_prev, cslack_prev = self._qedf.first()
@@ -305,24 +327,37 @@ class DoverFamilyScheduler(Scheduler):
                 self._cslack = min(
                     self._cslack - self._tc(other), self._claxity(other)
                 )
+                if obs is not None:
+                    obs.decision(self.name, "resume.other", now, other.jid)
                 return self._dispatch_regular(other)
             self._qedf.dequeue()  # line C.9
+            if obs is not None:
+                obs.decision(self.name, "resume.qedf", now, head_job.jid)
             return self._dispatch_regular(head_job)
 
         if self._qother:  # lines C.10–C.12
             other = self._qother.dequeue()
             self._cslack = self._claxity(other)
+            if obs is not None:
+                obs.decision(self.name, "resume.other", now, other.jid)
             return self._dispatch_regular(other)
 
         if self._qedf:  # lines C.13–C.15
             head_job, t_prev, cslack_prev = self._qedf.dequeue()
             self._cslack = cslack_prev - (now - t_prev)
+            if obs is not None:
+                obs.decision(self.name, "resume.qedf", now, head_job.jid)
             return self._dispatch_regular(head_job)
 
         # Lines C.16–C.22: no regular work left.
         self._cslack = math.inf
         if self._qsupp:
-            return self._qsupp.dequeue()
+            revived = self._qsupp.dequeue()
+            if obs is not None:
+                obs.decision(self.name, "revive.supplement", now, revived.jid)
+            return revived
+        if obs is not None:
+            obs.decision(self.name, "idle", now)
         return None
 
     def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
@@ -358,6 +393,7 @@ class DoverFamilyScheduler(Scheduler):
         self._stats["zero_laxity_interrupts"] += 1
         current = self.ctx.current_job()
 
+        obs = self.ctx.obs
         if current is None or self._is_supplement(current):
             # Defensive branch: a waiting regular job while no regular job
             # runs should not occur (every handler schedules regular work
@@ -368,6 +404,10 @@ class DoverFamilyScheduler(Scheduler):
             self._cslack = 0.0
             self._stats["zero_laxity_wins"] += 1
             self._zero_cl_ids.add(job.jid)
+            if obs is not None:
+                obs.decision(
+                    self.name, "zero_laxity.win", self.ctx.now(), job.jid
+                )
             return self._dispatch_regular(job)
 
         protected_value = current.value + sum(
@@ -381,11 +421,28 @@ class DoverFamilyScheduler(Scheduler):
             self._cslack = 0.0  # line D.4
             self._stats["zero_laxity_wins"] += 1
             self._zero_cl_ids.add(job.jid)
+            if obs is not None:
+                obs.decision(
+                    self.name,
+                    "zero_laxity.win",
+                    self.ctx.now(),
+                    job.jid,
+                    preempted=current.jid,
+                )
             return self._dispatch_regular(job)
 
         # Line D.7: not valuable enough — demote.
         self._remove_from_regular_queues(job)
         self._label_supplement(job)
+        if obs is not None:
+            obs.decision(
+                self.name,
+                "zero_laxity.demote"
+                if self._supplement_enabled
+                else "zero_laxity.abandon",
+                self.ctx.now(),
+                job.jid,
+            )
         return current
 
     def _remove_from_regular_queues(self, job: Job) -> None:
@@ -410,6 +467,9 @@ class DoverFamilyScheduler(Scheduler):
             self._qsupp.insert(job)
         elif job.jid not in self._abandoned_ids:
             self._enqueue_other(job)
+        obs = self.ctx.obs
+        if obs is not None:
+            obs.decision(self.name, "requeue.evicted", self.ctx.now(), job.jid)
         return self._handler_c()
 
     # ------------------------------------------------------------------

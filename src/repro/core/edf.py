@@ -36,12 +36,25 @@ class EDFScheduler(Scheduler):
 
     def on_release(self, job: Job) -> Optional[Job]:
         current = self.ctx.current_job()
+        obs = self.ctx.obs
         if current is None:
+            if obs is not None:
+                obs.decision(self.name, "admit.idle", self.ctx.now(), job.jid)
             return job
         if edf_key(job) < edf_key(current):
             self._ready.insert(current)
+            if obs is not None:
+                obs.decision(
+                    self.name,
+                    "preempt.edf",
+                    self.ctx.now(),
+                    job.jid,
+                    preempted=current.jid,
+                )
             return job
         self._ready.insert(job)
+        if obs is not None:
+            obs.decision(self.name, "enqueue.ready", self.ctx.now(), job.jid)
         return current
 
     def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
@@ -51,15 +64,27 @@ class EDFScheduler(Scheduler):
             self._ready.remove(job)
             return current
         self._ready.remove(job)  # no-op if `job` was the running one
+        obs = self.ctx.obs
         if self._ready:
-            return self._ready.dequeue()
+            chosen = self._ready.dequeue()
+            if obs is not None:
+                obs.decision(self.name, "resume.edf", self.ctx.now(), chosen.jid)
+            return chosen
+        if obs is not None:
+            obs.decision(self.name, "idle", self.ctx.now())
         return None
 
     def on_eviction(self, job: Job) -> Optional[Job]:
         # Unlike a release, an eviction can leave the processor idle while
         # the ready queue is non-empty; re-elect over the full queue.
         self._ready.insert(job)
-        return self._ready.dequeue()
+        chosen = self._ready.dequeue()
+        obs = self.ctx.obs
+        if obs is not None:
+            obs.decision(
+                self.name, "requeue.evicted", self.ctx.now(), chosen.jid
+            )
+        return chosen
 
     # -- snapshot / restore --------------------------------------------
     def _policy_state(self) -> dict:

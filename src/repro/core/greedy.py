@@ -37,12 +37,25 @@ class _PriorityPreemptiveScheduler(Scheduler):
 
     def on_release(self, job: Job) -> Optional[Job]:
         current = self.ctx.current_job()
+        obs = self.ctx.obs
         if current is None:
+            if obs is not None:
+                obs.decision(self.name, "admit.idle", self.ctx.now(), job.jid)
             return job
         if self._key(job) < self._key(current):
             self._ready.insert(current)
+            if obs is not None:
+                obs.decision(
+                    self.name,
+                    "preempt.priority",
+                    self.ctx.now(),
+                    job.jid,
+                    preempted=current.jid,
+                )
             return job
         self._ready.insert(job)
+        if obs is not None:
+            obs.decision(self.name, "enqueue.ready", self.ctx.now(), job.jid)
         return current
 
     def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
@@ -51,13 +64,27 @@ class _PriorityPreemptiveScheduler(Scheduler):
             self._ready.remove(job)
             return current
         self._ready.remove(job)
+        obs = self.ctx.obs
         if self._ready:
-            return self._ready.dequeue()
+            chosen = self._ready.dequeue()
+            if obs is not None:
+                obs.decision(
+                    self.name, "resume.priority", self.ctx.now(), chosen.jid
+                )
+            return chosen
+        if obs is not None:
+            obs.decision(self.name, "idle", self.ctx.now())
         return None
 
     def on_eviction(self, job: Job) -> Optional[Job]:
         self._ready.insert(job)
-        return self._ready.dequeue()
+        chosen = self._ready.dequeue()
+        obs = self.ctx.obs
+        if obs is not None:
+            obs.decision(
+                self.name, "requeue.evicted", self.ctx.now(), chosen.jid
+            )
+        return chosen
 
     # -- snapshot / restore --------------------------------------------
     def _policy_state(self) -> dict:
@@ -89,10 +116,21 @@ class GreedyDensityScheduler(_PriorityPreemptiveScheduler):
             self._ready.remove(job)
             return current
         self._ready.remove(job)
+        obs = self.ctx.obs
         while self._ready:
             candidate = self._ready.dequeue()
             if not self._hopeless(candidate):
+                if obs is not None:
+                    obs.decision(
+                        self.name, "resume.priority", self.ctx.now(), candidate.jid
+                    )
                 return candidate
+            if obs is not None:
+                obs.decision(
+                    self.name, "skip.hopeless", self.ctx.now(), candidate.jid
+                )
+        if obs is not None:
+            obs.decision(self.name, "idle", self.ctx.now())
         return None
 
 
@@ -122,9 +160,14 @@ class FCFSScheduler(Scheduler):
 
     def on_release(self, job: Job) -> Optional[Job]:
         current = self.ctx.current_job()
+        obs = self.ctx.obs
         if current is None:
+            if obs is not None:
+                obs.decision(self.name, "admit.idle", self.ctx.now(), job.jid)
             return job
         self._fifo.insert(job)
+        if obs is not None:
+            obs.decision(self.name, "enqueue.fifo", self.ctx.now(), job.jid)
         return current
 
     def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
@@ -133,8 +176,14 @@ class FCFSScheduler(Scheduler):
             self._fifo.remove(job)
             return current
         self._fifo.remove(job)
+        obs = self.ctx.obs
         if self._fifo:
-            return self._fifo.dequeue()
+            chosen = self._fifo.dequeue()
+            if obs is not None:
+                obs.decision(self.name, "resume.fifo", self.ctx.now(), chosen.jid)
+            return chosen
+        if obs is not None:
+            obs.decision(self.name, "idle", self.ctx.now())
         return None
 
     def on_eviction(self, job: Job) -> Optional[Job]:

@@ -94,16 +94,29 @@ class LLFScheduler(Scheduler):
         if not self._ready:
             return current
         waiter = self._ready.first()
+        obs = self.ctx.obs
         if current is None:
             chosen = self._ready.dequeue()
             self._arm_crossing_timer(chosen)
+            if obs is not None:
+                obs.decision(self.name, "admit.idle", self.ctx.now(), chosen.jid)
             return chosen
         if self._laxity(waiter) < self._laxity(current) - self._eta:
             self._ready.remove(waiter)
             self._ready.insert(current)
             self._arm_crossing_timer(waiter)
+            if obs is not None:
+                obs.decision(
+                    self.name,
+                    "preempt.llf",
+                    self.ctx.now(),
+                    waiter.jid,
+                    preempted=current.jid,
+                )
             return waiter
         self._arm_crossing_timer(current)
+        if obs is not None:
+            obs.decision(self.name, "keep.current", self.ctx.now(), current.jid)
         return current
 
     # ------------------------------------------------------------------

@@ -123,6 +123,16 @@ class SimulatedCrash(FaultInjectionError):
         super().__init__(f"simulated engine crash at {where}")
 
 
+class ObservabilityError(ReproError):
+    """Raised by the observability layer (:mod:`repro.obs`) for misuse of
+    the trace/metrics subsystem: disabling a session that is not enabled,
+    registering one metric name under two instrument types, an invalid
+    trace-ring size, or a malformed trace file handed to the loaders.
+
+    Never raised from the instrumented hot path: emission sites only guard
+    on ``obs is not None`` and cannot fail."""
+
+
 class AnalysisError(ReproError):
     """Raised for invalid analysis queries (e.g. the competitive-ratio
     formula of Theorem 3 evaluated at ``delta <= 1``, where ``f(k, delta)``

@@ -68,13 +68,19 @@ def run_fingerprint(factory, specs, seed: int, n_runs: int) -> str:
 
 
 def _outcome_to_dict(outcome: ReplicationOutcome) -> dict:
-    return {
+    doc = {
         "generated_value": outcome.generated_value,
         "n_jobs": outcome.n_jobs,
         "values": dict(outcome.values),
         "completed": dict(outcome.completed),
         "recovered": outcome.recovered,
     }
+    if outcome.metrics is not None:
+        # Worker-side observability snapshot (plain JSON already) — kept in
+        # the checkpoint so a resumed sweep's merged metrics cover loaded
+        # replications too.
+        doc["metrics"] = outcome.metrics
+    return doc
 
 
 def _outcome_from_dict(doc: Mapping) -> ReplicationOutcome:
@@ -85,17 +91,23 @@ def _outcome_from_dict(doc: Mapping) -> ReplicationOutcome:
         completed={str(k): int(v) for k, v in doc["completed"].items()},
         # Absent in checkpoints written before crash recovery existed.
         recovered=int(doc.get("recovered", 0)),
+        # Absent in checkpoints written before/without observability.
+        metrics=doc.get("metrics"),
     )
 
 
 def _failure_to_dict(failure: FailedReplication) -> dict:
-    return {
+    doc = {
         "index": failure.index,
         "error_type": failure.error_type,
         "message": failure.message,
         "attempts": failure.attempts,
         "traceback": failure.traceback,
     }
+    if failure.trace_tail:
+        # JSON-ready trace-event dicts (see TraceSink.tail).
+        doc["trace_tail"] = list(failure.trace_tail)
+    return doc
 
 
 def _failure_from_dict(doc: Mapping) -> FailedReplication:
@@ -105,6 +117,7 @@ def _failure_from_dict(doc: Mapping) -> FailedReplication:
         message=str(doc["message"]),
         attempts=int(doc["attempts"]),
         traceback=str(doc.get("traceback", "")),
+        trace_tail=tuple(doc.get("trace_tail", ())),
     )
 
 

@@ -38,6 +38,7 @@ from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.capacity.base import CapacityFunction
 from repro.capacity.markov import TwoStateMarkovCapacity
 from repro.errors import (
@@ -192,6 +193,10 @@ class ReplicationOutcome:
     #: simulated engine crashes survived via snapshot resume while
     #: producing this outcome (0 for fault-free runs)
     recovered: int = 0
+    #: worker-side observability metrics snapshot (``None`` unless the
+    #: replication ran inside an obs session — see
+    #: :meth:`MonteCarloReport.merged_metrics`)
+    metrics: "dict | None" = None
 
     def normalized(self, name: str) -> float:
         return self.values[name] / self.generated_value if self.generated_value else 0.0
@@ -213,6 +218,10 @@ class FailedReplication:
     #: last engine snapshot when the failure was an unrecoverable
     #: simulated crash (in-memory only; never serialized to checkpoints)
     snapshot: object = field(default=None, compare=False, repr=False)
+    #: the last N trace events preceding the failure (JSON-ready dicts)
+    #: when the replication ran inside an obs session — what turned
+    #: "replication #317 raised" into a diagnosable record
+    trace_tail: tuple = ()
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -259,6 +268,19 @@ class MonteCarloReport:
             f"{len(records)} of {self.n_runs} Monte-Carlo replications "
             f"failed (first: {head}){detail}"
         )
+
+    def merged_metrics(self) -> "dict | None":
+        """Sweep-wide observability metrics: the per-worker registry
+        snapshots of every surviving replication, merged (counters add,
+        gauges keep the high-water mark, histograms pool their moments —
+        see :func:`repro.obs.merge_snapshots`).
+
+        ``None`` when no survivor carries a snapshot, i.e. the sweep ran
+        with observability disabled."""
+        snaps = [o.metrics for o in self.survivors if o.metrics is not None]
+        if not snaps:
+            return None
+        return _obs.merge_snapshots(snaps)
 
 
 # ----------------------------------------------------------------------
@@ -419,6 +441,14 @@ def _run_one(args: tuple, resume: "_ReplicationCrash | None" = None) -> Replicat
     )
 
 
+def _trace_tail(octx: "_obs.ObsContext | None", n: int) -> tuple:
+    """The last ``n`` trace events of the worker session (diagnostics for
+    :class:`FailedReplication`); empty when tracing is off."""
+    if octx is None or octx.sink is None:
+        return ()
+    return tuple(octx.sink.tail(n))
+
+
 def _run_one_safe(
     payload: tuple,
 ) -> tuple[int, ReplicationOutcome | FailedReplication]:
@@ -427,54 +457,93 @@ def _run_one_safe(
     Applies the per-attempt deadline, retries transient failures with
     linear backoff, and downgrades terminal exceptions to a structured
     :class:`FailedReplication` so the pool — and every sibling
-    replication — survives."""
-    index, factory, specs, seed_seq, policy = payload
+    replication — survives.
+
+    When the payload carries an :class:`~repro.obs.ObsSpec` the worker
+    opens its *own* observability session around the replication (sessions
+    stack, so an ambient parent session is untouched).  One session spans
+    all snapshot resumes of a replication — its metrics describe the whole
+    replication, crashes included — while a *transient* retry reopens a
+    fresh session so the retried attempt's trace is not polluted by the
+    abandoned one.  Successful outcomes carry the registry snapshot (plus
+    a ``mc.replication_wall_s`` wall-time observation); failures carry the
+    trailing trace events."""
+    if len(payload) == 5:  # pre-obs payload shape (kept for direct callers)
+        index, factory, specs, seed_seq, policy = payload
+        obs_spec: "_obs.ObsSpec | None" = None
+    else:
+        index, factory, specs, seed_seq, policy, obs_spec = payload
     attempts = 0
     resume: _ReplicationCrash | None = None
     crash_resumes = 0
-    while True:
-        attempts += 1
-        try:
-            with _replication_deadline(policy.timeout):
-                return index, _run_one((factory, specs, seed_seq), resume=resume)
-        except KeyboardInterrupt:  # pragma: no cover - user interrupt
-            raise
-        except _ReplicationCrash as crashed:
-            # A simulated engine crash: resume from its snapshot rather
-            # than re-running the whole replication.  Resumes do not
-            # consume the transient-retry budget (they make progress).
-            crash_resumes += 1
-            if crashed.crash.snapshot is not None and crash_resumes <= _MAX_CRASH_RESUMES:
-                resume = crashed
-                attempts -= 1
-                continue
-            reason = (
-                "crash carries no snapshot (snapshotting disabled?)"
-                if crashed.crash.snapshot is None
-                else f"gave up after {_MAX_CRASH_RESUMES} snapshot resumes"
-            )
-            return index, FailedReplication(
-                index=index,
-                error_type=type(crashed.crash).__qualname__,
-                message=f"{crashed.crash} — {reason}",
-                attempts=attempts,
-                traceback=traceback_module.format_exc(),
-                snapshot=crashed.crash.snapshot,
-            )
-        except Exception as exc:
-            transient = isinstance(exc, TRANSIENT_EXCEPTIONS)
-            if transient and attempts <= policy.max_retries:
-                if policy.backoff > 0.0:
-                    time.sleep(policy.backoff * attempts)
-                resume = None  # retries restart the replication from scratch
-                continue
-            return index, FailedReplication(
-                index=index,
-                error_type=type(exc).__qualname__,
-                message=str(exc),
-                attempts=attempts,
-                traceback=traceback_module.format_exc(),
-            )
+    octx: "_obs.ObsContext | None" = None
+    if obs_spec is not None:
+        octx = _obs.enable(ring=obs_spec.ring, profile=obs_spec.profile)
+    wall_start = time.perf_counter()
+    try:
+        while True:
+            attempts += 1
+            try:
+                with _replication_deadline(policy.timeout):
+                    outcome = _run_one((factory, specs, seed_seq), resume=resume)
+                if octx is not None:
+                    octx.metrics.histogram("mc.replication_wall_s").observe(
+                        time.perf_counter() - wall_start
+                    )
+                    outcome.metrics = octx.snapshot_metrics()
+                return index, outcome
+            except KeyboardInterrupt:  # pragma: no cover - user interrupt
+                raise
+            except _ReplicationCrash as crashed:
+                # A simulated engine crash: resume from its snapshot rather
+                # than re-running the whole replication.  Resumes do not
+                # consume the transient-retry budget (they make progress).
+                crash_resumes += 1
+                if crashed.crash.snapshot is not None and crash_resumes <= _MAX_CRASH_RESUMES:
+                    resume = crashed
+                    attempts -= 1
+                    continue
+                reason = (
+                    "crash carries no snapshot (snapshotting disabled?)"
+                    if crashed.crash.snapshot is None
+                    else f"gave up after {_MAX_CRASH_RESUMES} snapshot resumes"
+                )
+                return index, FailedReplication(
+                    index=index,
+                    error_type=type(crashed.crash).__qualname__,
+                    message=f"{crashed.crash} — {reason}",
+                    attempts=attempts,
+                    traceback=traceback_module.format_exc(),
+                    snapshot=crashed.crash.snapshot,
+                    trace_tail=_trace_tail(octx, obs_spec.tail if obs_spec else 0),
+                )
+            except Exception as exc:
+                transient = isinstance(exc, TRANSIENT_EXCEPTIONS)
+                if transient and attempts <= policy.max_retries:
+                    if policy.backoff > 0.0:
+                        time.sleep(policy.backoff * attempts)
+                    resume = None  # retries restart the replication from scratch
+                    if octx is not None:
+                        # Fresh session: the retried attempt is bit-identical
+                        # to a first-try success, so its trace/metrics must
+                        # not carry the abandoned attempt's events.
+                        _obs.disable()
+                        octx = _obs.enable(
+                            ring=obs_spec.ring, profile=obs_spec.profile
+                        )
+                        wall_start = time.perf_counter()
+                    continue
+                return index, FailedReplication(
+                    index=index,
+                    error_type=type(exc).__qualname__,
+                    message=str(exc),
+                    attempts=attempts,
+                    traceback=traceback_module.format_exc(),
+                    trace_tail=_trace_tail(octx, obs_spec.tail if obs_spec else 0),
+                )
+    finally:
+        if octx is not None:
+            _obs.disable()
 
 
 def _mp_context(start_method: str | None = None):
@@ -519,6 +588,7 @@ class MonteCarloRunner:
         backoff: float = 0.0,
         checkpoint: "str | os.PathLike | None" = None,
         mp_start_method: str | None = None,
+        obs_spec: "_obs.ObsSpec | None" = None,
     ) -> list[ReplicationOutcome]:
         """Execute the replications and return the outcomes in order.
 
@@ -537,6 +607,7 @@ class MonteCarloRunner:
             backoff=backoff,
             checkpoint=checkpoint,
             mp_start_method=mp_start_method,
+            obs_spec=obs_spec,
         )
         report.raise_on_failure()
         return report.survivors
@@ -552,6 +623,7 @@ class MonteCarloRunner:
         backoff: float = 0.0,
         checkpoint: "str | os.PathLike | None" = None,
         mp_start_method: str | None = None,
+        obs_spec: "_obs.ObsSpec | None" = None,
     ) -> MonteCarloReport:
         """Crash-isolated execution with full failure accounting.
 
@@ -581,6 +653,17 @@ class MonteCarloRunner:
             Explicit multiprocessing start method (``"fork"``/``"spawn"``/
             ``"forkserver"``); default picks ``fork`` where available and
             falls back to ``spawn``.
+        obs_spec:
+            Per-worker observability recipe (:class:`repro.obs.ObsSpec`).
+            Each worker opens its own session per replication; surviving
+            outcomes carry a metrics snapshot (merged sweep-wide via
+            :meth:`MonteCarloReport.merged_metrics`) and failures carry
+            the last ``obs_spec.tail`` trace events.  When ``None`` and an
+            observability session is active in the calling process, a
+            default spec (inheriting the ambient profiling flag) is
+            derived automatically, so ``with obs.session(): runner.run(...)``
+            just works; pass a spec explicitly to control ring/tail sizes
+            or to force observability regardless of ambient state.
         """
         if n_runs < 1:
             raise ReproError(f"n_runs must be >= 1, got {n_runs}")
@@ -591,6 +674,10 @@ class MonteCarloRunner:
         policy = _RetryPolicy(
             timeout=timeout, max_retries=int(max_retries), backoff=float(backoff)
         )
+        if obs_spec is None:
+            ambient = _obs.current()
+            if ambient is not None:
+                obs_spec = _obs.ObsSpec(profile=ambient.profile)
         seeds = np.random.SeedSequence(seed).spawn(n_runs)
         report = MonteCarloReport(n_runs=n_runs)
 
@@ -610,7 +697,8 @@ class MonteCarloRunner:
             pending = store.pending()
 
         payloads = [
-            (i, self.factory, self.specs, seeds[i], policy) for i in pending
+            (i, self.factory, self.specs, seeds[i], policy, obs_spec)
+            for i in pending
         ]
 
         def _absorb(index: int, result) -> None:

@@ -46,6 +46,7 @@ from repro.errors import (
     SimulatedCrash,
     SimulationError,
 )
+from repro import obs as _obs
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.job import Job, JobStatus, validate_jobs
 from repro.sim.journal import (
@@ -176,6 +177,10 @@ class SchedulingKernel:
         self._verify_until = 0
         self._last_snapshot: Optional[EngineSnapshot] = None
         self._started = False
+        # Observability: capture the active context once.  When disabled
+        # (the default) this is None and every emission site in the hot
+        # path reduces to a single attribute-identity check.
+        self._obs = _obs.current()
         #: The object faults and watchdog monitors observe (the façade);
         #: defaults to the kernel itself, façades point it at themselves.
         self.owner = self
@@ -295,8 +300,13 @@ class SchedulingKernel:
         """Work performed by processor ``proc``'s running segment up to
         ``t`` — via the capacity's prefix-sum index when available, else
         the naive integral (identical values either way)."""
+        octx = self._obs
         if self._indexed[proc]:
+            if octx is not None:
+                octx.metrics.counter("kernel.capacity_index.hits").inc()
             return self._caps[proc].cumulative(t) - self._seg_cum0[proc]
+        if octx is not None:
+            octx.metrics.counter("kernel.capacity_index.misses").inc()
         return self._caps[proc].integrate(self._seg_start[proc], t)
 
     def remaining_of(self, job: Job) -> float:
@@ -358,6 +368,12 @@ class SchedulingKernel:
         self._events.note_stale()
         self._current[proc] = None
         self._proc_of.pop(job.jid, None)
+        octx = self._obs
+        if octx is not None:
+            octx.metrics.counter("kernel.preemptions").inc()
+            octx.emit(
+                "job.preempt", t, {"jid": job.jid, "proc": proc, "work": work}
+            )
 
     def _start_job(self, proc: int, job: Job, t: float) -> None:
         status = self._status.get(job.jid)
@@ -378,6 +394,10 @@ class SchedulingKernel:
         if finish <= self._horizon:
             payload = job if self._single else (proc, job)
             self._events.push(Event(finish, EventKind.COMPLETION, payload, version))
+        octx = self._obs
+        if octx is not None:
+            octx.metrics.counter("kernel.starts").inc()
+            octx.emit("job.start", t, {"jid": job.jid, "proc": proc})
 
     def _apply_single(self, desired: Optional[Job], t: float) -> None:
         """Switch processor 0 to ``desired`` (no-op if unchanged)."""
@@ -426,6 +446,14 @@ class SchedulingKernel:
         )
         self._events.note_stale()
         self._outcomes.record_outcome(job, JobStatus.COMPLETED, t)
+        octx = self._obs
+        if octx is not None:
+            octx.metrics.counter("kernel.completions").inc()
+            octx.emit(
+                "job.complete",
+                t,
+                {"jid": job.jid, "proc": proc, "value": job.value, "work": work},
+            )
         desired = self._scheduler.on_job_end(job, completed=True)
         self._apply(desired, t)
 
@@ -440,6 +468,18 @@ class SchedulingKernel:
             job: Job = event.payload
             self._status[job.jid] = JobStatus.READY
             self._remaining[job.jid] = job.workload
+            octx = self._obs
+            if octx is not None:
+                octx.emit(
+                    "job.release",
+                    t,
+                    {
+                        "jid": job.jid,
+                        "deadline": job.deadline,
+                        "workload": job.workload,
+                        "value": job.value,
+                    },
+                )
             desired = self._scheduler.on_release(job)
             self._apply(desired, t)
             return
@@ -476,6 +516,14 @@ class SchedulingKernel:
                 self._close_segment(proc, t)
             self._status[job.jid] = JobStatus.FAILED
             self._outcomes.record_outcome(job, JobStatus.FAILED, t)
+            octx = self._obs
+            if octx is not None:
+                octx.metrics.counter("kernel.deadline_misses").inc()
+                octx.emit(
+                    "job.deadline_miss",
+                    t,
+                    {"jid": job.jid, "value": job.value},
+                )
             desired = self._scheduler.on_job_end(job, completed=False)
             self._apply(desired, t)
             return
@@ -532,6 +580,7 @@ class SchedulingKernel:
                 return  # the fault hit an idle processor: nothing to lose
             # Fold the progress made so far, return the job to READY.
             self._close_segment(proc, t)
+            lost = 0.0
             if op == "kill":
                 old_remaining = self._remaining[job.jid]
                 progress = job.workload - old_remaining
@@ -540,10 +589,17 @@ class SchedulingKernel:
                     # destroyed work *was* executed, so the trace budgets
                     # for it (validator: workload + lost_work).
                     new_remaining = job.workload - retain * progress
-                    self._outcomes.record_lost_work(
-                        job.jid, new_remaining - old_remaining
-                    )
+                    lost = new_remaining - old_remaining
+                    self._outcomes.record_lost_work(job.jid, lost)
                     self._remaining[job.jid] = new_remaining
+            octx = self._obs
+            if octx is not None:
+                octx.metrics.counter("kernel.faults." + op).inc()
+                data = {"jid": job.jid, "proc": proc}
+                if op == "kill":
+                    data["retain"] = retain
+                    data["lost"] = lost
+                octx.emit("fault." + op, t, data)
             desired = self._scheduler.on_eviction(job)
             self._apply(desired, t)
 
@@ -563,6 +619,20 @@ class SchedulingKernel:
                 if getattr(f, "fired", False)
             )
             snapshot.fired_faults = tuple(sorted(fired))
+        octx = self._obs
+        if octx is not None:
+            # Process history, not simulation history: lifecycle event.
+            octx.metrics.counter("kernel.crashes").inc()
+            octx.emit(
+                "fault.crash",
+                t,
+                {
+                    "fault": fault_index,
+                    "at_event": at_event,
+                    "dispatch": self._dispatch_count,
+                },
+                replay=False,
+            )
         raise SimulatedCrash(
             time=t,
             at_event=at_event,
@@ -576,7 +646,22 @@ class SchedulingKernel:
     def _bootstrap(self) -> None:
         """First-run initialisation: bind the scheduler, seed the event
         queue, arm faults, take snapshot zero."""
+        octx = self._obs
+        if octx is not None and octx.sink is not None:
+            octx.sink.begin_run()
         self._scheduler.bind(self._make_context(self))
+        if octx is not None:
+            # After bind: adapters derive their display name during reset.
+            octx.emit(
+                "run.start",
+                0.0,
+                {
+                    "scheduler": getattr(self._scheduler, "name", "?"),
+                    "jobs": len(self._jobs),
+                    "procs": len(self._caps),
+                    "horizon": self._horizon,
+                },
+            )
 
         for job in self._jobs:
             self._status[job.jid] = JobStatus.PENDING
@@ -624,6 +709,7 @@ class SchedulingKernel:
         horizon = self._horizon
         end_kind = EventKind.END
         owner = self.owner
+        octx = self._obs
 
         while len(events):
             if has_event_crashes:
@@ -661,7 +747,10 @@ class SchedulingKernel:
                     journal.append(record)
 
             self._dispatch_count += 1
-            dispatch(event)
+            if octx is None:
+                dispatch(event)
+            else:
+                self._dispatch_observed(octx, event)
             if watchdog is not None:
                 watchdog.after_event(owner, event)
             if (
@@ -677,6 +766,51 @@ class SchedulingKernel:
             if self._status.get(job.jid) in (JobStatus.READY, JobStatus.RUNNING):
                 self._status[job.jid] = JobStatus.FAILED
                 self._outcomes.record_outcome(job, JobStatus.FAILED, self._now)
+                if octx is not None:
+                    octx.emit("job.unfinished", self._now, {"jid": job.jid})
+        if octx is not None:
+            octx.emit(
+                "run.end", self._now, {"dispatches": self._dispatch_count}
+            )
+
+    def _dispatch_observed(self, octx, event: Event) -> None:
+        """The traced twin of the ``dispatch(event)`` call in
+        :meth:`run_loop` — taken only when an observability session is
+        active, so none of this code runs on the disabled path.
+
+        Stamps the sink with the dispatch index (events emitted during
+        this dispatch group under it — the replay-truncation boundary on
+        restore), maintains the event-loop metrics, and — under
+        ``profile=True`` — samples the wall-clock dispatch latency per
+        event kind."""
+        kind = event.kind
+        metrics = octx.metrics
+        sink = octx.sink
+        if sink is not None:
+            sink.current_dispatch = self._dispatch_count - 1
+        metrics.counter("kernel.events").inc()
+        metrics.counter("kernel.events." + kind.name).inc()
+        metrics.gauge("kernel.heap_size").set(float(len(self._events)))
+        if kind is EventKind.ALARM:
+            job = event.payload[0]
+            fresh = self._alarm_version.get(job.jid, 0) == event.version
+            metrics.counter(
+                "kernel.alarm.fired" if fresh else "kernel.alarm.stale"
+            ).inc()
+        elif kind is EventKind.COMPLETION:
+            payload = event.payload
+            job = payload if self._single else payload[1]
+            if self._completion_version.get(job.jid, 0) != event.version:
+                metrics.counter("kernel.completion.stale").inc()
+        if octx.profile:
+            clock = octx.clock
+            t0 = clock()
+            self._dispatch(event)
+            metrics.histogram(
+                "kernel.dispatch_latency_s." + kind.name
+            ).observe(clock() - t0)
+        else:
+            self._dispatch(event)
 
     def after_run(self, result) -> None:
         """Watchdog wind-down hook (called by the façade with its result)."""
@@ -868,3 +1002,26 @@ class SchedulingKernel:
             self._watchdog.start(self.owner)
         self._last_snapshot = snapshot
         self._started = True
+
+        # Observability: the restored run re-dispatches (journal-verified)
+        # everything at or past the snapshot, re-emitting those replay
+        # events bit-identically — drop the pre-crash copies so the trace
+        # carries each exactly once.  The restore itself is process
+        # history: a lifecycle event, excluded from replay-only exports.
+        octx = self._obs
+        if octx is not None:
+            truncated = 0
+            sink = octx.sink
+            if sink is not None:
+                truncated = sink.truncate_replay(snapshot.dispatch_count)
+            octx.metrics.counter("kernel.recoveries").inc()
+            octx.emit(
+                "recovery.restore",
+                self._now,
+                {
+                    "dispatch": snapshot.dispatch_count,
+                    "truncated": truncated,
+                    "verify_until": self._verify_until,
+                },
+                replay=False,
+            )

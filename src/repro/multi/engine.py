@@ -59,6 +59,7 @@ class _MultiContext(MultiSchedulerContext):
     def __init__(self, kernel: SchedulingKernel) -> None:
         self._kernel = kernel
         self._caps = list(kernel.capacities)
+        self.obs = kernel._obs  # None when observability is disabled
 
     def now(self) -> float:
         return self._kernel._now

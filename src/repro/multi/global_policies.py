@@ -64,6 +64,22 @@ class GlobalTopM(MultiScheduler):
         unplaced = [job for job in chosen if job.jid not in placed]
         for proc, job in zip(free_procs, unplaced):
             desired[proc] = job
+        obs = self.ctx.obs
+        if obs is not None:
+            now = self.ctx.now()
+            for proc, job in zip(free_procs, unplaced):
+                displaced = running[proc]
+                if displaced is not None:
+                    obs.decision(
+                        self.name,
+                        "elect.displace",
+                        now,
+                        job.jid,
+                        proc=proc,
+                        preempted=displaced.jid,
+                    )
+                else:
+                    obs.decision(self.name, "elect.place", now, job.jid, proc=proc)
         return desired
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ class _ProcView(SchedulerContext):
     def __init__(self, ctx: MultiSchedulerContext, proc: int) -> None:
         self._ctx = ctx
         self._proc = proc
+        self.obs = ctx.obs  # pass the observability gate through the view
 
     def now(self) -> float:
         return self._ctx.now()

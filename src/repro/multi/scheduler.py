@@ -49,6 +49,11 @@ Assignment = Sequence[Optional[Job]]
 class MultiSchedulerContext(abc.ABC):
     """Online information available to a global scheduler."""
 
+    #: Active observability context (:class:`repro.obs.ObsContext`) or
+    #: ``None`` when tracing is disabled (the default) — the same contract
+    #: as :attr:`repro.sim.scheduler.SchedulerContext.obs`.
+    obs = None
+
     @abc.abstractmethod
     def now(self) -> float: ...
 
@@ -173,6 +178,7 @@ class _SingleProcessorView(SchedulerContext):
 
     def __init__(self, mctx: MultiSchedulerContext) -> None:
         self._mctx = mctx
+        self.obs = mctx.obs  # pass the observability gate through the view
 
     def now(self) -> float:
         return self._mctx.now()

@@ -1,0 +1,183 @@
+"""Metrics registry: counters, gauges and histograms with snapshot/merge.
+
+Design goals, in order:
+
+1. **Cheap when hot** — instruments are plain ``__slots__`` objects;
+   ``registry.counter(name)`` memoises, so steady-state cost is one dict
+   hit plus an integer add.  (The *disabled* path never reaches here at
+   all — see :mod:`repro.obs.core`.)
+2. **Mergeable** — :meth:`MetricsRegistry.snapshot` produces a plain
+   JSON-able dict and :func:`merge_snapshots` folds many of them into one
+   (counters add, gauges keep the high-water mark, histograms pool their
+   moments).  This is how the Monte-Carlo runner aggregates per-worker
+   registries into a sweep-level view, and how checkpoints persist them.
+3. **Deterministic where the simulation is** — counts derived from the
+   event stream are reproducible; wall-clock histograms (dispatch latency,
+   replication wall time) are not, which is why metrics are kept out of
+   the byte-identical trace export by default.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, Mapping
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    def inc(self, k: int = 1) -> None:
+        self.n += k
+
+
+class Gauge:
+    """Last-observed value plus its high-water mark."""
+
+    __slots__ = ("last", "hwm")
+
+    def __init__(self) -> None:
+        self.last = 0.0
+        self.hwm = -math.inf
+
+    def set(self, value: float) -> None:
+        self.last = value
+        if value > self.hwm:
+            self.hwm = value
+
+
+class Histogram:
+    """Streaming summary (count / sum / min / max) of observations.
+
+    Deliberately bucket-free: the quantities the reports need (count,
+    total, mean, extremes) merge exactly across workers; fixed buckets
+    would add hot-path branches for little analytical gain here.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name is bound to exactly one instrument type for the registry's
+    lifetime; asking for the same name with a different type raises
+    :class:`~repro.errors.ObservabilityError` (silent type confusion would
+    corrupt merges)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _check_unique(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_unique(name, "counter")
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_unique(name, "gauge")
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_unique(name, "histogram")
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain JSON-able image of every instrument."""
+        return {
+            "counters": {k: c.n for k, c in sorted(self._counters.items())},
+            "gauges": {
+                k: {"last": g.last, "hwm": g.hwm}
+                for k, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                k: {"count": h.count, "sum": h.total, "min": h.min, "max": h.max}
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snap: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` dict into this registry's live state."""
+        for name, n in snap.get("counters", {}).items():
+            self.counter(name).inc(int(n))
+        for name, doc in snap.get("gauges", {}).items():
+            g = self.gauge(name)
+            hwm = float(doc.get("hwm", -math.inf))
+            if hwm > g.hwm:
+                g.hwm = hwm
+                g.last = float(doc.get("last", hwm))
+        for name, doc in snap.get("histograms", {}).items():
+            h = self.histogram(name)
+            h.count += int(doc.get("count", 0))
+            h.total += float(doc.get("sum", 0.0))
+            h.min = min(h.min, float(doc.get("min", math.inf)))
+            h.max = max(h.max, float(doc.get("max", -math.inf)))
+
+
+def merge_snapshots(snaps: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Merge many snapshot dicts into one (the MC aggregation primitive).
+
+    Counters add; gauges keep the maximal high-water mark (the ``last``
+    value of the snapshot that owned it); histograms pool count/sum and
+    take the global extremes."""
+    acc = MetricsRegistry()
+    for snap in snaps:
+        acc.merge(snap)
+    return acc.snapshot()

@@ -75,6 +75,7 @@ class _EngineContext(SchedulerContext):
     def __init__(self, kernel: SchedulingKernel) -> None:
         self._kernel = kernel
         self._cap = kernel.capacity  # processor 0 == the whole world
+        self.obs = kernel._obs  # None when observability is disabled
 
     def now(self) -> float:
         return self._kernel._now

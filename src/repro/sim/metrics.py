@@ -34,8 +34,19 @@ class SimulationResult:
     # ------------------------------------------------------------------
     @property
     def value(self) -> float:
-        """Total value of jobs completed by their deadlines."""
-        return self.trace.value_points[-1][1] if self.trace.value_points else 0.0
+        """Total value of jobs completed by their deadlines.
+
+        Normally read off the trace's cumulative value series; when that
+        series is empty (a trace rebuilt without value points — e.g. a
+        hand-assembled or partially restored trace) but jobs *did*
+        complete, fall back to summing the completed jobs' values from the
+        recorded outcomes instead of silently reporting 0.0."""
+        if self.trace.value_points:
+            return self.trace.value_points[-1][1]
+        completed = set(self._ids_with(JobStatus.COMPLETED))
+        if not completed:
+            return 0.0
+        return sum(job.value for job in self.jobs if job.jid in completed)
 
     @property
     def generated_value(self) -> float:

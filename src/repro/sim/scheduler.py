@@ -44,6 +44,14 @@ class SchedulerContext(abc.ABC):
     :meth:`Scheduler.bind` at the start of every run.
     """
 
+    #: The active observability context (:class:`repro.obs.ObsContext`) or
+    #: ``None`` when tracing is disabled — the default.  Engine-built
+    #: contexts overwrite this with the context captured at kernel
+    #: construction; schedulers guard every emission with a single
+    #: ``if obs is not None`` so the disabled hot path pays one attribute
+    #: check and nothing else.
+    obs = None
+
     # -- observation ----------------------------------------------------
     @abc.abstractmethod
     def now(self) -> float:
@@ -167,11 +175,32 @@ class Scheduler(abc.ABC):
             reading = None
         if reading is None or not math.isfinite(reading) or reading <= 0.0:
             self._sensor_health["dropouts"] += 1
-            if self._sensor_last_good is not None:
-                return self._sensor_last_good
-            return lo
+            fallback = (
+                self._sensor_last_good
+                if self._sensor_last_good is not None
+                else lo
+            )
+            obs = getattr(self.ctx, "obs", None)
+            if obs is not None:
+                # Sensor-health transition: reading unavailable/garbage,
+                # degradation ladder falls back (docs/ROBUSTNESS.md).
+                obs.metrics.counter("scheduler.sensor.dropouts").inc()
+                obs.emit(
+                    "sensor.dropout",
+                    self.ctx.now(),
+                    {"policy": self.name, "fallback": fallback},
+                )
+            return fallback
         if reading < lo or reading > hi:
             self._sensor_health["clamped"] += 1
+            obs = getattr(self.ctx, "obs", None)
+            if obs is not None:
+                obs.metrics.counter("scheduler.sensor.clamped").inc()
+                obs.emit(
+                    "sensor.clamped",
+                    self.ctx.now(),
+                    {"policy": self.name, "raw": reading},
+                )
             reading = min(max(reading, lo), hi)
         self._sensor_last_good = reading
         return reading

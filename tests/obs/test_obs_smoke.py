@@ -1,0 +1,62 @@
+"""The ``obs_smoke`` CI step: a traced Figure-1 slice through the real CLI.
+
+Runs ``repro-sched figure1 --trace ... --profile`` on a small workload,
+re-runs it to prove the exported JSONL is byte-deterministic, and renders
+``repro-sched obs report`` / ``obs tail`` on the artifact.  The trace file
+is written under ``test-results/`` so the CI failure-artifact upload
+preserves it for offline ``repro-sched obs`` debugging.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs import load_trace
+
+pytestmark = pytest.mark.obs_smoke
+
+_ARGS = ["figure1", "--lam", "6.0", "--jobs", "60"]
+
+
+@pytest.fixture(scope="module")
+def trace_path() -> Path:
+    out = Path("test-results")
+    out.mkdir(exist_ok=True)
+    return out / "obs_smoke_trace.jsonl"
+
+
+def test_traced_figure1_slice(trace_path, capsys):
+    assert main(_ARGS + ["--trace", str(trace_path), "--profile"]) == 0
+    captured = capsys.readouterr()
+    assert "Figure 1" in captured.out
+    assert "wrote" in captured.err and str(trace_path) in captured.err
+
+    doc = load_trace(trace_path)
+    assert doc["header"]["events"] > 0
+    assert doc["header"]["runs"] == 8  # 4 panels x (V-Dover, Dover)
+    assert doc["metrics"] is not None  # --profile footer rides along
+    kinds = {e["kind"] for e in doc["events"]}
+    assert {"run.start", "job.release", "decision", "run.end"} <= kinds
+
+
+def test_traced_figure1_is_deterministic(trace_path, tmp_path, capsys):
+    rerun = tmp_path / "rerun.jsonl"
+    assert main(_ARGS + ["--trace", str(rerun)]) == 0
+    assert main(_ARGS + ["--trace", str(tmp_path / "rerun2.jsonl")]) == 0
+    capsys.readouterr()
+    assert rerun.read_bytes() == (tmp_path / "rerun2.jsonl").read_bytes()
+
+
+def test_obs_report_renders_artifact(trace_path, capsys):
+    assert main(["obs", "report", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "events by kind:" in out
+    assert "decisions:" in out
+    assert "dispatch latency by event kind (profiled):" in out
+
+    assert main(["obs", "tail", str(trace_path), "-n", "5"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("last 5 of ")

@@ -1,0 +1,120 @@
+"""Unit tests for the trace sink: ring bound, run epochs, truncation,
+JSONL export/load round trips and malformed-input handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import TRACE_SCHEMA, TraceSink, load_trace
+
+
+class TestRingBuffer:
+    def test_bounded_with_drop_counter(self):
+        sink = TraceSink(ring=4)
+        sink.begin_run()
+        for i in range(10):
+            sink.emit("e", float(i))
+        assert len(sink) == 4
+        assert sink.dropped == 6
+        assert [e.t for e in sink.events()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(ObservabilityError):
+            TraceSink(ring=0)
+
+    def test_tail(self):
+        sink = TraceSink(ring=16)
+        sink.begin_run()
+        for i in range(5):
+            sink.emit("e", float(i), {"i": i})
+        tail = sink.tail(2)
+        assert [d["t"] for d in tail] == [3.0, 4.0]
+        assert all(isinstance(d, dict) for d in tail)
+        assert sink.tail(0) == []
+
+
+class TestRunEpochs:
+    def test_begin_run_stamps_epoch_and_resets_dispatch(self):
+        sink = TraceSink()
+        assert sink.run_epoch == -1
+        sink.begin_run()
+        sink.current_dispatch = 7
+        sink.emit("a", 0.0)
+        sink.begin_run()
+        assert sink.current_dispatch == -1
+        sink.emit("b", 0.0)
+        runs = [e.run for e in sink.events()]
+        assert runs == [0, 1]
+
+    def test_truncate_only_current_run_replay(self):
+        sink = TraceSink()
+        sink.begin_run()  # run 0
+        sink.current_dispatch = 5
+        sink.emit("old.run", 1.0)
+        sink.begin_run()  # run 1
+        sink.current_dispatch = 2
+        sink.emit("keep.early", 2.0)
+        sink.current_dispatch = 9
+        sink.emit("drop.late", 3.0)
+        sink.emit("keep.lifecycle", 3.0, replay=False)
+        removed = sink.truncate_replay(5)
+        assert removed == 1
+        kinds = [e.kind for e in sink.events()]
+        # run-0 events survive even though their dispatch >= 5.
+        assert kinds == ["old.run", "keep.early", "keep.lifecycle"]
+
+
+class TestExportLoad:
+    def test_roundtrip(self, tmp_path):
+        sink = TraceSink()
+        sink.begin_run()
+        sink.emit("job.release", 0.5, {"jid": 3})
+        sink.emit("fault.crash", 1.0, {"fault": "x"}, replay=False)
+        path = tmp_path / "t.jsonl"
+        n = sink.export_jsonl(path, metrics={"counters": {"c": 1}})
+        assert n == 2
+        doc = load_trace(path)
+        assert doc["header"]["schema"] == TRACE_SCHEMA
+        assert doc["header"]["events"] == 2
+        assert [e["kind"] for e in doc["events"]] == ["job.release", "fault.crash"]
+        assert doc["events"][1]["life"] is True
+        assert doc["metrics"] == {"counters": {"c": 1}}
+
+    def test_replay_only_excludes_lifecycle(self, tmp_path):
+        sink = TraceSink()
+        sink.begin_run()
+        sink.emit("a", 0.0)
+        sink.emit("b", 0.0, replay=False)
+        path = tmp_path / "t.jsonl"
+        assert sink.export_jsonl(path, replay_only=True) == 1
+        doc = load_trace(path)
+        assert [e["kind"] for e in doc["events"]] == ["a"]
+        assert doc["header"]["replay_only"] is True
+        # replay-only headers omit the ring/drop variance.
+        assert "dropped" not in doc["header"]
+
+    def test_load_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text(json.dumps({"kind": "something.else"}) + "\n")
+        with pytest.raises(ObservabilityError):
+            load_trace(path)
+
+    def test_load_rejects_garbage_line(self, tmp_path):
+        sink = TraceSink()
+        sink.begin_run()
+        sink.emit("a", 0.0)
+        path = tmp_path / "x.jsonl"
+        sink.export_jsonl(path)
+        with open(path, "a") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(ObservabilityError):
+            load_trace(path)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ObservabilityError):
+            load_trace(path)

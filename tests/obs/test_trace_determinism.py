@@ -1,0 +1,147 @@
+"""Trace determinism (the subsystem's reproducibility contract).
+
+Two same-seed runs must export byte-identical JSONL; a crash-resumed run's
+*replay* stream must be byte-identical to an uncrashed run's (snapshot
+truncation + journal-verified replay regenerate the replayed window
+exactly); and profiling — which records wall-clock time — must never leak
+into the deterministic replay export.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.capacity import TwoStateMarkovCapacity
+from repro.core import EDFScheduler, VDoverScheduler
+from repro.faults.execution import EngineCrashPlan
+from repro.sim import simulate
+from repro.sim.journal import EventJournal
+from repro.workload import PoissonWorkload
+
+
+def _instance(seed: int = 31, lam: float = 6.0, horizon: float = 25.0):
+    ss = np.random.SeedSequence(seed)
+    job_seed, cap_seed = ss.spawn(2)
+    jobs = PoissonWorkload(lam=lam, horizon=horizon).generate(job_seed)
+    capacity = TwoStateMarkovCapacity(1.0, 35.0, mean_sojourn=1.0, rng=cap_seed)
+    return jobs, capacity
+
+
+def _export(octx, path, **kw) -> bytes:
+    octx.sink.export_jsonl(path, **kw)
+    return path.read_bytes()
+
+
+class TestSameSeedByteIdentity:
+    @pytest.mark.parametrize(
+        "make",
+        [lambda: VDoverScheduler(k=7.0), lambda: EDFScheduler()],
+        ids=["vdover", "edf"],
+    )
+    def test_two_runs_export_identically(self, tmp_path, make):
+        jobs, capacity = _instance()
+        blobs = []
+        for i in range(2):
+            with obs.session() as octx:
+                simulate(jobs, capacity, make())
+                blobs.append(_export(octx, tmp_path / f"run{i}.jsonl"))
+        assert blobs[0] == blobs[1]
+        assert len(blobs[0]) > 0
+
+    def test_paired_runs_in_one_sink_export_identically(self, tmp_path):
+        # One session absorbing several runs (the Figure-1 panel shape):
+        # run epochs keep the streams separable and the whole export is
+        # still deterministic.
+        jobs, capacity = _instance()
+        blobs = []
+        for i in range(2):
+            with obs.session() as octx:
+                simulate(jobs, capacity, VDoverScheduler(k=7.0))
+                simulate(jobs, capacity, EDFScheduler())
+                blobs.append(_export(octx, tmp_path / f"pair{i}.jsonl"))
+        assert blobs[0] == blobs[1]
+        runs = {e.run for e in octx.sink.events()}
+        assert runs == {0, 1}
+
+
+class TestCrashResumeByteIdentity:
+    @pytest.mark.parametrize(
+        "make",
+        [lambda: VDoverScheduler(k=7.0), lambda: EDFScheduler()],
+        ids=["vdover", "edf"],
+    )
+    def test_replay_stream_identical_across_crash(self, tmp_path, make):
+        jobs, capacity = _instance()
+
+        with obs.session() as octx:
+            reference = simulate(jobs, capacity, make())
+            ref_blob = _export(
+                octx, tmp_path / "ref.jsonl", replay_only=True
+            )
+
+        with obs.session() as octx:
+            recovered = simulate(
+                jobs,
+                capacity,
+                make(),
+                faults=[EngineCrashPlan(at_event=40)],
+                journal=EventJournal(),
+                snapshot_every=16,
+                recover=True,
+            )
+            rec_blob = _export(
+                octx, tmp_path / "rec.jsonl", replay_only=True
+            )
+            # The crash actually happened and left lifecycle evidence...
+            lifecycle = [e.kind for e in octx.sink.events() if not e.replay]
+
+        assert recovered.recoveries >= 1
+        assert "fault.crash" in lifecycle
+        assert "recovery.restore" in lifecycle
+        assert recovered.value == reference.value
+        # ...yet the replay stream is byte-for-byte the uncrashed one.
+        assert rec_blob == ref_blob
+
+    def test_full_export_differs_only_by_lifecycle(self, tmp_path):
+        jobs, capacity = _instance()
+        with obs.session() as octx:
+            simulate(
+                jobs,
+                capacity,
+                EDFScheduler(),
+                faults=[EngineCrashPlan(at_event=40)],
+                journal=EventJournal(),
+                snapshot_every=16,
+                recover=True,
+            )
+            full = octx.sink.events()
+            replay = octx.sink.events(replay_only=True)
+        assert len(full) > len(replay)
+        assert {e.kind for e in full} - {e.kind for e in replay} == {
+            "fault.crash",
+            "recovery.restore",
+        }
+
+
+class TestProfilingStaysOutOfTheTrace:
+    def test_profiled_replay_export_matches_unprofiled(self, tmp_path):
+        jobs, capacity = _instance()
+        with obs.session(profile=False) as octx:
+            simulate(jobs, capacity, VDoverScheduler(k=7.0))
+            plain = _export(octx, tmp_path / "plain.jsonl", replay_only=True)
+        with obs.session(profile=True) as octx:
+            simulate(jobs, capacity, VDoverScheduler(k=7.0))
+            profiled = _export(octx, tmp_path / "prof.jsonl", replay_only=True)
+        assert plain == profiled
+
+    def test_metrics_footer_is_opt_in(self, tmp_path):
+        jobs, capacity = _instance()
+        with obs.session(profile=True) as octx:
+            simulate(jobs, capacity, EDFScheduler())
+            path = tmp_path / "t.jsonl"
+            octx.sink.export_jsonl(path)
+        from repro.obs import load_trace
+
+        assert load_trace(path)["metrics"] is None

@@ -5,6 +5,7 @@ import pytest
 from repro.capacity import ConstantCapacity
 from repro.core import EDFScheduler
 from repro.sim import Job, simulate
+from repro.sim.job import JobStatus
 
 
 def run(jobs, rate=1.0, **kw):
@@ -33,6 +34,20 @@ class TestValueMetrics:
         assert r.value == 0.0
         assert r.normalized_value == 0.0
         assert r.completion_ratio == 0.0
+
+    def test_value_falls_back_to_outcomes(self):
+        # Regression: a trace whose cumulative value series is missing
+        # (hand-assembled / partially restored) must not report 0.0 when
+        # jobs demonstrably completed — the outcomes are authoritative.
+        jobs = [Job(0, 0.0, 1.0, 5.0, 2.0), Job(1, 1.0, 1.0, 6.0, 3.0)]
+        r = run(jobs)
+        assert r.value == 5.0
+        r.trace.value_points.clear()
+        assert r.value == 5.0  # recovered from outcomes, not 0.0
+        assert r.normalized_value == 1.0
+        # ...and with no completions the fallback still reports zero.
+        r.trace.outcomes = {jid: JobStatus.FAILED for jid in r.trace.outcomes}
+        assert r.value == 0.0
 
 
 class TestResourceMetrics:
