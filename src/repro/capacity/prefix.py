@@ -148,6 +148,32 @@ class PrefixIndexedCapacity(CapacityFunction):
         t = max(t0, self._bp[i] + (target - self._cum[i]) / self._rate_at(i))
         return t if t <= horizon else math.inf
 
+    def advance_from(
+        self, t0: float, cum0: float, work: float, horizon: float = math.inf
+    ) -> float:
+        """:meth:`advance` with a caller-supplied anchor ``cum0``.
+
+        ``cum0`` must be exactly ``self.cumulative(t0)`` — the kernel
+        already holds that value for the running segment's start, so
+        passing it here skips recomputing the prefix integral.  Apart from
+        reusing the anchor, the arithmetic is identical to
+        :meth:`advance`, hence bit-identical results (the index is
+        append-only, so a ``cumulative(t0)`` computed earlier never goes
+        stale)."""
+        if work < 0.0:
+            raise CapacityError(f"negative workload: {work!r}")
+        if work == 0.0:
+            return t0
+        limit = t0 + work / self._lower
+        if horizon < limit:
+            limit = horizon
+        self._materialize(limit)
+        target = cum0 + work
+        i0 = max(0, bisect_right(self._bp, t0) - 1)
+        i = bisect_left(self._cum, target - ADVANCE_SLACK, i0 + 1) - 1
+        t = max(t0, self._bp[i] + (target - self._cum[i]) / self._rate_at(i))
+        return t if t <= horizon else math.inf
+
     def next_change(self, t: float, horizon: float) -> float:
         if math.isfinite(horizon):
             self._materialize(horizon)

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.sim.job import Job
 from repro.sim.queues import JobQueue, edf_key
 from repro.sim.scheduler import Scheduler
@@ -64,17 +66,31 @@ class AdmissionEDFScheduler(Scheduler):
         completion must precede its deadline.  (Exact for constant capacity
         at ``c̲``; conservative — never over-admits — for any real
         trajectory above the floor.)
+
+        The chain is evaluated as one vectorized pass:
+        ``np.add.accumulate`` over ``[now, w_0/c̲, w_1/c̲, …]`` yields the
+        predicted completion instants.  ``accumulate`` sums strictly
+        left-to-right (no pairwise regrouping), so each instant is
+        bit-identical to the historical scalar ``t += remaining/rate``
+        loop — the 1-ulp regression test in
+        ``tests/properties/test_property_columnar.py`` pins this.
         """
         now = self.ctx.now()
         chain = sorted(
             self._admitted_jobs() + [newcomer], key=edf_key
         )
-        t = now
-        for job in chain:
-            t += self.ctx.remaining(job) / self._rate
-            if t > job.deadline + 1e-12:
-                return False
-        return True
+        remaining = self.ctx.remaining
+        rate = self._rate
+        n = len(chain)
+        terms = np.empty(n + 1, dtype=np.float64)
+        terms[0] = now
+        for i, job in enumerate(chain):
+            terms[i + 1] = remaining(job) / rate
+        completion = np.add.accumulate(terms)
+        deadlines = np.fromiter(
+            (job.deadline for job in chain), dtype=np.float64, count=n
+        )
+        return not bool((completion[1:] > deadlines + 1e-12).any())
 
     # ------------------------------------------------------------------
     def on_release(self, job: Job) -> Optional[Job]:
@@ -139,7 +155,7 @@ class AdmissionEDFScheduler(Scheduler):
     def _policy_state(self) -> dict:
         return {
             "rate": self._rate,
-            "ready": sorted(j.jid for j in self._ready.jobs()),
+            "ready": self._ready.live_jids(),
             "rejected": sorted(self._rejected),
         }
 

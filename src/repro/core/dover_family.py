@@ -485,8 +485,8 @@ class DoverFamilyScheduler(Scheduler):
             "qedf": sorted(
                 (e[0].jid, e[1], e[2]) for e in self._qedf.entries()
             ),
-            "qother": sorted(j.jid for j in self._qother.jobs()),
-            "qsupp": sorted(j.jid for j in self._qsupp.jobs()),
+            "qother": self._qother.live_jids(),
+            "qsupp": self._qsupp.live_jids(),
             "supp_ids": sorted(self._supp_ids),
             "abandoned_ids": sorted(self._abandoned_ids),
             "zero_cl_ids": sorted(self._zero_cl_ids),

@@ -88,7 +88,7 @@ class EDFScheduler(Scheduler):
 
     # -- snapshot / restore --------------------------------------------
     def _policy_state(self) -> dict:
-        return {"ready": sorted(j.jid for j in self._ready.jobs())}
+        return {"ready": self._ready.live_jids()}
 
     def _restore_policy_state(self, state: dict, jobs_by_id) -> None:
         for jid in state["ready"]:

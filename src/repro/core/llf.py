@@ -141,7 +141,7 @@ class LLFScheduler(Scheduler):
     def _policy_state(self) -> dict:
         return {
             "rate": self._rate,
-            "ready": sorted(j.jid for j in self._ready.jobs()),
+            "ready": self._ready.live_jids(),
         }
 
     def _restore_policy_state(self, state: dict, jobs_by_id) -> None:

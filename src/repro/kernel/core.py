@@ -9,9 +9,11 @@ lives here once, parameterised over a *processor set*:
   running segment anchored at ``W(seg_start)`` when the trajectory carries
   a prefix-sum index (``supports_prefix_index``), so progress queries and
   completion re-prediction are O(log n) on every processor;
-* a single global event heap ordered by ``(time, kind priority, seq)``
+* a single global event queue ordered by ``(time, kind priority, seq)``
   with per-job version tokens for lazy deletion and automatic compaction
-  (:meth:`~repro.sim.events.EventQueue.note_stale`);
+  (:meth:`~repro.sim.events.EventQueue.note_stale`) — a binary heap by
+  default, or a bucketed calendar queue in high-λ regimes
+  (:func:`~repro.sim.events.make_event_queue`, ``event_queue="auto"``);
 * one *decision protocol* flag: ``single=True`` means scheduler handlers
   return ``Optional[Job]`` (the paper's single-processor interface) and
   the kernel applies it to processor 0; ``single=False`` means handlers
@@ -19,11 +21,30 @@ lives here once, parameterised over a *processor set*:
   kernel diffs against the current one (free preemption and migration,
   no intra-job parallelism).
 
-The façades (:class:`~repro.sim.engine.SimulationEngine`,
-:class:`~repro.multi.engine.MultiprocessorEngine`) construct a kernel,
-point ``kernel.owner`` at themselves (faults and watchdog monitors observe
-the façade, which re-exports the kernel's read-only accessors), and build
-their result objects from ``kernel.traces`` / ``kernel.outcomes``.
+Columnar hot path (this PR)
+---------------------------
+Per-job execution state lives in a struct-of-arrays
+:class:`~repro.sim.jobtable.JobTable`: immutable job parameters as numpy
+columns, the mutable ``remaining``/``status`` hot columns as row-indexed
+lists the loop mutates in place.  Whole-population passes — bootstrap
+event seeding, the wind-down failure sweep, laxity recomputation — are
+vectorized over the columns; :class:`Job` objects remain thin views that
+flow through scheduler handlers and event payloads unchanged.
+
+The run loop dispatches in *same-timestamp batches*: when several events
+share one instant, the inner loop drains them without re-entering the
+outer bookkeeping (monotonicity check, horizon check, ``now`` update) —
+popping one event at a time and re-peeking, because a dispatch may push a
+new event at the *same* instant with *higher* kind priority (e.g. a
+COMPLETION predicted at exactly ``t``), which must precede the remaining
+batch.  Each event still takes its own scheduler decision, preserving the
+paper's per-interrupt semantics bit-for-bit.
+
+Provably-dead events (stale version token, or a job event whose job is
+already terminal) are filtered *before* journaling, identically in every
+loop variant — ~20–35 % of pops on the Figure-1 workloads are such
+no-ops.  The filter depends only on deterministic run state, so journals
+written before a crash replay exactly after restore.
 
 Determinism contract: for a fixed instance and scheduler the run is
 bit-for-bit reproducible — ties break by insertion sequence, nothing
@@ -47,8 +68,15 @@ from repro.errors import (
     SimulationError,
 )
 from repro import obs as _obs
-from repro.sim.events import Event, EventKind, EventQueue
-from repro.sim.job import Job, JobStatus, validate_jobs
+from repro.sim.events import Event, EventKind, make_event_queue
+from repro.sim.job import (
+    CODE_STATUS,
+    STATUS_CODE,
+    Job,
+    JobStatus,
+    validate_jobs,
+)
+from repro.sim.jobtable import JobTable
 from repro.sim.journal import (
     EngineSnapshot,
     EventJournal,
@@ -61,8 +89,14 @@ __all__ = ["SchedulingKernel"]
 
 _EPS = 1e-9
 
-#: Statuses from which a job never returns (their queued events are dead).
-_TERMINAL = (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.ABANDONED)
+# Status codes (hot-loop int compares; CODE_STATUS order is append-only,
+# so "terminal" is exactly "code >= COMPLETED").
+_PENDING = STATUS_CODE[JobStatus.PENDING]
+_READY = STATUS_CODE[JobStatus.READY]
+_RUNNING = STATUS_CODE[JobStatus.RUNNING]
+_COMPLETED = STATUS_CODE[JobStatus.COMPLETED]
+_FAILED = STATUS_CODE[JobStatus.FAILED]
+_TERMINAL_MIN = _COMPLETED
 
 #: Default snapshot cadence (events) when crash plans are present but the
 #: caller did not pick one.
@@ -88,6 +122,11 @@ class SchedulingKernel:
         bootstrap and again at restore (fresh bind).
     horizon, faults, watchdog, journal, snapshot_every:
         As on the façades (see :class:`~repro.sim.engine.SimulationEngine`).
+    event_queue:
+        ``"auto"`` (default), ``"heap"`` or ``"calendar"`` — the event
+        queue layout (:func:`~repro.sim.events.make_event_queue`).  All
+        three produce bit-identical runs; the choice is constant-factor
+        only.
     single:
         Selects the decision protocol (see above).  In single mode the
         kernel's combined ``outcomes`` trace *is* ``traces[0]`` (one
@@ -106,6 +145,7 @@ class SchedulingKernel:
         watchdog: "object | None" = None,
         journal: "EventJournal | None" = None,
         snapshot_every: int | None = None,
+        event_queue: str = "auto",
         single: bool = False,
     ) -> None:
         validate_jobs(jobs)
@@ -128,10 +168,15 @@ class SchedulingKernel:
         self._horizon = float(horizon)
 
         m = len(self._caps)
-        # Ground-truth run state (per processor where it is per processor).
+        # Ground-truth run state: the columnar job table plus per-processor
+        # running-segment registers.  _row/_rem/_st alias the table's
+        # mapping and mutable columns (the table mutates them in place on
+        # restore, so the aliases never go stale).
         self._now = 0.0
-        self._remaining: Dict[int, float] = {}
-        self._status: Dict[int, JobStatus] = {}
+        self._table = JobTable(self._jobs)
+        self._row: Dict[int, int] = self._table.row_of
+        self._rem: List[float] = self._table.remaining
+        self._st: List[int] = self._table.status
         self._current: List[Optional[Job]] = [None] * m
         self._seg_start: List[float] = [0.0] * m
         self._seg_remaining0: List[float] = [0.0] * m
@@ -143,11 +188,25 @@ class SchedulingKernel:
         self._indexed: List[bool] = [
             bool(getattr(c, "supports_prefix_index", False)) for c in self._caps
         ]
+        self._advance_from = [
+            getattr(c, "advance_from", None) for c in self._caps
+        ]
         self._seg_cum0: List[float] = [0.0] * m
+        # One-slot cumulative cache per processor: within one dispatch the
+        # kernel asks W(t) for the same t several times (progress check,
+        # segment close, next start's anchor); cumulative() is pure, so
+        # the last (t, W(t)) pair short-circuits the repeats.
+        self._cum_t: List[float] = [-1.0] * m
+        self._cum_v: List[float] = [0.0] * m
         self._proc_of: Dict[int, int] = {}  # jid -> processor while running
 
         # Event bookkeeping.
-        self._events = EventQueue(stale=self._event_is_stale)
+        self._events = make_event_queue(
+            event_queue,
+            stale=self._event_is_stale,
+            horizon=self._horizon,
+            expected_events=2 * len(self._jobs) + 1,
+        )
         self._completion_version: Dict[int, int] = {}
         self._alarm_version: Dict[int, int] = {}
         self._traces: List[ScheduleTrace] = [ScheduleTrace() for _ in range(m)]
@@ -235,6 +294,11 @@ class SchedulingKernel:
         return dict(self._by_id)
 
     @property
+    def table(self) -> JobTable:
+        """The columnar ground-truth job state (read-only use only)."""
+        return self._table
+
+    @property
     def dispatch_count(self) -> int:
         """Events dispatched so far (journal index of the next dispatch)."""
         return self._dispatch_count
@@ -254,6 +318,10 @@ class SchedulingKernel:
     def running(self) -> Tuple[Optional[Job], ...]:
         return tuple(self._current)
 
+    def job_status(self, jid: int) -> Optional[JobStatus]:
+        """Diagnostic view of a job's lifecycle state."""
+        return self._table.status_of(jid)
+
     # ------------------------------------------------------------------
     # Lazy-deletion hygiene: which queued events are provably dead
     # ------------------------------------------------------------------
@@ -265,18 +333,45 @@ class SchedulingKernel:
         are *not* stale (the job may return to READY before they fire)."""
         kind = event.kind
         if kind is EventKind.ALARM:
+            jid = event.payload[0].jid
+            if self._alarm_version.get(jid, 0) != event.version:
+                return True
+            row = self._row.get(jid)
+            return row is not None and self._st[row] >= _TERMINAL_MIN
+        if kind is EventKind.COMPLETION:
+            payload = event.payload
+            jid = (payload[1] if isinstance(payload, tuple) else payload).jid
+            if self._completion_version.get(jid, 0) != event.version:
+                return True
+            row = self._row.get(jid)
+            return row is not None and self._st[row] >= _TERMINAL_MIN
+        if kind is EventKind.DEADLINE:
+            row = self._row.get(event.payload.jid)
+            return row is not None and self._st[row] >= _TERMINAL_MIN
+        return False
+
+    def _event_is_noop(self, event: Event) -> bool:
+        """Pre-dispatch filter: exactly the early-return cases of
+        :meth:`_dispatch`, evaluated *before* journaling.
+
+        Must stay in lockstep with the dispatch handlers and must be
+        applied identically in every loop variant: skipped events are
+        never journaled and never counted, so a journal written with the
+        watchdog/observability on replays bit-identically with them off —
+        and a pre-crash journal replays bit-identically after restore
+        (the filter reads only deterministic run state)."""
+        kind = event.kind
+        if kind is EventKind.COMPLETION:
+            payload = event.payload
+            job = payload if self._single else payload[1]
+            return self._completion_version.get(job.jid, 0) != event.version
+        if kind is EventKind.DEADLINE:
+            return self._st[self._row[event.payload.jid]] >= _TERMINAL_MIN
+        if kind is EventKind.ALARM:
             job = event.payload[0]
             if self._alarm_version.get(job.jid, 0) != event.version:
                 return True
-            return self._status.get(job.jid) in _TERMINAL
-        if kind is EventKind.COMPLETION:
-            payload = event.payload
-            job = payload[1] if isinstance(payload, tuple) else payload
-            if self._completion_version.get(job.jid, 0) != event.version:
-                return True
-            return self._status.get(job.jid) in _TERMINAL
-        if kind is EventKind.DEADLINE:
-            return self._status.get(event.payload.jid) in _TERMINAL
+            return self._st[self._row[job.jid]] != _READY
         return False
 
     # ------------------------------------------------------------------
@@ -296,6 +391,17 @@ class SchedulingKernel:
     # ------------------------------------------------------------------
     # State queries used by the contexts
     # ------------------------------------------------------------------
+    def _cum_at(self, proc: int, t: float) -> float:
+        """``W(t)`` on ``proc`` through the one-slot cache (pure query:
+        the prefix index is append-only, so a cached value never goes
+        stale within a run; restore resets the slots)."""
+        if t == self._cum_t[proc]:
+            return self._cum_v[proc]
+        v = self._caps[proc].cumulative(t)
+        self._cum_t[proc] = t
+        self._cum_v[proc] = v
+        return v
+
     def _seg_work(self, proc: int, t: float) -> float:
         """Work performed by processor ``proc``'s running segment up to
         ``t`` — via the capacity's prefix-sum index when available, else
@@ -304,14 +410,14 @@ class SchedulingKernel:
         if self._indexed[proc]:
             if octx is not None:
                 octx.metrics.counter("kernel.capacity_index.hits").inc()
-            return self._caps[proc].cumulative(t) - self._seg_cum0[proc]
+            return self._cum_at(proc, t) - self._seg_cum0[proc]
         if octx is not None:
             octx.metrics.counter("kernel.capacity_index.misses").inc()
         return self._caps[proc].integrate(self._seg_start[proc], t)
 
     def remaining_of(self, job: Job) -> float:
-        status = self._status.get(job.jid)
-        if status is None or status is JobStatus.PENDING:
+        row = self._row.get(job.jid)
+        if row is None or self._st[row] == _PENDING:
             raise SchedulingError(
                 f"remaining() queried for unreleased job {job.jid}"
             )
@@ -319,13 +425,13 @@ class SchedulingKernel:
         if proc is not None and self._current[proc] is job:
             done = self._seg_work(proc, self._now)
             return max(0.0, self._seg_remaining0[proc] - done)
-        return self._remaining[job.jid]
+        return self._rem[row]
 
     # ------------------------------------------------------------------
     # Alarm / timer plumbing
     # ------------------------------------------------------------------
     def set_alarm(self, job: Job, time: float, tag: str) -> None:
-        if job.jid not in self._status:
+        if job.jid not in self._row:
             raise SchedulingError(f"alarm for unknown job {job.jid}")
         when = max(time, self._now)
         version = self._alarm_version.get(job.jid, 0) + 1
@@ -358,9 +464,10 @@ class SchedulingKernel:
             raise SimulationError(
                 f"job {job.jid} over-executed: remaining {new_remaining}"
             )
-        self._remaining[job.jid] = max(0.0, new_remaining)
+        row = self._row[job.jid]
+        self._rem[row] = max(0.0, new_remaining)
+        self._st[row] = _READY
         self._traces[proc].add_segment(self._seg_start[proc], t, job.jid, work)
-        self._status[job.jid] = JobStatus.READY
         # Orphan the in-flight completion event.
         self._completion_version[job.jid] = (
             self._completion_version.get(job.jid, 0) + 1
@@ -376,19 +483,28 @@ class SchedulingKernel:
             )
 
     def _start_job(self, proc: int, job: Job, t: float) -> None:
-        status = self._status.get(job.jid)
-        if status is not JobStatus.READY:
+        row = self._row[job.jid]
+        if self._st[row] != _READY:
             raise SchedulingError(
-                f"scheduler tried to run job {job.jid} in state {status}"
+                f"scheduler tried to run job {job.jid} in state "
+                f"{CODE_STATUS[self._st[row]]}"
             )
         self._current[proc] = job
         self._proc_of[job.jid] = proc
-        self._status[job.jid] = JobStatus.RUNNING
+        self._st[row] = _RUNNING
         self._seg_start[proc] = t
-        self._seg_remaining0[proc] = self._remaining[job.jid]
+        rem0 = self._rem[row]
+        self._seg_remaining0[proc] = rem0
         if self._indexed[proc]:
-            self._seg_cum0[proc] = self._caps[proc].cumulative(t)
-        finish = self._caps[proc].advance(t, self._seg_remaining0[proc])
+            cum0 = self._cum_at(proc, t)
+            self._seg_cum0[proc] = cum0
+            advance_from = self._advance_from[proc]
+            if advance_from is not None:
+                finish = advance_from(t, cum0, rem0)
+            else:  # pragma: no cover - indexed models all carry advance_from
+                finish = self._caps[proc].advance(t, rem0)
+        else:
+            finish = self._caps[proc].advance(t, rem0)
         version = self._completion_version.get(job.jid, 0) + 1
         self._completion_version[job.jid] = version
         if finish <= self._horizon:
@@ -437,8 +553,9 @@ class SchedulingKernel:
         """Fold the running job's final segment and record its success."""
         work = self._seg_work(proc, t)
         self._traces[proc].add_segment(self._seg_start[proc], t, job.jid, work)
-        self._remaining[job.jid] = 0.0
-        self._status[job.jid] = JobStatus.COMPLETED
+        row = self._row[job.jid]
+        self._rem[row] = 0.0
+        self._st[row] = _COMPLETED
         self._current[proc] = None
         self._proc_of.pop(job.jid, None)
         self._completion_version[job.jid] = (
@@ -466,8 +583,9 @@ class SchedulingKernel:
 
         if kind is EventKind.RELEASE:
             job: Job = event.payload
-            self._status[job.jid] = JobStatus.READY
-            self._remaining[job.jid] = job.workload
+            row = self._row[job.jid]
+            self._st[row] = _READY
+            self._rem[row] = job.workload
             octx = self._obs
             if octx is not None:
                 octx.emit(
@@ -499,8 +617,8 @@ class SchedulingKernel:
 
         if kind is EventKind.DEADLINE:
             job = event.payload
-            status = self._status.get(job.jid)
-            if status in _TERMINAL:
+            row = self._row[job.jid]
+            if self._st[row] >= _TERMINAL_MIN:
                 return
             proc = self._proc_of.get(job.jid)
             if proc is not None and self._current[proc] is job:
@@ -514,7 +632,7 @@ class SchedulingKernel:
                     self._complete(proc, job, t)
                     return
                 self._close_segment(proc, t)
-            self._status[job.jid] = JobStatus.FAILED
+            self._st[row] = _FAILED
             self._outcomes.record_outcome(job, JobStatus.FAILED, t)
             octx = self._obs
             if octx is not None:
@@ -532,7 +650,7 @@ class SchedulingKernel:
             job, tag = event.payload
             if self._alarm_version.get(job.jid, 0) != event.version:
                 return  # re-armed or cancelled since
-            if self._status.get(job.jid) is not JobStatus.READY:
+            if self._st[self._row[job.jid]] != _READY:
                 return  # running/finished jobs do not take alarms
             desired = self._scheduler.on_alarm(job, tag)
             self._apply(desired, t)
@@ -582,7 +700,8 @@ class SchedulingKernel:
             self._close_segment(proc, t)
             lost = 0.0
             if op == "kill":
-                old_remaining = self._remaining[job.jid]
+                row = self._row[job.jid]
+                old_remaining = self._rem[row]
                 progress = job.workload - old_remaining
                 if progress > 0.0 and retain < 1.0:
                     # The kill destroys (1 − retain) of the progress; the
@@ -591,7 +710,7 @@ class SchedulingKernel:
                     new_remaining = job.workload - retain * progress
                     lost = new_remaining - old_remaining
                     self._outcomes.record_lost_work(job.jid, lost)
-                    self._remaining[job.jid] = new_remaining
+                    self._rem[row] = new_remaining
             octx = self._obs
             if octx is not None:
                 octx.metrics.counter("kernel.faults." + op).inc()
@@ -663,12 +782,19 @@ class SchedulingKernel:
                 },
             )
 
-        for job in self._jobs:
-            self._status[job.jid] = JobStatus.PENDING
-            if job.release <= self._horizon:
-                self._events.push(Event(job.release, EventKind.RELEASE, job))
-                self._events.push(Event(job.deadline, EventKind.DEADLINE, job))
-        self._events.push(Event(self._horizon, EventKind.END))
+        # Seed release/deadline pairs for every job arriving inside the
+        # horizon — the membership test is one vectorized pass over the
+        # release column; rows come back in instance order, so sequence
+        # numbers match the historical per-job loop exactly.  push_many
+        # heapifies once (O(n)) instead of n× O(log n) pushes.
+        jobs = self._table.jobs
+        seed: List[Event] = []
+        for r in self._table.rows_released_by(self._horizon).tolist():
+            job = jobs[r]
+            seed.append(Event(job.release, EventKind.RELEASE, job))
+            seed.append(Event(job.deadline, EventKind.DEADLINE, job))
+        seed.append(Event(self._horizon, EventKind.END))
+        self._events.push_many(seed)
 
         for i, fault in enumerate(self._faults):
             fault.arm(self.owner, i)
@@ -692,16 +818,80 @@ class SchedulingKernel:
 
     def run_loop(self) -> None:
         """Execute (or, after :meth:`restore`, resume) to the horizon and
-        wind down.  The façade builds the result object afterwards."""
+        wind down.  The façade builds the result object afterwards.
+
+        Two loop bodies share the dispatch semantics: the *fast* variant
+        runs when no journal, watchdog, snapshot cadence, crash plan or
+        observability session is attached (the Monte-Carlo/benchmark hot
+        path) and carries zero per-event bookkeeping branches; the *full*
+        variant handles all of those.  Both filter provably-dead events
+        through :meth:`_event_is_noop` before counting/journaling and
+        drain same-timestamp batches through an inner loop, so their
+        dispatch sequences — and therefore journals, traces and results —
+        are bit-identical."""
         if not self._started:
             self._bootstrap()
+        if (
+            self._journal is None
+            and self._watchdog is None
+            and self._snapshot_every is None
+            and not self._event_crashes
+            and self._obs is None
+        ):
+            self._run_fast()
+        else:
+            self._run_full()
+        self._wind_down()
 
+    def _run_fast(self) -> None:
+        events = self._events
+        pop = events.pop
+        peek = events.peek_time
+        dispatch = self._dispatch
+        noop = self._event_is_noop
+        horizon = self._horizon
+        end_kind = EventKind.END
+
+        while len(events):
+            event = pop()
+            t = event.time
+            if t < self._now - _EPS:
+                raise SimulationError(
+                    f"time went backwards: {t} < {self._now}"
+                )
+            if event.kind is end_kind:
+                self._now = t
+                return
+            if t > horizon:
+                self._now = horizon
+                return
+            self._now = t
+            # Same-timestamp batch: drain every event at exactly t without
+            # re-entering the outer bookkeeping.  Pop-then-re-peek, one at
+            # a time: a dispatch may push a *same-instant* event of higher
+            # kind priority (e.g. a COMPLETION predicted at exactly t),
+            # which must come out before the rest of the batch.
+            while True:
+                if not noop(event):
+                    self._dispatch_count += 1
+                    dispatch(event)
+                if peek() != t:
+                    break
+                event = pop()
+                if event.kind is end_kind:
+                    self._now = t
+                    return
+
+    def _run_full(self) -> None:
         # Loop-invariant lookups hoisted out of the per-event path.  All of
         # these are fixed for the lifetime of one run_loop call: faults are
         # armed in _bootstrap/restore (both before this point), and the
         # journal/watchdog/snapshot wiring never changes mid-run.
         events = self._events
+        pop = events.pop
+        peek = events.peek_time
         dispatch = self._dispatch
+        noop = self._event_is_noop
         journal = self._journal
         watchdog = self._watchdog
         snapshot_every = self._snapshot_every
@@ -711,63 +901,90 @@ class SchedulingKernel:
         owner = self.owner
         octx = self._obs
 
-        while len(events):
+        ended = False
+        while len(events) and not ended:
             if has_event_crashes:
                 self._maybe_crash_at_event()
-            event = events.pop()
-            if event.time < self._now - _EPS:
+            event = pop()
+            t = event.time
+            if t < self._now - _EPS:
                 raise SimulationError(
-                    f"time went backwards: {event.time} < {self._now}"
+                    f"time went backwards: {t} < {self._now}"
                 )
             if event.kind is end_kind:
-                self._now = event.time
+                self._now = t
                 break
-            if event.time > horizon:
+            if t > horizon:
                 self._now = horizon
                 break
-            self._now = event.time
+            self._now = t
 
-            if journal is not None:
-                record = JournalRecord(
-                    index=self._dispatch_count,
-                    time=event.time,
-                    kind=int(event.kind),
-                    key=describe_payload(int(event.kind), event.payload),
-                    version=event.version,
-                )
-                if self._dispatch_count < self._verify_until:
-                    expected = journal.get(self._dispatch_count)
-                    if record != expected:
-                        raise RecoveryError(
-                            f"journal replay diverged at dispatch "
-                            f"#{self._dispatch_count}: live {record} != "
-                            f"journaled {expected}"
-                        )
+            # Same-timestamp batch (see _run_fast for the pop/re-peek
+            # rationale); identical filter and dispatch order.
+            while True:
+                if noop(event):
+                    if octx is not None:
+                        octx.metrics.counter(
+                            "kernel.events.skipped_stale"
+                        ).inc()
                 else:
-                    journal.append(record)
+                    if journal is not None:
+                        record = JournalRecord(
+                            index=self._dispatch_count,
+                            time=event.time,
+                            kind=int(event.kind),
+                            key=describe_payload(int(event.kind), event.payload),
+                            version=event.version,
+                        )
+                        if self._dispatch_count < self._verify_until:
+                            expected = journal.get(self._dispatch_count)
+                            if record != expected:
+                                raise RecoveryError(
+                                    f"journal replay diverged at dispatch "
+                                    f"#{self._dispatch_count}: live {record} != "
+                                    f"journaled {expected}"
+                                )
+                        else:
+                            journal.append(record)
+                    self._dispatch_count += 1
+                    if octx is None:
+                        dispatch(event)
+                    else:
+                        self._dispatch_observed(octx, event)
+                    if watchdog is not None:
+                        watchdog.after_event(owner, event)
+                    if (
+                        snapshot_every is not None
+                        and self._dispatch_count % snapshot_every == 0
+                    ):
+                        self._last_snapshot = self.snapshot()
+                if peek() != t:
+                    break
+                if has_event_crashes:
+                    self._maybe_crash_at_event()
+                event = pop()
+                if event.kind is end_kind:
+                    self._now = t
+                    ended = True
+                    break
 
-            self._dispatch_count += 1
-            if octx is None:
-                dispatch(event)
-            else:
-                self._dispatch_observed(octx, event)
-            if watchdog is not None:
-                watchdog.after_event(owner, event)
-            if (
-                snapshot_every is not None
-                and self._dispatch_count % snapshot_every == 0
-            ):
-                self._last_snapshot = self.snapshot()
+    def _wind_down(self) -> None:
+        """Close running segments and fail unresolved jobs at ``now``.
 
-        # Wind down: close running segments and mark unresolved jobs.
+        The unresolved sweep is one vectorized pass over the status
+        column; surviving rows come back in instance order, matching the
+        historical per-job loop."""
+        octx = self._obs
         for proc in range(len(self._caps)):
             self._close_segment(proc, self._now)
-        for job in self._jobs:
-            if self._status.get(job.jid) in (JobStatus.READY, JobStatus.RUNNING):
-                self._status[job.jid] = JobStatus.FAILED
-                self._outcomes.record_outcome(job, JobStatus.FAILED, self._now)
-                if octx is not None:
-                    octx.emit("job.unfinished", self._now, {"jid": job.jid})
+        jobs = self._table.jobs
+        st = self._st
+        for row in self._table.rows_unresolved().tolist():
+            job = jobs[row]
+            st[row] = _FAILED
+            self._outcomes.record_outcome(job, JobStatus.FAILED, self._now)
+            if octx is not None:
+                octx.emit("job.unfinished", self._now, {"jid": job.jid})
         if octx is not None:
             octx.emit(
                 "run.end", self._now, {"dispatches": self._dispatch_count}
@@ -775,14 +992,16 @@ class SchedulingKernel:
 
     def _dispatch_observed(self, octx, event: Event) -> None:
         """The traced twin of the ``dispatch(event)`` call in
-        :meth:`run_loop` — taken only when an observability session is
+        :meth:`_run_full` — taken only when an observability session is
         active, so none of this code runs on the disabled path.
 
         Stamps the sink with the dispatch index (events emitted during
         this dispatch group under it — the replay-truncation boundary on
         restore), maintains the event-loop metrics, and — under
         ``profile=True`` — samples the wall-clock dispatch latency per
-        event kind."""
+        event kind.  Provably-dead events are filtered out upstream (and
+        counted under ``kernel.events.skipped_stale``), so every event
+        seen here is live."""
         kind = event.kind
         metrics = octx.metrics
         sink = octx.sink
@@ -792,16 +1011,7 @@ class SchedulingKernel:
         metrics.counter("kernel.events." + kind.name).inc()
         metrics.gauge("kernel.heap_size").set(float(len(self._events)))
         if kind is EventKind.ALARM:
-            job = event.payload[0]
-            fresh = self._alarm_version.get(job.jid, 0) == event.version
-            metrics.counter(
-                "kernel.alarm.fired" if fresh else "kernel.alarm.stale"
-            ).inc()
-        elif kind is EventKind.COMPLETION:
-            payload = event.payload
-            job = payload if self._single else payload[1]
-            if self._completion_version.get(job.jid, 0) != event.version:
-                metrics.counter("kernel.completion.stale").inc()
+            metrics.counter("kernel.alarm.fired").inc()
         if octx.profile:
             clock = octx.clock
             t0 = clock()
@@ -857,7 +1067,11 @@ class SchedulingKernel:
         raise RecoveryError(f"cannot decode event payload {desc!r}")
 
     def snapshot(self) -> EngineSnapshot:
-        """Image the complete mid-run state (picklable; jid-based)."""
+        """Image the complete mid-run state (picklable; jid-based).
+
+        The mutable job state is copied straight off the table's columns
+        (one pass each); the jid-keyed dict layout of the snapshot schema
+        (2, unchanged) is materialized only here."""
         events = [
             (time, kind, seq, self._encode_payload(ev.kind, ev.payload), ev.version)
             for time, kind, seq, ev in self._events.dump()
@@ -873,8 +1087,8 @@ class SchedulingKernel:
             seg_start=list(self._seg_start),
             seg_remaining0=list(self._seg_remaining0),
             seg_cum0=list(self._seg_cum0),
-            remaining=dict(self._remaining),
-            status={jid: st.name for jid, st in self._status.items()},
+            remaining=self._table.export_remaining(),
+            status=self._table.export_status(),
             completion_version=dict(self._completion_version),
             alarm_version=dict(self._alarm_version),
             events=events,
@@ -917,6 +1131,9 @@ class SchedulingKernel:
         for jid in snapshot.remaining:
             if jid not in self._by_id:
                 raise RecoveryError(f"snapshot references unknown job {jid}")
+        for jid in snapshot.status:
+            if jid not in self._by_id:
+                raise RecoveryError(f"snapshot references unknown job {jid}")
 
         # World physics first (the scheduler's bind() reads its bounds).
         caps = pickle.loads(snapshot.capacity_blob)
@@ -924,14 +1141,17 @@ class SchedulingKernel:
         self._indexed = [
             bool(getattr(c, "supports_prefix_index", False)) for c in self._caps
         ]
+        self._advance_from = [
+            getattr(c, "advance_from", None) for c in self._caps
+        ]
+        self._cum_t = [-1.0] * len(self._caps)
+        self._cum_v = [0.0] * len(self._caps)
         self._horizon = snapshot.horizon
         self._now = snapshot.now
 
-        # Ground truth.
-        self._remaining = dict(snapshot.remaining)
-        self._status = {
-            jid: JobStatus[name] for jid, name in snapshot.status.items()
-        }
+        # Ground truth: load the jid-keyed snapshot dicts back into the
+        # table's columns (in place — the kernel's aliases stay valid).
+        self._table.load_state_dicts(dict(snapshot.remaining), snapshot.status)
         self._current = [
             None if jid is None else self._by_id[jid]
             for jid in snapshot.current_jids

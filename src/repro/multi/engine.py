@@ -112,6 +112,7 @@ class MultiprocessorEngine:
         watchdog: "object | None" = None,
         journal: "EventJournal | None" = None,
         snapshot_every: int | None = None,
+        event_queue: str = "auto",
     ) -> None:
         self._validate = bool(validate)
         self._kernel = SchedulingKernel(
@@ -124,6 +125,7 @@ class MultiprocessorEngine:
             watchdog=watchdog,
             journal=journal,
             snapshot_every=snapshot_every,
+            event_queue=event_queue,
             single=False,
         )
         # Faults and watchdog monitors observe *this* object (the public
@@ -246,6 +248,7 @@ def simulate_multi(
     watchdog: "object | None" = None,
     journal: "EventJournal | None" = None,
     snapshot_every: int | None = None,
+    event_queue: str = "auto",
     recover: bool = False,
     max_recoveries: int = 8,
 ) -> MultiSimulationResult:
@@ -269,6 +272,7 @@ def simulate_multi(
             watchdog=watchdog,
             journal=journal,
             snapshot_every=snapshot_every,
+            event_queue=event_queue,
         )
 
     result, recoveries = run_with_recovery(

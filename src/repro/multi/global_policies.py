@@ -97,7 +97,7 @@ class GlobalTopM(MultiScheduler):
     def _policy_state(self) -> dict:
         # Sorted-jid serialisation: the queue's ordering keys tie-break on
         # jid, so insertion order is irrelevant on restore.
-        return {"ready": sorted(job.jid for job in self._ready.jobs())}
+        return {"ready": self._ready.live_jids()}
 
     def _restore_policy_state(self, state: dict, jobs_by_id) -> None:
         for jid in state["ready"]:

@@ -182,8 +182,8 @@ class GlobalVDoverScheduler(MultiScheduler):
         # the engine's event-queue snapshot; re-arming would bump version
         # tokens and orphan them.
         return {
-            "regular": sorted(job.jid for job in self._regular.jobs()),
-            "supp": sorted(job.jid for job in self._supp.jobs()),
+            "regular": self._regular.live_jids(),
+            "supp": self._supp.live_jids(),
             "supp_ids": sorted(self._supp_ids),
             "rate": self._rate,
         }

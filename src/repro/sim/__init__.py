@@ -7,7 +7,13 @@ piecewise-constant capacity, firm-deadline policing — need a custom kernel.
 
 from repro.sim.engine import SimulationEngine, simulate
 from repro.sim.gantt import render_gantt
-from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.events import (
+    CalendarEventQueue,
+    Event,
+    EventKind,
+    EventQueue,
+    make_event_queue,
+)
 from repro.sim.invariants import (
     InvariantMonitor,
     InvariantViolation,
@@ -21,6 +27,9 @@ from repro.sim.journal import (
     results_bit_identical,
 )
 from repro.sim.job import (
+    CODE_STATUS,
+    STATUS_CODE,
+    TERMINAL_CODES,
     Job,
     JobStatus,
     importance_ratio,
@@ -28,6 +37,7 @@ from repro.sim.job import (
     total_value,
     validate_jobs,
 )
+from repro.sim.jobtable import JobTable
 from repro.sim.metrics import SimulationResult
 from repro.sim.queues import EdfEntry, JobQueue, edf_key, latest_deadline_key
 from repro.sim.scheduler import Scheduler, SchedulerContext
@@ -40,8 +50,14 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "CalendarEventQueue",
+    "make_event_queue",
     "Job",
     "JobStatus",
+    "JobTable",
+    "STATUS_CODE",
+    "CODE_STATUS",
+    "TERMINAL_CODES",
     "importance_ratio",
     "make_jobs",
     "total_value",

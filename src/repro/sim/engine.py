@@ -140,6 +140,11 @@ class SimulationEngine:
         Take an :class:`~repro.sim.journal.EngineSnapshot` every N
         dispatched events (kept as ``last_snapshot``).  Defaults to 64
         when a crash plan is armed, else off.
+    event_queue:
+        Event-queue layout: ``"auto"`` (default — a bucketed calendar
+        queue in high-λ regimes, a binary heap otherwise), ``"heap"`` or
+        ``"calendar"``.  Constant-factor only; runs are bit-identical
+        under every choice (:func:`repro.sim.events.make_event_queue`).
     """
 
     def __init__(
@@ -154,6 +159,7 @@ class SimulationEngine:
         watchdog: "object | None" = None,
         journal: "EventJournal | None" = None,
         snapshot_every: int | None = None,
+        event_queue: str = "auto",
     ) -> None:
         self._validate = bool(validate)
         self._kernel = SchedulingKernel(
@@ -166,6 +172,7 @@ class SimulationEngine:
             watchdog=watchdog,
             journal=journal,
             snapshot_every=snapshot_every,
+            event_queue=event_queue,
             single=True,
         )
         # Faults and watchdog monitors observe *this* object (the public
@@ -276,6 +283,7 @@ def simulate(
     watchdog: "object | None" = None,
     journal: "EventJournal | None" = None,
     snapshot_every: int | None = None,
+    event_queue: str = "auto",
     recover: bool = False,
     max_recoveries: int = 8,
 ) -> SimulationResult:
@@ -299,6 +307,7 @@ def simulate(
             watchdog=watchdog,
             journal=journal,
             snapshot_every=snapshot_every,
+            event_queue=event_queue,
         )
 
     result, recoveries = run_with_recovery(

@@ -1,4 +1,4 @@
-"""Event types and the event heap for the discrete-event engine.
+"""Event types and the event queues for the discrete-event engine.
 
 Events are totally ordered by ``(time, kind priority, sequence)``.  The kind
 priority encodes the tie-breaking rules the paper's semantics require at a
@@ -23,6 +23,23 @@ caller has hinted that more than half the heap is dead
 (:meth:`EventQueue.note_stale`), the heap is filtered through the caller's
 staleness predicate and re-heapified.  Compaction preserves pop order
 exactly because every entry's ``(time, kind, seq)`` key is unique.
+
+Two implementations share one contract (push/pop/peek/compact/dump/load):
+
+* :class:`EventQueue` — a single binary heap.  O(log n) everywhere, the
+  right default for paper-scale runs.
+* :class:`CalendarEventQueue` — a bucketed (calendar-queue) variant for
+  high-λ regimes: events hash into fixed-width time buckets (each bucket a
+  small heap over the full ``(time, kind, seq)`` key, bucket indices in a
+  second tiny heap), so pushes and pops touch a bucket of a few entries
+  instead of a deep global heap.  Pop order is *identical* to the binary
+  heap's by construction — buckets partition time, and within a bucket the
+  full unique key orders entries — which the equivalence property suite
+  pins down (``tests/sim/test_events_calendar.py``).
+
+:func:`make_event_queue` selects between them ("heap", "calendar", or
+"auto" on a seeded-event-density heuristic — see
+``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -30,12 +47,17 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
-__all__ = ["EventKind", "Event", "EventQueue"]
+__all__ = [
+    "EventKind",
+    "Event",
+    "EventQueue",
+    "CalendarEventQueue",
+    "make_event_queue",
+]
 
 
 class EventKind(enum.IntEnum):
@@ -53,7 +75,6 @@ class EventKind(enum.IntEnum):
     FAULT = 6
 
 
-@dataclass(frozen=True)
 class Event:
     """A scheduled occurrence.
 
@@ -61,15 +82,54 @@ class Event:
     (job, kind) pair at pop time; mismatches are silently dropped.
     ``payload`` carries the job for job events or an arbitrary tag for
     timers.
+
+    Hot-path note: this used to be a frozen dataclass; the kernel creates
+    one per push (plus ~2 heap-tuple fields), so the ``__slots__`` plain
+    class cuts both allocation size and construction time on the
+    per-event path.  Value equality and hashing are preserved.
     """
 
-    time: float
-    kind: EventKind
-    payload: Any = None
-    version: int = 0
+    __slots__ = ("time", "kind", "payload", "version")
+
+    def __init__(
+        self,
+        time: float,
+        kind: EventKind,
+        payload: Any = None,
+        version: int = 0,
+    ) -> None:
+        self.time = time
+        self.kind = kind
+        self.payload = payload
+        self.version = version
 
     def sort_key(self, seq: int) -> tuple:
         return (self.time, int(self.kind), seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.kind == other.kind
+            and self.payload == other.payload
+            and self.version == other.version
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.kind, self.version))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Event(time={self.time!r}, kind={self.kind!r}, "
+            f"payload={self.payload!r}, version={self.version!r})"
+        )
+
+
+#: Heap entries are ``(time, int(kind), seq, event)`` — compared by the
+#: unique (time, kind, seq) prefix, so the Event object itself is never
+#: compared.
+_Entry = Tuple[float, int, int, Event]
 
 
 class EventQueue:
@@ -84,7 +144,7 @@ class EventQueue:
     """
 
     def __init__(self, stale: Callable[[Event], bool] | None = None) -> None:
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: List[_Entry] = []
         self._counter = itertools.count()
         self._stale = stale
         self._stale_hint = 0
@@ -97,6 +157,18 @@ class EventQueue:
             raise SimulationError(f"event with NaN time: {event!r}")
         seq = next(self._counter)
         heapq.heappush(self._heap, (event.time, int(event.kind), seq, event))
+
+    def push_many(self, events: Iterable[Event]) -> None:
+        """Bulk push: append then re-heapify (O(n) instead of n pushes at
+        O(log n) each).  Sequence numbers are assigned in iteration order,
+        so the pop order is identical to pushing one by one."""
+        heap = self._heap
+        counter = self._counter
+        for event in events:
+            if event.time != event.time:  # NaN guard
+                raise SimulationError(f"event with NaN time: {event!r}")
+            heap.append((event.time, int(event.kind), next(counter), event))
+        heapq.heapify(heap)
 
     def pop(self) -> Event:
         if not self._heap:
@@ -123,7 +195,7 @@ class EventQueue:
         entries removed (0 when no compaction was triggered).
         """
         self._stale_hint += int(n)
-        if self._stale is not None and self._stale_hint * 2 > len(self._heap):
+        if self._stale is not None and self._stale_hint * 2 > len(self):
             return self.compact()
         return 0
 
@@ -145,7 +217,7 @@ class EventQueue:
 
     # -- snapshot support ---------------------------------------------------
 
-    def dump(self) -> list[tuple[float, int, int, Event]]:
+    def dump(self) -> List[_Entry]:
         """All entries in sorted (pop) order, plus no internal state.
 
         Used by engine snapshots; pair with :meth:`load` and
@@ -155,7 +227,7 @@ class EventQueue:
 
     def load(
         self,
-        entries: Iterable[tuple[float, int, int, Event]],
+        entries: Iterable[_Entry],
         next_seq: int,
         stale_hint: int = 0,
     ) -> None:
@@ -183,3 +255,178 @@ class EventQueue:
     def stale_hint(self) -> int:
         """Current hinted count of dead entries (snapshot bookkeeping)."""
         return self._stale_hint
+
+
+class CalendarEventQueue(EventQueue):
+    """Bucketed (calendar-queue) event queue for high-λ regimes.
+
+    Events hash into fixed-width time buckets; each bucket is a small heap
+    over the full ``(time, kind, seq)`` entry, and a second heap orders the
+    indices of non-empty buckets.  Because buckets partition the time axis
+    monotonically and the per-bucket key is the same unique total order the
+    binary heap uses, the pop sequence is **identical** to
+    :class:`EventQueue`'s for any push/pop interleaving — the calendar
+    layout only changes *where* the log factor is paid (a bucket of O(1)
+    expected entries instead of one deep heap).
+
+    ``bucket_width`` sets the time span per bucket; pick roughly
+    ``horizon / expected_events × 4`` so a bucket holds a few events
+    (:func:`make_event_queue` does this).
+    """
+
+    def __init__(
+        self,
+        stale: Callable[[Event], bool] | None = None,
+        *,
+        bucket_width: float = 1.0,
+    ) -> None:
+        super().__init__(stale)
+        if not bucket_width > 0.0:
+            raise SimulationError(
+                f"bucket_width must be positive, got {bucket_width!r}"
+            )
+        self._width = float(bucket_width)
+        self._buckets: dict[int, List[_Entry]] = {}
+        self._order: List[int] = []  # heap of non-empty bucket indices
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _bucket_of(self, time: float) -> int:
+        return int(time // self._width)
+
+    def push(self, event: Event) -> None:
+        if event.time != event.time:  # NaN guard
+            raise SimulationError(f"event with NaN time: {event!r}")
+        entry = (event.time, int(event.kind), next(self._counter), event)
+        self._place(entry)
+
+    def push_many(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.push(event)
+
+    def _place(self, entry: _Entry) -> None:
+        idx = self._bucket_of(entry[0])
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            self._buckets[idx] = [entry]
+            heapq.heappush(self._order, idx)
+        else:
+            heapq.heappush(bucket, entry)
+        self._size += 1
+
+    def _head_bucket(self) -> Optional[List[_Entry]]:
+        """The bucket holding the globally minimal entry (cleans up emptied
+        buckets lazily); ``None`` when the queue is empty."""
+        order = self._order
+        buckets = self._buckets
+        while order:
+            bucket = buckets.get(order[0])
+            if bucket:
+                return bucket
+            # Emptied (or vanished) bucket index: retire it.
+            buckets.pop(order[0], None)
+            heapq.heappop(order)
+        return None
+
+    def pop(self) -> Event:
+        bucket = self._head_bucket()
+        if bucket is None:
+            raise SimulationError("pop from empty event queue")
+        time, kind, seq, event = heapq.heappop(bucket)
+        self._size -= 1
+        if self._stale_hint:
+            self._stale_hint = min(self._stale_hint, self._size)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        bucket = self._head_bucket()
+        return bucket[0][0] if bucket else None
+
+    def compact(self) -> int:
+        if self._stale is None:
+            self._stale_hint = 0
+            return 0
+        before = self._size
+        stale = self._stale
+        buckets = {}
+        for idx, bucket in self._buckets.items():
+            kept = [entry for entry in bucket if not stale(entry[3])]
+            if kept:
+                heapq.heapify(kept)
+                buckets[idx] = kept
+        self._buckets = buckets
+        self._order = list(buckets.keys())
+        heapq.heapify(self._order)
+        self._size = sum(len(b) for b in buckets.values())
+        self._stale_hint = 0
+        return before - self._size
+
+    def dump(self) -> List[_Entry]:
+        out: List[_Entry] = []
+        for bucket in self._buckets.values():
+            out.extend(bucket)
+        out.sort()
+        return out
+
+    def load(
+        self,
+        entries: Iterable[_Entry],
+        next_seq: int,
+        stale_hint: int = 0,
+    ) -> None:
+        self._buckets = {}
+        self._order = []
+        self._size = 0
+        for entry in entries:
+            self._place(entry)
+        self._counter = itertools.count(int(next_seq))
+        self._stale_hint = int(stale_hint)
+
+
+#: ``make_event_queue("auto")`` picks the calendar layout when the seeded
+#: event density (events per simulated time unit) reaches this bar *and*
+#: there are enough events for bucketing to matter.  Below it the single
+#: binary heap wins on constant factors.  (docs/PERFORMANCE.md)
+CALENDAR_DENSITY_THRESHOLD = 24.0
+CALENDAR_MIN_EVENTS = 4096
+
+#: Target expected entries per calendar bucket.
+_CALENDAR_FILL = 4.0
+
+
+def make_event_queue(
+    mode: str = "auto",
+    *,
+    stale: Callable[[Event], bool] | None = None,
+    horizon: float = 0.0,
+    expected_events: int = 0,
+) -> EventQueue:
+    """Build the event queue for a run.
+
+    ``mode`` is ``"heap"``, ``"calendar"`` or ``"auto"``; auto selects the
+    calendar layout for high-λ regimes (seeded-event density ≥
+    ``CALENDAR_DENSITY_THRESHOLD`` per time unit and at least
+    ``CALENDAR_MIN_EVENTS`` events), else the binary heap.  Both produce
+    bit-identical pop orders; the choice is purely a constant-factor one.
+    """
+    if mode not in ("auto", "heap", "calendar"):
+        raise SimulationError(
+            f"unknown event queue mode {mode!r} "
+            "(expected 'auto', 'heap' or 'calendar')"
+        )
+    if mode == "auto":
+        dense = (
+            horizon > 0.0
+            and expected_events >= CALENDAR_MIN_EVENTS
+            and expected_events / horizon >= CALENDAR_DENSITY_THRESHOLD
+        )
+        mode = "calendar" if dense else "heap"
+    if mode == "calendar":
+        if horizon > 0.0 and expected_events > 0:
+            width = max(horizon * _CALENDAR_FILL / expected_events, 1e-9)
+        else:
+            width = 1.0
+        return CalendarEventQueue(stale, bucket_width=width)
+    return EventQueue(stale)

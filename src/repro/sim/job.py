@@ -14,7 +14,16 @@ from typing import Iterable, Sequence
 
 from repro.errors import InvalidInstanceError
 
-__all__ = ["Job", "JobStatus", "make_jobs", "validate_jobs", "total_value"]
+__all__ = [
+    "Job",
+    "JobStatus",
+    "STATUS_CODE",
+    "CODE_STATUS",
+    "TERMINAL_CODES",
+    "make_jobs",
+    "validate_jobs",
+    "total_value",
+]
 
 
 class JobStatus(enum.Enum):
@@ -26,6 +35,30 @@ class JobStatus(enum.Enum):
     COMPLETED = "completed"  #: full workload finished by the deadline
     FAILED = "failed"        #: deadline passed with workload remaining
     ABANDONED = "abandoned"  #: given up by the scheduler before the deadline
+
+
+#: Dense integer codes for :class:`JobStatus`, the representation the
+#: columnar :class:`repro.sim.jobtable.JobTable` stores (ints compare and
+#: vectorize cheaply; the enum stays the API surface).  The code order is
+#: part of the snapshot-adjacent contract — append, never reorder.
+CODE_STATUS: tuple[JobStatus, ...] = (
+    JobStatus.PENDING,
+    JobStatus.READY,
+    JobStatus.RUNNING,
+    JobStatus.COMPLETED,
+    JobStatus.FAILED,
+    JobStatus.ABANDONED,
+)
+STATUS_CODE: dict[JobStatus, int] = {s: i for i, s in enumerate(CODE_STATUS)}
+
+#: Codes of states a job can never leave (completed / failed / abandoned).
+TERMINAL_CODES: frozenset[int] = frozenset(
+    (
+        STATUS_CODE[JobStatus.COMPLETED],
+        STATUS_CODE[JobStatus.FAILED],
+        STATUS_CODE[JobStatus.ABANDONED],
+    )
+)
 
 
 @dataclass(frozen=True, order=False)

@@ -7,6 +7,16 @@ because the zero-laxity handler drained Qedf into Qother, or because it got
 scheduled.  :class:`JobQueue` implements this with a heap plus lazy
 deletion (tombstones), giving O(log n) push/pop/remove amortised.
 
+Tombstone hygiene: lazy deletion alone lets the heap grow without bound
+under preemption churn (Qedf→Qother drains, evictions) even while the live
+membership stays small.  :meth:`JobQueue.remove` therefore counts the
+tombstones it creates and, when they outnumber the live entries
+(churn ratio > 1/2, the same trigger :class:`repro.sim.events.EventQueue`
+uses for stale events), rebuilds the heap from the surviving entries —
+preserving each entry's original insertion counter so tie-break order is
+untouched.  This bounds the heap at ~2× the live size regardless of how
+long the run churns.
+
 Orderings (paper, Section III-D):
 
 * ``Qedf``   — earliest deadline first (entries are ``(job, t_insert,
@@ -69,6 +79,7 @@ class JobQueue(Generic[E]):
         self._heap: list[tuple[tuple, int, E]] = []
         self._live: dict[int, E] = {}  # jid -> current entry
         self._counter = itertools.count()
+        self._tombstones = 0  # dead heap entries not yet purged
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -89,6 +100,20 @@ class JobQueue(Generic[E]):
         """Iterate over live entries (heap order not guaranteed)."""
         yield from self._live.values()
 
+    def live_jids(self) -> list[int]:
+        """Sorted jids of live members.
+
+        The canonical serialization of queue membership for snapshots and
+        policy-state capture — avoids materialising Job views just to read
+        their ``jid``.
+        """
+        return sorted(self._live)
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length including tombstones (hygiene telemetry)."""
+        return len(self._heap)
+
     # ------------------------------------------------------------------
     def insert(self, entry: E) -> None:
         """Insert an entry; its job must not already be a member."""
@@ -102,12 +127,15 @@ class JobQueue(Generic[E]):
 
     def _purge(self) -> None:
         """Drop tombstoned heap entries from the top."""
-        while self._heap:
-            _, _, entry = self._heap[0]
-            job = self._entry_job(entry)
-            if self._live.get(job.jid) is entry:
+        heap = self._heap
+        live = self._live
+        entry_job = self._entry_job
+        while heap:
+            entry = heap[0][2]
+            if live.get(entry_job(entry).jid) is entry:
                 return
-            heapq.heappop(self._heap)
+            heapq.heappop(heap)
+            self._tombstones -= 1
 
     def first(self) -> E:
         """The paper's ``FirstInQueue``: best entry without removal."""
@@ -128,21 +156,64 @@ class JobQueue(Generic[E]):
     def remove(self, job: Job) -> Optional[E]:
         """Remove ``job``'s entry if present; return it (else ``None``).
 
-        O(1): the heap copy becomes a tombstone purged lazily.
+        O(1) amortised: the heap copy becomes a tombstone purged lazily,
+        and when tombstones outnumber live entries the heap is compacted
+        (see module docstring).
         """
-        return self._live.pop(job.jid, None)
+        entry = self._live.pop(job.jid, None)
+        if entry is not None:
+            self._tombstones += 1
+            if self._tombstones * 2 > len(self._heap):
+                self.compact()
+        return entry
+
+    def compact(self) -> int:
+        """Rebuild the heap from live entries only; returns tombstones
+        dropped.
+
+        Each surviving heap tuple keeps its original insertion counter, so
+        the (key, counter) total order — and therefore every future
+        ``first``/``dequeue`` result — is exactly what it would have been
+        without compaction.
+        """
+        live = self._live
+        entry_job = self._entry_job
+        before = len(self._heap)
+        self._heap = [
+            item
+            for item in self._heap
+            if live.get(entry_job(item[2]).jid) is item[2]
+        ]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
+        return before - len(self._heap)
 
     def drain(self) -> list[E]:
-        """Remove and return *all* live entries in key order."""
-        out = []
-        while self._live:
-            out.append(self.dequeue())
+        """Remove and return *all* live entries in key order.
+
+        Single pass: filter the live heap tuples out of the heap once and
+        sort them by their (key, counter) prefix — rather than repeated
+        ``dequeue()`` calls, each of which re-purges tombstones from the
+        top of a shrinking heap.
+        """
+        live = self._live
+        entry_job = self._entry_job
+        kept = [
+            item
+            for item in self._heap
+            if live.get(entry_job(item[2]).jid) is item[2]
+        ]
+        # (key, counter) is unique, so entries themselves are never compared.
+        kept.sort()
         self._heap.clear()
-        return out
+        self._live.clear()
+        self._tombstones = 0
+        return [item[2] for item in kept]
 
     def clear(self) -> None:
         self._live.clear()
         self._heap.clear()
+        self._tombstones = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"JobQueue({self._name}, size={len(self._live)})"

@@ -1,0 +1,176 @@
+"""Calendar-queue equivalence: the bucketed event queue must produce the
+exact pop sequence of the binary heap for any push/pop interleaving, and
+engine runs must be bit-identical under either layout."""
+
+import random
+
+import pytest
+
+from repro.capacity import TwoStateMarkovCapacity
+from repro.core import EDFScheduler, VDoverScheduler
+from repro.errors import SimulationError
+from repro.sim import simulate
+from repro.sim.events import (
+    CALENDAR_DENSITY_THRESHOLD,
+    CALENDAR_MIN_EVENTS,
+    CalendarEventQueue,
+    Event,
+    EventKind,
+    EventQueue,
+    make_event_queue,
+)
+from repro.workload import PoissonWorkload
+
+
+def _random_events(rng, n, span=100.0):
+    kinds = list(EventKind)
+    return [
+        Event(
+            # Quantized times force plenty of exact ties across kinds/seqs.
+            round(rng.uniform(0.0, span), 1),
+            rng.choice(kinds),
+            payload=i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestPopOrderEquivalence:
+    @pytest.mark.parametrize("width", [0.3, 1.0, 7.5, 250.0])
+    def test_bulk_push_then_drain(self, width):
+        rng = random.Random(11)
+        events = _random_events(rng, 400)
+        heap = EventQueue()
+        cal = CalendarEventQueue(bucket_width=width)
+        for ev in events:
+            heap.push(ev)
+            cal.push(ev)
+        out_heap = [heap.pop() for _ in range(len(events))]
+        out_cal = [cal.pop() for _ in range(len(events))]
+        assert out_heap == out_cal
+        assert len(cal) == 0
+
+    def test_interleaved_push_pop(self):
+        """Random interleaving of pushes and pops, including pushes at or
+        before the current head (same-timestamp batches)."""
+        rng = random.Random(23)
+        heap = EventQueue()
+        cal = CalendarEventQueue(bucket_width=2.0)
+        last = 0.0
+        for step in range(600):
+            if rng.random() < 0.6 or not len(heap):
+                t = round(last + rng.uniform(0.0, 5.0), 1)
+                ev = Event(t, rng.choice(list(EventKind)), payload=step)
+                heap.push(ev)
+                cal.push(ev)
+            else:
+                a, b = heap.pop(), cal.pop()
+                assert a == b
+                last = a.time
+        while len(heap):
+            assert heap.pop() == cal.pop()
+
+    def test_push_many_matches_sequential(self):
+        rng = random.Random(5)
+        events = _random_events(rng, 100)
+        bulk = CalendarEventQueue(bucket_width=1.0)
+        seq = CalendarEventQueue(bucket_width=1.0)
+        bulk.push_many(events)
+        for ev in events:
+            seq.push(ev)
+        assert [bulk.pop() for _ in range(100)] == [
+            seq.pop() for _ in range(100)
+        ]
+
+
+class TestCompactionAndSnapshots:
+    def test_compact_equivalence(self):
+        """Compacting mid-stream never changes the surviving pop order."""
+        dead = set()
+        stale = lambda ev: ev.payload in dead
+        rng = random.Random(31)
+        events = _random_events(rng, 200)
+        heap = EventQueue(stale)
+        cal = CalendarEventQueue(stale, bucket_width=3.0)
+        for ev in events:
+            heap.push(ev)
+            cal.push(ev)
+        dead.update(rng.sample(range(200), 80))
+        assert heap.compact() == 80
+        assert cal.compact() == 80
+        assert len(heap) == len(cal) == 120
+        while len(heap):
+            assert heap.pop() == cal.pop()
+
+    def test_dump_load_round_trip(self):
+        rng = random.Random(43)
+        events = _random_events(rng, 60)
+        cal = CalendarEventQueue(bucket_width=0.7)
+        for ev in events:
+            cal.push(ev)
+        dumped = cal.dump()
+        assert dumped == sorted(dumped)
+        clone = CalendarEventQueue(bucket_width=0.7)
+        clone.load(dumped, cal.next_seq, cal.stale_hint)
+        # Post-restore pushes must get the continuing sequence numbers.
+        tie = Event(dumped[0][0], dumped[0][3].kind, payload="late")
+        cal.push(tie)
+        clone.push(tie)
+        while len(cal):
+            assert cal.pop() == clone.pop()
+
+    def test_nan_and_bad_width_rejected(self):
+        with pytest.raises(SimulationError):
+            CalendarEventQueue(bucket_width=0.0)
+        cal = CalendarEventQueue(bucket_width=1.0)
+        with pytest.raises(SimulationError):
+            cal.push(Event(float("nan"), EventKind.TIMER, "x"))
+
+
+class TestSelectionHeuristic:
+    def test_modes(self):
+        assert isinstance(make_event_queue("heap"), EventQueue)
+        assert isinstance(make_event_queue("calendar"), CalendarEventQueue)
+        with pytest.raises(SimulationError):
+            make_event_queue("btree")
+
+    def test_auto_prefers_heap_at_paper_scale(self):
+        """Figure-1 density (~12 events/unit) stays on the binary heap."""
+        q = make_event_queue("auto", horizon=333.3, expected_events=4033)
+        assert type(q) is EventQueue
+
+    def test_auto_picks_calendar_when_dense(self):
+        n = CALENDAR_MIN_EVENTS
+        horizon = n / (2 * CALENDAR_DENSITY_THRESHOLD)
+        q = make_event_queue("auto", horizon=horizon, expected_events=n)
+        assert isinstance(q, CalendarEventQueue)
+
+    def test_auto_needs_enough_events(self):
+        q = make_event_queue(
+            "auto", horizon=1.0, expected_events=CALENDAR_MIN_EVENTS - 1
+        )
+        assert type(q) is EventQueue
+
+
+class TestEngineEquivalence:
+    """End-to-end: a full simulation is bit-identical under either layout."""
+
+    @pytest.mark.parametrize("make_sched", [
+        EDFScheduler,
+        lambda: VDoverScheduler(k=7.0),
+    ])
+    def test_run_bit_identical(self, make_sched):
+        h = 40.0
+        jobs = PoissonWorkload(lam=4.0, horizon=h).generate(13)
+
+        def run(mode):
+            cap = TwoStateMarkovCapacity(
+                1.0, 20.0, mean_sojourn=h / 4, rng=9
+            )
+            return simulate(jobs, cap, make_sched(), event_queue=mode)
+
+        base = run("heap")
+        alt = run("calendar")
+        assert alt.value == base.value
+        assert alt.trace.segments == base.trace.segments
+        assert alt.trace.outcomes == base.trace.outcomes

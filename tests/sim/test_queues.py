@@ -127,3 +127,107 @@ class TestBulk:
         q.insert(J(0, 5.0))
         q.clear()
         assert not q
+
+
+class TestCompaction:
+    """Tombstone hygiene: the heap stays bounded under removal churn."""
+
+    def test_compact_drops_tombstones(self):
+        q = JobQueue(edf_key)
+        jobs = [J(i, float(i + 1)) for i in range(8)]
+        for job in jobs:
+            q.insert(job)
+        # Remove below the auto-trigger threshold, then compact manually.
+        q.remove(jobs[0])
+        assert q.compact() >= 0
+        assert q.heap_size == len(q)
+
+    def test_remove_auto_compacts_at_half(self):
+        q = JobQueue(edf_key)
+        jobs = [J(i, float(i + 1)) for i in range(10)]
+        for job in jobs:
+            q.insert(job)
+        for job in jobs[:6]:
+            q.remove(job)
+        # Tombstones can never outnumber half the heap for long: the
+        # churn-ratio trigger (tombstones * 2 > heap) fires during the
+        # removal sequence and rebuilds from the 4..9 survivors.
+        assert q.heap_size <= 2 * len(q)
+        assert [j.jid for j in q.drain()] == [6, 7, 8, 9]
+
+    def test_heap_bounded_under_churn(self):
+        """Insert/remove cycles leave the heap ~2x the live size, not the
+        cumulative number of removals (the unbounded-growth regression)."""
+        q = JobQueue(edf_key)
+        live = [J(i, float(i + 1)) for i in range(16)]
+        for job in live:
+            q.insert(job)
+        high_water = q.heap_size
+        for round_ in range(100):
+            victim = J(1000 + round_, 0.5)
+            q.insert(victim)
+            q.remove(victim)
+            high_water = max(high_water, q.heap_size)
+        assert len(q) == 16
+        assert high_water <= 2 * 17 + 1
+        assert [j.jid for j in q.drain()] == list(range(16))
+
+    def test_compaction_preserves_tie_break_order(self):
+        """Surviving entries keep their insertion counters, so equal-key
+        ties pop in insertion order even across a compaction."""
+        q = JobQueue(edf_key, entry_job=lambda e: e[0])
+        a, b = J(0, 3.0), J(1, 3.0)  # distinct jids: key ties break by jid
+        fill = [J(i, 9.0) for i in range(2, 12)]
+        q.insert((a, "first",))
+        q.insert((b, "second",))
+        for job in fill:
+            q.insert((job, "fill"))
+        for job in fill:
+            q.remove(job)  # triggers auto-compaction mid-sequence
+        assert q.heap_size == 2
+        assert q.dequeue()[0] is a
+        assert q.dequeue()[0] is b
+
+
+class TestDrainSinglePass:
+    """drain() restructure: one purge + sort, not n re-purging dequeues."""
+
+    def test_drain_ignores_tombstones(self):
+        q = JobQueue(edf_key)
+        jobs = [J(i, float(10 - i)) for i in range(10)]
+        for job in jobs:
+            q.insert(job)
+        for job in jobs[::2]:
+            q.remove(job)
+        drained = q.drain()
+        assert [j.jid for j in drained] == [9, 7, 5, 3, 1]
+        assert len(q) == 0 and q.heap_size == 0
+
+    def test_drain_matches_repeated_dequeue(self):
+        """Timing-free correctness: drain() returns exactly the sequence
+        repeated dequeue() calls would, on an identically-built twin."""
+        import random
+
+        rng = random.Random(7)
+        q1 = JobQueue(edf_key)
+        q2 = JobQueue(edf_key)
+        jobs = [J(i, rng.choice([1.0, 2.0, 3.0])) for i in range(64)]
+        for job in jobs:
+            q1.insert(job)
+            q2.insert(job)
+        removed = rng.sample(jobs, 24)
+        for job in removed:
+            q1.remove(job)
+            q2.remove(job)
+        reference = []
+        while q2:
+            reference.append(q2.dequeue())
+        assert q1.drain() == reference
+
+    def test_drain_after_reinsert_uses_new_entry(self):
+        q = JobQueue(edf_key)
+        a = J(0, 5.0)
+        q.insert(a)
+        q.remove(a)
+        q.insert(a)
+        assert q.drain() == [a]
