@@ -290,6 +290,32 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("trace_a", help="first trace file")
     q.add_argument("trace_b", help="second trace file")
 
+    p = sub.add_parser(
+        "soak",
+        help=(
+            "E17: chaos soak of the always-on service — N tenants of "
+            "Poisson traffic through the live supervisor under sensor "
+            "faults, kills, revocations and forced kernel crashes, "
+            "verified replay-equivalent per tenant"
+        ),
+    )
+    p.add_argument("--tenants", type=int, default=3)
+    p.add_argument("--lam", type=float, default=3.0, help="per-tenant arrival rate")
+    p.add_argument("--horizon", type=float, default=40.0)
+    p.add_argument("--seed", type=int, default=2011)
+    p.add_argument(
+        "--crashes", type=int, default=5, help="forced kernel crashes, fleet-wide"
+    )
+    p.add_argument(
+        "--queue-budget", type=int, default=64, help="per-tenant backlog budget"
+    )
+    p.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help="persist per-tenant journals and shed logs under DIR",
+    )
+
     return parser
 
 
@@ -648,6 +674,28 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.experiments.soak import SoakConfig, run_soak
+
+    report = run_soak(
+        SoakConfig(
+            tenants=args.tenants,
+            lam=args.lam,
+            horizon=args.horizon,
+            seed=args.seed,
+            forced_crashes=args.crashes,
+            queue_budget=args.queue_budget,
+            journal_dir=args.journal_dir,
+        )
+    )
+    print("\n".join(report.summary_lines()))
+    if not report.ok:
+        for failure in report.failures():
+            print(f"[!] {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -661,6 +709,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "adversary": _cmd_adversary,
         "simulate": _cmd_simulate,
         "obs": _cmd_obs,
+        "soak": _cmd_soak,
     }[args.command]
     return handler(args)
 

@@ -158,3 +158,21 @@ class CheckpointError(ExperimentError):
     """Raised for unusable Monte-Carlo checkpoints: a fingerprint that does
     not match the requested run (different seed, run count, schedulers or
     instance distribution), an unsupported schema, or a corrupt header."""
+
+
+class ServiceError(ReproError):
+    """Base class for the always-on scheduling service layer
+    (:mod:`repro.service`): ingress, tenant shards, supervision."""
+
+
+class MessageError(ServiceError):
+    """An ingress message failed validation: unparseable JSON, unknown
+    message type, unknown tenant, or malformed fields.  The message is
+    rejected and counted; the service keeps running."""
+
+
+class CircuitOpenError(ServiceError):
+    """A tenant shard's circuit breaker is open: repeated recovery
+    failures exhausted the restart policy, so the supervisor stopped
+    restarting the shard.  New work for the tenant is shed instead of
+    processed."""

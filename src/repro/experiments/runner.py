@@ -32,6 +32,7 @@ import signal
 import threading
 import time
 import traceback as traceback_module
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
@@ -63,6 +64,7 @@ __all__ = [
     "MonteCarloRunner",
     "default_mc_runs",
     "TRANSIENT_EXCEPTIONS",
+    "TimeoutEnforcementWarning",
 ]
 
 #: Exception families the runner treats as *transient* (worth retrying):
@@ -295,34 +297,66 @@ class _RetryPolicy:
     backoff: float = 0.0  #: sleep ``backoff * attempt`` between attempts
 
 
+class TimeoutEnforcementWarning(RuntimeWarning):
+    """The replication timeout cannot pre-empt (no main-thread SIGALRM);
+    it is checked *after* the replication finishes instead."""
+
+
 @contextmanager
 def _replication_deadline(seconds: float | None) -> Iterator[None]:
-    """Enforce a wall-clock budget via ``SIGALRM`` (best effort).
+    """Enforce a wall-clock budget (best effort, never silently dropped).
 
-    Enforced only where POSIX interval timers exist and we are on the main
-    thread of the process — which is exactly where pool workers and the
-    serial path run.  Elsewhere the budget is silently unenforced rather
-    than unsupported."""
-    if (
-        not seconds
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    Where POSIX interval timers exist and we are on the main thread of
+    the process — which covers fork/spawn pool workers and the serial
+    path — the budget pre-empts via ``SIGALRM``.  Anywhere else
+    (non-main threads, platforms without ``SIGALRM``) the historical
+    behaviour was to *silently* skip enforcement; now the fallback is a
+    soft deadline: a :class:`TimeoutEnforcementWarning` states up front
+    that pre-emption is unavailable, the replication runs unpreempted,
+    and a post-hoc elapsed check raises the same transient
+    :class:`~repro.errors.ReplicationTimeout` when the budget was
+    exceeded — so retry accounting stays uniform across contexts."""
+    if not seconds:
         yield
         return
+    if (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        def _on_alarm(signum, frame):  # pragma: no cover - exercised via raise
+            raise ReplicationTimeout(
+                f"replication exceeded its {seconds:g}s wall-clock budget"
+            )
 
-    def _on_alarm(signum, frame):  # pragma: no cover - exercised via raise
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, float(seconds))
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+        return
+
+    reason = (
+        "no SIGALRM on this platform"
+        if not hasattr(signal, "SIGALRM")
+        else f"not on the main thread ({threading.current_thread().name})"
+    )
+    warnings.warn(
+        f"replication timeout of {seconds:g}s cannot pre-empt ({reason}); "
+        "falling back to a post-hoc soft deadline check",
+        TimeoutEnforcementWarning,
+        stacklevel=3,
+    )
+    started = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - started
+    if elapsed > seconds:
         raise ReplicationTimeout(
-            f"replication exceeded its {seconds:g}s wall-clock budget"
+            f"replication exceeded its {seconds:g}s wall-clock budget "
+            f"(soft deadline: took {elapsed:.3f}s, detected post-hoc "
+            f"because {reason})"
         )
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
 
 
 def _fresh_seed(seed_seq: np.random.SeedSequence) -> np.random.SeedSequence:

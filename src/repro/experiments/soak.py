@@ -1,0 +1,314 @@
+"""Experiment E17: the chaos soak — an always-on service under fire.
+
+Every robustness mechanism in this repository gets exercised somewhere;
+the soak exercises them all *at once*, through the real service stack:
+N tenants of Poisson traffic are encoded as JSON wire lines and driven
+through :class:`~repro.service.ingress.ServiceIngress` into a live
+:class:`~repro.service.supervisor.ScheduleService` while
+
+* **sensor faults** corrupt what each tenant's scheduler observes
+  (capacity noise wrappers from :mod:`repro.faults.spec`),
+* **job kills** and **revocation bursts** mutate the executed world
+  (start faults from :mod:`repro.faults.execution`),
+* **ingress fault injections** push extra recorded kills/evictions, and
+* **forced kernel crashes** (≥ 5 across the fleet by default) drive the
+  supervisor's snapshot-restore → WAL-replay → op-log restart ladder,
+* plus a sprinkle of deliberately malformed lines that must bounce off
+  the ingress without hurting anybody.
+
+The soak *passes* iff, for every tenant: zero accepted-then-lost jobs,
+every restart backoff within the policy cap, and the per-tenant replay
+check (:func:`repro.service.replay.replay_tenant`) proves the surviving
+journal re-runs **bit-identically** through the closed-horizon engine —
+shed accounting included.  See docs/EXPERIMENTS.md §E17.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.faults.execution import ExecutionFaultSpec
+from repro.faults.spec import FaultSpec
+from repro.service.ingress import ServiceIngress
+from repro.service.messages import InjectFault, Submit, encode_message
+from repro.service.replay import ReplayCheck, replay_tenant
+from repro.service.shard import CapacitySpec, TenantReport, TenantSpec
+from repro.service.supervisor import RestartPolicy, ScheduleService
+from repro.workload.poisson import PoissonWorkload
+
+__all__ = ["SoakConfig", "SoakReport", "TenantSoakOutcome", "run_soak"]
+
+#: Garbage lines fed alongside real traffic — all must ack ``ok: false``.
+_MALFORMED_LINES = (
+    "not json at all",
+    '{"type": "submit"}',
+    '{"type": "warp", "tenant": "t0"}',
+    '{"type": "submit", "tenant": "t0", "job": {"jid": 1}}',
+    '{"type": "fault", "tenant": "t0", "op": "kill", "time": "soon"}',
+)
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Knobs for one soak run (defaults: the full acceptance soak)."""
+
+    tenants: int = 3  #: number of tenant shards (>= 3 for the full soak)
+    lam: float = 3.0  #: per-tenant Poisson arrival rate
+    horizon: float = 40.0  #: per-tenant virtual horizon
+    seed: int = 2011
+    forced_crashes: int = 5  #: ingress-forced kernel crashes, fleet-wide
+    ingress_faults_per_tenant: int = 2  #: extra recorded kills/evictions
+    kill_rate: float = 0.05  #: start-fault Poisson kill rate
+    revocation_rate: float = 0.02  #: start-fault revocation-onset rate
+    sensor_noise: float = 0.1  #: capacity-sensor noise severity
+    queue_budget: int = 64
+    snapshot_every: int = 16
+    flush_every: int = 4
+    policy: RestartPolicy = field(default_factory=RestartPolicy)
+    journal_dir: Optional[str] = None  #: persist per-tenant journals here
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ExperimentError(f"need >= 1 tenant, got {self.tenants}")
+        if self.forced_crashes < 0:
+            raise ExperimentError("forced_crashes must be >= 0")
+
+
+@dataclass
+class TenantSoakOutcome:
+    """One tenant's soak verdict: the report plus its replay check."""
+
+    report: TenantReport
+    check: ReplayCheck
+    backoffs_within_cap: bool
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.check.ok
+            and not self.report.lost_jids
+            and self.backoffs_within_cap
+        )
+
+
+@dataclass
+class SoakReport:
+    """Fleet-wide soak outcome (what the CLI prints and CI gates on)."""
+
+    config: SoakConfig
+    outcomes: Dict[str, TenantSoakOutcome]
+    submitted: int
+    accepted: int
+    shed: int
+    recoveries: int
+    forced_crashes: int
+    rejected_lines: int
+    malformed_rejected: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.malformed_rejected and all(
+            o.ok for o in self.outcomes.values()
+        )
+
+    def failures(self) -> List[str]:
+        out: List[str] = []
+        if not self.malformed_rejected:
+            out.append("a malformed line was not rejected by the ingress")
+        for tenant, o in sorted(self.outcomes.items()):
+            if o.report.lost_jids:
+                out.append(
+                    f"{tenant}: accepted-then-lost jobs "
+                    f"{sorted(o.report.lost_jids)}"
+                )
+            if not o.backoffs_within_cap:
+                out.append(f"{tenant}: a restart backoff exceeded the cap")
+            out.extend(f"{tenant}: {f}" for f in o.check.failures)
+        return out
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"soak: {len(self.outcomes)} tenants, "
+            f"{self.submitted} submitted, {self.accepted} accepted, "
+            f"{self.shed} shed, {self.forced_crashes} forced crashes, "
+            f"{self.recoveries} recoveries, "
+            f"{self.rejected_lines} lines rejected",
+        ]
+        for tenant, o in sorted(self.outcomes.items()):
+            lines.append(
+                "  " + o.check.summary()
+                + f" restarts={o.report.restarts}"
+                + ("" if o.ok else " [TENANT FAIL]")
+            )
+        lines.append("soak verdict: " + ("PASS" if self.ok else "FAIL"))
+        return lines
+
+
+def _tenant_specs(config: SoakConfig) -> List[TenantSpec]:
+    """Deterministic per-tenant worlds — varied schedulers and physics."""
+    schedulers = ("vdover", "edf", "dover", "llf", "greedy")
+    specs: List[TenantSpec] = []
+    for i in range(config.tenants):
+        start_faults: Tuple[ExecutionFaultSpec, ...] = tuple(
+            spec
+            for spec in (
+                ExecutionFaultSpec(
+                    "kill", config.kill_rate, {"retain": 0.25}
+                )
+                if config.kill_rate > 0.0
+                else None,
+                ExecutionFaultSpec(
+                    "revocation", config.revocation_rate, {"mean_down": 1.0}
+                )
+                if config.revocation_rate > 0.0
+                else None,
+            )
+            if spec is not None
+        )
+        sensor: Tuple[FaultSpec, ...] = (
+            (FaultSpec("noise", config.sensor_noise),)
+            if config.sensor_noise > 0.0
+            else ()
+        )
+        specs.append(
+            TenantSpec(
+                tenant=f"t{i}",
+                horizon=config.horizon,
+                scheduler=schedulers[i % len(schedulers)],
+                capacity=CapacitySpec(
+                    "markov2",
+                    {"low": 1.0, "high": 8.0, "mean_sojourn": 4.0},
+                    seed=config.seed + 7 * i,
+                ),
+                sensor_faults=sensor,
+                start_faults=start_faults,
+                fault_seed=config.seed + 1000 * i,
+                queue_budget=config.queue_budget,
+                snapshot_every=config.snapshot_every,
+                flush_every=config.flush_every,
+            )
+        )
+    return specs
+
+
+def _tenant_timeline(
+    spec: TenantSpec,
+    config: SoakConfig,
+    crash_times: Sequence[float],
+    rng: np.random.Generator,
+) -> List[Tuple[float, str]]:
+    """One tenant's (time, wire line) stream, time-ordered.
+
+    Submissions arrive at their release instants; fault injections are
+    interleaved at their own times.  Fault times land on the midpoints
+    between neighbouring distinct releases so the stream stays
+    time-coherent no matter how the kernel's frontier advances."""
+    tenant = spec.tenant
+    workload = PoissonWorkload(
+        lam=config.lam,
+        horizon=config.horizon,
+        density_range=(1.0, 7.0),
+        c_lower=1.0,
+        deadline_slack=1.5,
+    )
+    jobs = workload.generate(rng)
+    # jids are per-tenant namespaces: each shard checks duplicates only
+    # against its own accepted set, so overlap across tenants is fine.
+    entries: List[Tuple[float, str]] = [
+        (job.release, encode_message(Submit(tenant, job))) for job in jobs
+    ]
+    for t in crash_times:
+        entries.append(
+            (float(t), encode_message(InjectFault(tenant, "crash", float(t))))
+        )
+    ops = ("kill", "evict")
+    for j in range(config.ingress_faults_per_tenant):
+        t = config.horizon * (j + 1) / (config.ingress_faults_per_tenant + 1)
+        op = ops[j % len(ops)]
+        entries.append(
+            (
+                float(t),
+                encode_message(
+                    InjectFault(
+                        tenant, op, float(t), retain=0.5 if op == "kill" else 0.0
+                    )
+                ),
+            )
+        )
+    entries.sort(key=lambda e: e[0])
+    return entries
+
+
+def _build_lines(config: SoakConfig) -> List[str]:
+    """The full fleet's wire stream: per-tenant timelines merged in time
+    order, with malformed lines sprinkled deterministically."""
+    specs = _tenant_specs(config)
+    # Spread the forced crashes round-robin over tenants, at staggered
+    # fractions of the horizon.
+    crash_times: Dict[str, List[float]] = {spec.tenant: [] for spec in specs}
+    for c in range(config.forced_crashes):
+        spec = specs[c % len(specs)]
+        frac = (c + 1) / (config.forced_crashes + 1)
+        crash_times[spec.tenant].append(config.horizon * frac)
+    merged: List[Tuple[float, int, str]] = []
+    for i, spec in enumerate(specs):
+        rng = np.random.default_rng(config.seed + 31 * i)
+        for order, (t, line) in enumerate(
+            _tenant_timeline(spec, config, crash_times[spec.tenant], rng)
+        ):
+            merged.append((t, order, line))
+    merged.sort(key=lambda e: (e[0], e[1]))
+    lines = [line for _, _, line in merged]
+    # Malformed traffic lands at deterministic positions mid-stream.
+    step = max(1, len(lines) // (len(_MALFORMED_LINES) + 1))
+    for j, bad in enumerate(_MALFORMED_LINES):
+        lines.insert(min(len(lines), (j + 1) * step + j), bad)
+    return lines
+
+
+async def _soak(config: SoakConfig) -> SoakReport:
+    specs = _tenant_specs(config)
+    service = ScheduleService(
+        specs, policy=config.policy, journal_dir=config.journal_dir
+    )
+    await service.start()
+    ingress = ServiceIngress(service)
+    lines = _build_lines(config)
+    acks = await ingress.run_lines(lines)
+    reports = await service.close()
+
+    bad_acks = [
+        ack
+        for line, ack in zip(lines, acks)
+        if line in _MALFORMED_LINES and ack.get("ok")
+    ]
+    outcomes: Dict[str, TenantSoakOutcome] = {}
+    for tenant, report in reports.items():
+        check = replay_tenant(report)
+        within = all(
+            b <= config.policy.backoff_cap + 1e-12 for b in report.backoffs
+        )
+        outcomes[tenant] = TenantSoakOutcome(
+            report=report, check=check, backoffs_within_cap=within
+        )
+    return SoakReport(
+        config=config,
+        outcomes=outcomes,
+        submitted=sum(r.submitted for r in reports.values()),
+        accepted=sum(len(r.accepted) for r in reports.values()),
+        shed=sum(len(r.shed) for r in reports.values()),
+        recoveries=sum(r.recoveries for r in reports.values()),
+        forced_crashes=sum(r.forced_crashes for r in reports.values()),
+        rejected_lines=ingress.rejected_lines,
+        malformed_rejected=not bad_acks,
+    )
+
+
+def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
+    """Run one chaos soak to completion and verify every invariant."""
+    return asyncio.run(_soak(config or SoakConfig()))

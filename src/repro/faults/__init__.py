@@ -22,6 +22,7 @@ from repro.faults.execution import (
     ExecutionFault,
     ExecutionFaultSpec,
     JobKillFault,
+    RecordedFaultLog,
     RevocationBurst,
     apply_fault_transforms,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "FAULT_KINDS",
     "ExecutionFault",
     "JobKillFault",
+    "RecordedFaultLog",
     "RevocationBurst",
     "EngineCrashPlan",
     "ExecutionFaultSpec",

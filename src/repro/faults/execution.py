@@ -45,6 +45,7 @@ from repro.errors import FaultConfigError
 __all__ = [
     "ExecutionFault",
     "JobKillFault",
+    "RecordedFaultLog",
     "RevocationBurst",
     "EngineCrashPlan",
     "ExecutionFaultSpec",
@@ -376,6 +377,44 @@ class RevocationBurst(ExecutionFault):
             f"RevocationBurst(rate={self.rate:g}, mean_down={self.mean_down:g}, "
             f"seed={self.seed}{where})"
         )
+
+
+class RecordedFaultLog(ExecutionFault):
+    """Replay a *recorded* sequence of injected fault events verbatim.
+
+    The live service (:mod:`repro.service`) lets operators push kill and
+    evict events mid-run through the ingress; those injections are not a
+    sampled model, they are observed history.  The shard records each
+    push as an exact ``(time, payload)`` pair, and the closed-horizon
+    replay arms this log so the re-run sees byte-for-byte the same FAULT
+    events — including their journal keys — as the live run did.
+
+    Payloads carrying the sentinel fault index ``-1`` (the service's
+    injected kills/evicts) never consult the engine's fault list, so the
+    log can sit at any position in the replay engine's ``faults``.
+    """
+
+    def __init__(
+        self, events: Sequence[Tuple[float, Tuple]]
+    ) -> None:
+        cleaned: List[Tuple[float, Tuple]] = []
+        for time, payload in events:
+            time = float(time)
+            payload = tuple(payload)
+            if not payload or payload[0] not in ("kill", "evict"):
+                raise FaultConfigError(
+                    f"RecordedFaultLog only replays kill/evict payloads, "
+                    f"got {payload!r}"
+                )
+            cleaned.append((time, payload))
+        self.events: Tuple[Tuple[float, Tuple], ...] = tuple(cleaned)
+
+    def arm(self, engine, index: int) -> None:
+        for time, payload in self.events:
+            engine.push_fault_event(time, payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RecordedFaultLog(n={len(self.events)})"
 
 
 class EngineCrashPlan(ExecutionFault):

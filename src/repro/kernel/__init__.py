@@ -13,6 +13,6 @@ See ``docs/ARCHITECTURE.md`` for the layering diagram and migration notes.
 """
 
 from repro.kernel.core import SchedulingKernel
-from repro.kernel.recovery import run_with_recovery
+from repro.kernel.recovery import CrashLoopDetector, run_with_recovery
 
-__all__ = ["SchedulingKernel", "run_with_recovery"]
+__all__ = ["SchedulingKernel", "CrashLoopDetector", "run_with_recovery"]

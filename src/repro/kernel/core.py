@@ -236,6 +236,7 @@ class SchedulingKernel:
         self._verify_until = 0
         self._last_snapshot: Optional[EngineSnapshot] = None
         self._started = False
+        self._ended = False
         # Observability: capture the active context once.  When disabled
         # (the default) this is None and every emission site in the hot
         # path reduces to a single attribute-identity check.
@@ -314,6 +315,11 @@ class SchedulingKernel:
     @property
     def started(self) -> bool:
         return self._started
+
+    @property
+    def ended(self) -> bool:
+        """True once the END event (or the horizon) has been reached."""
+        return self._ended
 
     def running(self) -> Tuple[Optional[Job], ...]:
         return tuple(self._current)
@@ -803,6 +809,10 @@ class SchedulingKernel:
         self._started = True
         if self._snapshot_every is not None:
             self._last_snapshot = self.snapshot()
+            if self._journal is not None:
+                # Snapshot boundary: everything the snapshot supersedes is
+                # on disk before the snapshot becomes the recovery anchor.
+                self._journal.flush()
 
     def _maybe_crash_at_event(self) -> None:
         """Fire any event-indexed crash plan scheduled for the *next*
@@ -815,6 +825,78 @@ class SchedulingKernel:
                     continue
                 fault.fired = True
                 self._raise_crash(self._now, at_event=at_event, fault_index=idx)
+
+    # ------------------------------------------------------------------
+    # Incremental (service-mode) drive
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bootstrap eagerly without dispatching anything.
+
+        The closed-horizon entry point (:meth:`run_loop`) bootstraps
+        lazily; a live service must bootstrap *before* the first
+        admission so snapshot zero and the seeded END event exist ahead
+        of any incremental state.  Idempotent."""
+        if not self._started:
+            self._bootstrap()
+
+    def admit_job(self, job: Job) -> None:
+        """Admit one job into a live (started) kernel.
+
+        Mirrors bootstrap seeding exactly: the job joins the instance
+        and, when it arrives inside the horizon, a RELEASE/DEADLINE pair
+        is pushed.  Because sequence numbers only break ties *within* one
+        ``(time, kind)`` class and releases/deadlines are pushed in
+        admission order, a closed-horizon replay of the accepted jobs
+        (in the same order) dispatches bit-identically — the service's
+        replay-equivalence contract rests on this method.
+
+        Admission in the past is refused: the dispatch frontier has
+        already moved beyond the release, so the closed-horizon replay
+        would dispatch a RELEASE this run never saw.
+        """
+        if not self._started:
+            raise SimulationError("admit_job: kernel not started")
+        if self._ended:
+            raise SimulationError("admit_job: kernel already ended")
+        if job.jid in self._by_id:
+            raise SimulationError(f"admit_job: duplicate job id {job.jid}")
+        if job.release < self._now - _EPS:
+            raise SimulationError(
+                f"admit_job: release {job.release:g} is behind the "
+                f"dispatch frontier (now={self._now:g})"
+            )
+        self._jobs.append(job)
+        self._by_id[job.jid] = job
+        self._table.append_job(job)
+        if job.release <= self._horizon:
+            self._events.push(Event(job.release, EventKind.RELEASE, job))
+            self._events.push(Event(job.deadline, EventKind.DEADLINE, job))
+        octx = self._obs
+        if octx is not None:
+            octx.metrics.counter("kernel.jobs.admitted").inc()
+            octx.emit(
+                "job.admit",
+                self._now,
+                {"jid": job.jid, "release": job.release},
+                replay=False,
+            )
+
+    def run_until(self, until: float) -> None:
+        """Dispatch every event *strictly before* ``until``, then stop.
+
+        The exclusive bound is what makes incremental admission safe:
+        all same-instant submissions are admitted before the batch at
+        their release time dispatches, so the ``(kind, seq)`` order at
+        that instant matches the closed-horizon replay.  ``now`` is left
+        at the last dispatched event (never advanced to ``until``), again
+        matching replay semantics.  Always runs the *full* loop variant —
+        the service path carries a journal and snapshots.  No-op once the
+        kernel has ended."""
+        if not self._started:
+            self._bootstrap()
+        if self._ended:
+            return
+        self._run_full(until=float(until))
 
     def run_loop(self) -> None:
         """Execute (or, after :meth:`restore`, resume) to the horizon and
@@ -831,16 +913,17 @@ class SchedulingKernel:
         are bit-identical."""
         if not self._started:
             self._bootstrap()
-        if (
-            self._journal is None
-            and self._watchdog is None
-            and self._snapshot_every is None
-            and not self._event_crashes
-            and self._obs is None
-        ):
-            self._run_fast()
-        else:
-            self._run_full()
+        if not self._ended:
+            if (
+                self._journal is None
+                and self._watchdog is None
+                and self._snapshot_every is None
+                and not self._event_crashes
+                and self._obs is None
+            ):
+                self._run_fast()
+            else:
+                self._run_full()
         self._wind_down()
 
     def _run_fast(self) -> None:
@@ -861,9 +944,11 @@ class SchedulingKernel:
                 )
             if event.kind is end_kind:
                 self._now = t
+                self._ended = True
                 return
             if t > horizon:
                 self._now = horizon
+                self._ended = True
                 return
             self._now = t
             # Same-timestamp batch: drain every event at exactly t without
@@ -880,9 +965,10 @@ class SchedulingKernel:
                 event = pop()
                 if event.kind is end_kind:
                     self._now = t
+                    self._ended = True
                     return
 
-    def _run_full(self) -> None:
+    def _run_full(self, until: float | None = None) -> None:
         # Loop-invariant lookups hoisted out of the per-event path.  All of
         # these are fixed for the lifetime of one run_loop call: faults are
         # armed in _bootstrap/restore (both before this point), and the
@@ -901,8 +987,18 @@ class SchedulingKernel:
         owner = self.owner
         octx = self._obs
 
-        ended = False
-        while len(events) and not ended:
+        while len(events) and not self._ended:
+            if until is not None:
+                # Exclusive incremental bound (run_until): stop *before*
+                # popping the first event at or past `until`.  Checked
+                # ahead of the event-indexed crash hook so a crash armed
+                # for the next dispatch doesn't fire for an event this
+                # call will never dispatch.  A stale head at or past the
+                # bound also stops the loop — every live event behind it
+                # is at or past the bound too.
+                next_time = peek()
+                if next_time is None or next_time >= until:
+                    return
             if has_event_crashes:
                 self._maybe_crash_at_event()
             event = pop()
@@ -913,9 +1009,11 @@ class SchedulingKernel:
                 )
             if event.kind is end_kind:
                 self._now = t
+                self._ended = True
                 break
             if t > horizon:
                 self._now = horizon
+                self._ended = True
                 break
             self._now = t
 
@@ -958,6 +1056,8 @@ class SchedulingKernel:
                         and self._dispatch_count % snapshot_every == 0
                     ):
                         self._last_snapshot = self.snapshot()
+                        if journal is not None:
+                            journal.flush()
                 if peek() != t:
                     break
                 if has_event_crashes:
@@ -965,7 +1065,7 @@ class SchedulingKernel:
                 event = pop()
                 if event.kind is end_kind:
                     self._now = t
-                    ended = True
+                    self._ended = True
                     break
 
     def _wind_down(self) -> None:

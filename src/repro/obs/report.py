@@ -132,6 +132,31 @@ def render_report(trace: Mapping[str, Any]) -> str:
     for e in timeline:
         lines.append("  " + _fmt_event(e))
 
+    # -- service supervision (service-mode traces only) ----------------
+    service = [
+        e for e in events if str(e.get("kind", "")).startswith("service.")
+    ]
+    if service:
+        by_kind: _TallyCounter = _TallyCounter(
+            str(e.get("kind")) for e in service
+        )
+        shed_reasons: _TallyCounter = _TallyCounter(
+            str((e.get("data") or {}).get("reason", "?"))
+            for e in service
+            if e.get("kind") == "service.shed"
+        )
+        lines.append("")
+        lines.extend(_tally_table("service events:", by_kind))
+        if shed_reasons:
+            lines.extend(_tally_table("  shed by reason:", shed_reasons))
+        disruptions = [
+            e
+            for e in service
+            if e.get("kind") in ("service.recover", "service.breaker")
+        ]
+        for e in disruptions:
+            lines.append("  " + _fmt_event(e))
+
     return "\n".join(lines)
 
 

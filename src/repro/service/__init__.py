@@ -1,0 +1,74 @@
+"""Always-on scheduling service: supervised tenant kernels with
+admission backpressure and replay-equivalent journaling.
+
+The layers, bottom up:
+
+* :mod:`repro.service.messages` — typed ingress messages and their
+  JSON-line wire form;
+* :mod:`repro.service.admission` — deterministic admission control and
+  load shedding (lowest value-density first);
+* :mod:`repro.service.shard` — one live, restartable kernel per tenant,
+  driven incrementally, with an op log for recovery;
+* :mod:`repro.service.supervisor` — restart ladder, circuit breaker,
+  per-tenant asyncio workers (:class:`ScheduleService`);
+* :mod:`repro.service.ingress` — TCP/stdin/iterable JSON-line adapters;
+* :mod:`repro.service.replay` — the replay-equivalence check that a
+  live tenant reproduces its closed-horizon batch run bit-identically.
+"""
+
+from repro.service.admission import (
+    SHED_REASONS,
+    AdmissionController,
+    ShedRecord,
+)
+from repro.service.ingress import ServiceIngress
+from repro.service.messages import (
+    FAULT_OPS,
+    Advance,
+    Close,
+    InjectFault,
+    Message,
+    Submit,
+    encode_message,
+    parse_message,
+)
+from repro.service.replay import ReplayCheck, replay_tenant
+from repro.service.shard import (
+    SCHEDULER_FACTORIES,
+    CapacitySpec,
+    TenantReport,
+    TenantShard,
+    TenantSpec,
+    make_scheduler,
+)
+from repro.service.supervisor import (
+    RestartPolicy,
+    ScheduleService,
+    TenantSupervisor,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Advance",
+    "CapacitySpec",
+    "Close",
+    "FAULT_OPS",
+    "InjectFault",
+    "Message",
+    "ReplayCheck",
+    "RestartPolicy",
+    "SCHEDULER_FACTORIES",
+    "SHED_REASONS",
+    "ScheduleService",
+    "ServiceIngress",
+    "ShedRecord",
+    "Submit",
+    "TenantReport",
+    "TenantShard",
+    "TenantSpec",
+    "TenantSupervisor",
+    "encode_message",
+    "make_scheduler",
+    "parse_message",
+    "replay_tenant",
+]

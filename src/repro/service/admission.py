@@ -1,0 +1,168 @@
+"""Deterministic admission control and load shedding for tenant shards.
+
+When a shard is degraded (circuit breaker open) or its backlog exceeds
+its queue budget, new work must be *shed* — and shed deterministically,
+so a service-mode run stays replay-equivalent and two operators looking
+at the same journal agree on why each job was rejected.
+
+The policy mirrors V-Dover's value reasoning: when a contention group
+(all submissions sharing one release instant) does not fit in the
+remaining budget, the jobs shed first are the ones V-Dover would bet on
+last — **lowest value density** (``value / workload``) first, breaking
+ties toward **largest laxity** (the slackest job loses: it has the best
+chance of being resubmitted and still making its deadline), then toward
+largest jid.  Structural rejections (duplicate jid, release behind the
+dispatch frontier, release past the horizon) are decided per job before
+the density ranking and are deterministic by construction.
+
+Every decision is a :class:`ShedRecord` — the shard journals them all
+and counts them in :mod:`repro.obs` metrics; the replay-parity check
+uses the records to prove shed accounting (``submitted = accepted +
+shed``, no shed job in the outcomes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.sim.job import Job
+
+__all__ = ["ShedRecord", "AdmissionController", "SHED_REASONS"]
+
+#: The closed set of shed reasons (stable strings: journaled and counted).
+SHED_REASONS = (
+    "queue_budget",
+    "circuit_open",
+    "duplicate_jid",
+    "stale_release",
+    "beyond_horizon",
+)
+
+
+@dataclass(frozen=True)
+class ShedRecord:
+    """One journaled shed decision."""
+
+    tenant: str
+    jid: int
+    reason: str  # one of SHED_REASONS
+    time: float  # dispatch frontier when the decision was made
+    value: float
+    workload: float
+    density: float
+    laxity: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "jid": self.jid,
+            "reason": self.reason,
+            "time": self.time,
+            "value": self.value,
+            "workload": self.workload,
+            "density": self.density,
+            "laxity": self.laxity,
+        }
+
+
+class AdmissionController:
+    """Pure admission policy for one tenant shard.
+
+    Parameters
+    ----------
+    tenant:
+        Label stamped on every shed record.
+    queue_budget:
+        Maximum backlog (admitted-but-unresolved jobs) the shard will
+        carry.  A contention group that would push the backlog past the
+        budget is trimmed by the lowest-laxity-density rule.
+    c_lower:
+        The tenant capacity's guaranteed floor ``c̲`` — laxity at release
+        is ``deadline − release − workload / c̲``, the same conservative
+        measure the paper's schedulers use.
+    """
+
+    def __init__(
+        self, tenant: str, *, queue_budget: int, c_lower: float
+    ) -> None:
+        if queue_budget < 1:
+            raise ValueError(f"queue_budget must be >= 1, got {queue_budget!r}")
+        if not c_lower > 0.0:
+            raise ValueError(f"c_lower must be > 0, got {c_lower!r}")
+        self.tenant = tenant
+        self.queue_budget = int(queue_budget)
+        self.c_lower = float(c_lower)
+
+    # ------------------------------------------------------------------
+    def _record(self, job: Job, reason: str, frontier: float) -> ShedRecord:
+        return ShedRecord(
+            tenant=self.tenant,
+            jid=job.jid,
+            reason=reason,
+            time=frontier,
+            value=job.value,
+            workload=job.workload,
+            density=job.value / job.workload,
+            laxity=job.deadline - job.release - job.workload / self.c_lower,
+        )
+
+    def shed_all(
+        self, batch: Sequence[Job], reason: str, frontier: float
+    ) -> List[ShedRecord]:
+        """Unconditionally shed a whole batch (degraded shard)."""
+        return [self._record(job, reason, frontier) for job in batch]
+
+    def plan(
+        self,
+        batch: Sequence[Job],
+        *,
+        depth: int,
+        frontier: float,
+        horizon: float,
+        known_jids: "set[int]",
+    ) -> Tuple[List[Job], List[ShedRecord]]:
+        """Decide one contention group: returns ``(admit, shed)``.
+
+        ``depth`` is the shard's current backlog, ``frontier`` the
+        kernel's dispatch frontier, ``known_jids`` every jid accepted so
+        far.  ``admit`` preserves submission order — the order jobs are
+        admitted into the kernel, which the replay contract relies on.
+        """
+        shed: List[ShedRecord] = []
+        eligible: List[Job] = []
+        seen_in_batch: set = set()
+        for job in batch:
+            if job.jid in known_jids or job.jid in seen_in_batch:
+                shed.append(self._record(job, "duplicate_jid", frontier))
+                continue
+            if job.release < frontier:
+                shed.append(self._record(job, "stale_release", frontier))
+                continue
+            if job.release > horizon:
+                shed.append(self._record(job, "beyond_horizon", frontier))
+                continue
+            seen_in_batch.add(job.jid)
+            eligible.append(job)
+
+        slots = self.queue_budget - depth
+        if slots < len(eligible):
+            # Rank shed candidates: lowest density first, then largest
+            # laxity, then largest jid.  Deterministic and total.
+            overflow = len(eligible) - max(slots, 0)
+            ranked = sorted(
+                eligible,
+                key=lambda j: (
+                    j.value / j.workload,
+                    -(j.deadline - j.release - j.workload / self.c_lower),
+                    -j.jid,
+                ),
+            )
+            dropped = {job.jid for job in ranked[:overflow]}
+            shed.extend(
+                self._record(job, "queue_budget", frontier)
+                for job in eligible
+                if job.jid in dropped
+            )
+            eligible = [job for job in eligible if job.jid not in dropped]
+        return eligible, shed

@@ -1,0 +1,135 @@
+"""Ingress adapters: JSON lines in, acks out.
+
+The service's wire surface is deliberately thin: one JSON object per
+line (:mod:`repro.service.messages`), answered by one JSON ack per line
+— ``{"ok": true, ...}`` or ``{"ok": false, "error": "..."}``.  Two
+adapters feed the same :meth:`ServiceIngress.handle_line` path:
+
+* :meth:`serve_tcp` — an asyncio TCP server (one connection per client,
+  lines processed in arrival order per connection);
+* :meth:`run_lines` — an in-process driver for an iterable of lines
+  (the stdin adapter and the soak harness both use it: stdin is just
+  ``run_lines(sys.stdin)`` via a thread executor).
+
+Malformed lines never kill the service: they produce an error ack and a
+``service.rejected`` count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import AsyncIterator, Dict, Iterable, List, Optional
+
+from repro import obs as _obs
+from repro.errors import CircuitOpenError, MessageError
+from repro.service.messages import parse_message
+from repro.service.supervisor import ScheduleService
+
+__all__ = ["ServiceIngress"]
+
+
+class ServiceIngress:
+    """Validate, route and ack JSON-line traffic for a running service."""
+
+    def __init__(self, service: ScheduleService) -> None:
+        self.service = service
+        self.accepted_lines = 0
+        self.rejected_lines = 0
+        self._server: "asyncio.AbstractServer | None" = None
+
+    # ------------------------------------------------------------------
+    async def handle_line(self, line: "str | bytes") -> Dict:
+        """Process one wire line; always returns an ack dict."""
+        if isinstance(line, bytes):
+            line = line.decode("utf-8", errors="replace")
+        line = line.strip()
+        if not line:
+            return {"ok": True, "noop": True}
+        try:
+            message = parse_message(line)
+            result = await self.service.dispatch(message)
+        except (MessageError, CircuitOpenError) as exc:
+            self.rejected_lines += 1
+            octx = _obs.current()
+            if octx is not None:
+                octx.metrics.counter("service.rejected").inc()
+            return {"ok": False, "error": str(exc)}
+        self.accepted_lines += 1
+        ack: Dict = {"ok": True}
+        if result is not None:  # a Close returns the tenant report
+            ack["closed"] = result.tenant
+            ack["accepted"] = len(result.accepted)
+            ack["shed"] = len(result.shed)
+        return ack
+
+    async def run_lines(
+        self, lines: "Iterable[str] | AsyncIterator[str]"
+    ) -> List[Dict]:
+        """Drive the service from an iterable of wire lines, in order.
+
+        Accepts both sync iterables (lists, files) and async iterators;
+        returns the acks."""
+        acks: List[Dict] = []
+        if hasattr(lines, "__aiter__"):
+            async for line in lines:  # type: ignore[union-attr]
+                acks.append(await self.handle_line(line))
+        else:
+            for line in lines:
+                acks.append(await self.handle_line(line))
+        return acks
+
+    # ------------------------------------------------------------------
+    # TCP adapter
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                ack = await self.handle_line(line)
+                writer.write((json.dumps(ack) + "\n").encode("utf-8"))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def serve_tcp(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.AbstractServer:
+        """Start the JSON-line TCP listener (port 0 = ephemeral)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        return self._server
+
+    async def stop_tcp(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # stdin adapter
+    # ------------------------------------------------------------------
+    async def run_stdin(self, stream: Optional[object] = None) -> List[Dict]:
+        """Drive the service from ``stdin`` (or any file-like ``stream``),
+        reading lines in a thread so the event loop stays responsive."""
+        stream = stream if stream is not None else sys.stdin
+        loop = asyncio.get_running_loop()
+        acks: List[Dict] = []
+        while True:
+            line = await loop.run_in_executor(None, stream.readline)
+            if not line:
+                break
+            acks.append(await self.handle_line(line))
+        return acks

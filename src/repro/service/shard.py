@@ -1,0 +1,603 @@
+"""Tenant shards: one live, restartable scheduling kernel per tenant.
+
+A :class:`TenantShard` is the synchronous, deterministic heart of the
+service — the asyncio layers (:mod:`repro.service.supervisor`,
+:mod:`repro.service.ingress`) only route messages to it.  Each shard
+wraps a :class:`~repro.sim.engine.SimulationEngine` driven
+*incrementally* through the kernel's service-mode API
+(``start``/``admit_job``/``run_until``) instead of a closed-horizon
+``run()``:
+
+* **submissions** buffer into contention groups (one release instant per
+  group); when a group flushes, the kernel first dispatches everything
+  strictly before the release, then the
+  :class:`~repro.service.admission.AdmissionController` decides the
+  group against the live backlog, and survivors are admitted in
+  submission order;
+* **fault injections** push recorded ``kill``/``evict`` events (exact
+  payloads kept for the replay), and ``crash`` raises a genuine
+  :class:`~repro.errors.SimulatedCrash` carrying the last periodic
+  snapshot — the supervisor's restart ladder takes it from there;
+* **recovery** rebuilds a fresh engine with exactly the jobs the
+  snapshot knows, restores it (which re-verifies the WAL tail), and
+  re-applies the shard's op log — admissions and fault pushes recorded
+  with the dispatch count at which they were applied; ops at or past the
+  snapshot's dispatch count are exactly the ones the snapshot cannot
+  know about.
+
+Replay equivalence is the design invariant: the accepted jobs (in
+admission order), the spec-built world, and the recorded fault pushes,
+re-run through the closed-horizon engine, must reproduce the service
+journal and result bit-identically (:mod:`repro.service.replay`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs as _obs
+from repro.capacity.base import CapacityFunction
+from repro.capacity.markov import TwoStateMarkovCapacity
+from repro.capacity.piecewise import PiecewiseConstantCapacity
+from repro.errors import (
+    MessageError,
+    RecoveryError,
+    ServiceError,
+    SimulatedCrash,
+)
+from repro.faults.execution import (
+    ExecutionFault,
+    ExecutionFaultSpec,
+    apply_fault_transforms,
+)
+from repro.faults.spec import FaultSpec
+from repro.service.admission import AdmissionController, ShedRecord
+from repro.service.messages import (
+    Advance,
+    Close,
+    InjectFault,
+    Message,
+    Submit,
+)
+from repro.sim.engine import SimulationEngine
+from repro.sim.job import Job
+from repro.sim.journal import EventJournal
+from repro.sim.metrics import SimulationResult
+
+__all__ = [
+    "CapacitySpec",
+    "TenantSpec",
+    "TenantReport",
+    "TenantShard",
+    "make_scheduler",
+    "SCHEDULER_FACTORIES",
+]
+
+_EPS = 1e-9
+
+
+def _scheduler_factories() -> Dict[str, Any]:
+    from repro.core import (
+        AdmissionEDFScheduler,
+        DoverScheduler,
+        EDFScheduler,
+        FCFSScheduler,
+        GreedyDensityScheduler,
+        LLFScheduler,
+        VDoverScheduler,
+    )
+
+    return {
+        "vdover": VDoverScheduler,
+        "dover": DoverScheduler,
+        "edf": EDFScheduler,
+        "edf-ac": AdmissionEDFScheduler,
+        "llf": LLFScheduler,
+        "greedy": GreedyDensityScheduler,
+        "fcfs": FCFSScheduler,
+    }
+
+
+#: Name → scheduler class (the CLI's policy names).
+SCHEDULER_FACTORIES = _scheduler_factories
+
+
+def make_scheduler(name: str, **kwargs: Any):
+    """Build a fresh scheduler by CLI name (used twice per tenant: live
+    shard and closed-horizon replay — both sides must construct
+    identically)."""
+    factories = _scheduler_factories()
+    if name not in factories:
+        raise ServiceError(
+            f"unknown scheduler {name!r}; expected one of "
+            f"{tuple(sorted(factories))}"
+        )
+    if name in ("vdover", "dover"):
+        kwargs.setdefault("k", 7.0)  # the CLI's importance-ratio default
+    if name == "dover":
+        kwargs.setdefault("c_hat", 1.0)
+    return factories[name](**kwargs)
+
+
+@dataclass(frozen=True)
+class CapacitySpec:
+    """A rebuildable recipe for a tenant's capacity trajectory.
+
+    The service must be able to construct the *same* stochastic world
+    twice — once for the live shard and once for the closed-horizon
+    replay — so tenants declare capacity as data, not as an object:
+
+    * ``markov2`` — :class:`~repro.capacity.markov.TwoStateMarkovCapacity`
+      with params ``low``, ``high``, ``mean_sojourn`` and the spec's seed;
+    * ``constant`` — a flat :class:`PiecewiseConstantCapacity` at
+      ``rate`` (optional declared ``lower``/``upper`` band);
+    * ``piecewise`` — explicit ``breakpoints``/``rates`` lists.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("markov2", "constant", "piecewise"):
+            raise ServiceError(
+                f"unknown capacity kind {self.kind!r}; expected "
+                "markov2 | constant | piecewise"
+            )
+
+    def build(self) -> CapacityFunction:
+        p = dict(self.params)
+        if self.kind == "markov2":
+            return TwoStateMarkovCapacity(
+                low=float(p.get("low", 1.0)),
+                high=float(p.get("high", 35.0)),
+                mean_sojourn=float(p.get("mean_sojourn", 1.0)),
+                rng=np.random.default_rng(self.seed),
+            )
+        if self.kind == "constant":
+            rate = float(p.get("rate", 1.0))
+            return PiecewiseConstantCapacity(
+                [0.0],
+                [rate],
+                lower=p.get("lower"),
+                upper=p.get("upper"),
+            )
+        return PiecewiseConstantCapacity(
+            list(p["breakpoints"]),
+            list(p["rates"]),
+            lower=p.get("lower"),
+            upper=p.get("upper"),
+        )
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Everything needed to build one tenant's world — twice, identically.
+
+    ``sensor_faults`` wrap what the tenant's scheduler observes
+    (:class:`~repro.faults.spec.FaultSpec`, seeded ``fault_seed + i``);
+    ``start_faults`` are execution faults armed at start
+    (:class:`~repro.faults.execution.ExecutionFaultSpec` — kills and
+    revocations; ``crash`` plans are refused here, forced crashes arrive
+    through the ingress instead).
+    """
+
+    tenant: str
+    horizon: float
+    scheduler: str = "vdover"
+    scheduler_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    capacity: CapacitySpec = field(
+        default_factory=lambda: CapacitySpec("constant", {"rate": 1.0})
+    )
+    sensor_faults: Tuple[FaultSpec, ...] = ()
+    start_faults: Tuple[ExecutionFaultSpec, ...] = ()
+    fault_seed: int = 0
+    queue_budget: int = 256
+    snapshot_every: int = 32
+    flush_every: int = 8
+    fsync: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.horizon > 0.0:
+            raise ServiceError(f"horizon must be > 0, got {self.horizon!r}")
+        for spec in self.start_faults:
+            if spec.kind == "crash":
+                raise ServiceError(
+                    "crash plans cannot be start faults; inject forced "
+                    "crashes through the ingress (fault op 'crash')"
+                )
+
+    # -- world construction (shared by live shard and replay) ----------
+    def build_scheduler(self):
+        return make_scheduler(self.scheduler, **dict(self.scheduler_kwargs))
+
+    def build_capacity(self) -> CapacityFunction:
+        """Fresh raw physics (execution-fault transforms apply to this;
+        sensor wrappers go on top afterwards — see :meth:`wrap_sensors`)."""
+        return self.capacity.build()
+
+    def wrap_sensors(self, capacity: CapacityFunction) -> CapacityFunction:
+        """Corrupt the sensing channel, deterministic per-fault seeds.
+
+        Applied *after* execution-fault transforms: revocations change
+        the physics, the sensors observe the changed physics."""
+        for i, fault in enumerate(self.sensor_faults):
+            capacity = fault.apply(capacity, seed=self.fault_seed + i)
+        return capacity
+
+    def build_start_faults(self) -> List[ExecutionFault]:
+        faults: List[ExecutionFault] = []
+        for i, spec in enumerate(self.start_faults):
+            fault = spec.build(seed=self.fault_seed + 101 * (i + 1))
+            if fault is not None:
+                faults.append(fault)
+        return faults
+
+
+@dataclass
+class TenantReport:
+    """What one closed tenant hands back (input to the replay check)."""
+
+    tenant: str
+    spec: TenantSpec
+    result: Optional[SimulationResult]
+    accepted: Tuple[Job, ...]
+    shed: Tuple[ShedRecord, ...]
+    injected: Tuple[Tuple[float, tuple], ...]
+    submitted: int
+    recoveries: int
+    forced_crashes: int
+    journal: Optional[EventJournal]
+    journal_path: Optional[Path]
+    restarts: int = 0
+    backoffs: Tuple[float, ...] = ()
+
+    @property
+    def lost_jids(self) -> Tuple[int, ...]:
+        """Accepted jobs with no recorded outcome — must be empty for a
+        healthy close (the zero-accepted-then-lost criterion)."""
+        if self.result is None:
+            return tuple(job.jid for job in self.accepted)
+        outcomes = self.result.trace.outcomes
+        return tuple(
+            job.jid for job in self.accepted if job.jid not in outcomes
+        )
+
+
+class TenantShard:
+    """One tenant's live kernel plus its admission and op-log state."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        *,
+        journal_dir: "str | Path | None" = None,
+    ) -> None:
+        self.spec = spec
+        self._journal_path: Optional[Path] = None
+        self._shed_fh = None
+        if journal_dir is not None:
+            base = Path(journal_dir)
+            base.mkdir(parents=True, exist_ok=True)
+            self._journal_path = base / f"{spec.tenant}.journal.jsonl"
+            self._shed_fh = (base / f"{spec.tenant}.shed.jsonl").open(
+                "w", encoding="utf-8"
+            )
+        self._journal = EventJournal(
+            self._journal_path,
+            flush_every=spec.flush_every,
+            fsync=spec.fsync,
+        )
+        self._built_faults = spec.build_start_faults()
+        capacity = spec.build_capacity()
+        self._admission = AdmissionController(
+            spec.tenant,
+            queue_budget=spec.queue_budget,
+            c_lower=capacity.lower,
+        )
+
+        self._accepted: List[Job] = []
+        self._accepted_jids: set = set()
+        self._shed: List[ShedRecord] = []
+        self._injected: List[Tuple[float, tuple]] = []
+        # Op log: (dispatch_count at application, kind, data).  Recovery
+        # re-applies every op at or past the restored snapshot's count.
+        self._ops: List[Tuple[int, str, Any]] = []
+        self._pending: List[Job] = []
+        self._submitted = 0
+        self._recoveries = 0
+        self._forced_crashes = 0
+        self._result: Optional[SimulationResult] = None
+        self._closed = False
+
+        self._engine = self._build_engine([], capacity)
+        self._engine.kernel.start()
+
+    # ------------------------------------------------------------------
+    def _build_engine(
+        self,
+        jobs: Sequence[Job],
+        capacity: Optional[CapacityFunction] = None,
+    ) -> SimulationEngine:
+        if capacity is None:
+            # Recovery path: restore() replaces the capacity object from
+            # the snapshot pickle, so a fresh spec-built one is only a
+            # structurally-correct placeholder.
+            capacity = self.spec.build_capacity()
+        caps = apply_fault_transforms(
+            [capacity], self._built_faults, self.spec.horizon
+        )
+        return SimulationEngine(
+            jobs,
+            self.spec.wrap_sensors(caps[0]),
+            self.spec.build_scheduler(),
+            horizon=self.spec.horizon,
+            faults=self._built_faults,
+            journal=self._journal,
+            snapshot_every=self.spec.snapshot_every,
+            event_queue="heap",
+        )
+
+    # -- accessors ------------------------------------------------------
+    @property
+    def kernel(self):
+        return self._engine.kernel
+
+    @property
+    def tenant(self) -> str:
+        return self.spec.tenant
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def depth(self) -> int:
+        """Live backlog: accepted jobs without a recorded outcome."""
+        return len(self._accepted) - len(self.kernel.trace.outcomes)
+
+    @property
+    def accepted_count(self) -> int:
+        return len(self._accepted)
+
+    @property
+    def shed_count(self) -> int:
+        return len(self._shed)
+
+    # -- metrics helpers ------------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        octx = _obs.current()
+        if octx is not None:
+            octx.metrics.counter(name).inc(n)
+
+    def _journal_shed(self, records: Sequence[ShedRecord]) -> None:
+        if not records:
+            return
+        self._shed.extend(records)
+        octx = _obs.current()
+        for record in records:
+            if self._shed_fh is not None:
+                self._shed_fh.write(json.dumps(record.to_dict()) + "\n")
+            if octx is not None:
+                octx.metrics.counter("service.shed").inc()
+                octx.metrics.counter(
+                    "service.shed." + record.reason
+                ).inc()
+                octx.emit(
+                    "service.shed",
+                    record.time,
+                    record.to_dict(),
+                    replay=False,
+                )
+        if self._shed_fh is not None:
+            self._shed_fh.flush()
+
+    # ------------------------------------------------------------------
+    # Message handling (synchronous, deterministic; may raise
+    # SimulatedCrash — the supervisor owns recovery and retry)
+    # ------------------------------------------------------------------
+    def handle(self, message: Message) -> None:
+        if self._closed:
+            raise ServiceError(
+                f"tenant {self.tenant!r} is closed; no further messages"
+            )
+        if isinstance(message, Submit):
+            self.submit(message.job)
+        elif isinstance(message, InjectFault):
+            self.inject(message.op, message.time, retain=message.retain)
+        elif isinstance(message, Advance):
+            self.advance(message.time)
+        elif isinstance(message, Close):
+            self.close()
+        else:  # pragma: no cover - defensive
+            raise MessageError(f"unhandled message {message!r}")
+
+    def submit(self, job: Job) -> None:
+        """Buffer one submission into the current contention group.
+
+        Groups are keyed by release instant: a submission at a new
+        release flushes the previous group first, so shedding decisions
+        always see the whole group that competes for the same slots."""
+        self._submitted += 1
+        self._count("service.submitted")
+        if self._pending and self._pending[0].release != job.release:
+            self._flush_pending()
+        self._pending.append(job)
+
+    def advance(self, time: float) -> None:
+        """Flush the open group, then dispatch strictly before ``time``."""
+        self._flush_pending()
+        self.kernel.run_until(float(time))
+
+    def inject(self, op: str, time: float, *, retain: float = 0.0) -> None:
+        """Inject one execution fault at virtual ``time``.
+
+        ``kill``/``evict`` push a FAULT event with the service's sentinel
+        fault index (−1: the kernel's kill/evict handlers never consult
+        the fault list) and record the exact payload for the replay.
+        ``crash`` advances to ``time`` and dies for real — a
+        :class:`~repro.errors.SimulatedCrash` carrying the last periodic
+        snapshot propagates to the supervisor."""
+        self._flush_pending()
+        time = float(time)
+        kernel = self.kernel
+        if op == "crash":
+            kernel.run_until(time)
+            self._forced_crashes += 1
+            self._count("service.injected.crash")
+            raise SimulatedCrash(
+                time=kernel.now,
+                at_event=None,
+                fault_index=-1,
+                snapshot=kernel.last_snapshot,
+            )
+        if time < kernel.now - _EPS:
+            raise MessageError(
+                f"fault time {time:g} is behind the dispatch frontier "
+                f"({kernel.now:g})"
+            )
+        if not 0.0 <= time <= self.spec.horizon:
+            raise MessageError(
+                f"fault time {time:g} outside [0, {self.spec.horizon:g}]"
+            )
+        if op == "kill":
+            payload: tuple = ("kill", -1, float(retain))
+        elif op == "evict":
+            payload = ("evict", -1)
+        else:  # pragma: no cover - parse_message guards
+            raise MessageError(f"unknown fault op {op!r}")
+        kernel.push_fault_event(time, payload)
+        self._injected.append((time, payload))
+        self._ops.append((kernel.dispatch_count, "push", (time, payload)))
+        self._count("service.injected." + op)
+
+    def close(self) -> TenantReport:
+        """Finish the tenant: run to the horizon and build the report."""
+        self._flush_pending()
+        self._result = self._engine.run()
+        self._closed = True
+        self._journal.flush()
+        if self._shed_fh is not None:
+            self._shed_fh.close()
+            self._shed_fh = None
+        self._count("service.closed")
+        return self.report()
+
+    def report(self) -> TenantReport:
+        return TenantReport(
+            tenant=self.tenant,
+            spec=self.spec,
+            result=self._result,
+            accepted=tuple(self._accepted),
+            shed=tuple(self._shed),
+            injected=tuple(self._injected),
+            submitted=self._submitted,
+            recoveries=self._recoveries,
+            forced_crashes=self._forced_crashes,
+            journal=self._journal,
+            journal_path=self._journal_path,
+        )
+
+    # ------------------------------------------------------------------
+    def _flush_pending(self) -> None:
+        """Decide and admit the open contention group."""
+        if not self._pending:
+            return
+        release = self._pending[0].release
+        kernel = self.kernel
+        # Resolve everything strictly before the group's release so the
+        # backlog the admission decision sees is current.  A crash in
+        # here leaves the group buffered — the supervisor's retry
+        # re-runs the flush idempotently after recovery.
+        kernel.run_until(release)
+        batch = self._pending
+        admit, shed = self._admission.plan(
+            batch,
+            depth=self.depth,
+            frontier=kernel.now,
+            horizon=self.spec.horizon,
+            known_jids=self._accepted_jids,
+        )
+        self._pending = []
+        self._journal_shed(shed)
+        for job in admit:
+            self._ops.append((kernel.dispatch_count, "admit", job))
+            kernel.admit_job(job)
+            self._accepted.append(job)
+            self._accepted_jids.add(job.jid)
+        self._count("service.admitted", len(admit))
+
+    def shed_all_pending(self, reason: str) -> None:
+        """Shed the open group without admitting (degraded shard)."""
+        if self._pending:
+            batch, self._pending = self._pending, []
+            self._journal_shed(
+                self._admission.shed_all(batch, reason, self.kernel.now)
+            )
+
+    def shed_one(self, job: Job, reason: str) -> None:
+        """Record one out-of-band shed decision (circuit-open path)."""
+        self._submitted += 1
+        self._count("service.submitted")
+        self._journal_shed(
+            self._admission.shed_all([job], reason, self.kernel.now)
+        )
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(self, crash: BaseException) -> None:
+        """Restore the last periodic snapshot and re-apply the op log.
+
+        The fresh engine gets exactly the accepted jobs the snapshot
+        knows about (in admission order); restoring re-verifies the WAL
+        tail.  Ops recorded at or past the snapshot's dispatch count are
+        the ones applied after it was taken — admissions and fault
+        pushes the snapshot cannot contain — and are re-applied in
+        order.  Everything else (events between the snapshot and the
+        crash) re-materialises lazily on the next ``run_until``,
+        verified record-by-record against the journal."""
+        snapshot = getattr(crash, "snapshot", None)
+        if snapshot is None:
+            snapshot = self.kernel.last_snapshot
+        if snapshot is None:
+            raise RecoveryError(
+                f"tenant {self.tenant!r} crashed before the first "
+                "snapshot; nothing to restore from"
+            ) from crash
+        jobs = [
+            job for job in self._accepted if job.jid in snapshot.status
+        ]
+        engine = self._build_engine(jobs)
+        engine.restore(snapshot)
+        kernel = engine.kernel
+        base = snapshot.dispatch_count
+        for dc, kind, data in self._ops:
+            if dc < base:
+                continue
+            if kind == "admit":
+                kernel.admit_job(data)
+            else:  # "push"
+                kernel.push_fault_event(*data)
+        self._engine = engine
+        self._recoveries += 1
+        self._count("service.recoveries")
+        octx = _obs.current()
+        if octx is not None:
+            octx.emit(
+                "service.recover",
+                kernel.now,
+                {
+                    "tenant": self.tenant,
+                    "snapshot_dispatch": base,
+                    "ops_reapplied": sum(
+                        1 for dc, _, _ in self._ops if dc >= base
+                    ),
+                },
+                replay=False,
+            )

@@ -1,0 +1,278 @@
+"""Supervision: restart ladder, circuit breaker, per-tenant workers.
+
+The :class:`ScheduleService` owns one :class:`~repro.service.shard.TenantShard`
+per tenant, each driven by its own asyncio worker task consuming a
+per-tenant FIFO queue — tenants are isolated failure domains that crash,
+recover and backpressure independently.
+
+The restart ladder (docs/ROBUSTNESS.md §10): a
+:class:`~repro.errors.SimulatedCrash` (or any unhandled kernel
+exception) triggers ``shard.recover`` — restore the last periodic
+snapshot, replay the WAL tail, re-apply the op log — then the failed
+message is retried after a capped exponential backoff
+(``base · factor^k``, clamped to ``cap``).  A
+:class:`~repro.kernel.recovery.CrashLoopDetector` cuts livelocks short
+(two consecutive crashes at the same position), and once a single
+message exhausts ``max_restarts`` — or recovery itself fails — the
+tenant's **circuit breaker** trips: the shard stops restarting, pending
+and future submissions are shed with reason ``circuit_open``, and other
+tenants keep running.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs as _obs
+from repro.errors import (
+    CircuitOpenError,
+    MessageError,
+    RecoveryError,
+    ServiceError,
+    SimulatedCrash,
+)
+from repro.kernel.recovery import CrashLoopDetector
+from repro.service.messages import Close, Message, Submit
+from repro.service.shard import TenantReport, TenantShard, TenantSpec
+
+__all__ = ["RestartPolicy", "TenantSupervisor", "ScheduleService"]
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Capped exponential restart backoff + circuit-breaker threshold."""
+
+    backoff_base: float = 0.01  #: delay before restart 1 (seconds)
+    backoff_factor: float = 2.0  #: growth per consecutive restart
+    backoff_cap: float = 0.5  #: hard ceiling on any single delay
+    max_restarts: int = 8  #: per-message budget before the breaker trips
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before restart ``attempt`` (1-based), capped."""
+        return min(
+            self.backoff_base * (self.backoff_factor ** (attempt - 1)),
+            self.backoff_cap,
+        )
+
+
+class TenantSupervisor:
+    """One tenant's restartable unit: shard + ladder + breaker state."""
+
+    def __init__(
+        self, shard: TenantShard, policy: Optional[RestartPolicy] = None
+    ) -> None:
+        self.shard = shard
+        self.policy = policy or RestartPolicy()
+        self.restarts = 0
+        self.backoffs: List[float] = []
+        self.breaker_open = False
+        self.breaker_reason: Optional[str] = None
+        self._detector = CrashLoopDetector()
+
+    @property
+    def tenant(self) -> str:
+        return self.shard.tenant
+
+    def _trip_breaker(self, reason: str) -> None:
+        self.breaker_open = True
+        self.breaker_reason = reason
+        self.shard.shed_all_pending("circuit_open")
+        octx = _obs.current()
+        if octx is not None:
+            octx.metrics.counter("service.breaker_tripped").inc()
+            octx.emit(
+                "service.breaker",
+                self.shard.kernel.now,
+                {"tenant": self.tenant, "reason": reason},
+                replay=False,
+            )
+
+    async def handle(self, message: Message) -> Optional[TenantReport]:
+        """Process one message through the restart ladder.
+
+        Returns the tenant report for ``Close`` messages, else ``None``.
+        Raises :class:`~repro.errors.MessageError` for rejected messages
+        (the ingress counts them); everything fatal trips the breaker
+        instead of propagating."""
+        if self.breaker_open:
+            if isinstance(message, Submit):
+                # Degraded shard: deterministic shed, service keeps going.
+                self.shard.shed_one(message.job, "circuit_open")
+                return None
+            if isinstance(message, Close):
+                return self.shard.report()
+            raise CircuitOpenError(
+                f"tenant {self.tenant!r} breaker is open "
+                f"({self.breaker_reason}); message dropped"
+            )
+
+        attempts = 0
+        while True:
+            try:
+                if isinstance(message, Close):
+                    return self.shard.close()
+                self.shard.handle(message)
+                return None
+            except MessageError:
+                raise  # a bad message is the sender's problem, not a crash
+            except SimulatedCrash as crash:
+                forced = crash.fault_index == -1 and crash.at_event is None
+                attempts += 1
+                if attempts > self.policy.max_restarts:
+                    self._trip_breaker(
+                        f"restart budget exhausted ({self.policy.max_restarts})"
+                    )
+                    return self.shard.report() if isinstance(message, Close) else None
+                try:
+                    if not forced:
+                        # Forced (ingress-injected) crashes are operator
+                        # actions, not livelocks — two of them may land at
+                        # the same position legitimately.
+                        self._detector.observe(crash)
+                    self.shard.recover(crash)
+                except RecoveryError as exc:
+                    self._trip_breaker(str(exc))
+                    return self.shard.report() if isinstance(message, Close) else None
+                self.restarts += 1
+                delay = self.policy.delay(attempts)
+                self.backoffs.append(delay)
+                self._count_restart(delay)
+                if delay > 0.0:
+                    await asyncio.sleep(delay)
+                if forced:
+                    # The ingress-forced crash *was* the message's effect;
+                    # retrying it would crash forever.
+                    return None
+                # Deterministic retry: recovery left the message unapplied.
+            except (RecoveryError, ServiceError) as exc:
+                self._trip_breaker(str(exc))
+                return self.shard.report() if isinstance(message, Close) else None
+
+    def _count_restart(self, delay: float) -> None:
+        octx = _obs.current()
+        if octx is not None:
+            octx.metrics.counter("service.restarts").inc()
+            octx.metrics.histogram("service.restart_backoff_s").observe(delay)
+
+    def final_report(self) -> TenantReport:
+        report = (
+            self.shard.report()
+            if self.shard.closed or self.breaker_open
+            else self.shard.close()
+        )
+        report.restarts = self.restarts
+        report.backoffs = tuple(self.backoffs)
+        return report
+
+
+class ScheduleService:
+    """The always-on front: per-tenant queues, workers and supervisors."""
+
+    def __init__(
+        self,
+        specs: "list[TenantSpec] | tuple[TenantSpec, ...]",
+        *,
+        policy: Optional[RestartPolicy] = None,
+        journal_dir: "str | None" = None,
+        queue_size: int = 1024,
+    ) -> None:
+        if not specs:
+            raise ServiceError("a service needs at least one tenant spec")
+        names = [spec.tenant for spec in specs]
+        if len(set(names)) != len(names):
+            raise ServiceError(f"duplicate tenant names in {names}")
+        self._specs = tuple(specs)
+        self._policy = policy or RestartPolicy()
+        self._journal_dir = journal_dir
+        self._queue_size = int(queue_size)
+        self._supervisors: Dict[str, TenantSupervisor] = {}
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self._workers: List[asyncio.Task] = []
+        self._reports: Dict[str, TenantReport] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def tenants(self) -> Tuple[str, ...]:
+        return tuple(spec.tenant for spec in self._specs)
+
+    def supervisor(self, tenant: str) -> TenantSupervisor:
+        return self._supervisors[tenant]
+
+    async def start(self) -> None:
+        """Build every shard and launch its worker task."""
+        if self._started:
+            return
+        for spec in self._specs:
+            shard = TenantShard(spec, journal_dir=self._journal_dir)
+            self._supervisors[spec.tenant] = TenantSupervisor(
+                shard, self._policy
+            )
+            queue: asyncio.Queue = asyncio.Queue(maxsize=self._queue_size)
+            self._queues[spec.tenant] = queue
+            self._workers.append(
+                asyncio.create_task(
+                    self._worker(spec.tenant, queue),
+                    name=f"shard-{spec.tenant}",
+                )
+            )
+        self._started = True
+
+    async def _worker(self, tenant: str, queue: asyncio.Queue) -> None:
+        supervisor = self._supervisors[tenant]
+        while True:
+            item = await queue.get()
+            if item is None:
+                queue.task_done()
+                return
+            message, future = item
+            try:
+                report = await supervisor.handle(message)
+                if report is not None:
+                    self._reports[tenant] = report
+                if not future.done():
+                    future.set_result(report)
+            except Exception as exc:  # noqa: BLE001 - routed to the sender
+                if not future.done():
+                    future.set_exception(exc)
+            finally:
+                queue.task_done()
+
+    async def dispatch(self, message: Message):
+        """Route one message to its tenant's worker and await the outcome.
+
+        Raises :class:`~repro.errors.MessageError` for unknown tenants or
+        rejected messages — the ingress converts those into error acks."""
+        if not self._started:
+            raise ServiceError("service not started")
+        queue = self._queues.get(message.tenant)
+        if queue is None:
+            raise MessageError(f"unknown tenant {message.tenant!r}")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await queue.put((message, future))
+        return await future
+
+    async def close(self) -> Dict[str, TenantReport]:
+        """Close every tenant (if not already closed) and stop workers."""
+        for tenant in self.tenants:
+            supervisor = self._supervisors[tenant]
+            if tenant not in self._reports and not supervisor.shard.closed:
+                try:
+                    await self.dispatch(Close(tenant=tenant))
+                except (MessageError, CircuitOpenError):
+                    pass
+        for tenant, queue in self._queues.items():
+            await queue.put(None)
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        reports: Dict[str, TenantReport] = {}
+        for tenant in self.tenants:
+            supervisor = self._supervisors[tenant]
+            report = self._reports.get(tenant)
+            if report is None:
+                report = supervisor.final_report()
+            report.restarts = supervisor.restarts
+            report.backoffs = tuple(supervisor.backoffs)
+            reports[tenant] = report
+        return reports

@@ -116,6 +116,30 @@ class JobTable:
         self.status: List[int] = [_PENDING] * n
 
     # ------------------------------------------------------------------
+    def append_job(self, job: Job) -> None:
+        """Grow the table by one job (live-service admission).
+
+        The immutable parameter columns are rebuilt (``np.append`` copies,
+        O(n)) — admission is the cold path and nothing holds references to
+        them.  The mutable hot columns and the ``row_of`` map are extended
+        *in place*: the kernel aliases those (``_rem``/``_st``/``_row``)
+        and the aliases must survive admission, exactly as they survive
+        :meth:`load_state_columns`.
+        """
+        if job.jid in self.row_of:
+            raise SimulationError(f"duplicate job id {job.jid} in JobTable")
+        row = len(self.jobs)
+        self.jobs = self.jobs + (job,)
+        self.row_of[job.jid] = row
+        self.jid = np.append(self.jid, np.int64(job.jid))
+        self.release = np.append(self.release, np.float64(job.release))
+        self.workload = np.append(self.workload, np.float64(job.workload))
+        self.deadline = np.append(self.deadline, np.float64(job.deadline))
+        self.value = np.append(self.value, np.float64(job.value))
+        self.remaining.append(0.0)
+        self.status.append(_PENDING)
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.jobs)
 

@@ -32,6 +32,7 @@ approximate.
 from __future__ import annotations
 
 import json
+import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -114,14 +115,36 @@ class EventJournal:
     """Append-only write-ahead log of dispatched events.
 
     In-memory always; mirrored to a JSONL file when ``path`` is given
-    (header line first, one record per line, flushed per append so a crash
-    loses at most the torn final line).
+    (header line first, one record per line).
+
+    Durability contract: ``flush_every=N`` batches the file-buffer flush —
+    every N-th append flushes, so a crash loses at most the last ``N-1``
+    records plus a torn final line.  The default (``flush_every=1``)
+    keeps the historical flush-per-append behaviour.  The kernel calls
+    :meth:`flush` on every snapshot boundary regardless of the batch
+    size, so the WAL on disk always covers at least everything the last
+    recovery anchor supersedes; ``fsync=True`` additionally forces the
+    OS buffer to stable storage on each such explicit flush (the service
+    WAL's stated durability point).
     """
 
-    def __init__(self, path: "str | Path | None" = None) -> None:
+    def __init__(
+        self,
+        path: "str | Path | None" = None,
+        *,
+        flush_every: int = 1,
+        fsync: bool = False,
+    ) -> None:
+        if flush_every < 1:
+            raise RecoveryError(
+                f"flush_every must be >= 1, got {flush_every!r}"
+            )
         self._records: List[JournalRecord] = []
         self._path = None if path is None else Path(path)
         self._fh = None
+        self._flush_every = int(flush_every)
+        self._fsync = bool(fsync)
+        self._unflushed = 0
         if self._path is not None:
             self._path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = self._path.open("w", encoding="utf-8")
@@ -151,13 +174,31 @@ class EventJournal:
         self._records.append(record)
         if self._fh is not None:
             self._fh.write(json.dumps(record.to_dict()) + "\n")
-            self._fh.flush()
+            self._unflushed += 1
+            if self._unflushed >= self._flush_every:
+                self._fh.flush()
+                self._unflushed = 0
+
+    def flush(self, *, sync: "bool | None" = None) -> None:
+        """Flush buffered records to the file (no-op when in-memory only).
+
+        ``sync`` forces (or suppresses) an ``fsync`` for this call;
+        ``None`` defers to the constructor's ``fsync`` flag.  Called by
+        the kernel on every snapshot boundary."""
+        if self._fh is None:
+            return
+        self._fh.flush()
+        self._unflushed = 0
+        do_sync = self._fsync if sync is None else bool(sync)
+        if do_sync:
+            os.fsync(self._fh.fileno())
 
     def get(self, index: int) -> JournalRecord:
         return self._records[index]
 
     def close(self) -> None:
         if self._fh is not None:
+            self.flush()
             self._fh.close()
             self._fh = None
 

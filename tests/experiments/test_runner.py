@@ -101,3 +101,94 @@ class TestDefaultRuns:
         monkeypatch.setenv("REPRO_MC_RUNS", "lots")
         with pytest.raises(ReproError, match="REPRO_MC_RUNS must be an integer"):
             default_mc_runs(12)
+
+
+class TestReplicationDeadlinePortability:
+    """Satellite: the wall-clock budget must be enforced (not silently
+    dropped) even where SIGALRM pre-emption is unavailable — e.g. when a
+    replication runs on a non-main thread."""
+
+    def _run_in_thread(self, fn):
+        import threading
+
+        box = {}
+
+        def target():
+            try:
+                box["result"] = fn()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                box["error"] = exc
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+        if "error" in box:
+            raise box["error"]
+        return box.get("result")
+
+    def test_main_thread_uses_sigalrm_silently(self):
+        import warnings
+
+        from repro.experiments.runner import _replication_deadline
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning would fail
+            with _replication_deadline(5.0):
+                pass
+
+    def test_non_main_thread_warns_and_passes_fast_work(self):
+        import warnings
+
+        from repro.experiments.runner import (
+            TimeoutEnforcementWarning,
+            _replication_deadline,
+        )
+
+        def run():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with _replication_deadline(5.0):
+                    pass
+            return caught
+
+        caught = self._run_in_thread(run)
+        assert any(
+            issubclass(w.category, TimeoutEnforcementWarning) for w in caught
+        )
+        message = str(
+            next(
+                w.message
+                for w in caught
+                if issubclass(w.category, TimeoutEnforcementWarning)
+            )
+        )
+        assert "cannot pre-empt" in message
+
+    def test_non_main_thread_soft_deadline_raises_post_hoc(self):
+        import time
+        import warnings
+
+        from repro.errors import ReplicationTimeout
+        from repro.experiments.runner import _replication_deadline
+
+        def run():
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                with _replication_deadline(0.01):
+                    time.sleep(0.05)  # blows the budget, unpreempted
+
+        with pytest.raises(ReplicationTimeout, match="soft deadline"):
+            self._run_in_thread(run)
+
+    def test_zero_budget_is_identity_everywhere(self):
+        import warnings
+
+        from repro.experiments.runner import _replication_deadline
+
+        def run():
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                with _replication_deadline(None):
+                    return "ok"
+
+        assert self._run_in_thread(run) == "ok"

@@ -1,0 +1,153 @@
+"""AdmissionController unit tests: the deterministic shed policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import AdmissionController, SHED_REASONS
+from repro.sim.job import Job
+
+
+def _job(jid, release=2.0, workload=1.0, deadline=10.0, value=1.0):
+    return Job(
+        jid=jid,
+        release=release,
+        workload=workload,
+        deadline=deadline,
+        value=value,
+    )
+
+
+def _controller(budget=4, c_lower=1.0):
+    return AdmissionController("t0", queue_budget=budget, c_lower=c_lower)
+
+
+class TestValidation:
+    def test_rejects_silly_budget(self):
+        with pytest.raises(ValueError, match="queue_budget"):
+            _controller(budget=0)
+
+    def test_rejects_nonpositive_floor(self):
+        with pytest.raises(ValueError, match="c_lower"):
+            _controller(c_lower=0.0)
+
+
+class TestStructuralRejections:
+    def test_duplicate_against_known(self):
+        admit, shed = _controller().plan(
+            [_job(1)], depth=0, frontier=0.0, horizon=100.0, known_jids={1}
+        )
+        assert not admit
+        assert [(r.jid, r.reason) for r in shed] == [(1, "duplicate_jid")]
+
+    def test_duplicate_within_batch(self):
+        admit, shed = _controller().plan(
+            [_job(1), _job(1, value=9.0)],
+            depth=0,
+            frontier=0.0,
+            horizon=100.0,
+            known_jids=set(),
+        )
+        assert [j.jid for j in admit] == [1]
+        assert [r.reason for r in shed] == ["duplicate_jid"]
+
+    def test_stale_release(self):
+        admit, shed = _controller().plan(
+            [_job(1, release=1.0)],
+            depth=0,
+            frontier=5.0,
+            horizon=100.0,
+            known_jids=set(),
+        )
+        assert not admit
+        assert shed[0].reason == "stale_release"
+
+    def test_beyond_horizon(self):
+        admit, shed = _controller().plan(
+            [_job(1, release=200.0, deadline=300.0)],
+            depth=0,
+            frontier=0.0,
+            horizon=100.0,
+            known_jids=set(),
+        )
+        assert not admit
+        assert shed[0].reason == "beyond_horizon"
+
+
+class TestBudgetShedding:
+    def test_lowest_density_shed_first(self):
+        batch = [
+            _job(1, value=1.0),  # density 1.0 — shed
+            _job(2, value=3.0),  # density 3.0 — keep
+            _job(3, value=2.0),  # density 2.0 — keep
+        ]
+        admit, shed = _controller(budget=2).plan(
+            batch, depth=0, frontier=0.0, horizon=100.0, known_jids=set()
+        )
+        assert [j.jid for j in admit] == [2, 3]  # submission order kept
+        assert [(r.jid, r.reason) for r in shed] == [(1, "queue_budget")]
+
+    def test_density_tie_breaks_toward_largest_laxity(self):
+        batch = [
+            _job(1, deadline=5.0),  # tight: laxity 2
+            _job(2, deadline=20.0),  # slack: laxity 17 — shed first
+        ]
+        admit, shed = _controller(budget=1).plan(
+            batch, depth=0, frontier=0.0, horizon=100.0, known_jids=set()
+        )
+        assert [j.jid for j in admit] == [1]
+        assert shed[0].jid == 2
+
+    def test_full_tie_breaks_toward_largest_jid(self):
+        batch = [_job(1), _job(2), _job(3)]
+        admit, shed = _controller(budget=2).plan(
+            batch, depth=0, frontier=0.0, horizon=100.0, known_jids=set()
+        )
+        assert [j.jid for j in admit] == [1, 2]
+        assert shed[0].jid == 3
+
+    def test_existing_depth_consumes_budget(self):
+        admit, shed = _controller(budget=4).plan(
+            [_job(1), _job(2)],
+            depth=3,
+            frontier=0.0,
+            horizon=100.0,
+            known_jids=set(),
+        )
+        assert len(admit) == 1
+        assert len(shed) == 1
+
+    def test_overfull_backlog_sheds_everything(self):
+        admit, shed = _controller(budget=2).plan(
+            [_job(1), _job(2)],
+            depth=5,
+            frontier=0.0,
+            horizon=100.0,
+            known_jids=set(),
+        )
+        assert not admit
+        assert {r.reason for r in shed} == {"queue_budget"}
+
+
+class TestRecords:
+    def test_shed_all_stamps_reason_and_frontier(self):
+        records = _controller().shed_all([_job(9)], "circuit_open", 3.5)
+        assert records[0].reason == "circuit_open"
+        assert records[0].time == 3.5
+        assert records[0].reason in SHED_REASONS
+
+    def test_record_dict_has_stable_fields(self):
+        record = _controller().shed_all([_job(9, value=4.0)], "queue_budget", 0.0)[0]
+        d = record.to_dict()
+        assert d["jid"] == 9
+        assert d["density"] == 4.0
+        assert set(d) == {
+            "tenant",
+            "jid",
+            "reason",
+            "time",
+            "value",
+            "workload",
+            "density",
+            "laxity",
+        }

@@ -1,0 +1,90 @@
+"""Wire-format tests: parse_message / encode_message round-trips and
+strict rejection of malformed lines."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import MessageError
+from repro.service import (
+    Advance,
+    Close,
+    InjectFault,
+    Submit,
+    encode_message,
+    parse_message,
+)
+from repro.sim.job import Job
+
+
+class TestParse:
+    def test_submit_roundtrip(self):
+        message = Submit(
+            "t0", Job(jid=7, release=1.5, workload=2.0, deadline=4.5, value=6.0)
+        )
+        parsed = parse_message(encode_message(message))
+        assert parsed == message
+
+    def test_fault_roundtrips(self):
+        for message in (
+            InjectFault("t1", "kill", 3.0, retain=0.5),
+            InjectFault("t1", "evict", 4.0),
+            InjectFault("t1", "crash", 9.0),
+        ):
+            assert parse_message(encode_message(message)) == message
+
+    def test_advance_and_close_roundtrip(self):
+        assert parse_message(encode_message(Advance("a", 10.0))) == Advance(
+            "a", 10.0
+        )
+        assert parse_message(encode_message(Close("a"))) == Close("a")
+
+    def test_accepts_bytes_and_dicts(self):
+        line = encode_message(Close("t0"))
+        assert parse_message(line.encode()) == Close("t0")
+        assert parse_message(json.loads(line)) == Close("t0")
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "raw, hint",
+        [
+            ("not json", "undecodable"),
+            ("[1, 2]", "JSON object"),
+            ('{"tenant": "t"}', "type"),
+            ('{"type": "warp", "tenant": "t"}', "unknown message type"),
+            ('{"type": "close"}', "tenant"),
+            ('{"type": "close", "tenant": ""}', "non-empty"),
+            ('{"type": "submit", "tenant": "t"}', "job"),
+            ('{"type": "submit", "tenant": "t", "job": [1]}', "object"),
+            (
+                '{"type": "submit", "tenant": "t", "job": {"jid": 1}}',
+                "missing required field",
+            ),
+            (
+                '{"type": "submit", "tenant": "t", "job": {"jid": 1, '
+                '"release": 0, "workload": -1, "deadline": 5, "value": 1}}',
+                "invalid job",
+            ),
+            ('{"type": "fault", "tenant": "t", "op": "melt", "time": 1}', "op"),
+            (
+                '{"type": "fault", "tenant": "t", "op": "kill", "time": "x"}',
+                "number",
+            ),
+            (
+                '{"type": "fault", "tenant": "t", "op": "kill", "time": 1, '
+                '"retain": 1.5}',
+                "retain",
+            ),
+            ('{"type": "advance", "tenant": "t", "time": true}', "number"),
+        ],
+    )
+    def test_bad_lines_raise_message_error(self, raw, hint):
+        with pytest.raises(MessageError, match=hint):
+            parse_message(raw)
+
+    def test_encode_rejects_foreign_objects(self):
+        with pytest.raises(MessageError, match="cannot encode"):
+            encode_message(object())

@@ -1,0 +1,84 @@
+"""Service ↔ replay parity under chaos — the soak_smoke CI gate.
+
+A miniature (seconds, not minutes) chaos soak through the *real* stack:
+3 tenants of Poisson wire traffic via the ingress, sensor noise, kill
+and revocation start faults, ingress-injected kills/evictions and ≥ 5
+forced kernel crashes.  The assertions are the service's acceptance
+criteria verbatim: zero accepted-then-lost jobs, restarts within the
+backoff cap, and every tenant's surviving journal replaying
+bit-identically through the closed-horizon engine — shed accounting
+included.  Per-tenant journals and shed logs are written under
+``test-results/soak/`` so a CI failure ships the evidence as artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.soak import SoakConfig, run_soak
+from repro.service import RestartPolicy
+
+ARTIFACT_DIR = Path(__file__).resolve().parents[2] / "test-results" / "soak"
+
+
+@pytest.mark.soak_smoke
+class TestSoakSmoke:
+    def test_chaos_soak_replays_bit_identically(self):
+        config = SoakConfig(
+            tenants=3,
+            lam=2.0,
+            horizon=24.0,
+            seed=2011,
+            forced_crashes=5,
+            ingress_faults_per_tenant=2,
+            kill_rate=0.05,
+            revocation_rate=0.02,
+            sensor_noise=0.1,
+            snapshot_every=8,
+            flush_every=4,
+            policy=RestartPolicy(backoff_base=0.001, backoff_cap=0.004),
+            journal_dir=str(ARTIFACT_DIR),
+        )
+        report = run_soak(config)
+
+        # The acceptance gate, itemised so a failure names the criterion.
+        assert report.forced_crashes >= 5
+        assert report.recoveries >= report.forced_crashes
+        assert report.malformed_rejected, "a malformed line was accepted"
+        for tenant, outcome in sorted(report.outcomes.items()):
+            assert outcome.report.lost_jids == (), (
+                f"{tenant}: accepted-then-lost jobs "
+                f"{outcome.report.lost_jids}"
+            )
+            assert outcome.backoffs_within_cap, (
+                f"{tenant}: backoffs {outcome.report.backoffs} exceed "
+                f"cap {config.policy.backoff_cap}"
+            )
+            assert outcome.check.ok, (
+                f"{tenant}: replay parity failed: {outcome.check.failures}"
+            )
+            assert (ARTIFACT_DIR / f"{tenant}.journal.jsonl").exists()
+        assert report.ok
+        assert report.failures() == []
+
+    def test_soak_exercises_shedding_parity(self):
+        """A starved budget forces queue_budget sheds mid-soak; the shed
+        accounting must still balance and the replay must still agree."""
+        config = SoakConfig(
+            tenants=3,
+            lam=4.0,
+            horizon=16.0,
+            seed=7,
+            forced_crashes=3,
+            queue_budget=3,
+            snapshot_every=8,
+            flush_every=2,
+            policy=RestartPolicy(backoff_base=0.001, backoff_cap=0.004),
+            journal_dir=str(ARTIFACT_DIR / "starved"),
+        )
+        report = run_soak(config)
+        assert report.shed > 0, "the starved soak never shed — not a test"
+        assert report.submitted == report.accepted + report.shed
+        assert report.ok, report.failures()

@@ -116,3 +116,59 @@ class TestEventJournal:
         path.write_text("")
         with pytest.raises(RecoveryError, match="empty"):
             EventJournal.load(path)
+
+
+class TestFlushBatching:
+    def test_flush_every_validated(self):
+        with pytest.raises(RecoveryError, match="flush_every"):
+            EventJournal(flush_every=0)
+
+    def test_flush_is_noop_in_memory(self):
+        journal = EventJournal()
+        journal.append(_record(0))
+        journal.flush()  # must not raise without a file
+        journal.flush(sync=True)
+
+    def test_batched_appends_buffered_until_boundary(self, tmp_path):
+        """With flush_every=N, a hard crash between boundaries loses at
+        most the last N-1 records — and none once flush() is called."""
+        path = tmp_path / "batched.journal"
+        journal = EventJournal(path, flush_every=4)
+        for i in range(6):  # one full batch (4) + 2 buffered
+            journal.append(_record(i))
+        # Read the file *without* closing: what a post-crash reader sees.
+        on_disk = EventJournal.load(path)
+        assert len(on_disk) == 4  # records 4,5 still in the buffer
+        journal.flush()
+        assert len(EventJournal.load(path)) == 6
+        journal.close()
+
+    def test_torn_tail_at_flush_boundary(self, tmp_path):
+        """Crash signature under batching: the file ends exactly at a
+        flush boundary plus a torn partial line; load() must keep every
+        whole record and drop only the tear."""
+        path = tmp_path / "torn.journal"
+        journal = EventJournal(path, flush_every=3)
+        for i in range(6):  # flushes after records 2 and 5
+            journal.append(_record(i))
+        journal.append(_record(6))  # buffered, then torn below
+        journal.flush()
+        journal.close()
+        text = path.read_text()
+        # Tear mid-way through the last record's line.
+        path.write_text(text[: text.rindex('{"index": 6') + 10])
+        loaded = EventJournal.load(path)
+        assert len(loaded) == 6
+        assert loaded.records == journal.records[:6]
+
+    def test_explicit_sync_flush(self, tmp_path):
+        path = tmp_path / "sync.journal"
+        journal = EventJournal(path, flush_every=100, fsync=True)
+        for i in range(3):
+            journal.append(_record(i))
+        journal.flush()  # constructor fsync flag applies
+        assert len(EventJournal.load(path)) == 3
+        journal.append(_record(3))
+        journal.flush(sync=False)  # suppress the fsync, still flushes
+        assert len(EventJournal.load(path)) == 4
+        journal.close()

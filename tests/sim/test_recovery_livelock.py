@@ -1,0 +1,118 @@
+"""CrashLoopDetector + run_with_recovery livelock regression tests.
+
+A deterministic engine that crashes at position P, restores a snapshot
+that replays back to P, and crashes again will do so forever; before the
+detector existed, :func:`~repro.kernel.recovery.run_with_recovery` spent
+its whole ``max_recoveries`` budget on restores that could not succeed.
+The contract now: the *second* consecutive crash at one position raises
+:class:`~repro.errors.RecoveryError` immediately, naming the stuck spot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RecoveryError, SimulatedCrash
+from repro.kernel import CrashLoopDetector
+from repro.kernel.recovery import run_with_recovery
+from repro.sim.journal import EngineSnapshot
+
+
+def _crash(
+    time: float = 3.0,
+    at_event: "int | None" = 10,
+    fault_index: int = 0,
+    dispatch_count: "int | None" = 5,
+) -> SimulatedCrash:
+    snapshot = (
+        None
+        if dispatch_count is None
+        else EngineSnapshot(dispatch_count=dispatch_count)
+    )
+    return SimulatedCrash(
+        time, at_event=at_event, fault_index=fault_index, snapshot=snapshot
+    )
+
+
+class TestCrashLoopDetector:
+    def test_single_crash_is_fine(self):
+        CrashLoopDetector().observe(_crash())
+
+    def test_second_identical_crash_raises_with_position(self):
+        detector = CrashLoopDetector()
+        detector.observe(_crash())
+        with pytest.raises(RecoveryError, match="livelock") as exc_info:
+            detector.observe(_crash())
+        message = str(exc_info.value)
+        assert "t=3" in message
+        assert "dispatch #5" in message
+
+    def test_progress_resets_the_signature(self):
+        """Any movement — time, event, fault or snapshot — is progress."""
+        detector = CrashLoopDetector()
+        detector.observe(_crash())
+        detector.observe(_crash(time=4.0))  # later crash
+        detector.observe(_crash(time=4.0, dispatch_count=9))  # fresher anchor
+        detector.observe(_crash(time=4.0, dispatch_count=9, fault_index=1))
+        # ... but repeating the last position still trips.
+        with pytest.raises(RecoveryError, match="livelock"):
+            detector.observe(_crash(time=4.0, dispatch_count=9, fault_index=1))
+
+    def test_alternating_positions_never_trip(self):
+        detector = CrashLoopDetector()
+        for _ in range(10):
+            detector.observe(_crash(time=1.0))
+            detector.observe(_crash(time=2.0))
+
+    def test_reset_forgets_the_last_position(self):
+        detector = CrashLoopDetector()
+        detector.observe(_crash())
+        detector.reset()
+        detector.observe(_crash())  # same position, but forgotten
+
+
+class _StuckEngine:
+    """Crashes at the same position forever (the livelock shape)."""
+
+    calls = 0
+
+    def run(self):
+        type(self).calls += 1
+        raise _crash()
+
+    def restore(self, snapshot):
+        pass
+
+
+class _EventuallyDoneEngine:
+    """Crashes at *advancing* positions, then completes."""
+
+    crashes = 0
+
+    def run(self):
+        if type(self).crashes < 3:
+            type(self).crashes += 1
+            raise _crash(time=float(type(self).crashes))
+        return "done"
+
+    def restore(self, snapshot):
+        pass
+
+
+class TestRunWithRecoveryLivelock:
+    def test_livelock_cut_short_after_two_crashes(self):
+        _StuckEngine.calls = 0
+        with pytest.raises(RecoveryError, match="livelock"):
+            run_with_recovery(
+                _StuckEngine, recover=True, max_recoveries=50
+            )
+        # Two runs observed, not 51: the budget was not burned down.
+        assert _StuckEngine.calls == 2
+
+    def test_advancing_crashes_still_recover(self):
+        _EventuallyDoneEngine.crashes = 0
+        result, recoveries = run_with_recovery(
+            _EventuallyDoneEngine, recover=True, max_recoveries=8
+        )
+        assert result == "done"
+        assert recoveries == 3
