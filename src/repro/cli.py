@@ -315,6 +315,49 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persist per-tenant journals and shed logs under DIR",
     )
+    p.add_argument(
+        "--kill9",
+        action="store_true",
+        help=(
+            "kill -9 mode: run a real child service process, SIGKILL it "
+            "mid-traffic --kills times, and prove replay parity + zero "
+            "accepted-job loss after every cold start"
+        ),
+    )
+    p.add_argument(
+        "--kills", type=int, default=3, help="SIGKILLs to deliver (--kill9)"
+    )
+    p.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="durable tenant store for --kill9 (default: temp dir)",
+    )
+    p.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip store fsyncs in --kill9 (survives SIGKILL, not power loss)",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help=(
+            "run the durable scheduling service: TCP JSON-line ingress, "
+            "crash-safe tenant store, SIGTERM drain (the kill -9 soak's "
+            "child process)"
+        ),
+    )
+    p.add_argument("--store", required=True, help="store directory")
+    p.add_argument(
+        "--specs", default=None, help="JSON tenant-spec file (fresh store)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip store fsyncs (faster; survives SIGKILL, not power loss)",
+    )
 
     return parser
 
@@ -675,25 +718,53 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 
 def _cmd_soak(args: argparse.Namespace) -> int:
-    from repro.experiments.soak import SoakConfig, run_soak
+    if args.kill9:
+        from repro.experiments.soak import Kill9Config, run_kill9
 
-    report = run_soak(
-        SoakConfig(
-            tenants=args.tenants,
-            lam=args.lam,
-            horizon=args.horizon,
-            seed=args.seed,
-            forced_crashes=args.crashes,
-            queue_budget=args.queue_budget,
-            journal_dir=args.journal_dir,
+        report = run_kill9(
+            Kill9Config(
+                tenants=args.tenants,
+                lam=args.lam,
+                horizon=args.horizon,
+                seed=args.seed,
+                kills=args.kills,
+                forced_crashes=args.crashes,
+                queue_budget=args.queue_budget,
+                store_dir=args.store_dir,
+                store_fsync=not args.no_fsync,
+            )
         )
-    )
+    else:
+        from repro.experiments.soak import SoakConfig, run_soak
+
+        report = run_soak(
+            SoakConfig(
+                tenants=args.tenants,
+                lam=args.lam,
+                horizon=args.horizon,
+                seed=args.seed,
+                forced_crashes=args.crashes,
+                queue_budget=args.queue_budget,
+                journal_dir=args.journal_dir,
+            )
+        )
     print("\n".join(report.summary_lines()))
     if not report.ok:
         for failure in report.failures():
             print(f"[!] {failure}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import main as serve_main
+
+    argv = ["--store", args.store, "--host", args.host, "--port", str(args.port)]
+    if args.specs:
+        argv += ["--specs", args.specs]
+    if args.no_fsync:
+        argv.append("--no-fsync")
+    return serve_main(argv)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -710,6 +781,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "obs": _cmd_obs,
         "soak": _cmd_soak,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -165,6 +165,34 @@ class ServiceError(ReproError):
     (:mod:`repro.service`): ingress, tenant shards, supervision."""
 
 
+class DrainingError(ServiceError):
+    """The service is draining (SIGTERM received): new submissions are
+    refused with a ``draining`` ack while in-flight state is flushed to
+    the durable store.  Clients should resubmit (same ``request_id``)
+    against the restarted service."""
+
+
+class StorageError(ReproError):
+    """Base class for the durable state store (:mod:`repro.store`):
+    unrecoverable layout problems — an unreadable first segment header,
+    a spec file that disagrees with the running spec, misuse of a
+    closed store."""
+
+
+class StorageFault(StorageError):
+    """An *injected* storage failure from
+    :class:`repro.store.faults.FaultyDirectory` — a torn write cut short
+    at a chosen byte offset.  Models the process dying mid-``write()``;
+    property tests catch it, simulate the power loss, and assert
+    recovery.  Carries the fault ``kind`` and the global byte ``offset``
+    at which it fired."""
+
+    def __init__(self, kind: str, offset: int) -> None:
+        self.kind = str(kind)
+        self.offset = int(offset)
+        super().__init__(f"injected storage fault {kind!r} at byte {offset}")
+
+
 class MessageError(ServiceError):
     """An ingress message failed validation: unparseable JSON, unknown
     message type, unknown tenant, or malformed fields.  The message is

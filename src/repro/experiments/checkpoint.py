@@ -24,9 +24,16 @@ File layout (one JSON document per line)::
 * **Failures are metadata, not results**: a replication recorded as failed
   is re-attempted on resume (its failure may have been transient), and the
   latest record per index wins.
+* Every record line carries a CRC32 (``"crc"``) over its own payload;
+  records written before checksums existed (no ``"crc"`` key) are
+  accepted as legacy.
 * Loading tolerates a truncated final line (the signature of a crash
-  mid-append); anything after the first undecodable line is ignored and
-  simply re-run.
+  mid-append).  A corrupt record *mid-file* (bad JSON or a CRC mismatch
+  — bit rot, not a torn append) is **skipped and reported** via
+  :attr:`CheckpointStore.corrupt_records`: its replication simply
+  re-runs, instead of the whole resume being refused.  Only a corrupt
+  *header* still refuses — without it nothing in the file can be
+  attributed to a run.
 """
 
 from __future__ import annotations
@@ -34,8 +41,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zlib
 from pathlib import Path
-from typing import IO, Mapping
+from typing import IO, List, Mapping, Tuple
 
 from repro.errors import CheckpointError
 from repro.experiments.runner import FailedReplication, ReplicationOutcome
@@ -44,6 +52,12 @@ __all__ = ["CheckpointStore", "run_fingerprint"]
 
 CHECKPOINT_SCHEMA = 2
 _KIND = "mc_checkpoint"
+
+
+def _record_crc(doc: Mapping) -> int:
+    """CRC32 over a record's canonical JSON form, ``"crc"`` excluded."""
+    body = {k: v for k, v in doc.items() if k != "crc"}
+    return zlib.crc32(json.dumps(body, sort_keys=True).encode()) & 0xFFFFFFFF
 
 
 def run_fingerprint(factory, specs, seed: int, n_runs: int) -> str:
@@ -139,6 +153,8 @@ class CheckpointStore:
         self.fingerprint = str(fingerprint)
         self.completed: dict[int, ReplicationOutcome] = {}
         self.failures: dict[int, FailedReplication] = {}
+        #: (line number, reason) for every skipped mid-file corrupt record.
+        self.corrupt_records: List[Tuple[int, str]] = []
         self._fh: IO[str] | None = None
         if self.path.exists() and self.path.stat().st_size > 0:
             self._load_existing()
@@ -184,18 +200,22 @@ class CheckpointStore:
                 continue
             try:
                 record = json.loads(line)
-            except json.JSONDecodeError as exc:
+            except json.JSONDecodeError:
                 if lineno == len(lines):
                     # A truncated *final* line is the signature of a crash
                     # mid-append: tolerate it and re-run that replication.
                     break
-                # An undecodable line *followed by* valid data is not a
-                # torn append — the file is corrupt; resuming from it
-                # could silently misattribute replications.
-                raise CheckpointError(
-                    f"{self.path}: corrupt checkpoint record at line "
-                    f"{lineno} (not a truncated tail; refusing to resume)"
-                ) from exc
+                # An undecodable line *followed by* valid data is bit rot,
+                # not a torn append.  The header already proved the file
+                # belongs to this run, so losing one record only costs
+                # re-running its replication: skip it and report.
+                self.corrupt_records.append((lineno, "undecodable JSON"))
+                continue
+            if "crc" in record and _record_crc(record) != record["crc"]:
+                # Decodes fine but fails its own checksum — silent bit
+                # rot inside a value.  Same treatment: skip and re-run.
+                self.corrupt_records.append((lineno, "CRC mismatch"))
+                continue
             index = int(record["index"])
             if not 0 <= index < self.n_runs:
                 raise CheckpointError(
@@ -213,6 +233,8 @@ class CheckpointStore:
     def _append(self, doc: dict) -> None:
         if self._fh is None:
             self._fh = self.path.open("a")
+        doc = dict(doc)
+        doc["crc"] = _record_crc(doc)
         self._fh.write(json.dumps(doc) + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())

@@ -13,7 +13,11 @@ The layers, bottom up:
   per-tenant asyncio workers (:class:`ScheduleService`);
 * :mod:`repro.service.ingress` — TCP/stdin/iterable JSON-line adapters;
 * :mod:`repro.service.replay` — the replay-equivalence check that a
-  live tenant reproduces its closed-horizon batch run bit-identically.
+  live tenant reproduces its closed-horizon batch run bit-identically;
+* :mod:`repro.service.daemon` — the durable process entry
+  (``python -m repro serve``): TCP ingress over a crash-safe tenant
+  store (:mod:`repro.store`), graceful SIGTERM drain, and the cold
+  start the kill -9 soak relies on.
 """
 
 from repro.service.admission import (
@@ -28,6 +32,7 @@ from repro.service.messages import (
     Close,
     InjectFault,
     Message,
+    Stat,
     Submit,
     encode_message,
     parse_message,
@@ -40,6 +45,8 @@ from repro.service.shard import (
     TenantShard,
     TenantSpec,
     make_scheduler,
+    tenant_spec_from_dict,
+    tenant_spec_to_dict,
 )
 from repro.service.supervisor import (
     RestartPolicy,
@@ -62,6 +69,7 @@ __all__ = [
     "ScheduleService",
     "ServiceIngress",
     "ShedRecord",
+    "Stat",
     "Submit",
     "TenantReport",
     "TenantShard",
@@ -71,4 +79,6 @@ __all__ = [
     "make_scheduler",
     "parse_message",
     "replay_tenant",
+    "tenant_spec_from_dict",
+    "tenant_spec_to_dict",
 ]

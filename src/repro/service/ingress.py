@@ -12,7 +12,10 @@ adapters feed the same :meth:`ServiceIngress.handle_line` path:
   ``run_lines(sys.stdin)`` via a thread executor).
 
 Malformed lines never kill the service: they produce an error ack and a
-``service.rejected`` count.
+``service.rejected`` count.  While the service drains (SIGTERM),
+submits and fault injections ack ``{"ok": false, "draining": true}`` —
+clients hold the line and resubmit it (same ``request_id``) to the
+restarted service.
 """
 
 from __future__ import annotations
@@ -23,18 +26,27 @@ import sys
 from typing import AsyncIterator, Dict, Iterable, List, Optional
 
 from repro import obs as _obs
-from repro.errors import CircuitOpenError, MessageError
+from repro.errors import CircuitOpenError, DrainingError, MessageError
 from repro.service.messages import parse_message
+from repro.service.shard import TenantReport
 from repro.service.supervisor import ScheduleService
 
 __all__ = ["ServiceIngress"]
 
 
 class ServiceIngress:
-    """Validate, route and ack JSON-line traffic for a running service."""
+    """Validate, route and ack JSON-line traffic for a running service.
 
-    def __init__(self, service: ScheduleService) -> None:
+    With ``verify_on_close`` every ``close`` ack embeds the replay-parity
+    verdict (:func:`repro.service.replay.replay_tenant`): ``parity`` is
+    true iff the closed-horizon replay reproduced the tenant's journal
+    and result bit-identically — the kill -9 soak's acceptance gate."""
+
+    def __init__(
+        self, service: ScheduleService, *, verify_on_close: bool = False
+    ) -> None:
         self.service = service
+        self.verify_on_close = bool(verify_on_close)
         self.accepted_lines = 0
         self.rejected_lines = 0
         self._server: "asyncio.AbstractServer | None" = None
@@ -50,6 +62,9 @@ class ServiceIngress:
         try:
             message = parse_message(line)
             result = await self.service.dispatch(message)
+        except DrainingError as exc:
+            self.rejected_lines += 1
+            return {"ok": False, "error": str(exc), "draining": True}
         except (MessageError, CircuitOpenError) as exc:
             self.rejected_lines += 1
             octx = _obs.current()
@@ -58,11 +73,28 @@ class ServiceIngress:
             return {"ok": False, "error": str(exc)}
         self.accepted_lines += 1
         ack: Dict = {"ok": True}
-        if result is not None:  # a Close returns the tenant report
+        if isinstance(result, TenantReport):  # a Close returns the report
             ack["closed"] = result.tenant
             ack["accepted"] = len(result.accepted)
             ack["shed"] = len(result.shed)
+            ack["submitted"] = result.submitted
+            ack["recoveries"] = result.recoveries
+            if self.verify_on_close:
+                ack.update(self._verify(result))
+        elif isinstance(result, dict):  # stats / duplicate notices
+            ack.update(result)
         return ack
+
+    @staticmethod
+    def _verify(report: TenantReport) -> Dict:
+        from repro.service.replay import replay_tenant
+
+        check = replay_tenant(report)
+        return {
+            "parity": bool(check.ok),
+            "parity_failures": list(check.failures),
+            "lost": sorted(report.lost_jids),
+        }
 
     async def run_lines(
         self, lines: "Iterable[str] | AsyncIterator[str]"

@@ -31,6 +31,18 @@ message types drive a tenant shard:
     Finish the tenant: run the kernel to its horizon, wind down, and
     produce the tenant report.
 
+``stat``
+    Read-only counters for a tenant (accepted/shed/submitted counts, a
+    CRC of the accepted jid set, the dispatch frontier) — what the
+    kill -9 soak compares across a drain/cold-start boundary.
+
+**Idempotency**: ``submit`` and ``fault`` may carry a client-chosen
+``request_id`` string.  A shard remembers every decided request id in
+its durable dedup journal; redelivering the same id (for example,
+replaying a traffic log against a cold-started service) acks
+``{"ok": true, "duplicate": true, ...}`` instead of double-admitting
+or double-injecting.
+
 Parsing is strict — an unknown type, a missing field or a non-numeric
 value raises :class:`~repro.errors.MessageError` with a reason the
 ingress can count and report without dying.
@@ -50,6 +62,7 @@ __all__ = [
     "InjectFault",
     "Advance",
     "Close",
+    "Stat",
     "Message",
     "parse_message",
     "encode_message",
@@ -64,6 +77,7 @@ FAULT_OPS = ("kill", "evict", "crash")
 class Submit:
     tenant: str
     job: Job
+    rid: "str | None" = None  # client request id (wire: request_id)
 
 
 @dataclass(frozen=True)
@@ -72,6 +86,7 @@ class InjectFault:
     op: str  # one of FAULT_OPS
     time: float
     retain: float = 0.0  # kill only: surviving progress fraction
+    rid: "str | None" = None  # client request id (wire: request_id)
 
 
 @dataclass(frozen=True)
@@ -85,7 +100,23 @@ class Close:
     tenant: str
 
 
-Message = Union[Submit, InjectFault, Advance, Close]
+@dataclass(frozen=True)
+class Stat:
+    tenant: str
+
+
+Message = Union[Submit, InjectFault, Advance, Close, Stat]
+
+
+def _request_id(payload: Mapping[str, Any]) -> "str | None":
+    rid = payload.get("request_id")
+    if rid is None:
+        return None
+    if not isinstance(rid, str) or not rid:
+        raise MessageError(
+            f"request_id must be a non-empty string, got {rid!r}"
+        )
+    return rid
 
 
 def _require(payload: Mapping[str, Any], field: str) -> Any:
@@ -134,7 +165,7 @@ def parse_message(raw: "str | bytes | Mapping[str, Any]") -> Message:
             )
         except InvalidInstanceError as exc:
             raise MessageError(f"invalid job: {exc}") from exc
-        return Submit(tenant=tenant, job=job)
+        return Submit(tenant=tenant, job=job, rid=_request_id(payload))
 
     if mtype == "fault":
         op = _require(payload, "op")
@@ -148,13 +179,22 @@ def parse_message(raw: "str | bytes | Mapping[str, Any]") -> Message:
         )
         if not 0.0 <= retain <= 1.0:
             raise MessageError(f"retain must be in [0, 1], got {retain!r}")
-        return InjectFault(tenant=tenant, op=op, time=time, retain=retain)
+        return InjectFault(
+            tenant=tenant,
+            op=op,
+            time=time,
+            retain=retain,
+            rid=_request_id(payload),
+        )
 
     if mtype == "advance":
         return Advance(tenant=tenant, time=_number(payload, "time"))
 
     if mtype == "close":
         return Close(tenant=tenant)
+
+    if mtype == "stat":
+        return Stat(tenant=tenant)
 
     raise MessageError(f"unknown message type {mtype!r}")
 
@@ -176,6 +216,8 @@ def encode_message(message: Message) -> str:
                 "value": job.value,
             },
         }
+        if message.rid is not None:
+            out["request_id"] = message.rid
     elif isinstance(message, InjectFault):
         out = {
             "type": "fault",
@@ -185,10 +227,14 @@ def encode_message(message: Message) -> str:
         }
         if message.op == "kill":
             out["retain"] = message.retain
+        if message.rid is not None:
+            out["request_id"] = message.rid
     elif isinstance(message, Advance):
         out = {"type": "advance", "tenant": message.tenant, "time": message.time}
     elif isinstance(message, Close):
         out = {"type": "close", "tenant": message.tenant}
+    elif isinstance(message, Stat):
+        out = {"type": "stat", "tenant": message.tenant}
     else:
         raise MessageError(f"cannot encode {message!r}")
     return json.dumps(out)

@@ -29,11 +29,23 @@ Replay equivalence is the design invariant: the accepted jobs (in
 admission order), the spec-built world, and the recorded fault pushes,
 re-run through the closed-horizon engine, must reproduce the service
 journal and result bit-identically (:mod:`repro.service.replay`).
+
+With a :class:`~repro.store.tenant.TenantStore` attached the shard is
+also *durable*: every admission/shed/push decision is fsynced into the
+store's op log **before** the kernel sees it (write-ahead), periodic
+kernel snapshots are committed as manifest-anchored state images, and
+``TenantShard(spec, store=..., resume=True)`` rebuilds the exact live
+state from disk after a ``SIGKILL`` — the cold-start half of
+:meth:`repro.service.supervisor.ScheduleService.cold_start`.  Client
+``request_id`` strings ride along into the op log, so a traffic log
+replayed against a cold-started shard acks duplicates instead of
+double-admitting.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -62,12 +74,14 @@ from repro.service.messages import (
     Close,
     InjectFault,
     Message,
+    Stat,
     Submit,
 )
 from repro.sim.engine import SimulationEngine
 from repro.sim.job import Job
-from repro.sim.journal import EventJournal
+from repro.sim.journal import EngineSnapshot, EventJournal
 from repro.sim.metrics import SimulationResult
+from repro.store.tenant import TenantStore
 
 __all__ = [
     "CapacitySpec",
@@ -75,6 +89,8 @@ __all__ = [
     "TenantReport",
     "TenantShard",
     "make_scheduler",
+    "tenant_spec_to_dict",
+    "tenant_spec_from_dict",
     "SCHEDULER_FACTORIES",
 ]
 
@@ -239,6 +255,89 @@ class TenantSpec:
         return faults
 
 
+def _job_to_dict(job: Job) -> Dict[str, Any]:
+    return {
+        "jid": job.jid,
+        "release": job.release,
+        "workload": job.workload,
+        "deadline": job.deadline,
+        "value": job.value,
+    }
+
+
+def tenant_spec_to_dict(spec: TenantSpec) -> Dict[str, Any]:
+    """JSON-safe image of a :class:`TenantSpec`.
+
+    Floats survive a JSON round trip exactly (shortest-repr encoding),
+    so a spec rebuilt from this document constructs a bit-identical
+    world — the property :meth:`TenantStore.ensure_spec` relies on when
+    it compares the stored spec against the running one."""
+    return {
+        "tenant": spec.tenant,
+        "horizon": spec.horizon,
+        "scheduler": spec.scheduler,
+        "scheduler_kwargs": dict(spec.scheduler_kwargs),
+        "capacity": {
+            "kind": spec.capacity.kind,
+            "params": dict(spec.capacity.params),
+            "seed": spec.capacity.seed,
+        },
+        "sensor_faults": [
+            {"kind": f.kind, "severity": f.severity, "options": dict(f.options)}
+            for f in spec.sensor_faults
+        ],
+        "start_faults": [
+            {"kind": f.kind, "severity": f.severity, "options": dict(f.options)}
+            for f in spec.start_faults
+        ],
+        "fault_seed": spec.fault_seed,
+        "queue_budget": spec.queue_budget,
+        "snapshot_every": spec.snapshot_every,
+        "flush_every": spec.flush_every,
+        "fsync": spec.fsync,
+    }
+
+
+def tenant_spec_from_dict(doc: Mapping[str, Any]) -> TenantSpec:
+    """Inverse of :func:`tenant_spec_to_dict` (cold-start path)."""
+    try:
+        cap = doc["capacity"]
+        return TenantSpec(
+            tenant=str(doc["tenant"]),
+            horizon=float(doc["horizon"]),
+            scheduler=str(doc.get("scheduler", "vdover")),
+            scheduler_kwargs=dict(doc.get("scheduler_kwargs", {})),
+            capacity=CapacitySpec(
+                kind=str(cap["kind"]),
+                params=dict(cap.get("params", {})),
+                seed=int(cap.get("seed", 0)),
+            ),
+            sensor_faults=tuple(
+                FaultSpec(
+                    kind=str(f["kind"]),
+                    severity=float(f.get("severity", 0.0)),
+                    options=dict(f.get("options", {})),
+                )
+                for f in doc.get("sensor_faults", ())
+            ),
+            start_faults=tuple(
+                ExecutionFaultSpec(
+                    kind=str(f["kind"]),
+                    severity=float(f.get("severity", 0.0)),
+                    options=dict(f.get("options", {})),
+                )
+                for f in doc.get("start_faults", ())
+            ),
+            fault_seed=int(doc.get("fault_seed", 0)),
+            queue_budget=int(doc.get("queue_budget", 256)),
+            snapshot_every=int(doc.get("snapshot_every", 32)),
+            flush_every=int(doc.get("flush_every", 8)),
+            fsync=bool(doc.get("fsync", False)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"invalid tenant spec document: {exc}") from exc
+
+
 @dataclass
 class TenantReport:
     """What one closed tenant hands back (input to the replay check)."""
@@ -277,22 +376,24 @@ class TenantShard:
         spec: TenantSpec,
         *,
         journal_dir: "str | Path | None" = None,
+        store: Optional[TenantStore] = None,
+        resume: bool = False,
     ) -> None:
         self.spec = spec
+        self._store = store
         self._journal_path: Optional[Path] = None
         self._shed_fh = None
-        if journal_dir is not None:
+        shed_path: Optional[Path] = None
+        if store is not None:
+            store.ensure_spec(tenant_spec_to_dict(spec))
+            self._journal_path = store.wal_path
+            shed_path = store.shed_path
+        elif journal_dir is not None:
             base = Path(journal_dir)
             base.mkdir(parents=True, exist_ok=True)
             self._journal_path = base / f"{spec.tenant}.journal.jsonl"
-            self._shed_fh = (base / f"{spec.tenant}.shed.jsonl").open(
-                "w", encoding="utf-8"
-            )
-        self._journal = EventJournal(
-            self._journal_path,
-            flush_every=spec.flush_every,
-            fsync=spec.fsync,
-        )
+            shed_path = base / f"{spec.tenant}.shed.jsonl"
+
         self._built_faults = spec.build_start_faults()
         capacity = spec.build_capacity()
         self._admission = AdmissionController(
@@ -314,9 +415,33 @@ class TenantShard:
         self._forced_crashes = 0
         self._result: Optional[SimulationResult] = None
         self._closed = False
+        # Idempotency: decided request ids -> outcome ("accepted" |
+        # "shed" | "injected" | "crash"); in-flight ids sit in
+        # _pending_rids until the contention group is decided.
+        self._dedup: Dict[str, str] = {}
+        self._pending_rids: Dict[str, int] = {}
+        self._rid_queue: Dict[int, List[str]] = {}
+        # Dispatch count of the newest durably persisted snapshot.
+        self._persist_anchor = -1
 
-        self._engine = self._build_engine([], capacity)
-        self._engine.kernel.start()
+        if resume and store is not None and store.has_state():
+            self._resume_from_store()
+        else:
+            self._journal = EventJournal(
+                self._journal_path,
+                flush_every=spec.flush_every,
+                fsync=spec.fsync,
+            )
+            self._engine = self._build_engine([], capacity)
+            self._engine.kernel.start()
+
+        if shed_path is not None:
+            # Rebuilt on resume: the sidecar is a human-readable mirror
+            # of self._shed, which the op log owns durably.
+            self._shed_fh = shed_path.open("w", encoding="utf-8")
+            for record in self._shed:
+                self._shed_fh.write(json.dumps(record.to_dict()) + "\n")
+            self._shed_fh.flush()
 
     # ------------------------------------------------------------------
     def _build_engine(
@@ -401,40 +526,103 @@ class TenantShard:
     # Message handling (synchronous, deterministic; may raise
     # SimulatedCrash — the supervisor owns recovery and retry)
     # ------------------------------------------------------------------
-    def handle(self, message: Message) -> None:
+    def handle(self, message: Message) -> Optional[Dict[str, Any]]:
+        """Dispatch one message; returns extra ack fields (or None).
+
+        ``stat`` works even on a closed shard — it is how the kill -9
+        soak audits counters across restart boundaries."""
+        if isinstance(message, Stat):
+            return self.stats()
         if self._closed:
             raise ServiceError(
                 f"tenant {self.tenant!r} is closed; no further messages"
             )
+        result: Optional[Dict[str, Any]] = None
         if isinstance(message, Submit):
-            self.submit(message.job)
+            result = self.submit(message.job, rid=message.rid)
         elif isinstance(message, InjectFault):
-            self.inject(message.op, message.time, retain=message.retain)
+            result = self.inject(
+                message.op,
+                message.time,
+                retain=message.retain,
+                rid=message.rid,
+            )
         elif isinstance(message, Advance):
             self.advance(message.time)
         elif isinstance(message, Close):
             self.close()
         else:  # pragma: no cover - defensive
             raise MessageError(f"unhandled message {message!r}")
+        self.maybe_persist()
+        return result
 
-    def submit(self, job: Job) -> None:
+    # -- idempotency ----------------------------------------------------
+    def dedup_outcome(self, rid: "str | None") -> Optional[str]:
+        """The recorded outcome for a request id, if already decided
+        (``"pending"`` while its contention group is still buffered)."""
+        if rid is None:
+            return None
+        if rid in self._dedup:
+            return self._dedup[rid]
+        if rid in self._pending_rids:
+            return "pending"
+        return None
+
+    def _duplicate_ack(self, rid: "str | None") -> Optional[Dict[str, Any]]:
+        outcome = self.dedup_outcome(rid)
+        if outcome is None:
+            return None
+        self._count("service.duplicates")
+        return {"duplicate": True, "outcome": outcome}
+
+    def _take_rid(self, jid: int) -> Optional[str]:
+        """Consume the oldest pending request id for a jid (decision
+        time: the group member is about to be admitted or shed)."""
+        queue = self._rid_queue.get(jid)
+        if not queue:
+            return None
+        rid = queue.pop(0)
+        if not queue:
+            self._rid_queue.pop(jid, None)
+        self._pending_rids.pop(rid, None)
+        return rid
+
+    def submit(
+        self, job: Job, rid: "str | None" = None
+    ) -> Optional[Dict[str, Any]]:
         """Buffer one submission into the current contention group.
 
         Groups are keyed by release instant: a submission at a new
         release flushes the previous group first, so shedding decisions
-        always see the whole group that competes for the same slots."""
+        always see the whole group that competes for the same slots.
+        A redelivered ``rid`` (client retry, or a traffic log replayed
+        after a restart) acks its recorded outcome without re-buffering."""
+        dup = self._duplicate_ack(rid)
+        if dup is not None:
+            return dup
         self._submitted += 1
         self._count("service.submitted")
         if self._pending and self._pending[0].release != job.release:
             self._flush_pending()
         self._pending.append(job)
+        if rid is not None:
+            self._pending_rids[rid] = job.jid
+            self._rid_queue.setdefault(job.jid, []).append(rid)
+        return None
 
     def advance(self, time: float) -> None:
         """Flush the open group, then dispatch strictly before ``time``."""
         self._flush_pending()
         self.kernel.run_until(float(time))
 
-    def inject(self, op: str, time: float, *, retain: float = 0.0) -> None:
+    def inject(
+        self,
+        op: str,
+        time: float,
+        *,
+        retain: float = 0.0,
+        rid: "str | None" = None,
+    ) -> Optional[Dict[str, Any]]:
         """Inject one execution fault at virtual ``time``.
 
         ``kill``/``evict`` push a FAULT event with the service's sentinel
@@ -442,7 +630,13 @@ class TenantShard:
         the fault list) and record the exact payload for the replay.
         ``crash`` advances to ``time`` and dies for real — a
         :class:`~repro.errors.SimulatedCrash` carrying the last periodic
-        snapshot propagates to the supervisor."""
+        snapshot propagates to the supervisor.  With a store attached,
+        the push record is fsynced before the kernel mutates (and a
+        crash leaves a durable mark, so a redelivered crash request is
+        acked, not re-crashed)."""
+        dup = self._duplicate_ack(rid)
+        if dup is not None:
+            return dup
         self._flush_pending()
         time = float(time)
         kernel = self.kernel
@@ -450,6 +644,12 @@ class TenantShard:
             kernel.run_until(time)
             self._forced_crashes += 1
             self._count("service.injected.crash")
+            if self._store is not None:
+                self._store.append_ops(
+                    [{"op": "crash_mark", "rid": rid}], sync=True
+                )
+            if rid is not None:
+                self._dedup[rid] = "crash"
             raise SimulatedCrash(
                 time=kernel.now,
                 at_event=None,
@@ -471,10 +671,27 @@ class TenantShard:
             payload = ("evict", -1)
         else:  # pragma: no cover - parse_message guards
             raise MessageError(f"unknown fault op {op!r}")
+        dc = kernel.dispatch_count
+        if self._store is not None:
+            self._store.append_ops(
+                [
+                    {
+                        "op": "push",
+                        "dc": dc,
+                        "time": time,
+                        "payload": list(payload),
+                        "rid": rid,
+                    }
+                ],
+                sync=True,
+            )
         kernel.push_fault_event(time, payload)
         self._injected.append((time, payload))
-        self._ops.append((kernel.dispatch_count, "push", (time, payload)))
+        self._ops.append((dc, "push", (time, payload)))
+        if rid is not None:
+            self._dedup[rid] = "injected"
         self._count("service.injected." + op)
+        return None
 
     def close(self) -> TenantReport:
         """Finish the tenant: run to the horizon and build the report."""
@@ -505,7 +722,12 @@ class TenantShard:
 
     # ------------------------------------------------------------------
     def _flush_pending(self) -> None:
-        """Decide and admit the open contention group."""
+        """Decide and admit the open contention group.
+
+        With a store attached, the whole group's decisions (admits and
+        sheds alike) are fsynced into the op log *before* the kernel
+        mutates — SIGKILL between the fsync and the admit loop replays
+        the same decisions from disk on cold start."""
         if not self._pending:
             return
         release = self._pending[0].release
@@ -524,29 +746,92 @@ class TenantShard:
             known_jids=self._accepted_jids,
         )
         self._pending = []
+        admit_rids = [self._take_rid(job.jid) for job in admit]
+        shed_rids = [self._take_rid(rec.jid) for rec in shed]
+        dc = kernel.dispatch_count
+        if self._store is not None:
+            docs = [
+                {"op": "admit", "dc": dc, "job": _job_to_dict(job), "rid": rid}
+                for job, rid in zip(admit, admit_rids)
+            ] + [
+                {"op": "shed", "rec": rec.to_dict(), "rid": rid}
+                for rec, rid in zip(shed, shed_rids)
+            ]
+            if docs:
+                self._store.append_ops(docs, sync=True)
         self._journal_shed(shed)
-        for job in admit:
-            self._ops.append((kernel.dispatch_count, "admit", job))
+        for rid in shed_rids:
+            if rid is not None:
+                self._dedup[rid] = "shed"
+        for job, rid in zip(admit, admit_rids):
+            self._ops.append((dc, "admit", job))
             kernel.admit_job(job)
             self._accepted.append(job)
             self._accepted_jids.add(job.jid)
+            if rid is not None:
+                self._dedup[rid] = "accepted"
         self._count("service.admitted", len(admit))
+
+    def _log_shed_ops(
+        self,
+        records: Sequence[ShedRecord],
+        rids: Sequence[Optional[str]],
+    ) -> None:
+        if self._store is None or not records:
+            return
+        self._store.append_ops(
+            [
+                {"op": "shed", "rec": rec.to_dict(), "rid": rid}
+                for rec, rid in zip(records, rids)
+            ],
+            sync=True,
+        )
 
     def shed_all_pending(self, reason: str) -> None:
         """Shed the open group without admitting (degraded shard)."""
         if self._pending:
             batch, self._pending = self._pending, []
-            self._journal_shed(
-                self._admission.shed_all(batch, reason, self.kernel.now)
-            )
+            records = self._admission.shed_all(batch, reason, self.kernel.now)
+            rids = [self._take_rid(rec.jid) for rec in records]
+            self._log_shed_ops(records, rids)
+            self._journal_shed(records)
+            for rid in rids:
+                if rid is not None:
+                    self._dedup[rid] = "shed"
 
-    def shed_one(self, job: Job, reason: str) -> None:
+    def shed_one(
+        self, job: Job, reason: str, rid: "str | None" = None
+    ) -> Optional[Dict[str, Any]]:
         """Record one out-of-band shed decision (circuit-open path)."""
+        dup = self._duplicate_ack(rid)
+        if dup is not None:
+            return dup
         self._submitted += 1
         self._count("service.submitted")
-        self._journal_shed(
-            self._admission.shed_all([job], reason, self.kernel.now)
-        )
+        records = self._admission.shed_all([job], reason, self.kernel.now)
+        self._log_shed_ops(records, [rid])
+        self._journal_shed(records)
+        if rid is not None:
+            self._dedup[rid] = "shed"
+        return None
+
+    def stats(self) -> Dict[str, Any]:
+        """Read-only counters (the ``stat`` message; no persist, no
+        mutation).  ``accepted_crc`` fingerprints the accepted jid
+        sequence so restart-boundary audits compare one integer."""
+        blob = ",".join(str(job.jid) for job in self._accepted)
+        return {
+            "tenant": self.tenant,
+            "submitted": self._submitted,
+            "accepted": len(self._accepted),
+            "shed": len(self._shed),
+            "pending": len(self._pending),
+            "accepted_crc": zlib.crc32(blob.encode()) & 0xFFFFFFFF,
+            "recoveries": self._recoveries,
+            "forced_crashes": self._forced_crashes,
+            "frontier": self.kernel.now,
+            "closed": self._closed,
+        }
 
     # ------------------------------------------------------------------
     # Recovery
@@ -598,6 +883,215 @@ class TenantShard:
                     "ops_reapplied": sum(
                         1 for dc, _, _ in self._ops if dc >= base
                     ),
+                },
+                replay=False,
+            )
+
+    # ------------------------------------------------------------------
+    # Durable persistence (store-backed shards only)
+    # ------------------------------------------------------------------
+    def maybe_persist(self) -> None:
+        """Commit the kernel's newest periodic snapshot to the store.
+
+        Called after every handled message; a no-op until the kernel has
+        cut a snapshot newer than the last durable anchor, so persist
+        frequency tracks ``snapshot_every`` dispatches, not messages."""
+        if self._store is None or self._closed:
+            return
+        snap = self.kernel.last_snapshot
+        if snap is None or snap.dispatch_count <= self._persist_anchor:
+            return
+        self._persist(snap)
+
+    def persist_now(self) -> None:
+        """Drain path: decide the open group, cut a snapshot at the
+        current dispatch boundary, and make everything durable — after
+        this returns, SIGKILL loses nothing."""
+        if self._store is None:
+            return
+        if not self._closed:
+            self._flush_pending()
+        self._journal.flush(sync=True)
+        if self._shed_fh is not None:
+            self._shed_fh.flush()
+        if self._closed:
+            return
+        snap = self._engine.snapshot()
+        # This snapshot is cut *after* every logged op took effect, so
+        # same-dispatch-count ops are already inside it: anchor past the
+        # whole op log and persist no re-apply tail.
+        self._persist(snap, include_tail=False)
+
+    def _persist(self, snap: EngineSnapshot, *, include_tail: bool = True) -> None:
+        base = snap.dispatch_count
+        tail: List[List[Any]] = []
+        if include_tail:
+            for dc, kind, data in self._ops:
+                if dc < base:
+                    continue
+                if kind == "admit":
+                    tail.append([dc, "admit", _job_to_dict(data)])
+                else:  # "push"
+                    tail.append([dc, "push", [data[0], list(data[1])]])
+        payload = {
+            "version": 1,
+            "engine": snap,
+            "accepted": [_job_to_dict(job) for job in self._accepted],
+            "injected": [[t, list(p)] for t, p in self._injected],
+            "shed": [rec.to_dict() for rec in self._shed],
+            "dedup": dict(self._dedup),
+            "recoveries": self._recoveries,
+            "forced_crashes": self._forced_crashes,
+            "ops_tail": tail,
+        }
+        self._store.write_snapshot(payload, op_seq=self._store.op_seq)
+        self._persist_anchor = base
+        self._count("service.persisted")
+
+    def _resume_from_store(self) -> None:
+        """Cold start: rebuild the live shard from disk alone.
+
+        The snapshot payload carries everything decided up to its op-log
+        anchor; op records at or past the anchor are folded back in.
+        The engine restores from the pickled kernel image and re-applies
+        the post-snapshot op tail — exactly the in-process
+        :meth:`recover` dance, with the disk as the only witness."""
+        store = self._store
+        assert store is not None
+        loaded = store.load_snapshot()
+        snap: Optional[EngineSnapshot] = None
+        tail: List[Tuple[int, str, Any]] = []
+        anchor_seq = 0
+        if loaded is not None:
+            payload, anchor_seq = loaded
+            if not isinstance(payload, dict) or payload.get("version") != 1:
+                raise RecoveryError(
+                    f"tenant {self.tenant!r}: unrecognised snapshot "
+                    "payload (schema drift?)"
+                )
+            self._accepted = [Job(**d) for d in payload["accepted"]]
+            self._accepted_jids = {job.jid for job in self._accepted}
+            self._injected = [
+                (float(t), tuple(p)) for t, p in payload["injected"]
+            ]
+            self._shed = [ShedRecord(**r) for r in payload["shed"]]
+            self._dedup = dict(payload["dedup"])
+            self._recoveries = int(payload["recoveries"])
+            self._forced_crashes = int(payload["forced_crashes"])
+            snap = payload["engine"]
+            by_jid = {job.jid: job for job in self._accepted}
+            for dc, kind, data in payload["ops_tail"]:
+                if kind == "admit":
+                    # Re-bind to the accepted-list Job so identity is
+                    # shared between the admission record and the op.
+                    tail.append((int(dc), "admit", by_jid[int(data["jid"])]))
+                else:
+                    tail.append(
+                        (int(dc), "push", (float(data[0]), tuple(data[1])))
+                    )
+
+        outcome_by_op = {
+            "admit": "accepted",
+            "push": "injected",
+            "shed": "shed",
+            "crash_mark": "crash",
+        }
+        for seq, doc in store.ops():
+            if seq < anchor_seq:
+                continue
+            op = str(doc.get("op"))
+            if op == "admit":
+                job = Job(**doc["job"])
+                self._accepted.append(job)
+                self._accepted_jids.add(job.jid)
+                tail.append((int(doc["dc"]), "admit", job))
+            elif op == "push":
+                entry = (float(doc["time"]), tuple(doc["payload"]))
+                self._injected.append(entry)
+                tail.append((int(doc["dc"]), "push", entry))
+            elif op == "shed":
+                self._shed.append(ShedRecord(**doc["rec"]))
+            elif op == "crash_mark":
+                self._forced_crashes += 1
+            else:
+                raise RecoveryError(
+                    f"tenant {self.tenant!r}: unknown op record {op!r} "
+                    "in the op log"
+                )
+            rid = doc.get("rid")
+            if rid:
+                self._dedup[str(rid)] = outcome_by_op[op]
+
+        # Undecided buffering (pending groups) is never durable, so
+        # every reconstructed submission is a decided one.
+        self._submitted = len(self._accepted) + len(self._shed)
+        self._ops = list(tail)
+
+        if snap is None:
+            # Never persisted a snapshot: replay the whole op log onto a
+            # fresh world.  The WAL (if any survived) describes a run we
+            # are about to regenerate identically — start it over.
+            self._journal = EventJournal(
+                self._journal_path,
+                flush_every=self.spec.flush_every,
+                fsync=self.spec.fsync,
+            )
+            engine = self._build_engine([])
+            engine.kernel.start()
+            for _dc, kind, data in tail:
+                if kind == "admit":
+                    engine.kernel.admit_job(data)
+                else:
+                    engine.kernel.push_fault_event(*data)
+        else:
+            if self._journal_path is not None and self._journal_path.exists():
+                self._journal = EventJournal.resume(
+                    self._journal_path,
+                    flush_every=self.spec.flush_every,
+                    fsync=self.spec.fsync,
+                )
+            else:
+                self._journal = EventJournal(
+                    self._journal_path,
+                    flush_every=self.spec.flush_every,
+                    fsync=self.spec.fsync,
+                )
+            if len(self._journal) < snap.dispatch_count:
+                raise RecoveryError(
+                    f"tenant {self.tenant!r}: WAL holds "
+                    f"{len(self._journal)} records but the snapshot was "
+                    f"cut at dispatch {snap.dispatch_count} — the journal "
+                    "tail was lost (power loss without fsync=True?)"
+                )
+            jobs = [
+                job for job in self._accepted if job.jid in snap.status
+            ]
+            engine = self._build_engine(jobs)
+            engine.restore(snap)
+            base = snap.dispatch_count
+            for dc, kind, data in tail:
+                if dc < base:
+                    continue
+                if kind == "admit":
+                    engine.kernel.admit_job(data)
+                else:
+                    engine.kernel.push_fault_event(*data)
+
+        self._engine = engine
+        self._recoveries += 1
+        self._persist_anchor = -1 if snap is None else snap.dispatch_count
+        self._count("service.cold_starts")
+        octx = _obs.current()
+        if octx is not None:
+            octx.emit(
+                "service.cold_start",
+                engine.kernel.now,
+                {
+                    "tenant": self.tenant,
+                    "accepted": len(self._accepted),
+                    "shed": len(self._shed),
+                    "ops_reapplied": len(tail),
+                    "had_snapshot": snap is not None,
                 },
                 replay=False,
             )

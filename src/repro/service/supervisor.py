@@ -17,25 +17,41 @@ message exhausts ``max_restarts`` — or recovery itself fails — the
 tenant's **circuit breaker** trips: the shard stops restarting, pending
 and future submissions are shed with reason ``circuit_open``, and other
 tenants keep running.
+
+Durability (docs/ROBUSTNESS.md §12): give the service a ``store_dir``
+and every shard writes through a :class:`~repro.store.tenant.TenantStore`
+under ``<store_dir>/<tenant>/``.  :meth:`ScheduleService.cold_start`
+rebuilds a whole service from such a directory after a ``SIGKILL``, and
+:meth:`ScheduleService.drain` is the graceful half: refuse new work
+(``draining`` acks), flush every tenant's snapshot + op log + WAL, and
+leave a store a cold start recovers from with zero accepted-job loss.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs as _obs
 from repro.errors import (
     CircuitOpenError,
+    DrainingError,
     MessageError,
     RecoveryError,
     ServiceError,
     SimulatedCrash,
 )
 from repro.kernel.recovery import CrashLoopDetector
-from repro.service.messages import Close, Message, Submit
-from repro.service.shard import TenantReport, TenantShard, TenantSpec
+from repro.service.messages import Close, InjectFault, Message, Stat, Submit
+from repro.service.shard import (
+    TenantReport,
+    TenantShard,
+    TenantSpec,
+    tenant_spec_from_dict,
+)
+from repro.store.tenant import SPEC_FILE, TenantStore
 
 __all__ = ["RestartPolicy", "TenantSupervisor", "ScheduleService"]
 
@@ -89,18 +105,25 @@ class TenantSupervisor:
                 replay=False,
             )
 
-    async def handle(self, message: Message) -> Optional[TenantReport]:
+    async def handle(
+        self, message: Message
+    ) -> "TenantReport | Dict[str, Any] | None":
         """Process one message through the restart ladder.
 
-        Returns the tenant report for ``Close`` messages, else ``None``.
-        Raises :class:`~repro.errors.MessageError` for rejected messages
-        (the ingress counts them); everything fatal trips the breaker
-        instead of propagating."""
+        Returns the tenant report for ``Close`` messages, the shard's
+        extra ack fields (stats, duplicate notices) for messages that
+        produce them, else ``None``.  Raises
+        :class:`~repro.errors.MessageError` for rejected messages (the
+        ingress counts them); everything fatal trips the breaker instead
+        of propagating."""
         if self.breaker_open:
+            if isinstance(message, Stat):
+                return self.shard.stats()
             if isinstance(message, Submit):
                 # Degraded shard: deterministic shed, service keeps going.
-                self.shard.shed_one(message.job, "circuit_open")
-                return None
+                return self.shard.shed_one(
+                    message.job, "circuit_open", rid=message.rid
+                )
             if isinstance(message, Close):
                 return self.shard.report()
             raise CircuitOpenError(
@@ -113,8 +136,7 @@ class TenantSupervisor:
             try:
                 if isinstance(message, Close):
                     return self.shard.close()
-                self.shard.handle(message)
-                return None
+                return self.shard.handle(message)
             except MessageError:
                 raise  # a bad message is the sender's problem, not a crash
             except SimulatedCrash as crash:
@@ -177,6 +199,9 @@ class ScheduleService:
         policy: Optional[RestartPolicy] = None,
         journal_dir: "str | None" = None,
         queue_size: int = 1024,
+        store_dir: "str | Path | None" = None,
+        resume: bool = False,
+        store_fsync: bool = True,
     ) -> None:
         if not specs:
             raise ServiceError("a service needs at least one tenant spec")
@@ -187,16 +212,62 @@ class ScheduleService:
         self._policy = policy or RestartPolicy()
         self._journal_dir = journal_dir
         self._queue_size = int(queue_size)
+        self._store_dir = None if store_dir is None else Path(store_dir)
+        self._resume = bool(resume)
+        self._store_fsync = bool(store_fsync)
         self._supervisors: Dict[str, TenantSupervisor] = {}
         self._queues: Dict[str, asyncio.Queue] = {}
         self._workers: List[asyncio.Task] = []
         self._reports: Dict[str, TenantReport] = {}
         self._started = False
+        self._draining = False
+
+    @classmethod
+    def cold_start(
+        cls,
+        store_dir: "str | Path",
+        *,
+        policy: Optional[RestartPolicy] = None,
+        queue_size: int = 1024,
+        store_fsync: bool = True,
+    ) -> "ScheduleService":
+        """A service rebuilt purely from a store directory: every tenant
+        subdirectory with a valid spec is resumed from its snapshot +
+        op log + WAL.  ``await start()`` performs the actual recovery."""
+        root = Path(store_dir)
+        specs: List[TenantSpec] = []
+        if root.is_dir():
+            for sub in sorted(p for p in root.iterdir() if p.is_dir()):
+                if not (sub / SPEC_FILE).exists():
+                    continue
+                store = TenantStore(sub, fsync=store_fsync)
+                try:
+                    doc = store.load_spec()
+                finally:
+                    store.close()
+                if doc is not None:
+                    specs.append(tenant_spec_from_dict(doc))
+        if not specs:
+            raise ServiceError(
+                f"no recoverable tenant state under {str(root)!r}"
+            )
+        return cls(
+            specs,
+            policy=policy,
+            queue_size=queue_size,
+            store_dir=root,
+            resume=True,
+            store_fsync=store_fsync,
+        )
 
     # ------------------------------------------------------------------
     @property
     def tenants(self) -> Tuple[str, ...]:
         return tuple(spec.tenant for spec in self._specs)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     def supervisor(self, tenant: str) -> TenantSupervisor:
         return self._supervisors[tenant]
@@ -206,7 +277,17 @@ class ScheduleService:
         if self._started:
             return
         for spec in self._specs:
-            shard = TenantShard(spec, journal_dir=self._journal_dir)
+            store = None
+            if self._store_dir is not None:
+                store = TenantStore(
+                    self._store_dir / spec.tenant, fsync=self._store_fsync
+                )
+            shard = TenantShard(
+                spec,
+                journal_dir=self._journal_dir,
+                store=store,
+                resume=self._resume,
+            )
             self._supervisors[spec.tenant] = TenantSupervisor(
                 shard, self._policy
             )
@@ -229,11 +310,11 @@ class ScheduleService:
                 return
             message, future = item
             try:
-                report = await supervisor.handle(message)
-                if report is not None:
-                    self._reports[tenant] = report
+                result = await supervisor.handle(message)
+                if isinstance(result, TenantReport):
+                    self._reports[tenant] = result
                 if not future.done():
-                    future.set_result(report)
+                    future.set_result(result)
             except Exception as exc:  # noqa: BLE001 - routed to the sender
                 if not future.done():
                     future.set_exception(exc)
@@ -247,12 +328,40 @@ class ScheduleService:
         rejected messages — the ingress converts those into error acks."""
         if not self._started:
             raise ServiceError("service not started")
+        if self._draining and isinstance(message, (Submit, InjectFault)):
+            raise DrainingError(
+                f"service is draining; resubmit to the restarted service "
+                f"(tenant {message.tenant!r})"
+            )
         queue = self._queues.get(message.tenant)
         if queue is None:
             raise MessageError(f"unknown tenant {message.tenant!r}")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         await queue.put((message, future))
         return await future
+
+    async def drain(self) -> Dict[str, Dict[str, Any]]:
+        """Graceful SIGTERM path: refuse new submits/faults, finish the
+        queued backlog, then flush every tenant's snapshot + op log +
+        WAL to its store.  Returns per-tenant stats recorded *after* the
+        flush — the zero-loss baseline a cold start must reproduce."""
+        if not self._started:
+            raise ServiceError("service not started")
+        self._draining = True
+        self._count_drain()
+        for queue in self._queues.values():
+            await queue.join()
+        stats: Dict[str, Dict[str, Any]] = {}
+        for tenant, supervisor in self._supervisors.items():
+            supervisor.shard.persist_now()
+            stats[tenant] = supervisor.shard.stats()
+        return stats
+
+    @staticmethod
+    def _count_drain() -> None:
+        octx = _obs.current()
+        if octx is not None:
+            octx.metrics.counter("service.drains").inc()
 
     async def close(self) -> Dict[str, TenantReport]:
         """Close every tenant (if not already closed) and stop workers."""

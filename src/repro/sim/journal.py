@@ -145,6 +145,7 @@ class EventJournal:
         self._flush_every = int(flush_every)
         self._fsync = bool(fsync)
         self._unflushed = 0
+        self._dir_synced = True  # nothing to sync for in-memory journals
         if self._path is not None:
             self._path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = self._path.open("w", encoding="utf-8")
@@ -153,6 +154,15 @@ class EventJournal:
                 + "\n"
             )
             self._fh.flush()
+            # The journal *entry* (the freshly created file name) is not
+            # durable until the parent directory is fsynced — without
+            # this the whole journal can vanish on power loss even
+            # though every record was fsynced.  Paid once, at the first
+            # durability point: eagerly under fsync=True, else deferred
+            # to the first flush(sync=True).
+            self._dir_synced = False
+            if self._fsync:
+                self._sync_dir()
 
     def __len__(self) -> int:
         return len(self._records)
@@ -192,6 +202,25 @@ class EventJournal:
         do_sync = self._fsync if sync is None else bool(sync)
         if do_sync:
             os.fsync(self._fh.fileno())
+            self._sync_dir()
+
+    def _sync_dir(self) -> None:
+        """One-time fsync of the journal's parent directory, making the
+        file's creation itself durable (see __init__)."""
+        if self._dir_synced or self._path is None:
+            return
+        try:
+            fd = os.open(self._path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            self._dir_synced = True
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
+        self._dir_synced = True
 
     def get(self, index: int) -> JournalRecord:
         return self._records[index]
@@ -240,6 +269,97 @@ class EventJournal:
                     f"journal {path}: corrupt record at line {lineno}"
                 ) from exc
             journal.append(record)
+        return journal
+
+    @classmethod
+    def resume(
+        cls,
+        path: "str | Path",
+        *,
+        flush_every: int = 1,
+        fsync: bool = False,
+    ) -> "EventJournal":
+        """Reopen an on-disk journal for continued appends (cold start).
+
+        Unlike :meth:`load` (read-only rebuild), ``resume`` prepares the
+        *file* for further writing: any torn final line — including a
+        parseable record missing its newline, which a later append would
+        corrupt — is truncated back to the last complete record, and the
+        file reopens in append mode.  The restored kernel then verifies
+        its re-dispatched events against the loaded records and extends
+        the same file seamlessly past them.
+        """
+        if flush_every < 1:
+            raise RecoveryError(
+                f"flush_every must be >= 1, got {flush_every!r}"
+            )
+        path = Path(path)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise RecoveryError(f"cannot read journal {path}: {exc}") from exc
+        nl = data.find(b"\n")
+        if nl < 0:
+            raise RecoveryError(f"journal {path}: corrupt header")
+        try:
+            header = json.loads(data[:nl].decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RecoveryError(f"journal {path}: corrupt header") from exc
+        if header.get("kind") != "event_journal":
+            raise RecoveryError(f"journal {path}: not an event journal")
+        if header.get("schema") != _JOURNAL_SCHEMA:
+            raise RecoveryError(
+                f"journal {path}: unsupported schema {header.get('schema')!r}"
+            )
+
+        journal = cls()
+        good_end = nl + 1
+        offset = nl + 1
+        n = len(data)
+        while offset < n:
+            next_nl = data.find(b"\n", offset)
+            line_end = n if next_nl < 0 else next_nl
+            line = data[offset:line_end]
+            if line.strip():
+                complete = next_nl >= 0
+                record = None
+                if complete:
+                    try:
+                        record = JournalRecord.from_dict(
+                            json.loads(line.decode("utf-8"))
+                        )
+                    except (
+                        json.JSONDecodeError,
+                        UnicodeDecodeError,
+                        KeyError,
+                        TypeError,
+                        ValueError,
+                    ):
+                        record = None
+                if record is None:
+                    # Torn tail: tolerated only with nothing after it.
+                    if data[line_end:].strip():
+                        raise RecoveryError(
+                            f"journal {path}: corrupt record mid-file"
+                        )
+                    break
+                journal.append(record)
+            good_end = line_end + 1 if next_nl >= 0 else good_end
+            if next_nl < 0:
+                break
+            offset = next_nl + 1
+
+        if good_end < n:
+            with path.open("r+b") as fh:
+                fh.truncate(good_end)
+
+        journal._path = path
+        journal._flush_every = int(flush_every)
+        journal._fsync = bool(fsync)
+        journal._fh = path.open("a", encoding="utf-8")
+        journal._dir_synced = False
+        if journal._fsync:
+            journal._sync_dir()
         return journal
 
 

@@ -1,0 +1,231 @@
+"""Filesystem fault injection: torn writes, bit rot, ENOSPC, lying fsyncs.
+
+The storage twin of :mod:`repro.faults.spec`: a declarative, composable
+:class:`StorageFaultSpec` that wraps any :class:`~repro.store.directory.
+Directory` in a :class:`FaultyDirectory`.  The wrapper threads one
+*global byte cursor* through every file write in the tree (subdirectory
+wrappers share it), so a fault "at byte offset k" means the k-th byte
+the store ever writes — which is how the property suite crashes a run
+at **every** offset and asserts recovery from each.
+
+Fault kinds:
+
+``torn_write``
+    The write that crosses global offset ``at`` persists only its
+    prefix up to ``at``, then raises :class:`~repro.errors.StorageFault`
+    — the process died mid-``write()``.  Every later write also raises
+    (the process is dead).  Tests then call
+    :meth:`~repro.store.directory.MemoryDirectory.crash` to drop
+    whatever was never fsynced.
+
+``bit_flip``
+    The byte at global offset ``at`` is written with bit ``bit``
+    inverted — silent media corruption.  The write *succeeds*; only the
+    CRC32 framing can catch it later.
+
+``enospc``
+    The disk fills at global offset ``at``: the crossing write persists
+    its prefix and raises ``OSError(ENOSPC)``, as do all later writes.
+
+``fsync_lie``
+    ``fsync`` (file and directory) silently does nothing — a misbehaving
+    consumer drive.  Composed with ``torn_write`` or a crash, data the
+    store believed durable is gone.
+
+Composability mirrors the sensor faults: specs apply one at a time,
+``spec_b.apply(spec_a.apply(directory))``, each wrapper counting the
+bytes that reach *it*.
+"""
+
+from __future__ import annotations
+
+import errno
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional
+
+from repro.errors import StorageError, StorageFault
+from repro.store.directory import Directory, FileHandle
+
+__all__ = ["STORAGE_FAULT_KINDS", "StorageFaultSpec", "FaultyDirectory"]
+
+#: The closed set of injectable storage fault kinds.
+STORAGE_FAULT_KINDS = ("torn_write", "bit_flip", "enospc", "fsync_lie")
+
+
+@dataclass(frozen=True)
+class StorageFaultSpec:
+    """A serializable recipe for one storage fault.
+
+    ``at`` is the global byte offset (across all files, in write order)
+    at which the fault fires; ``fsync_lie`` ignores it.  ``options``
+    carries kind-specific extras (``bit`` for ``bit_flip``).
+    """
+
+    kind: str
+    at: int = 0
+    options: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORAGE_FAULT_KINDS:
+            raise StorageError(
+                f"unknown storage fault kind {self.kind!r}; expected one "
+                f"of {STORAGE_FAULT_KINDS}"
+            )
+        if self.at < 0:
+            raise StorageError(f"fault offset must be >= 0, got {self.at!r}")
+
+    @property
+    def label(self) -> str:
+        if self.kind == "fsync_lie":
+            return "fsync-lie"
+        return f"{self.kind}@{self.at}"
+
+    def apply(self, directory: Directory) -> "FaultyDirectory":
+        return FaultyDirectory(directory, self)
+
+
+class _FaultState:
+    """Shared across a FaultyDirectory and all its subdir wrappers."""
+
+    __slots__ = ("written", "fired")
+
+    def __init__(self) -> None:
+        self.written = 0  # global byte cursor
+        self.fired = False
+
+
+class _FaultyFile:
+    def __init__(self, inner: FileHandle, spec: StorageFaultSpec,
+                 state: _FaultState) -> None:
+        self._inner = inner
+        self._spec = spec
+        self._state = state
+
+    def write(self, data: bytes) -> None:
+        spec, state = self._spec, self._state
+        if spec.kind == "torn_write":
+            if state.fired:
+                raise StorageFault(spec.kind, spec.at)
+            if state.written + len(data) > spec.at:
+                keep = spec.at - state.written
+                if keep > 0:
+                    self._inner.write(data[:keep])
+                state.written = spec.at
+                state.fired = True
+                raise StorageFault(spec.kind, spec.at)
+            self._inner.write(data)
+            state.written += len(data)
+            return
+        if spec.kind == "enospc":
+            if state.fired:
+                raise OSError(errno.ENOSPC, "no space left on device")
+            if state.written + len(data) > spec.at:
+                keep = spec.at - state.written
+                if keep > 0:
+                    self._inner.write(data[:keep])
+                state.written = spec.at
+                state.fired = True
+                raise OSError(errno.ENOSPC, "no space left on device")
+            self._inner.write(data)
+            state.written += len(data)
+            return
+        if spec.kind == "bit_flip":
+            lo, hi = state.written, state.written + len(data)
+            if not state.fired and lo <= spec.at < hi:
+                i = spec.at - lo
+                bit = int(self._spec.options.get("bit", 0)) % 8
+                mutated = bytearray(data)
+                mutated[i] ^= 1 << bit
+                data = bytes(mutated)
+                state.fired = True
+            self._inner.write(data)
+            state.written += len(data)
+            return
+        # fsync_lie: writes pass through untouched.
+        self._inner.write(data)
+        state.written += len(data)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def fsync(self) -> None:
+        if self._spec.kind == "fsync_lie":
+            return  # claims success, persists nothing
+        self._inner.fsync()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def tell(self) -> int:
+        return self._inner.tell()
+
+
+class FaultyDirectory:
+    """A :class:`Directory` decorator that injects one storage fault.
+
+    All byte-offset accounting is global across the directory tree:
+    ``subdir`` returns a wrapper over the inner subdirectory *sharing*
+    this wrapper's cursor, so "crash at byte k" is well-defined for a
+    multi-directory store layout.
+    """
+
+    def __init__(
+        self,
+        inner: Directory,
+        spec: StorageFaultSpec,
+        _state: Optional[_FaultState] = None,
+    ) -> None:
+        self._inner = inner
+        self._spec = spec
+        self._state = _state if _state is not None else _FaultState()
+
+    @property
+    def path(self):
+        return self._inner.path
+
+    @property
+    def fired(self) -> bool:
+        """True once the fault has been triggered."""
+        return self._state.fired
+
+    @property
+    def bytes_written(self) -> int:
+        """Global bytes written through this wrapper tree so far."""
+        return self._state.written
+
+    # -- wrapped protocol -------------------------------------------------
+    def create(self, name: str) -> FileHandle:
+        return _FaultyFile(self._inner.create(name), self._spec, self._state)
+
+    def open_append(self, name: str) -> FileHandle:
+        return _FaultyFile(
+            self._inner.open_append(name), self._spec, self._state
+        )
+
+    def read_bytes(self, name: str) -> bytes:
+        return self._inner.read_bytes(name)
+
+    def exists(self, name: str) -> bool:
+        return self._inner.exists(name)
+
+    def listdir(self) -> List[str]:
+        return self._inner.listdir()
+
+    def rename(self, old: str, new: str) -> None:
+        self._inner.rename(old, new)
+
+    def remove(self, name: str) -> None:
+        self._inner.remove(name)
+
+    def truncate(self, name: str, size: int) -> None:
+        self._inner.truncate(name, size)
+
+    def fsync_dir(self) -> None:
+        if self._spec.kind == "fsync_lie":
+            return
+        self._inner.fsync_dir()
+
+    def subdir(self, name: str) -> "FaultyDirectory":
+        return FaultyDirectory(
+            self._inner.subdir(name), self._spec, self._state
+        )

@@ -1,0 +1,183 @@
+"""Per-tenant durable state: spec + op log + snapshots, one directory.
+
+Layout under ``<store_dir>/<tenant>/``::
+
+    spec.json        # the TenantSpec as checksummed JSON (written once)
+    oplog/           # SegmentedLog of JSON op records (admits, pushes,
+                     #   sheds, crash marks, dedup entries)
+    snaps/           # SnapshotStore of pickled shard state images
+    wal.jsonl        # the kernel's write-ahead EventJournal (plain file;
+                     #   the kernel owns its format and torn-tail rules)
+    shed.jsonl       # human-readable shed sidecar (rebuilt on resume)
+
+The shard (:mod:`repro.service.shard`) writes *op records first, state
+mutation second*: an admit/push/shed is fsynced into the op log before
+the kernel sees it, so the disk is always ahead of (or equal to) the
+process — ``SIGKILL`` at any instant loses at most acked-but-undecided
+buffering, never a decision.  Snapshots anchor the op sequence: a state
+image recorded at op sequence ``s`` supersedes every op with
+``seq < s``, and :meth:`write_snapshot` compacts the op log accordingly.
+
+This module is deliberately spec-schema agnostic: the tenant spec and
+the op payloads are opaque JSON documents; (de)serialising them to
+:class:`~repro.service.shard.TenantSpec` etc. lives with the service
+layer, keeping ``repro.store`` free of service imports.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.store.directory import Directory, OsDirectory
+from repro.store.log import SegmentedLog
+from repro.store.snapshots import SnapshotStore
+
+__all__ = ["TenantStore"]
+
+SPEC_FILE = "spec.json"
+WAL_FILE = "wal.jsonl"
+SHED_FILE = "shed.jsonl"
+
+
+class TenantStore:
+    """One tenant's crash-safe state: spec, op log, snapshot anchors."""
+
+    def __init__(
+        self,
+        directory: "Directory | str | Path",
+        *,
+        segment_bytes: int = 64 * 1024,
+        snapshot_keep: int = 2,
+        fsync: bool = True,
+    ) -> None:
+        if not hasattr(directory, "subdir"):
+            directory = OsDirectory(directory)  # type: ignore[arg-type]
+        self._dir: Directory = directory  # type: ignore[assignment]
+        self._fsync = bool(fsync)
+        self.oplog = SegmentedLog(
+            self._dir.subdir("oplog"),
+            segment_bytes=segment_bytes,
+            fsync=fsync,
+        )
+        self.snapshots = SnapshotStore(
+            self._dir.subdir("snaps"), keep=snapshot_keep, fsync=fsync
+        )
+
+    # -- paths (None for in-memory directories) -------------------------
+    @property
+    def path(self) -> Optional[Path]:
+        return self._dir.path
+
+    @property
+    def wal_path(self) -> Optional[Path]:
+        return None if self.path is None else self.path / WAL_FILE
+
+    @property
+    def shed_path(self) -> Optional[Path]:
+        return None if self.path is None else self.path / SHED_FILE
+
+    # -- tenant spec -----------------------------------------------------
+    def ensure_spec(self, spec_doc: Dict[str, Any]) -> None:
+        """Write the spec once; on reopen, verify it has not changed —
+        resuming a tenant under a different world would silently break
+        replay parity."""
+        stored = self.load_spec()
+        if stored is not None:
+            if stored != spec_doc:
+                raise StorageError(
+                    "stored tenant spec differs from the running spec; "
+                    "refusing to resume (delete the tenant directory to "
+                    "start over)"
+                )
+            return
+        body = json.dumps(spec_doc, sort_keys=True)
+        doc = {"spec": spec_doc, "crc": zlib.crc32(body.encode()) & 0xFFFFFFFF}
+        tmp = SPEC_FILE + ".tmp"
+        h = self._dir.create(tmp)
+        h.write((json.dumps(doc, sort_keys=True) + "\n").encode())
+        if self._fsync:
+            h.fsync()
+        else:
+            h.flush()
+        h.close()
+        self._dir.rename(tmp, SPEC_FILE)
+        if self._fsync:
+            self._dir.fsync_dir()
+
+    def load_spec(self) -> Optional[Dict[str, Any]]:
+        if not self._dir.exists(SPEC_FILE):
+            return None
+        try:
+            doc = json.loads(self._dir.read_bytes(SPEC_FILE).decode())
+            spec_doc = doc["spec"]
+            body = json.dumps(spec_doc, sort_keys=True)
+            if (zlib.crc32(body.encode()) & 0xFFFFFFFF) != doc["crc"]:
+                raise ValueError("checksum mismatch")
+        except (ValueError, KeyError, TypeError) as exc:
+            raise StorageError(
+                "tenant spec file is corrupt; refusing to guess the "
+                f"tenant's world ({exc})"
+            ) from exc
+        return spec_doc
+
+    # -- op log ----------------------------------------------------------
+    def append_ops(
+        self, docs: "List[Dict[str, Any]]", *, sync: bool = True
+    ) -> int:
+        """Append op records (JSON docs); returns the next sequence
+        after the batch.  With ``sync`` the whole batch is fsynced
+        before returning (one fsync, after the last frame)."""
+        for i, doc in enumerate(docs):
+            last = i == len(docs) - 1
+            self.oplog.append(
+                json.dumps(doc, sort_keys=True).encode(),
+                sync=sync and last,
+            )
+        return self.oplog.next_seq
+
+    @property
+    def op_seq(self) -> int:
+        return self.oplog.next_seq
+
+    def ops(self) -> List[Tuple[int, Dict[str, Any]]]:
+        """All live op records as ``(seq, doc)``."""
+        return [
+            (seq, json.loads(payload.decode()))
+            for seq, payload in self.oplog.entries()
+        ]
+
+    # -- snapshots -------------------------------------------------------
+    def write_snapshot(self, state: Any, *, op_seq: int) -> int:
+        """Commit one state image anchored at ``op_seq`` and compact the
+        op log behind it."""
+        seq = self.snapshots.write(
+            pickle.dumps(state), {"op_seq": int(op_seq)}
+        )
+        self.oplog.compact(int(op_seq))
+        return seq
+
+    def load_snapshot(self) -> Optional[Tuple[Any, int]]:
+        """Newest complete state image as ``(state, op_seq)``."""
+        loaded = self.snapshots.load()
+        if loaded is None:
+            return None
+        _seq, meta, payload = loaded
+        op_seq = int(meta.get("op_seq", 0))
+        if self.oplog.next_seq < op_seq and not len(self.oplog):
+            # The op log was quarantined wholesale (catastrophic rot):
+            # re-anchor its sequence space at the snapshot so post-resume
+            # appends stay ahead of the anchor.
+            self.oplog.rebase(op_seq)
+        return pickle.loads(payload), op_seq
+
+    def has_state(self) -> bool:
+        """True if anything recoverable exists (ops or a snapshot)."""
+        return len(self.oplog) > 0 or self.snapshots.load() is not None
+
+    def close(self) -> None:
+        self.oplog.close()

@@ -2,8 +2,11 @@
 
 Satellite contract (docs/ROBUSTNESS.md): a truncated *final* line is the
 signature of a crash mid-append and is silently tolerated (that replication
-re-runs); a corrupt line anywhere else, a foreign header, or a fingerprint
-mismatch refuses to resume with a clear :class:`CheckpointError`.
+re-runs).  A corrupt record *mid-file* — undecodable JSON or a CRC32
+mismatch, i.e. bit rot rather than a torn append — is skipped and reported
+via ``CheckpointStore.corrupt_records``, and its replication re-runs.  Only
+a corrupt/foreign header or a fingerprint mismatch refuses to resume with a
+clear :class:`CheckpointError`.
 """
 
 from __future__ import annotations
@@ -91,15 +94,39 @@ class TestCorruption:
         assert sorted(resumed.completed) == [0, 1]
         assert resumed.pending() == [2, 3]  # the torn replication re-runs
 
-    def test_corrupt_middle_line_refuses_resume(self, tmp_path):
+    def test_corrupt_middle_line_skipped_and_reported(self, tmp_path):
         path = _fresh(tmp_path)
         lines = path.read_text().splitlines()
         lines[2] = '{"index": 1, "outcome": BROKEN'
         path.write_text("\n".join(lines) + "\n")
-        with pytest.raises(
-            CheckpointError, match=r"corrupt checkpoint record at line 3"
-        ):
-            _store(path)
+        resumed = _store(path)
+        # Records around the rotten one survive; only index 1 re-runs.
+        assert sorted(resumed.completed) == [0, 2]
+        assert resumed.pending() == [1, 3]
+        assert resumed.corrupt_records == [(3, "undecodable JSON")]
+
+    def test_crc_mismatch_skipped_and_reported(self, tmp_path):
+        path = _fresh(tmp_path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[2])
+        record["outcome"]["values"]["EDF"] = 999.0  # bit rot in a value
+        lines[2] = json.dumps(record)  # stale "crc" now mismatches
+        path.write_text("\n".join(lines) + "\n")
+        resumed = _store(path)
+        assert sorted(resumed.completed) == [0, 2]
+        assert resumed.pending() == [1, 3]
+        assert resumed.corrupt_records == [(3, "CRC mismatch")]
+
+    def test_legacy_record_without_crc_accepted(self, tmp_path):
+        path = _fresh(tmp_path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[2])
+        del record["crc"]  # written before checksums existed
+        lines[2] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        resumed = _store(path)
+        assert sorted(resumed.completed) == [0, 1, 2]
+        assert resumed.corrupt_records == []
 
     def test_corrupt_header_refuses_resume(self, tmp_path):
         path = _fresh(tmp_path)

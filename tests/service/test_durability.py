@@ -1,0 +1,353 @@
+"""Durable tenant state: cold start, idempotency, drain (in-process).
+
+The kill -9 soak (tests/service/test_soak.py::TestKill9Smoke) proves
+the same contracts against a real SIGKILLed child process; these tests
+pin them at the shard/supervisor layer where failures are debuggable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import DrainingError, RecoveryError, StorageError
+from repro.service import (
+    Advance,
+    CapacitySpec,
+    Close,
+    InjectFault,
+    ScheduleService,
+    Stat,
+    Submit,
+    TenantShard,
+    TenantSpec,
+    replay_tenant,
+    tenant_spec_from_dict,
+    tenant_spec_to_dict,
+)
+from repro.sim.job import Job
+from repro.store.tenant import TenantStore
+
+
+def _spec(tenant="t0", **kw):
+    base = dict(
+        tenant=tenant,
+        horizon=40.0,
+        scheduler="vdover",
+        capacity=CapacitySpec("constant", {"rate": 1.0}),
+        queue_budget=64,
+        snapshot_every=4,
+        flush_every=2,
+        fsync=True,
+    )
+    base.update(kw)
+    return TenantSpec(**base)
+
+
+def _job(jid, release, workload=1.0, value=1.0):
+    return Job(
+        jid=jid,
+        release=release,
+        workload=workload,
+        deadline=release + 6.0,
+        value=value,
+    )
+
+
+def _drive(shard, n=12, rid_prefix="r"):
+    """A little deterministic workload with rids; returns the rid list."""
+    rids = []
+    for i in range(n):
+        rid = f"{rid_prefix}{i}"
+        shard.handle(Submit("t0", _job(i, release=float(i)), rid=rid))
+        rids.append(rid)
+    shard.handle(Advance("t0", float(n) + 2.0))
+    return rids
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestSpecRoundtrip:
+    def test_dict_roundtrip_identity(self):
+        spec = _spec(fault_seed=7)
+        doc = tenant_spec_to_dict(spec)
+        json.dumps(doc)  # must be pure JSON
+        again = tenant_spec_from_dict(doc)
+        assert tenant_spec_to_dict(again) == doc
+
+    def test_markov_capacity_roundtrips(self):
+        spec = _spec(
+            capacity=CapacitySpec(
+                "markov2",
+                {"low": 1.0, "high": 3.0, "mean_sojourn": 10.0},
+                seed=5,
+            )
+        )
+        doc = tenant_spec_to_dict(spec)
+        assert tenant_spec_to_dict(tenant_spec_from_dict(doc)) == doc
+
+
+class TestColdStartParity:
+    def test_stats_bit_identical_after_cold_start(self, tmp_path):
+        store = TenantStore(tmp_path / "t0")
+        shard = TenantShard(_spec(), store=store)
+        _drive(shard, n=12)
+        shard.persist_now()
+        before = shard.stats()
+        store.close()  # the process is gone
+
+        store2 = TenantStore(tmp_path / "t0")
+        revived = TenantShard(_spec(), store=store2, resume=True)
+        after = revived.stats()
+        for key in ("submitted", "accepted", "shed", "accepted_crc"):
+            assert after[key] == before[key], key
+        assert after["recoveries"] == before["recoveries"] + 1
+
+    def test_replay_parity_after_cold_start(self, tmp_path):
+        store = TenantStore(tmp_path / "t0")
+        shard = TenantShard(_spec(), store=store)
+        _drive(shard, n=10)
+        shard.handle(InjectFault("t0", "kill", time=14.0, retain=0.5))
+        shard.persist_now()
+        store.close()
+
+        revived = TenantShard(
+            _spec(), store=TenantStore(tmp_path / "t0"), resume=True
+        )
+        report = revived.close()
+        check = replay_tenant(report)
+        assert check.ok, check.failures
+        assert report.lost_jids == ()
+
+    def test_unsynced_snapshotless_ops_replay_from_log(self, tmp_path):
+        # No persist_now, no periodic snapshot committed yet: the op log
+        # alone rebuilds the world (ops are fsynced per decision).
+        store = TenantStore(tmp_path / "t0")
+        shard = TenantShard(_spec(snapshot_every=10_000), store=store)
+        _drive(shard, n=6)
+        before = shard.stats()
+        store.close()  # SIGKILL: no drain, no snapshot
+
+        revived = TenantShard(
+            _spec(snapshot_every=10_000),
+            store=TenantStore(tmp_path / "t0"),
+            resume=True,
+        )
+        after = revived.stats()
+        for key in ("submitted", "accepted", "shed", "accepted_crc"):
+            assert after[key] == before[key], key
+        report = revived.close()
+        assert replay_tenant(report).ok
+
+    def test_forced_crash_then_cold_start(self, tmp_path):
+        from repro.errors import SimulatedCrash
+
+        store = TenantStore(tmp_path / "t0")
+        shard = TenantShard(_spec(), store=store)
+        _drive(shard, n=8)
+        with pytest.raises(SimulatedCrash) as excinfo:
+            shard.handle(InjectFault("t0", "crash", time=9.0, rid="c0"))
+        shard.recover(excinfo.value)
+        shard.handle(Advance("t0", 11.0))
+        shard.persist_now()
+        before = shard.stats()
+        store.close()
+
+        revived = TenantShard(
+            _spec(), store=TenantStore(tmp_path / "t0"), resume=True
+        )
+        after = revived.stats()
+        assert after["forced_crashes"] == before["forced_crashes"] == 1
+        assert after["accepted_crc"] == before["accepted_crc"]
+        # The crash request id was durably decided.
+        assert revived.dedup_outcome("c0") == "crash"
+
+    def test_changed_spec_refuses_resume(self, tmp_path):
+        store = TenantStore(tmp_path / "t0")
+        TenantShard(_spec(), store=store).persist_now()
+        store.close()
+        with pytest.raises(StorageError, match="differs"):
+            TenantShard(
+                _spec(queue_budget=1),
+                store=TenantStore(tmp_path / "t0"),
+                resume=True,
+            )
+
+    def test_unknown_snapshot_version_refused(self, tmp_path):
+        store = TenantStore(tmp_path / "t0")
+        shard = TenantShard(_spec(), store=store)
+        _drive(shard, n=4)
+        shard.persist_now()
+        store.write_snapshot({"version": 99}, op_seq=store.op_seq)
+        store.close()
+        with pytest.raises(RecoveryError, match="schema drift"):
+            TenantShard(
+                _spec(), store=TenantStore(tmp_path / "t0"), resume=True
+            )
+
+
+class TestIdempotency:
+    def test_full_resend_after_cold_start_all_duplicates(self, tmp_path):
+        store = TenantStore(tmp_path / "t0")
+        shard = TenantShard(_spec(), store=store)
+        rids = _drive(shard, n=10)
+        shard.persist_now()
+        before = shard.stats()
+        store.close()
+
+        revived = TenantShard(
+            _spec(), store=TenantStore(tmp_path / "t0"), resume=True
+        )
+        # A client replaying its whole traffic log: every line acks
+        # duplicate, nothing double-admits.
+        dups = 0
+        for i, rid in enumerate(rids):
+            ack = revived.handle(Submit("t0", _job(i, float(i)), rid=rid))
+            assert ack is not None and ack.get("duplicate"), rid
+            dups += 1
+        assert dups == len(rids)
+        after = revived.stats()
+        assert after["submitted"] == before["submitted"]
+        assert after["accepted_crc"] == before["accepted_crc"]
+
+    def test_duplicate_ack_carries_outcome(self, tmp_path):
+        store = TenantStore(tmp_path / "t0")
+        shard = TenantShard(_spec(), store=store)
+        shard.handle(Submit("t0", _job(0, 0.0), rid="s0"))
+        shard.handle(Advance("t0", 5.0))  # decides the group
+        ack = shard.handle(Submit("t0", _job(0, 0.0), rid="s0"))
+        assert ack == {"duplicate": True, "outcome": "accepted"}
+
+    def test_pending_rid_reports_pending(self):
+        shard = TenantShard(_spec())
+        shard.handle(Submit("t0", _job(0, 0.0), rid="s0"))
+        assert shard.dedup_outcome("s0") == "pending"
+        assert shard.dedup_outcome("unknown") is None
+
+    def test_duplicate_fault_not_reinjected(self, tmp_path):
+        store = TenantStore(tmp_path / "t0")
+        shard = TenantShard(_spec(), store=store)
+        _drive(shard, n=4)
+        shard.handle(InjectFault("t0", "kill", time=8.0, rid="f0"))
+        n_injected = len(shard.report().injected)
+        ack = shard.handle(InjectFault("t0", "kill", time=8.0, rid="f0"))
+        assert ack == {"duplicate": True, "outcome": "injected"}
+        assert len(shard.report().injected) == n_injected
+
+
+class TestStatMessage:
+    def test_stat_is_read_only(self):
+        shard = TenantShard(_spec())
+        _drive(shard, n=5)
+        s1 = shard.handle(Stat("t0"))
+        s2 = shard.handle(Stat("t0"))
+        assert s1 == s2
+        assert s1["tenant"] == "t0"
+        assert s1["submitted"] == 5
+
+    def test_stat_works_on_closed_shard(self):
+        shard = TenantShard(_spec())
+        _drive(shard, n=3)
+        shard.handle(Close("t0"))
+        stats = shard.handle(Stat("t0"))
+        assert stats["closed"] is True
+
+    def test_wire_form(self):
+        from repro.service import encode_message, parse_message
+
+        line = encode_message(Stat("t0"))
+        assert parse_message(line) == Stat("t0")
+
+
+class TestServiceDrain:
+    def test_drain_refuses_new_work_and_flushes(self, tmp_path):
+        async def run():
+            service = ScheduleService(
+                [_spec()], store_dir=tmp_path / "store"
+            )
+            await service.start()
+            for i in range(8):
+                await service.dispatch(
+                    Submit("t0", _job(i, float(i)), rid=f"r{i}")
+                )
+            stats = await service.drain()
+            assert service.draining
+            with pytest.raises(DrainingError):
+                await service.dispatch(Submit("t0", _job(99, 20.0)))
+            with pytest.raises(DrainingError):
+                await service.dispatch(InjectFault("t0", "kill", time=25.0))
+            # Reads still work while draining.
+            live = await service.dispatch(Stat("t0"))
+            assert live["submitted"] == 8
+            await service.close()
+            return stats
+
+        stats = _run(run())
+        assert stats["t0"]["submitted"] == 8
+        # Zero accepted-job loss at the drain boundary: every submission
+        # was decided, nothing stuck in a buffer.
+        assert stats["t0"]["pending"] == 0
+        assert (
+            stats["t0"]["accepted"] + stats["t0"]["shed"]
+            == stats["t0"]["submitted"]
+        )
+
+    def test_drained_state_cold_starts_identically(self, tmp_path):
+        store_dir = tmp_path / "store"
+
+        async def first():
+            service = ScheduleService([_spec()], store_dir=store_dir)
+            await service.start()
+            for i in range(10):
+                await service.dispatch(
+                    Submit("t0", _job(i, float(i)), rid=f"r{i}")
+                )
+            stats = await service.drain()
+            await service.close()
+            return stats
+
+        async def second():
+            service = ScheduleService.cold_start(store_dir)
+            await service.start()
+            stats = await service.dispatch(Stat("t0"))
+            reports = await service.close()
+            return stats, reports["t0"]
+
+        before = _run(first())["t0"]
+        after, report = _run(second())
+        for key in ("submitted", "accepted", "shed", "accepted_crc"):
+            assert after[key] == before[key], key
+        assert replay_tenant(report).ok
+        assert report.lost_jids == ()
+
+    def test_cold_start_requires_state(self, tmp_path):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError, match="no recoverable"):
+            ScheduleService.cold_start(tmp_path / "empty")
+
+
+class TestDaemonSpecs:
+    def test_specs_file_forms(self, tmp_path):
+        from repro.service.daemon import load_specs_file
+
+        doc = [tenant_spec_to_dict(_spec("a")), tenant_spec_to_dict(_spec("b"))]
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(doc))
+        wrapped = tmp_path / "wrapped.json"
+        wrapped.write_text(json.dumps({"tenants": doc}))
+        assert [s.tenant for s in load_specs_file(bare)] == ["a", "b"]
+        assert [s.tenant for s in load_specs_file(wrapped)] == ["a", "b"]
+
+    def test_bad_specs_file_rejected(self, tmp_path):
+        from repro.errors import ServiceError
+        from repro.service.daemon import load_specs_file
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"tenants": 7}))
+        with pytest.raises(ServiceError, match="list"):
+            load_specs_file(bad)

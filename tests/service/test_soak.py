@@ -82,3 +82,53 @@ class TestSoakSmoke:
         assert report.shed > 0, "the starved soak never shed — not a test"
         assert report.submitted == report.accepted + report.shed
         assert report.ok, report.failures()
+
+
+@pytest.mark.kill_soak_smoke
+class TestKill9Smoke:
+    """The durability acceptance gate: SIGKILL a real child service
+    mid-traffic, cold-start from disk, resend the whole stream, and
+    prove bit-identical replay parity plus zero accepted-job loss.
+
+    Runs as its own CI step (``-m kill_soak_smoke``); the store
+    directory lands under ``test-results/kill9/`` so a failure ships
+    the WAL, op log and snapshots as artifacts."""
+
+    def test_kill9_soak_passes(self):
+        from repro.experiments.soak import Kill9Config, run_kill9
+
+        store_dir = ARTIFACT_DIR.parent / "kill9"
+        config = Kill9Config(
+            tenants=2,
+            lam=2.0,
+            horizon=20.0,
+            seed=2011,
+            kills=3,
+            forced_crashes=2,
+            ingress_faults_per_tenant=2,
+            snapshot_every=8,
+            flush_every=4,
+            store_dir=str(store_dir),
+        )
+        report = run_kill9(config)
+
+        assert report.kills_delivered == 3
+        assert report.incarnations >= 5  # kills + final traffic + audit
+        assert report.drain_exit_code == 0
+        # Resending the full stream after each cold start must hit the
+        # dedup journal, not re-admit: a healthy run sees many of them.
+        assert report.duplicate_acks > 0
+        for k, per_tenant in sorted(report.parity_per_kill.items()):
+            for tenant, ok in sorted(per_tenant.items()):
+                assert ok, f"kill {k}: {tenant} lost replay parity"
+        # Drain-boundary bit-identity: the audited cold start reports
+        # the same counters the drained service last printed.
+        for tenant, drained in sorted(report.drain_stats.items()):
+            cold = report.cold_stats[tenant]
+            for key in ("submitted", "accepted", "shed", "accepted_crc"):
+                assert drained[key] == cold[key], (tenant, key)
+            assert drained["accepted"] + drained["shed"] == drained["submitted"]
+        for tenant, ack in sorted(report.close_acks.items()):
+            assert ack.get("parity") is True, (tenant, ack)
+            assert ack.get("lost") == [], (tenant, ack)
+        assert report.ok, report.failures()

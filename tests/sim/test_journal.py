@@ -172,3 +172,115 @@ class TestFlushBatching:
         journal.flush(sync=False)  # suppress the fsync, still flushes
         assert len(EventJournal.load(path)) == 4
         journal.close()
+
+
+class TestDirFsync:
+    """Regression: a freshly created journal *file entry* is only durable
+    once the parent directory is fsynced — exactly once, at the first
+    durability point."""
+
+    def test_eager_dir_sync_with_fsync_true(self, tmp_path):
+        journal = EventJournal(tmp_path / "j.jsonl", fsync=True)
+        assert journal._dir_synced is True
+        journal.close()
+
+    def test_deferred_dir_sync_with_fsync_false(self, tmp_path):
+        journal = EventJournal(tmp_path / "j.jsonl", fsync=False)
+        assert journal._dir_synced is False
+        journal.append(_record(0))
+        journal.flush()  # plain flush: still no durability point
+        assert journal._dir_synced is False
+        journal.flush(sync=True)  # first explicit durability point
+        assert journal._dir_synced is True
+        journal.close()
+
+    def test_in_memory_journal_never_needs_it(self):
+        journal = EventJournal()
+        assert journal._dir_synced is True
+        journal.append(_record(0))
+        journal.flush(sync=True)  # no file: a no-op, not an error
+
+    def test_sync_dir_is_one_time(self, tmp_path, monkeypatch):
+        import repro.sim.journal as journal_mod
+
+        journal = EventJournal(tmp_path / "j.jsonl", fsync=True)
+        calls = []
+        monkeypatch.setattr(
+            journal_mod.os,
+            "open",
+            lambda *a, **k: calls.append(a) or (_ for _ in ()).throw(
+                AssertionError("dir fsync repeated")
+            ),
+        )
+        journal.append(_record(0))
+        journal.flush(sync=True)  # must not re-open the directory
+        assert calls == []
+
+
+class TestResume:
+    def _written(self, tmp_path, n=3):
+        path = tmp_path / "j.jsonl"
+        journal = EventJournal(path, fsync=True)
+        for i in range(n):
+            journal.append(_record(i))
+        journal.close()
+        return path
+
+    def test_clean_resume_appends_in_place(self, tmp_path):
+        path = self._written(tmp_path, n=3)
+        journal = EventJournal.resume(path, fsync=True)
+        assert len(journal) == 3
+        journal.append(_record(3))
+        journal.close()
+        loaded = EventJournal.load(path)
+        assert [r.index for r in loaded.records] == [0, 1, 2, 3]
+
+    def test_torn_final_line_truncated_then_extended(self, tmp_path):
+        path = self._written(tmp_path, n=3)
+        with path.open("ab") as fh:
+            fh.write(b'{"index": 3, "time":')  # torn mid-append
+        journal = EventJournal.resume(path)
+        assert len(journal) == 2 + 1  # the three complete records
+        journal.append(_record(3))
+        journal.close()
+        # The tear is gone from disk; the file parses cleanly end to end.
+        loaded = EventJournal.load(path)
+        assert [r.index for r in loaded.records] == [0, 1, 2, 3]
+
+    def test_record_missing_newline_truncated(self, tmp_path):
+        # A parseable record without its newline would be corrupted by
+        # the next append ("{...}{...}" on one line): resume truncates it
+        # and the kernel regenerates it deterministically.
+        path = self._written(tmp_path, n=3)
+        data = path.read_bytes()
+        path.write_bytes(data[:-1])  # strip the final newline only
+        journal = EventJournal.resume(path)
+        assert len(journal) == 2
+        journal.append(_record(2))
+        journal.close()
+        loaded = EventJournal.load(path)
+        assert [r.index for r in loaded.records] == [0, 1, 2]
+
+    def test_mid_file_corruption_refuses(self, tmp_path):
+        path = self._written(tmp_path, n=3)
+        lines = path.read_text().splitlines()
+        lines[2] = '{"index": 1, BROKEN'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(RecoveryError, match="mid-file"):
+            EventJournal.resume(path)
+
+    def test_corrupt_header_refuses(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("{broken\n")
+        with pytest.raises(RecoveryError, match="header"):
+            EventJournal.resume(path)
+
+    def test_foreign_file_refuses(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text(json.dumps({"kind": "mc_checkpoint", "schema": 1}) + "\n")
+        with pytest.raises(RecoveryError, match="not an event journal"):
+            EventJournal.resume(path)
+
+    def test_missing_file_refuses(self, tmp_path):
+        with pytest.raises(RecoveryError, match="cannot read"):
+            EventJournal.resume(tmp_path / "absent.jsonl")

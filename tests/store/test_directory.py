@@ -1,0 +1,158 @@
+"""The Directory abstraction: real filesystem and the power-loss model.
+
+`MemoryDirectory` is the foundation the whole durability suite stands
+on, so its crash semantics are pinned here first: content becomes
+durable only via ``fsync``, entries only via ``fsync_dir``, and
+:meth:`crash` reverts every volatile bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.store.directory import MemoryDirectory, OsDirectory
+
+
+class TestOsDirectory:
+    def test_roundtrip(self, tmp_path):
+        d = OsDirectory(tmp_path / "store")
+        h = d.create("a.bin")
+        h.write(b"hello")
+        h.fsync()
+        h.close()
+        assert d.read_bytes("a.bin") == b"hello"
+        assert d.exists("a.bin")
+        assert d.listdir() == ["a.bin"]
+
+    def test_rename_and_remove(self, tmp_path):
+        d = OsDirectory(tmp_path)
+        h = d.create("x.tmp")
+        h.write(b"data")
+        h.close()
+        d.rename("x.tmp", "x.bin")
+        d.fsync_dir()
+        assert d.listdir() == ["x.bin"]
+        d.remove("x.bin")
+        assert d.listdir() == []
+
+    def test_truncate(self, tmp_path):
+        d = OsDirectory(tmp_path)
+        h = d.create("t.bin")
+        h.write(b"0123456789")
+        h.close()
+        d.truncate("t.bin", 4)
+        assert d.read_bytes("t.bin") == b"0123"
+
+    def test_subdir(self, tmp_path):
+        d = OsDirectory(tmp_path)
+        sub = d.subdir("inner")
+        h = sub.create("f")
+        h.write(b"x")
+        h.close()
+        assert (tmp_path / "inner" / "f").read_bytes() == b"x"
+
+    def test_append(self, tmp_path):
+        d = OsDirectory(tmp_path)
+        h = d.create("a")
+        h.write(b"one")
+        h.close()
+        h = d.open_append("a")
+        h.write(b"two")
+        h.close()
+        assert d.read_bytes("a") == b"onetwo"
+
+
+class TestMemoryDirectory:
+    def test_unsynced_content_lost_on_crash(self):
+        d = MemoryDirectory()
+        h = d.create("f")
+        d.fsync_dir()  # the entry survives ...
+        h.write(b"volatile")
+        d.crash()
+        assert d.exists("f")
+        assert d.read_bytes("f") == b""  # ... the bytes do not
+
+    def test_fsynced_prefix_survives_crash(self):
+        d = MemoryDirectory()
+        h = d.create("f")
+        d.fsync_dir()
+        h.write(b"durable")
+        h.fsync()
+        h.write(b"-volatile")
+        d.crash()
+        assert d.read_bytes("f") == b"durable"
+
+    def test_entry_without_dir_fsync_lost_on_crash(self):
+        d = MemoryDirectory()
+        h = d.create("f")
+        h.write(b"x")
+        h.fsync()  # file content fsynced, entry never was
+        d.crash()
+        assert not d.exists("f")
+
+    def test_rename_without_dir_fsync_reverts(self):
+        d = MemoryDirectory()
+        h = d.create("f.tmp")
+        h.write(b"x")
+        h.fsync()
+        d.fsync_dir()
+        d.rename("f.tmp", "f")
+        d.crash()  # the rename was never dir-fsynced
+        assert d.exists("f.tmp")
+        assert not d.exists("f")
+
+    def test_rename_with_dir_fsync_sticks(self):
+        d = MemoryDirectory()
+        h = d.create("f.tmp")
+        h.write(b"x")
+        h.fsync()
+        d.rename("f.tmp", "f")
+        d.fsync_dir()
+        d.crash()
+        assert d.exists("f")
+        assert d.read_bytes("f") == b"x"
+
+    def test_handle_outlives_crash_raises(self):
+        d = MemoryDirectory()
+        h = d.create("f")
+        d.crash()
+        with pytest.raises(StorageError, match="outlived"):
+            h.write(b"late")
+
+    def test_closed_handle_raises(self):
+        d = MemoryDirectory()
+        h = d.create("f")
+        h.close()
+        with pytest.raises(StorageError, match="closed"):
+            h.write(b"late")
+
+    def test_sync_all_models_sigkill(self):
+        # SIGKILL loses nothing the OS already has: sync_all then crash
+        # is a no-op for state.
+        d = MemoryDirectory()
+        h = d.create("f")
+        h.write(b"handed to the OS")
+        d.sync_all()
+        d.crash()
+        assert d.read_bytes("f") == b"handed to the OS"
+
+    def test_crash_recurses_into_subdirs(self):
+        d = MemoryDirectory()
+        sub = d.subdir("inner")
+        h = sub.create("f")
+        sub.fsync_dir()
+        h.write(b"volatile")
+        d.crash()
+        assert sub.read_bytes("f") == b""
+
+    def test_missing_file_errors(self):
+        d = MemoryDirectory()
+        with pytest.raises(StorageError):
+            d.read_bytes("nope")
+        with pytest.raises(StorageError):
+            d.open_append("nope")
+        with pytest.raises(StorageError):
+            d.remove("nope")
+        with pytest.raises(StorageError):
+            d.rename("nope", "other")

@@ -1,0 +1,152 @@
+"""FaultyDirectory: all four injectable storage fault kinds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError, StorageFault
+from repro.store.directory import MemoryDirectory
+from repro.store.faults import (
+    STORAGE_FAULT_KINDS,
+    FaultyDirectory,
+    StorageFaultSpec,
+)
+from repro.store.log import SegmentedLog
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StorageError, match="unknown storage fault"):
+            StorageFaultSpec(kind="gamma_ray")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(StorageError, match=">= 0"):
+            StorageFaultSpec(kind="torn_write", at=-1)
+
+    def test_labels(self):
+        assert StorageFaultSpec("torn_write", at=12).label == "torn_write@12"
+        assert StorageFaultSpec("fsync_lie").label == "fsync-lie"
+
+    def test_closed_kind_set(self):
+        assert set(STORAGE_FAULT_KINDS) == {
+            "torn_write",
+            "bit_flip",
+            "enospc",
+            "fsync_lie",
+        }
+
+
+class TestTornWrite:
+    def test_prefix_persists_then_dead(self):
+        mem = MemoryDirectory()
+        faulty = StorageFaultSpec("torn_write", at=4).apply(mem)
+        h = faulty.create("f")
+        with pytest.raises(StorageFault):
+            h.write(b"0123456789")
+        assert mem.read_bytes("f") == b"0123"  # the torn prefix
+        # The process is dead: every later write raises too.
+        with pytest.raises(StorageFault):
+            h.write(b"more")
+        assert faulty.fired
+
+    def test_writes_below_offset_untouched(self):
+        mem = MemoryDirectory()
+        faulty = StorageFaultSpec("torn_write", at=100).apply(mem)
+        h = faulty.create("f")
+        h.write(b"safe")
+        assert mem.read_bytes("f") == b"safe"
+        assert not faulty.fired
+        assert faulty.bytes_written == 4
+
+
+class TestBitFlip:
+    def test_single_bit_inverted_write_succeeds(self):
+        mem = MemoryDirectory()
+        faulty = StorageFaultSpec(
+            "bit_flip", at=2, options={"bit": 3}
+        ).apply(mem)
+        h = faulty.create("f")
+        h.write(b"\x00\x00\x00\x00")
+        assert mem.read_bytes("f") == b"\x00\x00\x08\x00"
+
+    def test_fires_once(self):
+        mem = MemoryDirectory()
+        faulty = StorageFaultSpec("bit_flip", at=0).apply(mem)
+        h = faulty.create("f")
+        h.write(b"\x00")
+        h.write(b"\x00")  # same relative position, later offset: clean
+        assert mem.read_bytes("f") == b"\x01\x00"
+
+    def test_only_crc_catches_it(self):
+        # The log write *succeeds*; the rot only surfaces on reopen.
+        mem = MemoryDirectory()
+        faulty = StorageFaultSpec("bit_flip", at=30).apply(mem)
+        log = SegmentedLog(faulty, fsync=True)
+        log.append(b"alpha")
+        log.append(b"beta")
+        log.close()
+        reopened = SegmentedLog(mem)
+        assert reopened.quarantined
+        assert len(reopened) < 2
+
+
+class TestEnospc:
+    def test_disk_full_raises_oserror(self):
+        import errno
+
+        mem = MemoryDirectory()
+        faulty = StorageFaultSpec("enospc", at=4).apply(mem)
+        h = faulty.create("f")
+        with pytest.raises(OSError) as excinfo:
+            h.write(b"0123456789")
+        assert excinfo.value.errno == errno.ENOSPC
+        assert mem.read_bytes("f") == b"0123"
+        with pytest.raises(OSError):
+            h.write(b"more")
+
+
+class TestFsyncLie:
+    def test_fsync_persists_nothing(self):
+        mem = MemoryDirectory()
+        faulty = StorageFaultSpec("fsync_lie").apply(mem)
+        h = faulty.create("f")
+        faulty.fsync_dir()
+        h.write(b"believed durable")
+        h.fsync()  # lies
+        mem.crash()
+        # The entry itself was never really dir-fsynced either.
+        assert not mem.exists("f")
+
+    def test_log_believes_sync_then_loses_tail(self):
+        mem = MemoryDirectory()
+        faulty = StorageFaultSpec("fsync_lie").apply(mem)
+        log = SegmentedLog(faulty, fsync=True)
+        log.append(b"gone", sync=True)  # append claims durability
+        mem.crash()
+        reopened = SegmentedLog(mem)
+        assert len(reopened) == 0
+
+
+class TestComposition:
+    def test_subdir_shares_global_cursor(self):
+        mem = MemoryDirectory()
+        faulty = StorageFaultSpec("torn_write", at=6).apply(mem)
+        h1 = faulty.create("a")
+        h1.write(b"1234")  # cursor 4
+        sub = faulty.subdir("inner")
+        h2 = sub.create("b")
+        with pytest.raises(StorageFault):
+            h2.write(b"5678")  # crosses global offset 6
+        assert mem.subdir("inner").read_bytes("b") == b"56"
+        assert faulty.bytes_written == 6
+
+    def test_specs_stack(self):
+        mem = MemoryDirectory()
+        a = StorageFaultSpec("fsync_lie").apply(mem)
+        b = StorageFaultSpec("bit_flip", at=0).apply(a)
+        h = b.create("f")
+        h.write(b"\x00")
+        h.fsync()  # inner wrapper swallows it
+        assert mem.read_bytes("f") == b"\x01"
+        mem.crash()
+        assert not mem.exists("f")

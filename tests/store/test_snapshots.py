@@ -1,0 +1,138 @@
+"""SnapshotStore: manifest atomicity, partial invisibility, quarantine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.store.directory import MemoryDirectory, OsDirectory
+from repro.store.snapshots import MANIFEST, SnapshotStore
+
+
+class TestRoundtrip:
+    def test_write_then_load(self, tmp_path):
+        store = SnapshotStore(OsDirectory(tmp_path))
+        seq = store.write(b"payload-0", {"op_seq": 7})
+        assert seq == 0
+        loaded = SnapshotStore(OsDirectory(tmp_path)).load()
+        assert loaded is not None
+        got_seq, meta, payload = loaded
+        assert (got_seq, payload) == (0, b"payload-0")
+        assert meta["op_seq"] == 7
+
+    def test_newest_wins(self, tmp_path):
+        store = SnapshotStore(OsDirectory(tmp_path))
+        store.write(b"old")
+        store.write(b"new")
+        _seq, _meta, payload = store.load()
+        assert payload == b"new"
+
+    def test_empty_store_loads_none(self, tmp_path):
+        assert SnapshotStore(OsDirectory(tmp_path)).load() is None
+
+    def test_prune_keeps_window(self, tmp_path):
+        store = SnapshotStore(OsDirectory(tmp_path), keep=2)
+        for i in range(5):
+            store.write(b"p%d" % i)
+        snaps = [p.name for p in tmp_path.iterdir() if p.suffix == ".bin"]
+        assert sorted(snaps) == [
+            "snap-000000000003.bin",
+            "snap-000000000004.bin",
+        ]
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(StorageError, match="keep"):
+            SnapshotStore(OsDirectory(tmp_path), keep=0)
+
+    def test_seq_continues_after_reopen(self, tmp_path):
+        SnapshotStore(OsDirectory(tmp_path)).write(b"a")
+        store = SnapshotStore(OsDirectory(tmp_path))
+        assert store.write(b"b") == 1
+
+
+class TestPartialInvisible:
+    def test_crash_before_manifest_keeps_old_state(self):
+        # A complete-but-unreferenced snapshot file must stay invisible
+        # behind the old manifest (write protocol step 1 without step 2)
+        # ... unless the old manifest is gone entirely, in which case the
+        # newest *self-validating* file is the best truth available.
+        mem = MemoryDirectory()
+        store = SnapshotStore(mem, fsync=True)
+        store.write(b"committed")
+
+        class _Boom(RuntimeError):
+            pass
+
+        # Fail the write after the snapshot file lands but before the
+        # manifest is replaced.
+        original = store._write_atomic
+
+        def explode(name, data):
+            if name == MANIFEST:
+                raise _Boom()
+            original(name, data)
+
+        store._write_atomic = explode
+        with pytest.raises(_Boom):
+            store.write(b"uncommitted")
+        mem.crash()  # power loss right there
+
+        loaded = SnapshotStore(mem).load()
+        assert loaded is not None
+        assert loaded[2] == b"committed"  # reader still sees the old state
+
+    def test_tmp_leftovers_removed_on_open(self, tmp_path):
+        store = SnapshotStore(OsDirectory(tmp_path))
+        store.write(b"good")
+        (tmp_path / "snap-000000000009.bin.tmp").write_bytes(b"dead")
+        reopened = SnapshotStore(OsDirectory(tmp_path))
+        assert not (tmp_path / "snap-000000000009.bin.tmp").exists()
+        assert reopened.load()[2] == b"good"
+
+
+class TestQuarantine:
+    def test_rotten_snapshot_falls_back(self, tmp_path):
+        store = SnapshotStore(OsDirectory(tmp_path), keep=3)
+        store.write(b"older")
+        store.write(b"newer")
+        name = "snap-000000000001.bin"
+        data = bytearray((tmp_path / name).read_bytes())
+        data[-1] ^= 0x01  # rot in the payload block
+        (tmp_path / name).write_bytes(bytes(data))
+
+        reopened = SnapshotStore(OsDirectory(tmp_path), keep=3)
+        loaded = reopened.load()
+        assert loaded is not None
+        assert loaded[2] == b"older"
+        # The damaged artifacts were set aside, not deleted.
+        assert name in reopened.quarantined
+        assert (tmp_path / (name + ".quarantine")).exists()
+
+    def test_rotten_manifest_falls_back_to_newest_file(self, tmp_path):
+        store = SnapshotStore(OsDirectory(tmp_path))
+        store.write(b"state")
+        (tmp_path / MANIFEST).write_bytes(b"{garbage")
+        reopened = SnapshotStore(OsDirectory(tmp_path))
+        assert reopened.load()[2] == b"state"
+        assert MANIFEST in reopened.quarantined
+
+    def test_manifest_crc_mismatch_detected(self, tmp_path):
+        store = SnapshotStore(OsDirectory(tmp_path))
+        store.write(b"state")
+        doc = json.loads((tmp_path / MANIFEST).read_text())
+        doc["seq"] = 99  # tampered field, stale crc
+        (tmp_path / MANIFEST).write_text(json.dumps(doc))
+        reopened = SnapshotStore(OsDirectory(tmp_path))
+        assert reopened.load()[2] == b"state"  # via the file fallback
+        assert MANIFEST in reopened.quarantined
+
+    def test_everything_rotten_loads_none(self, tmp_path):
+        store = SnapshotStore(OsDirectory(tmp_path), keep=1)
+        store.write(b"only")
+        name = "snap-000000000000.bin"
+        (tmp_path / name).write_bytes(b"\x00" * 10)
+        reopened = SnapshotStore(OsDirectory(tmp_path), keep=1)
+        assert reopened.load() is None
+        assert name in reopened.quarantined
