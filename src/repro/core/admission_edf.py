@@ -13,14 +13,26 @@ benchmarks use to situate V-Dover: admission-EDF is value-blind (it admits
 by arrival order, not by value), so it fixes EDF's wasted-work pathology
 but still forfeits value under overload, which is exactly the gap the
 Dover family's value-based triage closes.
+
+Batch protocol: a same-instant release burst first tries **one** feasibility
+chain containing every newcomer (:meth:`_chain_admissible`).  Because the
+chain terms are non-negative and ``np.add.accumulate`` sums strictly
+left-to-right, dropping jobs from an admissible chain never increases any
+remaining completion instant — so a full-chain pass implies every per-event
+prefix test of the scalar path passes too, and the group folds through the
+plain EDF placement logic with zero per-event chain evaluations.  Only when
+the full chain fails does the group fall back to the per-event fold (some
+prefix may still be admissible), which reproduces the scalar decisions
+bit-for-bit.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.sim.batchproto import BatchDecisions, BatchScheduler, BatchView
 from repro.sim.job import Job
 from repro.sim.queues import JobQueue, edf_key
 from repro.sim.scheduler import Scheduler
@@ -28,7 +40,7 @@ from repro.sim.scheduler import Scheduler
 __all__ = ["AdmissionEDFScheduler"]
 
 
-class AdmissionEDFScheduler(Scheduler):
+class AdmissionEDFScheduler(BatchScheduler, Scheduler):
     """EDF over an admission-controlled job set.
 
     The admission test at release time: with every admitted-but-unfinished
@@ -52,20 +64,21 @@ class AdmissionEDFScheduler(Scheduler):
         self._rejected: set[int] = set()
 
     # ------------------------------------------------------------------
-    def _admitted_jobs(self) -> list[Job]:
+    def _admitted_jobs(self, current: Optional[Job]) -> list[Job]:
         jobs = list(self._ready.jobs())
-        current = self.ctx.current_job()
         if current is not None:
             jobs.append(current)
         return jobs
 
-    def _admissible_with(self, newcomer: Job) -> bool:
+    def _chain_admissible(
+        self, newcomers: List[Job], current: Optional[Job]
+    ) -> bool:
         """Conservative EDF-chain test at rate ``c̲``.
 
-        Processing the admitted set in EDF order at the floor rate, every
-        completion must precede its deadline.  (Exact for constant capacity
-        at ``c̲``; conservative — never over-admits — for any real
-        trajectory above the floor.)
+        Processing the admitted set plus ``newcomers`` in EDF order at the
+        floor rate, every completion must precede its deadline.  (Exact for
+        constant capacity at ``c̲``; conservative — never over-admits — for
+        any real trajectory above the floor.)
 
         The chain is evaluated as one vectorized pass:
         ``np.add.accumulate`` over ``[now, w_0/c̲, w_1/c̲, …]`` yields the
@@ -76,9 +89,7 @@ class AdmissionEDFScheduler(Scheduler):
         ``tests/properties/test_property_columnar.py`` pins this.
         """
         now = self.ctx.now()
-        chain = sorted(
-            self._admitted_jobs() + [newcomer], key=edf_key
-        )
+        chain = sorted(self._admitted_jobs(current) + newcomers, key=edf_key)
         remaining = self.ctx.remaining
         rate = self._rate
         n = len(chain)
@@ -92,34 +103,63 @@ class AdmissionEDFScheduler(Scheduler):
         )
         return not bool((completion[1:] > deadlines + 1e-12).any())
 
+    def _admissible_with(self, newcomer: Job, current: Optional[Job]) -> bool:
+        return self._chain_admissible([newcomer], current)
+
     # ------------------------------------------------------------------
-    def on_release(self, job: Job) -> Optional[Job]:
-        current = self.ctx.current_job()
-        obs = self.ctx.obs
-        if not self._admissible_with(job):
-            self._rejected.add(job.jid)
-            if obs is not None:
-                obs.decision(self.name, "reject.admission", self.ctx.now(), job.jid)
-            return current
-        if current is None:
-            if obs is not None:
-                obs.decision(self.name, "admit.idle", self.ctx.now(), job.jid)
-            return job
-        if edf_key(job) < edf_key(current):
-            self._ready.insert(current)
-            if obs is not None:
-                obs.decision(
-                    self.name,
-                    "preempt.edf",
-                    self.ctx.now(),
-                    job.jid,
-                    preempted=current.jid,
-                )
-            return job
+    def _place_admitted(
+        self, cur: Optional[Job], job: Job
+    ) -> Tuple[Optional[Job], Optional[tuple]]:
+        """EDF placement of an already-admitted newcomer."""
+        if cur is None:
+            return job, (self.name, "admit.idle", job.jid, None)
+        if edf_key(job) < edf_key(cur):
+            self._ready.insert(cur)
+            return job, (
+                self.name,
+                "preempt.edf",
+                job.jid,
+                {"preempted": cur.jid},
+            )
         self._ready.insert(job)
-        if obs is not None:
-            obs.decision(self.name, "admit.enqueue", self.ctx.now(), job.jid)
-        return current
+        return cur, (self.name, "admit.enqueue", job.jid, None)
+
+    def _on_release_from(
+        self, cur: Optional[Job], job: Job
+    ) -> Tuple[Optional[Job], Optional[tuple]]:
+        if not self._admissible_with(job, cur):
+            self._rejected.add(job.jid)
+            return cur, (self.name, "reject.admission", job.jid, None)
+        return self._place_admitted(cur, job)
+
+    def on_release(self, job: Job) -> Optional[Job]:
+        cur, payload = self._on_release_from(self.ctx.current_job(), job)
+        self._emit_decision(payload)
+        return cur
+
+    def on_releases(self, view: BatchView) -> BatchDecisions:
+        cur = self.ctx.current_job()
+        if len(view) > 1 and self._chain_admissible(list(view.jobs), cur):
+            # Group fast path: one chain proved the whole burst feasible,
+            # so every newcomer admits — fold the placement logic only.
+            desired: List[Optional[Job]] = []
+            payloads: List[Optional[tuple]] = []
+            for job in view.jobs:
+                cur, payload = self._place_admitted(cur, job)
+                desired.append(cur)
+                payloads.append(payload)
+            return BatchDecisions(desired, payloads)
+        return super().on_releases(view)
+
+    def on_completions(self, view: BatchView) -> None:
+        # Same-instant deadline sweep of waiting jobs: the scalar
+        # on_job_end with a running current discards the rejection mark
+        # and drops the job from the ready queue, silently.
+        discard = self._rejected.discard
+        remove = self._ready.remove
+        for job in view.jobs:
+            discard(job.jid)
+            remove(job)
 
     def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
         self._rejected.discard(job.jid)

@@ -9,8 +9,9 @@ deadline-blind policy (pure greedy) wastes work on jobs that cannot finish.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
+from repro.sim.batchproto import BatchScheduler, BatchView
 from repro.sim.job import Job
 from repro.sim.queues import JobQueue
 from repro.sim.scheduler import Scheduler
@@ -22,7 +23,7 @@ __all__ = [
 ]
 
 
-class _PriorityPreemptiveScheduler(Scheduler):
+class _PriorityPreemptiveScheduler(BatchScheduler, Scheduler):
     """Run the ready job with the best static priority, preemptively.
 
     Subclasses provide the priority key (smaller = better).  A newly
@@ -35,28 +36,31 @@ class _PriorityPreemptiveScheduler(Scheduler):
     def reset(self) -> None:
         self._ready: JobQueue[Job] = JobQueue(self._key, name=f"{self.name}-ready")
 
-    def on_release(self, job: Job) -> Optional[Job]:
-        current = self.ctx.current_job()
-        obs = self.ctx.obs
-        if current is None:
-            if obs is not None:
-                obs.decision(self.name, "admit.idle", self.ctx.now(), job.jid)
-            return job
-        if self._key(job) < self._key(current):
-            self._ready.insert(current)
-            if obs is not None:
-                obs.decision(
-                    self.name,
-                    "preempt.priority",
-                    self.ctx.now(),
-                    job.jid,
-                    preempted=current.jid,
-                )
-            return job
+    def _on_release_from(
+        self, cur: Optional[Job], job: Job
+    ) -> Tuple[Optional[Job], Optional[tuple]]:
+        if cur is None:
+            return job, (self.name, "admit.idle", job.jid, None)
+        if self._key(job) < self._key(cur):
+            self._ready.insert(cur)
+            return job, (
+                self.name,
+                "preempt.priority",
+                job.jid,
+                {"preempted": cur.jid},
+            )
         self._ready.insert(job)
-        if obs is not None:
-            obs.decision(self.name, "enqueue.ready", self.ctx.now(), job.jid)
-        return current
+        return cur, (self.name, "enqueue.ready", job.jid, None)
+
+    def on_release(self, job: Job) -> Optional[Job]:
+        cur, payload = self._on_release_from(self.ctx.current_job(), job)
+        self._emit_decision(payload)
+        return cur
+
+    def on_completions(self, view: BatchView) -> None:
+        remove = self._ready.remove
+        for job in view.jobs:
+            remove(job)
 
     def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
         current = self.ctx.current_job()
@@ -143,7 +147,7 @@ class GreedyValueScheduler(_PriorityPreemptiveScheduler):
         return (-job.value, job.jid)
 
 
-class FCFSScheduler(Scheduler):
+class FCFSScheduler(BatchScheduler, Scheduler):
     """First come, first served; run-to-completion (no preemption).
 
     The running job is never preempted; waiting jobs queue in release
@@ -158,17 +162,23 @@ class FCFSScheduler(Scheduler):
             lambda job: (job.release, job.jid), name="fcfs-fifo"
         )
 
-    def on_release(self, job: Job) -> Optional[Job]:
-        current = self.ctx.current_job()
-        obs = self.ctx.obs
-        if current is None:
-            if obs is not None:
-                obs.decision(self.name, "admit.idle", self.ctx.now(), job.jid)
-            return job
+    def _on_release_from(
+        self, cur: Optional[Job], job: Job
+    ) -> Tuple[Optional[Job], Optional[tuple]]:
+        if cur is None:
+            return job, (self.name, "admit.idle", job.jid, None)
         self._fifo.insert(job)
-        if obs is not None:
-            obs.decision(self.name, "enqueue.fifo", self.ctx.now(), job.jid)
-        return current
+        return cur, (self.name, "enqueue.fifo", job.jid, None)
+
+    def on_release(self, job: Job) -> Optional[Job]:
+        cur, payload = self._on_release_from(self.ctx.current_job(), job)
+        self._emit_decision(payload)
+        return cur
+
+    def on_completions(self, view: BatchView) -> None:
+        remove = self._fifo.remove
+        for job in view.jobs:
+            remove(job)
 
     def on_job_end(self, job: Job, completed: bool) -> Optional[Job]:
         current = self.ctx.current_job()

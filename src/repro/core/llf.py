@@ -22,8 +22,9 @@ unbounded rate).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
+from repro.sim.batchproto import BatchScheduler
 from repro.sim.job import Job
 from repro.sim.queues import JobQueue
 from repro.sim.scheduler import Scheduler
@@ -31,7 +32,7 @@ from repro.sim.scheduler import Scheduler
 __all__ = ["LLFScheduler"]
 
 
-class LLFScheduler(Scheduler):
+class LLFScheduler(BatchScheduler, Scheduler):
     """Least (conservative) laxity first with switching hysteresis.
 
     Parameters
@@ -49,6 +50,11 @@ class LLFScheduler(Scheduler):
     """
 
     name = "LLF"
+
+    #: ``on_job_end`` re-elects (and emits / re-arms timers) even for a
+    #: waiting job's deadline, so same-instant deadline sweeps must stay
+    #: per-event under the batch protocol.
+    batch_pure_completions = False
 
     def __init__(self, rate_estimate: float | None = None, eta: float = 0.05) -> None:
         super().__init__()
@@ -87,39 +93,49 @@ class LLFScheduler(Scheduler):
         delay = max(gap + self._eta, self._eta)
         self.ctx.set_alarm(waiter, self.ctx.now() + delay, tag="llf-cross")
 
-    def _elect(self) -> Optional[Job]:
-        """Pick the least-lax job among running + waiting, with hysteresis
-        favouring the running job."""
-        current = self.ctx.current_job()
+    def _elect_from(
+        self, current: Optional[Job]
+    ) -> Tuple[Optional[Job], Optional[tuple]]:
+        """Pick the least-lax job among ``current`` + waiting, with
+        hysteresis favouring the running job.
+
+        The current job is passed explicitly so a batch fold can thread the
+        hypothetical current through the group; the decision record is
+        returned as a payload rather than emitted (laxities, crossing
+        timers and queue moves are bit-identical either way — the group
+        shares one timestamp, so no work elapses between fold steps)."""
         if not self._ready:
-            return current
+            return current, None
         waiter = self._ready.first()
-        obs = self.ctx.obs
         if current is None:
             chosen = self._ready.dequeue()
             self._arm_crossing_timer(chosen)
-            if obs is not None:
-                obs.decision(self.name, "admit.idle", self.ctx.now(), chosen.jid)
-            return chosen
+            return chosen, (self.name, "admit.idle", chosen.jid, None)
         if self._laxity(waiter) < self._laxity(current) - self._eta:
             self._ready.remove(waiter)
             self._ready.insert(current)
             self._arm_crossing_timer(waiter)
-            if obs is not None:
-                obs.decision(
-                    self.name,
-                    "preempt.llf",
-                    self.ctx.now(),
-                    waiter.jid,
-                    preempted=current.jid,
-                )
-            return waiter
+            return waiter, (
+                self.name,
+                "preempt.llf",
+                waiter.jid,
+                {"preempted": current.jid},
+            )
         self._arm_crossing_timer(current)
-        if obs is not None:
-            obs.decision(self.name, "keep.current", self.ctx.now(), current.jid)
-        return current
+        return current, (self.name, "keep.current", current.jid, None)
+
+    def _elect(self) -> Optional[Job]:
+        chosen, payload = self._elect_from(self.ctx.current_job())
+        self._emit_decision(payload)
+        return chosen
 
     # ------------------------------------------------------------------
+    def _on_release_from(
+        self, cur: Optional[Job], job: Job
+    ) -> Tuple[Optional[Job], Optional[tuple]]:
+        self._ready.insert(job)
+        return self._elect_from(cur)
+
     def on_release(self, job: Job) -> Optional[Job]:
         self._ready.insert(job)
         return self._elect()

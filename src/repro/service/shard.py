@@ -217,10 +217,16 @@ class TenantSpec:
     snapshot_every: int = 32
     flush_every: int = 8
     fsync: bool = False
+    protocol: str = "scalar"
 
     def __post_init__(self) -> None:
         if not self.horizon > 0.0:
             raise ServiceError(f"horizon must be > 0, got {self.horizon!r}")
+        if self.protocol not in ("scalar", "batch", "auto"):
+            raise ServiceError(
+                f"unknown scheduler protocol {self.protocol!r}; expected "
+                "scalar | batch | auto"
+            )
         for spec in self.start_faults:
             if spec.kind == "crash":
                 raise ServiceError(
@@ -295,6 +301,7 @@ def tenant_spec_to_dict(spec: TenantSpec) -> Dict[str, Any]:
         "snapshot_every": spec.snapshot_every,
         "flush_every": spec.flush_every,
         "fsync": spec.fsync,
+        "protocol": spec.protocol,
     }
 
 
@@ -333,6 +340,7 @@ def tenant_spec_from_dict(doc: Mapping[str, Any]) -> TenantSpec:
             snapshot_every=int(doc.get("snapshot_every", 32)),
             flush_every=int(doc.get("flush_every", 8)),
             fsync=bool(doc.get("fsync", False)),
+            protocol=str(doc.get("protocol", "scalar")),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ServiceError(f"invalid tenant spec document: {exc}") from exc
@@ -385,7 +393,15 @@ class TenantShard:
         self._shed_fh = None
         shed_path: Optional[Path] = None
         if store is not None:
-            store.ensure_spec(tenant_spec_to_dict(spec))
+            # Round-tripping the stored doc fills in spec fields added
+            # after the store was written (at their defaults), so old
+            # tenant directories keep resuming across upgrades.
+            store.ensure_spec(
+                tenant_spec_to_dict(spec),
+                normalize=lambda doc: tenant_spec_to_dict(
+                    tenant_spec_from_dict(doc)
+                ),
+            )
             self._journal_path = store.wal_path
             shed_path = store.shed_path
         elif journal_dir is not None:
@@ -466,6 +482,7 @@ class TenantShard:
             journal=self._journal,
             snapshot_every=self.spec.snapshot_every,
             event_queue="heap",
+            protocol=self.spec.protocol,
         )
 
     # -- accessors ------------------------------------------------------

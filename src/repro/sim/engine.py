@@ -145,6 +145,14 @@ class SimulationEngine:
         queue in high-λ regimes, a binary heap otherwise), ``"heap"`` or
         ``"calendar"``.  Constant-factor only; runs are bit-identical
         under every choice (:func:`repro.sim.events.make_event_queue`).
+    protocol:
+        Scheduler dispatch protocol: ``"scalar"`` (default — one handler
+        call per event, the historical path), ``"batch"`` / ``"auto"`` —
+        feed same-instant interrupt groups through
+        :meth:`~repro.sim.batchproto.BatchScheduler.plan` when the
+        scheduler is ``batch_capable``.  Results, journals and exported
+        traces are bit-identical under every choice
+        (``tests/properties/test_property_batchproto.py``).
     """
 
     def __init__(
@@ -160,6 +168,7 @@ class SimulationEngine:
         journal: "EventJournal | None" = None,
         snapshot_every: int | None = None,
         event_queue: str = "auto",
+        protocol: str = "scalar",
     ) -> None:
         self._validate = bool(validate)
         self._kernel = SchedulingKernel(
@@ -174,6 +183,7 @@ class SimulationEngine:
             snapshot_every=snapshot_every,
             event_queue=event_queue,
             single=True,
+            protocol=protocol,
         )
         # Faults and watchdog monitors observe *this* object (the public
         # engine), which re-exports every kernel accessor they use.
@@ -284,6 +294,7 @@ def simulate(
     journal: "EventJournal | None" = None,
     snapshot_every: int | None = None,
     event_queue: str = "auto",
+    protocol: str = "scalar",
     recover: bool = False,
     max_recoveries: int = 8,
 ) -> SimulationResult:
@@ -308,6 +319,7 @@ def simulate(
             journal=journal,
             snapshot_every=snapshot_every,
             event_queue=event_queue,
+            protocol=protocol,
         )
 
     result, recoveries = run_with_recovery(

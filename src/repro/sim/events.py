@@ -184,6 +184,36 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         return self._heap[0][0] if self._heap else None
 
+    def peek_key(self) -> Optional[Tuple[float, int]]:
+        """``(time, int(kind))`` of the head event without popping it.
+
+        The batch dispatch path uses this to gather whole same-``(time,
+        kind)`` groups; like :meth:`peek_time` it sees stale entries too
+        (the caller filters them exactly as the scalar loop would)."""
+        head = self._heap[0] if self._heap else None
+        return None if head is None else (head[0], head[1])
+
+    def pop_group(self, time: float, kind_int: int) -> List[Event]:
+        """Pop every consecutive head entry keyed exactly ``(time,
+        kind_int)``, in pop order.
+
+        Equivalent to repeated ``peek_key()``/``pop()`` — one call per
+        gathered group instead of two per event, with the key comparison
+        done on the raw heap entry (no tuple allocation).  Stale entries
+        come out too; the caller filters them exactly as the scalar loop
+        would."""
+        heap = self._heap
+        out: List[Event] = []
+        heappop = heapq.heappop
+        while heap:
+            head = heap[0]
+            if head[0] != time or head[1] != kind_int:
+                break
+            out.append(heappop(heap)[3])
+        if out and self._stale_hint:
+            self._stale_hint = min(self._stale_hint, len(heap))
+        return out
+
     # -- compaction (lazy-deletion hygiene) ---------------------------------
 
     def note_stale(self, n: int = 1) -> int:
@@ -343,6 +373,30 @@ class CalendarEventQueue(EventQueue):
     def peek_time(self) -> Optional[float]:
         bucket = self._head_bucket()
         return bucket[0][0] if bucket else None
+
+    def peek_key(self) -> Optional[Tuple[float, int]]:
+        bucket = self._head_bucket()
+        return (bucket[0][0], bucket[0][1]) if bucket else None
+
+    def pop_group(self, time: float, kind_int: int) -> List[Event]:
+        """See :meth:`EventQueue.pop_group`; buckets partition the time
+        axis, so a same-time group always sits in one bucket — but the
+        head bucket is re-resolved per pop (popping the bucket's last
+        entry retires it)."""
+        out: List[Event] = []
+        heappop = heapq.heappop
+        while True:
+            bucket = self._head_bucket()
+            if not bucket:
+                break
+            head = bucket[0]
+            if head[0] != time or head[1] != kind_int:
+                break
+            out.append(heappop(bucket)[3])
+            self._size -= 1
+        if out and self._stale_hint:
+            self._stale_hint = min(self._stale_hint, self._size)
+        return out
 
     def compact(self) -> int:
         if self._stale is None:

@@ -82,12 +82,21 @@ class TenantStore:
         return None if self.path is None else self.path / SHED_FILE
 
     # -- tenant spec -----------------------------------------------------
-    def ensure_spec(self, spec_doc: Dict[str, Any]) -> None:
+    def ensure_spec(self, spec_doc: Dict[str, Any], normalize=None) -> None:
         """Write the spec once; on reopen, verify it has not changed —
         resuming a tenant under a different world would silently break
-        replay parity."""
+        replay parity.
+
+        ``normalize`` (a doc -> doc callable) is applied to the *stored*
+        doc before comparison, so a store written before a spec field
+        existed still resumes when the running spec carries that field at
+        its default — the caller round-trips the doc through its spec
+        type, filling in defaults.  Genuinely different specs still
+        refuse."""
         stored = self.load_spec()
         if stored is not None:
+            if normalize is not None:
+                stored = normalize(stored)
             if stored != spec_doc:
                 raise StorageError(
                     "stored tenant spec differs from the running spec; "

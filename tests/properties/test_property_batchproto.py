@@ -1,0 +1,331 @@
+"""Batch scheduler protocol equivalence (docs/ARCHITECTURE.md).
+
+The batch protocol (:mod:`repro.sim.batchproto`) replaces one-handler-call-
+per-event dispatch with grouped ``plan()`` decisions over same-instant
+interrupt batches.  The contract is *bit-identity*: for every policy, every
+event-queue layout and every instrumentation combination, the batch path
+must reproduce the scalar path's results, write-ahead journals and exported
+observability traces byte for byte — including across a crash/restore
+resume.  This suite pins that contract on a tie-heavy instance (integer
+release grid: every timestamp carries a multi-event group, so the batch
+path actually takes the grouped fast paths it is claiming equivalence for).
+
+Also here:
+
+* the :class:`~repro.sim.batchproto.ScalarAdapter` equivalence — any policy
+  driven through the adapter behaves identically to the bare policy;
+* cross-type snapshot hygiene — an adapter-wrapped policy's snapshot must
+  not restore into the bare policy (and vice versa);
+* the scan-count regression — bootstrap seeding, wind-down and the batch
+  view's ready-set derivation are one vectorized pass each, not one per
+  event.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.capacity import TwoStateMarkovCapacity
+from repro.core import (
+    AdmissionEDFScheduler,
+    DoverScheduler,
+    EDFScheduler,
+    FCFSScheduler,
+    GreedyDensityScheduler,
+    LLFScheduler,
+    VDoverScheduler,
+)
+from repro.errors import RecoveryError
+from repro.faults.execution import EngineCrashPlan
+from repro.sim import Job, simulate
+from repro.sim.batchproto import BatchView, ScalarAdapter
+from repro.sim.events import EventKind
+from repro.sim.journal import EventJournal, results_bit_identical
+from repro.sim.jobtable import JobTable
+
+pytestmark = pytest.mark.batchproto_smoke
+
+#: All seven single-processor policies, each behind a fresh-instance thunk.
+POLICIES = {
+    "edf": lambda: EDFScheduler(),
+    "edf-ac": lambda: AdmissionEDFScheduler(),
+    "llf": lambda: LLFScheduler(),
+    "greedy": lambda: GreedyDensityScheduler(),
+    "fcfs": lambda: FCFSScheduler(),
+    "dover": lambda: DoverScheduler(k=7.0, c_hat=2.0),
+    "vdover": lambda: VDoverScheduler(k=7.0),
+}
+
+
+def _tie_heavy_instance(seed=3, n=40):
+    """Quantized release times (integer grid) force cross-job same-instant
+    batches; relative deadline == p/c̲ puts every release at its zero-laxity
+    instant, the paper's hardest workload shape."""
+    rng = random.Random(seed)
+    jobs = []
+    for i in range(n):
+        release = float(rng.randrange(0, 20))
+        workload = rng.uniform(0.5, 3.0)
+        jobs.append(
+            Job(
+                jid=i,
+                release=release,
+                workload=workload,
+                deadline=release + workload,
+                value=rng.uniform(1.0, 10.0) * workload,
+            )
+        )
+    return jobs
+
+
+def _capacity():
+    return TwoStateMarkovCapacity(1.0, 4.0, mean_sojourn=5.0, rng=11)
+
+
+def _run(make, *, protocol, event_queue="auto", crash=False, trace_path=None):
+    """One traced+journaled run; returns (result, journal records, blob)."""
+    jobs = _tie_heavy_instance()
+    journal = EventJournal()
+    kw = dict(journal=journal, event_queue=event_queue, protocol=protocol)
+    if crash:
+        kw.update(
+            faults=[EngineCrashPlan(at_event=40)],
+            snapshot_every=16,
+            recover=True,
+        )
+    blob = None
+    if trace_path is not None:
+        with obs.session() as octx:
+            result = simulate(jobs, _capacity(), make(), **kw)
+            octx.sink.export_jsonl(trace_path, replay_only=True)
+            blob = trace_path.read_bytes()
+    else:
+        result = simulate(jobs, _capacity(), make(), **kw)
+    return result, journal.records, blob
+
+
+class TestScalarBatchBitIdentity:
+    """The headline contract: journals, obs exports and results invariant
+    under protocol choice, for every policy and queue layout."""
+
+    @pytest.mark.parametrize("name", sorted(POLICIES), ids=sorted(POLICIES))
+    @pytest.mark.parametrize("queue", ["heap", "calendar"])
+    def test_journal_and_trace_identical(self, tmp_path, name, queue):
+        make = POLICIES[name]
+        res_s, jrn_s, blob_s = _run(
+            make,
+            protocol="scalar",
+            event_queue=queue,
+            trace_path=tmp_path / "s.jsonl",
+        )
+        res_b, jrn_b, blob_b = _run(
+            make,
+            protocol="batch",
+            event_queue=queue,
+            trace_path=tmp_path / "b.jsonl",
+        )
+        assert results_bit_identical(res_s, res_b)
+        assert jrn_s == jrn_b and len(jrn_s) > 0
+        assert blob_s == blob_b and len(blob_s) > 0
+
+    @pytest.mark.parametrize("name", sorted(POLICIES), ids=sorted(POLICIES))
+    def test_crash_resume_identical(self, tmp_path, name):
+        make = POLICIES[name]
+        res_s, _, blob_s = _run(
+            make, protocol="scalar", trace_path=tmp_path / "s.jsonl"
+        )
+        res_b, _, blob_b = _run(
+            make,
+            protocol="batch",
+            crash=True,
+            trace_path=tmp_path / "b.jsonl",
+        )
+        assert res_b.recoveries >= 1
+        assert results_bit_identical(res_s, res_b)
+        # The resumed batch run's *replay* stream is byte-for-byte the
+        # uncrashed scalar run's.
+        assert blob_s == blob_b and len(blob_s) > 0
+
+    @pytest.mark.parametrize("name", sorted(POLICIES), ids=sorted(POLICIES))
+    def test_untraced_results_identical(self, name):
+        make = POLICIES[name]
+        res_s, jrn_s, _ = _run(make, protocol="scalar")
+        res_b, jrn_b, _ = _run(make, protocol="auto")
+        assert results_bit_identical(res_s, res_b)
+        assert jrn_s == jrn_b
+
+
+class TestScalarAdapter:
+    """Any policy behind :class:`ScalarAdapter` == the bare policy."""
+
+    @pytest.mark.parametrize("name", ["edf", "edf-ac", "vdover"])
+    def test_adapter_equivalence(self, tmp_path, name):
+        make = POLICIES[name]
+        res_bare, jrn_bare, blob_bare = _run(
+            make, protocol="batch", trace_path=tmp_path / "bare.jsonl"
+        )
+        res_ad, jrn_ad, blob_ad = _run(
+            lambda: ScalarAdapter(make()),
+            protocol="batch",
+            trace_path=tmp_path / "ad.jsonl",
+        )
+        assert results_bit_identical(res_bare, res_ad)
+        assert jrn_bare == jrn_ad
+        assert blob_bare == blob_ad
+
+    def test_cross_type_restore_rejected(self):
+        """A snapshot taken from an adapter-wrapped policy must not restore
+        into the bare policy, nor the reverse — the adapter nests its inner
+        state under its own type name precisely so mixed restores fail
+        loudly instead of silently misreading queues."""
+        jobs = _tie_heavy_instance(n=12)
+
+        def _ran(sched):
+            simulate(jobs, _capacity(), sched)
+            return sched
+
+        bare = _ran(EDFScheduler())
+        wrapped = _ran(ScalarAdapter(EDFScheduler()))
+        by_id = {j.jid: j for j in jobs}
+
+        fresh_bare = EDFScheduler()
+        with pytest.raises(RecoveryError):
+            fresh_bare.set_state(wrapped.get_state(), by_id)
+
+        fresh_wrapped = ScalarAdapter(EDFScheduler())
+        with pytest.raises(RecoveryError):
+            fresh_wrapped.set_state(bare.get_state(), by_id)
+
+        # Sanity: the matched restores succeed.
+        fresh = ScalarAdapter(EDFScheduler())
+        fresh.bind(wrapped.ctx)
+        fresh.set_state(wrapped.get_state(), by_id)
+
+
+class _CountingJobTable(JobTable):
+    """JobTable that counts its whole-population scans."""
+
+    def __init__(self, jobs):
+        super().__init__(jobs)
+        self.counts = {"released_by": 0, "unresolved": 0, "ready": 0}
+
+    def rows_released_by(self, horizon):
+        self.counts["released_by"] += 1
+        return super().rows_released_by(horizon)
+
+    def rows_unresolved(self):
+        self.counts["unresolved"] += 1
+        return super().rows_unresolved()
+
+    def rows_ready(self):
+        self.counts["ready"] += 1
+        return super().rows_ready()
+
+
+class TestScanCounts:
+    """The population scans are per-run (or per-batch), never per-event."""
+
+    @pytest.mark.parametrize("protocol", ["scalar", "batch"])
+    def test_engine_scans_once_per_run(self, monkeypatch, protocol):
+        import repro.kernel.core as kernel_core
+
+        tables = []
+
+        def capture(jobs):
+            table = _CountingJobTable(jobs)
+            tables.append(table)
+            return table
+
+        monkeypatch.setattr(kernel_core, "JobTable", capture)
+        simulate(
+            _tie_heavy_instance(), _capacity(), EDFScheduler(),
+            protocol=protocol,
+        )
+        (table,) = tables
+        assert table.counts["released_by"] == 1  # bootstrap seeding
+        assert table.counts["unresolved"] == 1  # wind-down sweep
+        # The run loop itself never re-derives the ready set.
+        assert table.counts["ready"] == 0
+
+    def test_batch_view_caches_ready_rows(self):
+        jobs = _tie_heavy_instance(n=8)
+        table = _CountingJobTable(jobs)
+        view = BatchView(1.0, EventKind.RELEASE, jobs[:3], [0, 1, 2], table)
+        assert table.counts["ready"] == 0  # lazy: no scan until asked
+        first = view.ready_rows
+        assert table.counts["ready"] == 1
+        assert view.ready_rows is first  # cached: at most one scan per batch
+        assert table.counts["ready"] == 1
+
+
+class TestFastPathEquivalence:
+    """The uninstrumented loops (no journal, watchdog or tracing) agree
+    bit-for-bit across protocols.
+
+    This is the only route into ``_run_batch_fast``: the fast batch loop
+    gathers groups with the bulk ``pop_group`` and applies one *net*
+    decision per release group (via ``on_releases_fast``) instead of one
+    per event, so its equivalence is pinned separately from the journaled
+    suite — including the full segment list, where a wrongly-applied
+    intermediate switch would show up."""
+
+    def _slack_instance(self, seed=5, n=160):
+        rng = random.Random(seed)
+        jobs = []
+        for i in range(n):
+            release = float(rng.randrange(0, 20))
+            workload = rng.uniform(0.5, 3.0)
+            jobs.append(
+                Job(
+                    jid=i,
+                    release=release,
+                    workload=workload,
+                    deadline=release + workload + rng.uniform(0.0, 6.0),
+                    value=rng.uniform(1.0, 10.0) * workload,
+                )
+            )
+        return jobs
+
+    def _fingerprint(self, result):
+        return (
+            result.value,
+            result.completed_ids,
+            [(s.start, s.end, s.jid, s.work) for s in result.trace.segments],
+            dict(result.trace.outcomes),
+            result.trace.value_points,
+        )
+
+    @pytest.mark.parametrize("name", sorted(POLICIES), ids=sorted(POLICIES))
+    @pytest.mark.parametrize(
+        "instance", ["zero_laxity", "slack"], ids=["zero_laxity", "slack"]
+    )
+    def test_uninstrumented_runs_identical(self, name, instance):
+        jobs = (
+            _tie_heavy_instance(n=160)
+            if instance == "zero_laxity"
+            else self._slack_instance()
+        )
+        make = POLICIES[name]
+        prints = {}
+        for protocol in ("scalar", "batch"):
+            result = simulate(jobs, _capacity(), make(), protocol=protocol)
+            prints[protocol] = self._fingerprint(result)
+        assert prints["scalar"] == prints["batch"]
+
+    def test_adapter_uninstrumented_identical(self):
+        """ScalarAdapter has no ``on_releases_fast``; the fast loop falls
+        back to collapsing its ``plan()`` — same net decision."""
+        jobs = self._slack_instance()
+        res_bare = simulate(
+            jobs, _capacity(), EDFScheduler(), protocol="scalar"
+        )
+        res_ad = simulate(
+            jobs,
+            _capacity(),
+            ScalarAdapter(EDFScheduler()),
+            protocol="batch",
+        )
+        assert self._fingerprint(res_bare) == self._fingerprint(res_ad)

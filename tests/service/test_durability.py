@@ -90,6 +90,35 @@ class TestSpecRoundtrip:
         doc = tenant_spec_to_dict(spec)
         assert tenant_spec_to_dict(tenant_spec_from_dict(doc)) == doc
 
+    def test_pre_upgrade_store_still_resumes(self, tmp_path):
+        """A tenant directory written before a defaulted spec field existed
+        (here: ``protocol``) must keep resuming — the shard normalizes the
+        stored doc through the spec round-trip before comparing."""
+        old_doc = tenant_spec_to_dict(_spec())
+        del old_doc["protocol"]  # what a pre-upgrade store holds on disk
+        store = TenantStore(tmp_path / "t0")
+        store.ensure_spec(old_doc)
+        store.close()
+
+        revived = TenantShard(
+            _spec(), store=TenantStore(tmp_path / "t0"), resume=True
+        )
+        assert revived.spec.protocol == "scalar"
+
+    def test_changed_spec_still_refuses(self, tmp_path):
+        """Normalization only fills defaults; a genuinely different spec
+        still refuses to resume."""
+        store = TenantStore(tmp_path / "t0")
+        TenantShard(_spec(), store=store)
+        store.close()
+
+        with pytest.raises(StorageError):
+            TenantShard(
+                _spec(horizon=999.0),
+                store=TenantStore(tmp_path / "t0"),
+                resume=True,
+            )
+
 
 class TestColdStartParity:
     def test_stats_bit_identical_after_cold_start(self, tmp_path):
