@@ -309,6 +309,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("trace_a", help="first trace file")
     q.add_argument("trace_b", help="second trace file")
+    q = obs_sub.add_parser(
+        "trace",
+        help=(
+            "reconstruct one request's causal path (ingress → admission "
+            "→ op log → kernel dispatch → journal) from a tenant store "
+            "and/or a trace export — works across kill -9 cold starts"
+        ),
+    )
+    q.add_argument("request_id", help="the request_id to correlate")
+    q.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="tenant store directory (the durable witness)",
+    )
+    q.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="JSON-lines trace export (lifecycle enrichment)",
+    )
+    q.add_argument(
+        "--tenant", default=None, help="restrict the store scan to one tenant"
+    )
 
     p = sub.add_parser(
         "soak",
@@ -358,6 +382,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip store fsyncs in --kill9 (survives SIGKILL, not power loss)",
     )
+    p.add_argument(
+        "--timeline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a machine-readable health timeline (JSON lines of "
+            "per-tenant SLO scrapes) to FILE as the soak progresses"
+        ),
+    )
 
     p = sub.add_parser(
         "serve",
@@ -377,6 +410,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fsync",
         action="store_true",
         help="skip store fsyncs (faster; survives SIGKILL, not power loss)",
+    )
+    p.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable SLO tracking and the HTTP exposition listener",
+    )
+    p.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=0,
+        help="HTTP exposition port (default 0 = ephemeral)",
+    )
+
+    p = sub.add_parser(
+        "top",
+        help=(
+            "live fleet dashboard: poll a running service's telemetry "
+            "exposition (/metrics.json) and render per-tenant SLOs"
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        required=True,
+        help="the service's telemetry port (hello line: telemetry_port)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0, help="poll interval (seconds)"
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="screens to render before exiting (0 = until interrupted)",
+    )
+    p.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append screens instead of clearing the terminal",
     )
 
     return parser
@@ -732,6 +805,23 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "tail":
         print(render_tail(load_trace(args.trace), n=args.n))
         return 0
+    if args.obs_command == "trace":
+        from repro.obs import correlate_request, render_request_trace
+
+        if args.store is None and args.trace is None:
+            print(
+                "error: obs trace needs --store and/or --trace",
+                file=sys.stderr,
+            )
+            return 2
+        result = correlate_request(
+            args.request_id,
+            store_dir=args.store,
+            trace=None if args.trace is None else load_trace(args.trace),
+            tenant=args.tenant,
+        )
+        print(render_request_trace(result))
+        return 0 if result["found"] else 1
     # diff
     print(
         diff_traces(
@@ -761,6 +851,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
                 queue_budget=args.queue_budget,
                 store_dir=args.store_dir,
                 store_fsync=not args.no_fsync,
+                timeline_path=args.timeline,
             )
         )
     else:
@@ -775,6 +866,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
                 forced_crashes=args.crashes,
                 queue_budget=args.queue_budget,
                 journal_dir=args.journal_dir,
+                timeline_path=args.timeline,
             )
         )
     print("\n".join(report.summary_lines()))
@@ -793,7 +885,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         argv += ["--specs", args.specs]
     if args.no_fsync:
         argv.append("--no-fsync")
+    if args.no_telemetry:
+        argv.append("--no-telemetry")
+    argv += ["--telemetry-port", str(args.telemetry_port)]
     return serve_main(argv)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json as _json
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs import render_top
+
+    url = f"http://{args.host}:{args.port}/metrics.json"
+    shown = 0
+    try:
+        while True:
+            try:
+                with urllib.request.urlopen(url, timeout=5.0) as resp:
+                    doc = _json.loads(resp.read().decode("utf-8"))
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                print(f"scrape failed: {exc}", file=sys.stderr)
+                return 1
+            fleet = doc.get("tenants") or {}
+            screen = render_top(fleet, title=f"repro top — {url}")
+            if not args.no_clear:
+                print("\033[2J\033[H", end="")
+            print(screen, flush=True)
+            shown += 1
+            if args.iterations and shown >= args.iterations:
+                return 0
+            time.sleep(max(args.interval, 0.05))
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -811,6 +937,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "obs": _cmd_obs,
         "soak": _cmd_soak,
         "serve": _cmd_serve,
+        "top": _cmd_top,
     }[args.command]
     return handler(args)
 

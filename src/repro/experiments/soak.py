@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.errors import ExperimentError
 from repro.faults.execution import ExecutionFaultSpec
+from repro.obs.telemetry import slo_parity_view
 from repro.faults.spec import FaultSpec
 from repro.service.ingress import ServiceIngress
 from repro.service.messages import InjectFault, Submit, encode_message
@@ -81,6 +82,10 @@ class SoakConfig:
     flush_every: int = 4
     policy: RestartPolicy = field(default_factory=RestartPolicy)
     journal_dir: Optional[str] = None  #: persist per-tenant journals here
+    telemetry: bool = True  #: per-tenant SLO trackers on the shards
+    #: JSON-lines health timeline (one fleet scrape row per traffic
+    #: chunk) — the machine-readable artifact CI uploads.
+    timeline_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.tenants < 1:
@@ -119,6 +124,7 @@ class SoakReport:
     forced_crashes: int
     rejected_lines: int
     malformed_rejected: bool
+    timeline_path: Optional[str] = None  #: health timeline JSONL, if written
 
     @property
     def ok(self) -> bool:
@@ -149,6 +155,8 @@ class SoakReport:
             f"{self.recoveries} recoveries, "
             f"{self.rejected_lines} lines rejected",
         ]
+        if self.timeline_path:
+            lines.append(f"  health timeline: {self.timeline_path}")
         for tenant, o in sorted(self.outcomes.items()):
             lines.append(
                 "  " + o.check.summary()
@@ -319,12 +327,35 @@ def _build_lines(config: SoakConfig, *, with_rids: bool = False) -> List[str]:
 async def _soak(config: SoakConfig) -> SoakReport:
     specs = _tenant_specs(config)
     service = ScheduleService(
-        specs, policy=config.policy, journal_dir=config.journal_dir
+        specs,
+        policy=config.policy,
+        journal_dir=config.journal_dir,
+        telemetry=config.telemetry,
     )
     await service.start()
     ingress = ServiceIngress(service)
     lines = _build_lines(config)
-    acks = await ingress.run_lines(lines)
+    acks: List[Dict] = []
+    if config.timeline_path is None:
+        acks = await ingress.run_lines(lines)
+    else:
+        # Health timeline: the stream is driven in chunks and the fleet
+        # is scraped between them — one JSONL row per chunk, so the
+        # timeline shows SLOs and health states *while* crashes and
+        # restarts happen, not just the postmortem.
+        timeline = Path(config.timeline_path)
+        timeline.parent.mkdir(parents=True, exist_ok=True)
+        chunk = max(1, len(lines) // 16)
+        with timeline.open("w", encoding="utf-8") as fh:
+            for i in range(0, len(lines), chunk):
+                acks.extend(await ingress.run_lines(lines[i : i + chunk]))
+                row = {
+                    "event": "scrape",
+                    "lines_sent": min(i + chunk, len(lines)),
+                    "health": service.health(),
+                    "fleet": service.scrape(),
+                }
+                fh.write(json.dumps(row) + "\n")
     reports = await service.close()
 
     bad_acks = [
@@ -351,6 +382,7 @@ async def _soak(config: SoakConfig) -> SoakReport:
         forced_crashes=sum(r.forced_crashes for r in reports.values()),
         rejected_lines=ingress.rejected_lines,
         malformed_rejected=not bad_acks,
+        timeline_path=config.timeline_path,
     )
 
 
@@ -391,6 +423,8 @@ class Kill9Config:
     store_dir: Optional[str] = None  #: default: a fresh temp directory
     store_fsync: bool = True
     spawn_timeout: float = 60.0  #: seconds to wait for hello / exit
+    #: health timeline JSONL (default: <store_dir>/health_timeline.jsonl)
+    timeline_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kills < 1:
@@ -431,6 +465,7 @@ class Kill9Report:
     close_acks: Dict[str, Dict]
     drain_exit_code: Optional[int]
     problems: List[str] = field(default_factory=list)
+    timeline_path: Optional[str] = None  #: health timeline JSONL
 
     @property
     def ok(self) -> bool:
@@ -465,6 +500,22 @@ class Kill9Report:
                         f"{tenant}: {key} diverged across the drain "
                         f"boundary ({a.get(key)} -> {b.get(key)})"
                     )
+            # SLO parity: the windowed tracker must round-trip the
+            # drain → kill -9 → cold-start boundary exactly (modulo the
+            # counters a cold start legitimately bumps and wall-clock
+            # fsync latencies — slo_parity_view strips those).
+            slo_a, slo_b = a.get("slo"), b.get("slo")
+            if slo_a and slo_b:
+                if slo_parity_view(slo_a) != slo_parity_view(slo_b):
+                    out.append(
+                        f"{tenant}: SLO snapshot diverged across the "
+                        "drain/cold-start boundary"
+                    )
+            elif slo_a or slo_b:
+                out.append(
+                    f"{tenant}: SLO snapshot present on only one side "
+                    "of the drain boundary"
+                )
         for tenant, ack in sorted(self.close_acks.items()):
             if not ack.get("ok"):
                 out.append(f"{tenant}: close failed ({ack.get('error')})")
@@ -493,6 +544,8 @@ class Kill9Report:
             f"incarnations, {self.duplicate_acks} duplicate acks, "
             f"store {self.store_dir}",
         ]
+        if self.timeline_path:
+            lines.append(f"  health timeline: {self.timeline_path}")
         for tenant, ack in sorted(self.close_acks.items()):
             lines.append(
                 f"  {tenant}: submitted={ack.get('submitted')} "
@@ -638,6 +691,34 @@ def run_kill9(config: Optional[Kill9Config] = None) -> Kill9Report:
     kills_delivered = 0
     incarnations = 0
 
+    # Machine-readable health timeline: one fleet scrape (the ``metrics``
+    # wire message, tenant ``*``) per incarnation, after its traffic and
+    # before the SIGKILL lands — so the JSONL shows per-tenant SLO
+    # snapshots and health states straddling every crash boundary.
+    timeline_file = Path(
+        config.timeline_path
+        if config.timeline_path
+        else store_dir / "health_timeline.jsonl"
+    )
+    timeline_file.parent.mkdir(parents=True, exist_ok=True)
+    timeline_fh = timeline_file.open("w", encoding="utf-8")
+
+    def _scrape(port: int, incarnation: int, event: str) -> None:
+        row: Dict = {"incarnation": incarnation, "event": event}
+        try:
+            ack = _send_lines(
+                port, [json.dumps({"type": "metrics", "tenant": "*"})]
+            )[0]
+        except Exception as exc:  # noqa: BLE001 - timeline is best-effort
+            row["error"] = str(exc)
+        else:
+            if ack.get("ok"):
+                row["fleet"] = ack.get("tenants", {})
+            else:
+                row["error"] = ack.get("error", "metrics query failed")
+        timeline_fh.write(json.dumps(row, sort_keys=True) + "\n")
+        timeline_fh.flush()
+
     # --- kill incarnations: partial traffic, then SIGKILL ---------------
     for k, point in enumerate(kill_points):
         proc, hello = _spawn_service(config, store_dir, specs_file)
@@ -649,6 +730,7 @@ def run_kill9(config: Optional[Kill9Config] = None) -> Kill9Report:
         try:
             acks = _send_lines(hello["port"], lines[:point])
             duplicate_acks += sum(1 for a in acks if a.get("duplicate"))
+            _scrape(hello["port"], incarnations, "pre_kill")
         finally:
             proc.kill()  # SIGKILL — no drain, no flush, no mercy
             proc.wait(timeout=config.spawn_timeout)
@@ -662,6 +744,7 @@ def run_kill9(config: Optional[Kill9Config] = None) -> Kill9Report:
         problems.append("final traffic incarnation did not cold-start")
     acks = _send_lines(hello["port"], lines)
     duplicate_acks += sum(1 for a in acks if a.get("duplicate"))
+    _scrape(hello["port"], incarnations, "pre_drain")
     proc.send_signal(_signal.SIGTERM)
     drained: Dict = {}
     for raw in proc.stdout:
@@ -682,6 +765,7 @@ def run_kill9(config: Optional[Kill9Config] = None) -> Kill9Report:
     incarnations += 1
     if not hello.get("cold_start"):
         problems.append("audit incarnation did not cold-start")
+    _scrape(hello["port"], incarnations, "post_cold_start")
     stat_lines = [
         json.dumps({"type": "stat", "tenant": spec.tenant})
         for spec in specs
@@ -702,6 +786,7 @@ def run_kill9(config: Optional[Kill9Config] = None) -> Kill9Report:
     }
     proc.send_signal(_signal.SIGTERM)
     proc.wait(timeout=config.spawn_timeout)
+    timeline_fh.close()
 
     return Kill9Report(
         config=config,
@@ -715,4 +800,5 @@ def run_kill9(config: Optional[Kill9Config] = None) -> Kill9Report:
         close_acks=close_acks,
         drain_exit_code=drain_exit,
         problems=problems,
+        timeline_path=str(timeline_file),
     )

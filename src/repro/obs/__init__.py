@@ -22,7 +22,17 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merge_snapshots,
 )
+from repro.obs.correlate import correlate_request, render_request_trace
 from repro.obs.report import decision_stream, diff_traces, render_report, render_tail
+from repro.obs.telemetry import (
+    HEALTH_STATES,
+    SloTracker,
+    WindowRing,
+    lint_prometheus,
+    render_prometheus,
+    render_top,
+    slo_parity_view,
+)
 from repro.obs.trace import TRACE_SCHEMA, TraceEvent, TraceSink, load_trace
 
 __all__ = [
@@ -46,4 +56,13 @@ __all__ = [
     "render_tail",
     "diff_traces",
     "decision_stream",
+    "WindowRing",
+    "SloTracker",
+    "slo_parity_view",
+    "render_prometheus",
+    "lint_prometheus",
+    "render_top",
+    "HEALTH_STATES",
+    "correlate_request",
+    "render_request_trace",
 ]

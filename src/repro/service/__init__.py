@@ -17,7 +17,10 @@ The layers, bottom up:
 * :mod:`repro.service.daemon` — the durable process entry
   (``python -m repro serve``): TCP ingress over a crash-safe tenant
   store (:mod:`repro.store`), graceful SIGTERM drain, and the cold
-  start the kill -9 soak relies on.
+  start the kill -9 soak relies on;
+* :mod:`repro.service.exposition` — the HTTP telemetry listener
+  (``/metrics`` Prometheus text, ``/metrics.json``, ``/health``) over
+  the per-tenant SLO trackers (:mod:`repro.obs.telemetry`).
 """
 
 from repro.service.admission import (
@@ -25,13 +28,16 @@ from repro.service.admission import (
     AdmissionController,
     ShedRecord,
 )
+from repro.service.exposition import TelemetryExposition
 from repro.service.ingress import ServiceIngress
 from repro.service.messages import (
     FAULT_OPS,
     Advance,
     Close,
+    HealthQuery,
     InjectFault,
     Message,
+    MetricsQuery,
     Stat,
     Submit,
     encode_message,
@@ -60,8 +66,10 @@ __all__ = [
     "CapacitySpec",
     "Close",
     "FAULT_OPS",
+    "HealthQuery",
     "InjectFault",
     "Message",
+    "MetricsQuery",
     "ReplayCheck",
     "RestartPolicy",
     "SCHEDULER_FACTORIES",
@@ -71,6 +79,7 @@ __all__ = [
     "ShedRecord",
     "Stat",
     "Submit",
+    "TelemetryExposition",
     "TenantReport",
     "TenantShard",
     "TenantSpec",

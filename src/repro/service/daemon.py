@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ServiceError
+from repro.service.exposition import TelemetryExposition
 from repro.service.ingress import ServiceIngress
 from repro.service.shard import TenantSpec, tenant_spec_from_dict
 from repro.service.supervisor import RestartPolicy, ScheduleService
@@ -74,12 +75,18 @@ async def serve(
     port: int = 0,
     policy: Optional[RestartPolicy] = None,
     store_fsync: bool = True,
+    telemetry: bool = True,
+    telemetry_port: int = 0,
     out=None,
 ) -> Dict[str, Any]:
     """Run the durable service until SIGTERM/SIGINT, then drain.
 
     Returns the final drain stats (per tenant).  ``out`` (default
-    stdout) receives the hello and drained event lines."""
+    stdout) receives the hello and drained event lines.  With
+    ``telemetry`` (the daemon default) every shard tracks per-tenant
+    SLOs and an HTTP exposition listener serves ``/metrics`` (Prometheus
+    text), ``/metrics.json`` and ``/health`` on ``telemetry_port``
+    (0 = ephemeral; announced in the hello line)."""
     out = out if out is not None else sys.stdout
     store_dir = Path(store_dir)
     store_dir.mkdir(parents=True, exist_ok=True)
@@ -87,7 +94,10 @@ async def serve(
     cold = _store_has_state(store_dir)
     if cold:
         service = ScheduleService.cold_start(
-            store_dir, policy=policy, store_fsync=store_fsync
+            store_dir,
+            policy=policy,
+            store_fsync=store_fsync,
+            telemetry=telemetry,
         )
     else:
         if not specs:
@@ -100,12 +110,18 @@ async def serve(
             policy=policy,
             store_dir=store_dir,
             store_fsync=store_fsync,
+            telemetry=telemetry,
         )
     await service.start()
 
     ingress = ServiceIngress(service, verify_on_close=True)
     server = await ingress.serve_tcp(host=host, port=port)
     bound_port = server.sockets[0].getsockname()[1]
+
+    exposition: Optional[TelemetryExposition] = None
+    if telemetry:
+        exposition = TelemetryExposition(service)
+        await exposition.start(host=host, port=telemetry_port)
 
     stop = asyncio.get_running_loop().create_future()
 
@@ -126,6 +142,9 @@ async def serve(
                 "cold_start": cold,
                 "tenants": list(service.tenants),
                 "store": str(store_dir),
+                "telemetry_port": (
+                    None if exposition is None else exposition.port
+                ),
             }
         ),
         file=out,
@@ -134,6 +153,8 @@ async def serve(
 
     signame = await stop
     stats = await service.drain()
+    if exposition is not None:
+        await exposition.stop()
     await ingress.stop_tcp()
     print(
         json.dumps(
@@ -168,6 +189,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip fsyncs in the store (faster; survives SIGKILL but "
         "not power loss)",
     )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable the SLO trackers and the HTTP exposition listener",
+    )
+    parser.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=0,
+        help="HTTP exposition port (default 0 = ephemeral, announced "
+        "in the hello line)",
+    )
     args = parser.parse_args(argv)
 
     specs = load_specs_file(args.specs) if args.specs else None
@@ -178,6 +211,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             host=args.host,
             port=args.port,
             store_fsync=not args.no_fsync,
+            telemetry=not args.no_telemetry,
+            telemetry_port=args.telemetry_port,
         )
     )
     return 0

@@ -23,11 +23,12 @@ from __future__ import annotations
 import asyncio
 import json
 import sys
+from dataclasses import replace as _replace
 from typing import AsyncIterator, Dict, Iterable, List, Optional
 
 from repro import obs as _obs
 from repro.errors import CircuitOpenError, DrainingError, MessageError
-from repro.service.messages import parse_message
+from repro.service.messages import InjectFault, Submit, parse_message
 from repro.service.shard import TenantReport
 from repro.service.supervisor import ScheduleService
 
@@ -50,6 +51,11 @@ class ServiceIngress:
         self.accepted_lines = 0
         self.rejected_lines = 0
         self._server: "asyncio.AbstractServer | None" = None
+        # Request-id minting: submits/faults arriving without a client
+        # request_id get an ingress-scoped one (``ing-N``) so every
+        # decision is correlatable (`repro obs trace`).  The prefix keeps
+        # minted ids out of any client id namespace.
+        self._minted = 0
 
     # ------------------------------------------------------------------
     async def handle_line(self, line: "str | bytes") -> Dict:
@@ -61,6 +67,31 @@ class ServiceIngress:
             return {"ok": True, "noop": True}
         try:
             message = parse_message(line)
+            if isinstance(message, (Submit, InjectFault)):
+                if message.rid is None:
+                    self._minted += 1
+                    message = _replace(message, rid=f"ing-{self._minted}")
+                octx = _obs.current()
+                if octx is not None:
+                    when = (
+                        message.job.release
+                        if isinstance(message, Submit)
+                        else message.time
+                    )
+                    octx.emit(
+                        "service.ingress",
+                        when,
+                        {
+                            "rid": message.rid,
+                            "tenant": message.tenant,
+                            "type": (
+                                "submit"
+                                if isinstance(message, Submit)
+                                else "fault"
+                            ),
+                        },
+                        replay=False,
+                    )
             result = await self.service.dispatch(message)
         except DrainingError as exc:
             self.rejected_lines += 1
@@ -73,6 +104,10 @@ class ServiceIngress:
             return {"ok": False, "error": str(exc)}
         self.accepted_lines += 1
         ack: Dict = {"ok": True}
+        if isinstance(message, (Submit, InjectFault)):
+            # Echo the (possibly minted) correlation id — the handle a
+            # client passes to `repro obs trace <request_id>`.
+            ack["request_id"] = message.rid
         if isinstance(result, TenantReport):  # a Close returns the report
             ack["closed"] = result.tenant
             ack["accepted"] = len(result.accepted)

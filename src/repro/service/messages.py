@@ -36,6 +36,15 @@ message types drive a tenant shard:
     CRC of the accepted jid set, the dispatch frontier) — what the
     kill -9 soak compares across a drain/cold-start boundary.
 
+``metrics`` / ``health``
+    The live telemetry plane (docs/OBSERVABILITY.md §live-service
+    telemetry): ``metrics`` returns the tenant's full SLO scrape
+    (stats + windowed SLO snapshot + health state), ``health`` just the
+    health state.  ``"tenant": "*"`` scrapes the whole fleet.  Both are
+    answered synchronously by the supervisor — they bypass the
+    per-tenant queue, so a scrape works even while a tenant is mid
+    restart ladder or the service is draining.
+
 **Idempotency**: ``submit`` and ``fault`` may carry a client-chosen
 ``request_id`` string.  A shard remembers every decided request id in
 its durable dedup journal; redelivering the same id (for example,
@@ -63,6 +72,8 @@ __all__ = [
     "Advance",
     "Close",
     "Stat",
+    "MetricsQuery",
+    "HealthQuery",
     "Message",
     "parse_message",
     "encode_message",
@@ -105,7 +116,23 @@ class Stat:
     tenant: str
 
 
-Message = Union[Submit, InjectFault, Advance, Close, Stat]
+@dataclass(frozen=True)
+class MetricsQuery:
+    """Wire ``metrics``: live SLO scrape; ``tenant="*"`` = whole fleet."""
+
+    tenant: str
+
+
+@dataclass(frozen=True)
+class HealthQuery:
+    """Wire ``health``: supervisor health state(s) only."""
+
+    tenant: str
+
+
+Message = Union[
+    Submit, InjectFault, Advance, Close, Stat, MetricsQuery, HealthQuery
+]
 
 
 def _request_id(payload: Mapping[str, Any]) -> "str | None":
@@ -196,6 +223,12 @@ def parse_message(raw: "str | bytes | Mapping[str, Any]") -> Message:
     if mtype == "stat":
         return Stat(tenant=tenant)
 
+    if mtype == "metrics":
+        return MetricsQuery(tenant=tenant)
+
+    if mtype == "health":
+        return HealthQuery(tenant=tenant)
+
     raise MessageError(f"unknown message type {mtype!r}")
 
 
@@ -235,6 +268,10 @@ def encode_message(message: Message) -> str:
         out = {"type": "close", "tenant": message.tenant}
     elif isinstance(message, Stat):
         out = {"type": "stat", "tenant": message.tenant}
+    elif isinstance(message, MetricsQuery):
+        out = {"type": "metrics", "tenant": message.tenant}
+    elif isinstance(message, HealthQuery):
+        out = {"type": "health", "tenant": message.tenant}
     else:
         raise MessageError(f"cannot encode {message!r}")
     return json.dumps(out)

@@ -48,11 +48,13 @@ import json
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import obs as _obs
+from repro.obs.telemetry import SloTracker, WindowRing
 from repro.capacity.base import CapacityFunction
 from repro.capacity.markov import TwoStateMarkovCapacity
 from repro.capacity.piecewise import PiecewiseConstantCapacity
@@ -78,7 +80,7 @@ from repro.service.messages import (
     Submit,
 )
 from repro.sim.engine import SimulationEngine
-from repro.sim.job import Job
+from repro.sim.job import Job, JobStatus
 from repro.sim.journal import EngineSnapshot, EventJournal
 from repro.sim.metrics import SimulationResult
 from repro.store.tenant import TenantStore
@@ -386,9 +388,20 @@ class TenantShard:
         journal_dir: "str | Path | None" = None,
         store: Optional[TenantStore] = None,
         resume: bool = False,
+        telemetry: bool = False,
     ) -> None:
         self.spec = spec
         self._store = store
+        # Telemetry plane (docs/OBSERVABILITY.md §live-service telemetry):
+        # decision-plane SLO counters, off by default so the disabled
+        # path stays inside the PR 5 overhead budget.
+        self._slo: Optional[SloTracker] = (
+            SloTracker(spec.tenant, spec.horizon) if telemetry else None
+        )
+        # request id -> decided jid (admission correlation index; rides
+        # the snapshot payload so `repro obs trace` survives op-log
+        # compaction and kill -9).
+        self._rid_jid: Dict[str, int] = {}
         self._journal_path: Optional[Path] = None
         self._shed_fh = None
         shed_path: Optional[Path] = None
@@ -450,6 +463,11 @@ class TenantShard:
             )
             self._engine = self._build_engine([], capacity)
             self._engine.kernel.start()
+
+        if self._slo is not None:
+            # WAL fsync latency feeds the SLO histogram (wall clock —
+            # never in the replay or parity domain).
+            self._journal.sync_observer = self._slo.observe_fsync
 
         if shed_path is not None:
             # Rebuilt on resume: the sidecar is a human-readable mirror
@@ -517,10 +535,48 @@ class TenantShard:
         if octx is not None:
             octx.metrics.counter(name).inc(n)
 
+    def _append_ops(self, docs: Sequence[Mapping[str, Any]]) -> None:
+        """Fsync op docs, timing the durability point when telemetry is on."""
+        if self._slo is None:
+            self._store.append_ops(docs, sync=True)
+            return
+        t0 = perf_counter()
+        self._store.append_ops(docs, sync=True)
+        self._slo.observe_fsync(perf_counter() - t0)
+
+    def _note_request(
+        self,
+        rid: "str | None",
+        jid: Optional[int],
+        outcome: str,
+        time: float,
+    ) -> None:
+        """Record a request id's decision: dedup outcome, rid → jid
+        correlation index, and a lifecycle (never replay) trace event."""
+        if rid is None:
+            return
+        self._dedup[rid] = outcome
+        if jid is not None:
+            self._rid_jid[rid] = int(jid)
+        octx = _obs.current()
+        if octx is not None:
+            data: Dict[str, Any] = {
+                "rid": rid,
+                "tenant": self.tenant,
+                "outcome": outcome,
+            }
+            if jid is not None:
+                data["jid"] = int(jid)
+            octx.emit("service.request", float(time), data, replay=False)
+
     def _journal_shed(self, records: Sequence[ShedRecord]) -> None:
         if not records:
             return
         self._shed.extend(records)
+        if self._slo is not None:
+            for record in records:
+                self._slo.observe(record.time, "shed")
+                self._slo.observe(record.time, "shed." + record.reason)
         octx = _obs.current()
         for record in records:
             if self._shed_fh is not None:
@@ -590,6 +646,8 @@ class TenantShard:
         if outcome is None:
             return None
         self._count("service.duplicates")
+        if self._slo is not None:
+            self._slo.count("duplicates")
         return {"duplicate": True, "outcome": outcome}
 
     def _take_rid(self, jid: int) -> Optional[str]:
@@ -661,12 +719,13 @@ class TenantShard:
             kernel.run_until(time)
             self._forced_crashes += 1
             self._count("service.injected.crash")
+            if self._slo is not None:
+                self._slo.observe(time, "crashes")
             if self._store is not None:
-                self._store.append_ops(
-                    [{"op": "crash_mark", "rid": rid}], sync=True
+                self._append_ops(
+                    [{"op": "crash_mark", "time": time, "rid": rid}]
                 )
-            if rid is not None:
-                self._dedup[rid] = "crash"
+            self._note_request(rid, None, "crash", time)
             raise SimulatedCrash(
                 time=kernel.now,
                 at_event=None,
@@ -690,7 +749,7 @@ class TenantShard:
             raise MessageError(f"unknown fault op {op!r}")
         dc = kernel.dispatch_count
         if self._store is not None:
-            self._store.append_ops(
+            self._append_ops(
                 [
                     {
                         "op": "push",
@@ -699,14 +758,14 @@ class TenantShard:
                         "payload": list(payload),
                         "rid": rid,
                     }
-                ],
-                sync=True,
+                ]
             )
         kernel.push_fault_event(time, payload)
         self._injected.append((time, payload))
         self._ops.append((dc, "push", (time, payload)))
-        if rid is not None:
-            self._dedup[rid] = "injected"
+        if self._slo is not None:
+            self._slo.observe(time, "injected." + op)
+        self._note_request(rid, None, "injected", time)
         self._count("service.injected." + op)
         return None
 
@@ -775,18 +834,20 @@ class TenantShard:
                 for rec, rid in zip(shed, shed_rids)
             ]
             if docs:
-                self._store.append_ops(docs, sync=True)
+                self._append_ops(docs)
         self._journal_shed(shed)
-        for rid in shed_rids:
-            if rid is not None:
-                self._dedup[rid] = "shed"
+        for rec, rid in zip(shed, shed_rids):
+            self._note_request(rid, rec.jid, "shed", rec.time)
         for job, rid in zip(admit, admit_rids):
             self._ops.append((dc, "admit", job))
             kernel.admit_job(job)
             self._accepted.append(job)
             self._accepted_jids.add(job.jid)
-            if rid is not None:
-                self._dedup[rid] = "accepted"
+            if self._slo is not None:
+                self._slo.observe(job.release, "admitted")
+            self._note_request(rid, job.jid, "accepted", release)
+        if self._slo is not None:
+            self._slo.set_depth(self.depth)
         self._count("service.admitted", len(admit))
 
     def _log_shed_ops(
@@ -796,12 +857,11 @@ class TenantShard:
     ) -> None:
         if self._store is None or not records:
             return
-        self._store.append_ops(
+        self._append_ops(
             [
                 {"op": "shed", "rec": rec.to_dict(), "rid": rid}
                 for rec, rid in zip(records, rids)
-            ],
-            sync=True,
+            ]
         )
 
     def shed_all_pending(self, reason: str) -> None:
@@ -812,9 +872,8 @@ class TenantShard:
             rids = [self._take_rid(rec.jid) for rec in records]
             self._log_shed_ops(records, rids)
             self._journal_shed(records)
-            for rid in rids:
-                if rid is not None:
-                    self._dedup[rid] = "shed"
+            for rec, rid in zip(records, rids):
+                self._note_request(rid, rec.jid, "shed", rec.time)
 
     def shed_one(
         self, job: Job, reason: str, rid: "str | None" = None
@@ -828,8 +887,8 @@ class TenantShard:
         records = self._admission.shed_all([job], reason, self.kernel.now)
         self._log_shed_ops(records, [rid])
         self._journal_shed(records)
-        if rid is not None:
-            self._dedup[rid] = "shed"
+        for rec in records:
+            self._note_request(rid, rec.jid, "shed", rec.time)
         return None
 
     def stats(self) -> Dict[str, Any]:
@@ -837,7 +896,7 @@ class TenantShard:
         mutation).  ``accepted_crc`` fingerprints the accepted jid
         sequence so restart-boundary audits compare one integer."""
         blob = ",".join(str(job.jid) for job in self._accepted)
-        return {
+        out = {
             "tenant": self.tenant,
             "submitted": self._submitted,
             "accepted": len(self._accepted),
@@ -849,6 +908,54 @@ class TenantShard:
             "frontier": self.kernel.now,
             "closed": self._closed,
         }
+        if self._slo is not None:
+            out["slo"] = self._slo.snapshot()
+        return out
+
+    def slo_view(self) -> Dict[str, Any]:
+        """The scrape-time SLO document: the tracker snapshot plus a
+        ``"live"`` block of kernel-derived facts (completions, deadline
+        misses, attained value per executed work).  The live block is a
+        pure function of the kernel trace — computed here on demand, so
+        a snapshot restore can never double-count it.  Works with
+        telemetry off too (tracker fields absent, live block present)."""
+        doc = self._slo.snapshot() if self._slo is not None else {}
+        trace = self.kernel.trace
+        completions = 0
+        misses = 0
+        for status in trace.outcomes.values():
+            if status is JobStatus.COMPLETED:
+                completions += 1
+            elif status in (JobStatus.FAILED, JobStatus.ABANDONED):
+                misses += 1
+        decided = completions + misses
+        attained = trace.value_points[-1][1] if trace.value_points else 0.0
+        executed = trace.total_work()
+        doc["live"] = {
+            "completions": completions,
+            "deadline_misses": misses,
+            "miss_rate": misses / decided if decided else 0.0,
+            "attained_value": attained,
+            "executed_work": executed,
+            "value_per_capacity": attained / executed if executed > 0 else 0.0,
+            "depth": self.depth,
+            "frontier": self.kernel.now,
+        }
+        if self._slo is not None:
+            # Windowed kernel outcomes over the same ring geometry
+            # (recomputed per scrape — deterministic in virtual time).
+            ring = self._slo.ring
+            win = WindowRing(ring.width, ring.slots)
+            for jid, t in trace.completion_times.items():
+                win.observe(t, "completions")
+            by_jid = {job.jid: job for job in self._accepted}
+            for jid, status in trace.outcomes.items():
+                if status in (JobStatus.FAILED, JobStatus.ABANDONED):
+                    job = by_jid.get(jid)
+                    if job is not None:
+                        win.observe(job.deadline, "deadline_misses")
+            doc["live"]["window"] = win.snapshot()
+        return doc
 
     # ------------------------------------------------------------------
     # Recovery
@@ -889,6 +996,9 @@ class TenantShard:
         self._engine = engine
         self._recoveries += 1
         self._count("service.recoveries")
+        if self._slo is not None:
+            self._slo.count("recoveries")
+            self._journal.sync_observer = self._slo.observe_fsync
         octx = _obs.current()
         if octx is not None:
             octx.emit(
@@ -960,6 +1070,12 @@ class TenantShard:
             "recoveries": self._recoveries,
             "forced_crashes": self._forced_crashes,
             "ops_tail": tail,
+            # Telemetry plane (absent pre-PR 10 payloads read back fine
+            # via .get): the SLO tracker snapshot — anchored at the same
+            # op_seq as the rest, so the cold-start refold of post-anchor
+            # ops is exact — and the rid → jid correlation index.
+            "slo": None if self._slo is None else self._slo.snapshot(),
+            "rid_jids": dict(self._rid_jid),
         }
         self._store.write_snapshot(payload, op_seq=self._store.op_seq)
         self._persist_anchor = base
@@ -995,6 +1111,13 @@ class TenantShard:
             self._dedup = dict(payload["dedup"])
             self._recoveries = int(payload["recoveries"])
             self._forced_crashes = int(payload["forced_crashes"])
+            self._rid_jid = {
+                str(k): int(v)
+                for k, v in (payload.get("rid_jids") or {}).items()
+            }
+            slo_doc = payload.get("slo")
+            if self._slo is not None and slo_doc:
+                self._slo = SloTracker.restore(slo_doc)
             snap = payload["engine"]
             by_jid = {job.jid: job for job in self._accepted}
             for dc, kind, data in payload["ops_tail"]:
@@ -1017,19 +1140,36 @@ class TenantShard:
             if seq < anchor_seq:
                 continue
             op = str(doc.get("op"))
+            jid: Optional[int] = None
             if op == "admit":
                 job = Job(**doc["job"])
+                jid = job.jid
                 self._accepted.append(job)
                 self._accepted_jids.add(job.jid)
                 tail.append((int(doc["dc"]), "admit", job))
+                if self._slo is not None:
+                    self._slo.observe(job.release, "admitted")
             elif op == "push":
                 entry = (float(doc["time"]), tuple(doc["payload"]))
                 self._injected.append(entry)
                 tail.append((int(doc["dc"]), "push", entry))
+                if self._slo is not None:
+                    self._slo.observe(entry[0], "injected." + str(entry[1][0]))
             elif op == "shed":
-                self._shed.append(ShedRecord(**doc["rec"]))
+                rec = ShedRecord(**doc["rec"])
+                jid = rec.jid
+                self._shed.append(rec)
+                if self._slo is not None:
+                    self._slo.observe(rec.time, "shed")
+                    self._slo.observe(rec.time, "shed." + rec.reason)
             elif op == "crash_mark":
                 self._forced_crashes += 1
+                if self._slo is not None:
+                    when = doc.get("time")
+                    if when is None:  # pre-PR 10 op docs
+                        self._slo.count("crashes")
+                    else:
+                        self._slo.observe(float(when), "crashes")
             else:
                 raise RecoveryError(
                     f"tenant {self.tenant!r}: unknown op record {op!r} "
@@ -1038,6 +1178,8 @@ class TenantShard:
             rid = doc.get("rid")
             if rid:
                 self._dedup[str(rid)] = outcome_by_op[op]
+                if jid is not None:
+                    self._rid_jid[str(rid)] = int(jid)
 
         # Undecided buffering (pending groups) is never durable, so
         # every reconstructed submission is a decided one.
@@ -1097,6 +1239,12 @@ class TenantShard:
         self._engine = engine
         self._recoveries += 1
         self._persist_anchor = -1 if snap is None else snap.dispatch_count
+        if self._slo is not None:
+            # Depth gauge is deliberately *not* refreshed here: the
+            # restored values are the persisted ones, so drain → cold
+            # start round-trips the parity view bit-identically.
+            self._slo.count("recoveries")
+            self._slo.count("cold_starts")
         self._count("service.cold_starts")
         octx = _obs.current()
         if octx is not None:

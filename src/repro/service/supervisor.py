@@ -44,7 +44,15 @@ from repro.errors import (
     SimulatedCrash,
 )
 from repro.kernel.recovery import CrashLoopDetector
-from repro.service.messages import Close, InjectFault, Message, Stat, Submit
+from repro.service.messages import (
+    Close,
+    HealthQuery,
+    InjectFault,
+    Message,
+    MetricsQuery,
+    Stat,
+    Submit,
+)
 from repro.service.shard import (
     TenantReport,
     TenantShard,
@@ -85,11 +93,26 @@ class TenantSupervisor:
         self.backoffs: List[float] = []
         self.breaker_open = False
         self.breaker_reason: Optional[str] = None
+        #: True while a crash is mid-ladder (between the catch and the
+        #: successful retry) — the telemetry plane reports the tenant as
+        #: ``restarting`` instead of letting it vanish from a scrape.
+        self.restarting = False
         self._detector = CrashLoopDetector()
 
     @property
     def tenant(self) -> str:
         return self.shard.tenant
+
+    def health_state(self) -> str:
+        """The tenant's health ladder state (one of
+        :data:`repro.obs.telemetry.HEALTH_STATES`)."""
+        if self.breaker_open:
+            return "circuit_open"
+        if self.restarting:
+            return "restarting"
+        if self.restarts > 0 or self.shard.shed_count > 0:
+            return "degraded"
+        return "ok"
 
     def _trip_breaker(self, reason: str) -> None:
         self.breaker_open = True
@@ -135,14 +158,19 @@ class TenantSupervisor:
         while True:
             try:
                 if isinstance(message, Close):
-                    return self.shard.close()
-                return self.shard.handle(message)
+                    result = self.shard.close()
+                else:
+                    result = self.shard.handle(message)
+                self.restarting = False
+                return result
             except MessageError:
                 raise  # a bad message is the sender's problem, not a crash
             except SimulatedCrash as crash:
                 forced = crash.fault_index == -1 and crash.at_event is None
+                self.restarting = True
                 attempts += 1
                 if attempts > self.policy.max_restarts:
+                    self.restarting = False
                     self._trip_breaker(
                         f"restart budget exhausted ({self.policy.max_restarts})"
                     )
@@ -155,6 +183,7 @@ class TenantSupervisor:
                         self._detector.observe(crash)
                     self.shard.recover(crash)
                 except RecoveryError as exc:
+                    self.restarting = False
                     self._trip_breaker(str(exc))
                     return self.shard.report() if isinstance(message, Close) else None
                 self.restarts += 1
@@ -166,9 +195,11 @@ class TenantSupervisor:
                 if forced:
                     # The ingress-forced crash *was* the message's effect;
                     # retrying it would crash forever.
+                    self.restarting = False
                     return None
                 # Deterministic retry: recovery left the message unapplied.
             except (RecoveryError, ServiceError) as exc:
+                self.restarting = False
                 self._trip_breaker(str(exc))
                 return self.shard.report() if isinstance(message, Close) else None
 
@@ -202,6 +233,7 @@ class ScheduleService:
         store_dir: "str | Path | None" = None,
         resume: bool = False,
         store_fsync: bool = True,
+        telemetry: bool = False,
     ) -> None:
         if not specs:
             raise ServiceError("a service needs at least one tenant spec")
@@ -215,6 +247,7 @@ class ScheduleService:
         self._store_dir = None if store_dir is None else Path(store_dir)
         self._resume = bool(resume)
         self._store_fsync = bool(store_fsync)
+        self._telemetry = bool(telemetry)
         self._supervisors: Dict[str, TenantSupervisor] = {}
         self._queues: Dict[str, asyncio.Queue] = {}
         self._workers: List[asyncio.Task] = []
@@ -230,6 +263,7 @@ class ScheduleService:
         policy: Optional[RestartPolicy] = None,
         queue_size: int = 1024,
         store_fsync: bool = True,
+        telemetry: bool = False,
     ) -> "ScheduleService":
         """A service rebuilt purely from a store directory: every tenant
         subdirectory with a valid spec is resumed from its snapshot +
@@ -258,6 +292,7 @@ class ScheduleService:
             store_dir=root,
             resume=True,
             store_fsync=store_fsync,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -287,6 +322,7 @@ class ScheduleService:
                 journal_dir=self._journal_dir,
                 store=store,
                 resume=self._resume,
+                telemetry=self._telemetry,
             )
             self._supervisors[spec.tenant] = TenantSupervisor(
                 shard, self._policy
@@ -328,6 +364,23 @@ class ScheduleService:
         rejected messages — the ingress converts those into error acks."""
         if not self._started:
             raise ServiceError("service not started")
+        if isinstance(message, (MetricsQuery, HealthQuery)):
+            # Telemetry reads bypass the per-tenant queues entirely: a
+            # scrape must answer synchronously even while the tenant is
+            # mid restart ladder (its worker blocked in a backoff sleep)
+            # or the service is draining.
+            target = None if message.tenant == "*" else message.tenant
+            if target is not None and target not in self._supervisors:
+                raise MessageError(f"unknown tenant {message.tenant!r}")
+            if isinstance(message, MetricsQuery):
+                fleet = self.scrape(target)
+                if target is None:
+                    return {"tenants": fleet}
+                return dict(fleet[target], tenant=target)
+            states = self.health(target)
+            if target is None:
+                return {"health": states}
+            return {"tenant": target, "health": states[target]}
         if self._draining and isinstance(message, (Submit, InjectFault)):
             raise DrainingError(
                 f"service is draining; resubmit to the restarted service "
@@ -339,6 +392,37 @@ class ScheduleService:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         await queue.put((message, future))
         return await future
+
+    def scrape(
+        self, tenant: Optional[str] = None
+    ) -> Dict[str, Dict[str, Any]]:
+        """One fleet telemetry scrape: tenant → ``{"health", "restarts",
+        "stats", "slo"}``.  Never raises per tenant — a shard that cannot
+        answer mid-recovery reports an ``error`` field and its health
+        state instead of breaking the whole scrape."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, supervisor in self._supervisors.items():
+            if tenant is not None and name != tenant:
+                continue
+            entry: Dict[str, Any] = {
+                "health": supervisor.health_state(),
+                "restarts": supervisor.restarts,
+            }
+            try:
+                entry["stats"] = supervisor.shard.stats()
+                entry["slo"] = supervisor.shard.slo_view()
+            except Exception as exc:  # noqa: BLE001 - scrape must survive
+                entry["error"] = str(exc)
+            out[name] = entry
+        return out
+
+    def health(self, tenant: Optional[str] = None) -> Dict[str, str]:
+        """Tenant → health state (the cheap half of :meth:`scrape`)."""
+        return {
+            name: supervisor.health_state()
+            for name, supervisor in self._supervisors.items()
+            if tenant is None or name == tenant
+        }
 
     async def drain(self) -> Dict[str, Dict[str, Any]]:
         """Graceful SIGTERM path: refuse new submits/faults, finish the

@@ -35,6 +35,7 @@ import json
 import os
 import pickle
 from dataclasses import dataclass, field
+from time import perf_counter as _perf_counter
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -145,6 +146,10 @@ class EventJournal:
         self._flush_every = int(flush_every)
         self._fsync = bool(fsync)
         self._unflushed = 0
+        #: Optional ``callable(seconds)`` timing each fsync — the service
+        #: telemetry plane's journal-latency SLO hook (wall clock; never
+        #: in the replay domain).
+        self.sync_observer = None
         self._dir_synced = True  # nothing to sync for in-memory journals
         if self._path is not None:
             self._path.parent.mkdir(parents=True, exist_ok=True)
@@ -201,8 +206,15 @@ class EventJournal:
         self._unflushed = 0
         do_sync = self._fsync if sync is None else bool(sync)
         if do_sync:
-            os.fsync(self._fh.fileno())
-            self._sync_dir()
+            observer = self.sync_observer
+            if observer is None:
+                os.fsync(self._fh.fileno())
+                self._sync_dir()
+            else:
+                t0 = _perf_counter()
+                os.fsync(self._fh.fileno())
+                self._sync_dir()
+                observer(_perf_counter() - t0)
 
     def _sync_dir(self) -> None:
         """One-time fsync of the journal's parent directory, making the

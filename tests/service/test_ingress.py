@@ -61,7 +61,9 @@ class TestHandleLine:
             return ok, bad, unknown, blank, ingress
 
         ok, bad, unknown, blank, ingress = _run(run())
-        assert ok == {"ok": True}
+        # Submits without a client request_id get an ingress-minted one,
+        # echoed so the client can `repro obs trace` it later.
+        assert ok == {"ok": True, "request_id": "ing-1"}
         assert bad["ok"] is False and "undecodable" in bad["error"]
         assert unknown["ok"] is False and "unknown tenant" in unknown["error"]
         assert blank == {"ok": True, "noop": True}

@@ -11,7 +11,9 @@ from repro.errors import MessageError
 from repro.service import (
     Advance,
     Close,
+    HealthQuery,
     InjectFault,
+    MetricsQuery,
     Submit,
     encode_message,
     parse_message,
@@ -45,6 +47,25 @@ class TestParse:
         line = encode_message(Close("t0"))
         assert parse_message(line.encode()) == Close("t0")
         assert parse_message(json.loads(line)) == Close("t0")
+
+    def test_metrics_and_health_roundtrip(self):
+        for message in (
+            MetricsQuery("t0"),
+            MetricsQuery("*"),  # fleet scrape
+            HealthQuery("t0"),
+            HealthQuery("*"),
+        ):
+            assert parse_message(encode_message(message)) == message
+        assert json.loads(encode_message(MetricsQuery("*"))) == {
+            "type": "metrics",
+            "tenant": "*",
+        }
+
+    def test_metrics_and_health_still_require_a_tenant(self):
+        with pytest.raises(MessageError, match="tenant"):
+            parse_message('{"type": "metrics"}')
+        with pytest.raises(MessageError, match="non-empty"):
+            parse_message('{"type": "health", "tenant": ""}')
 
 
 class TestRejection:

@@ -83,6 +83,72 @@ class TestSoakSmoke:
         assert report.submitted == report.accepted + report.shed
         assert report.ok, report.failures()
 
+    def test_soak_emits_health_timeline(self, tmp_path):
+        """With ``--timeline`` the soak writes a machine-readable JSONL
+        health timeline: per-chunk fleet scrapes with health states and
+        SLO snapshots while crashes are landing."""
+        import json
+
+        timeline = tmp_path / "timeline.jsonl"
+        config = SoakConfig(
+            tenants=2,
+            lam=2.0,
+            horizon=12.0,
+            seed=2011,
+            forced_crashes=2,
+            ingress_faults_per_tenant=1,
+            policy=RestartPolicy(backoff_base=0.001, backoff_cap=0.004),
+            timeline_path=str(timeline),
+        )
+        report = run_soak(config)
+        assert report.ok, report.failures()
+        assert report.timeline_path == str(timeline)
+        assert any(
+            "health timeline" in line for line in report.summary_lines()
+        )
+        rows = [
+            json.loads(line)
+            for line in timeline.read_text().splitlines()
+            if line.strip()
+        ]
+        assert rows, "timeline is empty"
+        last = rows[-1]
+        assert set(last["health"]) == {"t0", "t1"}
+        for tenant, entry in last["fleet"].items():
+            assert entry["health"] in ("ok", "degraded", "restarting")
+            assert entry["stats"]["tenant"] == tenant
+            assert "slo" in entry
+        # lines_sent is monotone: the scrapes straddle the whole stream
+        sent = [row["lines_sent"] for row in rows]
+        assert sent == sorted(sent) and sent[-1] > 0
+
+    def test_soak_timeline_works_with_telemetry_off(self, tmp_path):
+        """The timeline (health states + kernel-derived live facts) does
+        not require the SLO trackers — telemetry off still scrapes."""
+        import json
+
+        timeline = tmp_path / "off.jsonl"
+        config = SoakConfig(
+            tenants=2,
+            lam=1.0,
+            horizon=10.0,
+            forced_crashes=1,
+            ingress_faults_per_tenant=1,
+            policy=RestartPolicy(backoff_base=0.001, backoff_cap=0.004),
+            telemetry=False,
+            timeline_path=str(timeline),
+        )
+        report = run_soak(config)
+        assert report.ok, report.failures()
+        rows = [
+            json.loads(line)
+            for line in timeline.read_text().splitlines()
+            if line.strip()
+        ]
+        entry = rows[-1]["fleet"]["t0"]
+        assert "counters" not in entry["slo"]  # no tracker...
+        assert "live" in entry["slo"]  # ...but kernel facts still scrape
+
 
 @pytest.mark.kill_soak_smoke
 class TestKill9Smoke:
@@ -122,13 +188,35 @@ class TestKill9Smoke:
             for tenant, ok in sorted(per_tenant.items()):
                 assert ok, f"kill {k}: {tenant} lost replay parity"
         # Drain-boundary bit-identity: the audited cold start reports
-        # the same counters the drained service last printed.
+        # the same counters the drained service last printed — and the
+        # same SLO snapshot (modulo the restart-legitimate fields).
+        from repro.obs.telemetry import slo_parity_view
+
         for tenant, drained in sorted(report.drain_stats.items()):
             cold = report.cold_stats[tenant]
             for key in ("submitted", "accepted", "shed", "accepted_crc"):
                 assert drained[key] == cold[key], (tenant, key)
             assert drained["accepted"] + drained["shed"] == drained["submitted"]
+            assert slo_parity_view(drained["slo"]) == slo_parity_view(
+                cold["slo"]
+            ), f"{tenant}: SLO diverged across the drain boundary"
         for tenant, ack in sorted(report.close_acks.items()):
             assert ack.get("parity") is True, (tenant, ack)
             assert ack.get("lost") == [], (tenant, ack)
         assert report.ok, report.failures()
+
+        # The machine-readable health timeline straddles every SIGKILL:
+        # one fleet scrape per incarnation, every tenant present.
+        import json
+
+        assert report.timeline_path
+        rows = [
+            json.loads(line)
+            for line in Path(report.timeline_path).read_text().splitlines()
+            if line.strip()
+        ]
+        events = [row["event"] for row in rows]
+        assert events.count("pre_kill") == 3
+        assert "pre_drain" in events and "post_cold_start" in events
+        for row in rows:
+            assert set(row["fleet"]) == {"t0", "t1"}, row
